@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Section 4 ablation: the software-counter baseline vs the limited-use
+ * connection under the paper's published bypass attacks (MDSec power
+ * cut, NAND mirroring, malicious firmware update).
+ *
+ * For each attack, reports whether a popularity-order brute force
+ * cracks a victim whose passcode is ~5,000 guesses deep, and how many
+ * validations the attacker managed.
+ */
+
+#include <iostream>
+
+#include "core/design_solver.h"
+#include "core/gate.h"
+#include "core/software_baseline.h"
+#include "util/table.h"
+
+using namespace lemons;
+using namespace lemons::core;
+
+int
+main()
+{
+    std::cout << "=== Software-guard bypasses vs wearout hardware "
+                 "(victim passcode at guess rank 5,000) ===\n\n";
+
+    const std::vector<uint8_t> key(32, 0xaa);
+    const uint64_t rank = 5000;
+    Table table({"defence / attack", "validations", "cracked",
+                 "device state"});
+
+    {
+        SoftwareCounterPhone phone(attackerGuess(rank), key);
+        const auto outcome = naiveBruteForce(phone, 1000000);
+        table.addRow({"software counter / naive",
+                      formatCount(outcome.attempts),
+                      outcome.cracked ? "YES" : "no",
+                      phone.wiped() ? "wiped" : "alive"});
+    }
+    {
+        SoftwareCounterPhone phone(attackerGuess(rank), key);
+        uint64_t attempts = 0;
+        bool cracked = false;
+        // MDSec power cut: every validation, no counter commit.
+        for (uint64_t guess = 1; guess <= rank; ++guess) {
+            ++attempts;
+            if (phone.unlockWithPowerCut(attackerGuess(guess))) {
+                cracked = true;
+                break;
+            }
+        }
+        table.addRow({"software counter / power cut",
+                      formatCount(attempts), cracked ? "YES" : "no",
+                      phone.wiped() ? "wiped" : "alive"});
+    }
+    {
+        SoftwareCounterPhone phone(attackerGuess(rank), key);
+        const auto outcome = nandMirroringBruteForce(phone, 1000000);
+        table.addRow({"software counter / NAND mirroring",
+                      formatCount(outcome.attempts),
+                      outcome.cracked ? "YES" : "no",
+                      phone.wiped() ? "wiped" : "alive"});
+    }
+    {
+        SoftwareCounterPhone phone(attackerGuess(rank), key);
+        phone.applyMaliciousFirmwareUpdate();
+        const auto outcome = naiveBruteForce(phone, 1000000);
+        table.addRow({"software counter / firmware update",
+                      formatCount(outcome.attempts),
+                      outcome.cracked ? "YES" : "no",
+                      phone.wiped() ? "wiped" : "alive"});
+    }
+    {
+        // The hardware gate sized for 100 legitimate uses: no counter
+        // exists, so the "bypasses" degenerate to plain hammering —
+        // and the wearout bound ends it.
+        DesignRequest request;
+        request.device = {10.0, 12.0};
+        request.legitimateAccessBound = 100;
+        request.kFraction = 0.1;
+        const Design design = DesignSolver(request).solve();
+        const wearout::DeviceFactory factory(
+            request.device, wearout::ProcessVariation::none());
+        Rng rng(404);
+        LimitedUseGate gate(design, factory, key, rng);
+        uint64_t attempts = 0;
+        while (gate.access().has_value())
+            ++attempts;
+        const bool cracked = attempts >= rank;
+        table.addRow({"limited-use gate / any of the above",
+                      formatCount(attempts), cracked ? "YES" : "no",
+                      "worn out"});
+    }
+    table.print(std::cout);
+
+    std::cout
+        << "\nEvery software bypass reaches the victim's rank; the "
+           "wearout gate bounds the attacker to ~its design window\n"
+           "(scaled instance: ~100 attempts vs the 5,000 needed). At "
+           "full scale the bound is ~91k attempts vs the ~1e8+ a\n"
+           "professional cracker wants (Sections 3-4).\n";
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Throughput microbenchmarks for the classic errors-and-erasures
+ * Reed-Solomon codec (Section 4.1.4's flash/CD/DVD framing), at the
+ * standard RS(255, 223) point and smaller codes.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "rs/classic_rs.h"
+#include "util/rng.h"
+
+using namespace lemons;
+
+namespace {
+
+std::vector<uint8_t>
+randomBytes(Rng &rng, size_t size)
+{
+    std::vector<uint8_t> out(size);
+    for (auto &b : out)
+        b = static_cast<uint8_t>(rng.nextBelow(256));
+    return out;
+}
+
+void
+BM_ClassicEncode(benchmark::State &state)
+{
+    const auto n = static_cast<size_t>(state.range(0));
+    const auto k = static_cast<size_t>(state.range(1));
+    const rs::ClassicRsCodec codec(n, k);
+    Rng rng(1);
+    const auto message = randomBytes(rng, k);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(codec.encode(message));
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(k));
+}
+
+void
+BM_ClassicDecodeClean(benchmark::State &state)
+{
+    const auto n = static_cast<size_t>(state.range(0));
+    const auto k = static_cast<size_t>(state.range(1));
+    const rs::ClassicRsCodec codec(n, k);
+    Rng rng(2);
+    const auto word = codec.encode(randomBytes(rng, k));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(codec.decode(word));
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(k));
+}
+
+void
+BM_ClassicDecodeAtCapacity(benchmark::State &state)
+{
+    const auto n = static_cast<size_t>(state.range(0));
+    const auto k = static_cast<size_t>(state.range(1));
+    const rs::ClassicRsCodec codec(n, k);
+    Rng rng(3);
+    auto word = codec.encode(randomBytes(rng, k));
+    for (size_t e = 0; e < codec.errorCapacity(); ++e)
+        word[e * 2] ^= static_cast<uint8_t>(1 + rng.nextBelow(255));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(codec.decode(word));
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(k));
+}
+
+void
+CodecArgs(benchmark::internal::Benchmark *bench)
+{
+    bench->Args({255, 223})->Args({63, 32})->Args({15, 11});
+}
+
+BENCHMARK(BM_ClassicEncode)->Apply(CodecArgs);
+BENCHMARK(BM_ClassicDecodeClean)->Apply(CodecArgs);
+BENCHMARK(BM_ClassicDecodeAtCapacity)->Apply(CodecArgs);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Figure 10: density estimate of one-time pads — decision trees per
+ * 1 mm^2 chip for heights 2..11 (H-tree layout, 100 nm^2 switches,
+ * 1000 H-bit random strings in 50 nm^2 register cells).
+ */
+
+#include <iostream>
+
+#include "arch/cost_model.h"
+#include "util/table.h"
+
+using namespace lemons;
+
+int
+main()
+{
+    std::cout << "=== Figure 10: one-time-pad density in 1 mm^2 ===\n\n";
+    const arch::CostModel model;
+    const double paper[] = {5e6, 2e6, 6e5, 2e5, 1e5,
+                            4e4, 2e4, 9e3, 4e3, 2e3};
+
+    Table table({"height H", "tree area (mm^2)", "trees per mm^2",
+                 "paper (1 sig fig)", "pads per mm^2 (n=128)"});
+    for (unsigned h = 2; h <= 11; ++h) {
+        table.addRow({std::to_string(h),
+                      formatSci(model.decisionTreeAreaMm2(h), 2),
+                      formatCount(model.treesPerMm2(h)),
+                      formatSci(paper[h - 2], 0),
+                      formatCount(model.padsPerMm2(h, 128))});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nPaper example: H = 4, n = 128 -> ~4,687 pads per "
+                 "chip; we get "
+              << formatCount(arch::CostModel().padsPerMm2(4, 128))
+              << ".\n";
+    return 0;
+}

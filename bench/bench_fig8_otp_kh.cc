@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Figure 8: one-time-pad success probability over (k, H) at
+ * alpha = 10, beta = 1, n = 128 copies.
+ *
+ *  8a — receiver success (Eq. 10),
+ *  8b — adversary success (Eq. 15),
+ * plus the "success space" cells where the receiver wins and the
+ * adversary loses, and Monte Carlo spot checks of both.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "core/explorer.h"
+#include "sim/monte_carlo.h"
+#include "util/csv.h"
+#include "util/table.h"
+#include "wearout/population.h"
+
+using namespace lemons;
+using namespace lemons::core;
+
+namespace {
+
+const std::vector<uint64_t> kGrid = {1, 8, 16, 32, 48, 64, 96, 120, 128};
+const std::vector<unsigned> hGrid = {1, 2, 4, 6, 8, 10, 12};
+std::string csvDir;
+
+void
+printGrid(const char *title, bool receiver)
+{
+    std::cout << "--- " << title << " ---\n";
+    std::vector<std::string> headers{"H \\ k"};
+    for (uint64_t k : kGrid)
+        headers.push_back(std::to_string(k));
+    Table table(headers);
+    for (unsigned h : hGrid) {
+        const auto row =
+            sweepOtpThresholdHeight(kGrid, {h}, 128, {10.0, 1.0});
+        std::vector<std::string> cells{std::to_string(h)};
+        for (const auto &point : row)
+            cells.push_back(formatGeneral(receiver
+                                              ? point.receiverSuccess
+                                              : point.adversarySuccess,
+                                          3));
+        table.addRow(cells);
+    }
+    table.print(std::cout);
+    if (!csvDir.empty()) {
+        std::vector<std::vector<std::string>> rows{
+            {"height", "k", "success"}};
+        for (unsigned h : hGrid) {
+            const auto row =
+                sweepOtpThresholdHeight(kGrid, {h}, 128, {10.0, 1.0});
+            for (const auto &point : row) {
+                rows.push_back({std::to_string(h),
+                                std::to_string(point.params.threshold),
+                                formatSci(receiver
+                                              ? point.receiverSuccess
+                                              : point.adversarySuccess,
+                                          6)});
+            }
+        }
+        const std::string name =
+            csvDir + (receiver ? "/fig8a.csv" : "/fig8b.csv");
+        if (writeCsvFile(name, rows))
+            std::cout << "(wrote " << name << ")\n";
+    }
+    std::cout << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc > 1)
+        csvDir = argv[1];
+    std::cout << "=== Figure 8: OTP success probability vs (k, H), "
+                 "alpha=10 beta=1 n=128 ===\n\n";
+    printGrid("Fig 8a: receiver success probability", true);
+    printGrid("Fig 8b: adversary success probability", false);
+
+    // Success space: receiver > 0.99 AND adversary < 0.01.
+    std::cout << "--- success space (R = receiver wins, . = not) ---\n";
+    for (unsigned h : hGrid) {
+        std::cout << "H=" << h << (h < 10 ? " " : "") << " ";
+        const auto row =
+            sweepOtpThresholdHeight(kGrid, {h}, 128, {10.0, 1.0});
+        for (const auto &point : row) {
+            std::cout << (point.receiverSuccess > 0.99 &&
+                                  point.adversarySuccess < 0.01
+                              ? 'R'
+                              : '.');
+        }
+        std::cout << "\n";
+    }
+    std::cout << "(columns: k = ";
+    for (uint64_t k : kGrid)
+        std::cout << k << " ";
+    std::cout << ")\n\n";
+
+    // Monte Carlo spot check at the paper's working point H=4, k=8 and
+    // at the adversary-relevant point H=2, k=8.
+    const wearout::DeviceFactory factory({10.0, 1.0},
+                                         wearout::ProcessVariation::none());
+    OtpParams params;
+    params.device = {10.0, 1.0};
+    params.copies = 128;
+    params.threshold = 8;
+    const std::vector<uint8_t> key(32, 0x42);
+
+    params.height = 4;
+    const sim::MonteCarlo engine(77, 300);
+    const auto recvCi = engine.estimateProbability([&](Rng &rng) {
+        OneTimePad pad(params, key, 3, factory, rng);
+        return pad.retrieve(3).has_value();
+    });
+    std::cout << "MC receiver success (H=4, k=8, 300 pads): "
+              << formatGeneral(recvCi.estimate, 4) << " [analytic "
+              << formatGeneral(OtpAnalytics(params).receiverSuccess(), 4)
+              << "]\n";
+
+    params.height = 2;
+    const auto advCi = engine.estimateProbability([&](Rng &rng) {
+        OneTimePad pad(params, key, 1, factory, rng);
+        Rng attacker = rng.split(13);
+        return pad.randomPathAttack(attacker).has_value();
+    });
+    std::cout << "MC adversary success (H=2, k=8, 300 pads): "
+              << formatGeneral(advCi.estimate, 4) << " [analytic "
+              << formatGeneral(OtpAnalytics(params).adversarySuccess(), 4)
+              << "]\n";
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figure 9: one-time-pad success probability over (alpha, H) at
+ * beta = 1, k = 8, n = 128 copies — the trade-off between tree height
+ * and device wearout bounds.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "core/explorer.h"
+#include "util/table.h"
+
+using namespace lemons;
+using namespace lemons::core;
+
+namespace {
+
+const std::vector<double> alphaGrid = {1.0,  5.0,  10.0, 20.0,
+                                       40.0, 60.0, 80.0};
+const std::vector<unsigned> hGrid = {1, 2, 4, 6, 7, 8, 10, 12};
+
+void
+printGrid(const char *title, bool receiver)
+{
+    std::cout << "--- " << title << " ---\n";
+    std::vector<std::string> headers{"H \\ alpha"};
+    for (double a : alphaGrid)
+        headers.push_back(formatGeneral(a, 3));
+    Table table(headers);
+    for (unsigned h : hGrid) {
+        const auto row = sweepOtpAlphaHeight(alphaGrid, {h}, 128, 8, 1.0);
+        std::vector<std::string> cells{std::to_string(h)};
+        for (const auto &point : row)
+            cells.push_back(formatGeneral(receiver
+                                              ? point.receiverSuccess
+                                              : point.adversarySuccess,
+                                          3));
+        table.addRow(cells);
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "=== Figure 9: OTP success probability vs (alpha, H), "
+                 "beta=1 k=8 n=128 ===\n\n";
+    printGrid("Fig 9a: receiver success probability", true);
+    printGrid("Fig 9b: adversary success probability", false);
+
+    std::cout
+        << "Trade-off (paper Sec 6.4.2): for H <= 7, higher trees "
+           "compensate for looser wearout bounds;\nfor H >= 8 the height "
+           "alone blocks adversaries across the whole alpha range while "
+           "the receiver\nstill succeeds once alpha is large enough.\n";
+    return 0;
+}

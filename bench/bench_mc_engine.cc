@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Throughput microbenchmarks for the Monte Carlo substrate: Weibull
+ * sampling, structure-failure sampling, and whole-architecture trials
+ * — the costs behind every empirical curve in the reproduction.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "arch/structures_sim.h"
+#include "sim/monte_carlo.h"
+#include "wearout/population.h"
+#include "wearout/weibull.h"
+
+using namespace lemons;
+
+namespace {
+
+void
+BM_WeibullSample(benchmark::State &state)
+{
+    const wearout::Weibull model(14.0, 8.0);
+    Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(model.sample(rng));
+}
+
+void
+BM_ParallelStructureSample(benchmark::State &state)
+{
+    const auto n = static_cast<size_t>(state.range(0));
+    const auto k = static_cast<size_t>(state.range(1));
+    const wearout::DeviceFactory factory({14.0, 8.0},
+                                         wearout::ProcessVariation::none());
+    Rng rng(2);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            arch::sampleParallelSurvivedAccesses(factory, n, k, rng));
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            state.range(0));
+}
+
+void
+BM_FullArchitectureTrial(benchmark::State &state)
+{
+    // One full lifetime of the (alpha=14, beta=8, k=10%) connection:
+    // 6,084 copies x 175 devices.
+    const wearout::DeviceFactory factory({14.0, 8.0},
+                                         wearout::ProcessVariation::none());
+    Rng rng(3);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(arch::sampleSerialCopiesTotalAccesses(
+            factory, 175, 18, 6084, rng));
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            175 * 6084);
+}
+
+void
+BM_MonteCarloProbability(benchmark::State &state)
+{
+    const wearout::DeviceFactory factory({9.3, 12.0},
+                                         wearout::ProcessVariation::none());
+    for (auto _ : state) {
+        const sim::MonteCarlo engine(7, 1000);
+        benchmark::DoNotOptimize(
+            engine.estimateProbability([&](Rng &rng) {
+                return arch::sampleParallelSurvivedAccesses(factory, 40,
+                                                            1, rng) >= 10;
+            }));
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            1000);
+}
+
+BENCHMARK(BM_WeibullSample);
+BENCHMARK(BM_ParallelStructureSample)
+    ->Args({40, 1})
+    ->Args({60, 30})
+    ->Args({175, 18})
+    ->Args({2000, 200});
+BENCHMARK(BM_FullArchitectureTrial)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MonteCarloProbability)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

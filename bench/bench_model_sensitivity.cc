@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Lifetime-model sensitivity (Section 7): the paper concedes the
+ * Weibull model "needs experimental data to validate the range of
+ * parameters that are realistic of this or other alternative models."
+ *
+ * This ablation fabricates a design — solved under the pure-Weibull
+ * assumption — from bathtub-curve populations (a fraction of devices
+ * fails in infancy) and measures how the empirical usage bounds
+ * degrade with the infant-mortality fraction, with and without
+ * redundant encoding.
+ */
+
+#include <iostream>
+
+#include "arch/structures_sim.h"
+#include "core/design_solver.h"
+#include "sim/monte_carlo.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "wearout/mixture.h"
+
+using namespace lemons;
+using namespace lemons::core;
+
+namespace {
+
+void
+sweep(const char *label, const Design &design, uint64_t lab,
+      const wearout::Weibull &assumed)
+{
+    std::cout << "--- " << label << ": " << formatCount(design.totalDevices)
+              << " switches, nominal "
+              << formatCount(design.copies * design.perCopyBound)
+              << " accesses ---\n";
+    Table table({"infant fraction", "mean total", "q0.1%",
+                 "min bound held?", "q99.9% (attacker view)"});
+    const sim::MonteCarlo engine(90210, 2000);
+    for (double w : {0.0, 0.01, 0.05, 0.1, 0.2, 0.4}) {
+        const wearout::BathtubModel mix =
+            wearout::BathtubModel::withInfantMortality(assumed, w);
+        const arch::LifetimeSampler sampler = [&](Rng &rng) {
+            return mix.sample(rng);
+        };
+        const auto samples = engine.runSamplesParallel([&](Rng &rng) {
+            return static_cast<double>(
+                arch::sampleSerialCopiesTotalAccesses(
+                    sampler, design.width, design.threshold,
+                    design.copies, rng));
+        });
+        RunningStats stats;
+        for (double s : samples)
+            stats.add(s);
+        const double q001 = quantile(samples, 0.001);
+        const double q999 = quantile(samples, 0.999);
+        const bool held = q001 >= static_cast<double>(lab);
+        table.addRow({formatGeneral(w, 3), formatGeneral(stats.mean(), 6),
+                      formatGeneral(q001, 6), held ? "yes" : "NO",
+                      formatGeneral(q999, 6)});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "=== Lifetime-model sensitivity: Weibull-designed "
+                 "architectures on bathtub populations ===\n\n";
+
+    const wearout::Weibull assumed(10.0, 12.0);
+
+    DesignRequest encoded;
+    encoded.device = {10.0, 12.0};
+    encoded.legitimateAccessBound = 100;
+    encoded.kFraction = 0.1;
+    sweep("encoded k=10% design", DesignSolver(encoded).solve(), 100,
+          assumed);
+
+    DesignRequest plain = encoded;
+    plain.kFraction = 0.0;
+    sweep("plain 1-of-n design", DesignSolver(plain).solve(), 100,
+          assumed);
+
+    std::cout
+        << "The encoded design's k-of-n margin absorbs a few percent of "
+           "infant mortality outright; the plain\n1-of-n design is even "
+           "more tolerant on the minimum bound (any survivor suffices) "
+           "but its upper bound\nstretches further — the degradation "
+           "window widens exactly as Section 7 cautions when the true\n"
+           "lifetime model deviates from the designed-for Weibull.\n";
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Section 6.5.2: latency and energy of one-time-pad key retrieval,
+ * across tree heights and copy counts. Paper anchor: H = 4, n = 128
+ * -> 0.00512 ms path + 0.08 ms register read = 0.08512 ms total and
+ * 5.12e-18 J worst-case path energy.
+ */
+
+#include <iostream>
+
+#include "arch/cost_model.h"
+#include "util/table.h"
+
+using namespace lemons;
+
+int
+main()
+{
+    std::cout << "=== Section 6.5.2: OTP retrieval latency & energy "
+                 "===\n\n";
+    const arch::CostModel model;
+
+    Table table({"H", "copies n", "latency (ms)", "energy (J)"});
+    for (unsigned h : {2u, 4u, 6u, 8u, 10u}) {
+        for (uint64_t n : {32u, 128u, 255u}) {
+            table.addRow({std::to_string(h), std::to_string(n),
+                          formatGeneral(model.padRetrievalLatencyMs(h, n),
+                                        5),
+                          formatSci(model.padRetrievalEnergyJ(h, n), 2)});
+        }
+    }
+    table.print(std::cout);
+
+    std::cout << "\nPaper anchor (H=4, n=128): latency = "
+              << formatGeneral(model.padRetrievalLatencyMs(4, 128), 5)
+              << " ms (paper 0.08512 ms), energy = "
+              << formatSci(model.padRetrievalEnergyJ(4, 128), 3)
+              << " J (paper 5.12e-18 J)\n";
+    std::cout << "Connection access (Sec 4.3.2, width 141): energy = "
+              << formatSci(model.accessEnergyJ(141), 3)
+              << " J (paper 1.41e-18 J), latency = "
+              << formatGeneral(model.accessLatencyNs(), 3)
+              << " ns (paper ~10 ns)\n";
+    return 0;
+}

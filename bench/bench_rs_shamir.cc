@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Throughput microbenchmarks for the coding substrates: Reed-Solomon
+ * encode/decode and Shamir split/combine at the parameter points the
+ * architectures use (k = 18/n = 175 connection copies, k = 8/n = 128
+ * one-time pads, k = 30/n = 60 from Fig 3c).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "rs/reed_solomon.h"
+#include "shamir/shamir.h"
+#include "util/rng.h"
+
+using namespace lemons;
+
+namespace {
+
+std::vector<uint8_t>
+randomBytes(Rng &rng, size_t size)
+{
+    std::vector<uint8_t> out(size);
+    for (auto &b : out)
+        b = static_cast<uint8_t>(rng.nextBelow(256));
+    return out;
+}
+
+void
+BM_RsEncode(benchmark::State &state)
+{
+    const auto k = static_cast<size_t>(state.range(0));
+    const auto n = static_cast<size_t>(state.range(1));
+    const rs::RsCode code(k, n);
+    Rng rng(1);
+    const auto message = randomBytes(rng, 32);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(code.encode(message));
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 32);
+}
+
+void
+BM_RsDecode(benchmark::State &state)
+{
+    const auto k = static_cast<size_t>(state.range(0));
+    const auto n = static_cast<size_t>(state.range(1));
+    const rs::RsCode code(k, n);
+    Rng rng(2);
+    const auto message = randomBytes(rng, 32);
+    auto shares = code.encode(message);
+    // Decode from the parity end (non-systematic path: real work).
+    std::vector<rs::Share> subset(shares.end() -
+                                      static_cast<std::ptrdiff_t>(k),
+                                  shares.end());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(code.decode(subset, message.size()));
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 32);
+}
+
+void
+BM_ShamirSplit(benchmark::State &state)
+{
+    const auto k = static_cast<size_t>(state.range(0));
+    const auto n = static_cast<size_t>(state.range(1));
+    const shamir::Scheme scheme(k, n);
+    Rng rng(3);
+    const auto secret = randomBytes(rng, 32);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(scheme.split(secret, rng));
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 32);
+}
+
+void
+BM_ShamirCombine(benchmark::State &state)
+{
+    const auto k = static_cast<size_t>(state.range(0));
+    const auto n = static_cast<size_t>(state.range(1));
+    const shamir::Scheme scheme(k, n);
+    Rng rng(4);
+    const auto secret = randomBytes(rng, 32);
+    auto shares = scheme.split(secret, rng);
+    shares.resize(k);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(scheme.combine(shares));
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 32);
+}
+
+void
+CodingArgs(benchmark::internal::Benchmark *bench)
+{
+    bench->Args({18, 175})->Args({8, 128})->Args({30, 60})->Args({2, 3});
+}
+
+BENCHMARK(BM_RsEncode)->Apply(CodingArgs);
+BENCHMARK(BM_RsDecode)->Apply(CodingArgs);
+BENCHMARK(BM_ShamirSplit)->Apply(CodingArgs);
+BENCHMARK(BM_ShamirCombine)->Apply(CodingArgs);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Timing microbenchmarks for the design-space solver and the OTP
+ * analytics — the cost of one sweep point in Figures 4, 5, 8, 9.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/decision_tree.h"
+#include "core/design_solver.h"
+#include "util/math.h"
+
+using namespace lemons;
+using namespace lemons::core;
+
+namespace {
+
+void
+BM_SolveUnencoded(benchmark::State &state)
+{
+    DesignRequest request;
+    request.device = {static_cast<double>(state.range(0)), 8.0};
+    request.legitimateAccessBound = 91250;
+    for (auto _ : state) {
+        const DesignSolver solver(request);
+        benchmark::DoNotOptimize(solver.solve());
+    }
+}
+
+void
+BM_SolveEncoded(benchmark::State &state)
+{
+    DesignRequest request;
+    request.device = {static_cast<double>(state.range(0)), 8.0};
+    request.legitimateAccessBound = 91250;
+    request.kFraction = 0.1;
+    for (auto _ : state) {
+        const DesignSolver solver(request);
+        benchmark::DoNotOptimize(solver.solve());
+    }
+}
+
+void
+BM_SolveWithUpperBound(benchmark::State &state)
+{
+    DesignRequest request;
+    request.device = {14.0, 8.0};
+    request.legitimateAccessBound = 91250;
+    request.kFraction = 0.1;
+    request.upperBoundTarget = 200000;
+    for (auto _ : state) {
+        const DesignSolver solver(request);
+        benchmark::DoNotOptimize(solver.solve());
+    }
+}
+
+void
+BM_OtpAnalytics(benchmark::State &state)
+{
+    OtpParams params;
+    params.height = static_cast<unsigned>(state.range(0));
+    params.copies = 128;
+    params.threshold = 8;
+    params.device = {10.0, 1.0};
+    for (auto _ : state) {
+        const OtpAnalytics analytics(params);
+        benchmark::DoNotOptimize(analytics.receiverSuccess());
+        benchmark::DoNotOptimize(analytics.adversarySuccess());
+    }
+}
+
+void
+BM_BinomialTail(benchmark::State &state)
+{
+    const auto n = static_cast<uint64_t>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            logBinomialTailAtLeast(n, n / 10, 0.176));
+    }
+}
+
+BENCHMARK(BM_SolveUnencoded)->Arg(10)->Arg(14)->Arg(20);
+BENCHMARK(BM_SolveEncoded)->Arg(10)->Arg(14)->Arg(20);
+BENCHMARK(BM_SolveWithUpperBound);
+BENCHMARK(BM_OtpAnalytics)->Arg(2)->Arg(8)->Arg(12);
+BENCHMARK(BM_BinomialTail)->Arg(60)->Arg(141)->Arg(10000)->Arg(10000000);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Table 1: area cost of the limited-use connection for four device
+ * technologies, with and without redundant encoding (k = 10% n).
+ *
+ * Paper values (mm^2):
+ *   (10.51, 16): 1.27e-4 plain / 3.2e-5 encoded
+ *   (10.21, 10): 2.03e-3 plain / 1.3e-4 encoded
+ *   (19.68, 16): 2.03e-3 plain / 1.3e-4 encoded
+ *   (18.69, 10): 5.2e-1 plain / 1.3e-4 encoded
+ */
+
+#include <iostream>
+
+#include "arch/cost_model.h"
+#include "core/design_solver.h"
+#include "util/table.h"
+
+using namespace lemons;
+using core::Design;
+using core::DesignRequest;
+using core::DesignSolver;
+
+namespace {
+
+Design
+solve(double alpha, double beta, double kFraction)
+{
+    DesignRequest request;
+    request.device = {alpha, beta};
+    request.legitimateAccessBound = 91250;
+    request.kFraction = kFraction;
+    return DesignSolver(request).solve();
+}
+
+std::string
+areaCell(const Design &design, double kFraction,
+         const arch::CostModel &model)
+{
+    if (!design.feasible)
+        return "infeasible";
+    if (kFraction == 0.0)
+        return formatSci(model.connectionAreaMm2(design.totalDevices), 2);
+    return formatSci(model.encodedConnectionAreaMm2(
+                         design.totalDevices, design.width,
+                         design.threshold, design.copies),
+                     2);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "=== Table 1: area cost of the limited-use connection "
+                 "(mm^2) ===\n\n";
+    const arch::CostModel model;
+    const double pairs[][2] = {
+        {10.51, 16.0}, {10.21, 10.0}, {19.68, 16.0}, {18.69, 10.0}};
+    const char *paperPlain[] = {"1.27e-4", "2.03e-3", "2.03e-3", "5.2e-1"};
+    const char *paperCoded[] = {"3.2e-5", "1.3e-4", "1.3e-4", "1.3e-4"};
+
+    Table table({"(alpha, beta)", "plain #NEMS", "plain area",
+                 "paper plain", "coded #NEMS", "coded area",
+                 "paper coded"});
+    for (size_t i = 0; i < 4; ++i) {
+        const double alpha = pairs[i][0];
+        const double beta = pairs[i][1];
+        const Design plain = solve(alpha, beta, 0.0);
+        const Design coded = solve(alpha, beta, 0.1);
+        table.addRow({"(" + formatGeneral(alpha, 4) + ", " +
+                          formatGeneral(beta, 3) + ")",
+                      plain.feasible ? formatCount(plain.totalDevices)
+                                     : "-",
+                      areaCell(plain, 0.0, model), paperPlain[i],
+                      coded.feasible ? formatCount(coded.totalDevices)
+                                     : "-",
+                      areaCell(coded, 0.1, model), paperCoded[i]});
+    }
+    table.print(std::cout);
+    std::cout
+        << "\nArea model: 100 nm^2 contact + 1 nm^2 spacing per switch; "
+           "encoded designs add RS-chunked component-key\nstorage (256 x "
+           "n/k bits per copy at 50 nm^2 per bit). Our counts follow the "
+           "strict 99%/1% criteria (see\nEXPERIMENTS.md), so individual "
+           "(alpha, beta) points differ from the paper's at unfavourable "
+           "integer-grid\nalignments — the headline (encoding collapses "
+           "the 5.2e-1 mm^2 outlier to sub-1e-3) is reproduced.\n";
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Usage-profile ablation: does the paper's fixed budget really cover
+ * its own usage assumption?
+ *
+ * Section 1 sizes the connection at 91,250 = 50/day x 365 x 5 exactly.
+ * With stochastic daily usage (Poisson 50/day) that budget is a coin
+ * flip — half of all users exhaust it before year five. This bench
+ * quantifies the shortfall, the budget a 99 %/99.9 % survival target
+ * actually needs, and how M-way replication (Section 4.1.5) absorbs
+ * heavier and burstier profiles.
+ */
+
+#include <iostream>
+
+#include "core/mway.h"
+#include "sim/workload.h"
+#include "util/table.h"
+
+using namespace lemons;
+using namespace lemons::sim;
+
+int
+main()
+{
+    std::cout << "=== Usage profiles vs the 91,250-access budget "
+                 "(5-year horizon) ===\n\n";
+    const uint64_t horizon = 5 * 365;
+    const MonteCarlo engine(20170624, 2000);
+
+    struct Profile
+    {
+        const char *label;
+        UsageProfile profile;
+    };
+    const Profile profiles[] = {
+        {"nominal 50/day", {50.0, 0.0, 1.0}},
+        {"light 30/day", {30.0, 0.0, 1.0}},
+        {"heavy 60/day", {60.0, 0.0, 1.0}},
+        {"bursty 50/day (5% days x4)", {50.0, 0.05, 4.0}},
+        {"power user 120/day", {120.0, 0.0, 1.0}},
+    };
+
+    std::cout << "--- survival probability of fixed budgets ---\n";
+    Table table({"profile", "eff. mean/day", "P(91,250 lasts)",
+                 "P(2x lasts)", "budget for 99%"});
+    for (const Profile &p : profiles) {
+        const auto p1 =
+            survivalProbability(p.profile, 91250, horizon, engine);
+        const auto p2 =
+            survivalProbability(p.profile, 2 * 91250, horizon, engine);
+        const uint64_t needed =
+            budgetForSurvival(p.profile, horizon, 0.99, engine);
+        table.addRow({p.label,
+                      formatGeneral(p.profile.effectiveDailyMean(), 4),
+                      formatGeneral(p1.estimate, 3),
+                      formatGeneral(p2.estimate, 3),
+                      formatCount(needed)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\n--- implied M-way replication factors "
+                 "(Section 4.1.5) ---\n";
+    Table mway({"profile", "budget for 99.9%", "M needed",
+                "re-encrypt every"});
+    for (const Profile &p : profiles) {
+        const uint64_t needed =
+            budgetForSurvival(p.profile, horizon, 0.999, engine);
+        const uint64_t m = (needed + 91249) / 91250;
+        mway.addRow({p.label, formatCount(needed), formatCount(m),
+                     formatGeneral(60.0 / static_cast<double>(m), 3) +
+                         " months"});
+    }
+    mway.print(std::cout);
+
+    std::cout
+        << "\nThe nominal profile needs only ~1% extra budget (Poisson "
+           "noise is sqrt(91k) ~ 300 accesses), so a\nsingle module plus "
+           "the paper's own minimum-reliability margin suffices; heavy "
+           "and bursty users map\ndirectly onto the M-way replication "
+           "table above.\n";
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Process-variation ablation (Sections 2.2, 4.3.1, 7): how lot-level
+ * manufacturing variation erodes the designed usage bounds.
+ *
+ * The paper trades fabrication cost (consistent devices: high beta,
+ * low lot spread) against area cost (architectural redundancy). Here
+ * we fabricate the same solved design from increasingly variable lots
+ * and measure the empirical min/max usage bounds — quantifying how
+ * much lot spread a design tolerates before its guarantees crack.
+ */
+
+#include <iostream>
+
+#include "core/design_solver.h"
+#include "core/usage_bounds.h"
+#include "util/table.h"
+
+using namespace lemons;
+using namespace lemons::core;
+
+int
+main()
+{
+    std::cout << "=== Process-variation ablation (targeting-scale "
+                 "design, LAB = 100) ===\n\n";
+
+    DesignRequest request;
+    request.device = {10.0, 12.0};
+    request.legitimateAccessBound = 100;
+    request.kFraction = 0.1;
+    const Design design = DesignSolver(request).solve();
+    std::cout << "Design (solved for zero lot variation): "
+              << formatCount(design.totalDevices) << " switches, nominal "
+              << formatCount(design.copies * design.perCopyBound)
+              << " accesses\n\n";
+
+    Table table({"alpha sigma", "beta sigma", "mean total", "q0.1%",
+                 "q99.9%", "min bound held?"});
+    for (double alphaSigma : {0.0, 0.05, 0.1, 0.2, 0.4}) {
+        const wearout::ProcessVariation variation{alphaSigma, 0.0};
+        const UsageBounds bounds = estimateUsageBounds(
+            design, request.device, variation, 2000, 1234);
+        table.addRow({formatGeneral(alphaSigma, 3), "0",
+                      formatGeneral(bounds.meanTotalAccesses, 6),
+                      formatGeneral(bounds.q001, 6),
+                      formatGeneral(bounds.q999, 6),
+                      bounds.q001 >= 100.0 ? "yes" : "NO"});
+    }
+    for (double betaSigma : {0.05, 0.1, 0.2}) {
+        const wearout::ProcessVariation variation{0.0, betaSigma};
+        const UsageBounds bounds = estimateUsageBounds(
+            design, request.device, variation, 2000, 1234);
+        table.addRow({"0", formatGeneral(betaSigma, 3),
+                      formatGeneral(bounds.meanTotalAccesses, 6),
+                      formatGeneral(bounds.q001, 6),
+                      formatGeneral(bounds.q999, 6),
+                      bounds.q001 >= 100.0 ? "yes" : "NO"});
+    }
+    table.print(std::cout);
+
+    std::cout
+        << "\nModerate lot spread mostly widens the *upper* tail (an "
+           "attacker gains a few extra attempts);\nlarge alpha spread "
+           "eventually breaks the minimum bound — the fabrication-cost "
+           "vs area-cost trade-off\nthe paper discusses: pay for "
+           "consistent devices, or pay for wider structures designed "
+           "against the\nspread. Note the paper reduces sensitivity to "
+           "the scale parameter but not the shape parameter\n"
+           "(Section 7); the beta-sigma rows show the same asymmetry.\n";
+    return 0;
+}

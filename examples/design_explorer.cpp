@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Interactive design-space explorer: solve a limited-use architecture
+ * for your device technology and usage target from the command line.
+ *
+ * Usage:
+ *   design_explorer [alpha] [beta] [LAB] [kFraction] [p] [upperBound]
+ *
+ *   alpha      Weibull scale in cycles        (default 14)
+ *   beta       Weibull shape                  (default 8)
+ *   LAB        legitimate access bound        (default 91250)
+ *   kFraction  Shamir/RS threshold fraction   (default 0.1; 0 = none)
+ *   p          residual reliability allowed   (default 0.01)
+ *   upperBound system-level attempt target    (default: none)
+ *
+ * Examples:
+ *   ./build/examples/design_explorer 14 8 91250 0.1
+ *   ./build/examples/design_explorer 20 16 100 0
+ *   ./build/examples/design_explorer 14 8 91250 0.1 0.01 200000
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "arch/cost_model.h"
+#include "core/design_solver.h"
+#include "core/usage_bounds.h"
+#include "util/table.h"
+
+using namespace lemons;
+using namespace lemons::core;
+
+int
+main(int argc, char **argv)
+{
+    DesignRequest request;
+    request.device = {14.0, 8.0};
+    request.legitimateAccessBound = 91250;
+    request.kFraction = 0.1;
+
+    auto arg = [&](int i) { return std::atof(argv[i]); };
+    if (argc > 1)
+        request.device.alpha = arg(1);
+    if (argc > 2)
+        request.device.beta = arg(2);
+    if (argc > 3)
+        request.legitimateAccessBound =
+            static_cast<uint64_t>(std::atoll(argv[3]));
+    if (argc > 4)
+        request.kFraction = arg(4);
+    if (argc > 5)
+        request.criteria.maxResidualReliability = arg(5);
+    if (argc > 6)
+        request.upperBoundTarget =
+            static_cast<uint64_t>(std::atoll(argv[6]));
+
+    std::cout << "Request: alpha=" << request.device.alpha
+              << " beta=" << request.device.beta
+              << " LAB=" << formatCount(request.legitimateAccessBound)
+              << " k/n=" << request.kFraction
+              << " p=" << request.criteria.maxResidualReliability;
+    if (request.upperBoundTarget)
+        std::cout << " upperBound=" << formatCount(*request.upperBoundTarget);
+    std::cout << "\n\n";
+
+    const Design design = DesignSolver(request).solve();
+    if (!design.feasible) {
+        std::cout << "INFEASIBLE: no architecture within the search caps "
+                     "meets the criteria for this technology.\n"
+                     "Try enabling encoding (kFraction 0.1-0.3), a "
+                     "tighter-shape device (higher beta), or a relaxed "
+                     "residual p.\n";
+        return 1;
+    }
+
+    Table table({"quantity", "value"});
+    table.addRow({"per-copy access bound t",
+                  formatCount(design.perCopyBound)});
+    table.addRow({"structure width n", formatCount(design.width)});
+    table.addRow({"threshold k", formatCount(design.threshold)});
+    table.addRow({"copies N", formatCount(design.copies)});
+    table.addRow({"total NEMS switches",
+                  formatCount(design.totalDevices)});
+    table.addRow({"reliability at bound",
+                  formatGeneral(design.reliabilityAtBound, 6)});
+    table.addRow({"residual past bound",
+                  formatSci(design.reliabilityPastBound, 2)});
+    table.addRow({"expected system total",
+                  formatGeneral(design.expectedSystemTotal, 8)});
+
+    const arch::CostModel cost;
+    const double area =
+        request.kFraction == 0.0
+            ? cost.connectionAreaMm2(design.totalDevices)
+            : cost.encodedConnectionAreaMm2(design.totalDevices,
+                                            design.width, design.threshold,
+                                            design.copies);
+    table.addRow({"die area (mm^2)", formatSci(area, 2)});
+    table.addRow({"access energy (J)",
+                  formatSci(cost.accessEnergyJ(design.width), 2)});
+    table.addRow({"access latency (ns)",
+                  formatGeneral(cost.accessLatencyNs(), 3)});
+    table.print(std::cout);
+
+    // Monte Carlo validation for affordable instances.
+    if (design.totalDevices <= 2'000'000) {
+        const UsageBounds bounds = estimateUsageBounds(
+            design, request.device, wearout::ProcessVariation::none(),
+            200, 1);
+        std::cout << "\nMonte Carlo (200 fabricated instances):\n"
+                  << "  mean total accesses  " << bounds.meanTotalAccesses
+                  << "\n  0.1% / 99.9% quantiles  " << bounds.q001
+                  << " / " << bounds.q999 << "\n";
+    } else {
+        std::cout << "\n(design too large for quick Monte Carlo "
+                     "validation; use the analytic expectation above)\n";
+    }
+    return 0;
+}

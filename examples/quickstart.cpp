@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Quickstart: design, fabricate, and exercise a limited-use secret
+ * gate in ~60 lines.
+ *
+ *   1. describe the device technology (Weibull alpha/beta),
+ *   2. solve for an architecture meeting a usage bound,
+ *   3. fabricate a simulated gate protecting a secret,
+ *   4. watch legitimate use succeed and wearout stop an attacker.
+ *
+ * Build & run:  ./build/examples/quickstart
+ */
+
+#include <iostream>
+
+#include "core/design_solver.h"
+#include "core/gate.h"
+
+int
+main()
+{
+    using namespace lemons;
+
+    // 1. Device technology: NEMS switches lasting ~10 cycles with
+    //    consistent wearout (shape beta = 12).
+    core::DesignRequest request;
+    request.device = {10.0, 12.0};         // Weibull alpha, beta
+    request.legitimateAccessBound = 100;   // uses we must support
+    request.kFraction = 0.1;               // Shamir k = 10% of n
+
+    // 2. Solve for the cheapest architecture meeting the criteria
+    //    (>= 99 % reliable for all 100 uses, <= 1 % alive afterwards).
+    const core::Design design = core::DesignSolver(request).solve();
+    if (!design.feasible) {
+        std::cerr << "no feasible design for this technology\n";
+        return 1;
+    }
+    std::cout << "Design: " << design.copies << " copies x "
+              << design.width << " switches (threshold k = "
+              << design.threshold << "), " << design.totalDevices
+              << " NEMS switches total.\n"
+              << "Each copy serves " << design.perCopyBound
+              << " accesses with reliability "
+              << design.reliabilityAtBound << ", then dies ("
+              << design.reliabilityPastBound
+              << " residual at the next access).\n\n";
+
+    // 3. Fabricate a gate protecting a 16-byte secret.
+    const wearout::DeviceFactory factory(request.device,
+                                         wearout::ProcessVariation::none());
+    Rng rng(42);
+    const std::vector<uint8_t> secret = {0, 1, 2, 3, 4, 5, 6, 7,
+                                         8, 9, 10, 11, 12, 13, 14, 15};
+    core::LimitedUseGate gate(design, factory, secret, rng);
+
+    // 4a. The legitimate user: 100 accesses, every one succeeds.
+    int delivered = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (gate.access() == secret)
+            ++delivered;
+    }
+    std::cout << "Legitimate use: " << delivered
+              << "/100 accesses delivered the secret.\n";
+
+    // 4b. The attacker keeps hammering: the hardware wears out within
+    //     a handful of extra accesses and the secret is gone forever.
+    int extra = 0;
+    while (gate.access().has_value())
+        ++extra;
+    std::cout << "Attacker got " << extra
+              << " extra accesses before the hardware wore out.\n"
+              << "Gate exhausted: " << std::boolalpha << gate.exhausted()
+              << " — the secret is now physically unreachable.\n";
+    return 0;
+}

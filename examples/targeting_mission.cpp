@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The limited-use targeting system (paper Section 5): a launch station
+ * that can decrypt at most ~100 targeting commands, ever.
+ *
+ * Simulates a mission: the command-and-control authority issues
+ * encrypted, authenticated commands over the link; the station
+ * executes them through its wearout-gated mission key. Then three
+ * abuse cases: a forged command, a replayed command, and post-mission
+ * overreach — all bounded or rejected by the hardware.
+ *
+ * Build & run:  ./build/examples/targeting_mission
+ */
+
+#include <iostream>
+#include <string>
+
+#include "core/design_solver.h"
+#include "core/targeting.h"
+#include "util/table.h"
+
+using namespace lemons;
+using namespace lemons::core;
+
+int
+main()
+{
+    std::cout << "=== Limited-use targeting system ===\n\n";
+
+    // Mission profile: 100 expected commands, strict degradation (we
+    // do not want a single unintentional command executed past the
+    // bound).
+    DesignRequest request;
+    request.device = {10.0, 12.0};
+    request.legitimateAccessBound = 100;
+    request.kFraction = 0.1;
+    const Design design = DesignSolver(request).solve();
+    std::cout << "Station key hardware: " << formatCount(design.totalDevices)
+              << " NEMS switches (" << design.copies << " copies x "
+              << design.width << ")\n\n";
+
+    const wearout::DeviceFactory factory({10.0, 12.0},
+                                         wearout::ProcessVariation::none());
+    const std::vector<uint8_t> missionKey(32, 0x91);
+    Rng rng(314159);
+    CommandAuthority c2(missionKey);
+    LaunchStation station(design, factory, missionKey, rng);
+
+    // --- The mission ---
+    std::cout << "--- mission: 100 targeting commands ---\n";
+    int executed = 0;
+    for (int i = 1; i <= 100; ++i) {
+        const auto cmd = c2.issueCommand(
+            "ENGAGE grid " + std::to_string(1000 + i));
+        if (station.executeCommand(cmd))
+            ++executed;
+    }
+    std::cout << executed << "/100 commands executed.\n\n";
+
+    // --- Abuse case 1: forged command from a network intruder ---
+    std::cout << "--- abuse: forged command ---\n";
+    TargetingCommand forged;
+    forged.nonce = 9999;
+    forged.ciphertext = {0x41, 0x42, 0x43};
+    forged.mac.fill(0xee);
+    std::cout << "forged command "
+              << (station.executeCommand(forged) ? "EXECUTED?!"
+                                                 : "rejected (bad MAC)")
+              << " — but the decryption attempt burned hardware life.\n\n";
+
+    // --- Abuse case 2: replay of a real command ---
+    std::cout << "--- abuse: replayed command ---\n";
+    const auto legit = c2.issueCommand("ENGAGE grid 1100");
+    (void)station.executeCommand(legit);
+    std::cout << "replay "
+              << (station.executeCommand(legit)
+                      ? "EXECUTED?!"
+                      : "rejected (stale nonce)")
+              << "\n\n";
+
+    // --- Abuse case 3: post-mission overreach ---
+    std::cout << "--- abuse: post-mission overreach ---\n";
+    uint64_t overreach = 0;
+    while (!station.decommissioned()) {
+        std::string order = "OVERREACH ";
+        order += std::to_string(overreach);
+        (void)station.executeCommand(c2.issueCommand(order));
+        ++overreach;
+    }
+    std::cout << "station hardware retired itself after " << overreach
+              << " post-mission attempts (total attempts "
+              << station.attemptCount() << ").\n";
+    std::cout << "political alliances may change; this station's "
+                 "commands cannot (Section 5).\n";
+    return 0;
+}

@@ -1,0 +1,95 @@
+#include "arch/cost_model.h"
+
+#include <cmath>
+
+#include "util/require.h"
+
+namespace lemons::arch {
+
+double
+CostModel::connectionAreaMm2(uint64_t totalSwitches) const
+{
+    const double perSwitch =
+        tech.contactAreaNm2 + tech.switchSpacingNm * tech.switchSpacingNm;
+    return static_cast<double>(totalSwitches) * perSwitch * nm2ToMm2;
+}
+
+double
+CostModel::encodedConnectionAreaMm2(uint64_t totalSwitches,
+                                    uint64_t structureWidth,
+                                    uint64_t threshold, uint64_t copies,
+                                    uint64_t keyBits) const
+{
+    requireArg(threshold >= 1,
+               "encodedConnectionAreaMm2: threshold must be >= 1");
+    // Component-key storage, "proportional to the size of the parallel
+    // structure" (Section 4.3.2): Reed-Solomon chunking stores
+    // keyBits / k bits in each of the n components, i.e.
+    // keyBits * n / k bits per copy.
+    const double bitsPerCopy = static_cast<double>(keyBits) *
+                               static_cast<double>(structureWidth) /
+                               static_cast<double>(threshold);
+    const double storageArea = bitsPerCopy *
+                               static_cast<double>(copies) *
+                               tech.registerCellAreaNm2;
+    return connectionAreaMm2(totalSwitches) + storageArea * nm2ToMm2;
+}
+
+double
+CostModel::accessEnergyJ(uint64_t n) const
+{
+    return static_cast<double>(n) * tech.switchEnergyJ;
+}
+
+double
+CostModel::accessLatencyNs() const
+{
+    // All switches in a parallel structure actuate simultaneously.
+    return tech.switchDelayNs;
+}
+
+double
+CostModel::decisionTreeAreaMm2(unsigned h) const
+{
+    requireArg(h >= 1 && h < 64, "decisionTreeAreaMm2: bad height");
+    const double leaves = std::ldexp(1.0, static_cast<int>(h) - 1); // 2^(h-1)
+    const double switchesArea = leaves * tech.contactAreaNm2;
+    const double stringBits = tech.bitsPerTreeLevel * static_cast<double>(h);
+    const double registersArea = leaves * stringBits *
+                                 tech.registerCellAreaNm2;
+    return (switchesArea + registersArea) * nm2ToMm2;
+}
+
+uint64_t
+CostModel::treesPerMm2(unsigned h) const
+{
+    return static_cast<uint64_t>(1.0 / decisionTreeAreaMm2(h));
+}
+
+uint64_t
+CostModel::padsPerMm2(unsigned h, uint64_t copies) const
+{
+    requireArg(copies >= 1, "padsPerMm2: need at least one copy");
+    return treesPerMm2(h) / copies;
+}
+
+double
+CostModel::padRetrievalLatencyMs(unsigned h, uint64_t copies) const
+{
+    // Worst case traverses every copy's path serially, then reads the
+    // random string out of one shift register.
+    const double pathNs = tech.switchDelayNs * static_cast<double>(h) *
+                          static_cast<double>(copies);
+    const double readNs = tech.registerDelayPerBitNs *
+                          tech.bitsPerTreeLevel * static_cast<double>(h);
+    return (pathNs + readNs) * 1e-6;
+}
+
+double
+CostModel::padRetrievalEnergyJ(unsigned h, uint64_t copies) const
+{
+    return tech.switchEnergyJ * static_cast<double>(h) *
+           static_cast<double>(copies);
+}
+
+} // namespace lemons::arch

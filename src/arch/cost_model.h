@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Area, energy, and latency cost models (paper Sections 4.3 and 6.5).
+ *
+ * Constants follow the paper's assumptions:
+ *  - NEMS contact area 100 nm^2, 1 nm spacing, H-tree layout whose
+ *    area is on the order of the number of leaves (Brent & Kung),
+ *  - 1e-20 J per switch operation, ~10 ns per switch actuation,
+ *  - shift registers: 50 nm^2 per cell, ~20 ns propagation per bit,
+ *  - decision-tree random strings: 1000 * H bits for a height-H tree.
+ */
+
+#ifndef LEMONS_ARCH_COST_MODEL_H_
+#define LEMONS_ARCH_COST_MODEL_H_
+
+#include <cstdint>
+
+namespace lemons::arch {
+
+/** Physical constants of the simulated technology. */
+struct TechnologyParams
+{
+    double contactAreaNm2 = 100.0;  ///< per NEMS switch
+    double switchSpacingNm = 1.0;   ///< wire spacing between switches
+    double switchEnergyJ = 1e-20;   ///< per actuation
+    double switchDelayNs = 10.0;    ///< per actuation
+    double registerCellAreaNm2 = 50.0; ///< per stored bit
+    double registerDelayPerBitNs = 20.0; ///< serial read-out
+    double bitsPerTreeLevel = 1000.0; ///< random-string bits per level
+};
+
+/** Square millimetres in one square nanometre. */
+inline constexpr double nm2ToMm2 = 1e-12;
+
+/** Cost model parameterized by the technology constants. */
+class CostModel
+{
+  public:
+    /** Use the paper's default constants. */
+    CostModel() = default;
+
+    /** Override the technology constants. */
+    explicit CostModel(const TechnologyParams &params) : tech(params) {}
+
+    /** The active technology constants. */
+    const TechnologyParams &technology() const { return tech; }
+
+    /**
+     * Area (mm^2) of a limited-use connection with @p totalSwitches
+     * NEMS switches in an H-tree: contact area plus spacing per switch.
+     */
+    double connectionAreaMm2(uint64_t totalSwitches) const;
+
+    /**
+     * Area (mm^2) of an *encoded* connection: switches plus component-
+     * key storage proportional to the parallel-structure width
+     * (Section 4.3.2). Components are Reed-Solomon chunks, so each of
+     * the n components in a copy is keyBits / k bits and every copy
+     * stores keyBits * n / k bits in total.
+     *
+     * @param totalSwitches All NEMS switches in the architecture.
+     * @param structureWidth n of each copy.
+     * @param threshold k of each copy (>= 1).
+     * @param copies Number of serially consumed copies.
+     * @param keyBits Size of the protected key in bits.
+     */
+    double encodedConnectionAreaMm2(uint64_t totalSwitches,
+                                    uint64_t structureWidth,
+                                    uint64_t threshold, uint64_t copies,
+                                    uint64_t keyBits = 256) const;
+
+    /** Energy (J) of one access through a width-@p n structure. */
+    double accessEnergyJ(uint64_t n) const;
+
+    /** Latency (ns) of one access (parallel actuation). */
+    double accessLatencyNs() const;
+
+    /**
+     * Area (mm^2) of one height-@p h decision tree including its leaf
+     * shift registers: 2^(h-1) leaves, each with a (1000 h)-bit string
+     * (Section 6.5.1).
+     */
+    double decisionTreeAreaMm2(unsigned h) const;
+
+    /** Decision trees of height @p h fitting in one square millimetre. */
+    uint64_t treesPerMm2(unsigned h) const;
+
+    /**
+     * One-time pads per mm^2 when each pad needs @p copies tree copies.
+     */
+    uint64_t padsPerMm2(unsigned h, uint64_t copies) const;
+
+    /**
+     * Worst-case latency (ms) of one pad retrieval: serial traversal of
+     * @p copies height-@p h paths plus one shift-register read-out
+     * (Section 6.5.2).
+     */
+    double padRetrievalLatencyMs(unsigned h, uint64_t copies) const;
+
+    /** Worst-case path energy (J) of one pad retrieval. */
+    double padRetrievalEnergyJ(unsigned h, uint64_t copies) const;
+
+  private:
+    TechnologyParams tech;
+};
+
+} // namespace lemons::arch
+
+#endif // LEMONS_ARCH_COST_MODEL_H_

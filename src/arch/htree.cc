@@ -1,0 +1,96 @@
+#include "arch/htree.h"
+
+#include <cmath>
+
+#include "util/require.h"
+
+namespace lemons::arch {
+
+uint64_t
+HTreeLayout::levelOffset(unsigned level)
+{
+    return (uint64_t{1} << level) - 1;
+}
+
+HTreeLayout::HTreeLayout(unsigned levels, double pitch)
+    : levelCount(levels), leafPitch(pitch)
+{
+    requireArg(levels >= 1 && levels <= 24,
+               "HTreeLayout: levels must lie in [1, 24]");
+    requireArg(pitch > 0.0, "HTreeLayout: pitch must be positive");
+
+    // The leaf grid: alternate splits give nx = 2^ceil(s/2) columns and
+    // ny = 2^floor(s/2) rows for s = levels - 1 bisections.
+    const unsigned splits = levels - 1;
+    const unsigned splitsX = (splits + 1) / 2;
+    const unsigned splitsY = splits / 2;
+    boxWidth = static_cast<double>(uint64_t{1} << splitsX) * pitch;
+    boxHeight = static_cast<double>(uint64_t{1} << splitsY) * pitch;
+
+    placed.resize(nodeCount());
+    // Each node owns a region obtained by bisecting the die along
+    // alternating axes down its root path; the node sits at the
+    // region's centre, which is also the midpoint of its children.
+    for (unsigned level = 0; level < levelCount; ++level) {
+        const uint64_t countAtLevel = uint64_t{1} << level;
+        for (uint64_t index = 0; index < countAtLevel; ++index) {
+            double x0 = 0.0, x1 = boxWidth;
+            double y0 = 0.0, y1 = boxHeight;
+            for (unsigned bit = 0; bit < level; ++bit) {
+                // Root-to-node path: the bit-th split (x first).
+                const bool upper =
+                    (index >> (level - 1 - bit)) & uint64_t{1};
+                if (bit % 2 == 0) {
+                    const double mid = 0.5 * (x0 + x1);
+                    (upper ? x0 : x1) = mid;
+                } else {
+                    const double mid = 0.5 * (y0 + y1);
+                    (upper ? y0 : y1) = mid;
+                }
+            }
+            HTreeNode &node = placed[levelOffset(level) + index];
+            node.x = 0.5 * (x0 + x1);
+            node.y = 0.5 * (y0 + y1);
+            node.level = level;
+            node.index = index;
+        }
+    }
+}
+
+const HTreeNode &
+HTreeLayout::node(unsigned level, uint64_t index) const
+{
+    requireArg(level < levelCount, "HTreeLayout::node: bad level");
+    requireArg(index < (uint64_t{1} << level),
+               "HTreeLayout::node: bad index");
+    return placed[levelOffset(level) + index];
+}
+
+double
+HTreeLayout::totalWireLengthNm() const
+{
+    double total = 0.0;
+    for (unsigned level = 0; level + 1 < levelCount; ++level) {
+        const uint64_t countAtLevel = uint64_t{1} << level;
+        for (uint64_t index = 0; index < countAtLevel; ++index) {
+            const HTreeNode &parent = placed[levelOffset(level) + index];
+            for (uint64_t child = 2 * index; child <= 2 * index + 1;
+                 ++child) {
+                const HTreeNode &c =
+                    placed[levelOffset(level + 1) + child];
+                total += std::abs(parent.x - c.x) +
+                         std::abs(parent.y - c.y);
+            }
+        }
+    }
+    return total;
+}
+
+double
+HTreeLayout::areaPerLeafPitchSq() const
+{
+    return areaNm2() /
+           (static_cast<double>(leafCount()) * leafPitch * leafPitch);
+}
+
+} // namespace lemons::arch

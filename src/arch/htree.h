@@ -1,0 +1,97 @@
+/**
+ * @file
+ * H-tree layout engine.
+ *
+ * The paper's area estimates "assume an H-tree layout of the NEMS
+ * switches and wires" and lean on Brent & Kung's result that a
+ * complete binary tree in H-layout occupies area on the order of its
+ * leaf count (Section 6.5.1, ref [12]). This module makes that
+ * concrete: it places the nodes of a complete binary tree in the
+ * classic recursive H pattern, reports the bounding box and total
+ * wire length, and verifies the O(leaves) area claim numerically —
+ * grounding the closed-form cost model in an actual layout.
+ *
+ * Geometry: leaves sit on a sqrt(L) x sqrt(L) grid with @p pitch
+ * spacing (L a power of four gives the exact classic H; other sizes
+ * embed into the next power of four). Internal nodes sit at the
+ * midpoint of their children, wired rectilinearly.
+ */
+
+#ifndef LEMONS_ARCH_HTREE_H_
+#define LEMONS_ARCH_HTREE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lemons::arch {
+
+/** A placed tree node. */
+struct HTreeNode
+{
+    double x = 0.0;        ///< centre x in nm
+    double y = 0.0;        ///< centre y in nm
+    unsigned level = 0;    ///< 0 = root
+    uint64_t index = 0;    ///< index within the level
+};
+
+/**
+ * Layout of a complete binary tree of a given height in the recursive
+ * H pattern.
+ */
+class HTreeLayout
+{
+  public:
+    /**
+     * @param levels Number of node levels (>= 1, <= 24): the tree has
+     *        2^(levels-1) leaves.
+     * @param pitch Centre-to-centre spacing of adjacent leaves in nm.
+     */
+    explicit HTreeLayout(unsigned levels, double pitch = 11.0);
+
+    /** Node levels. */
+    unsigned levels() const { return levelCount; }
+    /** Leaves = 2^(levels - 1). */
+    uint64_t leafCount() const { return uint64_t{1} << (levelCount - 1); }
+    /** Total nodes = 2^levels - 1. */
+    uint64_t nodeCount() const { return (uint64_t{1} << levelCount) - 1; }
+
+    /** Placed node (level, index). @pre valid coordinates. */
+    const HTreeNode &node(unsigned level, uint64_t index) const;
+
+    /** All placed nodes, root first, in level order. */
+    const std::vector<HTreeNode> &nodes() const { return placed; }
+
+    /** Bounding-box width in nm. */
+    double width() const { return boxWidth; }
+    /** Bounding-box height in nm. */
+    double height() const { return boxHeight; }
+    /** Bounding-box area in nm^2. */
+    double areaNm2() const { return boxWidth * boxHeight; }
+
+    /**
+     * Total rectilinear (Manhattan) wire length connecting every
+     * parent to its children, in nm.
+     */
+    double totalWireLengthNm() const;
+
+    /**
+     * Area per leaf in units of pitch^2 — Brent & Kung's claim is that
+     * this stays O(1) as the tree grows.
+     */
+    double areaPerLeafPitchSq() const;
+
+  private:
+    unsigned levelCount;
+    double leafPitch;
+    std::vector<HTreeNode> placed;
+    double boxWidth = 0.0;
+    double boxHeight = 0.0;
+
+    /** Offset of the first node of @p level within @p placed. */
+    static uint64_t levelOffset(unsigned level);
+};
+
+} // namespace lemons::arch
+
+#endif // LEMONS_ARCH_HTREE_H_

@@ -1,0 +1,77 @@
+#include "arch/share_store.h"
+
+namespace lemons::arch {
+
+ShareStore::ShareStore(std::vector<uint8_t> payload, bool destructive)
+    : contents(std::move(payload)), destructiveRead(destructive)
+{
+}
+
+std::optional<std::vector<uint8_t>>
+ShareStore::read()
+{
+    if (isErased)
+        return std::nullopt;
+    if (destructiveRead) {
+        std::vector<uint8_t> out = std::move(contents);
+        contents.clear();
+        isErased = true;
+        return out;
+    }
+    return contents;
+}
+
+std::optional<std::vector<uint8_t>>
+ShareStore::lowVoltageRead() const
+{
+    if (isErased)
+        return std::nullopt;
+    return contents;
+}
+
+WriteOnceStore::WriteOnceStore(bool destructive)
+    : destructiveRead(destructive)
+{
+}
+
+bool
+WriteOnceStore::program(std::vector<uint8_t> payload)
+{
+    if (programmed)
+        return false; // fuse blown: physically unwritable
+    contents = std::move(payload);
+    programmed = true;
+    return true;
+}
+
+std::optional<std::vector<uint8_t>>
+WriteOnceStore::read()
+{
+    if (!programmed || isErased)
+        return std::nullopt;
+    if (destructiveRead) {
+        std::vector<uint8_t> out = std::move(contents);
+        contents.clear();
+        isErased = true;
+        return out;
+    }
+    return contents;
+}
+
+GuardedShare::GuardedShare(std::vector<uint8_t> payload,
+                           const wearout::DeviceFactory &factory,
+                           bool destructive, Rng &rng)
+    : guard(factory.sampleLifetime(rng)),
+      store(std::move(payload), destructive)
+{
+}
+
+std::optional<std::vector<uint8_t>>
+GuardedShare::access()
+{
+    if (!guard.actuate())
+        return std::nullopt;
+    return store.read();
+}
+
+} // namespace lemons::arch

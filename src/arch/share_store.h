@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Share storage behind a wearout switch.
+ *
+ * A GuardedShare is the unit cell of every architecture in the paper:
+ * a payload (one Shamir/RS component of a key) that can only be read
+ * by actuating a NEMS switch. Once the switch wears out, the payload
+ * is unreachable forever. ShareStore additionally models the
+ * *read-destructive* registers of the one-time-pad chip (Section 6.2)
+ * including the "evil-maid low-voltage read" bypass the paper warns
+ * plain read-destructive memories are vulnerable to — which is exactly
+ * why the NEMS guard in front of the store matters.
+ */
+
+#ifndef LEMONS_ARCH_SHARE_STORE_H_
+#define LEMONS_ARCH_SHARE_STORE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/rng.h"
+#include "wearout/device.h"
+#include "wearout/population.h"
+
+namespace lemons::arch {
+
+/**
+ * A small memory holding one key component.
+ */
+class ShareStore
+{
+  public:
+    /**
+     * @param payload Stored bytes.
+     * @param destructive When true the contents are erased by read()
+     *        (one-time-pad shift registers); when false the store is
+     *        re-readable (limited-use connection component storage).
+     */
+    ShareStore(std::vector<uint8_t> payload, bool destructive);
+
+    /**
+     * Normal read through the intended interface. Destructive stores
+     * erase themselves after returning the payload once.
+     *
+     * @return Payload, or nullopt if already erased.
+     */
+    std::optional<std::vector<uint8_t>> read();
+
+    /**
+     * The attack the paper mentions: "the read-destruction could be
+     * compromised if reading with a lower voltage". Returns the raw
+     * contents without triggering erasure — but note this models
+     * access to the *store* only; in the full architecture the
+     * attacker still has to get past the NEMS network to reach it.
+     */
+    std::optional<std::vector<uint8_t>> lowVoltageRead() const;
+
+    /** Whether the contents have been erased. */
+    bool erased() const { return isErased; }
+
+  private:
+    std::vector<uint8_t> contents;
+    bool destructiveRead;
+    bool isErased = false;
+};
+
+/**
+ * A write-once (anti-fuse style) memory cell for end-user one-time
+ * programming — the capability the paper defers to future work
+ * (Section 3: "we leave as future work techniques to allow secure,
+ * one-time programming of our devices by end users"). The cell is
+ * fabricated blank; the first program() burns the contents in and
+ * blows the write fuse, after which neither reprogramming nor erasing
+ * is possible.
+ */
+class WriteOnceStore
+{
+  public:
+    /**
+     * @param destructive Whether reads erase the contents (one-time-
+     *        pad registers) or leave them intact (connection storage).
+     */
+    explicit WriteOnceStore(bool destructive);
+
+    /**
+     * Burn @p payload into the cell. Succeeds exactly once.
+     *
+     * @return true on the first call; false forever after (fuse blown).
+     */
+    bool program(std::vector<uint8_t> payload);
+
+    /**
+     * Read the cell. Blank cells return nullopt; destructive cells
+     * erase on the first successful read.
+     */
+    std::optional<std::vector<uint8_t>> read();
+
+    /** Whether the write fuse has been blown (cell was programmed). */
+    bool fuseBlown() const { return programmed; }
+
+    /** Whether a destructive read has erased the contents. */
+    bool erased() const { return isErased; }
+
+  private:
+    std::vector<uint8_t> contents;
+    bool destructiveRead;
+    bool programmed = false;
+    bool isErased = false;
+};
+
+/**
+ * One key component behind one NEMS switch. Reading requires a
+ * successful switch actuation; the switch wears out with use.
+ */
+class GuardedShare
+{
+  public:
+    /**
+     * @param payload Component bytes.
+     * @param factory Fabrication model for the guarding switch.
+     * @param destructive Whether the backing store is read-destructive.
+     * @param rng Randomness for the switch lifetime.
+     */
+    GuardedShare(std::vector<uint8_t> payload,
+                 const wearout::DeviceFactory &factory, bool destructive,
+                 Rng &rng);
+
+    /**
+     * Actuate the switch and, if it still closes, read the store.
+     *
+     * @return Payload on success; nullopt when the switch has worn out
+     *         or the destructive store was already consumed.
+     */
+    std::optional<std::vector<uint8_t>> access();
+
+    /** Whether the guarding switch has failed. */
+    bool switchFailed() const { return guard.failed(); }
+
+    /** Actuations the switch has absorbed. */
+    uint64_t cyclesUsed() const { return guard.cyclesUsed(); }
+
+  private:
+    wearout::NemsSwitch guard;
+    ShareStore store;
+};
+
+} // namespace lemons::arch
+
+#endif // LEMONS_ARCH_SHARE_STORE_H_

@@ -1,0 +1,52 @@
+#include "arch/shift_register.h"
+
+namespace lemons::arch {
+
+ShiftRegister::ShiftRegister(const std::vector<uint8_t> &data)
+    : cells(data), totalBits(8 * data.size())
+{
+}
+
+std::optional<bool>
+ShiftRegister::clockOut()
+{
+    if (position >= totalBits)
+        return std::nullopt;
+    const size_t byte = position / 8;
+    const size_t bit = 7 - position % 8; // MSB first
+    const bool value = (cells[byte] >> bit) & 1;
+    // Destructive: the bit leaves the register as it shifts out.
+    cells[byte] = static_cast<uint8_t>(cells[byte] &
+                                       ~(uint8_t{1} << bit));
+    ++position;
+    return value;
+}
+
+std::vector<uint8_t>
+ShiftRegister::drain()
+{
+    std::vector<uint8_t> out;
+    out.reserve((remainingBits() + 7) / 8);
+    uint8_t current = 0;
+    unsigned filled = 0;
+    while (auto bit = clockOut()) {
+        current = static_cast<uint8_t>((current << 1) |
+                                       (*bit ? 1 : 0));
+        if (++filled == 8) {
+            out.push_back(current);
+            current = 0;
+            filled = 0;
+        }
+    }
+    if (filled > 0)
+        out.push_back(static_cast<uint8_t>(current << (8 - filled)));
+    return out;
+}
+
+double
+ShiftRegister::readoutLatencyNs(double nsPerBit) const
+{
+    return nsPerBit * static_cast<double>(remainingBits());
+}
+
+} // namespace lemons::arch

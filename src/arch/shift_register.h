@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Parallel-in / serial-out shift register — the leaf storage element
+ * of the decision-tree schematic (paper Fig 7, which cites the
+ * MM74HC165's ~20 ns per-bit propagation for the read-out latency in
+ * Section 6.5.2).
+ *
+ * The random string is latched in parallel at fabrication and clocked
+ * out serially through the single output pin; each clock destroys the
+ * bit it emits (the register is the paper's "read destructive shift
+ * register"). This is the bit-level model beneath ShareStore's
+ * byte-level abstraction; the cost model's read latency
+ * (20 ns x 1000 H bits) corresponds to clocking a full register out.
+ */
+
+#ifndef LEMONS_ARCH_SHIFT_REGISTER_H_
+#define LEMONS_ARCH_SHIFT_REGISTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace lemons::arch {
+
+/**
+ * A read-destructive PISO shift register.
+ */
+class ShiftRegister
+{
+  public:
+    /**
+     * Latch @p data in parallel (MSB of byte 0 shifts out first).
+     */
+    explicit ShiftRegister(const std::vector<uint8_t> &data);
+
+    /** Bits latched at construction. */
+    size_t capacityBits() const { return totalBits; }
+
+    /** Bits not yet clocked out. */
+    size_t remainingBits() const { return totalBits - position; }
+
+    /**
+     * Clock one bit out of the serial pin; the bit is destroyed in
+     * the register as it leaves.
+     *
+     * @return The bit, or nullopt once the register is drained.
+     */
+    std::optional<bool> clockOut();
+
+    /**
+     * Clock the whole remaining contents out as packed bytes (the
+     * final partial byte, if any, is zero-padded in its low bits).
+     * Equivalent to repeated clockOut(); the register is drained
+     * afterwards.
+     */
+    std::vector<uint8_t> drain();
+
+    /** Whether every bit has been clocked out. */
+    bool drained() const { return position >= totalBits; }
+
+    /**
+     * Serial read-out latency in nanoseconds for the *remaining*
+     * contents at @p nsPerBit (default: the MM74HC165-class 20 ns the
+     * paper assumes).
+     */
+    double readoutLatencyNs(double nsPerBit = 20.0) const;
+
+  private:
+    std::vector<uint8_t> cells;
+    size_t totalBits;
+    size_t position = 0;
+};
+
+} // namespace lemons::arch
+
+#endif // LEMONS_ARCH_SHIFT_REGISTER_H_

@@ -1,0 +1,102 @@
+#include "arch/structures.h"
+
+#include <cmath>
+
+#include "util/math.h"
+#include "util/require.h"
+
+namespace lemons::arch {
+
+SeriesChain::SeriesChain(const wearout::Weibull &dev, size_t n)
+    : device(dev), length(n)
+{
+    requireArg(n >= 1, "SeriesChain: need at least one device");
+}
+
+double
+SeriesChain::reliabilityAt(double x) const
+{
+    return std::exp(static_cast<double>(length) * device.logReliability(x));
+}
+
+wearout::Weibull
+SeriesChain::equivalentDevice() const
+{
+    const double scale =
+        device.alpha() /
+        std::pow(static_cast<double>(length), 1.0 / device.beta());
+    return wearout::Weibull(scale, device.beta());
+}
+
+double
+SeriesChain::lengthForScaleFactor(double y, double beta)
+{
+    requireArg(y > 0.0, "SeriesChain::lengthForScaleFactor: y must be > 0");
+    requireArg(beta > 0.0,
+               "SeriesChain::lengthForScaleFactor: beta must be > 0");
+    return std::pow(y, beta);
+}
+
+ParallelStructure::ParallelStructure(const wearout::Weibull &dev, size_t n,
+                                     size_t k)
+    : device(dev), width(n), threshold(k)
+{
+    requireArg(n >= 1, "ParallelStructure: need at least one device");
+    requireArg(k >= 1 && k <= n,
+               "ParallelStructure: k must satisfy 1 <= k <= n");
+}
+
+double
+ParallelStructure::reliabilityAt(double x) const
+{
+    return std::exp(logReliabilityAt(x));
+}
+
+double
+ParallelStructure::logReliabilityAt(double x) const
+{
+    const double logR = device.logReliability(x);
+    if (threshold == 1) {
+        // 1 - (1 - r)^n, via the complement in log space (Eq. 6).
+        const double logAllDead =
+            static_cast<double>(width) * log1mExp(logR);
+        return log1mExp(std::min(0.0, logAllDead));
+    }
+    return logBinomialTailAtLeast(width, threshold, std::exp(logR));
+}
+
+double
+ParallelStructure::logFailureAt(double x) const
+{
+    const double logR = device.logReliability(x);
+    if (threshold == 1)
+        return static_cast<double>(width) * log1mExp(logR);
+    // P(fewer than k alive) = P(at least n-k+1 dead).
+    const double deadProb = -std::expm1(logR);
+    return logBinomialTailAtLeast(width, width - threshold + 1, deadProb);
+}
+
+uint64_t
+ParallelStructure::degradationWindow(double hi, double lo) const
+{
+    requireArg(hi > lo, "degradationWindow: hi must exceed lo");
+    uint64_t t1 = 0;
+    uint64_t t = 1;
+    // Scan until reliability crosses below lo; cap at a generous bound
+    // so degenerate parameters cannot loop forever.
+    const uint64_t cap =
+        static_cast<uint64_t>(100.0 * device.alpha() *
+                              std::pow(static_cast<double>(width),
+                                       1.0 / device.beta())) +
+        1000;
+    double r = reliabilityAt(static_cast<double>(t));
+    while (r > lo && t < cap) {
+        if (r >= hi)
+            t1 = t;
+        ++t;
+        r = reliabilityAt(static_cast<double>(t));
+    }
+    return t - t1;
+}
+
+} // namespace lemons::arch

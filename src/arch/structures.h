@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Analytic reliability of the paper's architectural building blocks
+ * (Figure 2, Equations 3, 5, 6, 8).
+ *
+ * Each model answers "what is the probability the structure still
+ * works at the x-th access?" given the underlying device Weibull. The
+ * simulation counterparts in structures_sim.h sample the same
+ * structures from device populations so tests can cross-validate.
+ */
+
+#ifndef LEMONS_ARCH_STRUCTURES_H_
+#define LEMONS_ARCH_STRUCTURES_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "wearout/weibull.h"
+
+namespace lemons::arch {
+
+/**
+ * Series chain of n identical devices (Fig 2b): the chain works only
+ * while every device works, so R(x) = exp(-n (x/alpha)^beta) (Eq. 5).
+ * Equivalent to a single device with alpha' = alpha / n^(1/beta) —
+ * which is why the paper discards chaining: shrinking alpha by a
+ * factor y costs n = y^beta devices.
+ */
+class SeriesChain
+{
+  public:
+    /** @param device Per-device wearout. @param n Chain length >= 1. */
+    SeriesChain(const wearout::Weibull &device, size_t n);
+
+    /** Chain length. */
+    size_t n() const { return length; }
+
+    /** Probability the chain survives access @p x. */
+    double reliabilityAt(double x) const;
+
+    /** The equivalent single-device Weibull (alpha / n^(1/beta)). */
+    wearout::Weibull equivalentDevice() const;
+
+    /**
+     * Chain length needed to scale the effective alpha down by factor
+     * @p y > 0 at shape @p beta: n = y^beta (the paper's explosion
+     * argument in Section 4.1.2).
+     */
+    static double lengthForScaleFactor(double y, double beta);
+
+  private:
+    wearout::Weibull device;
+    size_t length;
+};
+
+/**
+ * Parallel structure of n devices requiring at least k alive
+ * (Fig 2c/2d). k = 1 is the plain parallel structure (Eq. 6); k > 1
+ * models redundant encoding where any k surviving shares reconstruct
+ * the secret (Eq. 8).
+ */
+class ParallelStructure
+{
+  public:
+    /**
+     * @param device Per-device wearout model.
+     * @param n Structure width (>= 1).
+     * @param k Required alive devices (1 <= k <= n).
+     */
+    ParallelStructure(const wearout::Weibull &device, size_t n, size_t k = 1);
+
+    /** Structure width. */
+    size_t n() const { return width; }
+    /** Reconstruction threshold. */
+    size_t k() const { return threshold; }
+
+    /** Probability at least k devices survive access @p x. */
+    double reliabilityAt(double x) const;
+
+    /** log of reliabilityAt, stable deep in the degradation tail. */
+    double logReliabilityAt(double x) const;
+
+    /**
+     * log P(structure already dead at access x) — the complement,
+     * needed when reliability is near one (e.g. verifying 99.99999 %
+     * minimum-usage targets, Section 4.3.3).
+     */
+    double logFailureAt(double x) const;
+
+    /**
+     * Width of the degradation window [t1, t2]: t1 = last access with
+     * reliability >= hi, t2 = first access with reliability <= lo,
+     * scanned over integer accesses from 1. Used by Fig 3 analyses.
+     */
+    uint64_t degradationWindow(double hi = 0.99, double lo = 0.01) const;
+
+  private:
+    wearout::Weibull device;
+    size_t width;
+    size_t threshold;
+};
+
+} // namespace lemons::arch
+
+#endif // LEMONS_ARCH_STRUCTURES_H_

@@ -1,0 +1,91 @@
+#include "arch/structures_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/require.h"
+
+namespace lemons::arch {
+
+namespace {
+
+uint64_t
+floorToAccesses(double lifetime)
+{
+    // A device with lifetime L serves floor(L) whole accesses (the
+    // t-th access succeeds iff t <= L).
+    if (lifetime <= 0.0)
+        return 0;
+    const double f = std::floor(lifetime);
+    if (f >= static_cast<double>(std::numeric_limits<int64_t>::max()))
+        return std::numeric_limits<uint64_t>::max() / 2;
+    return static_cast<uint64_t>(f);
+}
+
+} // namespace
+
+uint64_t
+sampleParallelSurvivedAccesses(const LifetimeSampler &sampler, size_t n,
+                               size_t k, Rng &rng)
+{
+    requireArg(n >= 1, "sampleParallelSurvivedAccesses: n must be >= 1");
+    requireArg(k >= 1 && k <= n,
+               "sampleParallelSurvivedAccesses: need 1 <= k <= n");
+    std::vector<double> lifetimes(n);
+    for (auto &lifetime : lifetimes)
+        lifetime = sampler(rng);
+    // The structure survives access t while the k-th largest lifetime
+    // is >= t, so the survived count is floor of that order statistic.
+    std::nth_element(lifetimes.begin(),
+                     lifetimes.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                     lifetimes.end(), std::greater<double>());
+    return floorToAccesses(lifetimes[k - 1]);
+}
+
+uint64_t
+sampleParallelSurvivedAccesses(const wearout::DeviceFactory &factory,
+                               size_t n, size_t k, Rng &rng)
+{
+    return sampleParallelSurvivedAccesses(
+        [&factory](Rng &r) { return factory.sampleLifetime(r); }, n, k,
+        rng);
+}
+
+uint64_t
+sampleSerialCopiesTotalAccesses(const LifetimeSampler &sampler, size_t n,
+                                size_t k, uint64_t copies, Rng &rng)
+{
+    requireArg(copies >= 1,
+               "sampleSerialCopiesTotalAccesses: need at least one copy");
+    uint64_t total = 0;
+    for (uint64_t c = 0; c < copies; ++c)
+        total += sampleParallelSurvivedAccesses(sampler, n, k, rng);
+    return total;
+}
+
+uint64_t
+sampleSeriesSurvivedAccesses(const wearout::DeviceFactory &factory, size_t n,
+                             Rng &rng)
+{
+    requireArg(n >= 1, "sampleSeriesSurvivedAccesses: n must be >= 1");
+    double minLifetime = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < n; ++i)
+        minLifetime = std::min(minLifetime, factory.sampleLifetime(rng));
+    return floorToAccesses(minLifetime);
+}
+
+uint64_t
+sampleSerialCopiesTotalAccesses(const wearout::DeviceFactory &factory,
+                                size_t n, size_t k, uint64_t copies, Rng &rng)
+{
+    requireArg(copies >= 1,
+               "sampleSerialCopiesTotalAccesses: need at least one copy");
+    uint64_t total = 0;
+    for (uint64_t c = 0; c < copies; ++c)
+        total += sampleParallelSurvivedAccesses(factory, n, k, rng);
+    return total;
+}
+
+} // namespace lemons::arch

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Monte Carlo counterparts of the analytic structure models: sample
+ * device lifetimes from a factory and report how many accesses a
+ * structure actually survives.
+ */
+
+#ifndef LEMONS_ARCH_STRUCTURES_SIM_H_
+#define LEMONS_ARCH_STRUCTURES_SIM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "util/rng.h"
+#include "wearout/population.h"
+
+namespace lemons::arch {
+
+/**
+ * Arbitrary lifetime source: draws one device time-to-failure. Lets
+ * the model-sensitivity studies run the same structure simulations on
+ * non-Weibull populations (e.g. bathtub mixtures).
+ */
+using LifetimeSampler = std::function<double(Rng &)>;
+
+/**
+ * Generic version of sampleParallelSurvivedAccesses for any lifetime
+ * distribution.
+ */
+uint64_t sampleParallelSurvivedAccesses(const LifetimeSampler &sampler,
+                                        size_t n, size_t k, Rng &rng);
+
+/** Generic version of sampleSerialCopiesTotalAccesses. */
+uint64_t sampleSerialCopiesTotalAccesses(const LifetimeSampler &sampler,
+                                         size_t n, size_t k,
+                                         uint64_t copies, Rng &rng);
+
+/**
+ * Sample the number of whole accesses a k-out-of-n parallel structure
+ * survives: each access actuates every device; the structure works
+ * while at least k devices still close. Equals floor of the k-th
+ * largest sampled lifetime.
+ *
+ * @param factory Device fabrication model.
+ * @param n Structure width. @param k Alive threshold (1 <= k <= n).
+ * @param rng Randomness source.
+ */
+uint64_t sampleParallelSurvivedAccesses(const wearout::DeviceFactory &factory,
+                                        size_t n, size_t k, Rng &rng);
+
+/**
+ * Sample the number of whole accesses an n-device series chain
+ * survives: floor of the minimum sampled lifetime.
+ */
+uint64_t sampleSeriesSurvivedAccesses(const wearout::DeviceFactory &factory,
+                                      size_t n, Rng &rng);
+
+/**
+ * Sample the total accesses served by @p copies serially-consumed
+ * parallel structures (the N-copy architecture of Section 4.1): when
+ * the current copy's structure dies, the next copy takes over; the
+ * total is the sum of per-copy survived accesses. This is the
+ * quantity behind the paper's "empirical access bounds" (Fig 4c).
+ */
+uint64_t sampleSerialCopiesTotalAccesses(const wearout::DeviceFactory &factory,
+                                         size_t n, size_t k, uint64_t copies,
+                                         Rng &rng);
+
+} // namespace lemons::arch
+
+#endif // LEMONS_ARCH_STRUCTURES_SIM_H_

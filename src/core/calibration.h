@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Device-calibration workflow (paper Sections 2.2 and 7).
+ *
+ * "The two parameters can be estimated by fitting the lifetime data of
+ * a large population of similar devices" (§2.2) and "we need
+ * experimental data to validate the range of parameters" (§7). This
+ * module closes that loop: given observed lifetimes from a fabricated
+ * lot (qualification testing, returned units), it
+ *
+ *  1. fits a Weibull to the field data (maximum likelihood),
+ *  2. evaluates whether the *nominal* design — solved under the
+ *     assumed parameters — still meets its degradation criteria on
+ *     the fitted population, and
+ *  3. re-solves the design against the fitted parameters.
+ *
+ * The report quantifies the fabrication-cost / architecture-cost
+ * trade-off: ship the lot with a recalibrated (possibly larger)
+ * architecture, or reject the lot and pay for tighter fabrication.
+ */
+
+#ifndef LEMONS_CORE_CALIBRATION_H_
+#define LEMONS_CORE_CALIBRATION_H_
+
+#include <vector>
+
+#include "core/design_solver.h"
+#include "wearout/device.h"
+
+namespace lemons::core {
+
+/** Output of calibrateAndRedesign. */
+struct CalibrationReport
+{
+    /** Parameters fitted to the observed lifetimes. */
+    wearout::DeviceSpec fitted{0.0, 0.0};
+
+    /** The design solved under the originally assumed parameters. */
+    Design nominalDesign;
+
+    /**
+     * The nominal design's reliability at its access bound, evaluated
+     * under the *fitted* device model (what the lot will actually do).
+     */
+    double nominalReliabilityAtBound = 0.0;
+
+    /** Residual reliability past the bound under the fitted model. */
+    double nominalResidualPastBound = 0.0;
+
+    /** Whether the nominal design still meets the request's criteria
+     *  on the fitted population. */
+    bool nominalStillMeetsCriteria = false;
+
+    /** The design re-solved against the fitted parameters. */
+    Design recalibratedDesign;
+
+    /**
+     * Device-count ratio recalibrated / nominal — the architectural
+     * price of the lot's drift (1.0 = no change; infeasible
+     * recalibration leaves this at 0).
+     */
+    double redesignCostRatio = 0.0;
+};
+
+/**
+ * Fit @p observedLifetimes, audit the nominal design, and re-solve.
+ *
+ * @param observedLifetimes Field lifetime data in cycles (>= 2
+ *        positive observations; hundreds+ for meaningful fits).
+ * @param assumed The original design request (its device field holds
+ *        the assumed parameters).
+ */
+CalibrationReport
+calibrateAndRedesign(const std::vector<double> &observedLifetimes,
+                     const DesignRequest &assumed);
+
+} // namespace lemons::core
+
+#endif // LEMONS_CORE_CALIBRATION_H_

@@ -1,0 +1,110 @@
+#include "core/connection.h"
+
+#include "crypto/hmac.h"
+#include "util/require.h"
+
+namespace lemons::core {
+
+namespace {
+
+/** Generate a random chip secret baked into the gate at fabrication. */
+std::vector<uint8_t>
+makeChipSecret(Rng &rng)
+{
+    std::vector<uint8_t> secret(32);
+    for (auto &byte : secret)
+        byte = static_cast<uint8_t>(rng.nextBelow(256));
+    return secret;
+}
+
+} // namespace
+
+LimitedUseConnection::LimitedUseConnection(
+    const Design &design, const wearout::DeviceFactory &factory,
+    const std::string &passcode, std::vector<uint8_t> storageKey, Rng &rng)
+    : LimitedUseConnection(design, factory, passcode, std::move(storageKey),
+                           makeChipSecret(rng), rng)
+{
+}
+
+LimitedUseConnection::LimitedUseConnection(
+    const Design &design, const wearout::DeviceFactory &factory,
+    const std::string &passcode, std::vector<uint8_t> storageKey,
+    const std::vector<uint8_t> &chipSecret, Rng &rng)
+    : gate(design, factory, chipSecret, rng)
+{
+    requireArg(!storageKey.empty(),
+               "LimitedUseConnection: storage key must be non-empty");
+    // Provisioning happens at fabrication time, when the chip secret
+    // is still known outside the gate (Section 3: secrets are one-time
+    // programmed at fabrication), so wrapping consumes no gate access.
+    // The fabrication-time copy of the secret dies with this frame.
+    wrap(passcode, chipSecret, storageKey);
+    verifierTag = makeVerifier(storageKey);
+}
+
+std::vector<uint8_t>
+LimitedUseConnection::deriveWrapKey(const std::string &passcode,
+                                    const std::vector<uint8_t> &chipSecret,
+                                    size_t length)
+{
+    const std::vector<uint8_t> ikm(passcode.begin(), passcode.end());
+    return crypto::deriveKey(ikm, chipSecret, "lemons.connection.wrap",
+                             length);
+}
+
+std::vector<uint8_t>
+LimitedUseConnection::makeVerifier(const std::vector<uint8_t> &storageKey)
+{
+    const std::string label = "lemons.connection.verify";
+    const crypto::Digest tag = crypto::hmacSha256(
+        storageKey, std::vector<uint8_t>(label.begin(), label.end()));
+    return {tag.begin(), tag.end()};
+}
+
+void
+LimitedUseConnection::wrap(const std::string &passcode,
+                           const std::vector<uint8_t> &chipSecret,
+                           const std::vector<uint8_t> &storageKey)
+{
+    const std::vector<uint8_t> wrapKey =
+        deriveWrapKey(passcode, chipSecret, storageKey.size());
+    wrappedKey.resize(storageKey.size());
+    for (size_t i = 0; i < storageKey.size(); ++i)
+        wrappedKey[i] = storageKey[i] ^ wrapKey[i];
+}
+
+std::optional<std::vector<uint8_t>>
+LimitedUseConnection::unlock(const std::string &passcode)
+{
+    ++attempts;
+    const auto chipSecret = gate.access();
+    if (!chipSecret)
+        return std::nullopt; // hardware worn out: bricked forever
+
+    const std::vector<uint8_t> wrapKey =
+        deriveWrapKey(passcode, *chipSecret, wrappedKey.size());
+    std::vector<uint8_t> candidate(wrappedKey.size());
+    for (size_t i = 0; i < wrappedKey.size(); ++i)
+        candidate[i] = wrappedKey[i] ^ wrapKey[i];
+
+    if (makeVerifier(candidate) != verifierTag)
+        return std::nullopt; // wrong passcode (attempt still consumed)
+    return candidate;
+}
+
+bool
+LimitedUseConnection::changePasscode(const std::string &oldPasscode,
+                                     const std::string &newPasscode)
+{
+    const auto storageKey = unlock(oldPasscode);
+    if (!storageKey)
+        return false;
+    const auto chipSecret = gate.access();
+    if (!chipSecret)
+        return false;
+    wrap(newPasscode, *chipSecret, *storageKey);
+    return true;
+}
+
+} // namespace lemons::core

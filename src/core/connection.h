@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The limited-use connection use case (paper Section 4): smartphone
+ * storage-key protection with hardware-bounded passcode attempts.
+ *
+ * Provisioning:
+ *  - the chip holds a random chip secret reachable only through a
+ *    LimitedUseGate,
+ *  - the storage key is wrapped (XOR) with a key derived from
+ *    (passcode, chip secret) via HKDF,
+ *  - a verifier tag (HMAC of a fixed label under the storage key)
+ *    allows unlock to detect wrong passcodes.
+ *
+ * Every unlock attempt — right or wrong — must traverse the gate to
+ * obtain the chip secret, so the total number of passcode attempts is
+ * physically bounded: unlike iOS's software counters (which NAND
+ * mirroring and power-cut attacks bypassed, Section 4), there is no
+ * counter to reset.
+ */
+
+#ifndef LEMONS_CORE_CONNECTION_H_
+#define LEMONS_CORE_CONNECTION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/gate.h"
+
+namespace lemons::core {
+
+/**
+ * A provisioned limited-use connection protecting one storage key.
+ */
+class LimitedUseConnection
+{
+  public:
+    /**
+     * Provision a connection.
+     *
+     * @param design Feasible design from DesignSolver.
+     * @param factory Device fabrication model.
+     * @param passcode The user's passcode.
+     * @param storageKey Storage encryption key to protect (non-empty).
+     * @param rng Randomness for fabrication / chip secret.
+     */
+    LimitedUseConnection(const Design &design,
+                         const wearout::DeviceFactory &factory,
+                         const std::string &passcode,
+                         std::vector<uint8_t> storageKey, Rng &rng);
+
+    /**
+     * Attempt to unlock. Consumes one gate traversal regardless of
+     * whether the passcode is right.
+     *
+     * @return The storage key when @p passcode is correct and the
+     *         hardware still works; nullopt otherwise.
+     */
+    std::optional<std::vector<uint8_t>> unlock(const std::string &passcode);
+
+    /**
+     * Change the passcode: requires a successful unlock with the old
+     * passcode (consuming one traversal plus one re-wrap traversal).
+     *
+     * @return true on success.
+     */
+    bool changePasscode(const std::string &oldPasscode,
+                        const std::string &newPasscode);
+
+    /** Total unlock attempts so far. */
+    uint64_t attemptCount() const { return attempts; }
+
+    /** Whether the hardware has worn out (device bricked). */
+    bool bricked() const { return gate.exhausted(); }
+
+    /** Access to the underlying gate (for instrumentation / tests). */
+    const LimitedUseGate &hardware() const { return gate; }
+
+  private:
+    LimitedUseGate gate;
+    std::vector<uint8_t> wrappedKey;
+    std::vector<uint8_t> verifierTag;
+    uint64_t attempts = 0;
+
+    /** Fabrication-time constructor with the chip secret in hand. */
+    LimitedUseConnection(const Design &design,
+                         const wearout::DeviceFactory &factory,
+                         const std::string &passcode,
+                         std::vector<uint8_t> storageKey,
+                         const std::vector<uint8_t> &chipSecret, Rng &rng);
+
+    /** Derive the wrapping key from passcode and chip secret. */
+    static std::vector<uint8_t>
+    deriveWrapKey(const std::string &passcode,
+                  const std::vector<uint8_t> &chipSecret, size_t length);
+
+    /** Verifier tag binding the storage key. */
+    static std::vector<uint8_t>
+    makeVerifier(const std::vector<uint8_t> &storageKey);
+
+    void wrap(const std::string &passcode,
+              const std::vector<uint8_t> &chipSecret,
+              const std::vector<uint8_t> &storageKey);
+};
+
+} // namespace lemons::core
+
+#endif // LEMONS_CORE_CONNECTION_H_

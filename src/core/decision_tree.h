@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Hardware one-time pads in NEMS decision trees (paper Section 6).
+ *
+ * A pad key is hidden at one leaf of a decision tree whose branches
+ * are NEMS switches with near-one-cycle lifetimes. The receiver holds
+ * the short path string and traverses once; the tree then degrades,
+ * so adversaries can neither replay the traversal nor clone the chip
+ * contents. Reliability for the receiver comes from n tree copies
+ * carrying Shamir shares of the key (Section 6.3): the receiver needs
+ * k surviving right-path traversals, while adversaries must *guess*
+ * the path in at least k copies (Eq. 9-15).
+ *
+ * Naming follows the paper: a height-H tree has H switches on every
+ * root-to-leaf path and 2^(H-1) leaves/paths (Eq. 11).
+ */
+
+#ifndef LEMONS_CORE_DECISION_TREE_H_
+#define LEMONS_CORE_DECISION_TREE_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "arch/share_store.h"
+#include "util/rng.h"
+#include "wearout/population.h"
+
+namespace lemons::core {
+
+/** Parameters of a one-time-pad architecture. */
+struct OtpParams
+{
+    unsigned height = 4;    ///< H: switches per path; 2^(H-1) paths.
+    uint64_t copies = 128;  ///< n: tree copies per pad.
+    uint64_t threshold = 8; ///< k: shares needed to recover the key.
+    wearout::DeviceSpec device{10.0, 1.0}; ///< switch technology.
+};
+
+/**
+ * Closed-form success probabilities (paper Eq. 9-15), computed in log
+ * space so that "effectively zero" adversary probabilities at H >= 8
+ * are still meaningfully comparable.
+ */
+class OtpAnalytics
+{
+  public:
+    /** @param params Architecture parameters (validated). */
+    explicit OtpAnalytics(const OtpParams &params);
+
+    /** The parameters. */
+    const OtpParams &params() const { return spec; }
+
+    /** Eq. 9/12: P(one path of H switches survives its first access). */
+    double pathSuccess() const;
+
+    /** Eq. 10: receiver recovers >= k shares over n copies. */
+    double receiverSuccess() const;
+
+    /** Number of distinct paths: 2^(H-1) (Eq. 11 denominator). */
+    double pathCount() const;
+
+    /**
+     * Eq. 13-15: adversary without the path string gets >= k *right*
+     * shares by random path trials over n copies.
+     */
+    double adversarySuccess() const;
+
+    /** log of adversarySuccess, useful when it underflows. */
+    double logAdversarySuccess() const;
+
+  private:
+    OtpParams spec;
+    double logPathSuccessValue; ///< H * log R(1)
+};
+
+/**
+ * One simulated decision tree: 2^H - 1 NEMS switches (one per node
+ * across H levels) and 2^(H-1) read-destructive leaf registers.
+ */
+class DecisionTree
+{
+  public:
+    /**
+     * @param height H >= 1 (at most 20 in this runtime model).
+     * @param leafPayloads One payload per leaf (size 2^(H-1)); the
+     *        right leaf holds a key share, the rest hold decoys.
+     * @param factory Switch fabrication model.
+     * @param rng Fabrication randomness.
+     */
+    DecisionTree(unsigned height,
+                 std::vector<std::vector<uint8_t>> leafPayloads,
+                 const wearout::DeviceFactory &factory, Rng &rng);
+
+    /**
+     * Traverse the path selected by @p pathBits (H-1 bits, bit 0 = the
+     * first branch; Fig 6: '0' = left, '1' = right). Actuates the H
+     * switches along the path; on full success destructively reads the
+     * leaf register.
+     *
+     * @return Leaf payload, or nullopt when any switch on the path has
+     *         worn out or the leaf was already consumed.
+     */
+    std::optional<std::vector<uint8_t>> traverse(uint64_t pathBits);
+
+    /** Tree height H. */
+    unsigned height() const { return h; }
+
+    /** Number of leaves = 2^(H-1). */
+    uint64_t leafCount() const { return uint64_t{1} << (h - 1); }
+
+    /** Traversal attempts so far (any path). */
+    uint64_t traversalCount() const { return traversals; }
+
+  private:
+    unsigned h;
+    /** Switches in level order: node (level, idx) at offset 2^level-1+idx. */
+    std::vector<wearout::NemsSwitch> switches;
+    std::vector<arch::ShareStore> leaves;
+    uint64_t traversals = 0;
+};
+
+/**
+ * One hardware one-time pad: n DecisionTree copies whose right-path
+ * leaves carry Shamir shares of the pad key.
+ */
+class OneTimePad
+{
+  public:
+    /**
+     * @param params Architecture parameters; threshold <= copies <= 255.
+     * @param padKey The pad key to protect (non-empty).
+     * @param rightPath The secret path string shared with the receiver.
+     * @param factory Switch fabrication model.
+     * @param rng Fabrication randomness (also generates leaf decoys).
+     */
+    OneTimePad(const OtpParams &params, const std::vector<uint8_t> &padKey,
+               uint64_t rightPath, const wearout::DeviceFactory &factory,
+               Rng &rng);
+
+    /**
+     * Receiver retrieval: traverse every copy along @p pathBits and
+     * combine >= k shares. One-shot by construction — the traversals
+     * consume the trees.
+     *
+     * @return The pad key, or nullopt (wrong path, or hardware decayed
+     *         below threshold).
+     */
+    std::optional<std::vector<uint8_t>> retrieve(uint64_t pathBits);
+
+    /**
+     * Adversary without the path string: traverses one uniformly
+     * random path per copy (Eq. 13-14's model) and succeeds when at
+     * least k right-leaf shares come back.
+     *
+     * @return The pad key if the attack succeeded, else nullopt.
+     */
+    std::optional<std::vector<uint8_t>> randomPathAttack(Rng &attackerRng);
+
+    /** Number of tree copies. */
+    uint64_t copies() const { return trees.size(); }
+
+  private:
+    OtpParams spec;
+    uint64_t secretPath;
+    size_t keySize;
+    /**
+     * Public hash commitment to the pad key, so retrieval can reject
+     * decoy reconstructions without storing the key itself.
+     */
+    std::array<uint8_t, 32> keyCommitment;
+    std::vector<DecisionTree> trees;
+
+    /** Collect shares by traversing every copy along @p pathBits. */
+    std::vector<std::vector<uint8_t>> collect(uint64_t pathBits);
+
+    std::optional<std::vector<uint8_t>>
+    combineShares(const std::vector<std::vector<uint8_t>> &payloads) const;
+};
+
+} // namespace lemons::core
+
+#endif // LEMONS_CORE_DECISION_TREE_H_

@@ -1,0 +1,70 @@
+#include "core/explorer.h"
+
+namespace lemons::core {
+
+std::vector<ConnectionSweepPoint>
+sweepDeviceCount(const std::vector<double> &alphas, double beta,
+                 double kFraction, uint64_t lab,
+                 const DegradationCriteria &criteria,
+                 std::optional<uint64_t> upperBound)
+{
+    std::vector<ConnectionSweepPoint> points;
+    points.reserve(alphas.size());
+    for (double alpha : alphas) {
+        DesignRequest request;
+        request.device = {alpha, beta};
+        request.legitimateAccessBound = lab;
+        request.kFraction = kFraction;
+        request.criteria = criteria;
+        request.upperBoundTarget = upperBound;
+        const DesignSolver solver(request);
+        points.push_back({alpha, beta, kFraction, solver.solve()});
+    }
+    return points;
+}
+
+std::vector<OtpGridPoint>
+sweepOtpThresholdHeight(const std::vector<uint64_t> &thresholds,
+                        const std::vector<unsigned> &heights,
+                        uint64_t copies, const wearout::DeviceSpec &device)
+{
+    std::vector<OtpGridPoint> grid;
+    grid.reserve(thresholds.size() * heights.size());
+    for (unsigned h : heights) {
+        for (uint64_t k : thresholds) {
+            OtpParams params;
+            params.height = h;
+            params.copies = copies;
+            params.threshold = k;
+            params.device = device;
+            const OtpAnalytics analytics(params);
+            grid.push_back({params, analytics.receiverSuccess(),
+                            analytics.adversarySuccess()});
+        }
+    }
+    return grid;
+}
+
+std::vector<OtpGridPoint>
+sweepOtpAlphaHeight(const std::vector<double> &alphas,
+                    const std::vector<unsigned> &heights, uint64_t copies,
+                    uint64_t threshold, double beta)
+{
+    std::vector<OtpGridPoint> grid;
+    grid.reserve(alphas.size() * heights.size());
+    for (unsigned h : heights) {
+        for (double alpha : alphas) {
+            OtpParams params;
+            params.height = h;
+            params.copies = copies;
+            params.threshold = threshold;
+            params.device = {alpha, beta};
+            const OtpAnalytics analytics(params);
+            grid.push_back({params, analytics.receiverSuccess(),
+                            analytics.adversarySuccess()});
+        }
+    }
+    return grid;
+}
+
+} // namespace lemons::core

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Engineering-space exploration drivers (paper Sections 4.3, 5, 6.4).
+ *
+ * Thin, deterministic sweep functions shared by the benchmark harness
+ * (which prints the paper's figures) and the test suite (which asserts
+ * on the trends the paper reports: exponential vs linear scaling,
+ * encoding savings, criteria relaxation savings, ...).
+ */
+
+#ifndef LEMONS_CORE_EXPLORER_H_
+#define LEMONS_CORE_EXPLORER_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/decision_tree.h"
+#include "core/design_solver.h"
+
+namespace lemons::core {
+
+/** One point of a device-count sweep (Figs 4a/4b/4c/4d/5a/5b). */
+struct ConnectionSweepPoint
+{
+    double alpha = 0.0;
+    double beta = 0.0;
+    double kFraction = 0.0;
+    Design design;
+};
+
+/**
+ * Solve the limited-use architecture across a range of alphas for one
+ * (beta, kFraction) configuration.
+ *
+ * @param alphas Device scale parameters to sweep.
+ * @param beta Device shape parameter.
+ * @param kFraction Redundant-encoding fraction (0 = none).
+ * @param lab Legitimate access bound.
+ * @param criteria Degradation criteria.
+ * @param upperBound Optional system-level upper-bound target (Fig 4d).
+ */
+std::vector<ConnectionSweepPoint>
+sweepDeviceCount(const std::vector<double> &alphas, double beta,
+                 double kFraction, uint64_t lab,
+                 const DegradationCriteria &criteria = {},
+                 std::optional<uint64_t> upperBound = {});
+
+/** One point of the OTP success grids (Figs 8 and 9). */
+struct OtpGridPoint
+{
+    OtpParams params;
+    double receiverSuccess = 0.0;
+    double adversarySuccess = 0.0;
+};
+
+/**
+ * Fig 8 grid: receiver / adversary success over (threshold k, height H)
+ * at fixed device and copy count.
+ */
+std::vector<OtpGridPoint>
+sweepOtpThresholdHeight(const std::vector<uint64_t> &thresholds,
+                        const std::vector<unsigned> &heights,
+                        uint64_t copies, const wearout::DeviceSpec &device);
+
+/**
+ * Fig 9 grid: receiver / adversary success over (alpha, height H) at
+ * fixed threshold, copy count, and beta.
+ */
+std::vector<OtpGridPoint>
+sweepOtpAlphaHeight(const std::vector<double> &alphas,
+                    const std::vector<unsigned> &heights, uint64_t copies,
+                    uint64_t threshold, double beta);
+
+} // namespace lemons::core
+
+#endif // LEMONS_CORE_EXPLORER_H_

@@ -1,0 +1,105 @@
+#include "core/forward_secrecy.h"
+
+#include "crypto/hmac.h"
+#include "crypto/otp.h"
+#include "util/require.h"
+
+namespace lemons::core {
+
+wearout::DeviceSpec
+SealedArchive::defaultDeviceSpec()
+{
+    // Near-single-cycle devices with tight wearout (Section 2.1 lists
+    // NEMS switches working for "one cycle to several thousand").
+    return {1.3, 12.0};
+}
+
+Design
+SealedArchive::defaultSingleUseDesign()
+{
+    DesignRequest request;
+    request.device = defaultDeviceSpec();
+    request.legitimateAccessBound = 1;
+    request.kFraction = 0.2;
+    return DesignSolver(request).solve();
+}
+
+SealedArchive::SealedArchive(const wearout::DeviceFactory &factory,
+                             uint64_t seed,
+                             std::optional<Design> gateDesign)
+    : deviceFactory(factory),
+      design(gateDesign ? *gateDesign : defaultSingleUseDesign()),
+      rng(seed)
+{
+    requireArg(design.feasible,
+               "SealedArchive: single-use gate design is infeasible");
+}
+
+std::vector<uint8_t>
+SealedArchive::applyKeystream(const std::vector<uint8_t> &data,
+                              const std::vector<uint8_t> &key)
+{
+    const auto keystream = crypto::deriveKey(
+        key, {}, "lemons.archive.keystream", data.size());
+    std::vector<uint8_t> out(data.size());
+    for (size_t i = 0; i < data.size(); ++i)
+        out[i] = data[i] ^ keystream[i];
+    return out;
+}
+
+size_t
+SealedArchive::append(const std::string &plaintext)
+{
+    const std::vector<uint8_t> key = crypto::generatePad(rng, 32);
+    const std::vector<uint8_t> bytes(plaintext.begin(), plaintext.end());
+    entries.push_back(Entry{applyKeystream(bytes, key),
+                            LimitedUseGate(design, deviceFactory, key,
+                                           rng),
+                            /*opened=*/false});
+    // The plaintext key dies with this frame; only the gate holds it.
+    return entries.size() - 1;
+}
+
+std::optional<std::string>
+SealedArchive::hardwareRead(size_t index)
+{
+    const auto key = entries[index].keyGate.access();
+    if (!key)
+        return std::nullopt; // sealed forever
+    const auto bytes = applyKeystream(entries[index].ciphertext, *key);
+    return std::string(bytes.begin(), bytes.end());
+}
+
+std::optional<std::string>
+SealedArchive::read(size_t index)
+{
+    requireArg(index < entries.size(), "SealedArchive::read: bad index");
+    if (entries[index].opened)
+        return std::nullopt; // software discipline; hardware backs it
+    entries[index].opened = true;
+    return hardwareRead(index);
+}
+
+bool
+SealedArchive::sealed(size_t index) const
+{
+    requireArg(index < entries.size(), "SealedArchive::sealed: bad index");
+    return entries[index].opened || entries[index].keyGate.exhausted();
+}
+
+std::vector<std::string>
+SealedArchive::seizeAndDump()
+{
+    // The adversary ignores the software `opened` flags and drives the
+    // hardware directly; only the wearout gates stand in the way.
+    std::vector<std::string> recovered;
+    for (size_t i = 0; i < entries.size(); ++i) {
+        entries[i].opened = true;
+        const auto plaintext = hardwareRead(i);
+        if (plaintext)
+            recovered.push_back(*plaintext);
+    }
+    return recovered;
+}
+
+} // namespace lemons::core

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Forward-secret sealed archive on single-use key gates — the paper's
+ * introductory motivation (Section 1) as a library component.
+ *
+ * Each message is encrypted under its own random key; the key lives
+ * behind a single-use wearout gate (LAB = 1). Reading a message
+ * consumes its gate forever, so seizing the archive later reveals
+ * nothing about already-read messages — forward secrecy enforced by
+ * physics rather than by software key-deletion discipline (which
+ * "cannot defend against reusing or stealthy replications of the
+ * keys", Section 1).
+ */
+
+#ifndef LEMONS_CORE_FORWARD_SECRECY_H_
+#define LEMONS_CORE_FORWARD_SECRECY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/design_solver.h"
+#include "core/gate.h"
+#include "util/rng.h"
+#include "wearout/population.h"
+
+namespace lemons::core {
+
+/**
+ * An append-only archive whose per-message keys are single-use.
+ */
+class SealedArchive
+{
+  public:
+    /**
+     * @param factory Switch fabrication model for the key gates.
+     * @param seed Master seed for fabrication/keys.
+     * @param gateDesign Optional design for the per-message gates;
+     *        defaults to a strict single-use design on ~1.3-cycle
+     *        devices. Must have legitimateAccessBound semantics of 1
+     *        use per message read.
+     */
+    explicit SealedArchive(const wearout::DeviceFactory &factory,
+                           uint64_t seed,
+                           std::optional<Design> gateDesign = {});
+
+    /** The default single-use gate design (LAB = 1). */
+    static Design defaultSingleUseDesign();
+
+    /** The device spec the default design assumes. */
+    static wearout::DeviceSpec defaultDeviceSpec();
+
+    /**
+     * Encrypt and append @p plaintext; a fresh random key is burned
+     * into a new single-use gate.
+     *
+     * @return The message's archive index.
+     */
+    size_t append(const std::string &plaintext);
+
+    /** Number of archived messages. */
+    size_t size() const { return entries.size(); }
+
+    /**
+     * Read message @p index: pulls the key through its gate (consuming
+     * it), decrypts, and returns the plaintext. Subsequent reads of
+     * the same message fail forever.
+     */
+    std::optional<std::string> read(size_t index);
+
+    /**
+     * Whether message @p index has been opened (its single-use key
+     * consumed) or its gate has worn out — either way the ciphertext
+     * is sealed forever.
+     */
+    bool sealed(size_t index) const;
+
+    /**
+     * Adversarial seizure: try to read every message (consuming all
+     * remaining gates). Returns the plaintexts actually recovered —
+     * exactly the never-read messages.
+     */
+    std::vector<std::string> seizeAndDump();
+
+  private:
+    struct Entry
+    {
+        std::vector<uint8_t> ciphertext;
+        LimitedUseGate keyGate;
+        bool opened = false;
+    };
+
+    wearout::DeviceFactory deviceFactory;
+    Design design;
+    Rng rng;
+    std::vector<Entry> entries;
+
+    static std::vector<uint8_t>
+    applyKeystream(const std::vector<uint8_t> &data,
+                   const std::vector<uint8_t> &key);
+
+    /** Gate access + decrypt, bypassing the software opened flag. */
+    std::optional<std::string> hardwareRead(size_t index);
+};
+
+} // namespace lemons::core
+
+#endif // LEMONS_CORE_FORWARD_SECRECY_H_

@@ -1,0 +1,71 @@
+#include "core/gate.h"
+
+#include "shamir/shamir16.h"
+#include "util/require.h"
+
+namespace lemons::core {
+
+LimitedUseGate::LimitedUseGate(const Design &design,
+                               const wearout::DeviceFactory &factory,
+                               std::vector<uint8_t> secret, Rng &rng)
+    : gateDesign(design), secretSize(secret.size())
+{
+    requireArg(design.feasible, "LimitedUseGate: design is infeasible");
+    requireArg(design.width >= 1 && design.width <= 65535,
+               "LimitedUseGate: runtime gates support widths up to "
+               "65,535 (GF(2^16) share indices); use the analytic "
+               "models for wider designs");
+    requireArg(!secret.empty(), "LimitedUseGate: secret must be non-empty");
+
+    const shamir::WideScheme scheme(design.threshold, design.width);
+    copyShares.reserve(design.copies);
+    for (uint64_t c = 0; c < design.copies; ++c) {
+        const std::vector<shamir::WideShare> shares =
+            scheme.split(secret, rng);
+        std::vector<arch::GuardedShare> guarded;
+        guarded.reserve(design.width);
+        for (const shamir::WideShare &share : shares) {
+            // Serialized form carries the share's x coordinate, so
+            // reconstruction works even after neighbours vanish.
+            guarded.emplace_back(share.toBytes(), factory,
+                                 /*destructive=*/false, rng);
+        }
+        copyShares.push_back(std::move(guarded));
+    }
+}
+
+std::optional<std::vector<uint8_t>>
+LimitedUseGate::accessCopy(size_t copyIndex)
+{
+    std::vector<shamir::WideShare> collected;
+    for (arch::GuardedShare &guarded : copyShares[copyIndex]) {
+        const auto payload = guarded.access();
+        if (!payload)
+            continue;
+        auto share = shamir::WideShare::fromBytes(*payload);
+        if (share)
+            collected.push_back(std::move(*share));
+    }
+    if (collected.size() < gateDesign.threshold)
+        return std::nullopt;
+    const shamir::WideScheme scheme(gateDesign.threshold, gateDesign.width);
+    return scheme.combine(collected, secretSize);
+}
+
+std::optional<std::vector<uint8_t>>
+LimitedUseGate::access()
+{
+    ++accesses;
+    while (currentCopy < copyShares.size()) {
+        auto secret = accessCopy(currentCopy);
+        if (secret)
+            return secret;
+        // The copy has degraded below threshold; wearout is permanent,
+        // so retire it and fall through to the next copy within the
+        // same access.
+        ++currentCopy;
+    }
+    return std::nullopt;
+}
+
+} // namespace lemons::core

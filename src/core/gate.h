@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Runtime limited-use gate: the hardware object every use case wraps.
+ *
+ * A gate holds a secret that can only be obtained by traversing
+ * wearout hardware: N copies, each a k-out-of-n parallel structure of
+ * NEMS-guarded share stores, consumed serially (Section 4.1). Every
+ * access — legitimate or adversarial — actuates the current copy's
+ * switches; once all copies have degraded below their threshold the
+ * secret is gone forever.
+ *
+ * The secret is Shamir-split per copy, so fewer than k surviving
+ * shares reveal nothing (Section 4.1.4).
+ */
+
+#ifndef LEMONS_CORE_GATE_H_
+#define LEMONS_CORE_GATE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "arch/share_store.h"
+#include "core/design_solver.h"
+#include "util/rng.h"
+#include "wearout/population.h"
+
+namespace lemons::core {
+
+/**
+ * Hardware-enforced limited-use access to a secret.
+ *
+ * Construction fabricates all copies up front (as a real chip would at
+ * manufacture time); memory is O(copies * width * secret size).
+ */
+class LimitedUseGate
+{
+  public:
+    /**
+     * @param design Feasible design from DesignSolver; width up to
+     *        65,535 (shares are split over GF(2^16), covering even the
+     *        widest beta = 4 encoded designs of Fig 4b).
+     * @param factory Device fabrication model.
+     * @param secret Secret bytes to protect (non-empty).
+     * @param rng Randomness for fabrication and share splitting.
+     */
+    LimitedUseGate(const Design &design,
+                   const wearout::DeviceFactory &factory,
+                   std::vector<uint8_t> secret, Rng &rng);
+
+    /**
+     * One traversal of the gate: actuates every switch in the current
+     * copy, reconstructs the secret from >= k surviving shares, and
+     * falls through to the next copy when the current one has worn
+     * out.
+     *
+     * @return The secret, or nullopt once every copy is exhausted.
+     */
+    std::optional<std::vector<uint8_t>> access();
+
+    /** Total access() calls so far. */
+    uint64_t accessCount() const { return accesses; }
+
+    /** Copies already worn out. */
+    uint64_t copiesExhausted() const { return currentCopy; }
+
+    /** Whether the secret is still retrievable at all. */
+    bool exhausted() const { return currentCopy >= copyShares.size(); }
+
+    /** The design this gate was fabricated from. */
+    const Design &design() const { return gateDesign; }
+
+  private:
+    Design gateDesign;
+    /** copyShares[c][i]: guarded share i of copy c. */
+    std::vector<std::vector<arch::GuardedShare>> copyShares;
+    size_t currentCopy = 0;
+    uint64_t accesses = 0;
+
+    /** Try to reconstruct from the copy at @p copyIndex. */
+    std::optional<std::vector<uint8_t>> accessCopy(size_t copyIndex);
+
+    size_t secretSize;
+};
+
+} // namespace lemons::core
+
+#endif // LEMONS_CORE_GATE_H_

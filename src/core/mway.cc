@@ -1,0 +1,63 @@
+#include "core/mway.h"
+
+#include "util/require.h"
+
+namespace lemons::core {
+
+MWayReplication::MWayReplication(uint64_t mFactor, const Design &design,
+                                 const wearout::DeviceFactory &factory,
+                                 const std::string &initialPasscode,
+                                 std::vector<uint8_t> storageKey, Rng &rng)
+    : m(mFactor), moduleDesign(design), deviceFactory(factory),
+      fabricationRng(rng.split(0x4d574159)) // "MWAY"
+{
+    requireArg(mFactor >= 1, "MWayReplication: need at least one module");
+    // Module 0 is provisioned now; the storage key is then discarded —
+    // afterwards it only ever exists transiently during unlock and
+    // migration, as it would in a real system.
+    current = std::make_unique<LimitedUseConnection>(
+        moduleDesign, deviceFactory, initialPasscode, std::move(storageKey),
+        fabricationRng);
+}
+
+std::optional<std::vector<uint8_t>>
+MWayReplication::unlock(const std::string &passcode)
+{
+    if (dead)
+        return std::nullopt;
+    auto key = current->unlock(passcode);
+    if (current->bricked() && active + 1 >= m)
+        dead = true;
+    return key;
+}
+
+bool
+MWayReplication::migrate(const std::string &currentPasscode,
+                         const std::string &newPasscode)
+{
+    if (dead || active + 1 >= m)
+        return false;
+    const auto key = current->unlock(currentPasscode);
+    if (!key)
+        return false;
+    ++active;
+    ++migrations;
+    current = std::make_unique<LimitedUseConnection>(
+        moduleDesign, deviceFactory, newPasscode, *key,
+        fabricationRng);
+    return true;
+}
+
+bool
+MWayReplication::exhausted() const
+{
+    return dead || (current->bricked() && active + 1 >= m);
+}
+
+uint64_t
+MWayReplication::scaledDailyBound(uint64_t singleModuleDaily, uint64_t modules)
+{
+    return singleModuleDaily * modules;
+}
+
+} // namespace lemons::core

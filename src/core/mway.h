@@ -1,0 +1,101 @@
+/**
+ * @file
+ * M-way module replication (paper Section 4.1.5).
+ *
+ * A single limited-use connection supports ~50 accesses/day over the
+ * device lifetime. Heavier users get M replicated modules consumed
+ * serially: each module employs its own passcode, so an attacker can
+ * only push each module to its own upper bound, while the legitimate
+ * user enjoys the *sum* of the lower bounds. Migrating to the next
+ * module requires choosing a new passcode and re-wrapping the storage
+ * key (the paper's "re-encrypt storage every 6 months" example for
+ * M = 10).
+ */
+
+#ifndef LEMONS_CORE_MWAY_H_
+#define LEMONS_CORE_MWAY_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/connection.h"
+
+namespace lemons::core {
+
+/**
+ * M serially-consumed limited-use connection modules sharing one
+ * storage key.
+ */
+class MWayReplication
+{
+  public:
+    /**
+     * Fabricate @p m modules. Module 0 is provisioned with
+     * @p initialPasscode; later modules are provisioned lazily at
+     * migration time with the passcodes the user chooses then.
+     *
+     * @param m Replication factor (>= 1).
+     * @param design Per-module design.
+     * @param factory Device fabrication model.
+     * @param initialPasscode Passcode for module 0.
+     * @param storageKey The storage key every module protects.
+     * @param rng Fabrication randomness.
+     */
+    MWayReplication(uint64_t m, const Design &design,
+                    const wearout::DeviceFactory &factory,
+                    const std::string &initialPasscode,
+                    std::vector<uint8_t> storageKey, Rng &rng);
+
+    /**
+     * Unlock through the active module. Consumes one of its accesses.
+     */
+    std::optional<std::vector<uint8_t>> unlock(const std::string &passcode);
+
+    /**
+     * Migrate to the next module with a fresh passcode. Requires a
+     * successful unlock with the current passcode (the storage key
+     * must be in hand to re-wrap it). The retired module is abandoned
+     * even if it had residual life.
+     *
+     * @return true on success; false when the passcode is wrong, the
+     *         active module is dead, or no modules remain.
+     */
+    bool migrate(const std::string &currentPasscode,
+                 const std::string &newPasscode);
+
+    /** Index of the active module (0-based). */
+    uint64_t activeModule() const { return active; }
+
+    /** Number of modules (fabricated + remaining blanks). */
+    uint64_t moduleCount() const { return m; }
+
+    /** Re-encryption (migration) events so far. */
+    uint64_t migrationCount() const { return migrations; }
+
+    /** Whether every module has been consumed or abandoned. */
+    bool exhausted() const;
+
+    /**
+     * Aggregate daily usage supported: M times the single-module
+     * bound, the paper's headline scaling (e.g. 50 -> 500 per day at
+     * M = 10).
+     */
+    static uint64_t scaledDailyBound(uint64_t singleModuleDaily, uint64_t modules);
+
+  private:
+    uint64_t m;
+    Design moduleDesign;
+    wearout::DeviceFactory deviceFactory;
+    Rng fabricationRng;
+    std::unique_ptr<LimitedUseConnection> current;
+    uint64_t active = 0;
+    uint64_t migrations = 0;
+    bool dead = false;
+};
+
+} // namespace lemons::core
+
+#endif // LEMONS_CORE_MWAY_H_

@@ -1,0 +1,110 @@
+#include "core/otp_chip.h"
+
+#include "crypto/otp.h"
+#include "util/require.h"
+
+namespace lemons::core {
+
+std::string
+PadRecord::pathString(unsigned height) const
+{
+    std::string bits;
+    for (unsigned i = 0; i + 1 < height; ++i)
+        bits.push_back((path >> i) & 1 ? '1' : '0');
+    return bits.empty() ? "(root)" : bits;
+}
+
+const PadRecord &
+PadBook::record(size_t slot) const
+{
+    requireArg(slot < records.size(), "PadBook::record: slot out of range");
+    return records[slot];
+}
+
+OneTimePadChip::OneTimePadChip(const OtpParams &params, size_t padCount,
+                               size_t keyBytes,
+                               const wearout::DeviceFactory &factory,
+                               Rng &rng, PadBook &book)
+    : spec(params)
+{
+    requireArg(padCount >= 1, "OneTimePadChip: need at least one pad");
+    requireArg(keyBytes >= 1, "OneTimePadChip: key must be non-empty");
+
+    const uint64_t paths = uint64_t{1} << (spec.height - 1);
+    pads.reserve(padCount);
+    spentFlags.assign(padCount, false);
+    for (size_t slot = 0; slot < padCount; ++slot) {
+        PadRecord record;
+        record.key = crypto::generatePad(rng, keyBytes);
+        record.path = rng.nextBelow(paths);
+        pads.emplace_back(spec, record.key, record.path, factory, rng);
+        book.add(std::move(record));
+    }
+}
+
+bool
+OneTimePadChip::spent(size_t slot) const
+{
+    requireArg(slot < pads.size(), "OneTimePadChip::spent: bad slot");
+    return spentFlags[slot];
+}
+
+size_t
+OneTimePadChip::remaining() const
+{
+    size_t unspent = 0;
+    for (bool flag : spentFlags)
+        if (!flag)
+            ++unspent;
+    return unspent;
+}
+
+std::optional<std::vector<uint8_t>>
+OneTimePadChip::retrievePad(size_t slot, uint64_t pathBits)
+{
+    requireArg(slot < pads.size(), "OneTimePadChip::retrievePad: bad slot");
+    if (spentFlags[slot])
+        return std::nullopt;
+    spentFlags[slot] = true;
+    return pads[slot].retrieve(pathBits);
+}
+
+size_t
+OneTimePadChip::randomPathSweep(Rng &attackerRng)
+{
+    size_t recovered = 0;
+    for (size_t slot = 0; slot < pads.size(); ++slot) {
+        if (spentFlags[slot])
+            continue;
+        spentFlags[slot] = true;
+        if (pads[slot].randomPathAttack(attackerRng))
+            ++recovered;
+    }
+    return recovered;
+}
+
+double
+OneTimePadChip::areaMm2(const arch::CostModel &model) const
+{
+    return model.decisionTreeAreaMm2(spec.height) *
+           static_cast<double>(spec.copies) *
+           static_cast<double>(pads.size());
+}
+
+std::optional<OneTimePadChip>
+fabricateChipForArea(const OtpParams &params, double dieAreaMm2,
+                     size_t keyBytes, const wearout::DeviceFactory &factory,
+                     const arch::CostModel &model, Rng &rng, PadBook &book)
+{
+    requireArg(dieAreaMm2 > 0.0,
+               "fabricateChipForArea: area must be positive");
+    const uint64_t capacity = static_cast<uint64_t>(
+        dieAreaMm2 / model.decisionTreeAreaMm2(params.height) /
+        static_cast<double>(params.copies));
+    if (capacity == 0)
+        return std::nullopt;
+    return OneTimePadChip(params, static_cast<size_t>(capacity), keyBytes,
+                          factory, rng, book);
+}
+
+} // namespace lemons::core

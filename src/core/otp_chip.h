@@ -1,0 +1,136 @@
+/**
+ * @file
+ * A whole one-time-pad chip and the sender's matching pad book
+ * (paper Sections 6.1, 6.5).
+ *
+ * "The chip that contains many decision trees (many random keys) is
+ * our new set of one-time pads that should be delivered to the
+ * receiver beforehand for many instances of potential message
+ * transmission."
+ *
+ * Fabrication produces two artifacts:
+ *  - OneTimePadChip — the hardware the courier carries: pad slots of
+ *    n decision-tree copies each, sized to a die-area budget via the
+ *    cost model,
+ *  - PadBook — the sender's secret record: per-slot pad key and path
+ *    string (the "short strings" transmitted over a separate
+ *    channel).
+ *
+ * The chip-level API enforces the one-time-pad discipline: a slot is
+ * spent on first retrieval, successful or not.
+ */
+
+#ifndef LEMONS_CORE_OTP_CHIP_H_
+#define LEMONS_CORE_OTP_CHIP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arch/cost_model.h"
+#include "core/decision_tree.h"
+#include "util/rng.h"
+
+namespace lemons::core {
+
+/** The sender's per-slot secret record. */
+struct PadRecord
+{
+    std::vector<uint8_t> key; ///< pad key (sender's copy)
+    uint64_t path;            ///< short path string shared out-of-band
+
+    /** Path bits rendered as the Fig 6 string ('0' left, '1' right). */
+    std::string pathString(unsigned height) const;
+};
+
+/** The sender's book of pad records, indexed by chip slot. */
+class PadBook
+{
+  public:
+    /** Number of pads recorded. */
+    size_t size() const { return records.size(); }
+
+    /** Record for slot @p slot. @pre slot < size(). */
+    const PadRecord &record(size_t slot) const;
+
+    /** Append a record (used by fabrication). */
+    void add(PadRecord record) { records.push_back(std::move(record)); }
+
+  private:
+    std::vector<PadRecord> records;
+};
+
+/**
+ * The receiver-side chip: an array of one-time pads.
+ */
+class OneTimePadChip
+{
+  public:
+    /**
+     * Fabricate a chip with @p padCount pad slots.
+     *
+     * @param params Per-pad architecture (height, copies, threshold,
+     *        device).
+     * @param padCount Number of pad slots (>= 1).
+     * @param keyBytes Pad key length in bytes (>= 1).
+     * @param factory Switch fabrication model.
+     * @param rng Fabrication randomness (keys, paths, lifetimes).
+     * @param book Receives the sender-side records.
+     */
+    OneTimePadChip(const OtpParams &params, size_t padCount,
+                   size_t keyBytes, const wearout::DeviceFactory &factory,
+                   Rng &rng, PadBook &book);
+
+    /** Number of pad slots on the chip. */
+    size_t padCount() const { return pads.size(); }
+
+    /** Whether slot @p slot has been consumed. */
+    bool spent(size_t slot) const;
+
+    /** Pad slots not yet consumed. */
+    size_t remaining() const;
+
+    /**
+     * Retrieve the pad key of @p slot by traversing its decision
+     * trees along @p pathBits. Marks the slot spent regardless of
+     * outcome (the traversal consumed the hardware).
+     *
+     * @return The pad key, or nullopt (wrong path / degraded / spent).
+     */
+    std::optional<std::vector<uint8_t>> retrievePad(size_t slot,
+                                                    uint64_t pathBits);
+
+    /**
+     * Adversarial random-path sweep over every unspent slot (the evil
+     * maid with the whole chip for a night). Returns how many pad keys
+     * the attacker actually recovered; all touched slots are spent.
+     */
+    size_t randomPathSweep(Rng &attackerRng);
+
+    /** Die area of this chip under @p model (mm^2). */
+    double areaMm2(const arch::CostModel &model) const;
+
+    /** The per-pad architecture parameters. */
+    const OtpParams &params() const { return spec; }
+
+  private:
+    OtpParams spec;
+    std::vector<OneTimePad> pads;
+    std::vector<bool> spentFlags;
+};
+
+/**
+ * Fabricate the largest chip that fits @p dieAreaMm2 under @p model,
+ * writing sender records into @p book. Returns nullopt when not even
+ * one pad fits.
+ */
+std::optional<OneTimePadChip>
+fabricateChipForArea(const OtpParams &params, double dieAreaMm2,
+                     size_t keyBytes, const wearout::DeviceFactory &factory,
+                     const arch::CostModel &model, Rng &rng, PadBook &book);
+
+} // namespace lemons::core
+
+#endif // LEMONS_CORE_OTP_CHIP_H_

@@ -1,0 +1,102 @@
+#include "core/programmable_gate.h"
+
+#include "shamir/shamir16.h"
+#include "util/require.h"
+
+namespace lemons::core {
+
+ProgrammableGate::ProgrammableGate(const Design &design,
+                                   const wearout::DeviceFactory &factory,
+                                   Rng &rng)
+    : gateDesign(design)
+{
+    requireArg(design.feasible, "ProgrammableGate: design is infeasible");
+    requireArg(design.width >= 1 && design.width <= 65535,
+               "ProgrammableGate: width must lie in [1, 65535]");
+
+    copies.reserve(design.copies);
+    for (uint64_t c = 0; c < design.copies; ++c) {
+        std::vector<Cell> cells;
+        cells.reserve(design.width);
+        for (uint64_t i = 0; i < design.width; ++i) {
+            cells.emplace_back(factory.sampleLifetime(rng),
+                               /*destructive=*/false);
+        }
+        copies.push_back(std::move(cells));
+    }
+}
+
+bool
+ProgrammableGate::programSecret(const std::vector<uint8_t> &secret,
+                                Rng &rng)
+{
+    requireArg(!secret.empty(),
+               "ProgrammableGate::programSecret: secret must be non-empty");
+    if (fuseBlown)
+        return false; // global programming fuse already blown
+
+    const shamir::WideScheme scheme(gateDesign.threshold, gateDesign.width);
+    for (auto &cells : copies) {
+        const std::vector<shamir::WideShare> shares =
+            scheme.split(secret, rng);
+        for (uint64_t i = 0; i < gateDesign.width; ++i) {
+            const bool burned =
+                cells[i].store.program(shares[i].toBytes());
+            requireState(burned,
+                         "ProgrammableGate: blank cell refused program");
+        }
+    }
+    secretSize = secret.size();
+    fuseBlown = true;
+    return true;
+}
+
+std::optional<std::vector<uint8_t>>
+ProgrammableGate::accessCopy(size_t copyIndex)
+{
+    std::vector<shamir::WideShare> collected;
+    for (Cell &cell : copies[copyIndex]) {
+        if (!cell.guard.actuate())
+            continue;
+        const auto payload = cell.store.read();
+        if (!payload)
+            continue;
+        auto share = shamir::WideShare::fromBytes(*payload);
+        if (share)
+            collected.push_back(std::move(*share));
+    }
+    if (collected.size() < gateDesign.threshold)
+        return std::nullopt;
+    const shamir::WideScheme scheme(gateDesign.threshold, gateDesign.width);
+    return scheme.combine(collected, secretSize);
+}
+
+std::optional<std::vector<uint8_t>>
+ProgrammableGate::access()
+{
+    ++accesses;
+    if (!fuseBlown) {
+        // Blank gate: the traversal still wears the current copy's
+        // switches (an attacker probing a blank gate burns its life),
+        // but there is nothing to read.
+        if (currentCopy < copies.size()) {
+            bool anyAlive = false;
+            for (Cell &cell : copies[currentCopy]) {
+                if (cell.guard.actuate())
+                    anyAlive = true;
+            }
+            if (!anyAlive)
+                ++currentCopy;
+        }
+        return std::nullopt;
+    }
+    while (currentCopy < copies.size()) {
+        auto secret = accessCopy(currentCopy);
+        if (secret)
+            return secret;
+        ++currentCopy;
+    }
+    return std::nullopt;
+}
+
+} // namespace lemons::core

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Field-programmable limited-use gate — the paper's future work
+ * (Section 3), implemented.
+ *
+ * The baseline architectures assume the secret is burned in at
+ * fabrication, which forces users to trust the fab with their keys.
+ * This gate ships *blank*: the switches and write-once (anti-fuse)
+ * component stores are fabricated, but no secret exists yet. The end
+ * user performs one-time programming in the field — the gate splits
+ * the supplied secret and burns the shares into the stores through a
+ * programming port, then blows a global programming fuse. Afterwards:
+ *
+ *  - reprogramming is physically impossible (every cell's write fuse
+ *    and the global fuse are blown),
+ *  - reads behave exactly like the fabrication-programmed gate: every
+ *    access traverses the wearout switches,
+ *  - a *blank* stolen gate is worthless, and a programmed one carries
+ *    no fab-known secret.
+ */
+
+#ifndef LEMONS_CORE_PROGRAMMABLE_GATE_H_
+#define LEMONS_CORE_PROGRAMMABLE_GATE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "arch/share_store.h"
+#include "core/design_solver.h"
+#include "util/rng.h"
+#include "wearout/device.h"
+#include "wearout/population.h"
+
+namespace lemons::core {
+
+/**
+ * A limited-use gate fabricated blank and one-time programmable in
+ * the field.
+ */
+class ProgrammableGate
+{
+  public:
+    /**
+     * Fabricate blank hardware for @p design.
+     *
+     * @param design Feasible design (width <= 65,535).
+     * @param factory Switch fabrication model.
+     * @param rng Fabrication randomness (switch lifetimes only — no
+     *        secrets exist at fabrication).
+     */
+    ProgrammableGate(const Design &design,
+                     const wearout::DeviceFactory &factory, Rng &rng);
+
+    /** Whether the one-time programming has happened. */
+    bool programmed() const { return fuseBlown; }
+
+    /**
+     * One-time field programming: split @p secret (Shamir over
+     * GF(2^16)) and burn the shares into the write-once stores, then
+     * blow the global programming fuse.
+     *
+     * @param secret Secret bytes (non-empty).
+     * @param rng End-user randomness for the share polynomials.
+     * @return true on the first successful call; false once the fuse
+     *         is blown (reprogramming attack, or double call).
+     */
+    bool programSecret(const std::vector<uint8_t> &secret, Rng &rng);
+
+    /**
+     * Access the secret through the wearout switches; same semantics
+     * as LimitedUseGate::access(). A blank gate always returns
+     * nullopt (but the actuations still wear the switches).
+     */
+    std::optional<std::vector<uint8_t>> access();
+
+    /** Total access() calls. */
+    uint64_t accessCount() const { return accesses; }
+
+    /** Whether every copy has worn out. */
+    bool exhausted() const { return currentCopy >= copies.size(); }
+
+    /** The design this gate was fabricated from. */
+    const Design &design() const { return gateDesign; }
+
+  private:
+    /** One blank (then programmed) component cell. */
+    struct Cell
+    {
+        wearout::NemsSwitch guard;
+        arch::WriteOnceStore store;
+
+        Cell(double lifetime, bool destructive)
+            : guard(lifetime), store(destructive)
+        {
+        }
+    };
+
+    Design gateDesign;
+    std::vector<std::vector<Cell>> copies;
+    bool fuseBlown = false;
+    size_t secretSize = 0;
+    size_t currentCopy = 0;
+    uint64_t accesses = 0;
+
+    std::optional<std::vector<uint8_t>> accessCopy(size_t copyIndex);
+};
+
+} // namespace lemons::core
+
+#endif // LEMONS_CORE_PROGRAMMABLE_GATE_H_

@@ -1,0 +1,129 @@
+#include "core/software_baseline.h"
+
+#include "util/require.h"
+
+namespace lemons::core {
+
+SoftwareCounterPhone::SoftwareCounterPhone(const std::string &passcode,
+                                           std::vector<uint8_t> storageKey,
+                                           uint32_t wipeThreshold)
+    : correctPasscode(passcode), key(std::move(storageKey)),
+      threshold(wipeThreshold)
+{
+    requireArg(!key.empty(),
+               "SoftwareCounterPhone: storage key must be non-empty");
+    requireArg(wipeThreshold >= 1,
+               "SoftwareCounterPhone: wipe threshold must be >= 1");
+}
+
+std::optional<std::vector<uint8_t>>
+SoftwareCounterPhone::validate(const std::string &passcode)
+{
+    ++attempts;
+    if (isWiped)
+        return std::nullopt;
+    if (passcode == correctPasscode)
+        return key;
+    return std::nullopt;
+}
+
+std::optional<std::vector<uint8_t>>
+SoftwareCounterPhone::unlock(const std::string &passcode)
+{
+    auto result = validate(passcode);
+    if (isWiped)
+        return std::nullopt;
+    if (result) {
+        failures = 0;
+        return result;
+    }
+    if (!guardDisabled) {
+        ++failures;
+        // The wipe destroys the key *on the device*; the bytes remain
+        // in the model so a NAND-mirroring restore (which re-writes
+        // the pre-wipe image, key blob included) can resurrect them —
+        // exactly the published attack.
+        if (failures >= threshold)
+            isWiped = true;
+    }
+    return std::nullopt;
+}
+
+std::optional<std::vector<uint8_t>>
+SoftwareCounterPhone::unlockWithPowerCut(const std::string &passcode)
+{
+    // The validation result is observed, but the counter commit never
+    // happens (power removed first) — the MDSec attack.
+    return validate(passcode);
+}
+
+SoftwareCounterPhone::NandSnapshot
+SoftwareCounterPhone::takeNandSnapshot() const
+{
+    return {failures, isWiped};
+}
+
+void
+SoftwareCounterPhone::restoreNandSnapshot(const NandSnapshot &snapshot)
+{
+    failures = snapshot.failureCounter;
+    isWiped = snapshot.wiped;
+}
+
+void
+SoftwareCounterPhone::applyMaliciousFirmwareUpdate()
+{
+    // Firmware updates install without the passcode (the paper's third
+    // bypass); the new build simply never enforces the guard.
+    guardDisabled = true;
+    failures = 0;
+}
+
+std::string
+attackerGuess(uint64_t rank)
+{
+    return "guess-" + std::to_string(rank);
+}
+
+BruteForceOutcome
+nandMirroringBruteForce(SoftwareCounterPhone &phone, uint64_t maxAttempts)
+{
+    BruteForceOutcome outcome;
+    const auto snapshot = phone.takeNandSnapshot();
+    uint64_t guess = 1;
+    while (outcome.attempts < maxAttempts) {
+        // Burn a batch of guesses, then roll the counter back before
+        // the wipe threshold can trigger.
+        for (int inBatch = 0; inBatch < 9 && outcome.attempts < maxAttempts;
+             ++inBatch, ++guess) {
+            ++outcome.attempts;
+            if (phone.unlock(attackerGuess(guess))) {
+                outcome.cracked = true;
+                return outcome;
+            }
+        }
+        phone.restoreNandSnapshot(snapshot);
+    }
+    outcome.deviceDisabled = phone.wiped();
+    return outcome;
+}
+
+BruteForceOutcome
+naiveBruteForce(SoftwareCounterPhone &phone, uint64_t maxAttempts)
+{
+    BruteForceOutcome outcome;
+    for (uint64_t guess = 1; guess <= maxAttempts; ++guess) {
+        ++outcome.attempts;
+        if (phone.unlock(attackerGuess(guess))) {
+            outcome.cracked = true;
+            return outcome;
+        }
+        if (phone.wiped()) {
+            outcome.deviceDisabled = true;
+            return outcome;
+        }
+    }
+    return outcome;
+}
+
+} // namespace lemons::core

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The software-guarded baseline the paper attacks (Section 4).
+ *
+ * iOS-style passcode protection: a retry counter in mutable storage,
+ * escalating delays, and a wipe after 10 consecutive failures. The
+ * paper cites three published bypasses, all of which this model
+ * reproduces so the benchmarks can contrast them with the wearout
+ * hardware:
+ *
+ *  - MDSec power-cut: cut power after the passcode check but before
+ *    the counter increment is committed — the failure is never
+ *    recorded,
+ *  - NAND mirroring (Skorobogatov): snapshot the flash, attempt a few
+ *    guesses, restore the snapshot — the counter rolls back,
+ *  - firmware update: boot a build whose guard logic is disabled.
+ *
+ * None of these help against the limited-use connection: there is no
+ * counter to skip, snapshot, or disable — the "counter" is the worn
+ * state of physical devices.
+ */
+
+#ifndef LEMONS_CORE_SOFTWARE_BASELINE_H_
+#define LEMONS_CORE_SOFTWARE_BASELINE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace lemons::core {
+
+/**
+ * A phone protected only by software policy around a passcode check.
+ */
+class SoftwareCounterPhone
+{
+  public:
+    /**
+     * @param passcode The user's passcode.
+     * @param storageKey Key released on successful unlock (non-empty).
+     * @param wipeThreshold Consecutive failures before the data wipe.
+     */
+    SoftwareCounterPhone(const std::string &passcode,
+                         std::vector<uint8_t> storageKey,
+                         uint32_t wipeThreshold = 10);
+
+    /**
+     * Normal unlock attempt through the official interface: counts
+     * failures, wipes at the threshold.
+     */
+    std::optional<std::vector<uint8_t>> unlock(const std::string &passcode);
+
+    /**
+     * MDSec-style attempt: the passcode is validated but power is cut
+     * before the counter commit, so a failure is never recorded.
+     */
+    std::optional<std::vector<uint8_t>>
+    unlockWithPowerCut(const std::string &passcode);
+
+    /** Snapshot of the mutable guard state (the "NAND image"). */
+    struct NandSnapshot
+    {
+        uint32_t failureCounter;
+        bool wiped;
+    };
+
+    /** Take a NAND snapshot (attacker with chip-off access). */
+    NandSnapshot takeNandSnapshot() const;
+
+    /** Restore a previously taken snapshot (NAND mirroring). */
+    void restoreNandSnapshot(const NandSnapshot &snapshot);
+
+    /**
+     * Flash a firmware build without the guard logic: counter and
+     * wipe are disabled from now on.
+     */
+    void applyMaliciousFirmwareUpdate();
+
+    /** Whether the wipe has triggered (data gone). */
+    bool wiped() const { return isWiped; }
+
+    /** Consecutive failures currently recorded. */
+    uint32_t failureCount() const { return failures; }
+
+    /** Total attempts ever made (for reporting; not guard state). */
+    uint64_t attemptCount() const { return attempts; }
+
+  private:
+    std::string correctPasscode;
+    std::vector<uint8_t> key;
+    uint32_t threshold;
+    uint32_t failures = 0;
+    bool isWiped = false;
+    bool guardDisabled = false;
+    uint64_t attempts = 0;
+
+    std::optional<std::vector<uint8_t>>
+    validate(const std::string &passcode);
+};
+
+/** Outcome of a brute-force campaign. */
+struct BruteForceOutcome
+{
+    bool cracked = false;       ///< storage key obtained
+    uint64_t attempts = 0;      ///< passcode validations performed
+    bool deviceDisabled = false; ///< wiped (software) / bricked (HW)
+};
+
+/**
+ * The attacker's i-th popularity-ordered guess string. Provision the
+ * victim phone with attackerGuess(rank) to model a passcode that is
+ * @p rank guesses deep in the attacker's list.
+ */
+std::string attackerGuess(uint64_t rank);
+
+/**
+ * Brute-force the software baseline using NAND mirroring: snapshot,
+ * burn a batch of guesses, restore, repeat, up to @p maxAttempts.
+ * The victim's passcode rank is realized by provisioning the phone
+ * with attackerGuess(rank).
+ */
+BruteForceOutcome nandMirroringBruteForce(SoftwareCounterPhone &phone,
+                                          uint64_t maxAttempts);
+
+/**
+ * The same campaign through the official interface (no bypass): the
+ * wipe stops it at the threshold.
+ */
+BruteForceOutcome naiveBruteForce(SoftwareCounterPhone &phone,
+                                  uint64_t maxAttempts);
+
+} // namespace lemons::core
+
+#endif // LEMONS_CORE_SOFTWARE_BASELINE_H_

@@ -1,0 +1,99 @@
+#include "core/targeting.h"
+
+#include "crypto/hmac.h"
+#include "util/require.h"
+
+namespace lemons::core {
+
+namespace {
+
+std::vector<uint8_t>
+nonceBytes(uint64_t nonce)
+{
+    std::vector<uint8_t> out(8);
+    for (size_t i = 0; i < 8; ++i)
+        out[i] = static_cast<uint8_t>(nonce >> (56 - 8 * i));
+    return out;
+}
+
+} // namespace
+
+std::vector<uint8_t>
+commandKeystream(const std::vector<uint8_t> &missionKey, uint64_t nonce,
+                 size_t length)
+{
+    return crypto::deriveKey(missionKey, nonceBytes(nonce),
+                             "lemons.targeting.keystream", length);
+}
+
+crypto::Digest
+commandMac(const std::vector<uint8_t> &missionKey, uint64_t nonce,
+           const std::vector<uint8_t> &ciphertext)
+{
+    std::vector<uint8_t> message;
+    message.reserve(8 + ciphertext.size());
+    for (size_t i = 0; i < 8; ++i)
+        message.push_back(static_cast<uint8_t>(nonce >> (56 - 8 * i)));
+    for (uint8_t byte : ciphertext)
+        message.push_back(byte);
+    return crypto::hmacSha256(missionKey, message);
+}
+
+CommandAuthority::CommandAuthority(std::vector<uint8_t> missionKey)
+    : key(std::move(missionKey))
+{
+    requireArg(!key.empty(), "CommandAuthority: mission key is empty");
+}
+
+TargetingCommand
+CommandAuthority::issueCommand(const std::string &plaintext)
+{
+    TargetingCommand cmd;
+    cmd.nonce = ++nextNonce;
+    const std::vector<uint8_t> keystream =
+        commandKeystream(key, cmd.nonce, plaintext.size());
+    cmd.ciphertext.resize(plaintext.size());
+    for (size_t i = 0; i < plaintext.size(); ++i) {
+        cmd.ciphertext[i] =
+            static_cast<uint8_t>(plaintext[i]) ^ keystream[i];
+    }
+    cmd.mac = commandMac(key, cmd.nonce, cmd.ciphertext);
+    return cmd;
+}
+
+LaunchStation::LaunchStation(const Design &design,
+                             const wearout::DeviceFactory &factory,
+                             std::vector<uint8_t> missionKey, Rng &rng)
+    : gate(design, factory, std::move(missionKey), rng)
+{
+}
+
+std::optional<std::string>
+LaunchStation::executeCommand(const TargetingCommand &cmd)
+{
+    ++attempts;
+    const auto missionKey = gate.access();
+    if (!missionKey)
+        return std::nullopt; // usage bound reached: station retired
+
+    if (commandMac(*missionKey, cmd.nonce, cmd.ciphertext) != cmd.mac)
+        return std::nullopt; // forged or corrupted command
+
+    // Reject replays: nonces must be strictly increasing.
+    if (anyExecuted && cmd.nonce <= highestNonceSeen)
+        return std::nullopt;
+
+    const std::vector<uint8_t> keystream =
+        commandKeystream(*missionKey, cmd.nonce, cmd.ciphertext.size());
+    std::string plaintext(cmd.ciphertext.size(), '\0');
+    for (size_t i = 0; i < cmd.ciphertext.size(); ++i) {
+        plaintext[i] =
+            static_cast<char>(cmd.ciphertext[i] ^ keystream[i]);
+    }
+    highestNonceSeen = cmd.nonce;
+    anyExecuted = true;
+    ++executed;
+    return plaintext;
+}
+
+} // namespace lemons::core

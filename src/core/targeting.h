@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The limited-use targeting system use case (paper Section 5).
+ *
+ * A launching station receives encrypted targeting commands over a
+ * secured link. The command decryption key sits behind a LimitedUseGate
+ * sized for the mission's expected usage (e.g. 100 commands) with
+ * strict degradation criteria — "we do not want a single unintentional
+ * targeting command to be executed" — so the station physically cannot
+ * decrypt commands beyond the mission bound, whether the extra
+ * commands come from an over-reaching operator or from an attacker
+ * brute-forcing the link encryption.
+ */
+
+#ifndef LEMONS_CORE_TARGETING_H_
+#define LEMONS_CORE_TARGETING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/gate.h"
+#include "crypto/sha256.h"
+
+namespace lemons::core {
+
+/** An encrypted, authenticated targeting command. */
+struct TargetingCommand
+{
+    uint64_t nonce;                  ///< unique per command
+    std::vector<uint8_t> ciphertext; ///< keystream-XORed payload
+    crypto::Digest mac;              ///< HMAC over nonce || ciphertext
+};
+
+/**
+ * Command-and-control side: encrypts commands under the mission key.
+ * Purely software — the C2 system is not usage-limited.
+ */
+class CommandAuthority
+{
+  public:
+    /** @param missionKey Shared mission key (non-empty). */
+    explicit CommandAuthority(std::vector<uint8_t> missionKey);
+
+    /** Encrypt and authenticate @p plaintext as the next command. */
+    TargetingCommand issueCommand(const std::string &plaintext);
+
+  private:
+    std::vector<uint8_t> key;
+    uint64_t nextNonce = 0;
+};
+
+/**
+ * Launching-station side: every decryption traverses the limited-use
+ * gate holding the mission key.
+ */
+class LaunchStation
+{
+  public:
+    /**
+     * @param design Feasible design sized for the mission bound.
+     * @param factory Device fabrication model.
+     * @param missionKey Shared mission key (provisioned at deployment).
+     * @param rng Fabrication randomness.
+     */
+    LaunchStation(const Design &design, const wearout::DeviceFactory &factory,
+                  std::vector<uint8_t> missionKey, Rng &rng);
+
+    /**
+     * Decrypt, authenticate, and "execute" a command. Consumes one
+     * gate traversal regardless of authenticity.
+     *
+     * @return The command plaintext on success; nullopt when the MAC
+     *         fails, the command is replayed, or the hardware has
+     *         reached its usage bound.
+     */
+    std::optional<std::string> executeCommand(const TargetingCommand &cmd);
+
+    /** Commands executed successfully. */
+    uint64_t executedCount() const { return executed; }
+
+    /** Decryption attempts (including rejected / failed ones). */
+    uint64_t attemptCount() const { return attempts; }
+
+    /** Whether the station's key hardware has worn out. */
+    bool decommissioned() const { return gate.exhausted(); }
+
+  private:
+    LimitedUseGate gate;
+    uint64_t executed = 0;
+    uint64_t attempts = 0;
+    uint64_t highestNonceSeen = 0;
+    bool anyExecuted = false;
+};
+
+/**
+ * Derive the per-command keystream: HKDF(missionKey, nonce).
+ * Shared by both sides; exposed for tests.
+ */
+std::vector<uint8_t> commandKeystream(const std::vector<uint8_t> &missionKey,
+                                      uint64_t nonce, size_t length);
+
+/** HMAC over nonce || ciphertext under the mission key. */
+crypto::Digest commandMac(const std::vector<uint8_t> &missionKey,
+                          uint64_t nonce,
+                          const std::vector<uint8_t> &ciphertext);
+
+} // namespace lemons::core
+
+#endif // LEMONS_CORE_TARGETING_H_

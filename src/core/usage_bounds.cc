@@ -1,0 +1,40 @@
+#include "core/usage_bounds.h"
+
+#include "arch/structures_sim.h"
+#include "sim/monte_carlo.h"
+#include "util/require.h"
+#include "util/stats.h"
+
+namespace lemons::core {
+
+UsageBounds
+estimateUsageBounds(const Design &design, const wearout::DeviceSpec &device,
+                    const wearout::ProcessVariation &variation,
+                    uint64_t trials, uint64_t seed)
+{
+    requireArg(design.feasible, "estimateUsageBounds: design is infeasible");
+    const wearout::DeviceFactory factory(device, variation);
+    const sim::MonteCarlo engine(seed, trials);
+
+    const std::vector<double> samples =
+        engine.runSamplesParallel([&](Rng &rng) {
+            return static_cast<double>(arch::sampleSerialCopiesTotalAccesses(
+                factory, design.width, design.threshold, design.copies,
+                rng));
+        });
+
+    RunningStats stats;
+    for (double s : samples)
+        stats.add(s);
+
+    UsageBounds bounds;
+    bounds.meanTotalAccesses = stats.mean();
+    bounds.minTotalAccesses = stats.min();
+    bounds.maxTotalAccesses = stats.max();
+    bounds.q001 = quantile(samples, 0.001);
+    bounds.q999 = quantile(samples, 0.999);
+    bounds.trials = trials;
+    return bounds;
+}
+
+} // namespace lemons::core

@@ -1,0 +1,76 @@
+#include "crypto/hmac.h"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "util/require.h"
+
+namespace lemons::crypto {
+
+Digest
+hmacSha256(const std::vector<uint8_t> &key,
+           const std::vector<uint8_t> &message)
+{
+    constexpr size_t blockSize = 64;
+    std::vector<uint8_t> keyBlock(blockSize, 0);
+    if (key.size() > blockSize) {
+        const Digest hashed = sha256(key);
+        std::copy(hashed.begin(), hashed.end(), keyBlock.begin());
+    } else {
+        std::copy(key.begin(), key.end(), keyBlock.begin());
+    }
+
+    std::vector<uint8_t> inner(blockSize);
+    std::vector<uint8_t> outer(blockSize);
+    for (size_t i = 0; i < blockSize; ++i) {
+        inner[i] = keyBlock[i] ^ 0x36;
+        outer[i] = keyBlock[i] ^ 0x5c;
+    }
+
+    Sha256 innerHash;
+    innerHash.update(inner);
+    innerHash.update(message);
+    const Digest innerDigest = innerHash.finalize();
+
+    Sha256 outerHash;
+    outerHash.update(outer);
+    outerHash.update(innerDigest.data(), innerDigest.size());
+    return outerHash.finalize();
+}
+
+Digest
+hkdfExtract(const std::vector<uint8_t> &salt, const std::vector<uint8_t> &ikm)
+{
+    return hmacSha256(salt, ikm);
+}
+
+std::vector<uint8_t>
+hkdfExpand(const Digest &prk, const std::string &info, size_t length)
+{
+    requireArg(length <= 255 * 32, "hkdfExpand: length exceeds 255 blocks");
+    const std::vector<uint8_t> prkVec(prk.begin(), prk.end());
+    std::vector<uint8_t> output;
+    output.reserve(length);
+    std::vector<uint8_t> previous;
+    uint8_t counter = 1;
+    while (output.size() < length) {
+        std::vector<uint8_t> block = previous;
+        block.insert(block.end(), info.begin(), info.end());
+        block.push_back(counter++);
+        const Digest t = hmacSha256(prkVec, block);
+        previous.assign(t.begin(), t.end());
+        const size_t take = std::min(length - output.size(), t.size());
+        output.insert(output.end(), t.begin(),
+                      t.begin() + static_cast<std::ptrdiff_t>(take));
+    }
+    return output;
+}
+
+std::vector<uint8_t>
+deriveKey(const std::vector<uint8_t> &ikm, const std::vector<uint8_t> &salt,
+          const std::string &info, size_t length)
+{
+    return hkdfExpand(hkdfExtract(salt, ikm), info, length);
+}
+
+} // namespace lemons::crypto

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * HMAC-SHA-256 and HKDF key derivation (RFC 2104 / RFC 5869).
+ *
+ * The example applications derive the storage-key wrapping key from
+ * (passcode, chip secret) with HKDF so that the limited-use connection
+ * gates a realistic unlock flow.
+ */
+
+#ifndef LEMONS_CRYPTO_HMAC_H_
+#define LEMONS_CRYPTO_HMAC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/sha256.h"
+
+namespace lemons::crypto {
+
+/** HMAC-SHA-256 of @p message under @p key (any key length). */
+Digest hmacSha256(const std::vector<uint8_t> &key,
+                  const std::vector<uint8_t> &message);
+
+/** HKDF-Extract: PRK = HMAC(salt, ikm). */
+Digest hkdfExtract(const std::vector<uint8_t> &salt,
+                   const std::vector<uint8_t> &ikm);
+
+/**
+ * HKDF-Expand: derive @p length bytes (<= 255 * 32) from a pseudo-
+ * random key and context string.
+ */
+std::vector<uint8_t> hkdfExpand(const Digest &prk, const std::string &info,
+                                size_t length);
+
+/**
+ * Convenience: derive @p length key bytes from input keying material,
+ * salt, and context label in one call.
+ */
+std::vector<uint8_t> deriveKey(const std::vector<uint8_t> &ikm,
+                               const std::vector<uint8_t> &salt,
+                               const std::string &info, size_t length);
+
+} // namespace lemons::crypto
+
+#endif // LEMONS_CRYPTO_HMAC_H_

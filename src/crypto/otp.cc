@@ -1,0 +1,27 @@
+#include "crypto/otp.h"
+
+#include "util/require.h"
+
+namespace lemons::crypto {
+
+std::vector<uint8_t>
+otpApply(const std::vector<uint8_t> &message, const std::vector<uint8_t> &pad)
+{
+    requireArg(pad.size() >= message.size(),
+               "otpApply: pad must be at least as long as the message");
+    std::vector<uint8_t> out(message.size());
+    for (size_t i = 0; i < message.size(); ++i)
+        out[i] = message[i] ^ pad[i];
+    return out;
+}
+
+std::vector<uint8_t>
+generatePad(Rng &rng, size_t length)
+{
+    std::vector<uint8_t> pad(length);
+    for (auto &byte : pad)
+        byte = static_cast<uint8_t>(rng.nextBelow(256));
+    return pad;
+}
+
+} // namespace lemons::crypto

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * One-time-pad cipher (paper Section 6).
+ *
+ * Vernam XOR encryption with perfect secrecy when the key is uniformly
+ * random, at least as long as the message, and used exactly once — the
+ * usage rules the decision-tree hardware physically enforces.
+ */
+
+#ifndef LEMONS_CRYPTO_OTP_H_
+#define LEMONS_CRYPTO_OTP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace lemons::crypto {
+
+/**
+ * XOR @p message with @p pad. Encryption and decryption are the same
+ * operation. @pre pad.size() >= message.size().
+ */
+std::vector<uint8_t> otpApply(const std::vector<uint8_t> &message,
+                              const std::vector<uint8_t> &pad);
+
+/** Generate @p length random pad bytes from @p rng. */
+std::vector<uint8_t> generatePad(Rng &rng, size_t length);
+
+} // namespace lemons::crypto
+
+#endif // LEMONS_CRYPTO_OTP_H_

@@ -1,0 +1,76 @@
+#include "crypto/password_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.h"
+
+namespace lemons::crypto {
+
+PasswordModel::PasswordModel(double anchorFraction, double anchorGuesses,
+                             double gamma)
+    : p1(anchorFraction), g1(anchorGuesses), expo(gamma), rejected(0.0)
+{
+    requireArg(anchorFraction > 0.0 && anchorFraction <= 1.0,
+               "PasswordModel: anchor fraction outside (0, 1]");
+    requireArg(anchorGuesses >= 1.0,
+               "PasswordModel: anchor guesses must be >= 1");
+    requireArg(gamma > 0.0, "PasswordModel: gamma must be positive");
+}
+
+double
+PasswordModel::baseCurve(double guesses) const
+{
+    if (guesses <= 0.0)
+        return 0.0;
+    return std::min(1.0, p1 * std::pow(guesses / g1, expo));
+}
+
+double
+PasswordModel::crackedFraction(double guesses) const
+{
+    const double base = baseCurve(guesses);
+    if (rejected <= 0.0)
+        return base;
+    return std::clamp((base - rejected) / (1.0 - rejected), 0.0, 1.0);
+}
+
+double
+PasswordModel::guessesForFraction(double fraction) const
+{
+    requireArg(fraction > 0.0 && fraction <= 1.0,
+               "PasswordModel::guessesForFraction: fraction outside (0, 1]");
+    const double target = rejected + fraction * (1.0 - rejected);
+    return g1 * std::pow(target / p1, 1.0 / expo);
+}
+
+uint64_t
+PasswordModel::sampleGuessRank(Rng &rng) const
+{
+    constexpr double saturation = 4.611686018427388e18; // 2^62
+    const double u = rng.nextDoubleOpenLow();
+    const double rank = std::ceil(guessesForFraction(u));
+    if (!(rank < saturation))
+        return uint64_t{1} << 62;
+    return static_cast<uint64_t>(std::max(1.0, rank));
+}
+
+double
+PasswordModel::attackSuccessProbability(uint64_t attempts) const
+{
+    return crackedFraction(static_cast<double>(attempts));
+}
+
+PasswordModel
+PasswordModel::withPopularRejected(double rejectedFraction) const
+{
+    requireArg(rejectedFraction >= 0.0 && rejectedFraction < 1.0,
+               "withPopularRejected: fraction outside [0, 1)");
+    PasswordModel filtered = *this;
+    // Compose filters: rejecting r2 of the survivors of an r1 filter
+    // rejects r1 + r2 (1 - r1) of the original population.
+    filtered.rejected = rejected + rejectedFraction * (1.0 - rejected);
+    return filtered;
+}
+
+} // namespace lemons::crypto

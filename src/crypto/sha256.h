@@ -1,0 +1,75 @@
+/**
+ * @file
+ * SHA-256 (FIPS 180-4), implemented from scratch.
+ *
+ * Used by the example applications for key derivation (passcode ->
+ * storage key unwrapping) and by HMAC/HKDF. This is a straightforward,
+ * portable implementation — constant-time properties and side-channel
+ * hardening are out of scope for the simulation.
+ */
+
+#ifndef LEMONS_CRYPTO_SHA256_H_
+#define LEMONS_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lemons::crypto {
+
+/** A 256-bit digest. */
+using Digest = std::array<uint8_t, 32>;
+
+/**
+ * Incremental SHA-256 hasher.
+ *
+ * @code
+ *   Sha256 h;
+ *   h.update(bytes1);
+ *   h.update(bytes2);
+ *   Digest d = h.finalize();
+ * @endcode
+ *
+ * finalize() may be called once; the object is then exhausted.
+ */
+class Sha256
+{
+  public:
+    Sha256();
+
+    /** Absorb @p size bytes from @p data. */
+    void update(const uint8_t *data, size_t size);
+
+    /** Absorb a byte vector. */
+    void update(const std::vector<uint8_t> &data);
+
+    /** Absorb the bytes of a string (no terminator). */
+    void update(const std::string &text);
+
+    /** Pad, finish, and return the digest. @pre not finalized yet. */
+    Digest finalize();
+
+  private:
+    std::array<uint32_t, 8> state;
+    std::array<uint8_t, 64> buffer;
+    size_t bufferUsed = 0;
+    uint64_t totalBytes = 0;
+    bool finalized = false;
+
+    void processBlock(const uint8_t *block);
+};
+
+/** One-shot convenience hash of a byte vector. */
+Digest sha256(const std::vector<uint8_t> &data);
+
+/** One-shot convenience hash of a string. */
+Digest sha256(const std::string &text);
+
+/** Render a digest as lowercase hex. */
+std::string toHex(const Digest &digest);
+
+} // namespace lemons::crypto
+
+#endif // LEMONS_CRYPTO_SHA256_H_

@@ -1,0 +1,107 @@
+#include "gf/gf256.h"
+
+#include <array>
+
+#include "util/require.h"
+
+namespace lemons::gf {
+
+namespace {
+
+struct Tables
+{
+    std::array<uint8_t, 512> expTable{};
+    std::array<unsigned, 256> logTable{};
+};
+
+constexpr Tables
+buildTables()
+{
+    Tables t{};
+    unsigned x = 1;
+    for (unsigned i = 0; i < groupOrder; ++i) {
+        t.expTable[i] = static_cast<uint8_t>(x);
+        t.logTable[x] = i;
+        x <<= 1;
+        if (x & 0x100)
+            x ^= primitivePoly;
+    }
+    // Duplicate so exp(i + j) needs no modular reduction for i, j < 255.
+    for (unsigned i = groupOrder; i < 512; ++i)
+        t.expTable[i] = t.expTable[i - groupOrder];
+    t.logTable[0] = 0; // unused sentinel; log(0) is rejected at runtime
+    return t;
+}
+
+constexpr Tables tables = buildTables();
+
+} // namespace
+
+uint8_t
+mul(uint8_t a, uint8_t b)
+{
+    if (a == 0 || b == 0)
+        return 0;
+    return tables.expTable[tables.logTable[a] + tables.logTable[b]];
+}
+
+uint8_t
+inv(uint8_t a)
+{
+    requireArg(a != 0, "gf::inv: zero has no inverse");
+    return tables.expTable[groupOrder - tables.logTable[a]];
+}
+
+uint8_t
+div(uint8_t a, uint8_t b)
+{
+    requireArg(b != 0, "gf::div: division by zero");
+    if (a == 0)
+        return 0;
+    return tables.expTable[tables.logTable[a] + groupOrder -
+                           tables.logTable[b]];
+}
+
+uint8_t
+pow(uint8_t a, uint64_t e)
+{
+    if (e == 0)
+        return 1;
+    if (a == 0)
+        return 0;
+    const uint64_t reduced = (static_cast<uint64_t>(tables.logTable[a]) * e) %
+                             groupOrder;
+    return tables.expTable[reduced];
+}
+
+uint8_t
+exp(unsigned e)
+{
+    return tables.expTable[e % groupOrder];
+}
+
+unsigned
+log(uint8_t a)
+{
+    requireArg(a != 0, "gf::log: log of zero is undefined");
+    return tables.logTable[a];
+}
+
+uint8_t
+mulSlow(uint8_t a, uint8_t b)
+{
+    unsigned result = 0;
+    unsigned aa = a;
+    unsigned bb = b;
+    while (bb) {
+        if (bb & 1)
+            result ^= aa;
+        aa <<= 1;
+        if (aa & 0x100)
+            aa ^= primitivePoly;
+        bb >>= 1;
+    }
+    return static_cast<uint8_t>(result);
+}
+
+} // namespace lemons::gf

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Arithmetic in GF(2^8), the field underlying the Reed-Solomon codes
+ * and Shamir secret-sharing used for redundant encoding (paper
+ * Section 4.1.4).
+ *
+ * Elements are bytes; addition is XOR; multiplication is polynomial
+ * multiplication modulo the primitive polynomial
+ *   x^8 + x^4 + x^3 + x^2 + 1  (0x11d),
+ * the conventional choice for RS(255, k) codes. Multiplication and
+ * inversion go through compile-time log/antilog tables over the
+ * generator g = 0x02.
+ */
+
+#ifndef LEMONS_GF_GF256_H_
+#define LEMONS_GF_GF256_H_
+
+#include <cstdint>
+
+namespace lemons::gf {
+
+/** Field order. */
+inline constexpr unsigned fieldSize = 256;
+/** Multiplicative group order. */
+inline constexpr unsigned groupOrder = 255;
+/** Primitive reduction polynomial (degree-8 bits included). */
+inline constexpr unsigned primitivePoly = 0x11d;
+
+/** Field addition (== subtraction): XOR. */
+constexpr uint8_t
+add(uint8_t a, uint8_t b)
+{
+    return a ^ b;
+}
+
+/** Field subtraction; identical to addition in characteristic 2. */
+constexpr uint8_t
+sub(uint8_t a, uint8_t b)
+{
+    return a ^ b;
+}
+
+/** Field multiplication. */
+uint8_t mul(uint8_t a, uint8_t b);
+
+/**
+ * Multiplicative inverse. @pre a != 0 (throws std::invalid_argument
+ * otherwise — dividing by zero is a programming error).
+ */
+uint8_t inv(uint8_t a);
+
+/** Field division a / b. @pre b != 0. */
+uint8_t div(uint8_t a, uint8_t b);
+
+/** a raised to the integer power @p e (e may exceed 255). pow(0,0)=1. */
+uint8_t pow(uint8_t a, uint64_t e);
+
+/** Antilog: g^e for the generator g = 2, with e taken mod 255. */
+uint8_t exp(unsigned e);
+
+/** Discrete log base g = 2. @pre a != 0. */
+unsigned log(uint8_t a);
+
+/**
+ * Slow bitwise ("Russian peasant") multiplication used to validate the
+ * table-driven fast path in tests.
+ */
+uint8_t mulSlow(uint8_t a, uint8_t b);
+
+} // namespace lemons::gf
+
+#endif // LEMONS_GF_GF256_H_

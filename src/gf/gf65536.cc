@@ -1,0 +1,114 @@
+#include "gf/gf65536.h"
+
+#include <array>
+#include <vector>
+
+#include "util/require.h"
+
+namespace lemons::gf16 {
+
+namespace {
+
+struct Tables
+{
+    std::vector<uint16_t> expTable;
+    std::vector<unsigned> logTable;
+
+    Tables() : expTable(2 * groupOrder), logTable(fieldSize, 0)
+    {
+        uint32_t x = 1;
+        for (unsigned i = 0; i < groupOrder; ++i) {
+            expTable[i] = static_cast<uint16_t>(x);
+            logTable[x] = i;
+            x <<= 1;
+            if (x & 0x10000)
+                x ^= primitivePoly;
+        }
+        for (unsigned i = groupOrder; i < 2 * groupOrder; ++i)
+            expTable[i] = expTable[i - groupOrder];
+    }
+};
+
+const Tables &
+tables()
+{
+    // Function-local static: built on first use, thread-safe since
+    // C++11, and trivially destructible data inside a leaked-ok
+    // singleton (the vectors live until program exit).
+    static const Tables &instance = *new Tables();
+    return instance;
+}
+
+} // namespace
+
+uint16_t
+mul(uint16_t a, uint16_t b)
+{
+    if (a == 0 || b == 0)
+        return 0;
+    const Tables &t = tables();
+    return t.expTable[t.logTable[a] + t.logTable[b]];
+}
+
+uint16_t
+inv(uint16_t a)
+{
+    requireArg(a != 0, "gf16::inv: zero has no inverse");
+    const Tables &t = tables();
+    return t.expTable[groupOrder - t.logTable[a]];
+}
+
+uint16_t
+div(uint16_t a, uint16_t b)
+{
+    requireArg(b != 0, "gf16::div: division by zero");
+    if (a == 0)
+        return 0;
+    const Tables &t = tables();
+    return t.expTable[t.logTable[a] + groupOrder - t.logTable[b]];
+}
+
+uint16_t
+pow(uint16_t a, uint64_t e)
+{
+    if (e == 0)
+        return 1;
+    if (a == 0)
+        return 0;
+    const Tables &t = tables();
+    const uint64_t reduced =
+        (static_cast<uint64_t>(t.logTable[a]) * e) % groupOrder;
+    return t.expTable[reduced];
+}
+
+uint16_t
+exp(unsigned e)
+{
+    return tables().expTable[e % groupOrder];
+}
+
+unsigned
+log(uint16_t a)
+{
+    requireArg(a != 0, "gf16::log: log of zero is undefined");
+    return tables().logTable[a];
+}
+
+uint16_t
+mulSlow(uint16_t a, uint16_t b)
+{
+    uint32_t result = 0;
+    uint32_t aa = a;
+    uint32_t bb = b;
+    while (bb) {
+        if (bb & 1)
+            result ^= aa;
+        aa <<= 1;
+        if (aa & 0x10000)
+            aa ^= primitivePoly;
+        bb >>= 1;
+    }
+    return static_cast<uint16_t>(result);
+}
+
+} // namespace lemons::gf16

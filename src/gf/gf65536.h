@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Arithmetic in GF(2^16).
+ *
+ * The encoded designs of Fig 4b at high process variation (beta = 4)
+ * need parallel structures thousands of devices wide — beyond the 255
+ * share indices GF(2^8) offers. GF(2^16) supports up to 65,535 shares,
+ * letting the runtime gate fabricate every design the solver emits.
+ *
+ * Elements are 16-bit words; addition is XOR; multiplication is
+ * polynomial multiplication modulo the primitive polynomial
+ *   x^16 + x^12 + x^3 + x + 1  (0x1100b).
+ * Log/antilog tables (256 KiB) are built once at first use.
+ */
+
+#ifndef LEMONS_GF_GF65536_H_
+#define LEMONS_GF_GF65536_H_
+
+#include <cstdint>
+
+namespace lemons::gf16 {
+
+/** Field order. */
+inline constexpr unsigned fieldSize = 65536;
+/** Multiplicative group order. */
+inline constexpr unsigned groupOrder = 65535;
+/** Primitive reduction polynomial (degree-16 bit included). */
+inline constexpr uint32_t primitivePoly = 0x1100b;
+
+/** Field addition (== subtraction): XOR. */
+constexpr uint16_t
+add(uint16_t a, uint16_t b)
+{
+    return a ^ b;
+}
+
+/** Field subtraction; identical to addition in characteristic 2. */
+constexpr uint16_t
+sub(uint16_t a, uint16_t b)
+{
+    return a ^ b;
+}
+
+/** Field multiplication. */
+uint16_t mul(uint16_t a, uint16_t b);
+
+/** Multiplicative inverse. @pre a != 0. */
+uint16_t inv(uint16_t a);
+
+/** Field division a / b. @pre b != 0. */
+uint16_t div(uint16_t a, uint16_t b);
+
+/** a raised to the integer power @p e; pow(0, 0) = 1. */
+uint16_t pow(uint16_t a, uint64_t e);
+
+/** Antilog: g^e for the generator g = 2, e taken mod 65535. */
+uint16_t exp(unsigned e);
+
+/** Discrete log base g = 2. @pre a != 0. */
+unsigned log(uint16_t a);
+
+/** Bitwise reference multiplication for tests. */
+uint16_t mulSlow(uint16_t a, uint16_t b);
+
+} // namespace lemons::gf16
+
+#endif // LEMONS_GF_GF65536_H_

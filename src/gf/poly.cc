@@ -1,0 +1,147 @@
+#include "gf/poly.h"
+
+#include <algorithm>
+
+#include "gf/gf256.h"
+#include "util/require.h"
+
+namespace lemons::gf {
+
+Poly::Poly(std::vector<uint8_t> coefficients) : coeffs(std::move(coefficients))
+{
+    trim();
+}
+
+void
+Poly::trim()
+{
+    while (!coeffs.empty() && coeffs.back() == 0)
+        coeffs.pop_back();
+}
+
+Poly
+Poly::random(uint8_t constantTerm, size_t degree, Rng &rng)
+{
+    std::vector<uint8_t> c(degree + 1);
+    c[0] = constantTerm;
+    for (size_t i = 1; i <= degree; ++i)
+        c[i] = static_cast<uint8_t>(rng.nextBelow(256));
+    return Poly(std::move(c));
+}
+
+int
+Poly::degree() const
+{
+    return static_cast<int>(coeffs.size()) - 1;
+}
+
+uint8_t
+Poly::coefficient(size_t i) const
+{
+    return i < coeffs.size() ? coeffs[i] : 0;
+}
+
+uint8_t
+Poly::eval(uint8_t x) const
+{
+    uint8_t acc = 0;
+    for (auto it = coeffs.rbegin(); it != coeffs.rend(); ++it)
+        acc = add(mul(acc, x), *it);
+    return acc;
+}
+
+Poly
+Poly::operator+(const Poly &other) const
+{
+    std::vector<uint8_t> out(std::max(coeffs.size(), other.coeffs.size()), 0);
+    for (size_t i = 0; i < out.size(); ++i)
+        out[i] = add(coefficient(i), other.coefficient(i));
+    return Poly(std::move(out));
+}
+
+Poly
+Poly::operator*(const Poly &other) const
+{
+    if (coeffs.empty() || other.coeffs.empty())
+        return Poly();
+    std::vector<uint8_t> out(coeffs.size() + other.coeffs.size() - 1, 0);
+    for (size_t i = 0; i < coeffs.size(); ++i) {
+        if (coeffs[i] == 0)
+            continue;
+        for (size_t j = 0; j < other.coeffs.size(); ++j)
+            out[i + j] = add(out[i + j], mul(coeffs[i], other.coeffs[j]));
+    }
+    return Poly(std::move(out));
+}
+
+Poly
+Poly::scaled(uint8_t s) const
+{
+    std::vector<uint8_t> out(coeffs.size());
+    for (size_t i = 0; i < coeffs.size(); ++i)
+        out[i] = mul(coeffs[i], s);
+    return Poly(std::move(out));
+}
+
+namespace {
+
+void
+checkDistinctX(const std::vector<Point> &points)
+{
+    for (size_t i = 0; i < points.size(); ++i)
+        for (size_t j = i + 1; j < points.size(); ++j)
+            requireArg(points[i].x != points[j].x,
+                       "interpolate: duplicate x coordinate");
+}
+
+} // namespace
+
+Poly
+interpolate(const std::vector<Point> &points)
+{
+    requireArg(!points.empty(), "interpolate: need at least one point");
+    checkDistinctX(points);
+
+    Poly result;
+    for (size_t i = 0; i < points.size(); ++i) {
+        // Basis polynomial L_i(x) = prod_{j != i} (x - x_j)/(x_i - x_j),
+        // scaled by y_i.
+        Poly basis(std::vector<uint8_t>{1});
+        uint8_t denom = 1;
+        for (size_t j = 0; j < points.size(); ++j) {
+            if (j == i)
+                continue;
+            basis = basis * Poly({points[j].x, 1}); // (x + x_j) == (x - x_j)
+            denom = mul(denom, sub(points[i].x, points[j].x));
+        }
+        result = result + basis.scaled(div(points[i].y, denom));
+    }
+    return result;
+}
+
+uint8_t
+interpolateAtZero(const std::vector<Point> &points)
+{
+    requireArg(!points.empty(),
+               "interpolateAtZero: need at least one point");
+    checkDistinctX(points);
+
+    uint8_t secret = 0;
+    for (size_t i = 0; i < points.size(); ++i) {
+        requireArg(points[i].x != 0,
+                   "interpolateAtZero: x = 0 would leak the secret share");
+        // L_i(0) = prod_{j != i} x_j / (x_j - x_i)
+        uint8_t num = 1;
+        uint8_t denom = 1;
+        for (size_t j = 0; j < points.size(); ++j) {
+            if (j == i)
+                continue;
+            num = mul(num, points[j].x);
+            denom = mul(denom, sub(points[j].x, points[i].x));
+        }
+        secret = add(secret, mul(points[i].y, div(num, denom)));
+    }
+    return secret;
+}
+
+} // namespace lemons::gf

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Polynomials over GF(2^8).
+ *
+ * Shamir's scheme encodes a secret byte as the constant term of a
+ * random degree-(k-1) polynomial (paper Eq. 7) and Reed-Solomon
+ * encoding/decoding is polynomial evaluation/interpolation, so both
+ * modules share this representation.
+ */
+
+#ifndef LEMONS_GF_POLY_H_
+#define LEMONS_GF_POLY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace lemons::gf {
+
+/**
+ * Dense polynomial over GF(2^8), stored low-order-coefficient first:
+ * coeffs[i] is the coefficient of x^i. The zero polynomial is the
+ * empty coefficient vector (degree() == -1).
+ */
+class Poly
+{
+  public:
+    /** The zero polynomial. */
+    Poly() = default;
+
+    /** From coefficients, low-order first; trailing zeros trimmed. */
+    explicit Poly(std::vector<uint8_t> coefficients);
+
+    /**
+     * Random polynomial of degree *at most* @p degree with the given
+     * constant term; used by Shamir splitting. All masking
+     * coefficients are uniform over the field — including zero for the
+     * leading coefficient. (Forcing the leading coefficient nonzero
+     * would break perfect secrecy: shares could then never equal
+     * certain values, which a chi-square test detects.)
+     *
+     * @param constantTerm Value of the polynomial at x = 0.
+     * @param degree Maximum degree (>= 0).
+     * @param rng Randomness source.
+     */
+    static Poly random(uint8_t constantTerm, size_t degree, Rng &rng);
+
+    /** Degree; -1 for the zero polynomial. */
+    int degree() const;
+
+    /** Coefficient of x^i (0 beyond the stored length). */
+    uint8_t coefficient(size_t i) const;
+
+    /** Coefficients, low-order first (trailing zeros trimmed). */
+    const std::vector<uint8_t> &coefficients() const { return coeffs; }
+
+    /** Evaluate at @p x by Horner's rule. */
+    uint8_t eval(uint8_t x) const;
+
+    /** Polynomial addition (== subtraction over GF(2^8)). */
+    Poly operator+(const Poly &other) const;
+
+    /** Polynomial multiplication. */
+    Poly operator*(const Poly &other) const;
+
+    /** Scale every coefficient by @p s. */
+    Poly scaled(uint8_t s) const;
+
+    /** Structural equality (after trailing-zero trimming). */
+    bool operator==(const Poly &other) const = default;
+
+  private:
+    std::vector<uint8_t> coeffs;
+
+    void trim();
+};
+
+/** One evaluation point (x, y) used for interpolation. */
+struct Point
+{
+    uint8_t x;
+    uint8_t y;
+};
+
+/**
+ * Lagrange interpolation: the unique polynomial of degree < points.size()
+ * through all @p points. The x coordinates must be pairwise distinct.
+ */
+Poly interpolate(const std::vector<Point> &points);
+
+/**
+ * Lagrange interpolation evaluated only at x = 0 (the Shamir secret),
+ * avoiding construction of the full polynomial. The x coordinates must
+ * be pairwise distinct and nonzero.
+ */
+uint8_t interpolateAtZero(const std::vector<Point> &points);
+
+} // namespace lemons::gf
+
+#endif // LEMONS_GF_POLY_H_

@@ -1,0 +1,261 @@
+#include "rs/classic_rs.h"
+
+#include <algorithm>
+
+#include "gf/gf256.h"
+#include "util/require.h"
+
+namespace lemons::rs {
+
+namespace {
+
+/**
+ * Polynomials here are coefficient vectors, low-order first:
+ * p[j] is the coefficient of x^j.
+ */
+using Poly = std::vector<uint8_t>;
+
+uint8_t
+polyEval(const Poly &p, uint8_t x)
+{
+    uint8_t acc = 0;
+    for (auto it = p.rbegin(); it != p.rend(); ++it)
+        acc = gf::add(gf::mul(acc, x), *it);
+    return acc;
+}
+
+Poly
+polyMul(const Poly &a, const Poly &b)
+{
+    if (a.empty() || b.empty())
+        return {};
+    Poly out(a.size() + b.size() - 1, 0);
+    for (size_t i = 0; i < a.size(); ++i) {
+        if (a[i] == 0)
+            continue;
+        for (size_t j = 0; j < b.size(); ++j)
+            out[i + j] = gf::add(out[i + j], gf::mul(a[i], b[j]));
+    }
+    return out;
+}
+
+/** Formal derivative over GF(2^m): only odd-power terms survive. */
+Poly
+polyDerivative(const Poly &p)
+{
+    Poly out;
+    for (size_t j = 1; j < p.size(); j += 2) {
+        out.resize(j, 0);
+        out[j - 1] = p[j];
+    }
+    return out;
+}
+
+} // namespace
+
+ClassicRsCodec::ClassicRsCodec(size_t n, size_t k) : length(n), dimension(k)
+{
+    requireArg(k >= 1, "ClassicRsCodec: k must be at least 1");
+    requireArg(n > k, "ClassicRsCodec: n must exceed k");
+    requireArg(n <= 255, "ClassicRsCodec: n must be at most 255");
+
+    // g(x) = prod_{i=1}^{n-k} (x - a^i), built low-order first.
+    generator = {1};
+    for (size_t i = 1; i <= n - k; ++i)
+        generator = polyMul(generator, {gf::exp(static_cast<unsigned>(i)),
+                                        1});
+}
+
+std::vector<uint8_t>
+ClassicRsCodec::encode(const std::vector<uint8_t> &message) const
+{
+    requireArg(message.size() == dimension,
+               "ClassicRsCodec::encode: message must be exactly k bytes");
+    // Systematic encoding: C(x) = M(x) x^(n-k) + (M(x) x^(n-k) mod g),
+    // computed by synthetic division. The codeword vector stores the
+    // highest-degree coefficient first: message, then parity.
+    const size_t parityLen = parity();
+    std::vector<uint8_t> remainder(parityLen, 0);
+    for (uint8_t symbol : message) {
+        const uint8_t factor = gf::add(symbol, remainder[0]);
+        // Shift remainder left by one and fold in factor * g.
+        for (size_t j = 0; j + 1 < parityLen; ++j) {
+            remainder[j] = gf::add(
+                remainder[j + 1],
+                gf::mul(factor, generator[parityLen - 1 - j]));
+        }
+        remainder[parityLen - 1] = gf::mul(factor, generator[0]);
+    }
+
+    std::vector<uint8_t> codeword(message);
+    codeword.insert(codeword.end(), remainder.begin(), remainder.end());
+    return codeword;
+}
+
+std::vector<uint8_t>
+ClassicRsCodec::syndromes(const std::vector<uint8_t> &word) const
+{
+    // S_j = R(a^j) where the vector position p carries the coefficient
+    // of x^(n-1-p). Horner from the front does exactly that.
+    std::vector<uint8_t> result(parity());
+    bool allZero = true;
+    for (size_t j = 1; j <= parity(); ++j) {
+        const uint8_t point = gf::exp(static_cast<unsigned>(j));
+        uint8_t acc = 0;
+        for (uint8_t symbol : word)
+            acc = gf::add(gf::mul(acc, point), symbol);
+        result[j - 1] = acc;
+        if (acc != 0)
+            allZero = false;
+    }
+    if (allZero)
+        result.clear();
+    return result;
+}
+
+bool
+ClassicRsCodec::isCodeword(const std::vector<uint8_t> &word) const
+{
+    return word.size() == length && syndromes(word).empty();
+}
+
+std::optional<ClassicRsCodec::DecodeResult>
+ClassicRsCodec::decode(const std::vector<uint8_t> &received,
+                       const std::vector<size_t> &erasurePositions) const
+{
+    requireArg(received.size() == length,
+               "ClassicRsCodec::decode: received word must be n bytes");
+    for (size_t pos : erasurePositions)
+        requireArg(pos < length,
+                   "ClassicRsCodec::decode: erasure position out of range");
+    {
+        std::vector<size_t> sorted = erasurePositions;
+        std::sort(sorted.begin(), sorted.end());
+        requireArg(std::adjacent_find(sorted.begin(), sorted.end()) ==
+                       sorted.end(),
+                   "ClassicRsCodec::decode: duplicate erasure position");
+    }
+
+    const size_t numErasures = erasurePositions.size();
+    if (numErasures > parity())
+        return std::nullopt;
+
+    const std::vector<uint8_t> synd = syndromes(received);
+    std::vector<uint8_t> corrected = received;
+    if (synd.empty()) {
+        // Already a codeword; nothing to fix (erasures were benign).
+        DecodeResult result;
+        result.message.assign(corrected.begin(),
+                              corrected.begin() +
+                                  static_cast<std::ptrdiff_t>(dimension));
+        return result;
+    }
+
+    // Erasure locators X_i = a^(n-1-pos).
+    std::vector<uint8_t> erasureLocators;
+    erasureLocators.reserve(numErasures);
+    for (size_t pos : erasurePositions) {
+        erasureLocators.push_back(
+            gf::exp(static_cast<unsigned>(length - 1 - pos)));
+    }
+
+    // Forney syndromes: fold each erasure out of the syndrome sequence
+    // so Berlekamp-Massey sees an errors-only problem.
+    std::vector<uint8_t> forneySynd = synd;
+    for (uint8_t x : erasureLocators) {
+        for (size_t i = 0; i + 1 < forneySynd.size(); ++i) {
+            forneySynd[i] = gf::add(gf::mul(x, forneySynd[i]),
+                                    forneySynd[i + 1]);
+        }
+        forneySynd.pop_back();
+    }
+
+    // Berlekamp-Massey on the Forney syndromes.
+    Poly lambda = {1};
+    Poly prev = {1};
+    size_t l = 0;
+    size_t m = 1;
+    uint8_t b = 1;
+    for (size_t i = 0; i < forneySynd.size(); ++i) {
+        uint8_t delta = forneySynd[i];
+        for (size_t j = 1; j <= l && j < lambda.size(); ++j)
+            delta = gf::add(delta, gf::mul(lambda[j], forneySynd[i - j]));
+        if (delta == 0) {
+            ++m;
+            continue;
+        }
+        const uint8_t coefficient = gf::div(delta, b);
+        Poly shifted(m, 0);
+        shifted.insert(shifted.end(), prev.begin(), prev.end());
+        Poly updated = lambda;
+        updated.resize(std::max(updated.size(), shifted.size()), 0);
+        for (size_t j = 0; j < shifted.size(); ++j) {
+            updated[j] = gf::add(updated[j],
+                                 gf::mul(coefficient, shifted[j]));
+        }
+        if (2 * l <= i) {
+            prev = lambda;
+            b = delta;
+            l = i + 1 - l;
+            m = 1;
+        } else {
+            ++m;
+        }
+        lambda = std::move(updated);
+    }
+    while (!lambda.empty() && lambda.back() == 0)
+        lambda.pop_back();
+    const size_t numErrors = lambda.size() - 1;
+    if (2 * numErrors + numErasures > parity())
+        return std::nullopt; // beyond guaranteed capacity
+
+    // Combined locator: psi(x) = Lambda(x) * prod (1 + X_i x).
+    Poly psi = lambda;
+    for (uint8_t x : erasureLocators)
+        psi = polyMul(psi, {1, x});
+
+    // Chien search: position p is corrupt iff psi(X_p^{-1}) == 0.
+    std::vector<size_t> corruptPositions;
+    for (size_t pos = 0; pos < length; ++pos) {
+        const uint8_t locator =
+            gf::exp(static_cast<unsigned>(length - 1 - pos));
+        if (polyEval(psi, gf::inv(locator)) == 0)
+            corruptPositions.push_back(pos);
+    }
+    if (corruptPositions.size() != psi.size() - 1)
+        return std::nullopt; // locator degree != root count: failure
+
+    // Error evaluator Omega(x) = S(x) psi(x) mod x^(n-k).
+    Poly omega = polyMul(synd, psi);
+    omega.resize(parity());
+    const Poly psiPrime = polyDerivative(psi);
+
+    // Forney's algorithm: magnitude at X is Omega(X^{-1}) / psi'(X^{-1}).
+    for (size_t pos : corruptPositions) {
+        const uint8_t locator =
+            gf::exp(static_cast<unsigned>(length - 1 - pos));
+        const uint8_t xInv = gf::inv(locator);
+        const uint8_t denominator = polyEval(psiPrime, xInv);
+        if (denominator == 0)
+            return std::nullopt;
+        const uint8_t magnitude =
+            gf::div(polyEval(omega, xInv), denominator);
+        corrected[pos] = gf::add(corrected[pos], magnitude);
+    }
+
+    if (!syndromes(corrected).empty())
+        return std::nullopt; // correction did not land on a codeword
+
+    DecodeResult result;
+    result.message.assign(corrected.begin(),
+                          corrected.begin() +
+                              static_cast<std::ptrdiff_t>(dimension));
+    result.correctedErasures = numErasures;
+    result.correctedErrors =
+        corruptPositions.size() >= numErasures
+            ? corruptPositions.size() - numErasures
+            : 0;
+    return result;
+}
+
+} // namespace lemons::rs

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Classic BCH-view Reed-Solomon codec over GF(2^8) with full
+ * errors-and-erasures correction.
+ *
+ * The paper frames Reed-Solomon codes as "commonly used in the error
+ * correction of large amounts of data in devices such as flash disks,
+ * CDs and DVDs" (Section 4.1.4). RsCode (reed_solomon.h) provides the
+ * share-oriented *erasure* view the architectures use; this codec
+ * provides the classic codeword view with unknown-position error
+ * correction:
+ *
+ *  - generator polynomial g(x) = prod_{i=1}^{n-k} (x - a^i),
+ *  - systematic encoding (message followed by parity),
+ *  - syndrome computation, Berlekamp-Massey error-locator synthesis,
+ *    Chien search, and Forney's algorithm for magnitudes,
+ *  - errors-and-erasures decoding: corrects any pattern with
+ *    2 * errors + erasures <= n - k.
+ */
+
+#ifndef LEMONS_RS_CLASSIC_RS_H_
+#define LEMONS_RS_CLASSIC_RS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace lemons::rs {
+
+/**
+ * An (n, k) classic Reed-Solomon codec. Immutable after construction;
+ * encode/decode are const.
+ */
+class ClassicRsCodec
+{
+  public:
+    /**
+     * @param n Codeword length (k < n <= 255).
+     * @param k Message length (>= 1).
+     */
+    ClassicRsCodec(size_t n, size_t k);
+
+    /** Codeword length. */
+    size_t n() const { return length; }
+    /** Message length. */
+    size_t k() const { return dimension; }
+    /** Parity symbols n - k. */
+    size_t parity() const { return length - dimension; }
+    /** Guaranteed correctable unknown-position errors (n-k)/2. */
+    size_t errorCapacity() const { return parity() / 2; }
+
+    /**
+     * Systematically encode a k-byte message into an n-byte codeword
+     * (message symbols first, parity last). @pre message.size() == k.
+     */
+    std::vector<uint8_t> encode(const std::vector<uint8_t> &message) const;
+
+    /** Result of a successful decode. */
+    struct DecodeResult
+    {
+        std::vector<uint8_t> message;   ///< recovered k message bytes
+        size_t correctedErrors = 0;     ///< unknown-position fixes
+        size_t correctedErasures = 0;   ///< known-position fixes
+    };
+
+    /**
+     * Decode a (possibly corrupted) n-byte codeword.
+     *
+     * @param received The received codeword. @pre size == n.
+     * @param erasurePositions Indices (< n) the caller knows are
+     *        unreliable (e.g. worn-out devices). Duplicates rejected.
+     * @return The corrected message, or nullopt when the pattern
+     *         exceeds 2 * errors + erasures <= n - k (decoder failure
+     *         detected).
+     */
+    std::optional<DecodeResult>
+    decode(const std::vector<uint8_t> &received,
+           const std::vector<size_t> &erasurePositions = {}) const;
+
+    /** True when @p word is a codeword (all syndromes zero). */
+    bool isCodeword(const std::vector<uint8_t> &word) const;
+
+  private:
+    size_t length;
+    size_t dimension;
+    /** g(x), low-order first, degree n - k. */
+    std::vector<uint8_t> generator;
+
+    /** Syndromes S_1..S_{n-k} of @p word; empty when all zero. */
+    std::vector<uint8_t> syndromes(const std::vector<uint8_t> &word) const;
+};
+
+} // namespace lemons::rs
+
+#endif // LEMONS_RS_CLASSIC_RS_H_

@@ -1,0 +1,153 @@
+#include "rs/reed_solomon.h"
+
+#include <algorithm>
+#include <array>
+
+#include "gf/gf256.h"
+#include "gf/poly.h"
+#include "util/math.h"
+#include "util/require.h"
+
+namespace lemons::rs {
+
+std::vector<uint8_t>
+Share::toBytes() const
+{
+    std::vector<uint8_t> out;
+    out.reserve(payload.size() + 1);
+    out.push_back(index);
+    out.insert(out.end(), payload.begin(), payload.end());
+    return out;
+}
+
+std::optional<Share>
+Share::fromBytes(const std::vector<uint8_t> &bytes)
+{
+    if (bytes.empty())
+        return std::nullopt;
+    Share share;
+    share.index = bytes[0];
+    share.payload.assign(bytes.begin() + 1, bytes.end());
+    return share;
+}
+
+RsCode::RsCode(size_t k, size_t n) : threshold(k), total(n)
+{
+    requireArg(k >= 1, "RsCode: k must be at least 1");
+    requireArg(n >= k, "RsCode: n must be at least k");
+    requireArg(n <= 255, "RsCode: n must be at most 255 over GF(2^8)");
+}
+
+size_t
+RsCode::shareSize(size_t messageSize) const
+{
+    if (messageSize == 0)
+        return 0;
+    return static_cast<size_t>(
+        ceilDiv(static_cast<uint64_t>(messageSize),
+                static_cast<uint64_t>(threshold)));
+}
+
+std::vector<Share>
+RsCode::encode(const std::vector<uint8_t> &data) const
+{
+    const size_t chunk = shareSize(data.size());
+    std::vector<Share> shares(total);
+    for (size_t i = 0; i < total; ++i) {
+        shares[i].index = static_cast<uint8_t>(i + 1);
+        shares[i].payload.assign(chunk, 0);
+    }
+
+    // Systematic part: share i (1-based index i+1 <= k) holds chunk i.
+    for (size_t i = 0; i < threshold; ++i) {
+        for (size_t j = 0; j < chunk; ++j) {
+            const size_t src = i * chunk + j;
+            shares[i].payload[j] = src < data.size() ? data[src] : 0;
+        }
+    }
+
+    // Parity: per byte position interpolate through the k data points
+    // and evaluate at the parity indices.
+    if (total > threshold) {
+        std::vector<gf::Point> points(threshold);
+        for (size_t j = 0; j < chunk; ++j) {
+            for (size_t i = 0; i < threshold; ++i)
+                points[i] = {static_cast<uint8_t>(i + 1),
+                             shares[i].payload[j]};
+            const gf::Poly p = gf::interpolate(points);
+            for (size_t i = threshold; i < total; ++i)
+                shares[i].payload[j] = p.eval(static_cast<uint8_t>(i + 1));
+        }
+    }
+    return shares;
+}
+
+bool
+RsCode::sharesUsable(const std::vector<Share> &shares) const
+{
+    if (shares.size() < threshold)
+        return false;
+    std::array<bool, 256> seen{};
+    const size_t chunk = shares.front().payload.size();
+    for (const Share &share : shares) {
+        if (share.index == 0 || share.index > total)
+            return false;
+        if (seen[share.index])
+            return false;
+        seen[share.index] = true;
+        if (share.payload.size() != chunk)
+            return false;
+    }
+    return true;
+}
+
+std::optional<std::vector<uint8_t>>
+RsCode::decode(const std::vector<Share> &shares, size_t messageSize) const
+{
+    if (messageSize == 0)
+        return std::vector<uint8_t>{};
+    if (!sharesUsable(shares))
+        return std::nullopt;
+    if (!verifyConsistent(shares))
+        return std::nullopt;
+
+    const size_t chunk = shares.front().payload.size();
+    if (chunk != shareSize(messageSize))
+        return std::nullopt;
+
+    std::vector<uint8_t> padded(threshold * chunk, 0);
+    std::vector<gf::Point> points(threshold);
+    for (size_t j = 0; j < chunk; ++j) {
+        for (size_t i = 0; i < threshold; ++i)
+            points[i] = {shares[i].index, shares[i].payload[j]};
+        const gf::Poly p = gf::interpolate(points);
+        for (size_t i = 0; i < threshold; ++i)
+            padded[i * chunk + j] = p.eval(static_cast<uint8_t>(i + 1));
+    }
+    padded.resize(messageSize);
+    return padded;
+}
+
+bool
+RsCode::verifyConsistent(const std::vector<Share> &shares) const
+{
+    if (!sharesUsable(shares))
+        return false;
+    if (shares.size() == threshold)
+        return true; // nothing to cross-check against
+
+    const size_t chunk = shares.front().payload.size();
+    std::vector<gf::Point> points(threshold);
+    for (size_t j = 0; j < chunk; ++j) {
+        for (size_t i = 0; i < threshold; ++i)
+            points[i] = {shares[i].index, shares[i].payload[j]};
+        const gf::Poly p = gf::interpolate(points);
+        for (size_t i = threshold; i < shares.size(); ++i) {
+            if (p.eval(shares[i].index) != shares[i].payload[j])
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace lemons::rs

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Systematic Reed-Solomon erasure coding over GF(2^8).
+ *
+ * The paper (Section 4.1.4) uses Reed-Solomon codes as "the error
+ * correction version of Shamir's secret-sharing scheme": a key is
+ * encoded into n component shares, stored behind n wearout devices,
+ * such that any k surviving shares reconstruct the key while the
+ * reliability of the k-out-of-n structure degrades sharply at the
+ * designed access bound (Eq. 8). Device failures manifest as
+ * *erasures* (shares that cannot be read), which RS handles up to
+ * n - k of.
+ *
+ * Encoding is systematic: shares with index 1..k carry the raw data
+ * chunks, shares k+1..n carry parity. Per byte position j, the encoder
+ * takes the unique polynomial p_j of degree < k through the points
+ * (i, chunk_i[j]) for i = 1..k and evaluates it at the parity indices;
+ * the decoder interpolates through any k received shares.
+ */
+
+#ifndef LEMONS_RS_REED_SOLOMON_H_
+#define LEMONS_RS_REED_SOLOMON_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace lemons::rs {
+
+/** One coded share: the evaluation index plus the payload bytes. */
+struct Share
+{
+    uint8_t index;                ///< x coordinate, 1-based, <= n.
+    std::vector<uint8_t> payload; ///< One byte per data-chunk position.
+
+    /** Serialize as [index, payload...]. */
+    std::vector<uint8_t> toBytes() const;
+
+    /** Parse a serialized share; nullopt if too short. */
+    static std::optional<Share> fromBytes(const std::vector<uint8_t> &bytes);
+
+    bool operator==(const Share &other) const = default;
+};
+
+/**
+ * An (n, k) systematic Reed-Solomon erasure code.
+ *
+ * Immutable after construction; encode/decode are const and
+ * thread-compatible.
+ */
+class RsCode
+{
+  public:
+    /**
+     * @param k Number of data shares required to reconstruct (>= 1).
+     * @param n Total number of shares (k <= n <= 255).
+     */
+    RsCode(size_t k, size_t n);
+
+    /** Reconstruction threshold. */
+    size_t k() const { return threshold; }
+    /** Total share count. */
+    size_t n() const { return total; }
+
+    /** Payload bytes per share for a message of @p messageSize bytes. */
+    size_t shareSize(size_t messageSize) const;
+
+    /**
+     * Encode @p data into n shares. The message is zero-padded up to a
+     * multiple of k; callers pass the original size back to decode().
+     */
+    std::vector<Share> encode(const std::vector<uint8_t> &data) const;
+
+    /**
+     * Reconstruct the original message from any subset of shares.
+     *
+     * @param shares At least k shares; extras are used for consistency
+     *        checking. Shares with duplicate indices, out-of-range
+     *        indices, or mismatched payload sizes cause failure.
+     * @param messageSize Original (pre-padding) message size.
+     * @return The message, or nullopt when reconstruction is impossible
+     *         (too few shares / malformed shares / inconsistent extras,
+     *         which indicates corruption).
+     */
+    std::optional<std::vector<uint8_t>>
+    decode(const std::vector<Share> &shares, size_t messageSize) const;
+
+    /**
+     * Check whether a share set is self-consistent: every share beyond
+     * the first k must lie on the polynomial the first k define. Used
+     * to *detect* (not correct) corrupted shares.
+     */
+    bool verifyConsistent(const std::vector<Share> &shares) const;
+
+  private:
+    size_t threshold;
+    size_t total;
+
+    /** Validate a share subset; returns false when unusable. */
+    bool sharesUsable(const std::vector<Share> &shares) const;
+};
+
+} // namespace lemons::rs
+
+#endif // LEMONS_RS_REED_SOLOMON_H_

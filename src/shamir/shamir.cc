@@ -1,0 +1,79 @@
+#include "shamir/shamir.h"
+
+#include <array>
+
+#include "gf/gf256.h"
+#include "gf/poly.h"
+#include "util/require.h"
+
+namespace lemons::shamir {
+
+Scheme::Scheme(size_t k, size_t n) : threshold(k), total(n)
+{
+    requireArg(k >= 1, "shamir::Scheme: k must be at least 1");
+    requireArg(n >= k, "shamir::Scheme: n must be at least k");
+    requireArg(n <= 255, "shamir::Scheme: n must be at most 255");
+}
+
+std::vector<Share>
+Scheme::split(const std::vector<uint8_t> &secret, Rng &rng) const
+{
+    std::vector<Share> shares(total);
+    for (size_t i = 0; i < total; ++i) {
+        shares[i].index = static_cast<uint8_t>(i + 1);
+        shares[i].payload.resize(secret.size());
+    }
+    for (size_t b = 0; b < secret.size(); ++b) {
+        const gf::Poly p = gf::Poly::random(secret[b], threshold - 1, rng);
+        for (size_t i = 0; i < total; ++i)
+            shares[i].payload[b] = p.eval(shares[i].index);
+    }
+    return shares;
+}
+
+std::optional<std::vector<uint8_t>>
+Scheme::combine(const std::vector<Share> &shares) const
+{
+    if (shares.size() < threshold)
+        return std::nullopt;
+
+    std::array<bool, 256> seen{};
+    const size_t secretSize = shares.front().payload.size();
+    for (const Share &share : shares) {
+        if (share.index == 0 || share.index > total)
+            return std::nullopt;
+        if (seen[share.index])
+            return std::nullopt;
+        seen[share.index] = true;
+        if (share.payload.size() != secretSize)
+            return std::nullopt;
+    }
+
+    // The Lagrange basis at x = 0 depends only on the share indices,
+    // so compute the weights once and reuse them for every byte.
+    std::vector<uint8_t> weights(threshold);
+    for (size_t i = 0; i < threshold; ++i) {
+        uint8_t num = 1;
+        uint8_t denom = 1;
+        for (size_t j = 0; j < threshold; ++j) {
+            if (j == i)
+                continue;
+            num = gf::mul(num, shares[j].index);
+            denom = gf::mul(denom,
+                            gf::sub(shares[j].index, shares[i].index));
+        }
+        weights[i] = gf::div(num, denom);
+    }
+
+    std::vector<uint8_t> secret(secretSize);
+    for (size_t b = 0; b < secretSize; ++b) {
+        uint8_t value = 0;
+        for (size_t i = 0; i < threshold; ++i)
+            value = gf::add(value,
+                            gf::mul(shares[i].payload[b], weights[i]));
+        secret[b] = value;
+    }
+    return secret;
+}
+
+} // namespace lemons::shamir

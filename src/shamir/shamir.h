@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Shamir (k, n) threshold secret sharing over GF(2^8).
+ *
+ * The paper (Section 4.1.4) encodes the storage decryption key into n
+ * components spread across read-destructive storage behind NEMS
+ * switches: at least k components are needed to recover the key, and
+ * k-1 or fewer reveal *nothing* (information-theoretic secrecy). Each
+ * secret byte is the constant term of an independent uniformly random
+ * polynomial of degree k-1 (paper Eq. 7); share i is the evaluation at
+ * x = i.
+ */
+
+#ifndef LEMONS_SHAMIR_SHAMIR_H_
+#define LEMONS_SHAMIR_SHAMIR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace lemons::shamir {
+
+/** One secret share: evaluation index plus one byte per secret byte. */
+struct Share
+{
+    uint8_t index;                ///< x coordinate, 1-based, <= n.
+    std::vector<uint8_t> payload; ///< Same length as the secret.
+
+    bool operator==(const Share &other) const = default;
+};
+
+/**
+ * A (k, n) threshold scheme. Immutable after construction; split and
+ * combine are const.
+ */
+class Scheme
+{
+  public:
+    /**
+     * @param k Threshold: shares required to reconstruct (>= 1).
+     * @param n Total shares issued (k <= n <= 255).
+     */
+    Scheme(size_t k, size_t n);
+
+    /** Reconstruction threshold. */
+    size_t k() const { return threshold; }
+    /** Total share count. */
+    size_t n() const { return total; }
+
+    /**
+     * Split @p secret into n shares.
+     *
+     * @param secret Secret bytes (any length, including empty).
+     * @param rng Randomness for the masking polynomials. Secrecy of the
+     *        scheme is only as good as this source; production use
+     *        would substitute a CSPRNG, which is out of scope for the
+     *        simulation (documented in DESIGN.md).
+     */
+    std::vector<Share> split(const std::vector<uint8_t> &secret,
+                             Rng &rng) const;
+
+    /**
+     * Reconstruct the secret from any k or more shares.
+     *
+     * @return The secret, or nullopt when the shares are unusable
+     *         (fewer than k, duplicate/out-of-range indices, or
+     *         mismatched payload lengths).
+     */
+    std::optional<std::vector<uint8_t>>
+    combine(const std::vector<Share> &shares) const;
+
+  private:
+    size_t threshold;
+    size_t total;
+};
+
+} // namespace lemons::shamir
+
+#endif // LEMONS_SHAMIR_SHAMIR_H_

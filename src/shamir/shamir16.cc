@@ -1,0 +1,157 @@
+#include "shamir/shamir16.h"
+
+#include <unordered_set>
+
+#include "gf/gf65536.h"
+#include "util/math.h"
+#include "util/require.h"
+
+namespace lemons::shamir {
+
+namespace {
+
+/** Pack bytes into big-endian 16-bit symbols, zero-padding the tail. */
+std::vector<uint16_t>
+packSymbols(const std::vector<uint8_t> &bytes)
+{
+    std::vector<uint16_t> symbols(
+        static_cast<size_t>(ceilDiv(bytes.size(), 2)));
+    for (size_t i = 0; i < bytes.size(); ++i) {
+        const size_t sym = i / 2;
+        if (i % 2 == 0)
+            symbols[sym] = static_cast<uint16_t>(bytes[i] << 8);
+        else
+            symbols[sym] = static_cast<uint16_t>(symbols[sym] | bytes[i]);
+    }
+    return symbols;
+}
+
+/** Unpack symbols back into exactly @p byteCount bytes. */
+std::vector<uint8_t>
+unpackSymbols(const std::vector<uint16_t> &symbols, size_t byteCount)
+{
+    std::vector<uint8_t> bytes(byteCount);
+    for (size_t i = 0; i < byteCount; ++i) {
+        const uint16_t sym = symbols[i / 2];
+        bytes[i] = i % 2 == 0 ? static_cast<uint8_t>(sym >> 8)
+                              : static_cast<uint8_t>(sym & 0xff);
+    }
+    return bytes;
+}
+
+/** Horner evaluation of a polynomial over GF(2^16). */
+uint16_t
+evalPoly(const std::vector<uint16_t> &coeffs, uint16_t x)
+{
+    uint16_t acc = 0;
+    for (auto it = coeffs.rbegin(); it != coeffs.rend(); ++it)
+        acc = gf16::add(gf16::mul(acc, x), *it);
+    return acc;
+}
+
+} // namespace
+
+std::vector<uint8_t>
+WideShare::toBytes() const
+{
+    std::vector<uint8_t> out;
+    out.reserve(2 + 2 * payload.size());
+    out.push_back(static_cast<uint8_t>(index >> 8));
+    out.push_back(static_cast<uint8_t>(index & 0xff));
+    for (uint16_t sym : payload) {
+        out.push_back(static_cast<uint8_t>(sym >> 8));
+        out.push_back(static_cast<uint8_t>(sym & 0xff));
+    }
+    return out;
+}
+
+std::optional<WideShare>
+WideShare::fromBytes(const std::vector<uint8_t> &bytes)
+{
+    if (bytes.size() < 2 || bytes.size() % 2 != 0)
+        return std::nullopt;
+    WideShare share;
+    share.index = static_cast<uint16_t>((bytes[0] << 8) | bytes[1]);
+    share.payload.resize(bytes.size() / 2 - 1);
+    for (size_t i = 0; i < share.payload.size(); ++i) {
+        share.payload[i] = static_cast<uint16_t>(
+            (bytes[2 + 2 * i] << 8) | bytes[3 + 2 * i]);
+    }
+    return share;
+}
+
+WideScheme::WideScheme(size_t k, size_t n) : threshold(k), total(n)
+{
+    requireArg(k >= 1, "WideScheme: k must be at least 1");
+    requireArg(n >= k, "WideScheme: n must be at least k");
+    requireArg(n <= 65535, "WideScheme: n must be at most 65535");
+}
+
+std::vector<WideShare>
+WideScheme::split(const std::vector<uint8_t> &secret, Rng &rng) const
+{
+    const std::vector<uint16_t> symbols = packSymbols(secret);
+    std::vector<WideShare> shares(total);
+    for (size_t i = 0; i < total; ++i) {
+        shares[i].index = static_cast<uint16_t>(i + 1);
+        shares[i].payload.resize(symbols.size());
+    }
+    std::vector<uint16_t> coeffs(threshold);
+    for (size_t s = 0; s < symbols.size(); ++s) {
+        coeffs[0] = symbols[s];
+        for (size_t c = 1; c < threshold; ++c)
+            coeffs[c] = static_cast<uint16_t>(rng.nextBelow(65536));
+        for (size_t i = 0; i < total; ++i)
+            shares[i].payload[s] = evalPoly(coeffs, shares[i].index);
+    }
+    return shares;
+}
+
+std::optional<std::vector<uint8_t>>
+WideScheme::combine(const std::vector<WideShare> &shares,
+                    size_t secretBytes) const
+{
+    if (shares.size() < threshold)
+        return std::nullopt;
+    const size_t symbolCount =
+        static_cast<size_t>(ceilDiv(secretBytes, 2));
+
+    std::unordered_set<uint16_t> seen;
+    for (const WideShare &share : shares) {
+        if (share.index == 0 || share.index > total)
+            return std::nullopt;
+        if (!seen.insert(share.index).second)
+            return std::nullopt;
+        if (share.payload.size() != symbolCount)
+            return std::nullopt;
+    }
+
+    // Lagrange basis at x = 0 depends only on the share indices, so
+    // compute the weights once and reuse across symbols.
+    std::vector<uint16_t> weights(threshold);
+    for (size_t i = 0; i < threshold; ++i) {
+        uint16_t num = 1;
+        uint16_t denom = 1;
+        for (size_t j = 0; j < threshold; ++j) {
+            if (j == i)
+                continue;
+            num = gf16::mul(num, shares[j].index);
+            denom = gf16::mul(
+                denom, gf16::sub(shares[j].index, shares[i].index));
+        }
+        weights[i] = gf16::div(num, denom);
+    }
+
+    std::vector<uint16_t> symbols(symbolCount);
+    for (size_t s = 0; s < symbolCount; ++s) {
+        uint16_t secret = 0;
+        for (size_t i = 0; i < threshold; ++i) {
+            secret = gf16::add(
+                secret, gf16::mul(shares[i].payload[s], weights[i]));
+        }
+        symbols[s] = secret;
+    }
+    return unpackSymbols(symbols, secretBytes);
+}
+
+} // namespace lemons::shamir

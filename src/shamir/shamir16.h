@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Shamir (k, n) threshold secret sharing over GF(2^16).
+ *
+ * The GF(2^8) scheme caps n at 255 shares, but the paper's encoded
+ * designs at high process variation (Fig 4b, beta = 4) use parallel
+ * structures thousands of devices wide. This wide variant packs the
+ * secret into 16-bit symbols and supports up to 65,535 shares with the
+ * same information-theoretic threshold guarantee.
+ */
+
+#ifndef LEMONS_SHAMIR_SHAMIR16_H_
+#define LEMONS_SHAMIR_SHAMIR16_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace lemons::shamir {
+
+/** One wide share: 16-bit index plus one 16-bit symbol per secret pair. */
+struct WideShare
+{
+    uint16_t index;                ///< x coordinate, 1-based, <= n.
+    std::vector<uint16_t> payload; ///< ceil(secretBytes / 2) symbols.
+
+    bool operator==(const WideShare &other) const = default;
+
+    /** Serialize as big-endian bytes: [idx_hi, idx_lo, sym_hi, ...]. */
+    std::vector<uint8_t> toBytes() const;
+
+    /** Parse a serialized share; nullopt on malformed input. */
+    static std::optional<WideShare>
+    fromBytes(const std::vector<uint8_t> &bytes);
+};
+
+/**
+ * A (k, n) threshold scheme over GF(2^16). Immutable after
+ * construction; split and combine are const.
+ */
+class WideScheme
+{
+  public:
+    /**
+     * @param k Threshold (>= 1).
+     * @param n Total shares (k <= n <= 65535).
+     */
+    WideScheme(size_t k, size_t n);
+
+    /** Reconstruction threshold. */
+    size_t k() const { return threshold; }
+    /** Total share count. */
+    size_t n() const { return total; }
+
+    /**
+     * Split @p secret into n shares. Odd-length secrets are padded
+     * with a zero byte inside the symbol packing; combine() restores
+     * the exact byte length.
+     */
+    std::vector<WideShare> split(const std::vector<uint8_t> &secret,
+                                 Rng &rng) const;
+
+    /**
+     * Reconstruct a @p secretBytes -byte secret from any k or more
+     * shares. Returns nullopt when the shares are unusable.
+     */
+    std::optional<std::vector<uint8_t>>
+    combine(const std::vector<WideShare> &shares, size_t secretBytes) const;
+
+  private:
+    size_t threshold;
+    size_t total;
+};
+
+} // namespace lemons::shamir
+
+#endif // LEMONS_SHAMIR_SHAMIR16_H_

@@ -1,0 +1,62 @@
+#include "sim/empirical.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/require.h"
+
+namespace lemons::sim {
+
+SurvivalCurve::SurvivalCurve(std::vector<double> failureTimes)
+    : times(std::move(failureTimes))
+{
+    requireArg(!times.empty(), "SurvivalCurve: need at least one sample");
+    std::sort(times.begin(), times.end());
+}
+
+double
+SurvivalCurve::reliability(double t) const
+{
+    // Count of samples strictly greater than t.
+    const auto it = std::upper_bound(times.begin(), times.end(), t);
+    const auto surviving = static_cast<double>(times.end() - it);
+    return surviving / static_cast<double>(times.size());
+}
+
+double
+SurvivalCurve::quantile(double q) const
+{
+    requireArg(q >= 0.0 && q <= 1.0, "SurvivalCurve::quantile: bad q");
+    if (q <= 0.0)
+        return times.front();
+    const auto rank = static_cast<size_t>(
+        std::min(static_cast<double>(times.size() - 1),
+                 std::ceil(q * static_cast<double>(times.size())) - 1.0));
+    return times[rank];
+}
+
+double
+SurvivalCurve::mean() const
+{
+    return std::accumulate(times.begin(), times.end(), 0.0) /
+           static_cast<double>(times.size());
+}
+
+double
+SurvivalCurve::ksDistance(
+    const std::function<double(double)> &referenceCdf) const
+{
+    const auto n = static_cast<double>(times.size());
+    double worst = 0.0;
+    for (size_t i = 0; i < times.size(); ++i) {
+        const double ref = referenceCdf(times[i]);
+        const double below = static_cast<double>(i) / n;
+        const double atOrBelow = static_cast<double>(i + 1) / n;
+        worst = std::max(worst, std::abs(ref - below));
+        worst = std::max(worst, std::abs(ref - atOrBelow));
+    }
+    return worst;
+}
+
+} // namespace lemons::sim

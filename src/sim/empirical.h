@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Empirical survival / reliability curves from Monte Carlo samples.
+ *
+ * Used to cross-validate the analytic reliability expressions (paper
+ * Eq. 3, 6, 8) against simulated device populations.
+ */
+
+#ifndef LEMONS_SIM_EMPIRICAL_H_
+#define LEMONS_SIM_EMPIRICAL_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace lemons::sim {
+
+/**
+ * Empirical survival function built from failure-time samples:
+ * reliability(t) = fraction of samples with failure time > t.
+ */
+class SurvivalCurve
+{
+  public:
+    /** @param failureTimes Observed failure times (non-empty). */
+    explicit SurvivalCurve(std::vector<double> failureTimes);
+
+    /** Number of underlying samples. */
+    size_t sampleCount() const { return times.size(); }
+
+    /** Empirical P(T > t). */
+    double reliability(double t) const;
+
+    /** Empirical P(T <= t). */
+    double cdf(double t) const { return 1.0 - reliability(t); }
+
+    /**
+     * Empirical quantile: smallest observed failure time t with
+     * cdf(t) >= q. @pre 0 <= q <= 1.
+     */
+    double quantile(double q) const;
+
+    /** Mean observed failure time. */
+    double mean() const;
+
+    /**
+     * Largest absolute difference between this curve's CDF and
+     * @p referenceCdf evaluated at every sample point (one-sample
+     * Kolmogorov-Smirnov statistic). Lets tests assert that simulated
+     * populations match the analytic model.
+     */
+    double ksDistance(const std::function<double(double)> &referenceCdf) const;
+
+  private:
+    std::vector<double> times; ///< sorted ascending
+};
+
+} // namespace lemons::sim
+
+#endif // LEMONS_SIM_EMPIRICAL_H_

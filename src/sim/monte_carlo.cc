@@ -1,0 +1,85 @@
+#include "sim/monte_carlo.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "util/require.h"
+
+namespace lemons::sim {
+
+MonteCarlo::MonteCarlo(uint64_t seed, uint64_t trials)
+    : masterSeed(seed), trialCount(trials)
+{
+    requireArg(trials > 0, "MonteCarlo: need at least one trial");
+}
+
+RunningStats
+MonteCarlo::runStats(const std::function<double(Rng &)> &metric) const
+{
+    const Rng parent(masterSeed);
+    RunningStats stats;
+    for (uint64_t i = 0; i < trialCount; ++i) {
+        Rng rng = parent.split(i);
+        stats.add(metric(rng));
+    }
+    return stats;
+}
+
+std::vector<double>
+MonteCarlo::runSamples(const std::function<double(Rng &)> &metric) const
+{
+    const Rng parent(masterSeed);
+    std::vector<double> samples;
+    samples.reserve(trialCount);
+    for (uint64_t i = 0; i < trialCount; ++i) {
+        Rng rng = parent.split(i);
+        samples.push_back(metric(rng));
+    }
+    return samples;
+}
+
+std::vector<double>
+MonteCarlo::runSamplesParallel(const std::function<double(Rng &)> &metric,
+                               unsigned threads) const
+{
+    if (threads == 0) {
+        threads = std::max(1u, std::thread::hardware_concurrency());
+    }
+    threads = static_cast<unsigned>(
+        std::min<uint64_t>(threads, trialCount));
+
+    const Rng parent(masterSeed);
+    std::vector<double> samples(trialCount);
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (unsigned w = 0; w < threads; ++w) {
+        workers.emplace_back([&, w] {
+            // Strided partition: trial i is computed by thread
+            // i % threads; every trial's generator depends only on
+            // (seed, i), so the ordering is irrelevant.
+            for (uint64_t i = w; i < trialCount; i += threads) {
+                Rng rng = parent.split(i);
+                samples[i] = metric(rng);
+            }
+        });
+    }
+    for (auto &worker : workers)
+        worker.join();
+    return samples;
+}
+
+ProportionInterval
+MonteCarlo::estimateProbability(const std::function<bool(Rng &)> &event) const
+{
+    const Rng parent(masterSeed);
+    uint64_t successes = 0;
+    for (uint64_t i = 0; i < trialCount; ++i) {
+        Rng rng = parent.split(i);
+        if (event(rng))
+            ++successes;
+    }
+    return wilsonInterval(successes, trialCount);
+}
+
+} // namespace lemons::sim

@@ -1,0 +1,116 @@
+#include "sim/workload.h"
+
+#include <cmath>
+
+#include "util/require.h"
+
+namespace lemons::sim {
+
+uint64_t
+poissonSample(Rng &rng, double mean)
+{
+    requireArg(mean >= 0.0 && std::isfinite(mean),
+               "poissonSample: mean must be finite and >= 0");
+    if (mean == 0.0)
+        return 0;
+    if (mean < 64.0) {
+        // Knuth's product-of-uniforms method.
+        const double limit = std::exp(-mean);
+        uint64_t count = 0;
+        double product = rng.nextDoubleOpenLow();
+        while (product > limit) {
+            ++count;
+            product *= rng.nextDoubleOpenLow();
+        }
+        return count;
+    }
+    // Normal approximation with continuity correction; relative error
+    // is far below the Monte Carlo noise at mean >= 64.
+    const double sample =
+        mean + std::sqrt(mean) * rng.nextGaussian() + 0.5;
+    return sample <= 0.0 ? 0 : static_cast<uint64_t>(sample);
+}
+
+double
+UsageProfile::effectiveDailyMean() const
+{
+    return meanPerDay *
+           (1.0 + burstProbability * (burstMultiplier - 1.0));
+}
+
+LifetimeOutcome
+simulateUsage(const UsageProfile &profile, uint64_t budgetAccesses,
+              uint64_t horizonDays, Rng &rng)
+{
+    requireArg(profile.meanPerDay > 0.0,
+               "simulateUsage: meanPerDay must be positive");
+    requireArg(profile.burstProbability >= 0.0 &&
+                   profile.burstProbability <= 1.0,
+               "simulateUsage: burstProbability outside [0, 1]");
+    requireArg(profile.burstMultiplier >= 1.0,
+               "simulateUsage: burstMultiplier must be >= 1");
+    requireArg(horizonDays >= 1, "simulateUsage: horizon must be >= 1 day");
+
+    LifetimeOutcome outcome;
+    uint64_t remaining = budgetAccesses;
+    for (uint64_t day = 0; day < horizonDays; ++day) {
+        double rate = profile.meanPerDay;
+        if (profile.burstProbability > 0.0 &&
+            rng.nextBernoulli(profile.burstProbability))
+            rate *= profile.burstMultiplier;
+        const uint64_t wanted = poissonSample(rng, rate);
+        if (wanted > remaining) {
+            outcome.accessesServed += remaining;
+            outcome.daysServed = day;
+            return outcome; // exhausted mid-day
+        }
+        remaining -= wanted;
+        outcome.accessesServed += wanted;
+    }
+    outcome.survivedHorizon = true;
+    outcome.daysServed = horizonDays;
+    return outcome;
+}
+
+ProportionInterval
+survivalProbability(const UsageProfile &profile, uint64_t budgetAccesses,
+                    uint64_t horizonDays, const MonteCarlo &engine)
+{
+    return engine.estimateProbability([&](Rng &rng) {
+        return simulateUsage(profile, budgetAccesses, horizonDays, rng)
+            .survivedHorizon;
+    });
+}
+
+uint64_t
+budgetForSurvival(const UsageProfile &profile, uint64_t horizonDays,
+                  double targetProbability, const MonteCarlo &engine)
+{
+    requireArg(targetProbability > 0.0 && targetProbability < 1.0,
+               "budgetForSurvival: target outside (0, 1)");
+
+    auto survives = [&](uint64_t budget) {
+        return survivalProbability(profile, budget, horizonDays, engine)
+                   .estimate >= targetProbability;
+    };
+
+    // Start near the deterministic mean and search outward.
+    uint64_t hi = std::max<uint64_t>(
+        1, static_cast<uint64_t>(profile.effectiveDailyMean() *
+                                 static_cast<double>(horizonDays)));
+    uint64_t lo = 0;
+    while (!survives(hi)) {
+        lo = hi;
+        hi *= 2;
+    }
+    while (hi - lo > 1) {
+        const uint64_t mid = lo + (hi - lo) / 2;
+        if (survives(mid))
+            hi = mid;
+        else
+            lo = mid;
+    }
+    return hi;
+}
+
+} // namespace lemons::sim

@@ -1,0 +1,52 @@
+#include "util/csv.h"
+
+namespace lemons {
+
+std::string
+csvEscape(const std::string &field)
+{
+    const bool needsQuotes =
+        field.find_first_of(",\"\r\n") != std::string::npos;
+    if (!needsQuotes)
+        return field;
+    std::string out;
+    out.reserve(field.size() + 2);
+    out.push_back('"');
+    for (char c : field) {
+        if (c == '"')
+            out.push_back('"');
+        out.push_back(c);
+    }
+    out.push_back('"');
+    return out;
+}
+
+CsvWriter::CsvWriter(const std::string &path) : out(path)
+{
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &cells)
+{
+    for (size_t i = 0; i < cells.size(); ++i) {
+        if (i > 0)
+            out << ',';
+        out << csvEscape(cells[i]);
+    }
+    out << '\n';
+    ++rows;
+}
+
+bool
+writeCsvFile(const std::string &path,
+             const std::vector<std::vector<std::string>> &rows)
+{
+    CsvWriter writer(path);
+    if (!writer.good())
+        return false;
+    for (const auto &row : rows)
+        writer.writeRow(row);
+    return writer.good();
+}
+
+} // namespace lemons

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Minimal CSV output (RFC 4180 quoting) so benches can emit
+ * machine-readable data next to their human-readable tables — the
+ * series behind each figure can then be plotted or diffed directly.
+ */
+
+#ifndef LEMONS_UTIL_CSV_H_
+#define LEMONS_UTIL_CSV_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace lemons {
+
+/**
+ * Quote a CSV field per RFC 4180: fields containing commas, quotes,
+ * or newlines are wrapped in double quotes with inner quotes doubled.
+ */
+std::string csvEscape(const std::string &field);
+
+/**
+ * Row-oriented CSV writer over an owned output file.
+ */
+class CsvWriter
+{
+  public:
+    /**
+     * Open @p path for writing (truncates). Check good() before use.
+     */
+    explicit CsvWriter(const std::string &path);
+
+    /** Whether the underlying stream is healthy. */
+    bool good() const { return out.good(); }
+
+    /** Write one row. */
+    void writeRow(const std::vector<std::string> &cells);
+
+    /** Rows written so far. */
+    size_t rowCount() const { return rows; }
+
+  private:
+    std::ofstream out;
+    size_t rows = 0;
+};
+
+/**
+ * Write @p rows to @p path in one call (used by benches to emit the
+ * machine-readable series behind a figure).
+ *
+ * @return true when the file was written successfully.
+ */
+bool writeCsvFile(const std::string &path,
+                  const std::vector<std::vector<std::string>> &rows);
+
+} // namespace lemons
+
+#endif // LEMONS_UTIL_CSV_H_

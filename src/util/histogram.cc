@@ -1,0 +1,93 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/require.h"
+
+namespace lemons {
+
+Histogram::Histogram(double low, double high, size_t bins)
+    : lowEdge(low), highEdge(high),
+      binWidth((high - low) / static_cast<double>(bins)),
+      counts(bins, 0)
+{
+    requireArg(high > low, "Histogram: high must exceed low");
+    requireArg(bins > 0, "Histogram: need at least one bin");
+}
+
+void
+Histogram::add(double x)
+{
+    ++totalCount;
+    if (x < lowEdge) {
+        ++underflowCount;
+        return;
+    }
+    if (x >= highEdge) {
+        ++overflowCount;
+        return;
+    }
+    auto bin = static_cast<size_t>((x - lowEdge) / binWidth);
+    bin = std::min(bin, counts.size() - 1); // guard FP edge rounding
+    ++counts[bin];
+}
+
+uint64_t
+Histogram::binValue(size_t i) const
+{
+    requireArg(i < counts.size(), "Histogram::binValue: bin out of range");
+    return counts[i];
+}
+
+double
+Histogram::binLow(size_t i) const
+{
+    requireArg(i < counts.size(), "Histogram::binLow: bin out of range");
+    return lowEdge + static_cast<double>(i) * binWidth;
+}
+
+double
+Histogram::binHigh(size_t i) const
+{
+    return binLow(i) + binWidth;
+}
+
+double
+Histogram::binCenter(size_t i) const
+{
+    return binLow(i) + 0.5 * binWidth;
+}
+
+double
+Histogram::density(size_t i) const
+{
+    requireArg(i < counts.size(), "Histogram::density: bin out of range");
+    if (totalCount == 0)
+        return 0.0;
+    return static_cast<double>(counts[i]) /
+           (static_cast<double>(totalCount) * binWidth);
+}
+
+std::string
+Histogram::render(size_t width) const
+{
+    uint64_t peak = 0;
+    for (uint64_t c : counts)
+        peak = std::max(peak, c);
+    std::ostringstream out;
+    for (size_t i = 0; i < counts.size(); ++i) {
+        const size_t bar =
+            peak == 0 ? 0
+                      : static_cast<size_t>(std::llround(
+                            static_cast<double>(counts[i]) * // NOLINT
+                            static_cast<double>(width) /
+                            static_cast<double>(peak)));
+        out << "[" << binLow(i) << ", " << binHigh(i) << ") "
+            << std::string(bar, '#') << " " << counts[i] << "\n";
+    }
+    return out.str();
+}
+
+} // namespace lemons

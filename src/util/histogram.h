@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Fixed-width-bin histogram for lifetime distributions.
+ */
+
+#ifndef LEMONS_UTIL_HISTOGRAM_H_
+#define LEMONS_UTIL_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lemons {
+
+/**
+ * Histogram over [low, high) with equal-width bins. Out-of-range
+ * samples are counted in underflow/overflow buckets so nothing is
+ * silently dropped.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param low Inclusive lower edge of the first bin.
+     * @param high Exclusive upper edge of the last bin (> low).
+     * @param bins Number of bins (> 0).
+     */
+    Histogram(double low, double high, size_t bins);
+
+    /** Record one sample. */
+    void add(double x);
+
+    /** Number of bins (excluding under/overflow). */
+    size_t binCount() const { return counts.size(); }
+    /** Count in bin @p i. @pre i < binCount(). */
+    uint64_t binValue(size_t i) const;
+    /** Inclusive lower edge of bin @p i. */
+    double binLow(size_t i) const;
+    /** Exclusive upper edge of bin @p i. */
+    double binHigh(size_t i) const;
+    /** Center of bin @p i. */
+    double binCenter(size_t i) const;
+    /** Samples below the histogram range. */
+    uint64_t underflow() const { return underflowCount; }
+    /** Samples at or above the histogram range. */
+    uint64_t overflow() const { return overflowCount; }
+    /** Total samples recorded, including under/overflow. */
+    uint64_t total() const { return totalCount; }
+
+    /**
+     * Density estimate for bin @p i: count / (total * width), i.e. the
+     * empirical PDF, comparable against an analytic density.
+     */
+    double density(size_t i) const;
+
+    /**
+     * Render an ASCII bar chart, one bin per line, scaled so the
+     * fullest bin spans @p width characters.
+     */
+    std::string render(size_t width = 50) const;
+
+  private:
+    double lowEdge;
+    double highEdge;
+    double binWidth;
+    std::vector<uint64_t> counts;
+    uint64_t underflowCount = 0;
+    uint64_t overflowCount = 0;
+    uint64_t totalCount = 0;
+};
+
+} // namespace lemons
+
+#endif // LEMONS_UTIL_HISTOGRAM_H_

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Precondition / invariant checking for programming errors.
+ *
+ * These checks guard API contracts (e.g. "k must satisfy 1 <= k <= n").
+ * Violations are programming errors, not recoverable runtime conditions,
+ * so they throw std::logic_error (std::invalid_argument for argument
+ * checks) which terminates tests loudly and is trivially testable with
+ * EXPECT_THROW.
+ */
+
+#ifndef LEMONS_UTIL_REQUIRE_H_
+#define LEMONS_UTIL_REQUIRE_H_
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace lemons {
+
+/**
+ * Throw std::invalid_argument unless @p condition holds.
+ *
+ * @param condition Contract that must hold.
+ * @param message Description of the violated contract.
+ */
+inline void
+requireArg(bool condition, const std::string &message)
+{
+    if (!condition)
+        throw std::invalid_argument(message);
+}
+
+/**
+ * Throw std::logic_error unless @p condition holds. Used for internal
+ * invariants that callers cannot violate through the public API.
+ */
+inline void
+requireState(bool condition, const std::string &message)
+{
+    if (!condition)
+        throw std::logic_error(message);
+}
+
+} // namespace lemons
+
+#endif // LEMONS_UTIL_REQUIRE_H_

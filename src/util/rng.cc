@@ -1,0 +1,122 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include "util/require.h"
+
+namespace lemons {
+
+namespace {
+
+/** SplitMix64 step: advances @p x and returns a scrambled output. */
+uint64_t
+splitMix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed) : seedValue(seed), cachedGaussian(0.0)
+{
+    // xoshiro state must not be all zero; SplitMix64 guarantees a
+    // well-mixed nonzero state from any seed.
+    uint64_t sm = seed;
+    for (auto &word : state)
+        word = splitMix64(sm);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(state[1] * 5, 7) * 9;
+    const uint64_t t = state[1] << 17;
+
+    state[2] ^= state[0];
+    state[3] ^= state[1];
+    state[1] ^= state[2];
+    state[0] ^= state[3];
+    state[2] ^= t;
+    state[3] = rotl(state[3], 45);
+
+    return result;
+}
+
+double
+Rng::nextDouble()
+{
+    // 53 top bits -> uniform in [0, 1) on the double grid.
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::nextDoubleOpenLow()
+{
+    // (u + 1) / 2^53 lies in (0, 1]; u + 1 cannot overflow 53 bits + 1.
+    return static_cast<double>((next() >> 11) + 1) * 0x1.0p-53;
+}
+
+uint64_t
+Rng::nextBelow(uint64_t bound)
+{
+    requireArg(bound > 0, "Rng::nextBelow: bound must be positive");
+    // Rejection sampling to remove modulo bias.
+    const uint64_t threshold = (~bound + 1) % bound; // (2^64 - bound) mod bound
+    for (;;) {
+        const uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+bool
+Rng::nextBernoulli(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return nextDouble() < p;
+}
+
+double
+Rng::nextGaussian()
+{
+    if (hasCachedGaussian) {
+        hasCachedGaussian = false;
+        return cachedGaussian;
+    }
+    double u, v, s;
+    do {
+        u = 2.0 * nextDouble() - 1.0;
+        v = 2.0 * nextDouble() - 1.0;
+        s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    cachedGaussian = v * factor;
+    hasCachedGaussian = true;
+    return u * factor;
+}
+
+Rng
+Rng::split(uint64_t index) const
+{
+    // Mix the parent seed with the child index through SplitMix64 twice
+    // so that (seed, index) pairs map to well-separated child seeds.
+    uint64_t x = seedValue ^ (0x9e3779b97f4a7c15ULL + index);
+    uint64_t child = splitMix64(x);
+    child ^= splitMix64(x);
+    return Rng(child);
+}
+
+} // namespace lemons

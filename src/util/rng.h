@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Deterministic, splittable random number generation.
+ *
+ * All stochastic code in the library draws from lemons::Rng so that
+ * every simulation is reproducible from a single 64-bit seed. The
+ * generator is xoshiro256** (Blackman & Vigna), seeded through
+ * SplitMix64 so that nearby seeds produce unrelated streams. Rng also
+ * supports deriving independent child streams, which the Monte Carlo
+ * engine uses to give every trial its own generator regardless of
+ * execution order.
+ */
+
+#ifndef LEMONS_UTIL_RNG_H_
+#define LEMONS_UTIL_RNG_H_
+
+#include <array>
+#include <cstdint>
+
+namespace lemons {
+
+/**
+ * xoshiro256** pseudo-random generator with SplitMix64 seeding.
+ *
+ * Satisfies the subset of the UniformRandomBitGenerator concept the
+ * library needs; not intended for cryptographic use (the crypto module
+ * documents its own randomness requirements).
+ */
+class Rng
+{
+  public:
+    using result_type = uint64_t;
+
+    /** Construct a generator from a 64-bit seed. */
+    explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL);
+
+    /** Smallest value next() can return. */
+    static constexpr result_type min() { return 0; }
+    /** Largest value next() can return. */
+    static constexpr result_type max() { return ~uint64_t{0}; }
+
+    /** Next raw 64-bit output. */
+    uint64_t next();
+
+    /** UniformRandomBitGenerator interface. */
+    result_type operator()() { return next(); }
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /**
+     * Uniform double in (0, 1]; never returns exactly zero, which makes
+     * it safe as input to logarithms (e.g. inverse-CDF sampling).
+     */
+    double nextDoubleOpenLow();
+
+    /** Uniform integer in [0, bound). @pre bound > 0. */
+    uint64_t nextBelow(uint64_t bound);
+
+    /** Bernoulli draw: true with probability @p p (clamped to [0,1]). */
+    bool nextBernoulli(double p);
+
+    /** Standard normal draw (Marsaglia polar method). */
+    double nextGaussian();
+
+    /**
+     * Derive the @p index -th child stream. Children of the same parent
+     * with distinct indices are statistically independent streams, and
+     * deriving is order-independent, so parallel Monte Carlo trials stay
+     * reproducible.
+     */
+    Rng split(uint64_t index) const;
+
+  private:
+    std::array<uint64_t, 4> state;
+    /** Seed material retained so split() can derive children. */
+    uint64_t seedValue;
+    /** Cached second output of the polar method, NaN when empty. */
+    double cachedGaussian;
+    bool hasCachedGaussian = false;
+};
+
+} // namespace lemons
+
+#endif // LEMONS_UTIL_RNG_H_

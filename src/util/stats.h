@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Descriptive statistics for Monte Carlo results.
+ */
+
+#ifndef LEMONS_UTIL_STATS_H_
+#define LEMONS_UTIL_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace lemons {
+
+/**
+ * Streaming mean / variance / extrema accumulator (Welford's method).
+ * Constant memory; suitable for millions of Monte Carlo trials.
+ */
+class RunningStats
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    /** Number of observations so far. */
+    uint64_t count() const { return n; }
+    /** Sample mean; 0 when empty. */
+    double mean() const { return runningMean; }
+    /** Unbiased sample variance; 0 with fewer than two samples. */
+    double variance() const;
+    /** Sample standard deviation. */
+    double stddev() const;
+    /** Smallest observation; +inf when empty. */
+    double min() const { return minValue; }
+    /** Largest observation; -inf when empty. */
+    double max() const { return maxValue; }
+    /** Standard error of the mean; 0 with fewer than two samples. */
+    double meanStdError() const;
+
+  private:
+    uint64_t n = 0;
+    double runningMean = 0.0;
+    double m2 = 0.0;
+    double minValue;
+    double maxValue;
+};
+
+/**
+ * The @p q quantile (0 <= q <= 1) of @p samples by linear interpolation
+ * between order statistics. The input is copied; the original order is
+ * preserved. @pre samples is non-empty.
+ */
+double quantile(std::vector<double> samples, double q);
+
+/** Result of a binomial proportion interval estimate. */
+struct ProportionInterval
+{
+    double estimate; ///< successes / trials
+    double low;      ///< lower bound
+    double high;     ///< upper bound
+};
+
+/**
+ * Wilson score interval for a binomial proportion.
+ *
+ * @param successes Number of successes observed.
+ * @param trials Number of trials (> 0).
+ * @param z Normal quantile for the confidence level (1.96 ~ 95 %).
+ */
+ProportionInterval wilsonInterval(uint64_t successes, uint64_t trials,
+                                  double z = 1.96);
+
+} // namespace lemons
+
+#endif // LEMONS_UTIL_STATS_H_

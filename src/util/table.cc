@@ -1,0 +1,89 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/require.h"
+
+namespace lemons {
+
+std::string
+formatGeneral(double v, int precision)
+{
+    std::ostringstream out;
+    out << std::setprecision(precision) << v;
+    return out.str();
+}
+
+std::string
+formatSci(double v, int precision)
+{
+    std::ostringstream out;
+    out << std::scientific << std::setprecision(precision) << v;
+    return out.str();
+}
+
+std::string
+formatCount(uint64_t v)
+{
+    std::string digits = std::to_string(v);
+    std::string result;
+    size_t sinceSep = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (sinceSep == 3) {
+            result.push_back(',');
+            sinceSep = 0;
+        }
+        result.push_back(*it);
+        ++sinceSep;
+    }
+    std::reverse(result.begin(), result.end());
+    return result;
+}
+
+Table::Table(std::vector<std::string> headers)
+    : columnHeaders(std::move(headers))
+{
+    requireArg(!columnHeaders.empty(), "Table: need at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    requireArg(cells.size() == columnHeaders.size(),
+               "Table::addRow: cell count does not match header count");
+    rows.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream &out) const
+{
+    std::vector<size_t> widths(columnHeaders.size());
+    for (size_t c = 0; c < columnHeaders.size(); ++c)
+        widths[c] = columnHeaders[c].size();
+    for (const auto &row : rows)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto printRow = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c) {
+            out << std::left << std::setw(static_cast<int>(widths[c]))
+                << cells[c];
+            if (c + 1 < cells.size())
+                out << "  ";
+        }
+        out << "\n";
+    };
+
+    printRow(columnHeaders);
+    size_t total = 0;
+    for (size_t w : widths)
+        total += w;
+    total += 2 * (widths.size() - 1);
+    out << std::string(total, '-') << "\n";
+    for (const auto &row : rows)
+        printRow(row);
+}
+
+} // namespace lemons

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * ASCII table rendering for the benchmark harness.
+ *
+ * Every bench binary prints the rows/series of the paper table or
+ * figure it regenerates; Table keeps that output aligned and uniform.
+ */
+
+#ifndef LEMONS_UTIL_TABLE_H_
+#define LEMONS_UTIL_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace lemons {
+
+/** Format @p v with @p precision significant digits (general format). */
+std::string formatGeneral(double v, int precision = 6);
+
+/** Format @p v in scientific notation with @p precision digits. */
+std::string formatSci(double v, int precision = 2);
+
+/** Format an integer count with thousands separators (1,234,567). */
+std::string formatCount(uint64_t v);
+
+/**
+ * Column-aligned ASCII table. Usage:
+ * @code
+ *   Table t({"alpha", "beta", "#NEMS"});
+ *   t.addRow({"14", "8", formatCount(n)});
+ *   t.print(std::cout);
+ * @endcode
+ */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Number of data rows. */
+    size_t rowCount() const { return rows.size(); }
+
+    /** Render the table with a header underline to @p out. */
+    void print(std::ostream &out) const;
+
+  private:
+    std::vector<std::string> columnHeaders;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace lemons
+
+#endif // LEMONS_UTIL_TABLE_H_

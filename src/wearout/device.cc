@@ -1,0 +1,36 @@
+#include "wearout/device.h"
+
+#include "util/require.h"
+
+namespace lemons::wearout {
+
+NemsSwitch::NemsSwitch(double lifetime) : timeToFailure(lifetime)
+{
+    requireArg(lifetime >= 0.0, "NemsSwitch: lifetime must be >= 0");
+}
+
+NemsSwitch::NemsSwitch(const Weibull &model, Rng &rng)
+    : timeToFailure(model.sample(rng))
+{
+}
+
+bool
+NemsSwitch::actuate()
+{
+    ++cycles;
+    if (isFailed)
+        return false;
+    if (static_cast<double>(cycles) > timeToFailure) {
+        isFailed = true;
+        return false;
+    }
+    return true;
+}
+
+bool
+NemsSwitch::aliveAt(uint64_t cycle) const
+{
+    return static_cast<double>(cycle) <= timeToFailure;
+}
+
+} // namespace lemons::wearout

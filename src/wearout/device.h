@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Simulated NEMS contact switch (paper Section 2.1).
+ *
+ * This is the hardware-substitution layer: we have no fabricated NEMS
+ * switches, so a switch is modelled as a device with a pre-drawn
+ * time-to-failure (in actuation cycles) from the Weibull wearout model.
+ * The i-th actuation succeeds iff i <= lifetime; afterwards the switch
+ * is permanently open (failed), which is exactly the failure semantics
+ * the paper's analytic model assumes.
+ */
+
+#ifndef LEMONS_WEAROUT_DEVICE_H_
+#define LEMONS_WEAROUT_DEVICE_H_
+
+#include <cstdint>
+
+#include "util/rng.h"
+#include "wearout/weibull.h"
+
+namespace lemons::wearout {
+
+/** Nominal device parameters (alpha, beta) used across the library. */
+struct DeviceSpec
+{
+    double alpha; ///< Weibull scale in cycles (~ mean lifetime).
+    double beta;  ///< Weibull shape (lifetime consistency).
+};
+
+/** MEMS fatigue fits from Slack et al. cited in the paper (Sec. 2.2). */
+inline constexpr DeviceSpec specGeometricVariation{2.6e6, 12.94};
+inline constexpr DeviceSpec specElasticityVariation{2.2e6, 7.2};
+inline constexpr DeviceSpec specResistanceVariation{1.8e6, 8.58};
+
+/**
+ * One simulated NEMS contact switch.
+ *
+ * The switch's wearout is irreversible: once an actuation fails, all
+ * subsequent actuations fail. This mirrors contact adhesion / fracture
+ * failure modes, and means attacks that merely keep actuating the
+ * switch can only destroy it faster (paper Section 7).
+ */
+class NemsSwitch
+{
+  public:
+    /** Create a switch with an explicit time-to-failure in cycles. */
+    explicit NemsSwitch(double lifetime);
+
+    /** Create a switch whose lifetime is drawn from @p model. */
+    NemsSwitch(const Weibull &model, Rng &rng);
+
+    /**
+     * Actuate the switch once.
+     *
+     * @return true when the actuation succeeded (switch still closes),
+     *         false when the switch has worn out.
+     */
+    bool actuate();
+
+    /** Actuations attempted so far (including failed ones). */
+    uint64_t cyclesUsed() const { return cycles; }
+
+    /** Whether the switch has permanently failed. */
+    bool failed() const { return isFailed; }
+
+    /**
+     * The drawn time-to-failure. Exposed for analytics/tests; real
+     * hardware would obviously not reveal this.
+     */
+    double lifetime() const { return timeToFailure; }
+
+    /**
+     * Whether the switch would still work at the @p cycle -th actuation
+     * (1-based) if actuated that many times; pure query used by the
+     * analytic cross-checks.
+     */
+    bool aliveAt(uint64_t cycle) const;
+
+  private:
+    double timeToFailure;
+    uint64_t cycles = 0;
+    bool isFailed = false;
+};
+
+} // namespace lemons::wearout
+
+#endif // LEMONS_WEAROUT_DEVICE_H_

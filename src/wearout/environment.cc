@@ -1,0 +1,65 @@
+#include "wearout/environment.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.h"
+
+namespace lemons::wearout {
+
+EnvironmentModel::EnvironmentModel(double referenceTempC, double decayScaleC,
+                                   double minFactor)
+    : referenceTemp(referenceTempC), decayScale(decayScaleC),
+      floorFactor(minFactor)
+{
+    requireArg(decayScaleC > 0.0,
+               "EnvironmentModel: decay scale must be positive");
+    requireArg(minFactor > 0.0 && minFactor <= 1.0,
+               "EnvironmentModel: minFactor must lie in (0, 1]");
+}
+
+double
+EnvironmentModel::lifetimeFactor(double temperatureC) const
+{
+    if (temperatureC <= referenceTemp)
+        return 1.0; // freezing does not help: fracture remains
+    const double factor =
+        std::exp(-(temperatureC - referenceTemp) / decayScale);
+    return std::max(floorFactor, factor);
+}
+
+double
+EnvironmentModel::cyclesPerActuation(double temperatureC) const
+{
+    return 1.0 / lifetimeFactor(temperatureC);
+}
+
+HarshEnvironmentSwitch::HarshEnvironmentSwitch(double lifetime,
+                                               const EnvironmentModel &model)
+    : budget(lifetime), environment(model)
+{
+    requireArg(lifetime >= 0.0,
+               "HarshEnvironmentSwitch: lifetime must be >= 0");
+}
+
+HarshEnvironmentSwitch::HarshEnvironmentSwitch(const Weibull &wearout,
+                                               Rng &rng,
+                                               const EnvironmentModel &model)
+    : budget(wearout.sample(rng)), environment(model)
+{
+}
+
+bool
+HarshEnvironmentSwitch::actuateAt(double temperatureC)
+{
+    if (isFailed)
+        return false;
+    consumed += environment.cyclesPerActuation(temperatureC);
+    if (consumed > budget) {
+        isFailed = true;
+        return false;
+    }
+    return true;
+}
+
+} // namespace lemons::wearout

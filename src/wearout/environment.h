@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Harsh-environment behaviour of NEMS switches (paper Section 2.1).
+ *
+ * The security argument needs one asymmetry: an attacker who controls
+ * the operating environment can only *shorten* a switch's life, never
+ * extend it. The paper grounds this in SiC NEMS data — more than 21
+ * billion cycles at 25 C but only ~2 billion at 500 C (failure by
+ * melting instead of fracture), and no life extension at low
+ * temperature because fracture remains.
+ *
+ * We model this as a lifetime derating factor f(T) in (0, 1]:
+ *   f(T) = 1                      for T <= 25 C (reference),
+ *   f(T) = exp(-(T - 25) / tau)   above, calibrated so f(500 C) ~ 2/21
+ *                                 (the paper's SiC anchor),
+ * with a floor so extreme temperatures simply destroy the device
+ * immediately rather than underflowing. Each actuation at temperature
+ * T consumes 1 / f(T) >= 1 cycles of the device's reference-
+ * temperature lifetime budget.
+ */
+
+#ifndef LEMONS_WEAROUT_ENVIRONMENT_H_
+#define LEMONS_WEAROUT_ENVIRONMENT_H_
+
+#include <cstdint>
+
+#include "util/rng.h"
+#include "wearout/weibull.h"
+
+namespace lemons::wearout {
+
+/**
+ * Temperature-derating model for switch lifetimes.
+ */
+class EnvironmentModel
+{
+  public:
+    /**
+     * @param referenceTempC Temperature the lifetime spec refers to.
+     * @param decayScaleC Exponential derating scale in Celsius; the
+     *        default 201.9 C fits the paper's SiC anchor
+     *        f(500) = 2/21.
+     * @param minFactor Floor of the derating factor.
+     */
+    explicit EnvironmentModel(double referenceTempC = 25.0,
+                              double decayScaleC = 201.9,
+                              double minFactor = 1e-6);
+
+    /**
+     * Lifetime derating factor at @p temperatureC: always in
+     * [minFactor, 1]; exactly 1 at or below the reference temperature.
+     * The <= 1 bound is the security property — no environment extends
+     * device life.
+     */
+    double lifetimeFactor(double temperatureC) const;
+
+    /** Reference-temperature cycles consumed by one actuation at T. */
+    double cyclesPerActuation(double temperatureC) const;
+
+  private:
+    double referenceTemp;
+    double decayScale;
+    double floorFactor;
+};
+
+/**
+ * A NEMS switch operated in a caller-controlled environment. The
+ * lifetime budget is drawn once (at the reference temperature); every
+ * actuation consumes 1 / f(T) cycles of it.
+ */
+class HarshEnvironmentSwitch
+{
+  public:
+    /**
+     * @param lifetime Reference-temperature time-to-failure in cycles.
+     * @param model Temperature derating model.
+     */
+    HarshEnvironmentSwitch(double lifetime, const EnvironmentModel &model);
+
+    /** Draw the lifetime from @p wearout. */
+    HarshEnvironmentSwitch(const Weibull &wearout, Rng &rng,
+                           const EnvironmentModel &model);
+
+    /**
+     * Actuate once at @p temperatureC.
+     *
+     * @return true when the switch still closes.
+     */
+    bool actuateAt(double temperatureC);
+
+    /** Whether the switch has permanently failed. */
+    bool failed() const { return isFailed; }
+
+    /** Reference-temperature cycles consumed so far. */
+    double cyclesConsumed() const { return consumed; }
+
+    /** The drawn reference-temperature lifetime. */
+    double lifetime() const { return budget; }
+
+  private:
+    double budget;
+    double consumed = 0.0;
+    bool isFailed = false;
+    EnvironmentModel environment;
+};
+
+} // namespace lemons::wearout
+
+#endif // LEMONS_WEAROUT_ENVIRONMENT_H_

@@ -1,0 +1,53 @@
+#include "wearout/population.h"
+
+#include <cmath>
+
+#include "util/require.h"
+
+namespace lemons::wearout {
+
+DeviceFactory::DeviceFactory(const DeviceSpec &spec,
+                             const ProcessVariation &variation)
+    : nominalSpec(spec), lotVariation(variation)
+{
+    requireArg(spec.alpha > 0.0, "DeviceFactory: alpha must be positive");
+    requireArg(spec.beta > 0.0, "DeviceFactory: beta must be positive");
+    requireArg(variation.alphaSigma >= 0.0 && variation.betaSigma >= 0.0,
+               "DeviceFactory: variation sigmas must be >= 0");
+}
+
+Weibull
+DeviceFactory::nominalModel() const
+{
+    return Weibull(nominalSpec.alpha, nominalSpec.beta);
+}
+
+double
+DeviceFactory::sampleLifetime(Rng &rng) const
+{
+    double alpha = nominalSpec.alpha;
+    double beta = nominalSpec.beta;
+    if (lotVariation.alphaSigma > 0.0)
+        alpha *= std::exp(lotVariation.alphaSigma * rng.nextGaussian());
+    if (lotVariation.betaSigma > 0.0)
+        beta *= std::exp(lotVariation.betaSigma * rng.nextGaussian());
+    return Weibull(alpha, beta).sample(rng);
+}
+
+NemsSwitch
+DeviceFactory::fabricate(Rng &rng) const
+{
+    return NemsSwitch(sampleLifetime(rng));
+}
+
+std::vector<NemsSwitch>
+DeviceFactory::fabricateMany(Rng &rng, size_t count) const
+{
+    std::vector<NemsSwitch> out;
+    out.reserve(count);
+    for (size_t i = 0; i < count; ++i)
+        out.push_back(fabricate(rng));
+    return out;
+}
+
+} // namespace lemons::wearout

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tests for the device-calibration workflow (fit field data, audit the
+ * nominal design, re-solve).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/calibration.h"
+#include "util/rng.h"
+#include "wearout/weibull.h"
+
+namespace lemons::core {
+namespace {
+
+DesignRequest
+assumedRequest()
+{
+    DesignRequest request;
+    request.device = {10.0, 12.0};
+    request.legitimateAccessBound = 100;
+    request.kFraction = 0.1;
+    return request;
+}
+
+std::vector<double>
+lotLifetimes(double alpha, double beta, size_t count, uint64_t seed)
+{
+    const wearout::Weibull truth(alpha, beta);
+    Rng rng(seed);
+    return truth.sampleMany(rng, count);
+}
+
+TEST(Calibration, OnSpecLotPassesAudit)
+{
+    const auto report = calibrateAndRedesign(
+        lotLifetimes(10.0, 12.0, 20000, 1), assumedRequest());
+    EXPECT_NEAR(report.fitted.alpha, 10.0, 0.1);
+    EXPECT_NEAR(report.fitted.beta, 12.0, 0.5);
+    ASSERT_TRUE(report.nominalDesign.feasible);
+    EXPECT_TRUE(report.nominalStillMeetsCriteria);
+    EXPECT_GE(report.nominalReliabilityAtBound, 0.99);
+    ASSERT_TRUE(report.recalibratedDesign.feasible);
+    // Cost ratio near 1: the lot matches the assumption.
+    EXPECT_GT(report.redesignCostRatio, 0.5);
+    EXPECT_LT(report.redesignCostRatio, 2.0);
+}
+
+TEST(Calibration, ShortLivedLotFailsTheMinimumBound)
+{
+    // Devices wearing out 30% early: the nominal design can no longer
+    // deliver its access bound reliably.
+    const auto report = calibrateAndRedesign(
+        lotLifetimes(7.0, 12.0, 20000, 2), assumedRequest());
+    EXPECT_NEAR(report.fitted.alpha, 7.0, 0.1);
+    EXPECT_FALSE(report.nominalStillMeetsCriteria);
+    EXPECT_LT(report.nominalReliabilityAtBound, 0.99);
+    // The recalibrated design restores feasibility (more copies of
+    // shorter-lived structures).
+    EXPECT_TRUE(report.recalibratedDesign.feasible);
+    EXPECT_GE(report.recalibratedDesign.reliabilityAtBound, 0.99);
+}
+
+TEST(Calibration, LongLivedLotFailsTheResidualBound)
+{
+    // Devices lasting 40% longer: the nominal design no longer dies on
+    // schedule — an attacker gains accesses.
+    const auto report = calibrateAndRedesign(
+        lotLifetimes(14.0, 12.0, 20000, 3), assumedRequest());
+    EXPECT_NEAR(report.fitted.alpha, 14.0, 0.15);
+    EXPECT_FALSE(report.nominalStillMeetsCriteria);
+    EXPECT_GT(report.nominalResidualPastBound, 0.01);
+}
+
+TEST(Calibration, SloppyShapeLotCostsMoreDevices)
+{
+    // A lot with much higher variation (beta 12 -> 6) needs a larger
+    // recalibrated architecture — the fabrication-cost vs area-cost
+    // trade-off made concrete.
+    const auto report = calibrateAndRedesign(
+        lotLifetimes(10.0, 6.0, 20000, 4), assumedRequest());
+    EXPECT_NEAR(report.fitted.beta, 6.0, 0.3);
+    ASSERT_TRUE(report.recalibratedDesign.feasible);
+    EXPECT_GT(report.redesignCostRatio, 1.3);
+}
+
+TEST(Calibration, RejectsDegenerateData)
+{
+    EXPECT_THROW(calibrateAndRedesign({1.0}, assumedRequest()),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace lemons::core

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Tests for the classic errors-and-erasures Reed-Solomon codec:
+ * encode/decode round trips, random error/erasure injection up to the
+ * guaranteed capacity, and failure detection beyond it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "rs/classic_rs.h"
+#include "util/rng.h"
+
+namespace lemons::rs {
+namespace {
+
+std::vector<uint8_t>
+randomMessage(Rng &rng, size_t size)
+{
+    std::vector<uint8_t> out(size);
+    for (auto &b : out)
+        b = static_cast<uint8_t>(rng.nextBelow(256));
+    return out;
+}
+
+/** Flip @p count distinct random positions to different values. */
+std::vector<size_t>
+injectErrors(std::vector<uint8_t> &word, size_t count, Rng &rng)
+{
+    std::set<size_t> positions;
+    while (positions.size() < count)
+        positions.insert(
+            static_cast<size_t>(rng.nextBelow(word.size())));
+    for (size_t pos : positions) {
+        const auto delta = static_cast<uint8_t>(1 + rng.nextBelow(255));
+        word[pos] = word[pos] ^ delta;
+    }
+    return {positions.begin(), positions.end()};
+}
+
+TEST(ClassicRs, RejectsBadParameters)
+{
+    EXPECT_THROW(ClassicRsCodec(10, 0), std::invalid_argument);
+    EXPECT_THROW(ClassicRsCodec(10, 10), std::invalid_argument);
+    EXPECT_THROW(ClassicRsCodec(256, 10), std::invalid_argument);
+}
+
+TEST(ClassicRs, EncodeIsSystematic)
+{
+    const ClassicRsCodec codec(15, 11);
+    Rng rng(1);
+    const auto message = randomMessage(rng, 11);
+    const auto codeword = codec.encode(message);
+    ASSERT_EQ(codeword.size(), 15u);
+    EXPECT_TRUE(std::equal(message.begin(), message.end(),
+                           codeword.begin()));
+    EXPECT_TRUE(codec.isCodeword(codeword));
+}
+
+TEST(ClassicRs, EncodeRejectsWrongMessageSize)
+{
+    const ClassicRsCodec codec(15, 11);
+    EXPECT_THROW(codec.encode(std::vector<uint8_t>(10)),
+                 std::invalid_argument);
+}
+
+TEST(ClassicRs, CleanCodewordDecodes)
+{
+    const ClassicRsCodec codec(255, 223);
+    Rng rng(2);
+    const auto message = randomMessage(rng, 223);
+    const auto decoded = codec.decode(codec.encode(message));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->message, message);
+    EXPECT_EQ(decoded->correctedErrors, 0u);
+}
+
+TEST(ClassicRs, CorrectsSingleError)
+{
+    const ClassicRsCodec codec(15, 11);
+    Rng rng(3);
+    const auto message = randomMessage(rng, 11);
+    for (size_t pos = 0; pos < 15; ++pos) {
+        auto word = codec.encode(message);
+        word[pos] ^= 0x5a;
+        const auto decoded = codec.decode(word);
+        ASSERT_TRUE(decoded.has_value()) << "pos " << pos;
+        EXPECT_EQ(decoded->message, message) << "pos " << pos;
+        EXPECT_EQ(decoded->correctedErrors, 1u);
+    }
+}
+
+TEST(ClassicRs, CorrectsUpToCapacityErrors)
+{
+    const ClassicRsCodec codec(255, 223); // t = 16
+    Rng rng(4);
+    for (int trial = 0; trial < 20; ++trial) {
+        const auto message = randomMessage(rng, 223);
+        auto word = codec.encode(message);
+        const size_t errors =
+            1 + static_cast<size_t>(rng.nextBelow(16));
+        injectErrors(word, errors, rng);
+        const auto decoded = codec.decode(word);
+        ASSERT_TRUE(decoded.has_value()) << "trial " << trial;
+        EXPECT_EQ(decoded->message, message);
+        EXPECT_EQ(decoded->correctedErrors, errors);
+    }
+}
+
+TEST(ClassicRs, CorrectsFullErasureBudget)
+{
+    const ClassicRsCodec codec(60, 30); // 30 parity -> 30 erasures
+    Rng rng(5);
+    const auto message = randomMessage(rng, 30);
+    auto word = codec.encode(message);
+    std::vector<size_t> erasures;
+    for (size_t pos = 0; erasures.size() < 30; pos += 2) {
+        word[pos] = 0x00; // stomp the symbol
+        erasures.push_back(pos);
+    }
+    const auto decoded = codec.decode(word, erasures);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->message, message);
+    EXPECT_EQ(decoded->correctedErasures, 30u);
+}
+
+TEST(ClassicRs, CorrectsMixedErrorsAndErasures)
+{
+    // 2 errors + erasures <= n - k: t errors plus e erasures with
+    // 2t + e = 16 exactly.
+    const ClassicRsCodec codec(63, 47); // 16 parity
+    Rng rng(6);
+    for (int trial = 0; trial < 20; ++trial) {
+        const auto message = randomMessage(rng, 47);
+        auto word = codec.encode(message);
+        const size_t errors = static_cast<size_t>(rng.nextBelow(9)); // 0..8
+        const size_t erasures = 16 - 2 * errors;
+        const auto errorPositions = injectErrors(word, errors, rng);
+        std::vector<size_t> erasurePositions;
+        for (size_t pos = 0;
+             erasurePositions.size() < erasures && pos < word.size();
+             ++pos) {
+            if (std::find(errorPositions.begin(), errorPositions.end(),
+                          pos) != errorPositions.end())
+                continue;
+            word[pos] ^= 0xff;
+            erasurePositions.push_back(pos);
+        }
+        const auto decoded = codec.decode(word, erasurePositions);
+        ASSERT_TRUE(decoded.has_value())
+            << "trial " << trial << " errors " << errors;
+        EXPECT_EQ(decoded->message, message);
+    }
+}
+
+TEST(ClassicRs, DetectsBeyondCapacity)
+{
+    // t+1 ... 2t errors: decoding must fail (or at least not return
+    // the wrong message silently in the guaranteed-detection band
+    // t+1..n-k for a random codeword this is overwhelmingly detected).
+    const ClassicRsCodec codec(255, 223); // t = 16
+    Rng rng(7);
+    int failures = 0;
+    const int trials = 20;
+    for (int trial = 0; trial < trials; ++trial) {
+        const auto message = randomMessage(rng, 223);
+        auto word = codec.encode(message);
+        injectErrors(word, 20, rng); // > t
+        const auto decoded = codec.decode(word);
+        if (!decoded || decoded->message != message)
+            ++failures;
+    }
+    // All trials must either fail or (astronomically unlikely) land on
+    // a wrong codeword; none may silently return the right message.
+    EXPECT_EQ(failures, trials);
+}
+
+TEST(ClassicRs, TooManyErasuresRejected)
+{
+    const ClassicRsCodec codec(15, 11);
+    Rng rng(8);
+    const auto word = codec.encode(randomMessage(rng, 11));
+    EXPECT_FALSE(codec.decode(word, {0, 1, 2, 3, 4}).has_value());
+}
+
+TEST(ClassicRs, InvalidErasureArgumentsThrow)
+{
+    const ClassicRsCodec codec(15, 11);
+    Rng rng(9);
+    const auto word = codec.encode(randomMessage(rng, 11));
+    EXPECT_THROW(codec.decode(word, {15}), std::invalid_argument);
+    EXPECT_THROW(codec.decode(word, {3, 3}), std::invalid_argument);
+    EXPECT_THROW(codec.decode(std::vector<uint8_t>(14)),
+                 std::invalid_argument);
+}
+
+TEST(ClassicRs, IsCodewordRejectsCorruption)
+{
+    const ClassicRsCodec codec(15, 11);
+    Rng rng(10);
+    auto word = codec.encode(randomMessage(rng, 11));
+    EXPECT_TRUE(codec.isCodeword(word));
+    word[7] ^= 1;
+    EXPECT_FALSE(codec.isCodeword(word));
+    EXPECT_FALSE(codec.isCodeword(std::vector<uint8_t>(14)));
+}
+
+/** Property sweep over (n, k) with random error loads at capacity. */
+class ClassicRsProperty
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>>
+{
+};
+
+TEST_P(ClassicRsProperty, RandomErrorsAtCapacityAlwaysCorrected)
+{
+    const auto [n, k] = GetParam();
+    const ClassicRsCodec codec(n, k);
+    const size_t t = codec.errorCapacity();
+    Rng rng(4242 + 13 * n + k);
+    for (int trial = 0; trial < 30; ++trial) {
+        const auto message = randomMessage(rng, k);
+        auto word = codec.encode(message);
+        if (t > 0)
+            injectErrors(word, t, rng);
+        const auto decoded = codec.decode(word);
+        ASSERT_TRUE(decoded.has_value())
+            << "n=" << n << " k=" << k << " trial=" << trial;
+        EXPECT_EQ(decoded->message, message);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NkGrid, ClassicRsProperty,
+    ::testing::Values(std::make_tuple<size_t, size_t>(3, 1),
+                      std::make_tuple<size_t, size_t>(7, 3),
+                      std::make_tuple<size_t, size_t>(15, 11),
+                      std::make_tuple<size_t, size_t>(31, 15),
+                      std::make_tuple<size_t, size_t>(63, 32),
+                      std::make_tuple<size_t, size_t>(255, 223),
+                      std::make_tuple<size_t, size_t>(255, 127)));
+
+} // namespace
+} // namespace lemons::rs

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Tests for the limited-use connection (smartphone unlock flow),
+ * including brute-force attack behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/connection.h"
+#include "core/design_solver.h"
+
+namespace lemons::core {
+namespace {
+
+using wearout::DeviceFactory;
+using wearout::ProcessVariation;
+
+Design
+smallDesign(uint64_t lab = 100)
+{
+    DesignRequest request;
+    request.device = {10.0, 12.0};
+    request.legitimateAccessBound = lab;
+    request.kFraction = 0.1;
+    return DesignSolver(request).solve();
+}
+
+std::vector<uint8_t>
+storageKey()
+{
+    std::vector<uint8_t> key(32);
+    for (size_t i = 0; i < key.size(); ++i)
+        key[i] = static_cast<uint8_t>(i * 7 + 1);
+    return key;
+}
+
+LimitedUseConnection
+makeConnection(uint64_t seed, const std::string &passcode = "hunter2")
+{
+    const DeviceFactory factory({10.0, 12.0}, ProcessVariation::none());
+    Rng rng(seed);
+    return LimitedUseConnection(smallDesign(), factory, passcode,
+                                storageKey(), rng);
+}
+
+TEST(Connection, CorrectPasscodeUnlocks)
+{
+    auto conn = makeConnection(1);
+    const auto key = conn.unlock("hunter2");
+    ASSERT_TRUE(key.has_value());
+    EXPECT_EQ(*key, storageKey());
+}
+
+TEST(Connection, WrongPasscodeFailsButConsumesAttempt)
+{
+    auto conn = makeConnection(2);
+    EXPECT_FALSE(conn.unlock("wrong").has_value());
+    EXPECT_EQ(conn.attemptCount(), 1u);
+    // Correct passcode still works afterwards.
+    EXPECT_TRUE(conn.unlock("hunter2").has_value());
+    EXPECT_EQ(conn.attemptCount(), 2u);
+}
+
+TEST(Connection, EmptyAndSimilarPasscodesRejected)
+{
+    auto conn = makeConnection(3);
+    EXPECT_FALSE(conn.unlock("").has_value());
+    EXPECT_FALSE(conn.unlock("hunter").has_value());
+    EXPECT_FALSE(conn.unlock("hunter22").has_value());
+    EXPECT_FALSE(conn.unlock("Hunter2").has_value());
+}
+
+TEST(Connection, RepeatedLegitimateUnlocksWithinLab)
+{
+    auto conn = makeConnection(4);
+    for (int i = 0; i < 100; ++i) {
+        const auto key = conn.unlock("hunter2");
+        ASSERT_TRUE(key.has_value()) << "unlock " << i;
+    }
+    EXPECT_FALSE(conn.bricked());
+}
+
+TEST(Connection, BruteForceBricksTheDevice)
+{
+    auto conn = makeConnection(5);
+    uint64_t attempts = 0;
+    while (!conn.bricked() && attempts < 100000) {
+        (void)conn.unlock("guess-" + std::to_string(attempts));
+        ++attempts;
+    }
+    EXPECT_TRUE(conn.bricked());
+    // The hardware died within the designed attack window.
+    const Design d = smallDesign();
+    EXPECT_LE(attempts, d.copies * (d.perCopyBound + 2));
+    // Even the correct passcode is useless now.
+    EXPECT_FALSE(conn.unlock("hunter2").has_value());
+}
+
+TEST(Connection, MixedUsageCountsAgainstTheSameBudget)
+{
+    auto conn = makeConnection(6);
+    // An attacker burning attempts shortens the legitimate lifetime —
+    // availability can be consumed, but confidentiality holds
+    // (Section 7).
+    for (int i = 0; i < 50; ++i)
+        (void)conn.unlock("attack");
+    int legitimate = 0;
+    while (conn.unlock("hunter2").has_value())
+        ++legitimate;
+    const Design d = smallDesign();
+    EXPECT_LE(static_cast<uint64_t>(legitimate) + 50,
+              d.copies * (d.perCopyBound + 2));
+}
+
+TEST(Connection, ChangePasscodeKeepsStorageKey)
+{
+    auto conn = makeConnection(7);
+    ASSERT_TRUE(conn.changePasscode("hunter2", "correct horse"));
+    EXPECT_FALSE(conn.unlock("hunter2").has_value());
+    const auto key = conn.unlock("correct horse");
+    ASSERT_TRUE(key.has_value());
+    EXPECT_EQ(*key, storageKey());
+}
+
+TEST(Connection, ChangePasscodeWithWrongOldFails)
+{
+    auto conn = makeConnection(8);
+    EXPECT_FALSE(conn.changePasscode("nope", "new"));
+    EXPECT_TRUE(conn.unlock("hunter2").has_value());
+}
+
+TEST(Connection, RejectsEmptyStorageKey)
+{
+    const DeviceFactory factory({10.0, 12.0}, ProcessVariation::none());
+    Rng rng(9);
+    EXPECT_THROW(LimitedUseConnection(smallDesign(), factory, "p", {}, rng),
+                 std::invalid_argument);
+}
+
+TEST(Connection, AttemptCounterTracksEverything)
+{
+    auto conn = makeConnection(10);
+    (void)conn.unlock("a");
+    (void)conn.unlock("hunter2");
+    (void)conn.changePasscode("hunter2", "x"); // one unlock inside
+    EXPECT_EQ(conn.attemptCount(), 3u);
+}
+
+TEST(Connection, SurvivesModerateProcessVariation)
+{
+    // A lot with 10% alpha spread still serves the LAB: the encoded
+    // design's margin absorbs it (bench_variation_ablation quantifies
+    // the limit).
+    const DeviceFactory factory({10.0, 12.0}, {0.1, 0.0});
+    Rng rng(77);
+    LimitedUseConnection conn(smallDesign(), factory, "pass",
+                              storageKey(), rng);
+    int unlocked = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (conn.unlock("pass").has_value())
+            ++unlocked;
+    }
+    EXPECT_GE(unlocked, 99);
+}
+
+} // namespace
+} // namespace lemons::core

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Cost-model tests against the paper's quoted numbers (Table 1 area
+ * methodology, Fig 10 density, Section 6.5.2 latency/energy).
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/cost_model.h"
+
+namespace lemons::arch {
+namespace {
+
+TEST(CostModel, Figure10TreeDensities)
+{
+    // Fig 10 reports trees per mm^2 for H = 2..11:
+    // 5e6, 2e6, 6e5, 2e5, 1e5, 4e4, 2e4, 9e3, 4e3, 2e3.
+    const CostModel model;
+    const double expected[] = {5e6, 2e6, 6e5, 2e5, 1e5,
+                               4e4, 2e4, 9e3, 4e3, 2e3};
+    for (unsigned h = 2; h <= 11; ++h) {
+        const double actual =
+            static_cast<double>(model.treesPerMm2(h));
+        const double paper = expected[h - 2];
+        // The figure rounds to one significant digit; allow 2x band.
+        EXPECT_GT(actual, paper / 2.0) << "H = " << h;
+        EXPECT_LT(actual, paper * 2.0) << "H = " << h;
+    }
+}
+
+TEST(CostModel, PaperPadCountExample)
+{
+    // Section 6.5.1: H = 4, N = 128 -> ~4,687 pads per mm^2.
+    const CostModel model;
+    const uint64_t pads = model.padsPerMm2(4, 128);
+    EXPECT_GT(pads, 4200u);
+    EXPECT_LT(pads, 5200u);
+}
+
+TEST(CostModel, PaperLatencyExample)
+{
+    // Section 6.5.2: path 0.00512 ms + read 0.08 ms = 0.08512 ms.
+    const CostModel model;
+    EXPECT_NEAR(model.padRetrievalLatencyMs(4, 128), 0.08512, 1e-6);
+}
+
+TEST(CostModel, PaperEnergyExample)
+{
+    // Section 6.5.2: 5.12e-18 J worst case on the path.
+    const CostModel model;
+    EXPECT_NEAR(model.padRetrievalEnergyJ(4, 128), 5.12e-18, 1e-21);
+}
+
+TEST(CostModel, ConnectionAreaScalesLinearly)
+{
+    const CostModel model;
+    const double one = model.connectionAreaMm2(1);
+    EXPECT_NEAR(model.connectionAreaMm2(1000000), 1e6 * one, 1e-12);
+    // 100 nm^2 contact + 1 nm^2 spacing per switch.
+    EXPECT_NEAR(one, 101.0 * 1e-12, 1e-18);
+}
+
+TEST(CostModel, PaperAreaMagnitudeTable1)
+{
+    // Table 1 without encoding, (alpha, beta) = (10.51, 16):
+    // 1.27e-4 mm^2, which at ~100 nm^2/switch is ~1.26e6 switches.
+    const CostModel model;
+    const double area = model.connectionAreaMm2(1'257'000);
+    EXPECT_NEAR(area, 1.27e-4, 0.2e-4);
+}
+
+TEST(CostModel, EncodedAreaIncludesComponentKeyStorage)
+{
+    const CostModel model;
+    const double bare = model.connectionAreaMm2(1000);
+    const double encoded =
+        model.encodedConnectionAreaMm2(1000, 100, 10, 10);
+    EXPECT_GT(encoded, bare);
+    // RS-chunked components: 256 * 100/10 bits per copy, 10 copies,
+    // 50 nm^2 per bit = 1.28e6 nm^2 extra.
+    EXPECT_NEAR(encoded - bare, 1.28e6 * 1e-12, 1e-10);
+}
+
+TEST(CostModel, EncodedAreaRejectsZeroThreshold)
+{
+    EXPECT_THROW(CostModel().encodedConnectionAreaMm2(10, 10, 0, 1),
+                 std::invalid_argument);
+}
+
+TEST(CostModel, AccessEnergyMatchesPaperExample)
+{
+    // Section 4.3.2: 141-wide structure -> 1.41e-18 J per access.
+    const CostModel model;
+    EXPECT_NEAR(model.accessEnergyJ(141), 1.41e-18, 1e-24);
+}
+
+TEST(CostModel, AccessLatencyIsOneSwitchDelay)
+{
+    const CostModel model;
+    EXPECT_DOUBLE_EQ(model.accessLatencyNs(), 10.0);
+}
+
+TEST(CostModel, TreeAreaDoublesPerLevelAsymptotically)
+{
+    const CostModel model;
+    // Leaves double with each level and registers dominate, so the
+    // ratio approaches 2 (h+1)/h as strings also lengthen with H.
+    for (unsigned h = 3; h <= 10; ++h) {
+        const double ratio = model.decisionTreeAreaMm2(h + 1) /
+                             model.decisionTreeAreaMm2(h);
+        EXPECT_GT(ratio, 2.0) << "H = " << h;
+        EXPECT_LT(ratio, 2.0 * (h + 1.0) / h + 0.01) << "H = " << h;
+    }
+}
+
+TEST(CostModel, CustomTechnologyParameters)
+{
+    TechnologyParams tech;
+    tech.contactAreaNm2 = 200.0;
+    tech.switchEnergyJ = 2e-20;
+    const CostModel model(tech);
+    EXPECT_NEAR(model.accessEnergyJ(10), 2e-19, 1e-26);
+    EXPECT_GT(model.connectionAreaMm2(100),
+              CostModel().connectionAreaMm2(100));
+}
+
+TEST(CostModel, RejectsBadArguments)
+{
+    const CostModel model;
+    EXPECT_THROW(model.decisionTreeAreaMm2(0), std::invalid_argument);
+    EXPECT_THROW(model.padsPerMm2(4, 0), std::invalid_argument);
+}
+
+} // namespace
+} // namespace lemons::arch

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Tests for the CSV output helper.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.h"
+
+namespace lemons {
+namespace {
+
+TEST(CsvEscape, PlainFieldsUntouched)
+{
+    EXPECT_EQ(csvEscape("hello"), "hello");
+    EXPECT_EQ(csvEscape(""), "");
+    EXPECT_EQ(csvEscape("1.5e-3"), "1.5e-3");
+}
+
+TEST(CsvEscape, CommasQuoted)
+{
+    EXPECT_EQ(csvEscape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvEscape, QuotesDoubled)
+{
+    EXPECT_EQ(csvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvEscape, NewlinesQuoted)
+{
+    EXPECT_EQ(csvEscape("a\nb"), "\"a\nb\"");
+}
+
+class CsvWriterTest : public ::testing::Test
+{
+  protected:
+    std::string path =
+        ::testing::TempDir() + "lemons_csv_test.csv";
+
+    void TearDown() override { std::remove(path.c_str()); }
+
+    std::string
+    readBack() const
+    {
+        std::ifstream in(path);
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        return buffer.str();
+    }
+};
+
+TEST_F(CsvWriterTest, WritesRows)
+{
+    {
+        CsvWriter writer(path);
+        ASSERT_TRUE(writer.good());
+        writer.writeRow({"alpha", "beta", "devices"});
+        writer.writeRow({"14", "8", "1,064,700"});
+        EXPECT_EQ(writer.rowCount(), 2u);
+    }
+    EXPECT_EQ(readBack(), "alpha,beta,devices\n14,8,\"1,064,700\"\n");
+}
+
+TEST_F(CsvWriterTest, EmptyRowIsBlankLine)
+{
+    {
+        CsvWriter writer(path);
+        writer.writeRow({});
+        writer.writeRow({"x"});
+    }
+    EXPECT_EQ(readBack(), "\nx\n");
+}
+
+TEST_F(CsvWriterTest, WriteCsvFileOneShot)
+{
+    ASSERT_TRUE(writeCsvFile(path, {{"h", "k"}, {"4", "8"}}));
+    EXPECT_EQ(readBack(), "h,k\n4,8\n");
+}
+
+TEST(WriteCsvFile, BadPathReturnsFalse)
+{
+    EXPECT_FALSE(writeCsvFile("/nonexistent-dir-zzz/file.csv",
+                              {{"a"}}));
+}
+
+TEST(CsvWriter, BadPathReportsNotGood)
+{
+    CsvWriter writer("/nonexistent-dir-zzz/file.csv");
+    EXPECT_FALSE(writer.good());
+}
+
+} // namespace
+} // namespace lemons

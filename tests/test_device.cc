@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Unit tests for the simulated NEMS switch and the device factory.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "util/stats.h"
+#include "wearout/device.h"
+#include "wearout/population.h"
+
+namespace lemons::wearout {
+namespace {
+
+TEST(NemsSwitch, ActuatesUntilLifetime)
+{
+    NemsSwitch sw(3.0);
+    EXPECT_TRUE(sw.actuate());
+    EXPECT_TRUE(sw.actuate());
+    EXPECT_TRUE(sw.actuate());
+    EXPECT_FALSE(sw.actuate());
+    EXPECT_TRUE(sw.failed());
+    EXPECT_EQ(sw.cyclesUsed(), 4u);
+}
+
+TEST(NemsSwitch, FractionalLifetimeFloors)
+{
+    NemsSwitch sw(2.7);
+    EXPECT_TRUE(sw.actuate());
+    EXPECT_TRUE(sw.actuate());
+    EXPECT_FALSE(sw.actuate()); // 3rd actuation exceeds 2.7
+}
+
+TEST(NemsSwitch, WearoutIsPermanent)
+{
+    NemsSwitch sw(1.0);
+    EXPECT_TRUE(sw.actuate());
+    for (int i = 0; i < 10; ++i)
+        EXPECT_FALSE(sw.actuate());
+}
+
+TEST(NemsSwitch, ZeroLifetimeNeverWorks)
+{
+    NemsSwitch sw(0.0);
+    EXPECT_FALSE(sw.actuate());
+}
+
+TEST(NemsSwitch, RejectsNegativeLifetime)
+{
+    EXPECT_THROW(NemsSwitch(-1.0), std::invalid_argument);
+}
+
+TEST(NemsSwitch, AliveAtIsConsistentWithActuate)
+{
+    NemsSwitch probe(5.0);
+    EXPECT_TRUE(probe.aliveAt(1));
+    EXPECT_TRUE(probe.aliveAt(5));
+    EXPECT_FALSE(probe.aliveAt(6));
+}
+
+TEST(NemsSwitch, SampledLifetimeFollowsModel)
+{
+    const Weibull model(10.0, 8.0);
+    Rng rng(1);
+    RunningStats lifetimes;
+    for (int i = 0; i < 20000; ++i) {
+        const NemsSwitch sw(model, rng);
+        lifetimes.add(sw.lifetime());
+    }
+    EXPECT_NEAR(lifetimes.mean(), model.mttf(), 0.05);
+}
+
+TEST(DeviceFactory, NoVariationMatchesNominal)
+{
+    const DeviceFactory factory({10.0, 8.0}, ProcessVariation::none());
+    Rng rng(2);
+    RunningStats lifetimes;
+    for (int i = 0; i < 20000; ++i)
+        lifetimes.add(factory.sampleLifetime(rng));
+    EXPECT_NEAR(lifetimes.mean(), factory.nominalModel().mttf(), 0.05);
+}
+
+TEST(DeviceFactory, AlphaVariationWidensSpread)
+{
+    Rng rngA(3);
+    Rng rngB(3);
+    const DeviceFactory exact({10.0, 8.0}, ProcessVariation::none());
+    const DeviceFactory varied({10.0, 8.0}, {0.3, 0.0});
+    RunningStats exactStats, variedStats;
+    for (int i = 0; i < 20000; ++i) {
+        exactStats.add(exact.sampleLifetime(rngA));
+        variedStats.add(varied.sampleLifetime(rngB));
+    }
+    EXPECT_GT(variedStats.stddev(), 1.5 * exactStats.stddev());
+}
+
+TEST(DeviceFactory, FabricateManyCreatesIndependentDevices)
+{
+    const DeviceFactory factory({5.0, 2.0}, ProcessVariation::none());
+    Rng rng(4);
+    auto devices = factory.fabricateMany(rng, 100);
+    ASSERT_EQ(devices.size(), 100u);
+    // Lifetimes should not all be identical.
+    bool anyDifferent = false;
+    for (size_t i = 1; i < devices.size(); ++i)
+        if (devices[i].lifetime() != devices[0].lifetime())
+            anyDifferent = true;
+    EXPECT_TRUE(anyDifferent);
+}
+
+TEST(DeviceFactory, RejectsBadSpec)
+{
+    EXPECT_THROW(DeviceFactory({0.0, 1.0}, ProcessVariation::none()),
+                 std::invalid_argument);
+    EXPECT_THROW(DeviceFactory({1.0, 0.0}, ProcessVariation::none()),
+                 std::invalid_argument);
+    EXPECT_THROW(DeviceFactory({1.0, 1.0}, {-0.1, 0.0}),
+                 std::invalid_argument);
+}
+
+TEST(DeviceSpecs, PaperMemsFitsAreAvailable)
+{
+    // Slack et al. fits quoted in Section 2.2.
+    EXPECT_DOUBLE_EQ(specGeometricVariation.alpha, 2.6e6);
+    EXPECT_DOUBLE_EQ(specGeometricVariation.beta, 12.94);
+    EXPECT_DOUBLE_EQ(specElasticityVariation.alpha, 2.2e6);
+    EXPECT_DOUBLE_EQ(specElasticityVariation.beta, 7.2);
+    EXPECT_DOUBLE_EQ(specResistanceVariation.alpha, 1.8e6);
+    EXPECT_DOUBLE_EQ(specResistanceVariation.beta, 8.58);
+}
+
+} // namespace
+} // namespace lemons::wearout

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for the harsh-environment model: the attacker-cannot-extend-
+ * lifetime asymmetry of Section 2.1.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "wearout/environment.h"
+
+namespace lemons::wearout {
+namespace {
+
+TEST(EnvironmentModel, ReferenceAndBelowGiveFactorOne)
+{
+    const EnvironmentModel model;
+    EXPECT_DOUBLE_EQ(model.lifetimeFactor(25.0), 1.0);
+    EXPECT_DOUBLE_EQ(model.lifetimeFactor(0.0), 1.0);
+    // Freezing the chip does not extend device life (fracture
+    // remains): the factor is capped at 1.
+    EXPECT_DOUBLE_EQ(model.lifetimeFactor(-196.0), 1.0);
+}
+
+TEST(EnvironmentModel, FactorNeverExceedsOne)
+{
+    const EnvironmentModel model;
+    for (double t = -273.0; t <= 2000.0; t += 7.3)
+        EXPECT_LE(model.lifetimeFactor(t), 1.0) << "T = " << t;
+}
+
+TEST(EnvironmentModel, FactorMonotoneDecreasingAboveReference)
+{
+    const EnvironmentModel model;
+    double prev = 1.0;
+    for (double t = 25.0; t <= 1500.0; t += 25.0) {
+        const double f = model.lifetimeFactor(t);
+        EXPECT_LE(f, prev);
+        prev = f;
+    }
+}
+
+TEST(EnvironmentModel, SicAnchorAt500C)
+{
+    // Paper Section 2.1: SiC NEMS run > 21e9 cycles at 25 C but only
+    // > 2e9 at 500 C: a derating of roughly 2/21.
+    const EnvironmentModel model;
+    EXPECT_NEAR(model.lifetimeFactor(500.0), 2.0 / 21.0, 0.01);
+}
+
+TEST(EnvironmentModel, FactorFloorsAtMinimum)
+{
+    const EnvironmentModel model(25.0, 201.9, 1e-6);
+    EXPECT_DOUBLE_EQ(model.lifetimeFactor(1e6), 1e-6);
+}
+
+TEST(EnvironmentModel, CyclesPerActuationIsReciprocal)
+{
+    const EnvironmentModel model;
+    EXPECT_DOUBLE_EQ(model.cyclesPerActuation(25.0), 1.0);
+    EXPECT_NEAR(model.cyclesPerActuation(500.0), 21.0 / 2.0, 1.0);
+}
+
+TEST(EnvironmentModel, RejectsBadParameters)
+{
+    EXPECT_THROW(EnvironmentModel(25.0, 0.0), std::invalid_argument);
+    EXPECT_THROW(EnvironmentModel(25.0, 100.0, 0.0),
+                 std::invalid_argument);
+    EXPECT_THROW(EnvironmentModel(25.0, 100.0, 1.5),
+                 std::invalid_argument);
+}
+
+TEST(HarshEnvironmentSwitch, RoomTemperatureMatchesPlainSwitch)
+{
+    HarshEnvironmentSwitch sw(3.0, EnvironmentModel{});
+    EXPECT_TRUE(sw.actuateAt(25.0));
+    EXPECT_TRUE(sw.actuateAt(25.0));
+    EXPECT_TRUE(sw.actuateAt(25.0));
+    EXPECT_FALSE(sw.actuateAt(25.0));
+    EXPECT_TRUE(sw.failed());
+}
+
+TEST(HarshEnvironmentSwitch, HeatOnlyDestroysFaster)
+{
+    // At 500 C each actuation burns ~10.5 cycles of budget: a 21-cycle
+    // switch survives only two hot actuations instead of 21 cool ones.
+    HarshEnvironmentSwitch hot(21.0, EnvironmentModel{});
+    int hotActuations = 0;
+    while (hot.actuateAt(500.0))
+        ++hotActuations;
+    EXPECT_LE(hotActuations, 2);
+
+    HarshEnvironmentSwitch cool(21.0, EnvironmentModel{});
+    int coolActuations = 0;
+    while (cool.actuateAt(25.0))
+        ++coolActuations;
+    EXPECT_EQ(coolActuations, 21);
+}
+
+TEST(HarshEnvironmentSwitch, ColdGivesNoExtraLife)
+{
+    HarshEnvironmentSwitch frozen(5.0, EnvironmentModel{});
+    int actuations = 0;
+    while (frozen.actuateAt(-100.0))
+        ++actuations;
+    EXPECT_EQ(actuations, 5); // exactly the reference budget
+}
+
+TEST(HarshEnvironmentSwitch, MixedTemperaturesAccumulate)
+{
+    HarshEnvironmentSwitch sw(12.0, EnvironmentModel{});
+    // One hot actuation (~10.5 cycles) plus one cool one = ~11.5.
+    EXPECT_TRUE(sw.actuateAt(500.0));
+    EXPECT_TRUE(sw.actuateAt(25.0));
+    // The next cool actuation crosses 12 cycles of budget.
+    EXPECT_FALSE(sw.actuateAt(25.0));
+    EXPECT_TRUE(sw.failed());
+}
+
+TEST(HarshEnvironmentSwitch, FailureIsPermanentEvenIfCooled)
+{
+    HarshEnvironmentSwitch sw(2.0, EnvironmentModel{});
+    while (sw.actuateAt(800.0)) {
+    }
+    EXPECT_TRUE(sw.failed());
+    EXPECT_FALSE(sw.actuateAt(-50.0));
+}
+
+TEST(HarshEnvironmentSwitch, SampledLifetimeConstructor)
+{
+    const Weibull model(10.0, 8.0);
+    Rng rng(1);
+    const HarshEnvironmentSwitch sw(model, rng, EnvironmentModel{});
+    EXPECT_GT(sw.lifetime(), 0.0);
+    EXPECT_FALSE(sw.failed());
+}
+
+TEST(HarshEnvironmentSwitch, AttackerCannotBeatTheSecurityBound)
+{
+    // The key asymmetry: over any temperature schedule the attacker
+    // chooses, the number of successful actuations never exceeds the
+    // reference-temperature lifetime.
+    Rng rng(2);
+    const Weibull model(20.0, 8.0);
+    const EnvironmentModel environment;
+    for (int trial = 0; trial < 200; ++trial) {
+        HarshEnvironmentSwitch sw(model, rng, environment);
+        const double budget = sw.lifetime();
+        int successes = 0;
+        Rng schedule = rng.split(static_cast<uint64_t>(trial));
+        while (!sw.failed()) {
+            // Adversarial schedule: random temperatures from -200 to
+            // 1000 C.
+            const double t =
+                -200.0 + 1200.0 * schedule.nextDouble();
+            if (sw.actuateAt(t))
+                ++successes;
+        }
+        EXPECT_LE(successes, static_cast<int>(budget) + 1)
+            << "trial " << trial;
+    }
+}
+
+} // namespace
+} // namespace lemons::wearout

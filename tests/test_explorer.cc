@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for the engineering-space exploration drivers: the sweeps
+ * must reproduce the qualitative trends of Figures 4, 5, 8, and 9.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/explorer.h"
+
+namespace lemons::core {
+namespace {
+
+TEST(SweepDeviceCount, CoversAllRequestedAlphas)
+{
+    const auto points =
+        sweepDeviceCount({10.0, 12.0, 14.0}, 8.0, 0.1, 91250);
+    ASSERT_EQ(points.size(), 3u);
+    EXPECT_DOUBLE_EQ(points[0].alpha, 10.0);
+    EXPECT_DOUBLE_EQ(points[2].alpha, 14.0);
+    for (const auto &p : points) {
+        EXPECT_DOUBLE_EQ(p.beta, 8.0);
+        EXPECT_DOUBLE_EQ(p.kFraction, 0.1);
+        EXPECT_TRUE(p.design.feasible);
+    }
+}
+
+TEST(SweepDeviceCount, EncodedBeatsUnencodedPointwise)
+{
+    // Fig 4b vs 4a: at every device technology, redundant encoding
+    // needs fewer switches than the plain parallel design. (The
+    // per-alpha totals are jagged under our strict integer-access
+    // criteria — see EXPERIMENTS.md — but the encoded < unencoded
+    // ordering is robust.)
+    const std::vector<double> alphas = {10.0, 14.0, 20.0};
+    const auto encoded = sweepDeviceCount(alphas, 8.0, 0.1, 91250);
+    const auto plain = sweepDeviceCount(alphas, 8.0, 0.0, 91250);
+    for (size_t i = 0; i < alphas.size(); ++i) {
+        ASSERT_TRUE(encoded[i].design.feasible)
+            << "alpha = " << alphas[i];
+        ASSERT_TRUE(plain[i].design.feasible) << "alpha = " << alphas[i];
+        EXPECT_LT(encoded[i].design.totalDevices,
+                  plain[i].design.totalDevices)
+            << "alpha = " << alphas[i];
+    }
+    // And all encoded designs stay feasible across the full range.
+    const auto fullRange = sweepDeviceCount(
+        {10.0, 12.0, 14.0, 16.0, 18.0, 20.0}, 8.0, 0.1, 91250);
+    for (const auto &p : fullRange)
+        EXPECT_TRUE(p.design.feasible) << "alpha = " << p.alpha;
+}
+
+TEST(SweepDeviceCount, UnencodedExplodesAcrossAlpha)
+{
+    // Fig 4a: log-scale growth without encoding.
+    const auto points = sweepDeviceCount({10.0, 14.0}, 8.0, 0.0, 91250);
+    ASSERT_TRUE(points[0].design.feasible);
+    ASSERT_TRUE(points[1].design.feasible);
+    EXPECT_GT(points[1].design.totalDevices,
+              50 * points[0].design.totalDevices);
+}
+
+TEST(SweepDeviceCount, TargetingIsOrdersOfMagnitudeSmaller)
+{
+    // Fig 5 vs Fig 4: LAB = 100 vs 91,250.
+    const auto connection =
+        sweepDeviceCount({14.0}, 8.0, 0.1, 91250);
+    const auto targeting = sweepDeviceCount({14.0}, 8.0, 0.1, 100);
+    ASSERT_TRUE(connection[0].design.feasible);
+    ASSERT_TRUE(targeting[0].design.feasible);
+    EXPECT_GT(connection[0].design.totalDevices,
+              100 * targeting[0].design.totalDevices);
+}
+
+TEST(SweepDeviceCount, UpperBoundOptionPropagates)
+{
+    const auto strict = sweepDeviceCount({14.0}, 8.0, 0.1, 91250);
+    const auto relaxed =
+        sweepDeviceCount({14.0}, 8.0, 0.1, 91250, {}, 200000);
+    ASSERT_TRUE(strict[0].design.feasible);
+    ASSERT_TRUE(relaxed[0].design.feasible);
+    EXPECT_LT(relaxed[0].design.totalDevices,
+              strict[0].design.totalDevices);
+}
+
+TEST(SweepOtp, GridDimensionsAndContents)
+{
+    const auto grid = sweepOtpThresholdHeight({8, 16}, {4, 8}, 128,
+                                              {10.0, 1.0});
+    ASSERT_EQ(grid.size(), 4u);
+    for (const auto &point : grid) {
+        EXPECT_GE(point.receiverSuccess, 0.0);
+        EXPECT_LE(point.receiverSuccess, 1.0);
+        EXPECT_GE(point.adversarySuccess, 0.0);
+        EXPECT_LE(point.adversarySuccess, point.receiverSuccess + 1e-12);
+    }
+}
+
+TEST(SweepOtp, MatchesDirectAnalytics)
+{
+    const auto grid =
+        sweepOtpThresholdHeight({8}, {4}, 128, {10.0, 1.0});
+    ASSERT_EQ(grid.size(), 1u);
+    const OtpAnalytics direct(grid[0].params);
+    EXPECT_DOUBLE_EQ(grid[0].receiverSuccess, direct.receiverSuccess());
+    EXPECT_DOUBLE_EQ(grid[0].adversarySuccess, direct.adversarySuccess());
+}
+
+TEST(SweepOtp, Figure8SuccessSpaceExists)
+{
+    // There must be (k, H) cells where the receiver succeeds and the
+    // adversary fails — the paper's "success space" (Fig 8).
+    const auto grid = sweepOtpThresholdHeight(
+        {1, 8, 16, 32, 64, 96, 128}, {2, 4, 6, 8, 10, 12}, 128,
+        {10.0, 1.0});
+    int successCells = 0;
+    for (const auto &point : grid)
+        if (point.receiverSuccess > 0.99 && point.adversarySuccess < 0.01)
+            ++successCells;
+    EXPECT_GT(successCells, 5);
+}
+
+TEST(SweepOtp, Figure9AlphaTrend)
+{
+    // Fig 9: at fixed k and H, higher alpha raises receiver success.
+    const auto grid =
+        sweepOtpAlphaHeight({2.0, 10.0, 40.0, 80.0}, {6}, 128, 8, 1.0);
+    ASSERT_EQ(grid.size(), 4u);
+    for (size_t i = 1; i < grid.size(); ++i)
+        EXPECT_GE(grid[i].receiverSuccess + 1e-12,
+                  grid[i - 1].receiverSuccess);
+}
+
+TEST(SweepOtp, Figure9HeightBlocksAdversary)
+{
+    // Fig 9b: H >= 8 withstands adversaries across the alpha range.
+    const auto grid =
+        sweepOtpAlphaHeight({10.0, 40.0, 80.0}, {8, 10}, 128, 8, 1.0);
+    for (const auto &point : grid)
+        EXPECT_LT(point.adversarySuccess, 0.01);
+}
+
+} // namespace
+} // namespace lemons::core

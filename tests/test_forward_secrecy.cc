@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for the forward-secret sealed archive.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/forward_secrecy.h"
+
+namespace lemons::core {
+namespace {
+
+using wearout::DeviceFactory;
+using wearout::ProcessVariation;
+
+SealedArchive
+makeArchive(uint64_t seed)
+{
+    const DeviceFactory factory(SealedArchive::defaultDeviceSpec(),
+                                ProcessVariation::none());
+    return SealedArchive(factory, seed);
+}
+
+TEST(SealedArchive, DefaultDesignIsSingleUse)
+{
+    const Design d = SealedArchive::defaultSingleUseDesign();
+    ASSERT_TRUE(d.feasible);
+    EXPECT_EQ(d.perCopyBound, 1u);
+    EXPECT_EQ(d.copies, 1u);
+    EXPECT_GE(d.reliabilityAtBound, 0.99);
+    EXPECT_LT(d.reliabilityPastBound, 1e-10);
+}
+
+TEST(SealedArchive, AppendAndReadOnce)
+{
+    auto archive = makeArchive(1);
+    const size_t index = archive.append("the eagle lands at midnight");
+    EXPECT_EQ(archive.size(), 1u);
+    EXPECT_FALSE(archive.sealed(index));
+    const auto plaintext = archive.read(index);
+    ASSERT_TRUE(plaintext.has_value());
+    EXPECT_EQ(*plaintext, "the eagle lands at midnight");
+    EXPECT_TRUE(archive.sealed(index));
+}
+
+TEST(SealedArchive, SecondReadIsSealedForever)
+{
+    auto archive = makeArchive(2);
+    const size_t index = archive.append("burn after reading");
+    ASSERT_TRUE(archive.read(index).has_value());
+    for (int i = 0; i < 5; ++i)
+        EXPECT_FALSE(archive.read(index).has_value());
+}
+
+TEST(SealedArchive, MessagesAreIndependent)
+{
+    auto archive = makeArchive(3);
+    const size_t a = archive.append("alpha");
+    const size_t b = archive.append("bravo");
+    const size_t c = archive.append("charlie");
+    ASSERT_TRUE(archive.read(b).has_value());
+    // Reading b does not consume a or c.
+    EXPECT_FALSE(archive.sealed(a));
+    EXPECT_FALSE(archive.sealed(c));
+    EXPECT_EQ(archive.read(a).value_or(""), "alpha");
+    EXPECT_EQ(archive.read(c).value_or(""), "charlie");
+}
+
+TEST(SealedArchive, SeizureRecoversOnlyUnreadMail)
+{
+    auto archive = makeArchive(4);
+    (void)archive.append("read me 0");
+    (void)archive.append("unread 1");
+    (void)archive.append("read me 2");
+    (void)archive.append("unread 3");
+    ASSERT_TRUE(archive.read(0).has_value());
+    ASSERT_TRUE(archive.read(2).has_value());
+
+    const auto loot = archive.seizeAndDump();
+    ASSERT_EQ(loot.size(), 2u);
+    EXPECT_EQ(loot[0], "unread 1");
+    EXPECT_EQ(loot[1], "unread 3");
+    // Nothing left after the seizure.
+    for (size_t i = 0; i < archive.size(); ++i)
+        EXPECT_TRUE(archive.sealed(i));
+}
+
+TEST(SealedArchive, ManyMessagesAllReadableOnce)
+{
+    auto archive = makeArchive(5);
+    for (int i = 0; i < 50; ++i)
+        (void)archive.append("message " + std::to_string(i));
+    int readable = 0;
+    for (size_t i = 0; i < archive.size(); ++i) {
+        if (archive.read(i) == "message " + std::to_string(i))
+            ++readable;
+    }
+    // R(1) ~ 0.998 per gate: essentially all deliver exactly once.
+    EXPECT_GE(readable, 48);
+}
+
+TEST(SealedArchive, EmptyMessageRoundTrips)
+{
+    auto archive = makeArchive(6);
+    const size_t index = archive.append("");
+    const auto plaintext = archive.read(index);
+    ASSERT_TRUE(plaintext.has_value());
+    EXPECT_TRUE(plaintext->empty());
+}
+
+TEST(SealedArchive, RejectsBadIndex)
+{
+    auto archive = makeArchive(7);
+    EXPECT_THROW(archive.read(0), std::invalid_argument);
+    EXPECT_THROW(archive.sealed(0), std::invalid_argument);
+}
+
+TEST(SealedArchive, CustomDesignAccepted)
+{
+    DesignRequest request;
+    request.device = {3.3, 12.0}; // ~3-cycle devices for a 3-use gate
+    request.legitimateAccessBound = 3;
+    request.kFraction = 0.1;
+    const Design d = DesignSolver(request).solve();
+    ASSERT_TRUE(d.feasible);
+    const DeviceFactory factory({3.3, 12.0}, ProcessVariation::none());
+    SealedArchive archive(factory, 8, d);
+    const size_t index = archive.append("thrice-readable");
+    EXPECT_EQ(archive.read(index).value_or(""), "thrice-readable");
+}
+
+TEST(SealedArchive, InfeasibleCustomDesignRejected)
+{
+    const DeviceFactory factory({10.0, 12.0}, ProcessVariation::none());
+    EXPECT_THROW(SealedArchive(factory, 9, Design{}),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace lemons::core

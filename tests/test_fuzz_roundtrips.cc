@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Randomized cross-module round-trip fuzzing: hundreds of random
+ * configurations and payloads through every coding/crypto substrate,
+ * asserting the invariants that the architectures rely on. Seeds are
+ * fixed, so failures are reproducible.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "crypto/hmac.h"
+#include "crypto/otp.h"
+#include "crypto/sha256.h"
+#include "rs/classic_rs.h"
+#include "rs/reed_solomon.h"
+#include "shamir/shamir.h"
+#include "shamir/shamir16.h"
+#include "util/rng.h"
+
+namespace lemons {
+namespace {
+
+std::vector<uint8_t>
+randomBytes(Rng &rng, size_t size)
+{
+    std::vector<uint8_t> out(size);
+    for (auto &b : out)
+        b = static_cast<uint8_t>(rng.nextBelow(256));
+    return out;
+}
+
+TEST(Fuzz, ShamirRandomConfigurations)
+{
+    Rng rng(0xf00d);
+    for (int trial = 0; trial < 300; ++trial) {
+        const size_t n = 1 + static_cast<size_t>(rng.nextBelow(255));
+        const size_t k = 1 + static_cast<size_t>(rng.nextBelow(n));
+        const size_t len = static_cast<size_t>(rng.nextBelow(80));
+        const shamir::Scheme scheme(k, n);
+        const auto secret = randomBytes(rng, len);
+        auto shares = scheme.split(secret, rng);
+        // Shuffle and keep a random superset of k shares.
+        for (size_t i = shares.size(); i > 1; --i)
+            std::swap(shares[i - 1],
+                      shares[rng.nextBelow(i)]);
+        const size_t keep =
+            k + static_cast<size_t>(rng.nextBelow(n - k + 1));
+        shares.resize(keep);
+        const auto recovered = scheme.combine(shares);
+        ASSERT_TRUE(recovered.has_value()) << "trial " << trial;
+        ASSERT_EQ(*recovered, secret) << "trial " << trial;
+    }
+}
+
+TEST(Fuzz, WideShamirRandomConfigurations)
+{
+    Rng rng(0xf00e);
+    for (int trial = 0; trial < 60; ++trial) {
+        const size_t n = 2 + static_cast<size_t>(rng.nextBelow(2000));
+        const size_t k = 1 + static_cast<size_t>(rng.nextBelow(
+                                 std::min<size_t>(n, 64)));
+        const size_t len = static_cast<size_t>(rng.nextBelow(48));
+        const shamir::WideScheme scheme(k, n);
+        const auto secret = randomBytes(rng, len);
+        auto shares = scheme.split(secret, rng);
+        for (size_t i = shares.size(); i > 1; --i)
+            std::swap(shares[i - 1], shares[rng.nextBelow(i)]);
+        shares.resize(k);
+        const auto recovered = scheme.combine(shares, len);
+        ASSERT_TRUE(recovered.has_value()) << "trial " << trial;
+        ASSERT_EQ(*recovered, secret) << "trial " << trial;
+    }
+}
+
+TEST(Fuzz, RsErasureRandomConfigurations)
+{
+    Rng rng(0xf00f);
+    for (int trial = 0; trial < 300; ++trial) {
+        const size_t n = 1 + static_cast<size_t>(rng.nextBelow(255));
+        const size_t k = 1 + static_cast<size_t>(rng.nextBelow(n));
+        const size_t len = static_cast<size_t>(rng.nextBelow(64));
+        const rs::RsCode code(k, n);
+        const auto message = randomBytes(rng, len);
+        auto shares = code.encode(message);
+        for (size_t i = shares.size(); i > 1; --i)
+            std::swap(shares[i - 1], shares[rng.nextBelow(i)]);
+        shares.resize(k);
+        const auto decoded = code.decode(shares, len);
+        ASSERT_TRUE(decoded.has_value()) << "trial " << trial;
+        ASSERT_EQ(*decoded, message) << "trial " << trial;
+    }
+}
+
+TEST(Fuzz, ClassicRsRandomErrorLoads)
+{
+    Rng rng(0xf010);
+    for (int trial = 0; trial < 120; ++trial) {
+        const size_t n = 4 + static_cast<size_t>(rng.nextBelow(252));
+        const size_t k = 1 + static_cast<size_t>(rng.nextBelow(n - 1));
+        const rs::ClassicRsCodec codec(n, k);
+        const auto message = randomBytes(rng, k);
+        auto word = codec.encode(message);
+        // Random split of the correction budget between errors and
+        // erasures: 2e + s <= n - k.
+        const size_t parity = codec.parity();
+        const size_t errors =
+            static_cast<size_t>(rng.nextBelow(parity / 2 + 1));
+        const size_t erasures = static_cast<size_t>(
+            rng.nextBelow(parity - 2 * errors + 1));
+        std::set<size_t> touched;
+        while (touched.size() < errors + erasures)
+            touched.insert(static_cast<size_t>(rng.nextBelow(n)));
+        std::vector<size_t> erasurePositions;
+        size_t assigned = 0;
+        for (size_t pos : touched) {
+            word[pos] ^= static_cast<uint8_t>(1 + rng.nextBelow(255));
+            if (assigned++ < erasures)
+                erasurePositions.push_back(pos);
+        }
+        const auto decoded = codec.decode(word, erasurePositions);
+        ASSERT_TRUE(decoded.has_value())
+            << "trial " << trial << " n=" << n << " k=" << k
+            << " e=" << errors << " s=" << erasures;
+        ASSERT_EQ(decoded->message, message) << "trial " << trial;
+    }
+}
+
+TEST(Fuzz, OtpRoundTripsAnyLength)
+{
+    Rng rng(0xf011);
+    for (int trial = 0; trial < 500; ++trial) {
+        const size_t len = static_cast<size_t>(rng.nextBelow(512));
+        const auto message = randomBytes(rng, len);
+        const auto pad = crypto::generatePad(
+            rng, len + static_cast<size_t>(rng.nextBelow(32)));
+        ASSERT_EQ(crypto::otpApply(crypto::otpApply(message, pad), pad),
+                  message)
+            << "trial " << trial;
+    }
+}
+
+TEST(Fuzz, Sha256IncrementalSplitsAgree)
+{
+    Rng rng(0xf012);
+    for (int trial = 0; trial < 200; ++trial) {
+        const size_t len = static_cast<size_t>(rng.nextBelow(600));
+        const auto message = randomBytes(rng, len);
+        const auto oneShot = crypto::sha256(message);
+        crypto::Sha256 incremental;
+        size_t offset = 0;
+        while (offset < len) {
+            const size_t chunk = 1 + static_cast<size_t>(rng.nextBelow(
+                                         len - offset));
+            incremental.update(message.data() + offset, chunk);
+            offset += chunk;
+        }
+        ASSERT_EQ(incremental.finalize(), oneShot) << "trial " << trial;
+    }
+}
+
+TEST(Fuzz, HkdfLengthsAndPrefixes)
+{
+    Rng rng(0xf013);
+    for (int trial = 0; trial < 200; ++trial) {
+        const auto ikm = randomBytes(
+            rng, 1 + static_cast<size_t>(rng.nextBelow(64)));
+        const auto salt =
+            randomBytes(rng, static_cast<size_t>(rng.nextBelow(64)));
+        const size_t len =
+            1 + static_cast<size_t>(rng.nextBelow(200));
+        const auto longKey = crypto::deriveKey(ikm, salt, "fuzz", len);
+        ASSERT_EQ(longKey.size(), len);
+        // Prefix-consistency: a shorter request is a prefix.
+        const size_t shorter =
+            1 + static_cast<size_t>(rng.nextBelow(len));
+        const auto shortKey =
+            crypto::deriveKey(ikm, salt, "fuzz", shorter);
+        ASSERT_TRUE(std::equal(shortKey.begin(), shortKey.end(),
+                               longKey.begin()))
+            << "trial " << trial;
+    }
+}
+
+} // namespace
+} // namespace lemons

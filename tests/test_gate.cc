@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Tests for the runtime limited-use gate: correct secret delivery,
+ * hardware-enforced exhaustion, and copy fall-through.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/design_solver.h"
+#include "core/gate.h"
+
+namespace lemons::core {
+namespace {
+
+using wearout::DeviceFactory;
+using wearout::ProcessVariation;
+
+Design
+targetingDesign()
+{
+    DesignRequest request;
+    request.device = {10.0, 12.0};
+    request.legitimateAccessBound = 100;
+    request.kFraction = 0.1;
+    return DesignSolver(request).solve();
+}
+
+std::vector<uint8_t>
+secretBytes()
+{
+    return {0xde, 0xad, 0xbe, 0xef, 0x01, 0x02, 0x03, 0x04};
+}
+
+TEST(LimitedUseGate, RejectsBadConstruction)
+{
+    const DeviceFactory factory({10.0, 12.0}, ProcessVariation::none());
+    Rng rng(1);
+    const Design infeasible;
+    EXPECT_THROW(LimitedUseGate(infeasible, factory, secretBytes(), rng),
+                 std::invalid_argument);
+
+    Design tooWide = targetingDesign();
+    tooWide.width = 70000; // beyond GF(2^16) share indices
+    EXPECT_THROW(LimitedUseGate(tooWide, factory, secretBytes(), rng),
+                 std::invalid_argument);
+
+    const Design d = targetingDesign();
+    EXPECT_THROW(LimitedUseGate(d, factory, {}, rng),
+                 std::invalid_argument);
+}
+
+TEST(LimitedUseGate, DeliversSecretForLegitimateUsage)
+{
+    const Design d = targetingDesign();
+    ASSERT_TRUE(d.feasible);
+    ASSERT_LE(d.width, 255u);
+    const DeviceFactory factory({10.0, 12.0}, ProcessVariation::none());
+    Rng rng(2);
+    LimitedUseGate gate(d, factory, secretBytes(), rng);
+
+    // All 100 legitimate accesses must succeed (design guarantees
+    // ~99 % per copy; fall-through between copies absorbs the rest).
+    for (int i = 0; i < 100; ++i) {
+        const auto secret = gate.access();
+        ASSERT_TRUE(secret.has_value()) << "access " << i;
+        EXPECT_EQ(*secret, secretBytes());
+    }
+    EXPECT_EQ(gate.accessCount(), 100u);
+}
+
+TEST(LimitedUseGate, WearsOutNearTheDesignBound)
+{
+    const Design d = targetingDesign();
+    const DeviceFactory factory({10.0, 12.0}, ProcessVariation::none());
+    Rng rng(3);
+    LimitedUseGate gate(d, factory, secretBytes(), rng);
+
+    uint64_t successes = 0;
+    for (int i = 0; i < 400; ++i)
+        if (gate.access().has_value())
+            ++successes;
+    // Lower bound: the LAB. Upper bound: nominal capacity plus a
+    // small overshoot (residual reliability is 1 % per copy).
+    EXPECT_GE(successes, 100u);
+    EXPECT_LE(successes, d.copies * (d.perCopyBound + 2));
+    EXPECT_TRUE(gate.exhausted());
+}
+
+TEST(LimitedUseGate, ExhaustionIsPermanent)
+{
+    const Design d = targetingDesign();
+    const DeviceFactory factory({10.0, 12.0}, ProcessVariation::none());
+    Rng rng(4);
+    LimitedUseGate gate(d, factory, secretBytes(), rng);
+    while (!gate.exhausted())
+        (void)gate.access();
+    for (int i = 0; i < 20; ++i)
+        EXPECT_FALSE(gate.access().has_value());
+}
+
+TEST(LimitedUseGate, CopiesAreConsumedInOrder)
+{
+    const Design d = targetingDesign();
+    const DeviceFactory factory({10.0, 12.0}, ProcessVariation::none());
+    Rng rng(5);
+    LimitedUseGate gate(d, factory, secretBytes(), rng);
+    EXPECT_EQ(gate.copiesExhausted(), 0u);
+    uint64_t lastExhausted = 0;
+    while (!gate.exhausted()) {
+        (void)gate.access();
+        EXPECT_GE(gate.copiesExhausted(), lastExhausted);
+        lastExhausted = gate.copiesExhausted();
+    }
+    EXPECT_EQ(gate.copiesExhausted(), d.copies);
+}
+
+TEST(LimitedUseGate, SecretNeverWrongWhileAlive)
+{
+    // The gate must deliver either the exact secret or nothing —
+    // Shamir reconstruction from >= k genuine shares cannot silently
+    // corrupt.
+    const Design d = targetingDesign();
+    const DeviceFactory factory({10.0, 12.0}, ProcessVariation::none());
+    Rng rng(6);
+    LimitedUseGate gate(d, factory, secretBytes(), rng);
+    for (int i = 0; i < 300; ++i) {
+        const auto secret = gate.access();
+        if (secret) {
+            EXPECT_EQ(*secret, secretBytes());
+        }
+    }
+}
+
+TEST(LimitedUseGate, DifferentSeedsDifferentWearoutTrajectories)
+{
+    const Design d = targetingDesign();
+    const DeviceFactory factory({10.0, 12.0}, ProcessVariation::none());
+    auto countAccesses = [&](uint64_t seed) {
+        Rng rng(seed);
+        LimitedUseGate gate(d, factory, secretBytes(), rng);
+        uint64_t n = 0;
+        while (gate.access().has_value())
+            ++n;
+        return n;
+    };
+    // Lifetimes are stochastic but both stay in the designed window.
+    const uint64_t a = countAccesses(100);
+    const uint64_t b = countAccesses(200);
+    EXPECT_GE(a, 100u);
+    EXPECT_GE(b, 100u);
+}
+
+TEST(LimitedUseGate, WideDesignUsesGf65536Shares)
+{
+    // (alpha=10, beta=8, k=10%) solves to a 1,760-wide structure —
+    // beyond GF(2^8)'s 255 share indices. The GF(2^16) share path
+    // must fabricate and serve it.
+    DesignRequest request;
+    request.device = {10.0, 8.0};
+    request.legitimateAccessBound = 100;
+    request.kFraction = 0.1;
+    const Design d = DesignSolver(request).solve();
+    ASSERT_TRUE(d.feasible);
+    ASSERT_GT(d.width, 255u);
+
+    const DeviceFactory factory({10.0, 8.0}, ProcessVariation::none());
+    Rng rng(404);
+    LimitedUseGate gate(d, factory, secretBytes(), rng);
+    for (int i = 0; i < 100; ++i) {
+        const auto secret = gate.access();
+        ASSERT_TRUE(secret.has_value()) << "access " << i;
+        EXPECT_EQ(*secret, secretBytes());
+    }
+}
+
+TEST(LimitedUseGate, FullScaleConnectionFabricates)
+{
+    // The real 91,250-access design (alpha=14, beta=8, k=10%):
+    // 6,084 copies x 175 switches = 1,064,700 devices. Fabricate it
+    // and spot-check accesses across its lifetime.
+    DesignRequest request;
+    request.device = {14.0, 8.0};
+    request.legitimateAccessBound = 91250;
+    request.kFraction = 0.1;
+    const Design d = DesignSolver(request).solve();
+    ASSERT_TRUE(d.feasible);
+    ASSERT_EQ(d.totalDevices, 1064700u);
+
+    const DeviceFactory factory({14.0, 8.0}, ProcessVariation::none());
+    Rng rng(5150);
+    LimitedUseGate gate(d, factory, secretBytes(), rng);
+    // 500 early accesses all succeed.
+    for (int i = 0; i < 500; ++i)
+        ASSERT_TRUE(gate.access().has_value()) << "access " << i;
+    EXPECT_LE(gate.copiesExhausted(), 40u);
+}
+
+} // namespace
+} // namespace lemons::core

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Field-axiom property tests for GF(2^8).
+ */
+
+#include <gtest/gtest.h>
+
+#include "gf/gf256.h"
+
+namespace lemons::gf {
+namespace {
+
+TEST(Gf256, AddIsXor)
+{
+    EXPECT_EQ(add(0x53, 0xca), 0x53 ^ 0xca);
+    EXPECT_EQ(add(0, 0xff), 0xff);
+}
+
+TEST(Gf256, AddIsItsOwnInverse)
+{
+    for (unsigned a = 0; a < 256; ++a)
+        EXPECT_EQ(sub(add(static_cast<uint8_t>(a), 0x9c), 0x9c), a);
+}
+
+TEST(Gf256, MulMatchesBitwiseReference)
+{
+    // Exhaustive 256 x 256 cross-check of the table-driven fast path.
+    for (unsigned a = 0; a < 256; ++a)
+        for (unsigned b = 0; b < 256; ++b)
+            ASSERT_EQ(mul(static_cast<uint8_t>(a), static_cast<uint8_t>(b)),
+                      mulSlow(static_cast<uint8_t>(a),
+                              static_cast<uint8_t>(b)))
+                << a << " * " << b;
+}
+
+TEST(Gf256, KnownProduct)
+{
+    // Classic AES-field example under 0x11d arithmetic:
+    EXPECT_EQ(mul(2, 128), 0x1d ^ 0x00); // 2*128 = x^8 = 0x11d - 0x100
+}
+
+TEST(Gf256, MultiplicationIsCommutative)
+{
+    for (unsigned a = 0; a < 256; a += 3)
+        for (unsigned b = 0; b < 256; b += 5)
+            EXPECT_EQ(mul(static_cast<uint8_t>(a), static_cast<uint8_t>(b)),
+                      mul(static_cast<uint8_t>(b), static_cast<uint8_t>(a)));
+}
+
+TEST(Gf256, MultiplicationIsAssociative)
+{
+    for (unsigned a = 1; a < 256; a += 17)
+        for (unsigned b = 1; b < 256; b += 13)
+            for (unsigned c = 1; c < 256; c += 11) {
+                const auto ab = mul(static_cast<uint8_t>(a),
+                                    static_cast<uint8_t>(b));
+                const auto bc = mul(static_cast<uint8_t>(b),
+                                    static_cast<uint8_t>(c));
+                EXPECT_EQ(mul(ab, static_cast<uint8_t>(c)),
+                          mul(static_cast<uint8_t>(a), bc));
+            }
+}
+
+TEST(Gf256, DistributesOverAddition)
+{
+    for (unsigned a = 0; a < 256; a += 7)
+        for (unsigned b = 0; b < 256; b += 5)
+            for (unsigned c = 0; c < 256; c += 11) {
+                const auto au = static_cast<uint8_t>(a);
+                const auto bu = static_cast<uint8_t>(b);
+                const auto cu = static_cast<uint8_t>(c);
+                EXPECT_EQ(mul(au, add(bu, cu)),
+                          add(mul(au, bu), mul(au, cu)));
+            }
+}
+
+TEST(Gf256, OneIsMultiplicativeIdentity)
+{
+    for (unsigned a = 0; a < 256; ++a)
+        EXPECT_EQ(mul(static_cast<uint8_t>(a), 1), a);
+}
+
+TEST(Gf256, ZeroAnnihilates)
+{
+    for (unsigned a = 0; a < 256; ++a)
+        EXPECT_EQ(mul(static_cast<uint8_t>(a), 0), 0);
+}
+
+TEST(Gf256, EveryNonzeroElementHasInverse)
+{
+    for (unsigned a = 1; a < 256; ++a)
+        EXPECT_EQ(mul(static_cast<uint8_t>(a), inv(static_cast<uint8_t>(a))),
+                  1)
+            << "a = " << a;
+}
+
+TEST(Gf256, InverseOfZeroRejected)
+{
+    EXPECT_THROW(inv(0), std::invalid_argument);
+}
+
+TEST(Gf256, DivisionInvertsMultiplication)
+{
+    for (unsigned a = 0; a < 256; a += 3)
+        for (unsigned b = 1; b < 256; b += 7) {
+            const auto au = static_cast<uint8_t>(a);
+            const auto bu = static_cast<uint8_t>(b);
+            EXPECT_EQ(div(mul(au, bu), bu), au);
+        }
+}
+
+TEST(Gf256, DivisionByZeroRejected)
+{
+    EXPECT_THROW(div(1, 0), std::invalid_argument);
+}
+
+TEST(Gf256, ExpLogRoundTrip)
+{
+    for (unsigned a = 1; a < 256; ++a)
+        EXPECT_EQ(exp(log(static_cast<uint8_t>(a))), a);
+}
+
+TEST(Gf256, LogOfZeroRejected)
+{
+    EXPECT_THROW(log(0), std::invalid_argument);
+}
+
+TEST(Gf256, GeneratorHasFullOrder)
+{
+    // g = 2 generates the whole multiplicative group: powers 0..254 are
+    // distinct.
+    bool seen[256] = {};
+    for (unsigned e = 0; e < groupOrder; ++e) {
+        const uint8_t value = exp(e);
+        EXPECT_FALSE(seen[value]) << "repeat at e = " << e;
+        seen[value] = true;
+    }
+}
+
+TEST(Gf256, PowMatchesRepeatedMultiplication)
+{
+    for (unsigned a = 0; a < 256; a += 13) {
+        uint8_t acc = 1;
+        for (uint64_t e = 0; e < 20; ++e) {
+            EXPECT_EQ(pow(static_cast<uint8_t>(a), e), acc)
+                << a << "^" << e;
+            acc = mul(acc, static_cast<uint8_t>(a));
+        }
+    }
+}
+
+TEST(Gf256, PowHandlesHugeExponents)
+{
+    // a^255 = 1 for nonzero a, so a^(255 q + r) = a^r.
+    EXPECT_EQ(pow(7, 255), 1);
+    EXPECT_EQ(pow(7, 255 * 1000000 + 3), pow(7, 3));
+    EXPECT_EQ(pow(0, 0), 1);
+    EXPECT_EQ(pow(0, 5), 0);
+}
+
+} // namespace
+} // namespace lemons::gf

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Field-axiom property tests for GF(2^16) (sampled; the field is too
+ * large for exhaustive cross-products).
+ */
+
+#include <gtest/gtest.h>
+
+#include "gf/gf65536.h"
+#include "util/rng.h"
+
+namespace lemons::gf16 {
+namespace {
+
+TEST(Gf65536, AddIsXor)
+{
+    EXPECT_EQ(add(0x1234, 0xfedc), 0x1234 ^ 0xfedc);
+    EXPECT_EQ(sub(add(0xbeef, 0x1111), 0x1111), 0xbeef);
+}
+
+TEST(Gf65536, MulMatchesBitwiseReferenceSampled)
+{
+    Rng rng(1);
+    for (int i = 0; i < 200000; ++i) {
+        const auto a = static_cast<uint16_t>(rng.nextBelow(65536));
+        const auto b = static_cast<uint16_t>(rng.nextBelow(65536));
+        ASSERT_EQ(mul(a, b), mulSlow(a, b)) << a << " * " << b;
+    }
+}
+
+TEST(Gf65536, MultiplicationCommutesAndAssociates)
+{
+    Rng rng(2);
+    for (int i = 0; i < 20000; ++i) {
+        const auto a = static_cast<uint16_t>(rng.nextBelow(65536));
+        const auto b = static_cast<uint16_t>(rng.nextBelow(65536));
+        const auto c = static_cast<uint16_t>(rng.nextBelow(65536));
+        EXPECT_EQ(mul(a, b), mul(b, a));
+        EXPECT_EQ(mul(mul(a, b), c), mul(a, mul(b, c)));
+    }
+}
+
+TEST(Gf65536, DistributesOverAddition)
+{
+    Rng rng(3);
+    for (int i = 0; i < 20000; ++i) {
+        const auto a = static_cast<uint16_t>(rng.nextBelow(65536));
+        const auto b = static_cast<uint16_t>(rng.nextBelow(65536));
+        const auto c = static_cast<uint16_t>(rng.nextBelow(65536));
+        EXPECT_EQ(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+    }
+}
+
+TEST(Gf65536, IdentityAndZero)
+{
+    Rng rng(4);
+    for (int i = 0; i < 1000; ++i) {
+        const auto a = static_cast<uint16_t>(rng.nextBelow(65536));
+        EXPECT_EQ(mul(a, 1), a);
+        EXPECT_EQ(mul(a, 0), 0);
+    }
+}
+
+TEST(Gf65536, EveryNonzeroElementHasInverse)
+{
+    // Exhaustive: 65,535 inversions are cheap with tables.
+    for (unsigned a = 1; a < fieldSize; ++a) {
+        const auto au = static_cast<uint16_t>(a);
+        ASSERT_EQ(mul(au, inv(au)), 1) << "a = " << a;
+    }
+}
+
+TEST(Gf65536, InverseAndLogOfZeroRejected)
+{
+    EXPECT_THROW(inv(0), std::invalid_argument);
+    EXPECT_THROW(log(0), std::invalid_argument);
+    EXPECT_THROW(div(1, 0), std::invalid_argument);
+}
+
+TEST(Gf65536, DivisionInvertsMultiplication)
+{
+    Rng rng(5);
+    for (int i = 0; i < 20000; ++i) {
+        const auto a = static_cast<uint16_t>(rng.nextBelow(65536));
+        const auto b = static_cast<uint16_t>(1 + rng.nextBelow(65535));
+        EXPECT_EQ(div(mul(a, b), b), a);
+    }
+}
+
+TEST(Gf65536, ExpLogRoundTripSampled)
+{
+    Rng rng(6);
+    for (int i = 0; i < 20000; ++i) {
+        const auto a = static_cast<uint16_t>(1 + rng.nextBelow(65535));
+        EXPECT_EQ(exp(log(a)), a);
+    }
+}
+
+TEST(Gf65536, GeneratorHasFullOrder)
+{
+    // 2 generates the multiplicative group for the chosen primitive
+    // polynomial: 2^groupOrder = 1 and 2^(groupOrder/q) != 1 for the
+    // prime factors q of 65535 = 3 * 5 * 17 * 257.
+    EXPECT_EQ(pow(2, groupOrder), 1);
+    for (unsigned q : {3u, 5u, 17u, 257u})
+        EXPECT_NE(pow(2, groupOrder / q), 1) << "q = " << q;
+}
+
+TEST(Gf65536, PowHandlesHugeExponents)
+{
+    EXPECT_EQ(pow(7, 0), 1);
+    EXPECT_EQ(pow(0, 0), 1);
+    EXPECT_EQ(pow(0, 9), 0);
+    EXPECT_EQ(pow(7, uint64_t{65535} * 1000000 + 5), pow(7, 5));
+}
+
+} // namespace
+} // namespace lemons::gf16

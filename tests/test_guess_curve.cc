@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for the piecewise empirical guessability curve.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "crypto/guess_curve.h"
+#include "util/rng.h"
+
+namespace lemons::crypto {
+namespace {
+
+EmpiricalGuessCurve
+simpleCurve()
+{
+    return EmpiricalGuessCurve({{100.0, 0.01}, {10000.0, 0.1},
+                                {1e8, 1.0}});
+}
+
+TEST(GuessCurve, RejectsBadAnchors)
+{
+    using Anchor = EmpiricalGuessCurve::Anchor;
+    EXPECT_THROW(EmpiricalGuessCurve({Anchor{1.0, 0.5}}),
+                 std::invalid_argument);
+    EXPECT_THROW(EmpiricalGuessCurve({{1.0, 0.5}, {1.0, 0.6}}),
+                 std::invalid_argument);
+    EXPECT_THROW(EmpiricalGuessCurve({{1.0, 0.5}, {2.0, 0.4}}),
+                 std::invalid_argument);
+    EXPECT_THROW(EmpiricalGuessCurve({{0.0, 0.5}, {2.0, 0.6}}),
+                 std::invalid_argument);
+    EXPECT_THROW(EmpiricalGuessCurve({{1.0, 0.0}, {2.0, 0.6}}),
+                 std::invalid_argument);
+    EXPECT_THROW(EmpiricalGuessCurve({{1.0, 0.5}, {2.0, 1.1}}),
+                 std::invalid_argument);
+}
+
+TEST(GuessCurve, HitsAnchorsExactly)
+{
+    const auto curve = simpleCurve();
+    EXPECT_NEAR(curve.crackedFraction(100.0), 0.01, 1e-12);
+    EXPECT_NEAR(curve.crackedFraction(10000.0), 0.1, 1e-12);
+    EXPECT_NEAR(curve.crackedFraction(1e8), 1.0, 1e-12);
+}
+
+TEST(GuessCurve, LogLogInterpolationBetweenAnchors)
+{
+    const auto curve = simpleCurve();
+    // Between (100, 0.01) and (1e4, 0.1) the log-log line at the
+    // geometric midpoint g=1000 gives f = sqrt(0.01*0.1).
+    EXPECT_NEAR(curve.crackedFraction(1000.0), std::sqrt(0.001), 1e-9);
+}
+
+TEST(GuessCurve, HeadIsLinear)
+{
+    const auto curve = simpleCurve();
+    EXPECT_NEAR(curve.crackedFraction(50.0), 0.005, 1e-12);
+    EXPECT_DOUBLE_EQ(curve.crackedFraction(0.0), 0.0);
+}
+
+TEST(GuessCurve, TailClampsAtLastAnchor)
+{
+    const auto curve = simpleCurve();
+    EXPECT_DOUBLE_EQ(curve.crackedFraction(1e12), 1.0);
+}
+
+TEST(GuessCurve, MonotoneEverywhere)
+{
+    const auto curve = EmpiricalGuessCurve::blaseUr8Char4Class();
+    double prev = 0.0;
+    for (double g = 1.0; g < 1e17; g *= 1.7) {
+        const double f = curve.crackedFraction(g);
+        EXPECT_GE(f, prev - 1e-15) << "g = " << g;
+        prev = f;
+    }
+}
+
+TEST(GuessCurve, InverseRoundTrips)
+{
+    const auto curve = EmpiricalGuessCurve::blaseUr8Char4Class();
+    for (double f : {1e-4, 1e-3, 0.01, 0.02, 0.1, 0.5, 1.0}) {
+        const double g = curve.guessesForFraction(f);
+        EXPECT_NEAR(curve.crackedFraction(g), f, 1e-9 + 1e-9 * f)
+            << "f = " << f;
+    }
+}
+
+TEST(GuessCurve, InverseRejectsBadFraction)
+{
+    const auto curve = simpleCurve();
+    EXPECT_THROW(curve.guessesForFraction(0.0), std::invalid_argument);
+    EXPECT_THROW(curve.guessesForFraction(1.5), std::invalid_argument);
+    // Coverage gap: a curve ending below 1.0 cannot invert above it.
+    const EmpiricalGuessCurve partial({{10.0, 0.1}, {100.0, 0.5}});
+    EXPECT_THROW(partial.guessesForFraction(0.9), std::invalid_argument);
+}
+
+TEST(GuessCurve, PaperAnchorsPresentInDefault)
+{
+    const auto curve = EmpiricalGuessCurve::blaseUr8Char4Class();
+    EXPECT_NEAR(curve.crackedFraction(1e5), 0.01, 1e-12);
+    EXPECT_NEAR(curve.crackedFraction(2e5), 0.02, 1e-12);
+    // "only a few very popular passwords ... within 91,250 attempts".
+    EXPECT_LT(curve.crackedFraction(91250), 0.01);
+}
+
+TEST(GuessCurve, SampledRanksFollowTheCurve)
+{
+    const auto curve = EmpiricalGuessCurve::blaseUr8Char4Class();
+    Rng rng(42);
+    const int trials = 200000;
+    int within100k = 0, within200k = 0;
+    for (int i = 0; i < trials; ++i) {
+        const uint64_t rank = curve.sampleGuessRank(rng);
+        if (rank <= 100000)
+            ++within100k;
+        if (rank <= 200000)
+            ++within200k;
+    }
+    EXPECT_NEAR(static_cast<double>(within100k) / trials, 0.01, 0.002);
+    EXPECT_NEAR(static_cast<double>(within200k) / trials, 0.02, 0.003);
+}
+
+TEST(GuessCurve, PartialCurveSaturatesSampling)
+{
+    // A curve covering only 50% of users: the other half must sample
+    // to the saturation rank, not throw.
+    const EmpiricalGuessCurve partial({{10.0, 0.1}, {100.0, 0.5}});
+    Rng rng(43);
+    int saturated = 0;
+    for (int i = 0; i < 10000; ++i)
+        if (partial.sampleGuessRank(rng) == (uint64_t{1} << 62))
+            ++saturated;
+    EXPECT_NEAR(saturated, 5000, 300);
+}
+
+} // namespace
+} // namespace lemons::crypto

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Unit tests for the fixed-bin histogram.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/histogram.h"
+
+namespace lemons {
+namespace {
+
+TEST(Histogram, BinEdges)
+{
+    Histogram h(0.0, 10.0, 5);
+    EXPECT_EQ(h.binCount(), 5u);
+    EXPECT_DOUBLE_EQ(h.binLow(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.binHigh(0), 2.0);
+    EXPECT_DOUBLE_EQ(h.binCenter(2), 5.0);
+    EXPECT_DOUBLE_EQ(h.binLow(4), 8.0);
+}
+
+TEST(Histogram, CountsLandInRightBins)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(0.5);
+    h.add(1.9);
+    h.add(2.0); // exactly on edge: belongs to bin 1
+    h.add(9.99);
+    EXPECT_EQ(h.binValue(0), 2u);
+    EXPECT_EQ(h.binValue(1), 1u);
+    EXPECT_EQ(h.binValue(4), 1u);
+    EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, UnderflowAndOverflowTracked)
+{
+    Histogram h(0.0, 1.0, 2);
+    h.add(-0.1);
+    h.add(1.0); // high edge is exclusive
+    h.add(5.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, DensityIntegratesToCoveredFraction)
+{
+    Histogram h(0.0, 4.0, 4);
+    for (int i = 0; i < 100; ++i)
+        h.add(0.5 + static_cast<double>(i % 4));
+    double integral = 0.0;
+    for (size_t b = 0; b < h.binCount(); ++b)
+        integral += h.density(b) * (h.binHigh(b) - h.binLow(b));
+    EXPECT_NEAR(integral, 1.0, 1e-12);
+}
+
+TEST(Histogram, RenderShowsBars)
+{
+    Histogram h(0.0, 2.0, 2);
+    h.add(0.5);
+    h.add(0.6);
+    h.add(1.5);
+    const std::string art = h.render(10);
+    EXPECT_NE(art.find("##########"), std::string::npos);
+    EXPECT_NE(art.find("#####"), std::string::npos);
+}
+
+TEST(Histogram, RejectsBadConstruction)
+{
+    EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+    EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);
+    EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, RejectsOutOfRangeQueries)
+{
+    Histogram h(0.0, 1.0, 2);
+    EXPECT_THROW(h.binValue(2), std::invalid_argument);
+    EXPECT_THROW(h.density(2), std::invalid_argument);
+}
+
+} // namespace
+} // namespace lemons

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * HMAC-SHA-256 (RFC 4231) and HKDF (RFC 5869) reference vectors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "crypto/hmac.h"
+
+namespace lemons::crypto {
+namespace {
+
+std::vector<uint8_t>
+bytes(const std::string &s)
+{
+    return {s.begin(), s.end()};
+}
+
+std::vector<uint8_t>
+repeated(uint8_t value, size_t count)
+{
+    return std::vector<uint8_t>(count, value);
+}
+
+std::string
+hex(const std::vector<uint8_t> &data)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    for (uint8_t b : data) {
+        out.push_back(digits[b >> 4]);
+        out.push_back(digits[b & 0xf]);
+    }
+    return out;
+}
+
+TEST(HmacSha256, Rfc4231Case1)
+{
+    const auto key = repeated(0x0b, 20);
+    const auto mac = hmacSha256(key, bytes("Hi There"));
+    EXPECT_EQ(toHex(mac),
+              "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c"
+              "2e32cff7");
+}
+
+TEST(HmacSha256, Rfc4231Case2)
+{
+    const auto mac =
+        hmacSha256(bytes("Jefe"), bytes("what do ya want for nothing?"));
+    EXPECT_EQ(toHex(mac),
+              "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b9"
+              "64ec3843");
+}
+
+TEST(HmacSha256, Rfc4231Case3)
+{
+    const auto mac = hmacSha256(repeated(0xaa, 20), repeated(0xdd, 50));
+    EXPECT_EQ(toHex(mac),
+              "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514"
+              "ced565fe");
+}
+
+TEST(HmacSha256, Rfc4231Case6LongKey)
+{
+    // Key longer than the block size must be hashed first.
+    const auto mac = hmacSha256(
+        repeated(0xaa, 131),
+        bytes("Test Using Larger Than Block-Size Key - Hash Key First"));
+    EXPECT_EQ(toHex(mac),
+              "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f"
+              "0ee37f54");
+}
+
+TEST(HmacSha256, EmptyKeyAndMessage)
+{
+    const auto mac = hmacSha256({}, {});
+    EXPECT_EQ(toHex(mac),
+              "b613679a0814d9ec772f95d778c35fc5ff1697c493715653c6c71214"
+              "4292c5ad");
+}
+
+TEST(Hkdf, Rfc5869Case1)
+{
+    // Basic test case with SHA-256.
+    const auto ikm = repeated(0x0b, 22);
+    std::vector<uint8_t> salt;
+    for (uint8_t i = 0x00; i <= 0x0c; ++i)
+        salt.push_back(i);
+    const Digest prk = hkdfExtract(salt, ikm);
+    EXPECT_EQ(toHex(prk),
+              "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844a"
+              "d7c2b3e5");
+
+    // info = 0xf0f1...f9, L = 42.
+    std::string info;
+    for (char c = static_cast<char>(0xf0);; ++c) {
+        info.push_back(c);
+        if (c == static_cast<char>(0xf9))
+            break;
+    }
+    const auto okm = hkdfExpand(prk, info, 42);
+    EXPECT_EQ(hex(okm),
+              "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56"
+              "ecc4c5bf34007208d5b887185865");
+}
+
+TEST(Hkdf, ZeroLengthOutput)
+{
+    const Digest prk = hkdfExtract({}, bytes("ikm"));
+    EXPECT_TRUE(hkdfExpand(prk, "ctx", 0).empty());
+}
+
+TEST(Hkdf, MultiBlockOutputIsPrefixConsistent)
+{
+    const Digest prk = hkdfExtract(bytes("salt"), bytes("ikm"));
+    const auto long96 = hkdfExpand(prk, "ctx", 96);
+    const auto short33 = hkdfExpand(prk, "ctx", 33);
+    ASSERT_EQ(long96.size(), 96u);
+    ASSERT_EQ(short33.size(), 33u);
+    EXPECT_TRUE(std::equal(short33.begin(), short33.end(), long96.begin()));
+}
+
+TEST(Hkdf, RejectsOversizedRequest)
+{
+    const Digest prk = hkdfExtract({}, bytes("x"));
+    EXPECT_THROW(hkdfExpand(prk, "ctx", 255 * 32 + 1),
+                 std::invalid_argument);
+}
+
+TEST(Hkdf, DifferentContextsDiverge)
+{
+    const auto a = deriveKey(bytes("secret"), bytes("salt"), "ctx-a", 32);
+    const auto b = deriveKey(bytes("secret"), bytes("salt"), "ctx-b", 32);
+    EXPECT_NE(a, b);
+}
+
+TEST(Hkdf, DeterministicDerivation)
+{
+    const auto a = deriveKey(bytes("secret"), bytes("salt"), "ctx", 32);
+    const auto b = deriveKey(bytes("secret"), bytes("salt"), "ctx", 32);
+    EXPECT_EQ(a, b);
+}
+
+} // namespace
+} // namespace lemons::crypto

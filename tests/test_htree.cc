@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Tests for the H-tree layout engine backing the paper's area
+ * assumptions (Brent & Kung: tree area is on the order of the leaf
+ * count).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "arch/htree.h"
+
+namespace lemons::arch {
+namespace {
+
+TEST(HTree, RejectsBadParameters)
+{
+    EXPECT_THROW(HTreeLayout(0), std::invalid_argument);
+    EXPECT_THROW(HTreeLayout(25), std::invalid_argument);
+    EXPECT_THROW(HTreeLayout(3, 0.0), std::invalid_argument);
+}
+
+TEST(HTree, SingleNodeTree)
+{
+    const HTreeLayout layout(1, 10.0);
+    EXPECT_EQ(layout.leafCount(), 1u);
+    EXPECT_EQ(layout.nodeCount(), 1u);
+    EXPECT_DOUBLE_EQ(layout.areaNm2(), 100.0);
+    EXPECT_DOUBLE_EQ(layout.totalWireLengthNm(), 0.0);
+}
+
+TEST(HTree, CountsMatchHeight)
+{
+    const HTreeLayout layout(5);
+    EXPECT_EQ(layout.leafCount(), 16u);
+    EXPECT_EQ(layout.nodeCount(), 31u);
+    EXPECT_EQ(layout.nodes().size(), 31u);
+}
+
+TEST(HTree, RootSitsAtTheCentre)
+{
+    const HTreeLayout layout(6, 8.0);
+    const HTreeNode &root = layout.node(0, 0);
+    EXPECT_DOUBLE_EQ(root.x, layout.width() / 2.0);
+    EXPECT_DOUBLE_EQ(root.y, layout.height() / 2.0);
+}
+
+TEST(HTree, ParentIsMidpointOfChildren)
+{
+    const HTreeLayout layout(7);
+    for (unsigned level = 0; level + 1 < layout.levels(); ++level) {
+        for (uint64_t i = 0; i < (uint64_t{1} << level); ++i) {
+            const HTreeNode &parent = layout.node(level, i);
+            const HTreeNode &left = layout.node(level + 1, 2 * i);
+            const HTreeNode &right = layout.node(level + 1, 2 * i + 1);
+            EXPECT_NEAR(parent.x, 0.5 * (left.x + right.x), 1e-9);
+            EXPECT_NEAR(parent.y, 0.5 * (left.y + right.y), 1e-9);
+        }
+    }
+}
+
+TEST(HTree, LeavesFormAUniformGrid)
+{
+    const HTreeLayout layout(5, 10.0); // 16 leaves -> 4 x 4 grid
+    std::set<std::pair<double, double>> positions;
+    const unsigned leafLevel = layout.levels() - 1;
+    for (uint64_t i = 0; i < layout.leafCount(); ++i) {
+        const HTreeNode &leaf = layout.node(leafLevel, i);
+        // Centres at odd multiples of pitch/2.
+        const double gx = (leaf.x - 5.0) / 10.0;
+        const double gy = (leaf.y - 5.0) / 10.0;
+        EXPECT_NEAR(gx, std::round(gx), 1e-9);
+        EXPECT_NEAR(gy, std::round(gy), 1e-9);
+        positions.insert({leaf.x, leaf.y});
+    }
+    EXPECT_EQ(positions.size(), layout.leafCount()); // no overlaps
+}
+
+TEST(HTree, AllNodesInsideTheBox)
+{
+    const HTreeLayout layout(9, 3.0);
+    for (const HTreeNode &node : layout.nodes()) {
+        EXPECT_GE(node.x, 0.0);
+        EXPECT_LE(node.x, layout.width());
+        EXPECT_GE(node.y, 0.0);
+        EXPECT_LE(node.y, layout.height());
+    }
+}
+
+TEST(HTree, AreaPerLeafIsConstant)
+{
+    // The Brent & Kung O(leaves) claim the cost model relies on: area
+    // per leaf does not grow with tree size.
+    for (unsigned levels = 2; levels <= 16; ++levels) {
+        const HTreeLayout layout(levels, 11.0);
+        EXPECT_NEAR(layout.areaPerLeafPitchSq(), 1.0, 1e-9)
+            << "levels = " << levels;
+    }
+}
+
+TEST(HTree, AspectRatioStaysNearSquare)
+{
+    for (unsigned levels = 2; levels <= 16; ++levels) {
+        const HTreeLayout layout(levels);
+        const double ratio = layout.width() / layout.height();
+        EXPECT_GE(ratio, 1.0 - 1e-9) << "levels = " << levels;
+        EXPECT_LE(ratio, 2.0 + 1e-9) << "levels = " << levels;
+    }
+}
+
+TEST(HTree, WireLengthScalesLinearlyInLeaves)
+{
+    // Total wire length is O(L * pitch): per-leaf wire stays bounded.
+    double perLeafPrev = 0.0;
+    for (unsigned levels : {6u, 10u, 14u, 18u}) {
+        const HTreeLayout layout(levels, 1.0);
+        const double perLeaf = layout.totalWireLengthNm() /
+                               static_cast<double>(layout.leafCount());
+        EXPECT_LT(perLeaf, 4.0) << "levels = " << levels;
+        EXPECT_GT(perLeaf, 1.0) << "levels = " << levels;
+        if (perLeafPrev > 0.0) {
+            EXPECT_NEAR(perLeaf, perLeafPrev, 0.5);
+        }
+        perLeafPrev = perLeaf;
+    }
+}
+
+TEST(HTree, TwoLevelGeometryExact)
+{
+    // 2 leaves, pitch 10: box 20 x 10; leaves at x = 5, 15, y = 5;
+    // root at (10, 5); wire = 5 + 5.
+    const HTreeLayout layout(2, 10.0);
+    EXPECT_DOUBLE_EQ(layout.width(), 20.0);
+    EXPECT_DOUBLE_EQ(layout.height(), 10.0);
+    EXPECT_DOUBLE_EQ(layout.node(1, 0).x, 5.0);
+    EXPECT_DOUBLE_EQ(layout.node(1, 1).x, 15.0);
+    EXPECT_DOUBLE_EQ(layout.node(0, 0).x, 10.0);
+    EXPECT_DOUBLE_EQ(layout.totalWireLengthNm(), 10.0);
+}
+
+TEST(HTree, NodeAccessorRejectsBadCoordinates)
+{
+    const HTreeLayout layout(3);
+    EXPECT_THROW(layout.node(3, 0), std::invalid_argument);
+    EXPECT_THROW(layout.node(1, 2), std::invalid_argument);
+}
+
+} // namespace
+} // namespace lemons::arch

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for M-way module replication (paper Section 4.1.5).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/design_solver.h"
+#include "core/mway.h"
+
+namespace lemons::core {
+namespace {
+
+using wearout::DeviceFactory;
+using wearout::ProcessVariation;
+
+Design
+moduleDesign()
+{
+    DesignRequest request;
+    request.device = {10.0, 12.0};
+    request.legitimateAccessBound = 60;
+    request.kFraction = 0.1;
+    return DesignSolver(request).solve();
+}
+
+std::vector<uint8_t>
+storageKey()
+{
+    return std::vector<uint8_t>(32, 0x5a);
+}
+
+MWayReplication
+makeStack(uint64_t m, uint64_t seed)
+{
+    const DeviceFactory factory({10.0, 12.0}, ProcessVariation::none());
+    Rng rng(seed);
+    return MWayReplication(m, moduleDesign(), factory, "pass-0",
+                           storageKey(), rng);
+}
+
+TEST(MWay, RejectsZeroModules)
+{
+    const DeviceFactory factory({10.0, 12.0}, ProcessVariation::none());
+    Rng rng(1);
+    EXPECT_THROW(MWayReplication(0, moduleDesign(), factory, "p",
+                                 storageKey(), rng),
+                 std::invalid_argument);
+}
+
+TEST(MWay, UnlockThroughActiveModule)
+{
+    auto stack = makeStack(3, 2);
+    const auto key = stack.unlock("pass-0");
+    ASSERT_TRUE(key.has_value());
+    EXPECT_EQ(*key, storageKey());
+    EXPECT_EQ(stack.activeModule(), 0u);
+}
+
+TEST(MWay, MigrationRequiresCurrentPasscode)
+{
+    auto stack = makeStack(3, 3);
+    EXPECT_FALSE(stack.migrate("wrong", "pass-1"));
+    EXPECT_TRUE(stack.migrate("pass-0", "pass-1"));
+    EXPECT_EQ(stack.activeModule(), 1u);
+    EXPECT_EQ(stack.migrationCount(), 1u);
+}
+
+TEST(MWay, NewModuleUsesNewPasscodeAndSameKey)
+{
+    auto stack = makeStack(2, 4);
+    ASSERT_TRUE(stack.migrate("pass-0", "pass-1"));
+    EXPECT_FALSE(stack.unlock("pass-0").has_value());
+    const auto key = stack.unlock("pass-1");
+    ASSERT_TRUE(key.has_value());
+    EXPECT_EQ(*key, storageKey());
+}
+
+TEST(MWay, CannotMigratePastLastModule)
+{
+    auto stack = makeStack(2, 5);
+    ASSERT_TRUE(stack.migrate("pass-0", "pass-1"));
+    EXPECT_FALSE(stack.migrate("pass-1", "pass-2"));
+    EXPECT_EQ(stack.activeModule(), 1u);
+}
+
+TEST(MWay, TotalUsageScalesWithM)
+{
+    // The paper's scaling claim: M modules deliver ~M times the
+    // single-module usage when the user migrates proactively.
+    auto one = makeStack(1, 6);
+    uint64_t singleUses = 0;
+    while (one.unlock("pass-0").has_value())
+        ++singleUses;
+
+    auto proactive = makeStack(3, 8);
+    uint64_t proactiveUses = 0;
+    for (uint64_t m = 0; m < 3; ++m) {
+        std::string current = "pass-";
+        current += std::to_string(m);
+        for (int i = 0; i < 48; ++i) { // below the 60-access bound
+            if (proactive.unlock(current).has_value())
+                ++proactiveUses;
+        }
+        if (m + 1 < 3) {
+            std::string next = "pass-";
+            next += std::to_string(m + 1);
+            ASSERT_TRUE(proactive.migrate(current, next));
+        }
+    }
+    EXPECT_GE(proactiveUses, 3 * 48u - 6); // unlocks spent on migration
+    EXPECT_GT(proactiveUses, singleUses);
+}
+
+TEST(MWay, ExhaustedAfterLastModuleDies)
+{
+    auto stack = makeStack(1, 9);
+    while (stack.unlock("pass-0").has_value()) {
+    }
+    // Keep hammering until the module hardware is truly dead.
+    for (int i = 0; i < 500 && !stack.exhausted(); ++i)
+        (void)stack.unlock("pass-0");
+    EXPECT_TRUE(stack.exhausted());
+    EXPECT_FALSE(stack.unlock("pass-0").has_value());
+    EXPECT_FALSE(stack.migrate("pass-0", "x"));
+}
+
+TEST(MWay, ScaledDailyBoundHelper)
+{
+    // Section 4.1.5's example: 50 uses/day at M = 10 -> 500 uses/day.
+    EXPECT_EQ(MWayReplication::scaledDailyBound(50, 10), 500u);
+    EXPECT_EQ(MWayReplication::scaledDailyBound(50, 1), 50u);
+}
+
+} // namespace
+} // namespace lemons::core

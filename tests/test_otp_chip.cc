@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Tests for the one-time-pad chip and sender pad book.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/cost_model.h"
+#include "core/otp_chip.h"
+
+namespace lemons::core {
+namespace {
+
+using wearout::DeviceFactory;
+using wearout::ProcessVariation;
+
+OtpParams
+chipParams()
+{
+    OtpParams p;
+    p.height = 4;
+    p.copies = 64;
+    p.threshold = 8;
+    p.device = {10.0, 1.0};
+    return p;
+}
+
+struct Fabricated
+{
+    PadBook book;
+    OneTimePadChip chip;
+};
+
+Fabricated
+fabricate(size_t pads, uint64_t seed)
+{
+    const DeviceFactory factory({10.0, 1.0}, ProcessVariation::none());
+    Rng rng(seed);
+    PadBook book;
+    OneTimePadChip chip(chipParams(), pads, 32, factory, rng, book);
+    return {std::move(book), std::move(chip)};
+}
+
+TEST(OneTimePadChip, FabricationFillsTheBook)
+{
+    auto rig = fabricate(5, 1);
+    EXPECT_EQ(rig.chip.padCount(), 5u);
+    EXPECT_EQ(rig.book.size(), 5u);
+    EXPECT_EQ(rig.chip.remaining(), 5u);
+    for (size_t s = 0; s < 5; ++s) {
+        EXPECT_EQ(rig.book.record(s).key.size(), 32u);
+        EXPECT_LT(rig.book.record(s).path, 8u); // 2^(H-1) paths
+        EXPECT_FALSE(rig.chip.spent(s));
+    }
+}
+
+TEST(OneTimePadChip, ReceiverRetrievesWithBookRecord)
+{
+    auto rig = fabricate(3, 2);
+    for (size_t s = 0; s < 3; ++s) {
+        const auto key =
+            rig.chip.retrievePad(s, rig.book.record(s).path);
+        ASSERT_TRUE(key.has_value()) << "slot " << s;
+        EXPECT_EQ(*key, rig.book.record(s).key);
+        EXPECT_TRUE(rig.chip.spent(s));
+    }
+    EXPECT_EQ(rig.chip.remaining(), 0u);
+}
+
+TEST(OneTimePadChip, SlotsAreSingleUse)
+{
+    auto rig = fabricate(2, 3);
+    const uint64_t path = rig.book.record(0).path;
+    ASSERT_TRUE(rig.chip.retrievePad(0, path).has_value());
+    EXPECT_FALSE(rig.chip.retrievePad(0, path).has_value());
+    // Slot 1 unaffected.
+    EXPECT_TRUE(
+        rig.chip.retrievePad(1, rig.book.record(1).path).has_value());
+}
+
+TEST(OneTimePadChip, WrongPathSpendsTheSlot)
+{
+    auto rig = fabricate(1, 4);
+    const uint64_t wrong = (rig.book.record(0).path + 1) % 8;
+    EXPECT_FALSE(rig.chip.retrievePad(0, wrong).has_value());
+    EXPECT_TRUE(rig.chip.spent(0));
+    EXPECT_FALSE(
+        rig.chip.retrievePad(0, rig.book.record(0).path).has_value());
+}
+
+TEST(OneTimePadChip, RandomSweepSpendsEverythingAndRarelyWins)
+{
+    // H=4 is deliberately weak; even so a single sweep with k=8-of-64
+    // only wins when >= 8 right-path guesses land (p ~ 1/8 each).
+    auto rig = fabricate(10, 5);
+    Rng maid(6);
+    const size_t recovered = rig.chip.randomPathSweep(maid);
+    EXPECT_EQ(rig.chip.remaining(), 0u);
+    EXPECT_LE(recovered, 10u);
+    // Receiver detects: all retrievals now fail.
+    for (size_t s = 0; s < 10; ++s)
+        EXPECT_FALSE(
+            rig.chip.retrievePad(s, rig.book.record(s).path).has_value());
+}
+
+TEST(OneTimePadChip, TallTreesBlockTheSweepOutright)
+{
+    OtpParams params = chipParams();
+    params.height = 8;
+    const DeviceFactory factory({10.0, 1.0}, ProcessVariation::none());
+    Rng rng(7);
+    PadBook book;
+    OneTimePadChip chip(params, 6, 32, factory, rng, book);
+    Rng maid(8);
+    EXPECT_EQ(chip.randomPathSweep(maid), 0u);
+}
+
+TEST(OneTimePadChip, AreaMatchesCostModel)
+{
+    auto rig = fabricate(4, 9);
+    const arch::CostModel model;
+    EXPECT_NEAR(rig.chip.areaMm2(model),
+                model.decisionTreeAreaMm2(4) * 64 * 4, 1e-12);
+}
+
+TEST(OneTimePadChip, RejectsBadArguments)
+{
+    const DeviceFactory factory({10.0, 1.0}, ProcessVariation::none());
+    Rng rng(10);
+    PadBook book;
+    EXPECT_THROW(OneTimePadChip(chipParams(), 0, 32, factory, rng, book),
+                 std::invalid_argument);
+    EXPECT_THROW(OneTimePadChip(chipParams(), 1, 0, factory, rng, book),
+                 std::invalid_argument);
+    auto rig = fabricate(1, 11);
+    EXPECT_THROW(rig.chip.retrievePad(5, 0), std::invalid_argument);
+    EXPECT_THROW(rig.chip.spent(5), std::invalid_argument);
+    EXPECT_THROW(rig.book.record(5), std::invalid_argument);
+}
+
+TEST(FabricateChipForArea, SizesToTheDie)
+{
+    const DeviceFactory factory({10.0, 1.0}, ProcessVariation::none());
+    const arch::CostModel model;
+    Rng rng(12);
+    PadBook book;
+    const auto chip = fabricateChipForArea(chipParams(), 0.05, 32,
+                                           factory, model, rng, book);
+    ASSERT_TRUE(chip.has_value());
+    // H=4 density ~624k trees/mm^2 -> 0.05 mm^2 / 64 copies ~ 488 pads.
+    EXPECT_GT(chip->padCount(), 450u);
+    EXPECT_LT(chip->padCount(), 500u);
+    EXPECT_LE(chip->areaMm2(model), 0.05);
+}
+
+TEST(FabricateChipForArea, TinyDieYieldsNothing)
+{
+    const DeviceFactory factory({10.0, 1.0}, ProcessVariation::none());
+    const arch::CostModel model;
+    Rng rng(13);
+    PadBook book;
+    EXPECT_FALSE(fabricateChipForArea(chipParams(), 1e-9, 32, factory,
+                                      model, rng, book)
+                     .has_value());
+}
+
+TEST(PadRecord, PathStringRendersBits)
+{
+    PadRecord record;
+    record.path = 0b011; // bit 0 first: "110"
+    EXPECT_EQ(record.pathString(4), "110");
+    record.path = 0;
+    EXPECT_EQ(record.pathString(1), "(root)");
+}
+
+} // namespace
+} // namespace lemons::core

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Unit tests for the password-guessability model, anchored at the
+ * paper's quoted data points (Sections 3, 4.1, 4.3.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "crypto/password_model.h"
+#include "util/rng.h"
+
+namespace lemons::crypto {
+namespace {
+
+TEST(PasswordModel, PaperAnchorsHold)
+{
+    const PasswordModel model;
+    // ~1 % of passwords crackable within 100,000 guesses.
+    EXPECT_NEAR(model.crackedFraction(100000), 0.01, 1e-12);
+    // ~2 % within 200,000 guesses.
+    EXPECT_NEAR(model.crackedFraction(200000), 0.02, 1e-12);
+}
+
+TEST(PasswordModel, WithinLabOnlyFewPasswordsFall)
+{
+    // "only a few very popular passwords can be guessed within 91,250
+    // attempts" — under 1 %.
+    const PasswordModel model;
+    EXPECT_LT(model.crackedFraction(91250), 0.01);
+    EXPECT_GT(model.crackedFraction(91250), 0.0);
+}
+
+TEST(PasswordModel, CurveIsMonotone)
+{
+    const PasswordModel model;
+    double prev = 0.0;
+    for (double g = 0.0; g <= 1e7; g += 1e5) {
+        const double f = model.crackedFraction(g);
+        EXPECT_GE(f, prev);
+        prev = f;
+    }
+}
+
+TEST(PasswordModel, SaturatesAtOne)
+{
+    const PasswordModel model;
+    EXPECT_DOUBLE_EQ(model.crackedFraction(1e12), 1.0);
+}
+
+TEST(PasswordModel, ZeroGuessesCrackNothing)
+{
+    const PasswordModel model;
+    EXPECT_DOUBLE_EQ(model.crackedFraction(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(model.crackedFraction(-5.0), 0.0);
+}
+
+TEST(PasswordModel, InverseRoundTrips)
+{
+    const PasswordModel model;
+    for (double f : {0.001, 0.01, 0.02, 0.5, 1.0}) {
+        const double g = model.guessesForFraction(f);
+        EXPECT_NEAR(model.crackedFraction(g), f, 1e-9) << "f = " << f;
+    }
+}
+
+TEST(PasswordModel, InverseRejectsBadFraction)
+{
+    const PasswordModel model;
+    EXPECT_THROW(model.guessesForFraction(0.0), std::invalid_argument);
+    EXPECT_THROW(model.guessesForFraction(1.5), std::invalid_argument);
+}
+
+TEST(PasswordModel, RejectionFilterZeroesTheHead)
+{
+    // Software rejecting the top 1 % of passwords means no user
+    // password falls within the attacker's first 100,000 guesses
+    // (Section 4.3.3 / Fig 4d).
+    const PasswordModel filtered = PasswordModel().withPopularRejected(0.01);
+    EXPECT_DOUBLE_EQ(filtered.crackedFraction(99999), 0.0);
+    EXPECT_GT(filtered.crackedFraction(150000), 0.0);
+}
+
+TEST(PasswordModel, RejectionFiltersCompose)
+{
+    const PasswordModel twice =
+        PasswordModel().withPopularRejected(0.01).withPopularRejected(
+            0.0101010101);
+    const PasswordModel once = PasswordModel().withPopularRejected(0.02);
+    EXPECT_NEAR(twice.crackedFraction(300000), once.crackedFraction(300000),
+                1e-9);
+}
+
+TEST(PasswordModel, RejectionRejectsBadFraction)
+{
+    EXPECT_THROW(PasswordModel().withPopularRejected(1.0),
+                 std::invalid_argument);
+    EXPECT_THROW(PasswordModel().withPopularRejected(-0.1),
+                 std::invalid_argument);
+}
+
+TEST(PasswordModel, AttackSuccessMatchesCurve)
+{
+    const PasswordModel model;
+    EXPECT_DOUBLE_EQ(model.attackSuccessProbability(100000),
+                     model.crackedFraction(100000.0));
+}
+
+TEST(PasswordModel, SampledRanksFollowTheCurve)
+{
+    const PasswordModel model;
+    Rng rng(77);
+    const int trials = 200000;
+    int within100k = 0;
+    for (int i = 0; i < trials; ++i)
+        if (model.sampleGuessRank(rng) <= 100000)
+            ++within100k;
+    EXPECT_NEAR(static_cast<double>(within100k) / trials, 0.01, 0.002);
+}
+
+TEST(PasswordModel, SampledRanksArePositiveAndSaturated)
+{
+    const PasswordModel model;
+    Rng rng(78);
+    for (int i = 0; i < 10000; ++i) {
+        const uint64_t rank = model.sampleGuessRank(rng);
+        EXPECT_GE(rank, 1u);
+        EXPECT_LE(rank, uint64_t{1} << 62);
+    }
+}
+
+TEST(PasswordModel, RejectsBadConstruction)
+{
+    EXPECT_THROW(PasswordModel(0.0), std::invalid_argument);
+    EXPECT_THROW(PasswordModel(1.5), std::invalid_argument);
+    EXPECT_THROW(PasswordModel(0.01, 0.5), std::invalid_argument);
+    EXPECT_THROW(PasswordModel(0.01, 1e5, 0.0), std::invalid_argument);
+}
+
+} // namespace
+} // namespace lemons::crypto

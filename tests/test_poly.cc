@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Unit and property tests for polynomials over GF(2^8).
+ */
+
+#include <gtest/gtest.h>
+
+#include "gf/gf256.h"
+#include "gf/poly.h"
+#include "util/rng.h"
+
+namespace lemons::gf {
+namespace {
+
+TEST(Poly, ZeroPolynomial)
+{
+    const Poly zero;
+    EXPECT_EQ(zero.degree(), -1);
+    EXPECT_EQ(zero.eval(17), 0);
+    EXPECT_EQ(zero.coefficient(0), 0);
+}
+
+TEST(Poly, TrailingZerosTrimmed)
+{
+    const Poly p(std::vector<uint8_t>{1, 2, 0, 0});
+    EXPECT_EQ(p.degree(), 1);
+    EXPECT_EQ(p.coefficients().size(), 2u);
+}
+
+TEST(Poly, EvalByHorner)
+{
+    // p(x) = 3 + 5x + 7x^2 over GF(256).
+    const Poly p(std::vector<uint8_t>{3, 5, 7});
+    for (unsigned x = 0; x < 256; x += 11) {
+        const auto xu = static_cast<uint8_t>(x);
+        const uint8_t expected =
+            add(add(3, mul(5, xu)), mul(7, mul(xu, xu)));
+        EXPECT_EQ(p.eval(xu), expected) << "x = " << x;
+    }
+}
+
+TEST(Poly, EvalAtZeroIsConstantTerm)
+{
+    const Poly p(std::vector<uint8_t>{42, 1, 2, 3});
+    EXPECT_EQ(p.eval(0), 42);
+}
+
+TEST(Poly, AdditionIsPointwise)
+{
+    Rng rng(5);
+    const Poly a = Poly::random(10, 4, rng);
+    const Poly b = Poly::random(20, 6, rng);
+    const Poly sum = a + b;
+    for (unsigned x = 0; x < 256; x += 17)
+        EXPECT_EQ(sum.eval(static_cast<uint8_t>(x)),
+                  add(a.eval(static_cast<uint8_t>(x)),
+                      b.eval(static_cast<uint8_t>(x))));
+}
+
+TEST(Poly, AdditionCancelsSelf)
+{
+    Rng rng(6);
+    const Poly a = Poly::random(9, 5, rng);
+    EXPECT_EQ((a + a).degree(), -1); // characteristic 2
+}
+
+TEST(Poly, MultiplicationIsPointwise)
+{
+    Rng rng(7);
+    const Poly a = Poly::random(1, 3, rng);
+    const Poly b = Poly::random(2, 4, rng);
+    const Poly prod = a * b;
+    EXPECT_EQ(prod.degree(), a.degree() + b.degree());
+    for (unsigned x = 0; x < 256; x += 13)
+        EXPECT_EQ(prod.eval(static_cast<uint8_t>(x)),
+                  mul(a.eval(static_cast<uint8_t>(x)),
+                      b.eval(static_cast<uint8_t>(x))));
+}
+
+TEST(Poly, MultiplicationByZeroIsZero)
+{
+    Rng rng(8);
+    const Poly a = Poly::random(1, 3, rng);
+    EXPECT_EQ((a * Poly()).degree(), -1);
+}
+
+TEST(Poly, ScaledMatchesMultiplication)
+{
+    Rng rng(9);
+    const Poly a = Poly::random(5, 4, rng);
+    const Poly viaMul = a * Poly(std::vector<uint8_t>{7});
+    EXPECT_EQ(a.scaled(7), viaMul);
+}
+
+TEST(Poly, RandomHasBoundedDegreeAndExactConstant)
+{
+    Rng rng(10);
+    for (size_t degree = 0; degree <= 10; ++degree) {
+        const Poly p = Poly::random(123, degree, rng);
+        EXPECT_LE(p.degree(), static_cast<int>(degree));
+        EXPECT_EQ(p.eval(0), 123);
+    }
+}
+
+TEST(Poly, RandomLeadingCoefficientCanBeZero)
+{
+    // Perfect secrecy requires uniform coefficients; over many draws
+    // the leading coefficient must sometimes be zero (degree drops).
+    Rng rng(1011);
+    int dropped = 0;
+    for (int i = 0; i < 2000; ++i)
+        if (Poly::random(7, 3, rng).degree() < 3)
+            ++dropped;
+    EXPECT_GT(dropped, 0);
+    EXPECT_LT(dropped, 40); // ~1/256 of draws
+}
+
+TEST(Interpolate, RecoversPolynomialThroughPoints)
+{
+    Rng rng(11);
+    const Poly truth = Poly::random(77, 5, rng);
+    std::vector<Point> points;
+    for (uint8_t x = 1; x <= 6; ++x)
+        points.push_back({x, truth.eval(x)});
+    const Poly recovered = interpolate(points);
+    EXPECT_EQ(recovered, truth);
+}
+
+TEST(Interpolate, ExactDegreeFromMinimalPoints)
+{
+    // Two points define a line.
+    const Poly line = interpolate({{1, 5}, {2, 9}});
+    EXPECT_LE(line.degree(), 1);
+    EXPECT_EQ(line.eval(1), 5);
+    EXPECT_EQ(line.eval(2), 9);
+}
+
+TEST(Interpolate, RejectsDuplicateX)
+{
+    EXPECT_THROW(interpolate({{1, 2}, {1, 3}}), std::invalid_argument);
+}
+
+TEST(Interpolate, RejectsEmpty)
+{
+    EXPECT_THROW(interpolate({}), std::invalid_argument);
+}
+
+TEST(InterpolateAtZero, MatchesFullInterpolation)
+{
+    Rng rng(12);
+    for (int trial = 0; trial < 50; ++trial) {
+        const Poly truth = Poly::random(
+            static_cast<uint8_t>(rng.nextBelow(256)), 7, rng);
+        std::vector<Point> points;
+        for (uint8_t x = 1; x <= 8; ++x)
+            points.push_back({x, truth.eval(x)});
+        EXPECT_EQ(interpolateAtZero(points),
+                  interpolate(points).coefficient(0));
+        EXPECT_EQ(interpolateAtZero(points), truth.eval(0));
+    }
+}
+
+TEST(InterpolateAtZero, RejectsPointAtZero)
+{
+    EXPECT_THROW(interpolateAtZero({{0, 1}, {1, 2}}),
+                 std::invalid_argument);
+}
+
+TEST(InterpolateAtZero, AnySubsetOfPointsAgrees)
+{
+    Rng rng(13);
+    const Poly truth = Poly::random(200, 2, rng);
+    // Degree-2 polynomial: any 3 of these 6 points recover eval(0).
+    std::vector<Point> all;
+    for (uint8_t x = 1; x <= 6; ++x)
+        all.push_back({x, truth.eval(x)});
+    for (size_t i = 0; i < 6; ++i)
+        for (size_t j = i + 1; j < 6; ++j)
+            for (size_t k = j + 1; k < 6; ++k) {
+                EXPECT_EQ(interpolateAtZero({all[i], all[j], all[k]}), 200);
+            }
+}
+
+} // namespace
+} // namespace lemons::gf

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Tests for end-user one-time programming (the paper's Section 3
+ * future work): write-once stores and the field-programmable gate.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/share_store.h"
+#include "core/design_solver.h"
+#include "core/programmable_gate.h"
+
+namespace lemons::core {
+namespace {
+
+using wearout::DeviceFactory;
+using wearout::ProcessVariation;
+
+TEST(WriteOnceStore, BlankReadsNothing)
+{
+    arch::WriteOnceStore store(false);
+    EXPECT_FALSE(store.read().has_value());
+    EXPECT_FALSE(store.fuseBlown());
+}
+
+TEST(WriteOnceStore, ProgramsExactlyOnce)
+{
+    arch::WriteOnceStore store(false);
+    EXPECT_TRUE(store.program({1, 2, 3}));
+    EXPECT_TRUE(store.fuseBlown());
+    EXPECT_FALSE(store.program({9, 9, 9})); // fuse blown
+    const auto data = store.read();
+    ASSERT_TRUE(data.has_value());
+    EXPECT_EQ(*data, (std::vector<uint8_t>{1, 2, 3}));
+}
+
+TEST(WriteOnceStore, DestructiveVariantErasesOnRead)
+{
+    arch::WriteOnceStore store(true);
+    ASSERT_TRUE(store.program({7}));
+    EXPECT_TRUE(store.read().has_value());
+    EXPECT_TRUE(store.erased());
+    EXPECT_FALSE(store.read().has_value());
+    EXPECT_FALSE(store.program({8})); // still write-once after erase
+}
+
+Design
+smallDesign()
+{
+    DesignRequest request;
+    request.device = {10.0, 12.0};
+    request.legitimateAccessBound = 100;
+    request.kFraction = 0.1;
+    return DesignSolver(request).solve();
+}
+
+std::vector<uint8_t>
+userSecret()
+{
+    return std::vector<uint8_t>(24, 0x42);
+}
+
+TEST(ProgrammableGate, BlankGateYieldsNothing)
+{
+    const DeviceFactory factory({10.0, 12.0}, ProcessVariation::none());
+    Rng rng(1);
+    ProgrammableGate gate(smallDesign(), factory, rng);
+    EXPECT_FALSE(gate.programmed());
+    for (int i = 0; i < 5; ++i)
+        EXPECT_FALSE(gate.access().has_value());
+    EXPECT_EQ(gate.accessCount(), 5u);
+}
+
+TEST(ProgrammableGate, FieldProgrammingEnablesAccess)
+{
+    const DeviceFactory factory({10.0, 12.0}, ProcessVariation::none());
+    Rng fabRng(2);
+    ProgrammableGate gate(smallDesign(), factory, fabRng);
+
+    Rng userRng(3); // the *user's* randomness, unknown to the fab
+    ASSERT_TRUE(gate.programSecret(userSecret(), userRng));
+    EXPECT_TRUE(gate.programmed());
+
+    const auto secret = gate.access();
+    ASSERT_TRUE(secret.has_value());
+    EXPECT_EQ(*secret, userSecret());
+}
+
+TEST(ProgrammableGate, ReprogrammingIsImpossible)
+{
+    const DeviceFactory factory({10.0, 12.0}, ProcessVariation::none());
+    Rng fabRng(4);
+    ProgrammableGate gate(smallDesign(), factory, fabRng);
+    Rng userRng(5);
+    ASSERT_TRUE(gate.programSecret(userSecret(), userRng));
+    // The attacker tries to overwrite with a known secret.
+    Rng attackerRng(6);
+    EXPECT_FALSE(gate.programSecret(std::vector<uint8_t>(24, 0xff),
+                                    attackerRng));
+    // The original secret is untouched.
+    const auto secret = gate.access();
+    ASSERT_TRUE(secret.has_value());
+    EXPECT_EQ(*secret, userSecret());
+}
+
+TEST(ProgrammableGate, ServesTheDesignedBoundAfterProgramming)
+{
+    const Design d = smallDesign();
+    const DeviceFactory factory({10.0, 12.0}, ProcessVariation::none());
+    Rng fabRng(7);
+    ProgrammableGate gate(d, factory, fabRng);
+    Rng userRng(8);
+    ASSERT_TRUE(gate.programSecret(userSecret(), userRng));
+
+    uint64_t successes = 0;
+    while (gate.access().has_value())
+        ++successes;
+    EXPECT_GE(successes, 100u);
+    EXPECT_LE(successes, d.copies * (d.perCopyBound + 2));
+    EXPECT_TRUE(gate.exhausted());
+}
+
+TEST(ProgrammableGate, ProbingABlankGateBurnsItsLife)
+{
+    // An attacker hammering a stolen blank gate wears the hardware:
+    // programming it afterwards yields a gate with less (or no) life.
+    const Design d = smallDesign();
+    const DeviceFactory factory({10.0, 12.0}, ProcessVariation::none());
+    Rng fabRng(9);
+    ProgrammableGate gate(d, factory, fabRng);
+    for (int i = 0; i < 2000; ++i)
+        (void)gate.access();
+    Rng userRng(10);
+    ASSERT_TRUE(gate.programSecret(userSecret(), userRng));
+    uint64_t successes = 0;
+    while (gate.access().has_value())
+        ++successes;
+    // Far below the fresh bound (most copies already dead).
+    EXPECT_LT(successes, 100u);
+}
+
+TEST(ProgrammableGate, RejectsBadArguments)
+{
+    const DeviceFactory factory({10.0, 12.0}, ProcessVariation::none());
+    Rng rng(11);
+    const Design infeasible;
+    EXPECT_THROW(ProgrammableGate(infeasible, factory, rng),
+                 std::invalid_argument);
+    ProgrammableGate gate(smallDesign(), factory, rng);
+    Rng userRng(12);
+    EXPECT_THROW(gate.programSecret({}, userRng), std::invalid_argument);
+}
+
+} // namespace
+} // namespace lemons::core

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Unit tests for the xoshiro256** generator and stream splitting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace lemons {
+namespace {
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 1000; ++i)
+        if (a.next() == b.next())
+            ++equal;
+    EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ZeroSeedStillProducesEntropy)
+{
+    Rng rng(0);
+    std::set<uint64_t> values;
+    for (int i = 0; i < 100; ++i)
+        values.insert(rng.next());
+    EXPECT_EQ(values.size(), 100u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 100000; ++i) {
+        const double x = rng.nextDouble();
+        EXPECT_GE(x, 0.0);
+        EXPECT_LT(x, 1.0);
+    }
+}
+
+TEST(Rng, NextDoubleOpenLowNeverZero)
+{
+    Rng rng(7);
+    for (int i = 0; i < 100000; ++i) {
+        const double x = rng.nextDoubleOpenLow();
+        EXPECT_GT(x, 0.0);
+        EXPECT_LE(x, 1.0);
+    }
+}
+
+TEST(Rng, NextDoubleMeanIsHalf)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int trials = 200000;
+    for (int i = 0; i < trials; ++i)
+        sum += rng.nextDouble();
+    EXPECT_NEAR(sum / trials, 0.5, 0.005);
+}
+
+TEST(Rng, NextBelowRespectsBound)
+{
+    Rng rng(13);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.nextBelow(17), 17u);
+}
+
+TEST(Rng, NextBelowOneAlwaysZero)
+{
+    Rng rng(13);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.nextBelow(1), 0u);
+}
+
+TEST(Rng, NextBelowRejectsZeroBound)
+{
+    Rng rng(13);
+    EXPECT_THROW(rng.nextBelow(0), std::invalid_argument);
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform)
+{
+    Rng rng(17);
+    const uint64_t buckets = 8;
+    std::vector<int> counts(buckets, 0);
+    const int trials = 80000;
+    for (int i = 0; i < trials; ++i)
+        ++counts[rng.nextBelow(buckets)];
+    for (uint64_t b = 0; b < buckets; ++b)
+        EXPECT_NEAR(counts[b], trials / 8, trials / 80)
+            << "bucket " << b;
+}
+
+TEST(Rng, BernoulliExtremes)
+{
+    Rng rng(19);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.nextBernoulli(0.0));
+        EXPECT_TRUE(rng.nextBernoulli(1.0));
+        EXPECT_FALSE(rng.nextBernoulli(-0.5));
+        EXPECT_TRUE(rng.nextBernoulli(1.5));
+    }
+}
+
+TEST(Rng, BernoulliFrequencyMatchesP)
+{
+    Rng rng(23);
+    const int trials = 100000;
+    int hits = 0;
+    for (int i = 0; i < trials; ++i)
+        if (rng.nextBernoulli(0.3))
+            ++hits;
+    EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.01);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(29);
+    const int trials = 200000;
+    double sum = 0.0, sumSq = 0.0;
+    for (int i = 0; i < trials; ++i) {
+        const double x = rng.nextGaussian();
+        sum += x;
+        sumSq += x * x;
+    }
+    const double mean = sum / trials;
+    const double var = sumSq / trials - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.01);
+    EXPECT_NEAR(var, 1.0, 0.02);
+}
+
+TEST(Rng, SplitIsDeterministic)
+{
+    const Rng parent(31);
+    Rng a = parent.split(5);
+    Rng b = parent.split(5);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SplitChildrenAreIndependentStreams)
+{
+    const Rng parent(37);
+    Rng a = parent.split(0);
+    Rng b = parent.split(1);
+    int equal = 0;
+    for (int i = 0; i < 1000; ++i)
+        if (a.next() == b.next())
+            ++equal;
+    EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, SplitIsOrderIndependent)
+{
+    const Rng parent(41);
+    // Derive child 3 before and after deriving other children; the
+    // stream must be identical either way.
+    Rng early = parent.split(3);
+    (void)parent.split(0);
+    (void)parent.split(1);
+    Rng late = parent.split(3);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(early.next(), late.next());
+}
+
+TEST(Rng, ManySplitSeedsDistinct)
+{
+    const Rng parent(43);
+    std::set<uint64_t> firsts;
+    for (uint64_t i = 0; i < 4096; ++i)
+        firsts.insert(parent.split(i).next());
+    EXPECT_EQ(firsts.size(), 4096u);
+}
+
+} // namespace
+} // namespace lemons

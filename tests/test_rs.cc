@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Unit and property tests for the Reed-Solomon erasure code.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "rs/reed_solomon.h"
+#include "util/rng.h"
+
+namespace lemons::rs {
+namespace {
+
+std::vector<uint8_t>
+randomMessage(Rng &rng, size_t size)
+{
+    std::vector<uint8_t> out(size);
+    for (auto &b : out)
+        b = static_cast<uint8_t>(rng.nextBelow(256));
+    return out;
+}
+
+TEST(RsCode, RejectsBadParameters)
+{
+    EXPECT_THROW(RsCode(0, 5), std::invalid_argument);
+    EXPECT_THROW(RsCode(6, 5), std::invalid_argument);
+    EXPECT_THROW(RsCode(1, 256), std::invalid_argument);
+}
+
+TEST(RsCode, ShareSizeIsCeilOfMessageOverK)
+{
+    const RsCode code(3, 7);
+    EXPECT_EQ(code.shareSize(0), 0u);
+    EXPECT_EQ(code.shareSize(1), 1u);
+    EXPECT_EQ(code.shareSize(3), 1u);
+    EXPECT_EQ(code.shareSize(4), 2u);
+    EXPECT_EQ(code.shareSize(32), 11u);
+}
+
+TEST(RsCode, SystematicSharesCarryRawData)
+{
+    const RsCode code(2, 5);
+    const std::vector<uint8_t> msg = {1, 2, 3, 4};
+    const auto shares = code.encode(msg);
+    ASSERT_EQ(shares.size(), 5u);
+    EXPECT_EQ(shares[0].payload, (std::vector<uint8_t>{1, 2}));
+    EXPECT_EQ(shares[1].payload, (std::vector<uint8_t>{3, 4}));
+}
+
+TEST(RsCode, DecodeFromFirstKShares)
+{
+    const RsCode code(3, 6);
+    Rng rng(1);
+    const auto msg = randomMessage(rng, 20);
+    auto shares = code.encode(msg);
+    shares.resize(3);
+    const auto decoded = code.decode(shares, msg.size());
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, msg);
+}
+
+TEST(RsCode, DecodeFromParityOnly)
+{
+    const RsCode code(3, 6);
+    Rng rng(2);
+    const auto msg = randomMessage(rng, 9);
+    const auto shares = code.encode(msg);
+    const std::vector<Share> parity = {shares[3], shares[4], shares[5]};
+    const auto decoded = code.decode(parity, msg.size());
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, msg);
+}
+
+TEST(RsCode, TooFewSharesFails)
+{
+    const RsCode code(4, 8);
+    Rng rng(3);
+    const auto msg = randomMessage(rng, 16);
+    auto shares = code.encode(msg);
+    shares.resize(3);
+    EXPECT_FALSE(code.decode(shares, msg.size()).has_value());
+}
+
+TEST(RsCode, DuplicateIndicesRejected)
+{
+    const RsCode code(2, 4);
+    Rng rng(4);
+    const auto msg = randomMessage(rng, 4);
+    auto shares = code.encode(msg);
+    std::vector<Share> bad = {shares[0], shares[0]};
+    EXPECT_FALSE(code.decode(bad, msg.size()).has_value());
+}
+
+TEST(RsCode, OutOfRangeIndexRejected)
+{
+    const RsCode code(2, 4);
+    Rng rng(5);
+    const auto msg = randomMessage(rng, 4);
+    auto shares = code.encode(msg);
+    shares[0].index = 200;
+    EXPECT_FALSE(
+        code.decode({shares[0], shares[1]}, msg.size()).has_value());
+}
+
+TEST(RsCode, CorruptedExtraShareDetected)
+{
+    const RsCode code(2, 5);
+    Rng rng(6);
+    const auto msg = randomMessage(rng, 8);
+    auto shares = code.encode(msg);
+    shares[4].payload[0] ^= 0x01;
+    EXPECT_FALSE(code.verifyConsistent(shares));
+    EXPECT_FALSE(code.decode(shares, msg.size()).has_value());
+}
+
+TEST(RsCode, ConsistentSharesVerify)
+{
+    const RsCode code(3, 7);
+    Rng rng(7);
+    const auto msg = randomMessage(rng, 15);
+    const auto shares = code.encode(msg);
+    EXPECT_TRUE(code.verifyConsistent(shares));
+}
+
+TEST(RsCode, EmptyMessageRoundTrips)
+{
+    const RsCode code(2, 4);
+    const std::vector<uint8_t> empty;
+    const auto shares = code.encode(empty);
+    const auto decoded = code.decode(shares, 0);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_TRUE(decoded->empty());
+}
+
+TEST(RsCode, PaddedMessageSizeRestored)
+{
+    // Message length not divisible by k: padding must be stripped.
+    const RsCode code(3, 5);
+    Rng rng(8);
+    const auto msg = randomMessage(rng, 10);
+    const auto shares = code.encode(msg);
+    const auto decoded = code.decode(shares, msg.size());
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->size(), 10u);
+    EXPECT_EQ(*decoded, msg);
+}
+
+TEST(RsCode, WrongMessageSizeFails)
+{
+    const RsCode code(2, 4);
+    Rng rng(9);
+    const auto msg = randomMessage(rng, 8);
+    const auto shares = code.encode(msg);
+    // Claiming a size that implies a different chunking is rejected.
+    EXPECT_FALSE(code.decode(shares, 100).has_value());
+}
+
+TEST(Share, SerializationRoundTrip)
+{
+    const Share share{7, {1, 2, 3}};
+    const auto bytes = share.toBytes();
+    EXPECT_EQ(bytes, (std::vector<uint8_t>{7, 1, 2, 3}));
+    const auto parsed = Share::fromBytes(bytes);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, share);
+}
+
+TEST(Share, FromBytesRejectsEmpty)
+{
+    EXPECT_FALSE(Share::fromBytes({}).has_value());
+}
+
+/** Property sweep: every k-subset of shares reconstructs the message. */
+class RsSubsetProperty
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>>
+{
+};
+
+TEST_P(RsSubsetProperty, EveryKSubsetDecodes)
+{
+    const auto [k, n] = GetParam();
+    const RsCode code(k, n);
+    Rng rng(1000 + 17 * k + n);
+    const auto msg = randomMessage(rng, 12);
+    const auto shares = code.encode(msg);
+
+    // 200 random k-subsets (or all, for tiny spaces).
+    for (int trial = 0; trial < 200; ++trial) {
+        std::vector<Share> subset(shares.begin(), shares.end());
+        // Fisher-Yates prefix shuffle to pick k distinct shares.
+        for (size_t i = 0; i < k; ++i) {
+            const size_t j =
+                i + static_cast<size_t>(rng.nextBelow(subset.size() - i));
+            std::swap(subset[i], subset[j]);
+        }
+        subset.resize(k);
+        const auto decoded = code.decode(subset, msg.size());
+        ASSERT_TRUE(decoded.has_value())
+            << "k=" << k << " n=" << n << " trial=" << trial;
+        EXPECT_EQ(*decoded, msg);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KnGrid, RsSubsetProperty,
+    ::testing::Values(std::make_tuple<size_t, size_t>(1, 1),
+                      std::make_tuple<size_t, size_t>(1, 8),
+                      std::make_tuple<size_t, size_t>(2, 3),
+                      std::make_tuple<size_t, size_t>(3, 10),
+                      std::make_tuple<size_t, size_t>(6, 60),
+                      std::make_tuple<size_t, size_t>(8, 128),
+                      std::make_tuple<size_t, size_t>(30, 60),
+                      std::make_tuple<size_t, size_t>(18, 175),
+                      std::make_tuple<size_t, size_t>(16, 255)));
+
+} // namespace
+} // namespace lemons::rs

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * SHA-256 against FIPS 180-4 / NIST CAVS reference vectors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "crypto/sha256.h"
+
+namespace lemons::crypto {
+namespace {
+
+TEST(Sha256, EmptyString)
+{
+    EXPECT_EQ(toHex(sha256(std::string{})),
+              "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b"
+              "7852b855");
+}
+
+TEST(Sha256, Abc)
+{
+    EXPECT_EQ(toHex(sha256(std::string{"abc"})),
+              "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61"
+              "f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage)
+{
+    EXPECT_EQ(toHex(sha256(std::string{
+                  "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnop"
+                  "nopq"})),
+              "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd4"
+              "19db06c1");
+}
+
+TEST(Sha256, MillionAs)
+{
+    Sha256 h;
+    const std::string chunk(1000, 'a');
+    for (int i = 0; i < 1000; ++i)
+        h.update(chunk);
+    EXPECT_EQ(toHex(h.finalize()),
+              "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39cc"
+              "c7112cd0");
+}
+
+TEST(Sha256, ExactlyOneBlock)
+{
+    // 64 bytes forces the padding into a second block.
+    const std::string msg(64, 'x');
+    EXPECT_EQ(toHex(sha256(msg)), toHex(sha256(msg))); // deterministic
+    Sha256 h;
+    h.update(msg);
+    EXPECT_EQ(toHex(h.finalize()), toHex(sha256(msg)));
+}
+
+TEST(Sha256, FiftyFiveAndFiftySixBytes)
+{
+    // 55 bytes is the largest message whose padding fits one block;
+    // 56 spills. Both must round-trip through the incremental API.
+    for (size_t len : {55u, 56u, 63u, 64u, 65u}) {
+        const std::string msg(len, 'q');
+        Sha256 whole;
+        whole.update(msg);
+        Sha256 split;
+        split.update(msg.substr(0, len / 2));
+        split.update(msg.substr(len / 2));
+        EXPECT_EQ(toHex(whole.finalize()), toHex(split.finalize()))
+            << "len = " << len;
+    }
+}
+
+TEST(Sha256, IncrementalMatchesOneShot)
+{
+    const std::string msg = "The quick brown fox jumps over the lazy dog";
+    Sha256 h;
+    for (char c : msg)
+        h.update(std::string(1, c));
+    EXPECT_EQ(toHex(h.finalize()), toHex(sha256(msg)));
+}
+
+TEST(Sha256, KnownFoxDigest)
+{
+    EXPECT_EQ(toHex(sha256(std::string{
+                  "The quick brown fox jumps over the lazy dog"})),
+              "d7a8fbb307d7809469ca9abcb0082e4f8d5651e46d3cdb762d02d0bf"
+              "37c9e592");
+}
+
+TEST(Sha256, VectorAndStringAgree)
+{
+    const std::string text = "hello";
+    const std::vector<uint8_t> bytes(text.begin(), text.end());
+    EXPECT_EQ(sha256(text), sha256(bytes));
+}
+
+TEST(Sha256, FinalizeTwiceRejected)
+{
+    Sha256 h;
+    h.update(std::string{"x"});
+    (void)h.finalize();
+    EXPECT_THROW(h.finalize(), std::logic_error);
+    EXPECT_THROW(h.update(std::string{"y"}), std::logic_error);
+}
+
+TEST(Sha256, DistinctMessagesDistinctDigests)
+{
+    EXPECT_NE(sha256(std::string{"a"}), sha256(std::string{"b"}));
+    EXPECT_NE(sha256(std::string{""}), sha256(std::string{"\0", 1}));
+}
+
+TEST(ToHex, FormatsAllBytes)
+{
+    Digest d{};
+    d[0] = 0x00;
+    d[1] = 0xff;
+    d[31] = 0x5a;
+    const std::string hex = toHex(d);
+    ASSERT_EQ(hex.size(), 64u);
+    EXPECT_EQ(hex.substr(0, 4), "00ff");
+    EXPECT_EQ(hex.substr(62, 2), "5a");
+}
+
+} // namespace
+} // namespace lemons::crypto

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Unit, property, and statistical-secrecy tests for Shamir sharing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <tuple>
+
+#include "shamir/shamir.h"
+#include "util/rng.h"
+
+namespace lemons::shamir {
+namespace {
+
+std::vector<uint8_t>
+randomSecret(Rng &rng, size_t size)
+{
+    std::vector<uint8_t> out(size);
+    for (auto &b : out)
+        b = static_cast<uint8_t>(rng.nextBelow(256));
+    return out;
+}
+
+TEST(Shamir, RejectsBadParameters)
+{
+    EXPECT_THROW(Scheme(0, 5), std::invalid_argument);
+    EXPECT_THROW(Scheme(6, 5), std::invalid_argument);
+    EXPECT_THROW(Scheme(1, 256), std::invalid_argument);
+}
+
+TEST(Shamir, SplitProducesNTaggedShares)
+{
+    const Scheme scheme(3, 7);
+    Rng rng(1);
+    const auto shares = scheme.split({1, 2, 3}, rng);
+    ASSERT_EQ(shares.size(), 7u);
+    for (size_t i = 0; i < shares.size(); ++i) {
+        EXPECT_EQ(shares[i].index, i + 1);
+        EXPECT_EQ(shares[i].payload.size(), 3u);
+    }
+}
+
+TEST(Shamir, CombineFirstKShares)
+{
+    const Scheme scheme(3, 7);
+    Rng rng(2);
+    const auto secret = randomSecret(rng, 32);
+    auto shares = scheme.split(secret, rng);
+    shares.resize(3);
+    const auto recovered = scheme.combine(shares);
+    ASSERT_TRUE(recovered.has_value());
+    EXPECT_EQ(*recovered, secret);
+}
+
+TEST(Shamir, CombineWithExtraShares)
+{
+    const Scheme scheme(2, 6);
+    Rng rng(3);
+    const auto secret = randomSecret(rng, 16);
+    const auto shares = scheme.split(secret, rng);
+    const auto recovered = scheme.combine(shares); // all six
+    ASSERT_TRUE(recovered.has_value());
+    EXPECT_EQ(*recovered, secret);
+}
+
+TEST(Shamir, TooFewSharesFails)
+{
+    const Scheme scheme(4, 6);
+    Rng rng(4);
+    auto shares = scheme.split(randomSecret(rng, 8), rng);
+    shares.resize(3);
+    EXPECT_FALSE(scheme.combine(shares).has_value());
+}
+
+TEST(Shamir, DuplicateShareRejected)
+{
+    const Scheme scheme(2, 4);
+    Rng rng(5);
+    const auto shares = scheme.split(randomSecret(rng, 8), rng);
+    EXPECT_FALSE(scheme.combine({shares[1], shares[1]}).has_value());
+}
+
+TEST(Shamir, OutOfRangeIndexRejected)
+{
+    const Scheme scheme(2, 4);
+    Rng rng(6);
+    auto shares = scheme.split(randomSecret(rng, 8), rng);
+    shares[0].index = 0;
+    EXPECT_FALSE(scheme.combine({shares[0], shares[1]}).has_value());
+    shares[1].index = 9;
+    EXPECT_FALSE(scheme.combine({shares[1], shares[2]}).has_value());
+}
+
+TEST(Shamir, MismatchedPayloadSizesRejected)
+{
+    const Scheme scheme(2, 4);
+    Rng rng(7);
+    auto shares = scheme.split(randomSecret(rng, 8), rng);
+    shares[1].payload.pop_back();
+    EXPECT_FALSE(scheme.combine({shares[0], shares[1]}).has_value());
+}
+
+TEST(Shamir, EmptySecretRoundTrips)
+{
+    const Scheme scheme(2, 3);
+    Rng rng(8);
+    const auto shares = scheme.split({}, rng);
+    const auto recovered = scheme.combine(shares);
+    ASSERT_TRUE(recovered.has_value());
+    EXPECT_TRUE(recovered->empty());
+}
+
+TEST(Shamir, KEqualsOneSharesAreTheSecret)
+{
+    // (1, n): every share alone is the secret (degree-0 polynomial).
+    const Scheme scheme(1, 4);
+    Rng rng(9);
+    const std::vector<uint8_t> secret = {9, 8, 7};
+    const auto shares = scheme.split(secret, rng);
+    for (const auto &share : shares)
+        EXPECT_EQ(share.payload, secret);
+}
+
+TEST(Shamir, CorruptedShareChangesResult)
+{
+    const Scheme scheme(2, 2);
+    Rng rng(10);
+    const auto secret = randomSecret(rng, 8);
+    auto shares = scheme.split(secret, rng);
+    shares[0].payload[0] ^= 0xff;
+    const auto recovered = scheme.combine(shares);
+    ASSERT_TRUE(recovered.has_value()); // no redundancy to detect it
+    EXPECT_NE(*recovered, secret);
+}
+
+/**
+ * Information-theoretic secrecy, statistically: with k-1 shares, each
+ * share byte is uniform regardless of the secret. Splitting the two
+ * extreme secrets 0x00 and 0xff many times must produce share-byte
+ * distributions that are both near-uniform.
+ */
+TEST(Shamir, KMinusOneSharesLookUniform)
+{
+    const Scheme scheme(2, 2);
+    const int trials = 65536;
+    std::array<int, 2> chiSq{};
+    for (size_t pass = 0; pass < 2; ++pass) {
+        const std::vector<uint8_t> secret(1,
+                                          pass == 0 ? uint8_t{0x00}
+                                                    : uint8_t{0xff});
+        Rng rng(4242 + pass);
+        std::array<int, 256> counts{};
+        for (int i = 0; i < trials; ++i) {
+            const auto shares = scheme.split(secret, rng);
+            ++counts[shares[0].payload[0]];
+        }
+        double chi = 0.0;
+        const double expected = trials / 256.0;
+        for (int c : counts)
+            chi += (c - expected) * (c - expected) / expected;
+        // 255 dof: mean 255, sd ~22.6; 400 is ~6 sigma.
+        EXPECT_LT(chi, 400.0) << "secret pass " << pass;
+        chiSq[pass] = static_cast<int>(chi);
+    }
+    // And the two distributions should not be identical artifacts.
+    EXPECT_NE(chiSq[0], chiSq[1]);
+}
+
+/** Property sweep over (k, n): random k-subsets always reconstruct. */
+class ShamirSubsetProperty
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>>
+{
+};
+
+TEST_P(ShamirSubsetProperty, EveryKSubsetRecovers)
+{
+    const auto [k, n] = GetParam();
+    const Scheme scheme(k, n);
+    Rng rng(31337 + 3 * k + n);
+    const auto secret = randomSecret(rng, 24);
+    const auto shares = scheme.split(secret, rng);
+
+    for (int trial = 0; trial < 100; ++trial) {
+        std::vector<Share> subset(shares.begin(), shares.end());
+        for (size_t i = 0; i < k; ++i) {
+            const size_t j =
+                i + static_cast<size_t>(rng.nextBelow(subset.size() - i));
+            std::swap(subset[i], subset[j]);
+        }
+        subset.resize(k);
+        const auto recovered = scheme.combine(subset);
+        ASSERT_TRUE(recovered.has_value());
+        EXPECT_EQ(*recovered, secret);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KnGrid, ShamirSubsetProperty,
+    ::testing::Values(std::make_tuple<size_t, size_t>(1, 3),
+                      std::make_tuple<size_t, size_t>(2, 3),
+                      std::make_tuple<size_t, size_t>(3, 5),
+                      std::make_tuple<size_t, size_t>(8, 128),
+                      std::make_tuple<size_t, size_t>(30, 60),
+                      std::make_tuple<size_t, size_t>(18, 175),
+                      std::make_tuple<size_t, size_t>(128, 255)));
+
+} // namespace
+} // namespace lemons::shamir

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Tests for wide (GF(2^16)) Shamir sharing, including shares counts
+ * beyond the GF(2^8) limit of 255.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "shamir/shamir16.h"
+#include "util/rng.h"
+
+namespace lemons::shamir {
+namespace {
+
+std::vector<uint8_t>
+randomSecret(Rng &rng, size_t size)
+{
+    std::vector<uint8_t> out(size);
+    for (auto &b : out)
+        b = static_cast<uint8_t>(rng.nextBelow(256));
+    return out;
+}
+
+TEST(WideScheme, RejectsBadParameters)
+{
+    EXPECT_THROW(WideScheme(0, 5), std::invalid_argument);
+    EXPECT_THROW(WideScheme(6, 5), std::invalid_argument);
+    EXPECT_THROW(WideScheme(1, 65536), std::invalid_argument);
+}
+
+TEST(WideScheme, RoundTripBasic)
+{
+    const WideScheme scheme(3, 7);
+    Rng rng(1);
+    const auto secret = randomSecret(rng, 32);
+    auto shares = scheme.split(secret, rng);
+    ASSERT_EQ(shares.size(), 7u);
+    shares.resize(3);
+    const auto recovered = scheme.combine(shares, secret.size());
+    ASSERT_TRUE(recovered.has_value());
+    EXPECT_EQ(*recovered, secret);
+}
+
+TEST(WideScheme, OddLengthSecretRoundTrips)
+{
+    const WideScheme scheme(2, 4);
+    Rng rng(2);
+    const auto secret = randomSecret(rng, 31); // odd: padding exercised
+    const auto shares = scheme.split(secret, rng);
+    const auto recovered = scheme.combine(shares, 31);
+    ASSERT_TRUE(recovered.has_value());
+    EXPECT_EQ(*recovered, secret);
+}
+
+TEST(WideScheme, BeyondGf256ShareCounts)
+{
+    // The whole point of the wide scheme: > 255 shares, as the beta=4
+    // encoded designs need (Fig 4b).
+    const WideScheme scheme(275, 2750);
+    Rng rng(3);
+    const auto secret = randomSecret(rng, 32);
+    auto shares = scheme.split(secret, rng);
+    ASSERT_EQ(shares.size(), 2750u);
+    // Reconstruct from an arbitrary k-subset in the upper index range.
+    std::vector<WideShare> subset(shares.begin() + 2400,
+                                  shares.begin() + 2400 + 275);
+    const auto recovered = scheme.combine(subset, secret.size());
+    ASSERT_TRUE(recovered.has_value());
+    EXPECT_EQ(*recovered, secret);
+}
+
+TEST(WideScheme, TooFewSharesFails)
+{
+    const WideScheme scheme(4, 8);
+    Rng rng(4);
+    auto shares = scheme.split(randomSecret(rng, 8), rng);
+    shares.resize(3);
+    EXPECT_FALSE(scheme.combine(shares, 8).has_value());
+}
+
+TEST(WideScheme, MalformedSharesRejected)
+{
+    const WideScheme scheme(2, 4);
+    Rng rng(5);
+    auto shares = scheme.split(randomSecret(rng, 8), rng);
+    // Duplicate index.
+    EXPECT_FALSE(scheme.combine({shares[0], shares[0]}, 8).has_value());
+    // Out-of-range index.
+    auto bad = shares;
+    bad[0].index = 0;
+    EXPECT_FALSE(scheme.combine({bad[0], bad[1]}, 8).has_value());
+    bad[1].index = 9;
+    EXPECT_FALSE(scheme.combine({bad[1], bad[2]}, 8).has_value());
+    // Wrong payload size.
+    auto clipped = shares;
+    clipped[1].payload.pop_back();
+    EXPECT_FALSE(
+        scheme.combine({clipped[0], clipped[1]}, 8).has_value());
+}
+
+TEST(WideShare, SerializationRoundTrip)
+{
+    const WideShare share{0x1234, {0xbeef, 0x0001}};
+    const auto bytes = share.toBytes();
+    EXPECT_EQ(bytes, (std::vector<uint8_t>{0x12, 0x34, 0xbe, 0xef, 0x00,
+                                           0x01}));
+    const auto parsed = WideShare::fromBytes(bytes);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, share);
+}
+
+TEST(WideShare, FromBytesRejectsMalformed)
+{
+    EXPECT_FALSE(WideShare::fromBytes({}).has_value());
+    EXPECT_FALSE(WideShare::fromBytes({1}).has_value());
+    EXPECT_FALSE(WideShare::fromBytes({1, 2, 3}).has_value());
+}
+
+TEST(WideScheme, EmptySecretRoundTrips)
+{
+    const WideScheme scheme(2, 3);
+    Rng rng(6);
+    const auto shares = scheme.split({}, rng);
+    const auto recovered = scheme.combine(shares, 0);
+    ASSERT_TRUE(recovered.has_value());
+    EXPECT_TRUE(recovered->empty());
+}
+
+/** Property sweep over (k, n) including wide configurations. */
+class WideSubsetProperty
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>>
+{
+};
+
+TEST_P(WideSubsetProperty, RandomKSubsetsRecover)
+{
+    const auto [k, n] = GetParam();
+    const WideScheme scheme(k, n);
+    Rng rng(777 + 7 * k + n);
+    const auto secret = randomSecret(rng, 24);
+    const auto shares = scheme.split(secret, rng);
+    for (int trial = 0; trial < 20; ++trial) {
+        std::vector<WideShare> subset(shares.begin(), shares.end());
+        for (size_t i = 0; i < k; ++i) {
+            const size_t j =
+                i + static_cast<size_t>(rng.nextBelow(subset.size() - i));
+            std::swap(subset[i], subset[j]);
+        }
+        subset.resize(k);
+        const auto recovered = scheme.combine(subset, secret.size());
+        ASSERT_TRUE(recovered.has_value());
+        EXPECT_EQ(*recovered, secret);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KnGrid, WideSubsetProperty,
+    ::testing::Values(std::make_tuple<size_t, size_t>(1, 2),
+                      std::make_tuple<size_t, size_t>(2, 3),
+                      std::make_tuple<size_t, size_t>(18, 175),
+                      std::make_tuple<size_t, size_t>(50, 500),
+                      std::make_tuple<size_t, size_t>(176, 1760),
+                      std::make_tuple<size_t, size_t>(100, 4000)));
+
+} // namespace
+} // namespace lemons::shamir

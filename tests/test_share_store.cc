@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Unit tests for read-destructive stores and NEMS-guarded shares.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/share_store.h"
+
+namespace lemons::arch {
+namespace {
+
+using wearout::DeviceFactory;
+using wearout::ProcessVariation;
+
+TEST(ShareStore, NonDestructiveReadsRepeat)
+{
+    ShareStore store({1, 2, 3}, /*destructive=*/false);
+    for (int i = 0; i < 5; ++i) {
+        const auto data = store.read();
+        ASSERT_TRUE(data.has_value());
+        EXPECT_EQ(*data, (std::vector<uint8_t>{1, 2, 3}));
+    }
+    EXPECT_FALSE(store.erased());
+}
+
+TEST(ShareStore, DestructiveReadErases)
+{
+    ShareStore store({4, 5}, /*destructive=*/true);
+    const auto first = store.read();
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(*first, (std::vector<uint8_t>{4, 5}));
+    EXPECT_TRUE(store.erased());
+    EXPECT_FALSE(store.read().has_value());
+}
+
+TEST(ShareStore, LowVoltageReadBypassesDestruction)
+{
+    // The attack the paper warns about for plain read-destructive
+    // memories: reading at low voltage does not trigger erasure.
+    ShareStore store({7}, /*destructive=*/true);
+    const auto peek1 = store.lowVoltageRead();
+    const auto peek2 = store.lowVoltageRead();
+    ASSERT_TRUE(peek1.has_value());
+    ASSERT_TRUE(peek2.has_value());
+    EXPECT_EQ(*peek1, *peek2);
+    EXPECT_FALSE(store.erased());
+    // The normal read still works afterwards (nothing was destroyed).
+    EXPECT_TRUE(store.read().has_value());
+}
+
+TEST(ShareStore, LowVoltageReadAfterErasureFails)
+{
+    ShareStore store({7}, /*destructive=*/true);
+    (void)store.read();
+    EXPECT_FALSE(store.lowVoltageRead().has_value());
+}
+
+TEST(GuardedShare, AccessibleWhileSwitchAlive)
+{
+    const DeviceFactory immortal({1e9, 8.0}, ProcessVariation::none());
+    Rng rng(1);
+    GuardedShare share({42}, immortal, /*destructive=*/false, rng);
+    for (int i = 0; i < 100; ++i) {
+        const auto data = share.access();
+        ASSERT_TRUE(data.has_value());
+        EXPECT_EQ((*data)[0], 42);
+    }
+    EXPECT_EQ(share.cyclesUsed(), 100u);
+    EXPECT_FALSE(share.switchFailed());
+}
+
+TEST(GuardedShare, InaccessibleAfterWearout)
+{
+    // Mortal switch: mean lifetime ~3 cycles, tight shape.
+    const DeviceFactory mortal({3.0, 50.0}, ProcessVariation::none());
+    Rng rng(2);
+    GuardedShare share({9}, mortal, /*destructive=*/false, rng);
+    int successes = 0;
+    for (int i = 0; i < 50; ++i)
+        if (share.access().has_value())
+            ++successes;
+    EXPECT_GT(successes, 0);
+    EXPECT_LT(successes, 10);
+    EXPECT_TRUE(share.switchFailed());
+    // Once worn out, access never comes back.
+    EXPECT_FALSE(share.access().has_value());
+}
+
+TEST(GuardedShare, DestructiveStoreConsumedOnFirstAccess)
+{
+    const DeviceFactory immortal({1e9, 8.0}, ProcessVariation::none());
+    Rng rng(3);
+    GuardedShare share({1, 2}, immortal, /*destructive=*/true, rng);
+    EXPECT_TRUE(share.access().has_value());
+    // Switch still fine, but the destructive store is gone.
+    EXPECT_FALSE(share.access().has_value());
+    EXPECT_FALSE(share.switchFailed());
+}
+
+} // namespace
+} // namespace lemons::arch

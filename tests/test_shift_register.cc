@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tests for the read-destructive PISO shift register (paper Fig 7).
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/shift_register.h"
+
+namespace lemons::arch {
+namespace {
+
+TEST(ShiftRegister, EmptyRegisterIsDrained)
+{
+    ShiftRegister reg({});
+    EXPECT_EQ(reg.capacityBits(), 0u);
+    EXPECT_TRUE(reg.drained());
+    EXPECT_FALSE(reg.clockOut().has_value());
+    EXPECT_TRUE(reg.drain().empty());
+}
+
+TEST(ShiftRegister, ClocksOutMsbFirst)
+{
+    ShiftRegister reg({0b10110001});
+    const bool expected[] = {1, 0, 1, 1, 0, 0, 0, 1};
+    for (bool bit : expected) {
+        const auto out = reg.clockOut();
+        ASSERT_TRUE(out.has_value());
+        EXPECT_EQ(*out, bit);
+    }
+    EXPECT_TRUE(reg.drained());
+    EXPECT_FALSE(reg.clockOut().has_value());
+}
+
+TEST(ShiftRegister, DrainReconstructsBytes)
+{
+    const std::vector<uint8_t> data = {0xde, 0xad, 0xbe, 0xef};
+    ShiftRegister reg(data);
+    EXPECT_EQ(reg.drain(), data);
+    EXPECT_TRUE(reg.drained());
+}
+
+TEST(ShiftRegister, PartialDrainAfterManualClocks)
+{
+    // Clock three bits of 0xF0 (1, 1, 1), then drain the rest
+    // (1 0000 of the first byte + 0x0F): packed MSB-first.
+    ShiftRegister reg({0xf0, 0x0f});
+    for (int i = 0; i < 3; ++i)
+        ASSERT_TRUE(reg.clockOut().has_value());
+    EXPECT_EQ(reg.remainingBits(), 13u);
+    const auto rest = reg.drain();
+    // Remaining bit stream: 10000 00001111 -> bytes 1000 0000 and the
+    // final five bits 01111 left-aligned: 0111 1000.
+    ASSERT_EQ(rest.size(), 2u);
+    EXPECT_EQ(rest[0], 0b10000000);
+    EXPECT_EQ(rest[1], 0b01111000);
+}
+
+TEST(ShiftRegister, ReadIsDestructive)
+{
+    ShiftRegister reg({0xff});
+    (void)reg.clockOut();
+    (void)reg.clockOut();
+    // Draining after two clocks yields only the surviving six bits;
+    // re-draining yields nothing — the emitted bits are gone.
+    EXPECT_EQ(reg.remainingBits(), 6u);
+    (void)reg.drain();
+    EXPECT_TRUE(reg.drain().empty());
+    EXPECT_EQ(reg.remainingBits(), 0u);
+}
+
+TEST(ShiftRegister, PaperReadoutLatency)
+{
+    // Section 6.5.2: 1000 H bits at 20 ns/bit; H = 4 -> 0.08 ms.
+    ShiftRegister reg(std::vector<uint8_t>(500, 0xaa)); // 4000 bits
+    EXPECT_DOUBLE_EQ(reg.readoutLatencyNs(), 80000.0);
+    (void)reg.clockOut();
+    EXPECT_DOUBLE_EQ(reg.readoutLatencyNs(), 79980.0);
+    EXPECT_DOUBLE_EQ(reg.readoutLatencyNs(10.0), 39990.0);
+}
+
+TEST(ShiftRegister, RoundTripArbitraryPayloads)
+{
+    for (uint8_t seedByte = 0; seedByte < 200; seedByte += 7) {
+        std::vector<uint8_t> data;
+        for (size_t i = 0; i < 1u + seedByte % 13u; ++i)
+            data.push_back(static_cast<uint8_t>(seedByte * 31 + i * 17));
+        ShiftRegister reg(data);
+        EXPECT_EQ(reg.drain(), data) << "seed byte " << int{seedByte};
+    }
+}
+
+} // namespace
+} // namespace lemons::arch

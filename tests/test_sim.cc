@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Unit tests for the Monte Carlo engine and empirical curves.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/empirical.h"
+#include "sim/monte_carlo.h"
+#include "wearout/weibull.h"
+
+namespace lemons::sim {
+namespace {
+
+TEST(MonteCarlo, RejectsZeroTrials)
+{
+    EXPECT_THROW(MonteCarlo(1, 0), std::invalid_argument);
+}
+
+TEST(MonteCarlo, DeterministicAcrossRuns)
+{
+    const MonteCarlo engine(42, 1000);
+    const auto metric = [](Rng &rng) { return rng.nextDouble(); };
+    const auto a = engine.runStats(metric);
+    const auto b = engine.runStats(metric);
+    EXPECT_EQ(a.mean(), b.mean());
+    EXPECT_EQ(a.min(), b.min());
+    EXPECT_EQ(a.max(), b.max());
+}
+
+TEST(MonteCarlo, DifferentSeedsDiffer)
+{
+    const auto metric = [](Rng &rng) { return rng.nextDouble(); };
+    const auto a = MonteCarlo(1, 1000).runStats(metric);
+    const auto b = MonteCarlo(2, 1000).runStats(metric);
+    EXPECT_NE(a.mean(), b.mean());
+}
+
+TEST(MonteCarlo, TrialsAreIndependentOfEachOther)
+{
+    // Trial i's value must not depend on how many trials run.
+    const auto metric = [](Rng &rng) { return rng.nextDouble(); };
+    const auto small = MonteCarlo(7, 10).runSamples(metric);
+    const auto large = MonteCarlo(7, 100).runSamples(metric);
+    for (size_t i = 0; i < small.size(); ++i)
+        EXPECT_EQ(small[i], large[i]) << "trial " << i;
+}
+
+TEST(MonteCarlo, UniformMeanIsHalf)
+{
+    const auto stats = MonteCarlo(3, 100000).runStats(
+        [](Rng &rng) { return rng.nextDouble(); });
+    EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+    EXPECT_NEAR(stats.variance(), 1.0 / 12.0, 0.005);
+}
+
+TEST(MonteCarlo, ProbabilityEstimateWithInterval)
+{
+    const auto ci = MonteCarlo(5, 40000).estimateProbability(
+        [](Rng &rng) { return rng.nextDouble() < 0.2; });
+    EXPECT_NEAR(ci.estimate, 0.2, 0.01);
+    EXPECT_LT(ci.low, 0.2);
+    EXPECT_GT(ci.high, 0.2);
+}
+
+TEST(MonteCarlo, SamplesSizeMatchesTrials)
+{
+    const auto samples =
+        MonteCarlo(9, 123).runSamples([](Rng &) { return 1.0; });
+    EXPECT_EQ(samples.size(), 123u);
+}
+
+TEST(MonteCarlo, ParallelSamplesAreBitIdenticalToSerial)
+{
+    const MonteCarlo engine(77, 5000);
+    const auto metric = [](Rng &rng) {
+        double acc = 0.0;
+        for (int i = 0; i < 8; ++i)
+            acc += rng.nextDouble();
+        return acc;
+    };
+    const auto serial = engine.runSamples(metric);
+    for (unsigned threads : {1u, 2u, 3u, 8u}) {
+        const auto parallel = engine.runSamplesParallel(metric, threads);
+        ASSERT_EQ(parallel.size(), serial.size());
+        for (size_t i = 0; i < serial.size(); ++i)
+            ASSERT_EQ(parallel[i], serial[i])
+                << "threads=" << threads << " trial=" << i;
+    }
+}
+
+TEST(MonteCarlo, ParallelWithMoreThreadsThanTrials)
+{
+    const MonteCarlo engine(78, 3);
+    const auto samples = engine.runSamplesParallel(
+        [](Rng &rng) { return rng.nextDouble(); }, 16);
+    EXPECT_EQ(samples.size(), 3u);
+}
+
+TEST(SurvivalCurve, RejectsEmpty)
+{
+    EXPECT_THROW(SurvivalCurve({}), std::invalid_argument);
+}
+
+TEST(SurvivalCurve, StepFunctionSemantics)
+{
+    const SurvivalCurve curve({1.0, 2.0, 3.0, 4.0});
+    EXPECT_DOUBLE_EQ(curve.reliability(0.5), 1.0);
+    EXPECT_DOUBLE_EQ(curve.reliability(1.0), 0.75); // strictly greater
+    EXPECT_DOUBLE_EQ(curve.reliability(2.5), 0.5);
+    EXPECT_DOUBLE_EQ(curve.reliability(4.0), 0.0);
+    EXPECT_DOUBLE_EQ(curve.cdf(2.5), 0.5);
+}
+
+TEST(SurvivalCurve, QuantileAndMean)
+{
+    const SurvivalCurve curve({4.0, 1.0, 3.0, 2.0});
+    EXPECT_DOUBLE_EQ(curve.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(curve.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(curve.quantile(0.5), 2.0);
+    EXPECT_DOUBLE_EQ(curve.quantile(1.0), 4.0);
+}
+
+TEST(SurvivalCurve, KsDistanceSmallForMatchingModel)
+{
+    const wearout::Weibull w(10.0, 2.0);
+    Rng rng(123);
+    const SurvivalCurve curve(w.sampleMany(rng, 20000));
+    EXPECT_LT(curve.ksDistance([&](double x) { return w.cdf(x); }), 0.012);
+}
+
+TEST(SurvivalCurve, KsDistanceLargeForWrongModel)
+{
+    const wearout::Weibull truth(10.0, 2.0);
+    const wearout::Weibull wrong(20.0, 2.0);
+    Rng rng(124);
+    const SurvivalCurve curve(truth.sampleMany(rng, 20000));
+    EXPECT_GT(curve.ksDistance([&](double x) { return wrong.cdf(x); }),
+              0.2);
+}
+
+} // namespace
+} // namespace lemons::sim

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests for the software-counter baseline and the paper's published
+ * bypasses (Section 4), contrasted with the hardware gate.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/design_solver.h"
+#include "core/gate.h"
+#include "core/software_baseline.h"
+
+namespace lemons::core {
+namespace {
+
+std::vector<uint8_t>
+storageKey()
+{
+    return std::vector<uint8_t>(32, 0xaa);
+}
+
+TEST(SoftwareBaseline, NormalUnlockWorks)
+{
+    SoftwareCounterPhone phone("sekret", storageKey());
+    const auto key = phone.unlock("sekret");
+    ASSERT_TRUE(key.has_value());
+    EXPECT_EQ(*key, storageKey());
+}
+
+TEST(SoftwareBaseline, SuccessResetsFailureCounter)
+{
+    SoftwareCounterPhone phone("sekret", storageKey());
+    (void)phone.unlock("a");
+    (void)phone.unlock("b");
+    EXPECT_EQ(phone.failureCount(), 2u);
+    (void)phone.unlock("sekret");
+    EXPECT_EQ(phone.failureCount(), 0u);
+}
+
+TEST(SoftwareBaseline, WipesAfterThreshold)
+{
+    SoftwareCounterPhone phone("sekret", storageKey(), 10);
+    for (int i = 0; i < 10; ++i)
+        (void)phone.unlock("wrong");
+    EXPECT_TRUE(phone.wiped());
+    // Even the right passcode is useless after the wipe.
+    EXPECT_FALSE(phone.unlock("sekret").has_value());
+}
+
+TEST(SoftwareBaseline, NaiveBruteForceStoppedByWipe)
+{
+    // Victim passcode is 5,000 guesses deep; the wipe fires at 10.
+    SoftwareCounterPhone phone(attackerGuess(5000), storageKey());
+    const auto outcome = naiveBruteForce(phone, 100000);
+    EXPECT_FALSE(outcome.cracked);
+    EXPECT_TRUE(outcome.deviceDisabled);
+    EXPECT_EQ(outcome.attempts, 10u);
+}
+
+TEST(SoftwareBaseline, PowerCutBypassesCounter)
+{
+    // MDSec attack: validations without counter commits, forever.
+    SoftwareCounterPhone phone(attackerGuess(5000), storageKey());
+    for (uint64_t guess = 1; guess < 5000; ++guess) {
+        EXPECT_FALSE(
+            phone.unlockWithPowerCut(attackerGuess(guess)).has_value());
+        ASSERT_FALSE(phone.wiped());
+    }
+    const auto key = phone.unlockWithPowerCut(attackerGuess(5000));
+    ASSERT_TRUE(key.has_value());
+    EXPECT_EQ(*key, storageKey());
+}
+
+TEST(SoftwareBaseline, NandMirroringBypassesWipe)
+{
+    SoftwareCounterPhone phone(attackerGuess(5000), storageKey());
+    const auto outcome = nandMirroringBruteForce(phone, 100000);
+    EXPECT_TRUE(outcome.cracked);
+    EXPECT_FALSE(phone.wiped());
+    EXPECT_GE(outcome.attempts, 5000u);
+}
+
+TEST(SoftwareBaseline, FirmwareUpdateDisablesGuard)
+{
+    SoftwareCounterPhone phone(attackerGuess(200), storageKey());
+    phone.applyMaliciousFirmwareUpdate();
+    const auto outcome = naiveBruteForce(phone, 100000);
+    EXPECT_TRUE(outcome.cracked);
+    EXPECT_FALSE(outcome.deviceDisabled);
+}
+
+TEST(SoftwareBaseline, RejectsBadConstruction)
+{
+    EXPECT_THROW(SoftwareCounterPhone("p", {}, 10),
+                 std::invalid_argument);
+    EXPECT_THROW(SoftwareCounterPhone("p", storageKey(), 0),
+                 std::invalid_argument);
+}
+
+TEST(HardwareContrast, NoCounterToBypass)
+{
+    // The same adversarial patterns against the hardware gate: there
+    // is no counter commit to skip and no mutable state to snapshot —
+    // every single validation, bypassed or not, wears physical
+    // devices. The attacker's total attempts are bounded regardless.
+    DesignRequest request;
+    request.device = {10.0, 12.0};
+    request.legitimateAccessBound = 100;
+    request.kFraction = 0.1;
+    const Design design = DesignSolver(request).solve();
+    ASSERT_TRUE(design.feasible);
+    const wearout::DeviceFactory factory(request.device,
+                                         wearout::ProcessVariation::none());
+    Rng rng(99);
+    LimitedUseGate gate(design, factory, storageKey(), rng);
+
+    uint64_t attempts = 0;
+    while (gate.access().has_value())
+        ++attempts;
+    // Bounded by the designed window no matter the strategy.
+    EXPECT_LE(attempts, design.copies * (design.perCopyBound + 2));
+    EXPECT_GE(attempts, 100u);
+    // And unlike the NAND restore, nothing resurrects it.
+    for (int i = 0; i < 10; ++i)
+        EXPECT_FALSE(gate.access().has_value());
+}
+
+} // namespace
+} // namespace lemons::core

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Unit tests for descriptive statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace lemons {
+namespace {
+
+TEST(RunningStats, EmptyDefaults)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.meanStdError(), 0.0);
+}
+
+TEST(RunningStats, SingleValue)
+{
+    RunningStats s;
+    s.add(4.2);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 4.2);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 4.2);
+    EXPECT_DOUBLE_EQ(s.max(), 4.2);
+}
+
+TEST(RunningStats, MatchesDirectComputation)
+{
+    const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    RunningStats s;
+    for (double x : xs)
+        s.add(x);
+    EXPECT_EQ(s.count(), xs.size());
+    EXPECT_NEAR(s.mean(), 5.0, 1e-12);
+    // Sample variance with Bessel correction: 32/7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_NEAR(s.meanStdError(), s.stddev() / std::sqrt(8.0), 1e-12);
+}
+
+TEST(RunningStats, NumericallyStableForShiftedData)
+{
+    RunningStats s;
+    const double offset = 1e9;
+    for (int i = 0; i < 1000; ++i)
+        s.add(offset + (i % 2 == 0 ? 1.0 : -1.0));
+    EXPECT_NEAR(s.mean(), offset, 1e-3);
+    EXPECT_NEAR(s.variance(), 1.001, 0.01);
+}
+
+TEST(Quantile, MedianOfOddSet)
+{
+    EXPECT_DOUBLE_EQ(quantile({3.0, 1.0, 2.0}, 0.5), 2.0);
+}
+
+TEST(Quantile, Extremes)
+{
+    const std::vector<double> xs = {5.0, 1.0, 9.0, 3.0};
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 9.0);
+}
+
+TEST(Quantile, LinearInterpolation)
+{
+    // Sorted: 0, 10. q=0.25 -> 2.5.
+    EXPECT_DOUBLE_EQ(quantile({10.0, 0.0}, 0.25), 2.5);
+}
+
+TEST(Quantile, RejectsEmptyAndBadQ)
+{
+    EXPECT_THROW(quantile({}, 0.5), std::invalid_argument);
+    EXPECT_THROW(quantile({1.0}, -0.1), std::invalid_argument);
+    EXPECT_THROW(quantile({1.0}, 1.1), std::invalid_argument);
+}
+
+TEST(WilsonInterval, ContainsEstimate)
+{
+    const auto ci = wilsonInterval(30, 100);
+    EXPECT_NEAR(ci.estimate, 0.3, 1e-12);
+    EXPECT_LT(ci.low, 0.3);
+    EXPECT_GT(ci.high, 0.3);
+    EXPECT_GE(ci.low, 0.0);
+    EXPECT_LE(ci.high, 1.0);
+}
+
+TEST(WilsonInterval, ZeroSuccessesHasPositiveUpperBound)
+{
+    const auto ci = wilsonInterval(0, 100);
+    EXPECT_EQ(ci.estimate, 0.0);
+    EXPECT_EQ(ci.low, 0.0);
+    EXPECT_GT(ci.high, 0.0);
+    EXPECT_LT(ci.high, 0.1);
+}
+
+TEST(WilsonInterval, AllSuccesses)
+{
+    // At p-hat = 1 the Wilson upper bound is exactly 1 and the lower
+    // bound is strictly below it.
+    const auto ci = wilsonInterval(100, 100);
+    EXPECT_EQ(ci.estimate, 1.0);
+    EXPECT_LT(ci.low, 1.0);
+    EXPECT_GT(ci.low, 0.9);
+    EXPECT_DOUBLE_EQ(ci.high, 1.0);
+}
+
+TEST(WilsonInterval, WidthShrinksWithTrials)
+{
+    const auto narrow = wilsonInterval(500, 1000);
+    const auto wide = wilsonInterval(5, 10);
+    EXPECT_LT(narrow.high - narrow.low, wide.high - wide.low);
+}
+
+TEST(WilsonInterval, RejectsBadInputs)
+{
+    EXPECT_THROW(wilsonInterval(1, 0), std::invalid_argument);
+    EXPECT_THROW(wilsonInterval(11, 10), std::invalid_argument);
+}
+
+} // namespace
+} // namespace lemons

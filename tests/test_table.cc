@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Unit tests for the ASCII table renderer and number formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/table.h"
+
+namespace lemons {
+namespace {
+
+TEST(Format, General)
+{
+    EXPECT_EQ(formatGeneral(1.5), "1.5");
+    EXPECT_EQ(formatGeneral(0.25, 2), "0.25");
+    EXPECT_EQ(formatGeneral(1234567.0, 3), "1.23e+06");
+}
+
+TEST(Format, Scientific)
+{
+    EXPECT_EQ(formatSci(12345.0, 2), "1.23e+04");
+    EXPECT_EQ(formatSci(0.00123, 1), "1.2e-03");
+}
+
+TEST(Format, CountWithSeparators)
+{
+    EXPECT_EQ(formatCount(0), "0");
+    EXPECT_EQ(formatCount(999), "999");
+    EXPECT_EQ(formatCount(1000), "1,000");
+    EXPECT_EQ(formatCount(91250), "91,250");
+    EXPECT_EQ(formatCount(4000000000ULL), "4,000,000,000");
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table t({"alpha", "count"});
+    t.addRow({"14", "800000"});
+    t.addRow({"20", "9"});
+    std::ostringstream out;
+    t.print(out);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("alpha"), std::string::npos);
+    EXPECT_NE(text.find("800000"), std::string::npos);
+    // Header separator line present.
+    EXPECT_NE(text.find("---"), std::string::npos);
+    // Four lines: header, rule, two rows.
+    EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+}
+
+TEST(Table, RowCountTracksRows)
+{
+    Table t({"x"});
+    EXPECT_EQ(t.rowCount(), 0u);
+    t.addRow({"1"});
+    t.addRow({"2"});
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(Table, RejectsMismatchedRow)
+{
+    Table t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, RejectsEmptyHeader)
+{
+    EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+} // namespace
+} // namespace lemons

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Tests for the limited-use targeting system (paper Section 5).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/design_solver.h"
+#include "core/targeting.h"
+
+namespace lemons::core {
+namespace {
+
+using wearout::DeviceFactory;
+using wearout::ProcessVariation;
+
+Design
+missionDesign()
+{
+    DesignRequest request;
+    request.device = {10.0, 12.0};
+    request.legitimateAccessBound = 100;
+    request.kFraction = 0.1;
+    return DesignSolver(request).solve();
+}
+
+std::vector<uint8_t>
+missionKey()
+{
+    std::vector<uint8_t> key(32, 0);
+    for (size_t i = 0; i < key.size(); ++i)
+        key[i] = static_cast<uint8_t>(0xa0 + i);
+    return key;
+}
+
+struct Rig
+{
+    CommandAuthority authority;
+    LaunchStation station;
+};
+
+Rig
+makeRig(uint64_t seed)
+{
+    const DeviceFactory factory({10.0, 12.0}, ProcessVariation::none());
+    Rng rng(seed);
+    return Rig{CommandAuthority(missionKey()),
+               LaunchStation(missionDesign(), factory, missionKey(), rng)};
+}
+
+TEST(Targeting, CommandRoundTrip)
+{
+    auto rig = makeRig(1);
+    const auto cmd = rig.authority.issueCommand("strike 51.5,-0.1");
+    const auto plaintext = rig.station.executeCommand(cmd);
+    ASSERT_TRUE(plaintext.has_value());
+    EXPECT_EQ(*plaintext, "strike 51.5,-0.1");
+    EXPECT_EQ(rig.station.executedCount(), 1u);
+}
+
+TEST(Targeting, CiphertextHidesPlaintext)
+{
+    auto rig = makeRig(2);
+    const auto cmd = rig.authority.issueCommand("abort abort abort");
+    const std::string asText(cmd.ciphertext.begin(), cmd.ciphertext.end());
+    EXPECT_EQ(asText.find("abort"), std::string::npos);
+}
+
+TEST(Targeting, ForgedMacRejected)
+{
+    auto rig = makeRig(3);
+    auto cmd = rig.authority.issueCommand("strike");
+    cmd.mac[0] ^= 0x01;
+    EXPECT_FALSE(rig.station.executeCommand(cmd).has_value());
+    EXPECT_EQ(rig.station.executedCount(), 0u);
+    // But the decryption attempt still consumed hardware life.
+    EXPECT_EQ(rig.station.attemptCount(), 1u);
+}
+
+TEST(Targeting, TamperedCiphertextRejected)
+{
+    auto rig = makeRig(4);
+    auto cmd = rig.authority.issueCommand("strike");
+    cmd.ciphertext[0] ^= 0xff;
+    EXPECT_FALSE(rig.station.executeCommand(cmd).has_value());
+}
+
+TEST(Targeting, ReplayRejected)
+{
+    auto rig = makeRig(5);
+    const auto cmd = rig.authority.issueCommand("strike once");
+    ASSERT_TRUE(rig.station.executeCommand(cmd).has_value());
+    EXPECT_FALSE(rig.station.executeCommand(cmd).has_value());
+    EXPECT_EQ(rig.station.executedCount(), 1u);
+}
+
+TEST(Targeting, OutOfOrderOldCommandRejected)
+{
+    auto rig = makeRig(6);
+    const auto first = rig.authority.issueCommand("one");
+    const auto second = rig.authority.issueCommand("two");
+    ASSERT_TRUE(rig.station.executeCommand(second).has_value());
+    EXPECT_FALSE(rig.station.executeCommand(first).has_value());
+}
+
+TEST(Targeting, MissionBoundExecutesAllExpectedCommands)
+{
+    auto rig = makeRig(7);
+    for (int i = 0; i < 100; ++i) {
+        const auto cmd =
+            rig.authority.issueCommand("cmd " + std::to_string(i));
+        ASSERT_TRUE(rig.station.executeCommand(cmd).has_value())
+            << "command " << i;
+    }
+    EXPECT_EQ(rig.station.executedCount(), 100u);
+}
+
+TEST(Targeting, StationRetiresAfterUsageBound)
+{
+    auto rig = makeRig(8);
+    uint64_t attempts = 0;
+    while (!rig.station.decommissioned() && attempts < 10000) {
+        std::string name = "c";
+        name += std::to_string(attempts);
+        (void)rig.station.executeCommand(rig.authority.issueCommand(name));
+        ++attempts;
+    }
+    EXPECT_TRUE(rig.station.decommissioned());
+    const Design d = missionDesign();
+    EXPECT_LE(attempts, d.copies * (d.perCopyBound + 2));
+    // Post-retirement commands always fail.
+    const auto cmd = rig.authority.issueCommand("too late");
+    EXPECT_FALSE(rig.station.executeCommand(cmd).has_value());
+}
+
+TEST(Targeting, BruteForceAttackerConsumesHardwareNotSecrets)
+{
+    // An attacker lobbing forged commands burns the usage budget but
+    // never executes anything.
+    auto rig = makeRig(9);
+    TargetingCommand forged;
+    forged.nonce = 1;
+    forged.ciphertext = {1, 2, 3};
+    forged.mac.fill(0);
+    uint64_t forgeries = 0;
+    while (!rig.station.decommissioned() && forgeries < 10000) {
+        EXPECT_FALSE(rig.station.executeCommand(forged).has_value());
+        ++forgeries;
+    }
+    EXPECT_TRUE(rig.station.decommissioned());
+    EXPECT_EQ(rig.station.executedCount(), 0u);
+}
+
+TEST(Targeting, KeystreamIsNonceDependent)
+{
+    const auto k1 = commandKeystream(missionKey(), 1, 16);
+    const auto k2 = commandKeystream(missionKey(), 2, 16);
+    EXPECT_NE(k1, k2);
+}
+
+TEST(Targeting, AuthorityRejectsEmptyKey)
+{
+    EXPECT_THROW(CommandAuthority({}), std::invalid_argument);
+}
+
+} // namespace
+} // namespace lemons::core

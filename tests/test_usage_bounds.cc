@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Monte Carlo validation of the system-level usage bounds (Fig 4c):
+ * the empirical total-access distribution of solved designs must
+ * bracket the LAB and track the analytic expectation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/design_solver.h"
+#include "core/usage_bounds.h"
+
+namespace lemons::core {
+namespace {
+
+Design
+smallDesign(double maxResidual = 0.01)
+{
+    // A targeting-scale design keeps the MC affordable.
+    DesignRequest request;
+    request.device = {10.0, 12.0};
+    request.legitimateAccessBound = 100;
+    request.kFraction = 0.1;
+    request.criteria.maxResidualReliability = maxResidual;
+    return DesignSolver(request).solve();
+}
+
+TEST(UsageBounds, RejectsInfeasibleDesign)
+{
+    const Design infeasible;
+    EXPECT_THROW(estimateUsageBounds(infeasible, {10.0, 12.0},
+                                     wearout::ProcessVariation::none(),
+                                     10, 1),
+                 std::invalid_argument);
+}
+
+TEST(UsageBounds, MeanTracksAnalyticExpectation)
+{
+    const Design d = smallDesign();
+    ASSERT_TRUE(d.feasible);
+    const UsageBounds bounds = estimateUsageBounds(
+        d, {10.0, 12.0}, wearout::ProcessVariation::none(), 2000, 7);
+    EXPECT_NEAR(bounds.meanTotalAccesses, d.expectedSystemTotal,
+                0.01 * d.expectedSystemTotal);
+}
+
+TEST(UsageBounds, SystemAlmostAlwaysServesTheLab)
+{
+    const Design d = smallDesign();
+    ASSERT_TRUE(d.feasible);
+    const UsageBounds bounds = estimateUsageBounds(
+        d, {10.0, 12.0}, wearout::ProcessVariation::none(), 2000, 11);
+    // 0.1 % quantile within a hair of the LAB: each copy fails its
+    // bound with probability <= 1 %, and shortfalls are single
+    // accesses.
+    EXPECT_GE(bounds.q001,
+              static_cast<double>(d.copies * d.perCopyBound) * 0.97);
+    EXPECT_GE(bounds.meanTotalAccesses, 100.0);
+}
+
+TEST(UsageBounds, UpperBoundStaysTight)
+{
+    const Design d = smallDesign();
+    ASSERT_TRUE(d.feasible);
+    const UsageBounds bounds = estimateUsageBounds(
+        d, {10.0, 12.0}, wearout::ProcessVariation::none(), 2000, 13);
+    // With 1 % residual per copy, the 99.9 % quantile exceeds the
+    // nominal bound by at most a few accesses.
+    EXPECT_LE(bounds.q999,
+              static_cast<double>(d.copies * d.perCopyBound) + 10.0);
+}
+
+TEST(UsageBounds, RelaxedResidualRaisesEmpiricalUpperBound)
+{
+    // Fig 4c: p = 1 % -> 10 % raises the empirical upper bound
+    // (91,326 -> 92,028 in the paper's full-size instance).
+    const Design strict = smallDesign(0.01);
+    const Design relaxed = smallDesign(0.10);
+    ASSERT_TRUE(strict.feasible);
+    ASSERT_TRUE(relaxed.feasible);
+    const UsageBounds strictBounds = estimateUsageBounds(
+        strict, {10.0, 12.0}, wearout::ProcessVariation::none(), 2000, 17);
+    const UsageBounds relaxedBounds = estimateUsageBounds(
+        relaxed, {10.0, 12.0}, wearout::ProcessVariation::none(), 2000, 17);
+    const double strictOvershoot =
+        strictBounds.meanTotalAccesses -
+        static_cast<double>(strict.copies * strict.perCopyBound);
+    const double relaxedOvershoot =
+        relaxedBounds.meanTotalAccesses -
+        static_cast<double>(relaxed.copies * relaxed.perCopyBound);
+    EXPECT_GT(relaxedOvershoot, strictOvershoot);
+}
+
+TEST(UsageBounds, ProcessVariationWidensTheDistribution)
+{
+    const Design d = smallDesign();
+    ASSERT_TRUE(d.feasible);
+    const UsageBounds exact = estimateUsageBounds(
+        d, {10.0, 12.0}, wearout::ProcessVariation::none(), 2000, 19);
+    const UsageBounds varied = estimateUsageBounds(
+        d, {10.0, 12.0}, {0.2, 0.0}, 2000, 19);
+    const double exactSpread =
+        exact.maxTotalAccesses - exact.minTotalAccesses;
+    const double variedSpread =
+        varied.maxTotalAccesses - varied.minTotalAccesses;
+    EXPECT_GT(variedSpread, exactSpread);
+}
+
+TEST(UsageBounds, TrialsRecorded)
+{
+    const Design d = smallDesign();
+    const UsageBounds bounds = estimateUsageBounds(
+        d, {10.0, 12.0}, wearout::ProcessVariation::none(), 500, 23);
+    EXPECT_EQ(bounds.trials, 500u);
+    EXPECT_LE(bounds.minTotalAccesses, bounds.meanTotalAccesses);
+    EXPECT_LE(bounds.meanTotalAccesses, bounds.maxTotalAccesses);
+    EXPECT_LE(bounds.q001, bounds.q999);
+}
+
+} // namespace
+} // namespace lemons::core

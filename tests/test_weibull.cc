@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Unit and property tests for the Weibull wearout model (paper Sec 2.2,
+ * Figure 1).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/empirical.h"
+#include "util/rng.h"
+#include "wearout/weibull.h"
+
+namespace lemons::wearout {
+namespace {
+
+TEST(Weibull, RejectsBadParameters)
+{
+    EXPECT_THROW(Weibull(0.0, 1.0), std::invalid_argument);
+    EXPECT_THROW(Weibull(-1.0, 1.0), std::invalid_argument);
+    EXPECT_THROW(Weibull(1.0, 0.0), std::invalid_argument);
+    EXPECT_THROW(Weibull(1.0, -2.0), std::invalid_argument);
+}
+
+TEST(Weibull, BetaOneIsExponential)
+{
+    // Weibull(alpha, 1) is Exponential(1/alpha).
+    const Weibull w(10.0, 1.0);
+    EXPECT_NEAR(w.reliability(10.0), std::exp(-1.0), 1e-12);
+    EXPECT_NEAR(w.cdf(10.0), 1.0 - std::exp(-1.0), 1e-12);
+    EXPECT_NEAR(w.pdf(0.0), 0.1, 1e-12);
+    EXPECT_NEAR(w.mttf(), 10.0, 1e-9);
+}
+
+TEST(Weibull, ReliabilityAtAlphaIsEOverMinusOne)
+{
+    // R(alpha) = 1/e for every shape (Figure 1 curves all cross here).
+    for (double beta : {1.0, 6.0, 12.0})
+        EXPECT_NEAR(Weibull(1e6, beta).reliability(1e6), std::exp(-1.0),
+                    1e-12)
+            << "beta = " << beta;
+}
+
+TEST(Weibull, CdfPlusReliabilityIsOne)
+{
+    const Weibull w(5.0, 3.0);
+    for (double x : {0.1, 1.0, 3.0, 5.0, 8.0, 20.0})
+        EXPECT_NEAR(w.cdf(x) + w.reliability(x), 1.0, 1e-12);
+}
+
+TEST(Weibull, ReliabilityIsMonotoneDecreasing)
+{
+    const Weibull w(14.0, 8.0);
+    double prev = 1.0;
+    for (int t = 1; t <= 40; ++t) {
+        const double r = w.reliability(t);
+        EXPECT_LE(r, prev);
+        prev = r;
+    }
+}
+
+TEST(Weibull, LargerBetaSharpensDegradation)
+{
+    // At 0.8 alpha, high-beta devices are more reliable; at 1.2 alpha,
+    // less. That is the "tight wearout bounds" property the paper
+    // exploits (Figure 1).
+    const Weibull loose(10.0, 1.0);
+    const Weibull tight(10.0, 12.0);
+    EXPECT_GT(tight.reliability(8.0), loose.reliability(8.0));
+    EXPECT_LT(tight.reliability(12.0), loose.reliability(12.0));
+}
+
+TEST(Weibull, PdfIntegratesToOne)
+{
+    const Weibull w(7.0, 2.5);
+    double integral = 0.0;
+    const double dx = 0.001;
+    for (double x = 0.0; x < 40.0; x += dx)
+        integral += w.pdf(x + dx / 2) * dx;
+    EXPECT_NEAR(integral, 1.0, 1e-4);
+}
+
+TEST(Weibull, PdfMatchesCdfDerivative)
+{
+    const Weibull w(14.0, 8.0);
+    const double h = 1e-6;
+    for (double x : {5.0, 10.0, 14.0, 18.0}) {
+        const double numeric = (w.cdf(x + h) - w.cdf(x - h)) / (2 * h);
+        EXPECT_NEAR(w.pdf(x), numeric, 1e-4 * std::max(1.0, w.pdf(x)));
+    }
+}
+
+TEST(Weibull, QuantileInvertsCdf)
+{
+    const Weibull w(20.0, 12.0);
+    for (double p : {0.0, 0.01, 0.25, 0.5, 0.9, 0.99})
+        EXPECT_NEAR(w.cdf(w.quantile(p)), p, 1e-10) << "p = " << p;
+}
+
+TEST(Weibull, QuantileRejectsOne)
+{
+    EXPECT_THROW(Weibull(1.0, 1.0).quantile(1.0), std::invalid_argument);
+}
+
+TEST(Weibull, LogReliabilityStableDeepInTail)
+{
+    const Weibull w(14.0, 8.0);
+    // At x = 40, (40/14)^8 ~ 4467: reliability underflows but its log
+    // must stay exact.
+    EXPECT_EQ(w.reliability(40.0), 0.0);
+    EXPECT_NEAR(w.logReliability(40.0), -std::pow(40.0 / 14.0, 8.0), 1e-6);
+}
+
+TEST(Weibull, HazardIncreasesForBetaAboveOne)
+{
+    const Weibull w(10.0, 8.0);
+    EXPECT_LT(w.hazard(5.0), w.hazard(10.0));
+    EXPECT_LT(w.hazard(10.0), w.hazard(15.0));
+}
+
+TEST(Weibull, MttfMatchesSampleMean)
+{
+    const Weibull w(14.0, 8.0);
+    Rng rng(99);
+    double sum = 0.0;
+    const int trials = 100000;
+    for (int i = 0; i < trials; ++i)
+        sum += w.sample(rng);
+    EXPECT_NEAR(sum / trials, w.mttf(), 0.02);
+}
+
+TEST(Weibull, SampleDistributionMatchesCdf)
+{
+    const Weibull w(10.0, 3.0);
+    Rng rng(7);
+    const sim::SurvivalCurve curve(w.sampleMany(rng, 50000));
+    const double ks =
+        curve.ksDistance([&](double x) { return w.cdf(x); });
+    // KS critical value at 1 % for n = 50,000 is ~0.0073.
+    EXPECT_LT(ks, 0.0073);
+}
+
+TEST(Weibull, SamplesAreNonNegative)
+{
+    const Weibull w(1.0, 0.5);
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_GE(w.sample(rng), 0.0);
+}
+
+TEST(WeibullFit, RecoversGeneratingParameters)
+{
+    const Weibull truth(14.0, 8.0);
+    Rng rng(12345);
+    const Weibull fitted = Weibull::fit(truth.sampleMany(rng, 20000));
+    EXPECT_NEAR(fitted.alpha(), 14.0, 0.15);
+    EXPECT_NEAR(fitted.beta(), 8.0, 0.25);
+}
+
+TEST(WeibullFit, RecoversLowShape)
+{
+    const Weibull truth(10.0, 1.0);
+    Rng rng(777);
+    const Weibull fitted = Weibull::fit(truth.sampleMany(rng, 20000));
+    EXPECT_NEAR(fitted.alpha(), 10.0, 0.3);
+    EXPECT_NEAR(fitted.beta(), 1.0, 0.05);
+}
+
+TEST(WeibullFit, RejectsDegenerateInput)
+{
+    EXPECT_THROW(Weibull::fit({1.0}), std::invalid_argument);
+    EXPECT_THROW(Weibull::fit({1.0, -2.0}), std::invalid_argument);
+    EXPECT_THROW(Weibull::fit({1.0, 0.0}), std::invalid_argument);
+}
+
+TEST(Weibull, LifetimeVarianceMatchesSamples)
+{
+    const Weibull w(10.0, 2.0);
+    Rng rng(55);
+    double sum = 0.0, sumSq = 0.0;
+    const int trials = 200000;
+    for (int i = 0; i < trials; ++i) {
+        const double x = w.sample(rng);
+        sum += x;
+        sumSq += x * x;
+    }
+    const double mean = sum / trials;
+    const double var = sumSq / trials - mean * mean;
+    EXPECT_NEAR(var, w.lifetimeVariance(), 0.02 * w.lifetimeVariance());
+}
+
+} // namespace
+} // namespace lemons::wearout
