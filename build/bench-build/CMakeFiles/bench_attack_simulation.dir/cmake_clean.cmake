@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_attack_simulation"
+  "../bench/bench_attack_simulation.pdb"
+  "CMakeFiles/bench_attack_simulation.dir/bench_attack_simulation.cc.o"
+  "CMakeFiles/bench_attack_simulation.dir/bench_attack_simulation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_attack_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

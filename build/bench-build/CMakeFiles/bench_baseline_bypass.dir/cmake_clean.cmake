@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_baseline_bypass"
+  "../bench/bench_baseline_bypass.pdb"
+  "CMakeFiles/bench_baseline_bypass.dir/bench_baseline_bypass.cc.o"
+  "CMakeFiles/bench_baseline_bypass.dir/bench_baseline_bypass.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_bypass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_classic_rs"
+  "../bench/bench_classic_rs.pdb"
+  "CMakeFiles/bench_classic_rs.dir/bench_classic_rs.cc.o"
+  "CMakeFiles/bench_classic_rs.dir/bench_classic_rs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_classic_rs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

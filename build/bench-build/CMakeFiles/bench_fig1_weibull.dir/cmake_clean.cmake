@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_weibull"
+  "../bench/bench_fig1_weibull.pdb"
+  "CMakeFiles/bench_fig1_weibull.dir/bench_fig1_weibull.cc.o"
+  "CMakeFiles/bench_fig1_weibull.dir/bench_fig1_weibull.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_weibull.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

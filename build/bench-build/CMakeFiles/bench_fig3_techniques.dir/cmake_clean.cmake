@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_techniques"
+  "../bench/bench_fig3_techniques.pdb"
+  "CMakeFiles/bench_fig3_techniques.dir/bench_fig3_techniques.cc.o"
+  "CMakeFiles/bench_fig3_techniques.dir/bench_fig3_techniques.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_techniques.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

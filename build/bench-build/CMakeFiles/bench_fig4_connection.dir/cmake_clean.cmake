@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_connection"
+  "../bench/bench_fig4_connection.pdb"
+  "CMakeFiles/bench_fig4_connection.dir/bench_fig4_connection.cc.o"
+  "CMakeFiles/bench_fig4_connection.dir/bench_fig4_connection.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_connection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

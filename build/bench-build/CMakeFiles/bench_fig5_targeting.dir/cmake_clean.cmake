@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_targeting"
+  "../bench/bench_fig5_targeting.pdb"
+  "CMakeFiles/bench_fig5_targeting.dir/bench_fig5_targeting.cc.o"
+  "CMakeFiles/bench_fig5_targeting.dir/bench_fig5_targeting.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_targeting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

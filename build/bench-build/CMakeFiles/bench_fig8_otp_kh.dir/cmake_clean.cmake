@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_otp_kh"
+  "../bench/bench_fig8_otp_kh.pdb"
+  "CMakeFiles/bench_fig8_otp_kh.dir/bench_fig8_otp_kh.cc.o"
+  "CMakeFiles/bench_fig8_otp_kh.dir/bench_fig8_otp_kh.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_otp_kh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

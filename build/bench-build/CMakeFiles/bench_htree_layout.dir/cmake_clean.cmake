@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_htree_layout"
+  "../bench/bench_htree_layout.pdb"
+  "CMakeFiles/bench_htree_layout.dir/bench_htree_layout.cc.o"
+  "CMakeFiles/bench_htree_layout.dir/bench_htree_layout.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_htree_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_model_sensitivity"
+  "../bench/bench_model_sensitivity.pdb"
+  "CMakeFiles/bench_model_sensitivity.dir/bench_model_sensitivity.cc.o"
+  "CMakeFiles/bench_model_sensitivity.dir/bench_model_sensitivity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_model_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

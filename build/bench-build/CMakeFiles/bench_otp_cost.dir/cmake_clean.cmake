@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_otp_cost"
+  "../bench/bench_otp_cost.pdb"
+  "CMakeFiles/bench_otp_cost.dir/bench_otp_cost.cc.o"
+  "CMakeFiles/bench_otp_cost.dir/bench_otp_cost.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_otp_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_rs_shamir"
+  "../bench/bench_rs_shamir.pdb"
+  "CMakeFiles/bench_rs_shamir.dir/bench_rs_shamir.cc.o"
+  "CMakeFiles/bench_rs_shamir.dir/bench_rs_shamir.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rs_shamir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

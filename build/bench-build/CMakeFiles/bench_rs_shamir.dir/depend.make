@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_rs_shamir.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_usage_profiles"
+  "../bench/bench_usage_profiles.pdb"
+  "CMakeFiles/bench_usage_profiles.dir/bench_usage_profiles.cc.o"
+  "CMakeFiles/bench_usage_profiles.dir/bench_usage_profiles.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_usage_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_variation_ablation"
+  "../bench/bench_variation_ablation.pdb"
+  "CMakeFiles/bench_variation_ablation.dir/bench_variation_ablation.cc.o"
+  "CMakeFiles/bench_variation_ablation.dir/bench_variation_ablation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_variation_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

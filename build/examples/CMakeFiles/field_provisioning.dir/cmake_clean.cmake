@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/field_provisioning.dir/field_provisioning.cpp.o"
+  "CMakeFiles/field_provisioning.dir/field_provisioning.cpp.o.d"
+  "field_provisioning"
+  "field_provisioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/field_provisioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

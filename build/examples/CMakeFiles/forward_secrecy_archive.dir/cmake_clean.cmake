@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forward_secrecy_archive.dir/forward_secrecy_archive.cpp.o"
+  "CMakeFiles/forward_secrecy_archive.dir/forward_secrecy_archive.cpp.o.d"
+  "forward_secrecy_archive"
+  "forward_secrecy_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forward_secrecy_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/one_time_pad_messaging.dir/one_time_pad_messaging.cpp.o"
+  "CMakeFiles/one_time_pad_messaging.dir/one_time_pad_messaging.cpp.o.d"
+  "one_time_pad_messaging"
+  "one_time_pad_messaging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/one_time_pad_messaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

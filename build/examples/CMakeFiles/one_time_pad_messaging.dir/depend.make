@@ -1,0 +1,2 @@
+# Empty dependencies file for one_time_pad_messaging.
+# This may be replaced when dependencies are built.

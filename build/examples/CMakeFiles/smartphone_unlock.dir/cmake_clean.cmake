@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartphone_unlock.dir/smartphone_unlock.cpp.o"
+  "CMakeFiles/smartphone_unlock.dir/smartphone_unlock.cpp.o.d"
+  "smartphone_unlock"
+  "smartphone_unlock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartphone_unlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

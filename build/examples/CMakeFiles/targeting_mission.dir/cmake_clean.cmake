@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/targeting_mission.dir/targeting_mission.cpp.o"
+  "CMakeFiles/targeting_mission.dir/targeting_mission.cpp.o.d"
+  "targeting_mission"
+  "targeting_mission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/targeting_mission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/cost_model.cc" "src/arch/CMakeFiles/lemons_arch.dir/cost_model.cc.o" "gcc" "src/arch/CMakeFiles/lemons_arch.dir/cost_model.cc.o.d"
+  "/root/repo/src/arch/htree.cc" "src/arch/CMakeFiles/lemons_arch.dir/htree.cc.o" "gcc" "src/arch/CMakeFiles/lemons_arch.dir/htree.cc.o.d"
+  "/root/repo/src/arch/share_store.cc" "src/arch/CMakeFiles/lemons_arch.dir/share_store.cc.o" "gcc" "src/arch/CMakeFiles/lemons_arch.dir/share_store.cc.o.d"
+  "/root/repo/src/arch/shift_register.cc" "src/arch/CMakeFiles/lemons_arch.dir/shift_register.cc.o" "gcc" "src/arch/CMakeFiles/lemons_arch.dir/shift_register.cc.o.d"
+  "/root/repo/src/arch/structures.cc" "src/arch/CMakeFiles/lemons_arch.dir/structures.cc.o" "gcc" "src/arch/CMakeFiles/lemons_arch.dir/structures.cc.o.d"
+  "/root/repo/src/arch/structures_sim.cc" "src/arch/CMakeFiles/lemons_arch.dir/structures_sim.cc.o" "gcc" "src/arch/CMakeFiles/lemons_arch.dir/structures_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wearout/CMakeFiles/lemons_wearout.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lemons_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

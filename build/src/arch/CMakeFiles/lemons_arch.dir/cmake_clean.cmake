@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lemons_arch.dir/cost_model.cc.o"
+  "CMakeFiles/lemons_arch.dir/cost_model.cc.o.d"
+  "CMakeFiles/lemons_arch.dir/htree.cc.o"
+  "CMakeFiles/lemons_arch.dir/htree.cc.o.d"
+  "CMakeFiles/lemons_arch.dir/share_store.cc.o"
+  "CMakeFiles/lemons_arch.dir/share_store.cc.o.d"
+  "CMakeFiles/lemons_arch.dir/shift_register.cc.o"
+  "CMakeFiles/lemons_arch.dir/shift_register.cc.o.d"
+  "CMakeFiles/lemons_arch.dir/structures.cc.o"
+  "CMakeFiles/lemons_arch.dir/structures.cc.o.d"
+  "CMakeFiles/lemons_arch.dir/structures_sim.cc.o"
+  "CMakeFiles/lemons_arch.dir/structures_sim.cc.o.d"
+  "liblemons_arch.a"
+  "liblemons_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemons_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

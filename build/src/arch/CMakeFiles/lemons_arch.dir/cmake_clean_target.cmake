@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblemons_arch.a"
+)

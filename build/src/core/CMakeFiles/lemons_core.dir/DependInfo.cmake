@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/calibration.cc" "src/core/CMakeFiles/lemons_core.dir/calibration.cc.o" "gcc" "src/core/CMakeFiles/lemons_core.dir/calibration.cc.o.d"
+  "/root/repo/src/core/connection.cc" "src/core/CMakeFiles/lemons_core.dir/connection.cc.o" "gcc" "src/core/CMakeFiles/lemons_core.dir/connection.cc.o.d"
+  "/root/repo/src/core/decision_tree.cc" "src/core/CMakeFiles/lemons_core.dir/decision_tree.cc.o" "gcc" "src/core/CMakeFiles/lemons_core.dir/decision_tree.cc.o.d"
+  "/root/repo/src/core/design_solver.cc" "src/core/CMakeFiles/lemons_core.dir/design_solver.cc.o" "gcc" "src/core/CMakeFiles/lemons_core.dir/design_solver.cc.o.d"
+  "/root/repo/src/core/explorer.cc" "src/core/CMakeFiles/lemons_core.dir/explorer.cc.o" "gcc" "src/core/CMakeFiles/lemons_core.dir/explorer.cc.o.d"
+  "/root/repo/src/core/forward_secrecy.cc" "src/core/CMakeFiles/lemons_core.dir/forward_secrecy.cc.o" "gcc" "src/core/CMakeFiles/lemons_core.dir/forward_secrecy.cc.o.d"
+  "/root/repo/src/core/gate.cc" "src/core/CMakeFiles/lemons_core.dir/gate.cc.o" "gcc" "src/core/CMakeFiles/lemons_core.dir/gate.cc.o.d"
+  "/root/repo/src/core/mway.cc" "src/core/CMakeFiles/lemons_core.dir/mway.cc.o" "gcc" "src/core/CMakeFiles/lemons_core.dir/mway.cc.o.d"
+  "/root/repo/src/core/otp_chip.cc" "src/core/CMakeFiles/lemons_core.dir/otp_chip.cc.o" "gcc" "src/core/CMakeFiles/lemons_core.dir/otp_chip.cc.o.d"
+  "/root/repo/src/core/programmable_gate.cc" "src/core/CMakeFiles/lemons_core.dir/programmable_gate.cc.o" "gcc" "src/core/CMakeFiles/lemons_core.dir/programmable_gate.cc.o.d"
+  "/root/repo/src/core/software_baseline.cc" "src/core/CMakeFiles/lemons_core.dir/software_baseline.cc.o" "gcc" "src/core/CMakeFiles/lemons_core.dir/software_baseline.cc.o.d"
+  "/root/repo/src/core/targeting.cc" "src/core/CMakeFiles/lemons_core.dir/targeting.cc.o" "gcc" "src/core/CMakeFiles/lemons_core.dir/targeting.cc.o.d"
+  "/root/repo/src/core/usage_bounds.cc" "src/core/CMakeFiles/lemons_core.dir/usage_bounds.cc.o" "gcc" "src/core/CMakeFiles/lemons_core.dir/usage_bounds.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/lemons_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/lemons_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/rs/CMakeFiles/lemons_rs.dir/DependInfo.cmake"
+  "/root/repo/build/src/shamir/CMakeFiles/lemons_shamir.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lemons_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/wearout/CMakeFiles/lemons_wearout.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lemons_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/lemons_gf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lemons_core.dir/calibration.cc.o"
+  "CMakeFiles/lemons_core.dir/calibration.cc.o.d"
+  "CMakeFiles/lemons_core.dir/connection.cc.o"
+  "CMakeFiles/lemons_core.dir/connection.cc.o.d"
+  "CMakeFiles/lemons_core.dir/decision_tree.cc.o"
+  "CMakeFiles/lemons_core.dir/decision_tree.cc.o.d"
+  "CMakeFiles/lemons_core.dir/design_solver.cc.o"
+  "CMakeFiles/lemons_core.dir/design_solver.cc.o.d"
+  "CMakeFiles/lemons_core.dir/explorer.cc.o"
+  "CMakeFiles/lemons_core.dir/explorer.cc.o.d"
+  "CMakeFiles/lemons_core.dir/forward_secrecy.cc.o"
+  "CMakeFiles/lemons_core.dir/forward_secrecy.cc.o.d"
+  "CMakeFiles/lemons_core.dir/gate.cc.o"
+  "CMakeFiles/lemons_core.dir/gate.cc.o.d"
+  "CMakeFiles/lemons_core.dir/mway.cc.o"
+  "CMakeFiles/lemons_core.dir/mway.cc.o.d"
+  "CMakeFiles/lemons_core.dir/otp_chip.cc.o"
+  "CMakeFiles/lemons_core.dir/otp_chip.cc.o.d"
+  "CMakeFiles/lemons_core.dir/programmable_gate.cc.o"
+  "CMakeFiles/lemons_core.dir/programmable_gate.cc.o.d"
+  "CMakeFiles/lemons_core.dir/software_baseline.cc.o"
+  "CMakeFiles/lemons_core.dir/software_baseline.cc.o.d"
+  "CMakeFiles/lemons_core.dir/targeting.cc.o"
+  "CMakeFiles/lemons_core.dir/targeting.cc.o.d"
+  "CMakeFiles/lemons_core.dir/usage_bounds.cc.o"
+  "CMakeFiles/lemons_core.dir/usage_bounds.cc.o.d"
+  "liblemons_core.a"
+  "liblemons_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemons_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

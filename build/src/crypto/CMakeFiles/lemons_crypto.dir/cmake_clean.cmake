@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lemons_crypto.dir/guess_curve.cc.o"
+  "CMakeFiles/lemons_crypto.dir/guess_curve.cc.o.d"
+  "CMakeFiles/lemons_crypto.dir/hmac.cc.o"
+  "CMakeFiles/lemons_crypto.dir/hmac.cc.o.d"
+  "CMakeFiles/lemons_crypto.dir/otp.cc.o"
+  "CMakeFiles/lemons_crypto.dir/otp.cc.o.d"
+  "CMakeFiles/lemons_crypto.dir/password_model.cc.o"
+  "CMakeFiles/lemons_crypto.dir/password_model.cc.o.d"
+  "CMakeFiles/lemons_crypto.dir/sha256.cc.o"
+  "CMakeFiles/lemons_crypto.dir/sha256.cc.o.d"
+  "liblemons_crypto.a"
+  "liblemons_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemons_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

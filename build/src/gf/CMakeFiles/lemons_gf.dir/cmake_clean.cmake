@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lemons_gf.dir/gf256.cc.o"
+  "CMakeFiles/lemons_gf.dir/gf256.cc.o.d"
+  "CMakeFiles/lemons_gf.dir/gf65536.cc.o"
+  "CMakeFiles/lemons_gf.dir/gf65536.cc.o.d"
+  "CMakeFiles/lemons_gf.dir/poly.cc.o"
+  "CMakeFiles/lemons_gf.dir/poly.cc.o.d"
+  "liblemons_gf.a"
+  "liblemons_gf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemons_gf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

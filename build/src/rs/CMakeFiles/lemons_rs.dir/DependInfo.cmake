@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rs/classic_rs.cc" "src/rs/CMakeFiles/lemons_rs.dir/classic_rs.cc.o" "gcc" "src/rs/CMakeFiles/lemons_rs.dir/classic_rs.cc.o.d"
+  "/root/repo/src/rs/reed_solomon.cc" "src/rs/CMakeFiles/lemons_rs.dir/reed_solomon.cc.o" "gcc" "src/rs/CMakeFiles/lemons_rs.dir/reed_solomon.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gf/CMakeFiles/lemons_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lemons_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

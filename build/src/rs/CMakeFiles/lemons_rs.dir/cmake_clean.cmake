@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lemons_rs.dir/classic_rs.cc.o"
+  "CMakeFiles/lemons_rs.dir/classic_rs.cc.o.d"
+  "CMakeFiles/lemons_rs.dir/reed_solomon.cc.o"
+  "CMakeFiles/lemons_rs.dir/reed_solomon.cc.o.d"
+  "liblemons_rs.a"
+  "liblemons_rs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemons_rs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

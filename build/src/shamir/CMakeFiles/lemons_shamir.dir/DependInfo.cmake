@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/shamir/shamir.cc" "src/shamir/CMakeFiles/lemons_shamir.dir/shamir.cc.o" "gcc" "src/shamir/CMakeFiles/lemons_shamir.dir/shamir.cc.o.d"
+  "/root/repo/src/shamir/shamir16.cc" "src/shamir/CMakeFiles/lemons_shamir.dir/shamir16.cc.o" "gcc" "src/shamir/CMakeFiles/lemons_shamir.dir/shamir16.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gf/CMakeFiles/lemons_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lemons_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

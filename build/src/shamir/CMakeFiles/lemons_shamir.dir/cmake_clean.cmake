@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lemons_shamir.dir/shamir.cc.o"
+  "CMakeFiles/lemons_shamir.dir/shamir.cc.o.d"
+  "CMakeFiles/lemons_shamir.dir/shamir16.cc.o"
+  "CMakeFiles/lemons_shamir.dir/shamir16.cc.o.d"
+  "liblemons_shamir.a"
+  "liblemons_shamir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemons_shamir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/empirical.cc" "src/sim/CMakeFiles/lemons_sim.dir/empirical.cc.o" "gcc" "src/sim/CMakeFiles/lemons_sim.dir/empirical.cc.o.d"
+  "/root/repo/src/sim/monte_carlo.cc" "src/sim/CMakeFiles/lemons_sim.dir/monte_carlo.cc.o" "gcc" "src/sim/CMakeFiles/lemons_sim.dir/monte_carlo.cc.o.d"
+  "/root/repo/src/sim/workload.cc" "src/sim/CMakeFiles/lemons_sim.dir/workload.cc.o" "gcc" "src/sim/CMakeFiles/lemons_sim.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lemons_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lemons_sim.dir/empirical.cc.o"
+  "CMakeFiles/lemons_sim.dir/empirical.cc.o.d"
+  "CMakeFiles/lemons_sim.dir/monte_carlo.cc.o"
+  "CMakeFiles/lemons_sim.dir/monte_carlo.cc.o.d"
+  "CMakeFiles/lemons_sim.dir/workload.cc.o"
+  "CMakeFiles/lemons_sim.dir/workload.cc.o.d"
+  "liblemons_sim.a"
+  "liblemons_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemons_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lemons_util.dir/csv.cc.o"
+  "CMakeFiles/lemons_util.dir/csv.cc.o.d"
+  "CMakeFiles/lemons_util.dir/histogram.cc.o"
+  "CMakeFiles/lemons_util.dir/histogram.cc.o.d"
+  "CMakeFiles/lemons_util.dir/math.cc.o"
+  "CMakeFiles/lemons_util.dir/math.cc.o.d"
+  "CMakeFiles/lemons_util.dir/rng.cc.o"
+  "CMakeFiles/lemons_util.dir/rng.cc.o.d"
+  "CMakeFiles/lemons_util.dir/stats.cc.o"
+  "CMakeFiles/lemons_util.dir/stats.cc.o.d"
+  "CMakeFiles/lemons_util.dir/table.cc.o"
+  "CMakeFiles/lemons_util.dir/table.cc.o.d"
+  "liblemons_util.a"
+  "liblemons_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemons_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wearout/device.cc" "src/wearout/CMakeFiles/lemons_wearout.dir/device.cc.o" "gcc" "src/wearout/CMakeFiles/lemons_wearout.dir/device.cc.o.d"
+  "/root/repo/src/wearout/environment.cc" "src/wearout/CMakeFiles/lemons_wearout.dir/environment.cc.o" "gcc" "src/wearout/CMakeFiles/lemons_wearout.dir/environment.cc.o.d"
+  "/root/repo/src/wearout/mixture.cc" "src/wearout/CMakeFiles/lemons_wearout.dir/mixture.cc.o" "gcc" "src/wearout/CMakeFiles/lemons_wearout.dir/mixture.cc.o.d"
+  "/root/repo/src/wearout/population.cc" "src/wearout/CMakeFiles/lemons_wearout.dir/population.cc.o" "gcc" "src/wearout/CMakeFiles/lemons_wearout.dir/population.cc.o.d"
+  "/root/repo/src/wearout/weibull.cc" "src/wearout/CMakeFiles/lemons_wearout.dir/weibull.cc.o" "gcc" "src/wearout/CMakeFiles/lemons_wearout.dir/weibull.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lemons_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

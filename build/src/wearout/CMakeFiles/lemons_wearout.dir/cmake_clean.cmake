@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lemons_wearout.dir/device.cc.o"
+  "CMakeFiles/lemons_wearout.dir/device.cc.o.d"
+  "CMakeFiles/lemons_wearout.dir/environment.cc.o"
+  "CMakeFiles/lemons_wearout.dir/environment.cc.o.d"
+  "CMakeFiles/lemons_wearout.dir/mixture.cc.o"
+  "CMakeFiles/lemons_wearout.dir/mixture.cc.o.d"
+  "CMakeFiles/lemons_wearout.dir/population.cc.o"
+  "CMakeFiles/lemons_wearout.dir/population.cc.o.d"
+  "CMakeFiles/lemons_wearout.dir/weibull.cc.o"
+  "CMakeFiles/lemons_wearout.dir/weibull.cc.o.d"
+  "liblemons_wearout.a"
+  "liblemons_wearout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemons_wearout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

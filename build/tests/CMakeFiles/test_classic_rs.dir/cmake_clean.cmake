@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_classic_rs.dir/test_classic_rs.cc.o"
+  "CMakeFiles/test_classic_rs.dir/test_classic_rs.cc.o.d"
+  "test_classic_rs"
+  "test_classic_rs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_classic_rs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

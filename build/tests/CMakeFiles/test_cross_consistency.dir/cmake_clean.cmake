@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cross_consistency.dir/test_cross_consistency.cc.o"
+  "CMakeFiles/test_cross_consistency.dir/test_cross_consistency.cc.o.d"
+  "test_cross_consistency"
+  "test_cross_consistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cross_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

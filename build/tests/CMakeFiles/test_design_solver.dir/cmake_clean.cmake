@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_design_solver.dir/test_design_solver.cc.o"
+  "CMakeFiles/test_design_solver.dir/test_design_solver.cc.o.d"
+  "test_design_solver"
+  "test_design_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_design_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_forward_secrecy.dir/test_forward_secrecy.cc.o"
+  "CMakeFiles/test_forward_secrecy.dir/test_forward_secrecy.cc.o.d"
+  "test_forward_secrecy"
+  "test_forward_secrecy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_forward_secrecy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

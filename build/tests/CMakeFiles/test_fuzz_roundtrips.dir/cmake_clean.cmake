@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_roundtrips.dir/test_fuzz_roundtrips.cc.o"
+  "CMakeFiles/test_fuzz_roundtrips.dir/test_fuzz_roundtrips.cc.o.d"
+  "test_fuzz_roundtrips"
+  "test_fuzz_roundtrips.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_roundtrips.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

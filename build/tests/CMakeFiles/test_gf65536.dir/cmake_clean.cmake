@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gf65536.dir/test_gf65536.cc.o"
+  "CMakeFiles/test_gf65536.dir/test_gf65536.cc.o.d"
+  "test_gf65536"
+  "test_gf65536.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gf65536.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_guess_curve.dir/test_guess_curve.cc.o"
+  "CMakeFiles/test_guess_curve.dir/test_guess_curve.cc.o.d"
+  "test_guess_curve"
+  "test_guess_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_guess_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

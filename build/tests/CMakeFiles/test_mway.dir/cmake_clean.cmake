@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mway.dir/test_mway.cc.o"
+  "CMakeFiles/test_mway.dir/test_mway.cc.o.d"
+  "test_mway"
+  "test_mway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_otp.dir/test_otp.cc.o"
+  "CMakeFiles/test_otp.dir/test_otp.cc.o.d"
+  "test_otp"
+  "test_otp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_otp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

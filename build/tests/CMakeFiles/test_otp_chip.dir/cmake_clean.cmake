@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_otp_chip.dir/test_otp_chip.cc.o"
+  "CMakeFiles/test_otp_chip.dir/test_otp_chip.cc.o.d"
+  "test_otp_chip"
+  "test_otp_chip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_otp_chip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

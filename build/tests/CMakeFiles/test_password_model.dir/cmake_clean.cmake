@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_password_model.dir/test_password_model.cc.o"
+  "CMakeFiles/test_password_model.dir/test_password_model.cc.o.d"
+  "test_password_model"
+  "test_password_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_password_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

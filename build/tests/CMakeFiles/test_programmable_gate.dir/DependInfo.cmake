@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_programmable_gate.cc" "tests/CMakeFiles/test_programmable_gate.dir/test_programmable_gate.cc.o" "gcc" "tests/CMakeFiles/test_programmable_gate.dir/test_programmable_gate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lemons_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/lemons_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lemons_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/lemons_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/shamir/CMakeFiles/lemons_shamir.dir/DependInfo.cmake"
+  "/root/repo/build/src/rs/CMakeFiles/lemons_rs.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/lemons_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/wearout/CMakeFiles/lemons_wearout.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lemons_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_programmable_gate.dir/test_programmable_gate.cc.o"
+  "CMakeFiles/test_programmable_gate.dir/test_programmable_gate.cc.o.d"
+  "test_programmable_gate"
+  "test_programmable_gate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_programmable_gate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

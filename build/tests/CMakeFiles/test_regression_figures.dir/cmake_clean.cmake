@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_regression_figures.dir/test_regression_figures.cc.o"
+  "CMakeFiles/test_regression_figures.dir/test_regression_figures.cc.o.d"
+  "test_regression_figures"
+  "test_regression_figures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_regression_figures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

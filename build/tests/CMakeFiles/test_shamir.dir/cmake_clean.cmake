@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shamir.dir/test_shamir.cc.o"
+  "CMakeFiles/test_shamir.dir/test_shamir.cc.o.d"
+  "test_shamir"
+  "test_shamir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shamir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

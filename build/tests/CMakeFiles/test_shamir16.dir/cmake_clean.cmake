@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shamir16.dir/test_shamir16.cc.o"
+  "CMakeFiles/test_shamir16.dir/test_shamir16.cc.o.d"
+  "test_shamir16"
+  "test_shamir16.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shamir16.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_share_store.dir/test_share_store.cc.o"
+  "CMakeFiles/test_share_store.dir/test_share_store.cc.o.d"
+  "test_share_store"
+  "test_share_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_share_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shift_register.dir/test_shift_register.cc.o"
+  "CMakeFiles/test_shift_register.dir/test_shift_register.cc.o.d"
+  "test_shift_register"
+  "test_shift_register.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shift_register.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_software_baseline.dir/test_software_baseline.cc.o"
+  "CMakeFiles/test_software_baseline.dir/test_software_baseline.cc.o.d"
+  "test_software_baseline"
+  "test_software_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_software_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_targeting.dir/test_targeting.cc.o"
+  "CMakeFiles/test_targeting.dir/test_targeting.cc.o.d"
+  "test_targeting"
+  "test_targeting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_targeting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_weibull.dir/test_weibull.cc.o"
+  "CMakeFiles/test_weibull.dir/test_weibull.cc.o.d"
+  "test_weibull"
+  "test_weibull.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_weibull.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
