@@ -66,6 +66,13 @@ GuardedShare::GuardedShare(std::vector<uint8_t> payload,
 {
 }
 
+GuardedShare::GuardedShare(std::vector<uint8_t> payload,
+                           const fault::FaultyDeviceFactory &factory,
+                           bool destructive, Rng &rng)
+    : guard(factory.fabricate(rng)), store(std::move(payload), destructive)
+{
+}
+
 std::optional<std::vector<uint8_t>>
 GuardedShare::access()
 {

@@ -19,6 +19,7 @@
 #include <optional>
 #include <vector>
 
+#include "fault/faulty_device.h"
 #include "util/rng.h"
 #include "wearout/device.h"
 #include "wearout/population.h"
@@ -127,10 +128,20 @@ class GuardedShare
                  Rng &rng);
 
     /**
+     * Fault-injected fabrication: the guarding switch is drawn from
+     * @p factory 's fault plan (stuck-closed, infant mortality,
+     * glitches, drift). With a null plan this is bit-identical to the
+     * ideal constructor for the same seed.
+     */
+    GuardedShare(std::vector<uint8_t> payload,
+                 const fault::FaultyDeviceFactory &factory, bool destructive,
+                 Rng &rng);
+
+    /**
      * Actuate the switch and, if it still closes, read the store.
      *
      * @return Payload on success; nullopt when the switch has worn out
-     *         or the destructive store was already consumed.
+     *         (or glitched) or the destructive store was consumed.
      */
     std::optional<std::vector<uint8_t>> access();
 
@@ -140,8 +151,14 @@ class GuardedShare
     /** Actuations the switch has absorbed. */
     uint64_t cyclesUsed() const { return guard.cyclesUsed(); }
 
+    /** Whether the guard is fail-short (share readable forever). */
+    bool stuckClosed() const { return guard.stuckClosed(); }
+
+    /** Non-consuming probe: would the next access's actuation close? */
+    bool switchAlive() const { return guard.alive(); }
+
   private:
-    wearout::NemsSwitch guard;
+    fault::FaultyNemsSwitch guard;
     ShareStore store;
 };
 

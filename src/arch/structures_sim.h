@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "fault/faulty_device.h"
 #include "util/rng.h"
 #include "wearout/population.h"
 
@@ -66,6 +67,101 @@ uint64_t sampleSeriesSurvivedAccesses(const wearout::DeviceFactory &factory,
 uint64_t sampleSerialCopiesTotalAccesses(const wearout::DeviceFactory &factory,
                                          size_t n, size_t k, uint64_t copies,
                                          Rng &rng);
+
+/**
+ * Coarse structure condition. Fault injection makes the old binary
+ * dead/alive view insufficient: a structure can be functional yet
+ * compromised (stuck-closed shares) or functional yet eroded (devices
+ * lost but still >= threshold).
+ */
+enum class HealthStatus {
+    Healthy,  ///< every device still closes
+    Degraded, ///< devices lost, but the structure still works
+    Dead,     ///< below threshold: the structure no longer conducts
+};
+
+/**
+ * Degraded-but-alive health report for one structure at a probe
+ * access. Produced by sampling a fresh population from a faulty
+ * factory and asking which devices would still close at that access.
+ */
+struct StructureHealth
+{
+    size_t width = 0;       ///< n devices in the structure
+    size_t threshold = 0;   ///< devices required for the structure to work
+    size_t alive = 0;       ///< devices still closing at the probe access
+    size_t stuckClosed = 0; ///< fail-short devices (always counted alive)
+    HealthStatus status = HealthStatus::Dead;
+    /**
+     * Whether the structure can never die: enough fail-short devices
+     * to meet the threshold forever, so the secret behind it outlives
+     * every wearout bound the paper's analyses assume.
+     */
+    bool attackBoundViolated = false;
+};
+
+/**
+ * Sample the health of a k-out-of-n parallel structure at access
+ * @p probeAccess (the structure works while >= k devices close).
+ * 1-of-n parallel structures are the k = 1 case.
+ */
+StructureHealth probeParallelHealth(const fault::FaultyDeviceFactory &factory,
+                                    size_t n, size_t k, uint64_t probeAccess,
+                                    Rng &rng);
+
+/**
+ * Sample the health of an n-device series chain at @p probeAccess:
+ * the chain conducts only while every device closes, so threshold = n.
+ * A stuck-closed device cannot break a series chain (it conducts);
+ * the chain is unkillable only when every device is stuck.
+ */
+StructureHealth probeSeriesHealth(const fault::FaultyDeviceFactory &factory,
+                                  size_t n, uint64_t probeAccess, Rng &rng);
+
+/** Survived-access sample under fault injection. */
+struct FaultySurvival
+{
+    /** Accesses survived; meaningless when unbounded. */
+    uint64_t accesses = 0;
+    /**
+     * True when >= k devices are stuck closed: the structure never
+     * degrades below threshold and the access bound is gone.
+     */
+    bool unbounded = false;
+    /** Fail-short devices in the sampled population. */
+    size_t stuckDevices = 0;
+};
+
+/**
+ * Fault-injected counterpart of sampleParallelSurvivedAccesses.
+ * Transient glitches are ignored here: they fail individual reads but
+ * do not move the wearout order statistics.
+ */
+FaultySurvival
+sampleFaultyParallelSurvivedAccesses(const fault::FaultyDeviceFactory &factory,
+                                     size_t n, size_t k, Rng &rng);
+
+/** Whole-architecture outcome under fault injection. */
+struct FaultyArchitectureOutcome
+{
+    /** Accesses served before exhaustion (sum over consumed copies). */
+    uint64_t totalAccesses = 0;
+    /** True when some copy never dies (secret retrievable forever). */
+    bool unbounded = false;
+    /** Copies with >= k stuck-closed devices. */
+    size_t stuckDominatedCopies = 0;
+};
+
+/**
+ * Fault-injected counterpart of sampleSerialCopiesTotalAccesses:
+ * copies are consumed serially until one of them turns out to be
+ * unkillable (at which point the architecture serves unbounded
+ * accesses) or all copies die.
+ */
+FaultyArchitectureOutcome
+sampleFaultySerialCopiesOutcome(const fault::FaultyDeviceFactory &factory,
+                                size_t n, size_t k, uint64_t copies,
+                                Rng &rng);
 
 } // namespace lemons::arch
 

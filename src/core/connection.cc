@@ -22,13 +22,22 @@ makeChipSecret(Rng &rng)
 LimitedUseConnection::LimitedUseConnection(
     const Design &design, const wearout::DeviceFactory &factory,
     const std::string &passcode, std::vector<uint8_t> storageKey, Rng &rng)
+    : LimitedUseConnection(
+          design, fault::FaultyDeviceFactory(factory, fault::FaultPlan::none()),
+          passcode, std::move(storageKey), rng)
+{
+}
+
+LimitedUseConnection::LimitedUseConnection(
+    const Design &design, const fault::FaultyDeviceFactory &factory,
+    const std::string &passcode, std::vector<uint8_t> storageKey, Rng &rng)
     : LimitedUseConnection(design, factory, passcode, std::move(storageKey),
                            makeChipSecret(rng), rng)
 {
 }
 
 LimitedUseConnection::LimitedUseConnection(
-    const Design &design, const wearout::DeviceFactory &factory,
+    const Design &design, const fault::FaultyDeviceFactory &factory,
     const std::string &passcode, std::vector<uint8_t> storageKey,
     const std::vector<uint8_t> &chipSecret, Rng &rng)
     : gate(design, factory, chipSecret, rng)

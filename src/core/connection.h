@@ -52,6 +52,16 @@ class LimitedUseConnection
                          std::vector<uint8_t> storageKey, Rng &rng);
 
     /**
+     * Fault-injected provisioning: the gate hardware is fabricated
+     * under @p factory 's fault plan. Bit-identical to the ideal
+     * constructor under a null plan (same seed).
+     */
+    LimitedUseConnection(const Design &design,
+                         const fault::FaultyDeviceFactory &factory,
+                         const std::string &passcode,
+                         std::vector<uint8_t> storageKey, Rng &rng);
+
+    /**
      * Attempt to unlock. Consumes one gate traversal regardless of
      * whether the passcode is right.
      *
@@ -78,6 +88,9 @@ class LimitedUseConnection
     /** Access to the underlying gate (for instrumentation / tests). */
     const LimitedUseGate &hardware() const { return gate; }
 
+    /** Degraded-but-alive condition of the gate hardware. */
+    GateHealth health() const { return gate.health(); }
+
   private:
     LimitedUseGate gate;
     std::vector<uint8_t> wrappedKey;
@@ -86,7 +99,7 @@ class LimitedUseConnection
 
     /** Fabrication-time constructor with the chip secret in hand. */
     LimitedUseConnection(const Design &design,
-                         const wearout::DeviceFactory &factory,
+                         const fault::FaultyDeviceFactory &factory,
                          const std::string &passcode,
                          std::vector<uint8_t> storageKey,
                          const std::vector<uint8_t> &chipSecret, Rng &rng);

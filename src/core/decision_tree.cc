@@ -56,11 +56,34 @@ OtpAnalytics::pathCount() const
 double
 OtpAnalytics::logAdversarySuccess() const
 {
+    return logAdversarySuccessAt(pathSuccess());
+}
+
+double
+OtpAnalytics::pathSuccessWithStuckClosed(double epsilon) const
+{
+    requireArg(epsilon >= 0.0 && epsilon <= 1.0,
+               "OtpAnalytics: stuck-closed rate outside [0, 1]");
+    const wearout::Weibull device(spec.device.alpha, spec.device.beta);
+    const double perSwitch =
+        epsilon + (1.0 - epsilon) * device.reliability(1.0);
+    return std::pow(perSwitch, static_cast<double>(spec.height));
+}
+
+double
+OtpAnalytics::adversarySuccessWithStuckClosed(double epsilon) const
+{
+    return std::exp(
+        logAdversarySuccessAt(pathSuccessWithStuckClosed(epsilon)));
+}
+
+double
+OtpAnalytics::logAdversarySuccessAt(double s) const
+{
     // Eq. 15: sum over x (paths the adversary gets through) of
     //   P(x successes out of n) * P(>= k of those x are the right path)
     // with per-copy traversal success s (Eq. 12) and right-path
     // probability P = 2^-(H-1) (Eq. 11).
-    const double s = pathSuccess();
     const double pRight = 1.0 / pathCount();
     std::vector<double> terms;
     terms.reserve(spec.copies - spec.threshold + 1);

@@ -71,9 +71,27 @@ class OtpAnalytics
     /** log of adversarySuccess, useful when it underflows. */
     double logAdversarySuccess() const;
 
+    /**
+     * Eq. 12 path survival under a stuck-closed rate @p epsilon: each
+     * switch on the path conducts with probability eps + (1-eps)R(1),
+     * because a fail-short switch closes regardless of wearout.
+     */
+    double pathSuccessWithStuckClosed(double epsilon) const;
+
+    /**
+     * Eq. 13-15 with the stuck-closed-adjusted per-copy traversal
+     * success: quantifies how fail-short contacts inflate the
+     * adversary's pad-recovery probability (monotonically
+     * non-decreasing in @p epsilon).
+     */
+    double adversarySuccessWithStuckClosed(double epsilon) const;
+
   private:
     OtpParams spec;
     double logPathSuccessValue; ///< H * log R(1)
+
+    /** Eq. 13-15 body for an arbitrary per-copy success @p s. */
+    double logAdversarySuccessAt(double s) const;
 };
 
 /**

@@ -5,10 +5,17 @@
 
 namespace lemons::core {
 
-LimitedUseGate::LimitedUseGate(const Design &design,
-                               const wearout::DeviceFactory &factory,
-                               std::vector<uint8_t> secret, Rng &rng)
-    : gateDesign(design), secretSize(secret.size())
+namespace {
+
+/**
+ * Shared fabrication body: FactoryT is either the ideal
+ * wearout::DeviceFactory or the fault-injected
+ * fault::FaultyDeviceFactory; GuardedShare has a constructor for each.
+ */
+template <typename FactoryT>
+std::vector<std::vector<arch::GuardedShare>>
+fabricateCopies(const Design &design, const FactoryT &factory,
+                const std::vector<uint8_t> &secret, Rng &rng)
 {
     requireArg(design.feasible, "LimitedUseGate: design is infeasible");
     requireArg(design.width >= 1 && design.width <= 65535,
@@ -18,7 +25,8 @@ LimitedUseGate::LimitedUseGate(const Design &design,
     requireArg(!secret.empty(), "LimitedUseGate: secret must be non-empty");
 
     const shamir::WideScheme scheme(design.threshold, design.width);
-    copyShares.reserve(design.copies);
+    std::vector<std::vector<arch::GuardedShare>> copies;
+    copies.reserve(design.copies);
     for (uint64_t c = 0; c < design.copies; ++c) {
         const std::vector<shamir::WideShare> shares =
             scheme.split(secret, rng);
@@ -30,8 +38,27 @@ LimitedUseGate::LimitedUseGate(const Design &design,
             guarded.emplace_back(share.toBytes(), factory,
                                  /*destructive=*/false, rng);
         }
-        copyShares.push_back(std::move(guarded));
+        copies.push_back(std::move(guarded));
     }
+    return copies;
+}
+
+} // namespace
+
+LimitedUseGate::LimitedUseGate(const Design &design,
+                               const wearout::DeviceFactory &factory,
+                               std::vector<uint8_t> secret, Rng &rng)
+    : gateDesign(design), secretSize(secret.size())
+{
+    copyShares = fabricateCopies(design, factory, secret, rng);
+}
+
+LimitedUseGate::LimitedUseGate(const Design &design,
+                               const fault::FaultyDeviceFactory &factory,
+                               std::vector<uint8_t> secret, Rng &rng)
+    : gateDesign(design), secretSize(secret.size())
+{
+    copyShares = fabricateCopies(design, factory, secret, rng);
 }
 
 std::optional<std::vector<uint8_t>>
@@ -50,6 +77,35 @@ LimitedUseGate::accessCopy(size_t copyIndex)
         return std::nullopt;
     const shamir::WideScheme scheme(gateDesign.threshold, gateDesign.width);
     return scheme.combine(collected, secretSize);
+}
+
+GateHealth
+LimitedUseGate::health() const
+{
+    GateHealth report;
+    report.exhausted = exhausted();
+    report.copiesRemaining = copyShares.size() - currentCopy;
+    for (size_t c = currentCopy; c < copyShares.size(); ++c) {
+        uint64_t stuck = 0;
+        uint64_t alive = 0;
+        for (const arch::GuardedShare &guarded : copyShares[c]) {
+            if (guarded.stuckClosed())
+                ++stuck;
+            if (guarded.switchAlive())
+                ++alive;
+        }
+        if (c == currentCopy) {
+            report.activeAliveShares = alive;
+            report.activeStuckShares = stuck;
+            report.degraded = alive < gateDesign.width &&
+                              alive >= gateDesign.threshold;
+        }
+        // A stuck-dominated copy anywhere ahead means the gate will
+        // eventually serve accesses forever.
+        if (stuck >= gateDesign.threshold)
+            report.attackBoundViolated = true;
+    }
+    return report;
 }
 
 std::optional<std::vector<uint8_t>>

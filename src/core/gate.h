@@ -23,10 +23,37 @@
 
 #include "arch/share_store.h"
 #include "core/design_solver.h"
+#include "fault/faulty_device.h"
 #include "util/rng.h"
 #include "wearout/population.h"
 
 namespace lemons::core {
+
+/**
+ * Degraded-but-alive condition of a gate. Binary dead/alive hides the
+ * two states fault injection cares about: a gate eroded below full
+ * redundancy but still serving, and a gate whose attack bound is gone
+ * because enough fail-short shares survive forever.
+ */
+struct GateHealth
+{
+    /** No copy can reconstruct the secret any more. */
+    bool exhausted = false;
+    /** The active copy lost shares but still meets its threshold. */
+    bool degraded = false;
+    /** Copies not yet retired (including the active one). */
+    uint64_t copiesRemaining = 0;
+    /** Shares of the active copy whose switch would still close. */
+    uint64_t activeAliveShares = 0;
+    /** Fail-short shares of the active copy. */
+    uint64_t activeStuckShares = 0;
+    /**
+     * Whether some remaining copy holds >= threshold stuck-closed
+     * shares: the secret will stay reconstructible forever, so the
+     * paper's access upper bound no longer holds.
+     */
+    bool attackBoundViolated = false;
+};
 
 /**
  * Hardware-enforced limited-use access to a secret.
@@ -50,6 +77,15 @@ class LimitedUseGate
                    std::vector<uint8_t> secret, Rng &rng);
 
     /**
+     * Fault-injected fabrication: every guarding switch is drawn from
+     * @p factory 's fault plan. Bit-identical to the ideal constructor
+     * under a null plan (same seed).
+     */
+    LimitedUseGate(const Design &design,
+                   const fault::FaultyDeviceFactory &factory,
+                   std::vector<uint8_t> secret, Rng &rng);
+
+    /**
      * One traversal of the gate: actuates every switch in the current
      * copy, reconstructs the secret from >= k surviving shares, and
      * falls through to the next copy when the current one has worn
@@ -67,6 +103,13 @@ class LimitedUseGate
 
     /** Whether the secret is still retrievable at all. */
     bool exhausted() const { return currentCopy >= copyShares.size(); }
+
+    /**
+     * Non-consuming health probe: reports the active copy's share
+     * attrition and whether any remaining copy is stuck-closed-
+     * dominated (attack bound gone). Costs no gate access.
+     */
+    GateHealth health() const;
 
     /** The design this gate was fabricated from. */
     const Design &design() const { return gateDesign; }

@@ -8,6 +8,17 @@ MWayReplication::MWayReplication(uint64_t mFactor, const Design &design,
                                  const wearout::DeviceFactory &factory,
                                  const std::string &initialPasscode,
                                  std::vector<uint8_t> storageKey, Rng &rng)
+    : MWayReplication(
+          mFactor, design,
+          fault::FaultyDeviceFactory(factory, fault::FaultPlan::none()),
+          initialPasscode, std::move(storageKey), rng)
+{
+}
+
+MWayReplication::MWayReplication(uint64_t mFactor, const Design &design,
+                                 const fault::FaultyDeviceFactory &factory,
+                                 const std::string &initialPasscode,
+                                 std::vector<uint8_t> storageKey, Rng &rng)
     : m(mFactor), moduleDesign(design), deviceFactory(factory),
       fabricationRng(rng.split(0x4d574159)) // "MWAY"
 {
@@ -52,6 +63,17 @@ bool
 MWayReplication::exhausted() const
 {
     return dead || (current->bricked() && active + 1 >= m);
+}
+
+MWayHealth
+MWayReplication::health() const
+{
+    MWayHealth report;
+    report.exhausted = exhausted();
+    report.activeModule = active;
+    report.modulesRemaining = m - active;
+    report.activeGate = current->health();
+    return report;
 }
 
 uint64_t

@@ -25,6 +25,19 @@
 
 namespace lemons::core {
 
+/** Degraded-but-alive condition of an M-way replicated system. */
+struct MWayHealth
+{
+    /** Every module consumed or abandoned. */
+    bool exhausted = false;
+    /** Index of the active module. */
+    uint64_t activeModule = 0;
+    /** Modules not yet consumed or abandoned (including the active). */
+    uint64_t modulesRemaining = 0;
+    /** Gate condition of the active module. */
+    GateHealth activeGate{};
+};
+
 /**
  * M serially-consumed limited-use connection modules sharing one
  * storage key.
@@ -46,6 +59,16 @@ class MWayReplication
      */
     MWayReplication(uint64_t m, const Design &design,
                     const wearout::DeviceFactory &factory,
+                    const std::string &initialPasscode,
+                    std::vector<uint8_t> storageKey, Rng &rng);
+
+    /**
+     * Fault-injected fabrication: every module (including ones
+     * provisioned lazily at migration) is built under @p factory 's
+     * fault plan.
+     */
+    MWayReplication(uint64_t m, const Design &design,
+                    const fault::FaultyDeviceFactory &factory,
                     const std::string &initialPasscode,
                     std::vector<uint8_t> storageKey, Rng &rng);
 
@@ -79,6 +102,13 @@ class MWayReplication
     bool exhausted() const;
 
     /**
+     * Degraded-but-alive report: module attrition plus the active
+     * module's gate condition (share erosion, stuck-closed
+     * compromise). Costs no accesses.
+     */
+    MWayHealth health() const;
+
+    /**
      * Aggregate daily usage supported: M times the single-module
      * bound, the paper's headline scaling (e.g. 50 -> 500 per day at
      * M = 10).
@@ -88,7 +118,7 @@ class MWayReplication
   private:
     uint64_t m;
     Design moduleDesign;
-    wearout::DeviceFactory deviceFactory;
+    fault::FaultyDeviceFactory deviceFactory;
     Rng fabricationRng;
     std::unique_ptr<LimitedUseConnection> current;
     uint64_t active = 0;

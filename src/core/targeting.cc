@@ -68,6 +68,13 @@ LaunchStation::LaunchStation(const Design &design,
 {
 }
 
+LaunchStation::LaunchStation(const Design &design,
+                             const fault::FaultyDeviceFactory &factory,
+                             std::vector<uint8_t> missionKey, Rng &rng)
+    : gate(design, factory, std::move(missionKey), rng)
+{
+}
+
 std::optional<std::string>
 LaunchStation::executeCommand(const TargetingCommand &cmd)
 {

@@ -69,6 +69,16 @@ class LaunchStation
                   std::vector<uint8_t> missionKey, Rng &rng);
 
     /**
+     * Fault-injected deployment: the mission-key gate is fabricated
+     * under @p factory 's fault plan — the scenario the paper's strict
+     * degradation criteria care most about, since a stuck-closed gate
+     * would keep decrypting targeting commands past the mission bound.
+     */
+    LaunchStation(const Design &design,
+                  const fault::FaultyDeviceFactory &factory,
+                  std::vector<uint8_t> missionKey, Rng &rng);
+
+    /**
      * Decrypt, authenticate, and "execute" a command. Consumes one
      * gate traversal regardless of authenticity.
      *
@@ -86,6 +96,9 @@ class LaunchStation
 
     /** Whether the station's key hardware has worn out. */
     bool decommissioned() const { return gate.exhausted(); }
+
+    /** Degraded-but-alive condition of the key hardware. */
+    GateHealth health() const { return gate.health(); }
 
   private:
     LimitedUseGate gate;

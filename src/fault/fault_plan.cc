@@ -1,0 +1,49 @@
+#include "fault/fault_plan.h"
+
+#include "util/require.h"
+
+namespace lemons::fault {
+
+FaultPlan
+FaultPlan::stuckClosed(double epsilon)
+{
+    FaultPlan plan;
+    plan.stuckClosedRate = epsilon;
+    plan.validate();
+    return plan;
+}
+
+FaultPlan
+FaultPlan::infantMortality(double w)
+{
+    FaultPlan plan;
+    plan.infantFraction = w;
+    plan.validate();
+    return plan;
+}
+
+bool
+FaultPlan::isNull() const
+{
+    return stuckClosedRate == 0.0 && infantFraction == 0.0 &&
+           glitchRate == 0.0 && alphaDriftSigma == 0.0 &&
+           betaDriftSigma == 0.0;
+}
+
+void
+FaultPlan::validate() const
+{
+    requireArg(stuckClosedRate >= 0.0 && stuckClosedRate <= 1.0,
+               "FaultPlan: stuckClosedRate outside [0, 1]");
+    requireArg(infantFraction >= 0.0 && infantFraction <= 1.0,
+               "FaultPlan: infantFraction outside [0, 1]");
+    requireArg(infantScaleFraction > 0.0,
+               "FaultPlan: infantScaleFraction must be positive");
+    requireArg(infantShape > 0.0, "FaultPlan: infantShape must be positive");
+    requireArg(glitchRate >= 0.0 && glitchRate <= 1.0,
+               "FaultPlan: glitchRate outside [0, 1]");
+    requireArg(alphaDriftSigma >= 0.0 && betaDriftSigma >= 0.0,
+               "FaultPlan: drift sigmas must be >= 0");
+}
+
+} // namespace lemons::fault

@@ -1,6 +1,9 @@
 #include "sim/monte_carlo.h"
 
 #include <algorithm>
+#include <cmath>
+#include <exception>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -39,19 +42,31 @@ MonteCarlo::runSamples(const std::function<double(Rng &)> &metric) const
     return samples;
 }
 
-std::vector<double>
-MonteCarlo::runSamplesParallel(const std::function<double(Rng &)> &metric,
-                               unsigned threads) const
+unsigned
+MonteCarlo::resolveThreads(unsigned threads) const
 {
     if (threads == 0) {
         threads = std::max(1u, std::thread::hardware_concurrency());
     }
-    threads = static_cast<unsigned>(
-        std::min<uint64_t>(threads, trialCount));
+    return static_cast<unsigned>(std::min<uint64_t>(threads, trialCount));
+}
+
+std::vector<double>
+MonteCarlo::runSamplesParallel(const std::function<double(Rng &)> &metric,
+                               unsigned threads) const
+{
+    threads = resolveThreads(threads);
 
     const Rng parent(masterSeed);
     std::vector<double> samples(trialCount);
     std::vector<std::thread> workers;
+    // A metric exception must not escape the worker (that would call
+    // std::terminate). Each worker captures the exception of its
+    // lowest-indexed throwing trial and stops; after the join, the
+    // globally lowest-indexed one is rethrown on this thread so the
+    // behaviour is deterministic at any thread count.
+    std::vector<std::exception_ptr> workerError(threads);
+    std::vector<uint64_t> workerErrorTrial(threads, trialCount);
     workers.reserve(threads);
     for (unsigned w = 0; w < threads; ++w) {
         workers.emplace_back([&, w] {
@@ -60,13 +75,112 @@ MonteCarlo::runSamplesParallel(const std::function<double(Rng &)> &metric,
             // (seed, i), so the ordering is irrelevant.
             for (uint64_t i = w; i < trialCount; i += threads) {
                 Rng rng = parent.split(i);
-                samples[i] = metric(rng);
+                try {
+                    samples[i] = metric(rng);
+                } catch (...) {
+                    workerError[w] = std::current_exception();
+                    workerErrorTrial[w] = i;
+                    return;
+                }
             }
         });
     }
     for (auto &worker : workers)
         worker.join();
+
+    uint64_t firstFailed = trialCount;
+    std::exception_ptr firstError;
+    for (unsigned w = 0; w < threads; ++w) {
+        if (workerError[w] && workerErrorTrial[w] < firstFailed) {
+            firstFailed = workerErrorTrial[w];
+            firstError = workerError[w];
+        }
+    }
+    if (firstError)
+        std::rethrow_exception(firstError);
     return samples;
+}
+
+TrialReport
+MonteCarlo::runSamplesReport(
+    const std::function<double(Rng &, uint64_t)> &metric,
+    unsigned threads) const
+{
+    threads = resolveThreads(threads);
+
+    const Rng parent(masterSeed);
+    TrialReport report;
+    report.trials = trialCount;
+    report.samples.assign(trialCount,
+                          std::numeric_limits<double>::quiet_NaN());
+
+    struct WorkerLog
+    {
+        std::vector<uint64_t> failed;
+        std::vector<std::string> messages; // parallel to failed
+        std::vector<uint64_t> nonFinite;
+    };
+    std::vector<WorkerLog> logs(threads);
+
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (unsigned w = 0; w < threads; ++w) {
+        workers.emplace_back([&, w] {
+            WorkerLog &log = logs[w];
+            for (uint64_t i = w; i < trialCount; i += threads) {
+                Rng rng = parent.split(i);
+                try {
+                    const double sample = metric(rng, i);
+                    report.samples[i] = sample;
+                    if (!std::isfinite(sample))
+                        log.nonFinite.push_back(i);
+                } catch (const std::exception &e) {
+                    log.failed.push_back(i);
+                    log.messages.emplace_back(e.what());
+                } catch (...) {
+                    log.failed.push_back(i);
+                    log.messages.emplace_back("unknown exception");
+                }
+            }
+        });
+    }
+    for (auto &worker : workers)
+        worker.join();
+
+    // Merge per-worker logs in trial order so the report (including
+    // firstError) is deterministic at any thread count.
+    for (const WorkerLog &log : logs) {
+        report.failedTrials.insert(report.failedTrials.end(),
+                                   log.failed.begin(), log.failed.end());
+        report.nonFiniteTrials.insert(report.nonFiniteTrials.end(),
+                                      log.nonFinite.begin(),
+                                      log.nonFinite.end());
+    }
+    std::sort(report.failedTrials.begin(), report.failedTrials.end());
+    std::sort(report.nonFiniteTrials.begin(), report.nonFiniteTrials.end());
+    if (!report.failedTrials.empty()) {
+        const uint64_t first = report.failedTrials.front();
+        for (const WorkerLog &log : logs) {
+            for (size_t j = 0; j < log.failed.size(); ++j) {
+                if (log.failed[j] == first)
+                    report.firstError = log.messages[j];
+            }
+        }
+    }
+
+    // RunningStats itself quarantines non-finite input, which also
+    // covers the NaN placeholders of failed trials.
+    for (double sample : report.samples)
+        report.stats.add(sample);
+    return report;
+}
+
+TrialReport
+MonteCarlo::runSamplesReport(const std::function<double(Rng &)> &metric,
+                             unsigned threads) const
+{
+    return runSamplesReport(
+        [&metric](Rng &rng, uint64_t) { return metric(rng); }, threads);
 }
 
 ProportionInterval

@@ -13,12 +13,61 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "util/rng.h"
 #include "util/stats.h"
 
 namespace lemons::sim {
+
+/**
+ * Outcome of a fault-tolerant Monte Carlo run. One bad trial out of a
+ * million yields a degraded-but-complete report instead of a crash:
+ * throwing trials are recorded (index + first error message) and
+ * non-finite samples are quarantined rather than poisoning the
+ * aggregate statistics.
+ */
+struct TrialReport
+{
+    /**
+     * One sample per trial, in trial order. Failed (throwing) trials
+     * hold NaN; quarantined trials hold the non-finite value the
+     * metric actually returned.
+     */
+    std::vector<double> samples;
+
+    /** Indices of trials whose metric threw, ascending. */
+    std::vector<uint64_t> failedTrials;
+
+    /** Indices of trials whose metric returned NaN/Inf, ascending. */
+    std::vector<uint64_t> nonFiniteTrials;
+
+    /**
+     * what() of the exception from the lowest-indexed failed trial
+     * (deterministic regardless of thread interleaving); empty when no
+     * trial failed.
+     */
+    std::string firstError;
+
+    /** Streaming statistics over clean (finite, non-throwing) samples. */
+    RunningStats stats;
+
+    /** Total trials attempted. */
+    uint64_t trials = 0;
+
+    /** Whether every trial produced a clean sample. */
+    bool complete() const
+    {
+        return failedTrials.empty() && nonFiniteTrials.empty();
+    }
+
+    /** Trials that produced a clean sample. */
+    uint64_t cleanTrials() const
+    {
+        return trials - failedTrials.size() - nonFiniteTrials.size();
+    }
+};
 
 /**
  * Monte Carlo driver configured with a master seed and trial count.
@@ -63,6 +112,11 @@ class MonteCarlo
      * call concurrently from multiple threads (pure functions of the
      * Rng are).
      *
+     * An exception thrown by the metric is captured on the worker via
+     * std::exception_ptr and rethrown on the calling thread after all
+     * workers join (the exception of the lowest-indexed throwing trial,
+     * for determinism) — it does not std::terminate the process.
+     *
      * @param metric Per-trial metric.
      * @param threads Worker count (>= 1; 0 = hardware concurrency).
      */
@@ -70,9 +124,30 @@ class MonteCarlo
     runSamplesParallel(const std::function<double(Rng &)> &metric,
                        unsigned threads = 0) const;
 
+    /**
+     * Fault-tolerant multi-threaded engine: like runSamplesParallel
+     * but throwing trials and non-finite samples are captured into a
+     * TrialReport instead of aborting the run. The metric receives the
+     * trial index alongside its Rng.
+     *
+     * @param metric Per-trial metric (rng, trial index).
+     * @param threads Worker count (>= 1; 0 = hardware concurrency).
+     */
+    TrialReport
+    runSamplesReport(const std::function<double(Rng &, uint64_t)> &metric,
+                     unsigned threads = 0) const;
+
+    /** Convenience overload for index-oblivious metrics. */
+    TrialReport
+    runSamplesReport(const std::function<double(Rng &)> &metric,
+                     unsigned threads = 0) const;
+
   private:
     uint64_t masterSeed;
     uint64_t trialCount;
+
+    /** Clamp the requested worker count to [1, trials]. */
+    unsigned resolveThreads(unsigned threads) const;
 };
 
 } // namespace lemons::sim

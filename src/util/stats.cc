@@ -11,6 +11,10 @@ namespace lemons {
 void
 RunningStats::add(double x)
 {
+    if (!std::isfinite(x)) {
+        ++nonFinite;
+        return;
+    }
     if (n == 0) {
         minValue = x;
         maxValue = x;

@@ -14,15 +14,22 @@ namespace lemons {
 /**
  * Streaming mean / variance / extrema accumulator (Welford's method).
  * Constant memory; suitable for millions of Monte Carlo trials.
+ *
+ * Non-finite observations (NaN, +/-Inf) are quarantined: they are
+ * counted in nonFiniteCount() but excluded from every aggregate, so a
+ * single poisoned trial cannot turn the mean of a million-trial run
+ * into NaN.
  */
 class RunningStats
 {
   public:
-    /** Add one observation. */
+    /** Add one observation; non-finite values are quarantined. */
     void add(double x);
 
-    /** Number of observations so far. */
+    /** Number of finite observations accumulated so far. */
     uint64_t count() const { return n; }
+    /** Number of non-finite observations excluded so far. */
+    uint64_t nonFiniteCount() const { return nonFinite; }
     /** Sample mean; 0 when empty. */
     double mean() const { return runningMean; }
     /** Unbiased sample variance; 0 with fewer than two samples. */
@@ -38,6 +45,7 @@ class RunningStats
 
   private:
     uint64_t n = 0;
+    uint64_t nonFinite = 0;
     double runningMean = 0.0;
     double m2 = 0.0;
     double minValue;

@@ -22,16 +22,22 @@ DeviceFactory::nominalModel() const
     return Weibull(nominalSpec.alpha, nominalSpec.beta);
 }
 
+DeviceSpec
+DeviceFactory::sampleDeviceSpec(Rng &rng) const
+{
+    DeviceSpec spec = nominalSpec;
+    if (lotVariation.alphaSigma > 0.0)
+        spec.alpha *= std::exp(lotVariation.alphaSigma * rng.nextGaussian());
+    if (lotVariation.betaSigma > 0.0)
+        spec.beta *= std::exp(lotVariation.betaSigma * rng.nextGaussian());
+    return spec;
+}
+
 double
 DeviceFactory::sampleLifetime(Rng &rng) const
 {
-    double alpha = nominalSpec.alpha;
-    double beta = nominalSpec.beta;
-    if (lotVariation.alphaSigma > 0.0)
-        alpha *= std::exp(lotVariation.alphaSigma * rng.nextGaussian());
-    if (lotVariation.betaSigma > 0.0)
-        beta *= std::exp(lotVariation.betaSigma * rng.nextGaussian());
-    return Weibull(alpha, beta).sample(rng);
+    const DeviceSpec spec = sampleDeviceSpec(rng);
+    return Weibull(spec.alpha, spec.beta).sample(rng);
 }
 
 NemsSwitch

@@ -54,6 +54,15 @@ class DeviceFactory
     /** Nominal wearout model (no lot variation applied). */
     Weibull nominalModel() const;
 
+    /**
+     * Draw one device's lot-perturbed (alpha, beta). This is the
+     * fabrication-time half of sampleLifetime, split out so fault
+     * injection (fault::FaultyDeviceFactory) can layer per-device
+     * drift and fault modes on the same lot draw without duplicating
+     * the lognormal perturbation logic.
+     */
+    DeviceSpec sampleDeviceSpec(Rng &rng) const;
+
     /** Fabricate one switch. */
     NemsSwitch fabricate(Rng &rng) const;
 

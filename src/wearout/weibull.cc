@@ -92,8 +92,15 @@ Weibull::lifetimeVariance() const
 double
 Weibull::sample(Rng &rng) const
 {
+    return sampleFromUniform(rng.nextDoubleOpenLow());
+}
+
+double
+Weibull::sampleFromUniform(double u) const
+{
     // Inverse-CDF sampling: T = alpha * (-ln U)^(1/beta), U in (0, 1].
-    const double u = rng.nextDoubleOpenLow();
+    requireArg(u > 0.0 && u <= 1.0,
+               "Weibull::sampleFromUniform: u outside (0, 1]");
     return scale * std::pow(-std::log(u), 1.0 / shape);
 }
 

@@ -70,6 +70,14 @@ class Weibull
     /** Draw one time-to-failure sample. */
     double sample(Rng &rng) const;
 
+    /**
+     * Inverse-CDF transform of a caller-supplied uniform @p u in
+     * (0, 1]: sample(rng) == sampleFromUniform(rng.nextDoubleOpenLow()).
+     * Lets fault injection share one uniform across candidate
+     * distributions (common-random-numbers coupling).
+     */
+    double sampleFromUniform(double u) const;
+
     /** Draw @p count iid samples. */
     std::vector<double> sampleMany(Rng &rng, size_t count) const;
 

@@ -135,6 +135,76 @@ TEST(HarshEnvironmentSwitch, SampledLifetimeConstructor)
     EXPECT_FALSE(sw.failed());
 }
 
+TEST(EnvironmentModel, CyclesPerActuationCapsAtReciprocalFloor)
+{
+    // At the derating floor one actuation costs exactly 1 / minFactor
+    // reference cycles — the cap that keeps extreme temperatures from
+    // underflowing into "free" infinite wear.
+    const EnvironmentModel model(25.0, 201.9, 1e-6);
+    EXPECT_DOUBLE_EQ(model.cyclesPerActuation(1e6), 1e6);
+    EXPECT_DOUBLE_EQ(model.cyclesPerActuation(5000.0), 1e6);
+
+    const EnvironmentModel looseFloor(25.0, 201.9, 0.25);
+    EXPECT_DOUBLE_EQ(looseFloor.cyclesPerActuation(1e6), 4.0);
+}
+
+TEST(HarshEnvironmentSwitch, FloorTemperatureDestroysLongLivedSwitch)
+{
+    // Even a 100,000-cycle device dies on its very first actuation at a
+    // floor-factor temperature: one hot cycle burns 10^6 reference
+    // cycles of budget.
+    const EnvironmentModel model(25.0, 201.9, 1e-6);
+    HarshEnvironmentSwitch sw(1e5, model);
+    EXPECT_FALSE(sw.actuateAt(1e6));
+    EXPECT_TRUE(sw.failed());
+    EXPECT_GE(sw.cyclesConsumed(), sw.lifetime());
+}
+
+TEST(HarshEnvironmentSwitch, ExactIntegerBudgetBoundaryAtReference)
+{
+    // At the reference temperature the budget is consumed in exact
+    // unit steps: a lifetime-N switch closes exactly N times, and the
+    // (N+1)-th actuation fails — no off-by-one drift from the derating
+    // arithmetic.
+    for (int n : {1, 2, 7, 100}) {
+        HarshEnvironmentSwitch sw(static_cast<double>(n),
+                                  EnvironmentModel{});
+        for (int i = 0; i < n; ++i)
+            ASSERT_TRUE(sw.actuateAt(25.0)) << "n = " << n << " i = " << i;
+        EXPECT_FALSE(sw.actuateAt(25.0)) << "n = " << n;
+        EXPECT_TRUE(sw.failed());
+        EXPECT_DOUBLE_EQ(sw.cyclesConsumed(),
+                         static_cast<double>(n) + 1.0);
+    }
+
+    // A zero-lifetime switch never closes.
+    HarshEnvironmentSwitch dead(0.0, EnvironmentModel{});
+    EXPECT_FALSE(dead.actuateAt(25.0));
+    EXPECT_TRUE(dead.failed());
+}
+
+TEST(HarshEnvironmentSwitch, NoScheduleBeatsTheReferenceBudget)
+{
+    // Deterministic adversarial schedules (not just random ones): every
+    // temperature profile yields at most floor(budget) successes,
+    // because each actuation consumes >= 1 reference cycle.
+    const double schedules[][4] = {
+        {25.0, 25.0, 25.0, 25.0},       // all reference
+        {-273.0, -196.0, -40.0, 0.0},   // deep cold
+        {25.0, -200.0, 25.0, -200.0},   // alternating cold
+        {24.999, 25.0, 24.0, -1.0},     // just below reference
+    };
+    for (const auto &schedule : schedules) {
+        HarshEnvironmentSwitch sw(6.5, EnvironmentModel{});
+        int successes = 0;
+        for (int cycle = 0; !sw.failed(); ++cycle) {
+            if (sw.actuateAt(schedule[cycle % 4]))
+                ++successes;
+        }
+        EXPECT_EQ(successes, 6); // floor(6.5): cold never adds cycles
+    }
+}
+
 TEST(HarshEnvironmentSwitch, AttackerCannotBeatTheSecurityBound)
 {
     // The key asymmetry: over any temperature schedule the attacker

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "util/stats.h"
 
@@ -56,6 +57,36 @@ TEST(RunningStats, NumericallyStableForShiftedData)
         s.add(offset + (i % 2 == 0 ? 1.0 : -1.0));
     EXPECT_NEAR(s.mean(), offset, 1e-3);
     EXPECT_NEAR(s.variance(), 1.001, 0.01);
+}
+
+TEST(RunningStats, QuarantinesNonFiniteObservations)
+{
+    RunningStats s;
+    s.add(1.0);
+    s.add(std::numeric_limits<double>::quiet_NaN());
+    s.add(3.0);
+    s.add(std::numeric_limits<double>::infinity());
+    s.add(-std::numeric_limits<double>::infinity());
+
+    // The aggregates see only the finite samples...
+    EXPECT_EQ(s.count(), 2u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 3.0);
+    EXPECT_TRUE(std::isfinite(s.variance()));
+    // ...but the exclusions are not silent.
+    EXPECT_EQ(s.nonFiniteCount(), 3u);
+}
+
+TEST(RunningStats, AllNonFiniteLeavesAccumulatorEmpty)
+{
+    RunningStats s;
+    s.add(std::numeric_limits<double>::quiet_NaN());
+    s.add(std::numeric_limits<double>::infinity());
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.nonFiniteCount(), 2u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
 }
 
 TEST(Quantile, MedianOfOddSet)
