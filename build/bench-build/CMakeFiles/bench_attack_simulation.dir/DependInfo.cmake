@@ -15,6 +15,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/core/CMakeFiles/lemons_core.dir/DependInfo.cmake"
   "/root/repo/build/src/arch/CMakeFiles/lemons_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/lemons_fault.dir/DependInfo.cmake"
   "/root/repo/build/src/sim/CMakeFiles/lemons_sim.dir/DependInfo.cmake"
   "/root/repo/build/src/crypto/CMakeFiles/lemons_crypto.dir/DependInfo.cmake"
   "/root/repo/build/src/shamir/CMakeFiles/lemons_shamir.dir/DependInfo.cmake"

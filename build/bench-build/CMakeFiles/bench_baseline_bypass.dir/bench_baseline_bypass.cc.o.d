@@ -164,6 +164,9 @@ bench-build/CMakeFiles/bench_baseline_bypass.dir/bench_baseline_bypass.cc.o: \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/../core/gate.h \
  /root/repo/src/core/../arch/share_store.h \
+ /root/repo/src/core/../fault/faulty_device.h \
+ /root/repo/src/core/../fault/fault_plan.h \
+ /root/repo/src/core/../wearout/mixture.h \
  /root/repo/src/core/../wearout/population.h \
  /root/repo/src/core/../core/software_baseline.h \
  /root/repo/src/core/../util/table.h

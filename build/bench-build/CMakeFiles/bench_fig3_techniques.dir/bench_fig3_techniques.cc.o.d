@@ -177,7 +177,10 @@ bench-build/CMakeFiles/bench_fig3_techniques.dir/bench_fig3_techniques.cc.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/core/../wearout/population.h \
+ /root/repo/src/core/../fault/faulty_device.h \
+ /root/repo/src/core/../fault/fault_plan.h \
  /root/repo/src/core/../wearout/device.h \
+ /root/repo/src/core/../wearout/mixture.h \
+ /root/repo/src/core/../wearout/population.h \
  /root/repo/src/core/../sim/monte_carlo.h \
  /root/repo/src/core/../util/stats.h /root/repo/src/core/../util/table.h

@@ -189,9 +189,12 @@ bench-build/CMakeFiles/bench_mc_engine.dir/bench_mc_engine.cc.o: \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
+ /root/repo/src/core/../fault/faulty_device.h \
+ /root/repo/src/core/../fault/fault_plan.h \
  /root/repo/src/core/../util/rng.h \
- /root/repo/src/core/../wearout/population.h \
  /root/repo/src/core/../wearout/device.h \
  /root/repo/src/core/../wearout/weibull.h \
+ /root/repo/src/core/../wearout/mixture.h \
+ /root/repo/src/core/../wearout/population.h \
  /root/repo/src/core/../sim/monte_carlo.h \
  /root/repo/src/core/../util/stats.h

@@ -206,5 +206,8 @@ bench-build/CMakeFiles/bench_mway_replication.dir/bench_mway_replication.cc.o: \
  /root/repo/src/core/../core/connection.h \
  /root/repo/src/core/../core/gate.h \
  /root/repo/src/core/../arch/share_store.h \
+ /root/repo/src/core/../fault/faulty_device.h \
+ /root/repo/src/core/../fault/fault_plan.h \
+ /root/repo/src/core/../wearout/mixture.h \
  /root/repo/src/core/../wearout/population.h \
  /root/repo/src/core/../util/table.h

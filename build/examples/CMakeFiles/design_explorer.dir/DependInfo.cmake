@@ -22,6 +22,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/gf/CMakeFiles/lemons_gf.dir/DependInfo.cmake"
   "/root/repo/build/src/wearout/CMakeFiles/lemons_wearout.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/lemons_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/lemons_fault.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -165,5 +165,8 @@ examples/CMakeFiles/field_provisioning.dir/field_provisioning.cpp.o: \
  /usr/include/c++/12/bits/vector.tcc \
  /root/repo/src/core/../core/programmable_gate.h \
  /root/repo/src/core/../arch/share_store.h \
+ /root/repo/src/core/../fault/faulty_device.h \
+ /root/repo/src/core/../fault/fault_plan.h \
+ /root/repo/src/core/../wearout/mixture.h \
  /root/repo/src/core/../wearout/population.h \
  /root/repo/src/core/../crypto/otp.h

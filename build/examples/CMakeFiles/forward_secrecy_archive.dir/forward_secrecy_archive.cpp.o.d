@@ -167,5 +167,8 @@ examples/CMakeFiles/forward_secrecy_archive.dir/forward_secrecy_archive.cpp.o: \
  /root/repo/src/core/../wearout/weibull.h \
  /root/repo/src/core/../core/gate.h \
  /root/repo/src/core/../arch/share_store.h \
+ /root/repo/src/core/../fault/faulty_device.h \
+ /root/repo/src/core/../fault/fault_plan.h \
+ /root/repo/src/core/../wearout/mixture.h \
  /root/repo/src/core/../wearout/population.h \
  /root/repo/src/core/../util/table.h

@@ -163,8 +163,11 @@ examples/CMakeFiles/one_time_pad_messaging.dir/one_time_pad_messaging.cpp.o: \
  /usr/include/c++/12/cstddef /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/core/../arch/share_store.h \
+ /root/repo/src/core/../fault/faulty_device.h \
+ /root/repo/src/core/../fault/fault_plan.h \
  /root/repo/src/core/../util/rng.h \
  /root/repo/src/core/../wearout/device.h \
  /root/repo/src/core/../wearout/weibull.h \
+ /root/repo/src/core/../wearout/mixture.h \
  /root/repo/src/core/../wearout/population.h \
  /root/repo/src/core/../crypto/otp.h /root/repo/src/core/../util/table.h

@@ -164,4 +164,7 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/../core/gate.h \
  /root/repo/src/core/../arch/share_store.h \
+ /root/repo/src/core/../fault/faulty_device.h \
+ /root/repo/src/core/../fault/fault_plan.h \
+ /root/repo/src/core/../wearout/mixture.h \
  /root/repo/src/core/../wearout/population.h

@@ -166,6 +166,9 @@ examples/CMakeFiles/targeting_mission.dir/targeting_mission.cpp.o: \
  /root/repo/src/core/../core/targeting.h \
  /root/repo/src/core/../core/gate.h \
  /root/repo/src/core/../arch/share_store.h \
+ /root/repo/src/core/../fault/faulty_device.h \
+ /root/repo/src/core/../fault/fault_plan.h \
+ /root/repo/src/core/../wearout/mixture.h \
  /root/repo/src/core/../wearout/population.h \
  /root/repo/src/core/../crypto/sha256.h \
  /root/repo/src/core/../util/table.h

@@ -18,6 +18,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fault/CMakeFiles/lemons_fault.dir/DependInfo.cmake"
   "/root/repo/build/src/wearout/CMakeFiles/lemons_wearout.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/lemons_util.dir/DependInfo.cmake"
   )

@@ -64,7 +64,11 @@ src/arch/CMakeFiles/lemons_arch.dir/share_store.cc.o: \
  /usr/include/c++/12/bits/stl_function.h \
  /usr/include/c++/12/backward/binders.h \
  /usr/include/c++/12/bits/range_access.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/arch/../util/rng.h \
- /usr/include/c++/12/array /root/repo/src/arch/../wearout/device.h \
- /root/repo/src/arch/../wearout/weibull.h /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/bits/vector.tcc \
+ /root/repo/src/arch/../fault/faulty_device.h /usr/include/c++/12/cstddef \
+ /root/repo/src/arch/../fault/fault_plan.h \
+ /root/repo/src/arch/../util/rng.h /usr/include/c++/12/array \
+ /root/repo/src/arch/../wearout/device.h \
+ /root/repo/src/arch/../wearout/weibull.h \
+ /root/repo/src/arch/../wearout/mixture.h \
  /root/repo/src/arch/../wearout/population.h

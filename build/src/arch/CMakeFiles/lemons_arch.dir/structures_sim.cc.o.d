@@ -103,11 +103,15 @@ src/arch/CMakeFiles/lemons_arch.dir/structures_sim.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/struct_rwlock.h /usr/include/alloca.h \
  /usr/include/x86_64-linux-gnu/bits/stdlib-bsearch.h \
  /usr/include/x86_64-linux-gnu/bits/stdlib-float.h \
- /usr/include/c++/12/bits/std_abs.h /root/repo/src/arch/../util/rng.h \
- /root/repo/src/arch/../wearout/population.h \
+ /usr/include/c++/12/bits/std_abs.h \
+ /root/repo/src/arch/../fault/faulty_device.h \
+ /root/repo/src/arch/../fault/fault_plan.h \
+ /root/repo/src/arch/../util/rng.h \
  /root/repo/src/arch/../wearout/device.h \
- /root/repo/src/arch/../wearout/weibull.h /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/arch/../wearout/weibull.h \
+ /root/repo/src/arch/../wearout/mixture.h \
+ /root/repo/src/arch/../wearout/population.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/ranges_base.h \
  /usr/include/c++/12/bits/max_size_type.h /usr/include/c++/12/numbers \

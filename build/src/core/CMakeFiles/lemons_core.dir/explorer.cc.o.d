@@ -67,8 +67,11 @@ src/core/CMakeFiles/lemons_core.dir/explorer.cc.o: \
  /usr/include/c++/12/bits/vector.tcc \
  /root/repo/src/core/../core/decision_tree.h /usr/include/c++/12/array \
  /usr/include/c++/12/cstddef /root/repo/src/core/../arch/share_store.h \
+ /root/repo/src/core/../fault/faulty_device.h \
+ /root/repo/src/core/../fault/fault_plan.h \
  /root/repo/src/core/../util/rng.h \
  /root/repo/src/core/../wearout/device.h \
  /root/repo/src/core/../wearout/weibull.h \
+ /root/repo/src/core/../wearout/mixture.h \
  /root/repo/src/core/../wearout/population.h \
  /root/repo/src/core/../core/design_solver.h

@@ -131,9 +131,12 @@ src/core/CMakeFiles/lemons_core.dir/otp_chip.cc.o: \
  /root/repo/src/core/../arch/cost_model.h \
  /root/repo/src/core/../core/decision_tree.h /usr/include/c++/12/array \
  /root/repo/src/core/../arch/share_store.h \
+ /root/repo/src/core/../fault/faulty_device.h \
+ /root/repo/src/core/../fault/fault_plan.h \
  /root/repo/src/core/../util/rng.h \
  /root/repo/src/core/../wearout/device.h \
  /root/repo/src/core/../wearout/weibull.h \
+ /root/repo/src/core/../wearout/mixture.h \
  /root/repo/src/core/../wearout/population.h \
  /root/repo/src/core/../crypto/otp.h \
  /root/repo/src/core/../util/require.h /usr/include/c++/12/sstream \

@@ -317,9 +317,12 @@ tests/CMakeFiles/test_decision_tree.dir/test_decision_tree.cc.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/core/../core/decision_tree.h \
  /root/repo/src/core/../arch/share_store.h \
+ /root/repo/src/core/../fault/faulty_device.h \
+ /root/repo/src/core/../fault/fault_plan.h \
  /root/repo/src/core/../util/rng.h \
  /root/repo/src/core/../wearout/device.h \
  /root/repo/src/core/../wearout/weibull.h \
+ /root/repo/src/core/../wearout/mixture.h \
  /root/repo/src/core/../wearout/population.h \
  /root/repo/src/core/../sim/monte_carlo.h \
  /root/repo/src/core/../util/stats.h /root/repo/src/core/../util/math.h

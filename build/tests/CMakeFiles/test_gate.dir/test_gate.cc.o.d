@@ -299,4 +299,7 @@ tests/CMakeFiles/test_gate.dir/test_gate.cc.o: \
  /root/repo/src/core/../wearout/weibull.h \
  /root/repo/src/core/../core/gate.h \
  /root/repo/src/core/../arch/share_store.h \
+ /root/repo/src/core/../fault/faulty_device.h \
+ /root/repo/src/core/../fault/fault_plan.h \
+ /root/repo/src/core/../wearout/mixture.h \
  /root/repo/src/core/../wearout/population.h

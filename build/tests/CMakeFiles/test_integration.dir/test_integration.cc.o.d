@@ -296,9 +296,12 @@ tests/CMakeFiles/test_integration.dir/test_integration.cc.o: \
  /root/repo/src/core/../core/connection.h \
  /root/repo/src/core/../core/gate.h \
  /root/repo/src/core/../arch/share_store.h \
+ /root/repo/src/core/../fault/faulty_device.h \
+ /root/repo/src/core/../fault/fault_plan.h \
  /root/repo/src/core/../util/rng.h \
  /root/repo/src/core/../wearout/device.h \
  /root/repo/src/core/../wearout/weibull.h \
+ /root/repo/src/core/../wearout/mixture.h \
  /root/repo/src/core/../wearout/population.h \
  /root/repo/src/core/../core/design_solver.h \
  /root/repo/src/core/../core/decision_tree.h \

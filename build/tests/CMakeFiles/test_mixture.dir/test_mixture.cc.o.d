@@ -294,11 +294,13 @@ tests/CMakeFiles/test_mixture.dir/test_mixture.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/core/../arch/structures_sim.h \
+ /root/repo/src/core/../fault/faulty_device.h \
+ /root/repo/src/core/../fault/fault_plan.h \
  /root/repo/src/core/../util/rng.h \
- /root/repo/src/core/../wearout/population.h \
  /root/repo/src/core/../wearout/device.h \
  /root/repo/src/core/../wearout/weibull.h \
+ /root/repo/src/core/../wearout/mixture.h \
+ /root/repo/src/core/../wearout/population.h \
  /root/repo/src/core/../sim/empirical.h \
  /root/repo/src/core/../sim/monte_carlo.h \
- /root/repo/src/core/../util/stats.h \
- /root/repo/src/core/../wearout/mixture.h
+ /root/repo/src/core/../util/stats.h

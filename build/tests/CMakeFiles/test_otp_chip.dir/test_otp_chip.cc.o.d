@@ -297,7 +297,10 @@ tests/CMakeFiles/test_otp_chip.dir/test_otp_chip.cc.o: \
  /root/repo/src/core/../core/otp_chip.h \
  /root/repo/src/core/../core/decision_tree.h \
  /root/repo/src/core/../arch/share_store.h \
+ /root/repo/src/core/../fault/faulty_device.h \
+ /root/repo/src/core/../fault/fault_plan.h \
  /root/repo/src/core/../util/rng.h \
  /root/repo/src/core/../wearout/device.h \
  /root/repo/src/core/../wearout/weibull.h \
+ /root/repo/src/core/../wearout/mixture.h \
  /root/repo/src/core/../wearout/population.h

@@ -294,9 +294,12 @@ tests/CMakeFiles/test_programmable_gate.dir/test_programmable_gate.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/core/../arch/share_store.h \
+ /root/repo/src/core/../fault/faulty_device.h \
+ /root/repo/src/core/../fault/fault_plan.h \
  /root/repo/src/core/../util/rng.h \
  /root/repo/src/core/../wearout/device.h \
  /root/repo/src/core/../wearout/weibull.h \
+ /root/repo/src/core/../wearout/mixture.h \
  /root/repo/src/core/../wearout/population.h \
  /root/repo/src/core/../core/design_solver.h \
  /root/repo/src/core/../core/programmable_gate.h

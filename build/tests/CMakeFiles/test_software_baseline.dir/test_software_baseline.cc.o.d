@@ -299,5 +299,8 @@ tests/CMakeFiles/test_software_baseline.dir/test_software_baseline.cc.o: \
  /root/repo/src/core/../wearout/weibull.h \
  /root/repo/src/core/../core/gate.h \
  /root/repo/src/core/../arch/share_store.h \
+ /root/repo/src/core/../fault/faulty_device.h \
+ /root/repo/src/core/../fault/fault_plan.h \
+ /root/repo/src/core/../wearout/mixture.h \
  /root/repo/src/core/../wearout/population.h \
  /root/repo/src/core/../core/software_baseline.h

@@ -319,7 +319,10 @@ tests/CMakeFiles/test_structures.dir/test_structures.cc.o: \
  /root/repo/src/core/../wearout/weibull.h \
  /root/repo/src/core/../util/rng.h \
  /root/repo/src/core/../arch/structures_sim.h \
- /root/repo/src/core/../wearout/population.h \
+ /root/repo/src/core/../fault/faulty_device.h \
+ /root/repo/src/core/../fault/fault_plan.h \
  /root/repo/src/core/../wearout/device.h \
+ /root/repo/src/core/../wearout/mixture.h \
+ /root/repo/src/core/../wearout/population.h \
  /root/repo/src/core/../sim/monte_carlo.h \
  /root/repo/src/core/../util/stats.h /root/repo/src/core/../util/math.h

@@ -300,5 +300,8 @@ tests/CMakeFiles/test_targeting.dir/test_targeting.cc.o: \
  /root/repo/src/core/../core/targeting.h \
  /root/repo/src/core/../core/gate.h \
  /root/repo/src/core/../arch/share_store.h \
+ /root/repo/src/core/../fault/faulty_device.h \
+ /root/repo/src/core/../fault/fault_plan.h \
+ /root/repo/src/core/../wearout/mixture.h \
  /root/repo/src/core/../wearout/population.h \
  /root/repo/src/core/../crypto/sha256.h
