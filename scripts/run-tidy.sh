@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Run clang-tidy over src/ using the repo's .clang-tidy configuration.
+#
+# Usage: scripts/run-tidy.sh [build-dir] [-- extra clang-tidy args]
+#
+# Needs a compile_commands.json; pass the build dir that has one (the
+# script configures a fresh export-only dir when none is given).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-}"
+shift_count=0
+if [[ -n "$build_dir" && "$build_dir" != "--" ]]; then
+    shift_count=1
+else
+    build_dir="$repo_root/build-tidy"
+fi
+
+tidy_bin="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$tidy_bin" >/dev/null 2>&1; then
+    echo "error: $tidy_bin not found (set CLANG_TIDY to override)" >&2
+    exit 2
+fi
+
+if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+    echo "-- configuring $build_dir for compile_commands.json"
+    cmake -S "$repo_root" -B "$build_dir" \
+        -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+        -DCMAKE_BUILD_TYPE=Release \
+        -DLEMONS_BUILD_BENCH=OFF >/dev/null
+fi
+
+# Everything under src/ except generated files; tests and benches are
+# exercised by the compiler warning gate instead.
+mapfile -t sources < <(find "$repo_root/src" -name '*.cc' | sort)
+
+shift $shift_count || true
+if [[ "${1:-}" == "--" ]]; then
+    shift
+fi
+
+runner="$(command -v run-clang-tidy || true)"
+if [[ -n "$runner" ]]; then
+    "$runner" -clang-tidy-binary "$tidy_bin" -p "$build_dir" -quiet \
+        "$@" "${sources[@]}"
+else
+    status=0
+    for src in "${sources[@]}"; do
+        echo "-- tidy $src"
+        "$tidy_bin" -p "$build_dir" --quiet "$@" "$src" || status=1
+    done
+    exit $status
+fi

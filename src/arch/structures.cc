@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "lint/rules.h"
 #include "util/math.h"
 #include "util/require.h"
 
@@ -10,7 +11,9 @@ namespace lemons::arch {
 SeriesChain::SeriesChain(const wearout::Weibull &dev, size_t n)
     : device(dev), length(n)
 {
-    requireArg(n >= 1, "SeriesChain: need at least one device");
+    // L201: a chain needs at least one device. Fast-path check; a
+    // full lint::Report is only built on violation.
+    lint::checkSeriesOrThrow(n);
 }
 
 double
@@ -41,9 +44,10 @@ ParallelStructure::ParallelStructure(const wearout::Weibull &dev, size_t n,
                                      size_t k)
     : device(dev), width(n), threshold(k)
 {
-    requireArg(n >= 1, "ParallelStructure: need at least one device");
-    requireArg(k >= 1 && k <= n,
-               "ParallelStructure: k must satisfy 1 <= k <= n");
+    // L201/L202: width and threshold bounds. This constructor sits
+    // inside solver search loops, so the clean path must stay
+    // allocation-free (see lint::checkParallelOrThrow).
+    lint::checkParallelOrThrow(n, k);
 }
 
 double

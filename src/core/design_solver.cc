@@ -4,8 +4,8 @@
 #include <cmath>
 
 #include "arch/structures.h"
+#include "lint/rules.h"
 #include "util/math.h"
-#include "util/require.h"
 #include "wearout/weibull.h"
 
 namespace lemons::core {
@@ -19,22 +19,10 @@ constexpr uint64_t unencodedWidthCap = 1'000'000'000'000'000ULL;
 
 DesignSolver::DesignSolver(const DesignRequest &request) : spec(request)
 {
-    requireArg(spec.device.alpha > 0.0 && spec.device.beta > 0.0,
-               "DesignSolver: device parameters must be positive");
-    requireArg(spec.legitimateAccessBound >= 1,
-               "DesignSolver: LAB must be at least 1");
-    requireArg(spec.kFraction >= 0.0 && spec.kFraction < 1.0,
-               "DesignSolver: kFraction must lie in [0, 1)");
-    const auto &c = spec.criteria;
-    requireArg(c.minReliability > 0.0 && c.minReliability < 1.0,
-               "DesignSolver: minReliability must lie in (0, 1)");
-    requireArg(c.maxResidualReliability > 0.0 &&
-                   c.maxResidualReliability < 1.0,
-               "DesignSolver: maxResidualReliability must lie in (0, 1)");
-    if (spec.upperBoundTarget) {
-        requireArg(*spec.upperBoundTarget > spec.legitimateAccessBound,
-                   "DesignSolver: upper-bound target must exceed the LAB");
-    }
+    // Design-rule check (L0xx): bounds on device parameters, LAB,
+    // encoding fraction, and degradation criteria. Throws LintError
+    // (a std::invalid_argument) naming the violated rule.
+    lint::checkDesignOrThrow(spec);
 }
 
 uint64_t

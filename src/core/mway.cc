@@ -1,6 +1,6 @@
 #include "core/mway.h"
 
-#include "util/require.h"
+#include "lint/rules.h"
 
 namespace lemons::core {
 
@@ -22,7 +22,8 @@ MWayReplication::MWayReplication(uint64_t mFactor, const Design &design,
     : m(mFactor), moduleDesign(design), deviceFactory(factory),
       fabricationRng(rng.split(0x4d574159)) // "MWAY"
 {
-    requireArg(mFactor >= 1, "MWayReplication: need at least one module");
+    // L501: at least one module (composition limits, lint/rules.h).
+    lint::checkMwayOrThrow(mFactor);
     // Module 0 is provisioned now; the storage key is then discarded —
     // afterwards it only ever exists transiently during unlock and
     // migration, as it would in a real system.

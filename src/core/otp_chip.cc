@@ -1,6 +1,7 @@
 #include "core/otp_chip.h"
 
 #include "crypto/otp.h"
+#include "lint/rules.h"
 #include "util/require.h"
 
 namespace lemons::core {
@@ -27,6 +28,9 @@ OneTimePadChip::OneTimePadChip(const OtpParams &params, size_t padCount,
                                Rng &rng, PadBook &book)
     : spec(params)
 {
+    // L3xx: tree height, copy/threshold bounds, GF(256) share limit,
+    // device sanity — rejected before any pad is fabricated.
+    lint::checkOtpOrThrow(spec);
     requireArg(padCount >= 1, "OneTimePadChip: need at least one pad");
     requireArg(keyBytes >= 1, "OneTimePadChip: key must be non-empty");
 

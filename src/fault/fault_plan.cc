@@ -1,6 +1,6 @@
 #include "fault/fault_plan.h"
 
-#include "util/require.h"
+#include "lint/rules.h"
 
 namespace lemons::fault {
 
@@ -33,17 +33,9 @@ FaultPlan::isNull() const
 void
 FaultPlan::validate() const
 {
-    requireArg(stuckClosedRate >= 0.0 && stuckClosedRate <= 1.0,
-               "FaultPlan: stuckClosedRate outside [0, 1]");
-    requireArg(infantFraction >= 0.0 && infantFraction <= 1.0,
-               "FaultPlan: infantFraction outside [0, 1]");
-    requireArg(infantScaleFraction > 0.0,
-               "FaultPlan: infantScaleFraction must be positive");
-    requireArg(infantShape > 0.0, "FaultPlan: infantShape must be positive");
-    requireArg(glitchRate >= 0.0 && glitchRate <= 1.0,
-               "FaultPlan: glitchRate outside [0, 1]");
-    requireArg(alphaDriftSigma >= 0.0 && betaDriftSigma >= 0.0,
-               "FaultPlan: drift sigmas must be >= 0");
+    // L4xx range rules; throws LintError (a std::invalid_argument)
+    // naming the violated rule and field.
+    lint::checkFaultPlanOrThrow(*this);
 }
 
 } // namespace lemons::fault

@@ -1,0 +1,159 @@
+#include "lint/diagnostics.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace lemons::lint {
+
+const char *
+severityName(Severity severity)
+{
+    switch (severity) {
+    case Severity::Note:
+        return "note";
+    case Severity::Warning:
+        return "warning";
+    case Severity::Error:
+        return "error";
+    }
+    return "unknown";
+}
+
+const std::vector<CodeInfo> &
+codeCatalog()
+{
+    static const std::vector<CodeInfo> catalog = {
+#define LEMONS_LINT_ROW(id, severity, title)                                 \
+    CodeInfo{Code::id, #id, Severity::severity, title},
+        LEMONS_LINT_CODE_TABLE(LEMONS_LINT_ROW)
+#undef LEMONS_LINT_ROW
+    };
+    return catalog;
+}
+
+const CodeInfo &
+codeInfo(Code code)
+{
+    // Codes enumerate densely from 0 in table order.
+    return codeCatalog()[static_cast<size_t>(code)];
+}
+
+std::string
+Diagnostic::format() const
+{
+    std::ostringstream out;
+    if (!file.empty())
+        out << file << ": ";
+    out << "[" << id() << "] " << severityName(severity) << " " << object;
+    if (!field.empty())
+        out << "." << field;
+    out << ": " << message;
+    if (!hint.empty())
+        out << " (fix: " << hint << ")";
+    return out.str();
+}
+
+void
+Report::add(Code code, std::string object, std::string field,
+            std::string message, std::string hint)
+{
+    Diagnostic d;
+    d.code = code;
+    d.severity = codeInfo(code).severity;
+    d.object = std::move(object);
+    d.field = std::move(field);
+    d.message = std::move(message);
+    d.hint = std::move(hint);
+    items.push_back(std::move(d));
+}
+
+void
+Report::merge(Report other)
+{
+    items.insert(items.end(),
+                 std::make_move_iterator(other.items.begin()),
+                 std::make_move_iterator(other.items.end()));
+}
+
+void
+Report::setFile(const std::string &name)
+{
+    for (Diagnostic &d : items) {
+        if (d.file.empty())
+            d.file = name;
+    }
+}
+
+bool
+Report::hasErrors() const
+{
+    return errorCount() > 0;
+}
+
+size_t
+Report::errorCount() const
+{
+    return static_cast<size_t>(
+        std::count_if(items.begin(), items.end(), [](const Diagnostic &d) {
+            return d.severity == Severity::Error;
+        }));
+}
+
+size_t
+Report::warningCount() const
+{
+    return static_cast<size_t>(
+        std::count_if(items.begin(), items.end(), [](const Diagnostic &d) {
+            return d.severity == Severity::Warning;
+        }));
+}
+
+bool
+Report::hasCode(Code code) const
+{
+    return std::any_of(items.begin(), items.end(), [code](
+                                                       const Diagnostic &d) {
+        return d.code == code;
+    });
+}
+
+std::string
+Report::format() const
+{
+    std::string out;
+    for (const Diagnostic &d : items) {
+        out += d.format();
+        out += '\n';
+    }
+    return out;
+}
+
+namespace {
+
+/** Exception message: the first error line (what() must be concise). */
+std::string
+firstErrorLine(const Report &report)
+{
+    for (const Diagnostic &d : report.diagnostics()) {
+        if (d.severity == Severity::Error)
+            return d.format();
+    }
+    return "lint error";
+}
+
+} // namespace
+
+LintError::LintError(Report reported)
+    : std::invalid_argument(firstErrorLine(reported)),
+      findings(std::move(reported))
+{
+}
+
+void
+throwOnErrors(const Report &report)
+{
+    if (report.hasErrors())
+        throw LintError(report);
+}
+
+} // namespace lemons::lint

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Diagnostic engine for the lemons::lint design-rule checker.
+ *
+ * The paper's security guarantees are statistical statements about
+ * carefully constrained designs (k-out-of-n share structures, positive
+ * Weibull shape/scale, access bounds sized against attack budgets). A
+ * misconfigured spec does not fail loudly — it silently weakens the
+ * architecture, which is exactly the misconfiguration class targeted-
+ * wearout attackers exploit. The lint layer rejects inconsistent
+ * specs *before* any simulation runs.
+ *
+ * Every finding carries a stable diagnostic code (L001, L002, ...)
+ * with a fixed default severity, the object/field it refers to, a
+ * human message, and an optional fix-hint. Codes are append-only: a
+ * published code never changes meaning, so tests, CI greps, and
+ * suppression lists stay valid across releases.
+ *
+ * Code ranges:
+ *   L0xx  DesignRequest / solver inputs
+ *   L1xx  secret-sharing share counts vs. field size
+ *   L2xx  series / parallel structure composition
+ *   L3xx  one-time-pad tree configurations
+ *   L4xx  fault-injection plans
+ *   L5xx  M-way replication composition
+ *   L9xx  spec-file parsing (CLI)
+ */
+
+#ifndef LEMONS_LINT_DIAGNOSTICS_H_
+#define LEMONS_LINT_DIAGNOSTICS_H_
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace lemons::lint {
+
+/** How bad a finding is. Only Error makes checkOrThrow throw. */
+enum class Severity {
+    Note,    ///< informational context
+    Warning, ///< legal but probably not what the designer meant
+    Error,   ///< the spec violates a hard design rule
+};
+
+/** Lowercase severity name ("note" / "warning" / "error"). */
+const char *severityName(Severity severity);
+
+/**
+ * Stable diagnostic codes. X-macro so the enum, the id string, the
+ * default severity, and the one-line title can never drift apart.
+ * Append new codes at the end of their range; never renumber.
+ */
+#define LEMONS_LINT_CODE_TABLE(X)                                            \
+    X(L001, Error, "device alpha must be positive and finite")               \
+    X(L002, Error, "device beta must be positive and finite")                \
+    X(L003, Error, "legitimate access bound must be at least 1")             \
+    X(L004, Error, "kFraction must lie in [0, 1)")                           \
+    X(L005, Error, "minReliability must lie in (0, 1)")                      \
+    X(L006, Error, "maxResidualReliability must lie in (0, 1)")              \
+    X(L007, Error, "degradation criteria inverted: residual ceiling "        \
+                   "must stay below the reliability floor")                  \
+    X(L008, Error, "upper-bound target must exceed the LAB")                 \
+    X(L009, Error, "maxWidth must be at least 1")                            \
+    X(L010, Warning, "attack budget reaches the passcode guess space: "     \
+                     "wearout alone cannot stop brute force")                \
+    X(L011, Warning, "beta <= 1 gives no wearout knee: the degradation "    \
+                     "window never closes sharply")                          \
+    X(L012, Warning, "alpha outside the plausible NEMS-contact range")       \
+    X(L013, Warning, "minReliability unreachable within maxWidth even at "  \
+                     "one access per copy")                                  \
+    X(L101, Error, "share threshold k must be at least 1")                   \
+    X(L102, Error, "share threshold k must not exceed share count n")        \
+    X(L103, Error, "share count exceeds the field's share capacity")         \
+    X(L104, Warning, "k == n leaves no redundancy: one worn-out share "     \
+                     "destroys the secret")                                  \
+    X(L105, Error, "unsupported share field width (use 8 or 16 bits)")       \
+    X(L201, Error, "structure width n must be at least 1")                   \
+    X(L202, Error, "parallel threshold k must satisfy 1 <= k <= n")          \
+    X(L203, Error, "structure device alpha/beta must be positive")           \
+    X(L204, Warning, "series chain length explosion (the paper discards "   \
+                     "chaining for this reason)")                            \
+    X(L205, Warning, "parallel width beyond die-area plausibility")          \
+    X(L206, Warning, "k above 0.9 n: reconstruction margin nearly nil")      \
+    X(L301, Error, "OTP tree height must lie in [1, 20]")                    \
+    X(L302, Warning, "OTP tree height below 4 leaves the adversary a "      \
+                     "path-guess probability of 1/8 or better")              \
+    X(L303, Error, "OTP copies must be at least 1")                          \
+    X(L304, Error, "OTP threshold must lie in [1, copies]")                  \
+    X(L305, Error, "OTP copies exceed the GF(256) Shamir share limit")       \
+    X(L306, Error, "OTP device alpha/beta must be positive")                 \
+    X(L307, Warning, "OTP switch alpha is not near-one-shot: surviving "    \
+                     "trees open a replay window")                           \
+    X(L401, Error, "stuckClosedRate outside [0, 1]")                         \
+    X(L402, Error, "infantFraction outside [0, 1]")                          \
+    X(L403, Error, "infantScaleFraction must be positive")                   \
+    X(L404, Error, "infantShape must be positive")                           \
+    X(L405, Error, "glitchRate outside [0, 1]")                              \
+    X(L406, Error, "drift sigmas must be non-negative")                      \
+    X(L407, Warning, "stuckClosedRate above 5%: the attack bound "          \
+                     "effectively collapses")                                \
+    X(L408, Warning, "infantScaleFraction >= 1: the infant leg is not "     \
+                     "early-life")                                           \
+    X(L409, Warning, "infantShape >= 1: infant hazard is not decreasing")    \
+    X(L410, Warning, "glitchRate above 0.5: availability collapse")          \
+    X(L411, Warning, "drift sigma above 1: order-of-magnitude "             \
+                     "calibration uncertainty")                              \
+    X(L501, Error, "M-way replication factor must be at least 1")            \
+    X(L502, Warning, "M-way factor above 10000: migration/re-wrap burden "  \
+                     "implausible")                                          \
+    X(L503, Error, "M-way module design is infeasible")                      \
+    X(L504, Warning, "M-way total device count beyond fabrication "         \
+                     "plausibility")                                         \
+    X(L901, Error, "spec file unreadable")                                   \
+    X(L902, Error, "spec syntax error")                                      \
+    X(L903, Error, "unknown spec section")                                   \
+    X(L904, Warning, "unknown spec key")                                     \
+    X(L905, Error, "malformed spec value")                                   \
+    X(L906, Warning, "spec file declares no sections")
+
+/** Stable diagnostic identifiers. */
+enum class Code {
+#define LEMONS_LINT_ENUM(id, severity, title) id,
+    LEMONS_LINT_CODE_TABLE(LEMONS_LINT_ENUM)
+#undef LEMONS_LINT_ENUM
+};
+
+/** Catalog entry for one diagnostic code. */
+struct CodeInfo
+{
+    Code code;
+    const char *id;    ///< "L001"
+    Severity severity; ///< default severity
+    const char *title; ///< one-line rule statement
+};
+
+/** Catalog row for @p code. */
+const CodeInfo &codeInfo(Code code);
+
+/** The full append-only catalog, in code order (for --codes / docs). */
+const std::vector<CodeInfo> &codeCatalog();
+
+/** One finding. */
+struct Diagnostic
+{
+    Code code;
+    Severity severity; ///< copied from the catalog at creation
+    std::string object; ///< e.g. "DesignRequest"
+    std::string field;  ///< e.g. "device.alpha"; may be empty
+    std::string message;
+    std::string hint;   ///< optional fix-hint; may be empty
+    std::string file;   ///< spec file (CLI runs); empty for API checks
+
+    /** "L001". */
+    const char *id() const { return codeInfo(code).id; }
+
+    /** One-line rendering: file: [code] severity object.field: msg. */
+    std::string format() const;
+};
+
+/** An ordered collection of findings from one or more rule passes. */
+class Report
+{
+  public:
+    /** Append a finding; severity comes from the catalog. */
+    void add(Code code, std::string object, std::string field,
+             std::string message, std::string hint = "");
+
+    /** Append every finding of @p other. */
+    void merge(Report other);
+
+    /** Stamp every un-stamped finding with the source file @p name. */
+    void setFile(const std::string &name);
+
+    /** All findings in emission order. */
+    const std::vector<Diagnostic> &diagnostics() const { return items; }
+
+    bool empty() const { return items.empty(); }
+    /** Any error-severity finding? */
+    bool hasErrors() const;
+    size_t errorCount() const;
+    size_t warningCount() const;
+    /** Whether a finding with @p code is present. */
+    bool hasCode(Code code) const;
+
+    /** All findings rendered one per line. */
+    std::string format() const;
+
+  private:
+    std::vector<Diagnostic> items;
+};
+
+/**
+ * Thrown by the checkOrThrow wrappers. Derives from
+ * std::invalid_argument so call sites (and tests) that predate the
+ * lint layer keep catching what requireArg used to throw.
+ */
+class LintError : public std::invalid_argument
+{
+  public:
+    explicit LintError(Report findings);
+
+    /** The full report behind the exception message. */
+    const Report &report() const { return findings; }
+
+  private:
+    Report findings;
+};
+
+/** Throw LintError when @p report contains error-severity findings. */
+void throwOnErrors(const Report &report);
+
+} // namespace lemons::lint
+
+#endif // LEMONS_LINT_DIAGNOSTICS_H_

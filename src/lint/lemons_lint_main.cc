@@ -1,0 +1,103 @@
+/**
+ * @file
+ * lemons-lint — static design-rule checker CLI.
+ *
+ * Lints spec files (see lint/spec_file.h for the format) and exits
+ * non-zero when any error-severity finding fires, so a CI step can
+ * gate deployment configurations the same way a compiler gates code:
+ *
+ *     lemons-lint examples/configs/smartphone_unlock.lemons ...
+ *
+ * Exit codes: 0 clean (warnings allowed unless --werror), 1 at least
+ * one error-severity finding, 2 usage error.
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint/diagnostics.h"
+#include "lint/spec_file.h"
+
+namespace {
+
+void
+printUsage(std::ostream &out)
+{
+    out << "usage: lemons-lint [options] <spec-file>...\n"
+           "\n"
+           "Statically checks limited-use architecture specs against\n"
+           "the lemons design rules without running any simulation.\n"
+           "\n"
+           "options:\n"
+           "  --werror  treat warnings as errors\n"
+           "  --quiet   print only the per-file summaries\n"
+           "  --codes   print the diagnostic-code catalog and exit\n"
+           "  --help    this text\n";
+}
+
+void
+printCatalog(std::ostream &out)
+{
+    out << "code  severity  rule\n";
+    for (const lemons::lint::CodeInfo &info :
+         lemons::lint::codeCatalog()) {
+        out << info.id << "  " << lemons::lint::severityName(info.severity)
+            << (info.severity == lemons::lint::Severity::Error
+                    ? "     "
+                    : "   ")
+            << info.title << "\n";
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool werror = false;
+    bool quiet = false;
+    std::vector<std::string> files;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--werror") {
+            werror = true;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--codes") {
+            printCatalog(std::cout);
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            printUsage(std::cout);
+            return 0;
+        } else if (!arg.empty() && arg.front() == '-') {
+            std::cerr << "lemons-lint: unknown option '" << arg << "'\n";
+            printUsage(std::cerr);
+            return 2;
+        } else {
+            files.push_back(arg);
+        }
+    }
+    if (files.empty()) {
+        std::cerr << "lemons-lint: no spec files given\n";
+        printUsage(std::cerr);
+        return 2;
+    }
+
+    size_t errors = 0;
+    size_t warnings = 0;
+    for (const std::string &file : files) {
+        const lemons::lint::Report report = lemons::lint::lintFile(file);
+        errors += report.errorCount();
+        warnings += report.warningCount();
+        if (!quiet && !report.empty())
+            std::cout << report.format();
+        std::cout << file << ": " << report.errorCount() << " error(s), "
+                  << report.warningCount() << " warning(s)\n";
+    }
+    if (errors > 0)
+        return 1;
+    if (werror && warnings > 0)
+        return 1;
+    return 0;
+}

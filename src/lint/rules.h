@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Static design-rule passes over the library's spec structs.
+ *
+ * Every pass is a pure function from a spec to a Report — no
+ * simulation, no RNG, no device fabrication. The passes validate the
+ * same contracts the constructors enforce (as errors) plus
+ * plausibility rules the constructors cannot reject without breaking
+ * legitimate exotic uses (as warnings): a stuck-closed rate of 30 %
+ * is a legal FaultPlan but almost certainly a typo, and a design
+ * whose guess space is below its access bound is secure hardware
+ * wrapped around a brute-forceable passcode.
+ *
+ * The checkOrThrow wrappers are the constructor-facing fast path:
+ * they test the error conditions with zero allocation and only build
+ * a full Report when something is actually wrong, so hot paths
+ * (ParallelStructure is constructed inside solver loops) pay a few
+ * comparisons, not string formatting.
+ */
+
+#ifndef LEMONS_LINT_RULES_H_
+#define LEMONS_LINT_RULES_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "core/decision_tree.h"
+#include "core/design_solver.h"
+#include "fault/fault_plan.h"
+#include "lint/diagnostics.h"
+#include "wearout/device.h"
+
+namespace lemons::lint {
+
+/** Context for design-level security rules that need attack inputs. */
+struct DesignLintOptions
+{
+    /**
+     * Size of the passcode/key guess space the design protects (e.g.
+     * 1e4 for a 4-digit PIN). When set, the L010 feasibility rule
+     * compares it against the attack budget the hardware concedes
+     * (the upper-bound target if present, else the LAB).
+     */
+    std::optional<double> guessSpace{};
+};
+
+/** A series/parallel structure described statically (pre-construction). */
+struct StructureSpec
+{
+    enum class Kind { Series, Parallel };
+
+    Kind kind = Kind::Parallel;
+    uint64_t n = 1; ///< width (parallel) or chain length (series)
+    uint64_t k = 1; ///< reconstruction threshold (parallel only)
+    wearout::DeviceSpec device{10.0, 12.0};
+};
+
+/** A secret-sharing layout: n shares, threshold k, field width. */
+struct ShareSpec
+{
+    uint64_t shares = 1;
+    uint64_t threshold = 1;
+    unsigned fieldBits = 8; ///< 8 = GF(256) Shamir, 16 = GF(65536)
+};
+
+/** An M-way replication layout. */
+struct MwaySpec
+{
+    uint64_t m = 1;
+    /** Devices per module, when known (for the L504 total-cost rule). */
+    std::optional<uint64_t> moduleDevices{};
+    /** Whether the per-module design solved feasibly, when known. */
+    std::optional<bool> moduleFeasible{};
+};
+
+/** L0xx: solver input rules (bounds, criteria, attack feasibility). */
+Report checkDesign(const core::DesignRequest &request,
+                   const DesignLintOptions &options = {});
+
+/** L2xx (+ L1xx for parallel k-out-of-n): structure composition. */
+Report checkStructure(const StructureSpec &spec);
+
+/** L1xx: share counts vs. field capacity. */
+Report checkShares(const ShareSpec &spec);
+
+/** L3xx: one-time-pad tree configuration. */
+Report checkOtp(const core::OtpParams &params);
+
+/** L4xx: fault-plan ranges and plausibility. */
+Report checkFaultPlan(const fault::FaultPlan &plan);
+
+/** L5xx: M-way replication composition limits. */
+Report checkMway(const MwaySpec &spec);
+
+/** Constructor fast paths: throw LintError on error-severity findings. */
+void checkDesignOrThrow(const core::DesignRequest &request);
+void checkSeriesOrThrow(uint64_t n);
+void checkParallelOrThrow(uint64_t n, uint64_t k);
+void checkOtpOrThrow(const core::OtpParams &params);
+void checkFaultPlanOrThrow(const fault::FaultPlan &plan);
+void checkMwayOrThrow(uint64_t m);
+
+} // namespace lemons::lint
+
+#endif // LEMONS_LINT_RULES_H_

@@ -1,0 +1,401 @@
+#include "lint/spec_file.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "lint/rules.h"
+
+namespace lemons::lint {
+
+namespace {
+
+/** One key = value entry with its source line (1-based). */
+struct Entry
+{
+    std::string key;
+    std::string value;
+    size_t line = 0;
+};
+
+/** One [section] with its entries, in file order. */
+struct Section
+{
+    std::string name;
+    size_t line = 0;
+    std::vector<Entry> entries;
+};
+
+std::string
+trim(std::string_view s)
+{
+    size_t begin = 0;
+    size_t end = s.size();
+    while (begin < end &&
+           std::isspace(static_cast<unsigned char>(s[begin])) != 0)
+        ++begin;
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(s[end - 1])) != 0)
+        --end;
+    return std::string(s.substr(begin, end - begin));
+}
+
+std::string
+lineRef(size_t line)
+{
+    return "line " + std::to_string(line);
+}
+
+/**
+ * Split @p text into sections, reporting syntax problems into
+ * @p report. Keys before any section header are L902 errors.
+ */
+std::vector<Section>
+parseSections(std::string_view text, Report &report)
+{
+    std::vector<Section> sections;
+    std::istringstream in{std::string(text)};
+    std::string raw;
+    size_t lineNo = 0;
+    while (std::getline(in, raw)) {
+        ++lineNo;
+        // Strip comments ('#' or ';' to end of line), then whitespace.
+        const size_t comment = raw.find_first_of("#;");
+        const std::string line =
+            trim(comment == std::string::npos ? raw
+                                              : raw.substr(0, comment));
+        if (line.empty())
+            continue;
+        if (line.front() == '[') {
+            if (line.back() != ']' || line.size() < 3) {
+                report.add(Code::L902, "spec", "",
+                           lineRef(lineNo) + ": malformed section "
+                           "header '" + line + "'",
+                           "write [design], [structure], [shares], "
+                           "[otp], [fault], or [mway]");
+                continue;
+            }
+            Section section;
+            section.name = trim(line.substr(1, line.size() - 2));
+            section.line = lineNo;
+            sections.push_back(std::move(section));
+            continue;
+        }
+        const size_t eq = line.find('=');
+        if (eq == std::string::npos) {
+            report.add(Code::L902, "spec", "",
+                       lineRef(lineNo) + ": expected 'key = value', "
+                       "got '" + line + "'");
+            continue;
+        }
+        if (sections.empty()) {
+            report.add(Code::L902, "spec", "",
+                       lineRef(lineNo) + ": 'key = value' before any "
+                       "[section] header");
+            continue;
+        }
+        Entry entry;
+        entry.key = trim(line.substr(0, eq));
+        entry.value = trim(line.substr(eq + 1));
+        entry.line = lineNo;
+        if (entry.key.empty() || entry.value.empty()) {
+            report.add(Code::L902, "spec", "",
+                       lineRef(lineNo) + ": empty key or value");
+            continue;
+        }
+        sections.back().entries.push_back(std::move(entry));
+    }
+    return sections;
+}
+
+/** Parse a full-consumption floating-point literal; L905 otherwise. */
+bool
+parseDouble(const Entry &entry, const std::string &object, Report &report,
+            double &out)
+{
+    const char *begin = entry.value.c_str();
+    char *end = nullptr;
+    const double value = std::strtod(begin, &end);
+    if (end == begin || *end != '\0' || !std::isfinite(value)) {
+        report.add(Code::L905, object, entry.key,
+                   lineRef(entry.line) + ": '" + entry.value +
+                       "' is not a finite number");
+        return false;
+    }
+    out = value;
+    return true;
+}
+
+/** Parse a non-negative integer (scientific notation welcome). */
+bool
+parseUint(const Entry &entry, const std::string &object, Report &report,
+          uint64_t &out)
+{
+    double value = 0.0;
+    if (!parseDouble(entry, object, report, value))
+        return false;
+    if (value < 0.0 || value > 1.8e19 ||
+        value != std::floor(value)) {
+        report.add(Code::L905, object, entry.key,
+                   lineRef(entry.line) + ": '" + entry.value +
+                       "' is not a non-negative integer");
+        return false;
+    }
+    out = static_cast<uint64_t>(value);
+    return true;
+}
+
+void
+unknownKey(const Entry &entry, const std::string &object, Report &report)
+{
+    report.add(Code::L904, object, entry.key,
+               lineRef(entry.line) + ": key '" + entry.key +
+                   "' is not recognised in " + object,
+               "see the section/key table in lint/spec_file.h");
+}
+
+Report
+lintDesignSection(const Section &section)
+{
+    Report report;
+    const std::string object = "[design]";
+    core::DesignRequest request;
+    DesignLintOptions options;
+    for (const Entry &entry : section.entries) {
+        if (entry.key == "alpha") {
+            parseDouble(entry, object, report, request.device.alpha);
+        } else if (entry.key == "beta") {
+            parseDouble(entry, object, report, request.device.beta);
+        } else if (entry.key == "lab") {
+            parseUint(entry, object, report,
+                      request.legitimateAccessBound);
+        } else if (entry.key == "k_fraction") {
+            parseDouble(entry, object, report, request.kFraction);
+        } else if (entry.key == "min_reliability") {
+            parseDouble(entry, object, report,
+                        request.criteria.minReliability);
+        } else if (entry.key == "max_residual_reliability") {
+            parseDouble(entry, object, report,
+                        request.criteria.maxResidualReliability);
+        } else if (entry.key == "upper_bound_target") {
+            uint64_t target = 0;
+            if (parseUint(entry, object, report, target))
+                request.upperBoundTarget = target;
+        } else if (entry.key == "guess_space") {
+            double space = 0.0;
+            if (parseDouble(entry, object, report, space))
+                options.guessSpace = space;
+        } else if (entry.key == "max_width") {
+            parseUint(entry, object, report, request.maxWidth);
+        } else if (entry.key == "max_per_copy_bound") {
+            parseUint(entry, object, report, request.maxPerCopyBound);
+        } else {
+            unknownKey(entry, object, report);
+        }
+    }
+    if (!report.hasErrors())
+        report.merge(checkDesign(request, options));
+    return report;
+}
+
+Report
+lintStructureSection(const Section &section)
+{
+    Report report;
+    const std::string object = "[structure]";
+    StructureSpec spec;
+    for (const Entry &entry : section.entries) {
+        if (entry.key == "kind") {
+            if (entry.value == "series") {
+                spec.kind = StructureSpec::Kind::Series;
+            } else if (entry.value == "parallel") {
+                spec.kind = StructureSpec::Kind::Parallel;
+            } else {
+                report.add(Code::L905, object, entry.key,
+                           lineRef(entry.line) + ": kind must be "
+                           "'series' or 'parallel', got '" +
+                               entry.value + "'");
+            }
+        } else if (entry.key == "n") {
+            parseUint(entry, object, report, spec.n);
+        } else if (entry.key == "k") {
+            parseUint(entry, object, report, spec.k);
+        } else if (entry.key == "alpha") {
+            parseDouble(entry, object, report, spec.device.alpha);
+        } else if (entry.key == "beta") {
+            parseDouble(entry, object, report, spec.device.beta);
+        } else {
+            unknownKey(entry, object, report);
+        }
+    }
+    if (!report.hasErrors())
+        report.merge(checkStructure(spec));
+    return report;
+}
+
+Report
+lintSharesSection(const Section &section)
+{
+    Report report;
+    const std::string object = "[shares]";
+    ShareSpec spec;
+    for (const Entry &entry : section.entries) {
+        if (entry.key == "n") {
+            parseUint(entry, object, report, spec.shares);
+        } else if (entry.key == "k") {
+            parseUint(entry, object, report, spec.threshold);
+        } else if (entry.key == "field_bits") {
+            uint64_t bits = 0;
+            if (parseUint(entry, object, report, bits))
+                spec.fieldBits = static_cast<unsigned>(
+                    std::min<uint64_t>(bits, 1u << 16));
+        } else {
+            unknownKey(entry, object, report);
+        }
+    }
+    if (!report.hasErrors())
+        report.merge(checkShares(spec));
+    return report;
+}
+
+Report
+lintOtpSection(const Section &section)
+{
+    Report report;
+    const std::string object = "[otp]";
+    core::OtpParams params;
+    for (const Entry &entry : section.entries) {
+        if (entry.key == "height") {
+            uint64_t height = 0;
+            if (parseUint(entry, object, report, height))
+                params.height = static_cast<unsigned>(
+                    std::min<uint64_t>(height, 1u << 16));
+        } else if (entry.key == "copies") {
+            parseUint(entry, object, report, params.copies);
+        } else if (entry.key == "threshold") {
+            parseUint(entry, object, report, params.threshold);
+        } else if (entry.key == "alpha") {
+            parseDouble(entry, object, report, params.device.alpha);
+        } else if (entry.key == "beta") {
+            parseDouble(entry, object, report, params.device.beta);
+        } else {
+            unknownKey(entry, object, report);
+        }
+    }
+    if (!report.hasErrors())
+        report.merge(checkOtp(params));
+    return report;
+}
+
+Report
+lintFaultSection(const Section &section)
+{
+    Report report;
+    const std::string object = "[fault]";
+    fault::FaultPlan plan;
+    for (const Entry &entry : section.entries) {
+        if (entry.key == "stuck_closed_rate") {
+            parseDouble(entry, object, report, plan.stuckClosedRate);
+        } else if (entry.key == "infant_fraction") {
+            parseDouble(entry, object, report, plan.infantFraction);
+        } else if (entry.key == "infant_scale_fraction") {
+            parseDouble(entry, object, report, plan.infantScaleFraction);
+        } else if (entry.key == "infant_shape") {
+            parseDouble(entry, object, report, plan.infantShape);
+        } else if (entry.key == "glitch_rate") {
+            parseDouble(entry, object, report, plan.glitchRate);
+        } else if (entry.key == "alpha_drift_sigma") {
+            parseDouble(entry, object, report, plan.alphaDriftSigma);
+        } else if (entry.key == "beta_drift_sigma") {
+            parseDouble(entry, object, report, plan.betaDriftSigma);
+        } else {
+            unknownKey(entry, object, report);
+        }
+    }
+    if (!report.hasErrors())
+        report.merge(checkFaultPlan(plan));
+    return report;
+}
+
+Report
+lintMwaySection(const Section &section)
+{
+    Report report;
+    const std::string object = "[mway]";
+    MwaySpec spec;
+    for (const Entry &entry : section.entries) {
+        if (entry.key == "m") {
+            parseUint(entry, object, report, spec.m);
+        } else if (entry.key == "module_devices") {
+            uint64_t devices = 0;
+            if (parseUint(entry, object, report, devices))
+                spec.moduleDevices = devices;
+        } else {
+            unknownKey(entry, object, report);
+        }
+    }
+    if (!report.hasErrors())
+        report.merge(checkMway(spec));
+    return report;
+}
+
+} // namespace
+
+Report
+lintText(std::string_view text, const std::string &filename)
+{
+    Report report;
+    const std::vector<Section> sections = parseSections(text, report);
+    if (sections.empty() && report.empty()) {
+        report.add(Code::L906, "spec", "",
+                   "the file declares no sections; nothing was checked",
+                   "add a [design], [structure], [shares], [otp], "
+                   "[fault], or [mway] section");
+    }
+    using Dispatcher = Report (*)(const Section &);
+    static const std::map<std::string, Dispatcher> dispatch = {
+        {"design", &lintDesignSection},
+        {"structure", &lintStructureSection},
+        {"shares", &lintSharesSection},
+        {"otp", &lintOtpSection},
+        {"fault", &lintFaultSection},
+        {"mway", &lintMwaySection},
+    };
+    for (const Section &section : sections) {
+        const auto found = dispatch.find(section.name);
+        if (found == dispatch.end()) {
+            report.add(Code::L903, "spec", "",
+                       lineRef(section.line) + ": unknown section [" +
+                           section.name + "]",
+                       "known sections: design, structure, shares, "
+                       "otp, fault, mway");
+            continue;
+        }
+        report.merge(found->second(section));
+    }
+    report.setFile(filename);
+    return report;
+}
+
+Report
+lintFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        Report report;
+        report.add(Code::L901, "spec", "", "cannot open '" + path + "'");
+        report.setFile(path);
+        return report;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return lintText(buffer.str(), path);
+}
+
+} // namespace lemons::lint

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Spec-file front end for the lemons-lint CLI.
+ *
+ * A spec file is a tiny INI dialect describing the configurations a
+ * deployment intends to fabricate, so they can be design-rule-checked
+ * without compiling anything or running a simulator:
+ *
+ *     # smartphone unlock, paper Section 5
+ *     [design]
+ *     alpha = 10
+ *     beta = 12
+ *     lab = 91250
+ *     k_fraction = 0.2
+ *     guess_space = 1e6
+ *
+ *     [fault]
+ *     stuck_closed_rate = 0.001
+ *
+ * Sections may repeat; each is linted independently with the rule
+ * passes from rules.h. Parsing problems are themselves diagnostics
+ * (L9xx), so a CI run gets one uniform report for "the spec is
+ * malformed" and "the spec describes an insecure design".
+ *
+ * Sections and keys:
+ *   [design]    alpha beta lab k_fraction min_reliability
+ *               max_residual_reliability upper_bound_target
+ *               guess_space max_width max_per_copy_bound
+ *   [structure] kind (series|parallel) n k alpha beta
+ *   [shares]    n k field_bits
+ *   [otp]       height copies threshold alpha beta
+ *   [fault]     stuck_closed_rate infant_fraction
+ *               infant_scale_fraction infant_shape glitch_rate
+ *               alpha_drift_sigma beta_drift_sigma
+ *   [mway]      m module_devices
+ */
+
+#ifndef LEMONS_LINT_SPEC_FILE_H_
+#define LEMONS_LINT_SPEC_FILE_H_
+
+#include <string>
+#include <string_view>
+
+#include "lint/diagnostics.h"
+
+namespace lemons::lint {
+
+/**
+ * Lint spec text. @p filename is used only to stamp diagnostics.
+ */
+Report lintText(std::string_view text, const std::string &filename);
+
+/**
+ * Read and lint one spec file. An unreadable file yields an L901
+ * error diagnostic rather than an exception.
+ */
+Report lintFile(const std::string &path);
+
+} // namespace lemons::lint
+
+#endif // LEMONS_LINT_SPEC_FILE_H_

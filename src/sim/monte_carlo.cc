@@ -3,13 +3,98 @@
 #include <algorithm>
 #include <cmath>
 #include <exception>
+#include <limits>
 #include <stdexcept>
+#include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/require.h"
+#include "util/thread_annotations.h"
 
 namespace lemons::sim {
+
+namespace {
+
+/**
+ * Lock-protected "lowest-indexed failure wins" cell shared by the
+ * runSamplesParallel workers. Keeping only the minimum under the lock
+ * makes the rethrown exception deterministic at any thread count.
+ */
+class FirstErrorCell
+{
+  public:
+    explicit FirstErrorCell(uint64_t sentinel) : trial(sentinel) {}
+
+    /** Record trial @p i's exception if it is the earliest so far. */
+    void record(uint64_t i, std::exception_ptr e) LEMONS_EXCLUDES(mu)
+    {
+        const MutexLock lock(mu);
+        if (i < trial) {
+            trial = i;
+            error = std::move(e);
+        }
+    }
+
+    /** The winning exception, or null when no trial failed. */
+    std::exception_ptr take() const LEMONS_EXCLUDES(mu)
+    {
+        const MutexLock lock(mu);
+        return error;
+    }
+
+  private:
+    mutable Mutex mu;
+    uint64_t trial LEMONS_GUARDED_BY(mu);
+    std::exception_ptr error LEMONS_GUARDED_BY(mu);
+};
+
+/**
+ * Shared failure/quarantine log for runSamplesReport. Workers append
+ * under the lock; the driver sorts by trial index after the join so
+ * the report is deterministic regardless of interleaving.
+ */
+class ReportCollector
+{
+  public:
+    /** Record that trial @p i threw with message @p what. */
+    void recordFailure(uint64_t i, std::string what) LEMONS_EXCLUDES(mu)
+    {
+        const MutexLock lock(mu);
+        failures.emplace_back(i, std::move(what));
+    }
+
+    /** Record that trial @p i returned a non-finite sample. */
+    void recordNonFinite(uint64_t i) LEMONS_EXCLUDES(mu)
+    {
+        const MutexLock lock(mu);
+        nonFinite.push_back(i);
+    }
+
+    /** Move the sorted logs into @p report (call after the join). */
+    void drainInto(TrialReport &report) LEMONS_EXCLUDES(mu)
+    {
+        const MutexLock lock(mu);
+        std::sort(failures.begin(), failures.end());
+        std::sort(nonFinite.begin(), nonFinite.end());
+        report.failedTrials.reserve(failures.size());
+        for (const auto &[trial, message] : failures)
+            report.failedTrials.push_back(trial);
+        if (!failures.empty())
+            report.firstError = failures.front().second;
+        report.nonFiniteTrials = std::move(nonFinite);
+    }
+
+  private:
+    Mutex mu;
+    std::vector<std::pair<uint64_t, std::string>>
+        failures LEMONS_GUARDED_BY(mu);
+    std::vector<uint64_t> nonFinite LEMONS_GUARDED_BY(mu);
+};
+
+} // namespace
 
 MonteCarlo::MonteCarlo(uint64_t seed, uint64_t trials)
     : masterSeed(seed), trialCount(trials)
@@ -61,12 +146,11 @@ MonteCarlo::runSamplesParallel(const std::function<double(Rng &)> &metric,
     std::vector<double> samples(trialCount);
     std::vector<std::thread> workers;
     // A metric exception must not escape the worker (that would call
-    // std::terminate). Each worker captures the exception of its
-    // lowest-indexed throwing trial and stops; after the join, the
-    // globally lowest-indexed one is rethrown on this thread so the
-    // behaviour is deterministic at any thread count.
-    std::vector<std::exception_ptr> workerError(threads);
-    std::vector<uint64_t> workerErrorTrial(threads, trialCount);
+    // std::terminate). Workers race their exceptions into a shared
+    // lowest-trial-wins cell and stop; after the join, the winner is
+    // rethrown on this thread so the behaviour is deterministic at any
+    // thread count.
+    FirstErrorCell firstError(trialCount);
     workers.reserve(threads);
     for (unsigned w = 0; w < threads; ++w) {
         workers.emplace_back([&, w] {
@@ -78,8 +162,7 @@ MonteCarlo::runSamplesParallel(const std::function<double(Rng &)> &metric,
                 try {
                     samples[i] = metric(rng);
                 } catch (...) {
-                    workerError[w] = std::current_exception();
-                    workerErrorTrial[w] = i;
+                    firstError.record(i, std::current_exception());
                     return;
                 }
             }
@@ -88,17 +171,50 @@ MonteCarlo::runSamplesParallel(const std::function<double(Rng &)> &metric,
     for (auto &worker : workers)
         worker.join();
 
-    uint64_t firstFailed = trialCount;
-    std::exception_ptr firstError;
-    for (unsigned w = 0; w < threads; ++w) {
-        if (workerError[w] && workerErrorTrial[w] < firstFailed) {
-            firstFailed = workerErrorTrial[w];
-            firstError = workerError[w];
-        }
-    }
-    if (firstError)
-        std::rethrow_exception(firstError);
+    if (std::exception_ptr error = firstError.take())
+        std::rethrow_exception(error);
     return samples;
+}
+
+RunningStats
+MonteCarlo::runStatsParallel(const std::function<double(Rng &)> &metric,
+                             unsigned threads) const
+{
+    threads = resolveThreads(threads);
+
+    const Rng parent(masterSeed);
+    // Workers accumulate privately and publish once through the
+    // lock-guarded aggregate; partials are folded in worker-id order
+    // after the join so the merge sequence (hence the floating-point
+    // rounding) is deterministic for a fixed thread count.
+    std::vector<RunningStats> partials(threads);
+    FirstErrorCell firstError(trialCount);
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (unsigned w = 0; w < threads; ++w) {
+        workers.emplace_back([&, w] {
+            RunningStats &local = partials[w];
+            for (uint64_t i = w; i < trialCount; i += threads) {
+                Rng rng = parent.split(i);
+                try {
+                    local.add(metric(rng));
+                } catch (...) {
+                    firstError.record(i, std::current_exception());
+                    return;
+                }
+            }
+        });
+    }
+    for (auto &worker : workers)
+        worker.join();
+
+    if (std::exception_ptr error = firstError.take())
+        std::rethrow_exception(error);
+
+    SharedRunningStats merged;
+    for (const RunningStats &partial : partials)
+        merged.mergeFrom(partial);
+    return merged.snapshot();
 }
 
 TrialReport
@@ -114,32 +230,22 @@ MonteCarlo::runSamplesReport(
     report.samples.assign(trialCount,
                           std::numeric_limits<double>::quiet_NaN());
 
-    struct WorkerLog
-    {
-        std::vector<uint64_t> failed;
-        std::vector<std::string> messages; // parallel to failed
-        std::vector<uint64_t> nonFinite;
-    };
-    std::vector<WorkerLog> logs(threads);
-
+    ReportCollector collector;
     std::vector<std::thread> workers;
     workers.reserve(threads);
     for (unsigned w = 0; w < threads; ++w) {
         workers.emplace_back([&, w] {
-            WorkerLog &log = logs[w];
             for (uint64_t i = w; i < trialCount; i += threads) {
                 Rng rng = parent.split(i);
                 try {
                     const double sample = metric(rng, i);
                     report.samples[i] = sample;
                     if (!std::isfinite(sample))
-                        log.nonFinite.push_back(i);
+                        collector.recordNonFinite(i);
                 } catch (const std::exception &e) {
-                    log.failed.push_back(i);
-                    log.messages.emplace_back(e.what());
+                    collector.recordFailure(i, e.what());
                 } catch (...) {
-                    log.failed.push_back(i);
-                    log.messages.emplace_back("unknown exception");
+                    collector.recordFailure(i, "unknown exception");
                 }
             }
         });
@@ -147,26 +253,9 @@ MonteCarlo::runSamplesReport(
     for (auto &worker : workers)
         worker.join();
 
-    // Merge per-worker logs in trial order so the report (including
-    // firstError) is deterministic at any thread count.
-    for (const WorkerLog &log : logs) {
-        report.failedTrials.insert(report.failedTrials.end(),
-                                   log.failed.begin(), log.failed.end());
-        report.nonFiniteTrials.insert(report.nonFiniteTrials.end(),
-                                      log.nonFinite.begin(),
-                                      log.nonFinite.end());
-    }
-    std::sort(report.failedTrials.begin(), report.failedTrials.end());
-    std::sort(report.nonFiniteTrials.begin(), report.nonFiniteTrials.end());
-    if (!report.failedTrials.empty()) {
-        const uint64_t first = report.failedTrials.front();
-        for (const WorkerLog &log : logs) {
-            for (size_t j = 0; j < log.failed.size(); ++j) {
-                if (log.failed[j] == first)
-                    report.firstError = log.messages[j];
-            }
-        }
-    }
+    // Trial-index sorting inside the collector keeps the report
+    // (including firstError) deterministic at any thread count.
+    collector.drainInto(report);
 
     // RunningStats itself quarantines non-finite input, which also
     // covers the NaN placeholders of failed trials.

@@ -100,6 +100,22 @@ class MonteCarlo
     runSamples(const std::function<double(Rng &)> &metric) const;
 
     /**
+     * Multi-threaded runStats: constant memory at any trial count.
+     * Each worker accumulates a private RunningStats over its strided
+     * trials, then folds it into a SharedRunningStats under the lock.
+     * Count, extrema, and the quarantine tally are identical to the
+     * serial runStats; mean and variance agree up to floating-point
+     * reassociation (partials are merged in worker-id order, so the
+     * result is deterministic for a fixed thread count).
+     *
+     * @param metric Per-trial metric.
+     * @param threads Worker count (>= 1; 0 = hardware concurrency).
+     */
+    RunningStats
+    runStatsParallel(const std::function<double(Rng &)> &metric,
+                     unsigned threads = 0) const;
+
+    /**
      * Estimate P(event) with a Wilson 95 % interval.
      */
     ProportionInterval

@@ -28,6 +28,31 @@ RunningStats::add(double x)
     m2 += delta * (x - runningMean);
 }
 
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.n == 0) {
+        nonFinite += other.nonFinite;
+        return;
+    }
+    if (n == 0) {
+        const uint64_t quarantined = nonFinite;
+        *this = other;
+        nonFinite += quarantined;
+        return;
+    }
+    nonFinite += other.nonFinite;
+    const double nA = static_cast<double>(n);
+    const double nB = static_cast<double>(other.n);
+    const double delta = other.runningMean - runningMean;
+    const double total = nA + nB;
+    runningMean += delta * (nB / total);
+    m2 += other.m2 + delta * delta * (nA * nB / total);
+    minValue = std::min(minValue, other.minValue);
+    maxValue = std::max(maxValue, other.maxValue);
+    n += other.n;
+}
+
 double
 RunningStats::variance() const
 {

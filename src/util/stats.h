@@ -9,6 +9,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
 namespace lemons {
 
 /**
@@ -25,6 +28,16 @@ class RunningStats
   public:
     /** Add one observation; non-finite values are quarantined. */
     void add(double x);
+
+    /**
+     * Fold another accumulator into this one (Chan et al. pairwise
+     * Welford combination). The result is exactly what a single
+     * accumulator would hold up to floating-point reassociation:
+     * count/min/max/quarantine are identical, mean/variance agree to
+     * rounding. Enables parallel reduction: one RunningStats per
+     * worker, merged after the join.
+     */
+    void merge(const RunningStats &other);
 
     /** Number of finite observations accumulated so far. */
     uint64_t count() const { return n; }
@@ -50,6 +63,44 @@ class RunningStats
     double m2 = 0.0;
     double minValue;
     double maxValue;
+};
+
+/**
+ * A RunningStats safe to feed from many threads at once.
+ *
+ * The inner accumulator is guarded by a capability-annotated Mutex, so
+ * Clang's -Wthread-safety proves every access takes the lock. Workers
+ * that produce samples in bulk should accumulate into a local
+ * RunningStats and mergeFrom() once — one lock acquisition per worker
+ * instead of per sample.
+ */
+class SharedRunningStats
+{
+  public:
+    /** Thread-safe RunningStats::add. */
+    void add(double x) LEMONS_EXCLUDES(mu)
+    {
+        const MutexLock lock(mu);
+        inner.add(x);
+    }
+
+    /** Fold a worker-local accumulator in under the lock. */
+    void mergeFrom(const RunningStats &partial) LEMONS_EXCLUDES(mu)
+    {
+        const MutexLock lock(mu);
+        inner.merge(partial);
+    }
+
+    /** Consistent copy of the aggregate so far. */
+    RunningStats snapshot() const LEMONS_EXCLUDES(mu)
+    {
+        const MutexLock lock(mu);
+        return inner;
+    }
+
+  private:
+    mutable Mutex mu;
+    RunningStats inner LEMONS_GUARDED_BY(mu);
 };
 
 /**

@@ -1,0 +1,434 @@
+/**
+ * @file
+ * The lemons::lint design-rule checker: every seeded-invalid spec must
+ * fire its documented diagnostic code, clean paper-default specs must
+ * stay silent, and the constructor wiring must keep throwing
+ * std::invalid_argument (as LintError) where requireArg used to.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <limits>
+
+#include "arch/structures.h"
+#include "core/decision_tree.h"
+#include "core/design_solver.h"
+#include "fault/fault_plan.h"
+#include "lint/diagnostics.h"
+#include "lint/rules.h"
+#include "lint/spec_file.h"
+
+namespace lemons {
+namespace {
+
+using lint::Code;
+using lint::Report;
+using lint::Severity;
+
+core::DesignRequest
+paperRequest()
+{
+    core::DesignRequest request;
+    request.device = {10.0, 12.0};
+    request.legitimateAccessBound = 91250;
+    request.kFraction = 0.1;
+    return request;
+}
+
+core::OtpParams
+paperOtp()
+{
+    core::OtpParams params;
+    params.height = 8;
+    params.copies = 128;
+    params.threshold = 8;
+    params.device = {10.0, 1.0};
+    return params;
+}
+
+/** True when @p report contains @p code at error severity. */
+bool
+firesError(const Report &report, Code code)
+{
+    if (!report.hasCode(code))
+        return false;
+    for (const auto &d : report.diagnostics()) {
+        if (d.code == code)
+            return d.severity == Severity::Error;
+    }
+    return false;
+}
+
+// --- the seeded-invalid table -------------------------------------------
+
+struct SeededInvalid
+{
+    const char *name;
+    std::function<Report()> run;
+    Code expected;
+    Severity severity;
+};
+
+const SeededInvalid seededInvalidTable[] = {
+    {"alpha zero",
+     [] {
+         auto r = paperRequest();
+         r.device.alpha = 0.0;
+         return lint::checkDesign(r);
+     },
+     Code::L001, Severity::Error},
+    {"alpha infinite",
+     [] {
+         auto r = paperRequest();
+         r.device.alpha = std::numeric_limits<double>::infinity();
+         return lint::checkDesign(r);
+     },
+     Code::L001, Severity::Error},
+    {"beta negative",
+     [] {
+         auto r = paperRequest();
+         r.device.beta = -2.0;
+         return lint::checkDesign(r);
+     },
+     Code::L002, Severity::Error},
+    {"LAB zero",
+     [] {
+         auto r = paperRequest();
+         r.legitimateAccessBound = 0;
+         return lint::checkDesign(r);
+     },
+     Code::L003, Severity::Error},
+    {"kFraction one",
+     [] {
+         auto r = paperRequest();
+         r.kFraction = 1.0;
+         return lint::checkDesign(r);
+     },
+     Code::L004, Severity::Error},
+    {"minReliability at one",
+     [] {
+         auto r = paperRequest();
+         r.criteria.minReliability = 1.0;
+         return lint::checkDesign(r);
+     },
+     Code::L005, Severity::Error},
+    {"residual at zero",
+     [] {
+         auto r = paperRequest();
+         r.criteria.maxResidualReliability = 0.0;
+         return lint::checkDesign(r);
+     },
+     Code::L006, Severity::Error},
+    {"criteria inverted",
+     [] {
+         auto r = paperRequest();
+         r.criteria.minReliability = 0.5;
+         r.criteria.maxResidualReliability = 0.6;
+         return lint::checkDesign(r);
+     },
+     Code::L007, Severity::Error},
+    {"upper bound below LAB",
+     [] {
+         auto r = paperRequest();
+         r.upperBoundTarget = r.legitimateAccessBound - 1;
+         return lint::checkDesign(r);
+     },
+     Code::L008, Severity::Error},
+    {"maxWidth zero",
+     [] {
+         auto r = paperRequest();
+         r.maxWidth = 0;
+         return lint::checkDesign(r);
+     },
+     Code::L009, Severity::Error},
+    {"LAB exceeds guess space",
+     [] {
+         lint::DesignLintOptions options;
+         options.guessSpace = 1e4; // 4-digit PIN vs LAB 91250
+         return lint::checkDesign(paperRequest(), options);
+     },
+     Code::L010, Severity::Warning},
+    {"LAB infeasible within maxWidth",
+     [] {
+         auto r = paperRequest();
+         r.device = {2.0, 2.0}; // F(1) ~ 0.22 per device
+         r.criteria.minReliability = 0.9999999;
+         r.maxWidth = 5;
+         return lint::checkDesign(r);
+     },
+     Code::L013, Severity::Warning},
+    {"share threshold above count",
+     [] {
+         lint::ShareSpec s;
+         s.shares = 10;
+         s.threshold = 11; // k > n
+         return lint::checkShares(s);
+     },
+     Code::L102, Severity::Error},
+    {"shares beyond GF(256)",
+     [] {
+         lint::ShareSpec s;
+         s.shares = 300;
+         s.threshold = 30;
+         return lint::checkShares(s);
+     },
+     Code::L103, Severity::Error},
+    {"parallel k above n",
+     [] {
+         lint::StructureSpec s;
+         s.n = 8;
+         s.k = 9;
+         return lint::checkStructure(s);
+     },
+     Code::L202, Severity::Error},
+    {"empty series chain",
+     [] {
+         lint::StructureSpec s;
+         s.kind = lint::StructureSpec::Kind::Series;
+         s.n = 0;
+         return lint::checkStructure(s);
+     },
+     Code::L201, Severity::Error},
+    {"series explosion",
+     [] {
+         lint::StructureSpec s;
+         s.kind = lint::StructureSpec::Kind::Series;
+         s.n = 2'000'000;
+         return lint::checkStructure(s);
+     },
+     Code::L204, Severity::Warning},
+    {"otp height out of range",
+     [] {
+         auto p = paperOtp();
+         p.height = 21;
+         return lint::checkOtp(p);
+     },
+     Code::L301, Severity::Error},
+    {"otp copies beyond Shamir",
+     [] {
+         auto p = paperOtp();
+         p.copies = 256;
+         p.threshold = 8;
+         return lint::checkOtp(p);
+     },
+     Code::L305, Severity::Error},
+    {"otp replayable alpha",
+     [] {
+         auto p = paperOtp();
+         p.device.alpha = 1e6;
+         return lint::checkOtp(p);
+     },
+     Code::L307, Severity::Warning},
+    {"fault stuck-closed above one",
+     [] {
+         fault::FaultPlan plan;
+         plan.stuckClosedRate = 1.5;
+         return lint::checkFaultPlan(plan);
+     },
+     Code::L401, Severity::Error},
+    {"fault negative drift",
+     [] {
+         fault::FaultPlan plan;
+         plan.alphaDriftSigma = -0.1;
+         return lint::checkFaultPlan(plan);
+     },
+     Code::L406, Severity::Error},
+    {"fault stuck-closed implausible",
+     [] {
+         fault::FaultPlan plan;
+         plan.stuckClosedRate = 0.3;
+         return lint::checkFaultPlan(plan);
+     },
+     Code::L407, Severity::Warning},
+    {"mway zero modules",
+     [] {
+         lint::MwaySpec s;
+         s.m = 0;
+         return lint::checkMway(s);
+     },
+     Code::L501, Severity::Error},
+    {"mway infeasible module",
+     [] {
+         lint::MwaySpec s;
+         s.m = 10;
+         s.moduleFeasible = false;
+         return lint::checkMway(s);
+     },
+     Code::L503, Severity::Error},
+};
+
+TEST(LintRules, SeededInvalidSpecsFireDocumentedCodes)
+{
+    for (const SeededInvalid &seeded : seededInvalidTable) {
+        SCOPED_TRACE(seeded.name);
+        const Report report = seeded.run();
+        ASSERT_TRUE(report.hasCode(seeded.expected))
+            << "expected " << lint::codeInfo(seeded.expected).id
+            << ", got:\n"
+            << report.format();
+        for (const auto &d : report.diagnostics()) {
+            if (d.code == seeded.expected) {
+                EXPECT_EQ(d.severity, seeded.severity);
+            }
+        }
+    }
+}
+
+TEST(LintRules, PaperDefaultsAreClean)
+{
+    EXPECT_TRUE(lint::checkDesign(paperRequest()).empty());
+    EXPECT_TRUE(lint::checkOtp(paperOtp()).empty());
+    EXPECT_TRUE(lint::checkFaultPlan(fault::FaultPlan::none()).empty());
+    lint::StructureSpec parallel;
+    parallel.n = 1000;
+    parallel.k = 100;
+    EXPECT_TRUE(lint::checkStructure(parallel).empty());
+    lint::MwaySpec mway;
+    mway.m = 10;
+    mway.moduleDevices = 100'000;
+    EXPECT_TRUE(lint::checkMway(mway).empty());
+}
+
+TEST(LintRules, GuessSpaceAboveBudgetIsClean)
+{
+    lint::DesignLintOptions options;
+    options.guessSpace = 1e6;
+    EXPECT_TRUE(lint::checkDesign(paperRequest(), options).empty());
+}
+
+TEST(LintRules, DiagnosticsCarryContext)
+{
+    auto request = paperRequest();
+    request.kFraction = -0.5;
+    const Report report = lint::checkDesign(request);
+    ASSERT_EQ(report.errorCount(), 1u);
+    const auto &d = report.diagnostics().front();
+    EXPECT_STREQ(d.id(), "L004");
+    EXPECT_EQ(d.object, "DesignRequest");
+    EXPECT_EQ(d.field, "kFraction");
+    EXPECT_FALSE(d.hint.empty());
+    EXPECT_NE(d.format().find("[L004]"), std::string::npos);
+}
+
+TEST(LintRules, CatalogIsDenseAndStable)
+{
+    const auto &catalog = lint::codeCatalog();
+    ASSERT_FALSE(catalog.empty());
+    for (size_t i = 0; i < catalog.size(); ++i)
+        EXPECT_EQ(static_cast<size_t>(catalog[i].code), i);
+    EXPECT_STREQ(lint::codeInfo(Code::L001).id, "L001");
+    EXPECT_STREQ(lint::codeInfo(Code::L906).id, "L906");
+}
+
+// --- constructor wiring --------------------------------------------------
+
+TEST(LintWiring, ConstructorsThrowLintErrorAsInvalidArgument)
+{
+    auto bad = paperRequest();
+    bad.kFraction = 1.0;
+    EXPECT_THROW(core::DesignSolver{bad}, std::invalid_argument);
+    EXPECT_THROW(core::DesignSolver{bad}, lint::LintError);
+
+    const wearout::Weibull device(10.0, 12.0);
+    EXPECT_THROW(arch::ParallelStructure(device, 4, 5), lint::LintError);
+    EXPECT_THROW(arch::SeriesChain(device, 0), lint::LintError);
+
+    fault::FaultPlan plan;
+    plan.glitchRate = 2.0;
+    EXPECT_THROW(plan.validate(), lint::LintError);
+}
+
+TEST(LintWiring, LintErrorCarriesTheFullReport)
+{
+    auto bad = paperRequest();
+    bad.device.alpha = -1.0;
+    bad.kFraction = 7.0;
+    try {
+        core::DesignSolver solver(bad);
+        FAIL() << "expected LintError";
+    } catch (const lint::LintError &e) {
+        EXPECT_TRUE(e.report().hasCode(Code::L001));
+        EXPECT_TRUE(e.report().hasCode(Code::L004));
+        EXPECT_NE(std::string(e.what()).find("[L001]"),
+                  std::string::npos);
+    }
+}
+
+TEST(LintWiring, ValidConstructionStillWorks)
+{
+    EXPECT_NO_THROW(core::DesignSolver{paperRequest()});
+    const wearout::Weibull device(10.0, 12.0);
+    EXPECT_NO_THROW(arch::ParallelStructure(device, 100, 10));
+    EXPECT_NO_THROW(fault::FaultPlan::stuckClosed(0.01).validate());
+}
+
+// --- spec files ----------------------------------------------------------
+
+TEST(LintSpecFile, CleanSpecYieldsNoDiagnostics)
+{
+    const Report report = lint::lintText("# comment\n"
+                                         "[design]\n"
+                                         "alpha = 10\n"
+                                         "beta = 12\n"
+                                         "lab = 91250\n"
+                                         "k_fraction = 0.2\n"
+                                         "guess_space = 1e6\n"
+                                         "\n"
+                                         "[fault]\n"
+                                         "stuck_closed_rate = 0.001\n",
+                                         "clean.lemons");
+    EXPECT_TRUE(report.empty()) << report.format();
+}
+
+TEST(LintSpecFile, InvalidValuesFireRuleCodes)
+{
+    const Report report = lint::lintText("[design]\n"
+                                         "alpha = 10\n"
+                                         "beta = 12\n"
+                                         "lab = 91250\n"
+                                         "k_fraction = 1.5\n",
+                                         "bad.lemons");
+    EXPECT_TRUE(firesError(report, Code::L004));
+    EXPECT_EQ(report.diagnostics().front().file, "bad.lemons");
+}
+
+TEST(LintSpecFile, ParserProblemsAreDiagnostics)
+{
+    EXPECT_TRUE(firesError(lint::lintText("alpha = 10\n", "f"),
+                           Code::L902));
+    EXPECT_TRUE(firesError(lint::lintText("[nonsense]\nx = 1\n", "f"),
+                           Code::L903));
+    EXPECT_TRUE(
+        firesError(lint::lintText("[design]\nalpha = banana\n", "f"),
+                   Code::L905));
+    const Report unknown =
+        lint::lintText("[design]\nalpha = 10\nbeta = 12\nlab = 1\n"
+                       "frobnicate = 3\n",
+                       "f");
+    EXPECT_TRUE(unknown.hasCode(Code::L904));
+    EXPECT_FALSE(unknown.hasErrors());
+    EXPECT_TRUE(lint::lintText("\n# only comments\n", "f")
+                    .hasCode(Code::L906));
+}
+
+TEST(LintSpecFile, UnreadableFileIsL901)
+{
+    const Report report =
+        lint::lintFile("/nonexistent/path/spec.lemons");
+    EXPECT_TRUE(firesError(report, Code::L901));
+}
+
+TEST(LintSpecFile, RepeatedSectionsLintIndependently)
+{
+    const Report report = lint::lintText("[fault]\n"
+                                         "stuck_closed_rate = 0.001\n"
+                                         "[fault]\n"
+                                         "stuck_closed_rate = 1.5\n",
+                                         "f");
+    EXPECT_TRUE(firesError(report, Code::L401));
+    EXPECT_EQ(report.errorCount(), 1u);
+}
+
+} // namespace
+} // namespace lemons

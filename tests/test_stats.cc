@@ -89,6 +89,84 @@ TEST(RunningStats, AllNonFiniteLeavesAccumulatorEmpty)
     EXPECT_EQ(s.variance(), 0.0);
 }
 
+TEST(RunningStatsMerge, EquivalentToSingleAccumulator)
+{
+    RunningStats whole;
+    RunningStats a;
+    RunningStats b;
+    for (int i = 0; i < 5000; ++i) {
+        const double x = 1e6 + std::cos(0.37 * i) * (1.0 + 0.01 * (i % 13));
+        whole.add(x);
+        (i % 3 == 0 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), whole.count());
+    EXPECT_DOUBLE_EQ(a.min(), whole.min());
+    EXPECT_DOUBLE_EQ(a.max(), whole.max());
+    EXPECT_NEAR(a.mean(), whole.mean(), 1e-6);
+    EXPECT_NEAR(a.variance(), whole.variance(), 1e-6 * whole.variance());
+}
+
+TEST(RunningStatsMerge, EmptyIsIdentityOnBothSides)
+{
+    RunningStats filled;
+    filled.add(1.0);
+    filled.add(3.0);
+
+    RunningStats intoEmpty;
+    intoEmpty.merge(filled);
+    EXPECT_EQ(intoEmpty.count(), 2u);
+    EXPECT_DOUBLE_EQ(intoEmpty.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(intoEmpty.min(), 1.0);
+    EXPECT_DOUBLE_EQ(intoEmpty.max(), 3.0);
+
+    filled.merge(RunningStats{});
+    EXPECT_EQ(filled.count(), 2u);
+    EXPECT_DOUBLE_EQ(filled.mean(), 2.0);
+
+    RunningStats bothEmpty;
+    bothEmpty.merge(RunningStats{});
+    EXPECT_EQ(bothEmpty.count(), 0u);
+    EXPECT_EQ(bothEmpty.mean(), 0.0);
+}
+
+TEST(RunningStatsMerge, QuarantineTallySurvivesEveryBranch)
+{
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+
+    // Empty target with prior quarantine absorbing a filled source.
+    RunningStats target;
+    target.add(nan);
+    RunningStats source;
+    source.add(2.0);
+    source.add(nan);
+    target.merge(source);
+    EXPECT_EQ(target.count(), 1u);
+    EXPECT_EQ(target.nonFiniteCount(), 2u);
+
+    // Empty source still donates its quarantine count.
+    RunningStats onlyNan;
+    onlyNan.add(nan);
+    target.merge(onlyNan);
+    EXPECT_EQ(target.count(), 1u);
+    EXPECT_EQ(target.nonFiniteCount(), 3u);
+}
+
+TEST(SharedRunningStats, SnapshotSeesAddsAndMerges)
+{
+    SharedRunningStats shared;
+    shared.add(1.0);
+    RunningStats local;
+    local.add(5.0);
+    local.add(9.0);
+    shared.mergeFrom(local);
+    const RunningStats snap = shared.snapshot();
+    EXPECT_EQ(snap.count(), 3u);
+    EXPECT_DOUBLE_EQ(snap.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(snap.min(), 1.0);
+    EXPECT_DOUBLE_EQ(snap.max(), 9.0);
+}
+
 TEST(Quantile, MedianOfOddSet)
 {
     EXPECT_DOUBLE_EQ(quantile({3.0, 1.0, 2.0}, 0.5), 2.0);
