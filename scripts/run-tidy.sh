@@ -30,8 +30,9 @@ if [[ ! -f "$build_dir/compile_commands.json" ]]; then
         -DLEMONS_BUILD_BENCH=OFF >/dev/null
 fi
 
-# Everything under src/ except generated files; tests and benches are
-# exercised by the compiler warning gate instead.
+# Everything under src/ except generated files — including the static
+# verification layer (src/ir, src/verify) — is swept by the find below;
+# tests and benches are exercised by the compiler warning gate instead.
 mapfile -t sources < <(find "$repo_root/src" -name '*.cc' | sort)
 
 shift $shift_count || true

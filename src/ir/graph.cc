@@ -1,0 +1,100 @@
+#include "ir/graph.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace lemons::ir {
+
+const char *
+nodeKindName(NodeKind kind)
+{
+    switch (kind) {
+    case NodeKind::SecretSource:
+        return "secret-source";
+    case NodeKind::Device:
+        return "device";
+    case NodeKind::Series:
+        return "series";
+    case NodeKind::Parallel:
+        return "parallel";
+    case NodeKind::Replicate:
+        return "replicate";
+    case NodeKind::Store:
+        return "store";
+    case NodeKind::Sink:
+        return "sink";
+    }
+    return "unknown";
+}
+
+NodeId
+Graph::add(Node node)
+{
+    const NodeId id = static_cast<NodeId>(nodeList.size());
+    nodeList.push_back(std::move(node));
+    out.emplace_back();
+    return id;
+}
+
+void
+Graph::connect(NodeId from, NodeId to)
+{
+    if (from >= nodeList.size() || to >= nodeList.size())
+        throw std::invalid_argument(
+            "ir::Graph::connect: node id out of range");
+    out[from].push_back(to);
+}
+
+void
+Graph::addObligation(Obligation obligation)
+{
+    if (obligation.target >= nodeList.size())
+        throw std::invalid_argument(
+            "ir::Graph::addObligation: target out of range");
+    obls.push_back(obligation);
+}
+
+std::vector<NodeId>
+Graph::predecessors(NodeId id) const
+{
+    std::vector<NodeId> preds;
+    for (NodeId from = 0; from < nodeList.size(); ++from) {
+        for (const NodeId to : out[from]) {
+            if (to == id)
+                preds.push_back(from);
+        }
+    }
+    return preds;
+}
+
+std::vector<NodeId>
+Graph::topoOrder() const
+{
+    const size_t n = nodeList.size();
+    std::vector<size_t> inDegree(n, 0);
+    for (const auto &edges : out) {
+        for (const NodeId to : edges)
+            ++inDegree[to];
+    }
+    std::vector<NodeId> ready;
+    for (NodeId id = 0; id < n; ++id) {
+        if (inDegree[id] == 0)
+            ready.push_back(id);
+    }
+    std::vector<NodeId> order;
+    order.reserve(n);
+    while (!ready.empty()) {
+        const NodeId id = ready.back();
+        ready.pop_back();
+        order.push_back(id);
+        for (const NodeId to : out[id]) {
+            if (--inDegree[to] == 0)
+                ready.push_back(to);
+        }
+    }
+    if (order.size() != n)
+        return {}; // cycle
+    return order;
+}
+
+} // namespace lemons::ir

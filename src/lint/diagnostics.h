@@ -23,7 +23,16 @@
  *   L3xx  one-time-pad tree configurations
  *   L4xx  fault-injection plans
  *   L5xx  M-way replication composition
+ *   L6xx  usage-workload profiles
+ *   L7xx  lifetime-mixture (bathtub) models
  *   L9xx  spec-file parsing (CLI)
+ *
+ * The V range belongs to the whole-design static verifier
+ * (lemons::verify over the lemons::ir architecture IR):
+ *   V0xx  analytic bound propagation (certified [lo, hi] brackets)
+ *   V1xx  structural rules (reachability, redundancy waste)
+ *   V2xx  secret-flow analysis (taint from share sources to sinks)
+ *   V9xx  IR lowering problems
  */
 
 #ifndef LEMONS_LINT_DIAGNOSTICS_H_
@@ -116,7 +125,48 @@ const char *severityName(Severity severity);
     X(L903, Error, "unknown spec section")                                   \
     X(L904, Warning, "unknown spec key")                                     \
     X(L905, Error, "malformed spec value")                                   \
-    X(L906, Warning, "spec file declares no sections")
+    X(L906, Warning, "spec file declares no sections")                       \
+    X(L601, Error, "workload mean accesses per day must be positive "       \
+                   "and finite")                                             \
+    X(L602, Error, "burst probability outside [0, 1]")                       \
+    X(L603, Error, "burst multiplier must be at least 1 and finite")         \
+    X(L604, Warning, "access budget below the expected demand over the "    \
+                     "horizon")                                              \
+    X(L605, Warning, "burst-dominated profile: bursts carry most of the "   \
+                     "demand")                                               \
+    X(L701, Error, "mixture infant fraction outside [0, 1]")                 \
+    X(L702, Error, "mixture component alpha/beta must be positive and "     \
+                   "finite")                                                 \
+    X(L703, Warning, "infant component shape >= 1: hazard is not "          \
+                     "decreasing")                                           \
+    X(L704, Warning, "infant component scale not below the main scale")     \
+    X(V001, Note, "certified bound bracket")                                 \
+    X(V002, Error, "survival bracket falls below the reliability floor "    \
+                   "at the access bound")                                    \
+    X(V003, Error, "residual survival bracket exceeds the degradation "     \
+                   "ceiling")                                                \
+    X(V004, Warning, "bound bracket inconclusive: the criterion lies "      \
+                     "inside the certified interval")                        \
+    X(V005, Error, "expected total accesses cannot reach the legitimate "   \
+                   "access bound")                                           \
+    X(V006, Error, "expected total accesses exceed the upper-bound "        \
+                   "target")                                                 \
+    X(V007, Error, "OTP adversary success bracket is not negligible")        \
+    X(V008, Warning, "OTP receiver success bracket below the delivery "     \
+                     "floor")                                                \
+    X(V101, Warning, "unreachable node: no source-to-sink path "            \
+                     "traverses it")                                         \
+    X(V102, Warning, "redundancy waste: parallel width beyond what the "    \
+                     "reliability target needs")                             \
+    X(V103, Error, "fault plan attached to a node the design never "        \
+                   "traverses")                                              \
+    X(V201, Error, "secret share reaches a sink without traversing a "      \
+                   "wearout gate")                                           \
+    X(V202, Error, "fewer than threshold shares sit behind wearout "        \
+                   "gates")                                                  \
+    X(V203, Warning, "secret source cannot reach any sink: the key is "     \
+                     "unrecoverable")                                        \
+    X(V901, Error, "spec does not lower into the architecture IR")
 
 /** Stable diagnostic identifiers. */
 enum class Code {

@@ -8,16 +8,24 @@
  *
  *     lemons-lint examples/configs/smartphone_unlock.lemons ...
  *
+ * With --verify the whole-design static verifier also runs: each
+ * file's sections are lowered into the architecture IR and the bound-
+ * propagation, structural, and secret-flow passes report V-range
+ * findings alongside the lint L-range, under the same exit-code and
+ * --werror semantics.
+ *
  * Exit codes: 0 clean (warnings allowed unless --werror), 1 at least
  * one error-severity finding, 2 usage error.
  */
 
+#include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "lint/diagnostics.h"
 #include "lint/spec_file.h"
+#include "verify/verifier.h"
 
 namespace {
 
@@ -30,6 +38,8 @@ printUsage(std::ostream &out)
            "the lemons design rules without running any simulation.\n"
            "\n"
            "options:\n"
+           "  --verify  also lower each spec into the architecture IR\n"
+           "            and run the static verifier (V-range findings)\n"
            "  --werror  treat warnings as errors\n"
            "  --quiet   print only the per-file summaries\n"
            "  --codes   print the diagnostic-code catalog and exit\n"
@@ -42,11 +52,12 @@ printCatalog(std::ostream &out)
     out << "code  severity  rule\n";
     for (const lemons::lint::CodeInfo &info :
          lemons::lint::codeCatalog()) {
-        out << info.id << "  " << lemons::lint::severityName(info.severity)
-            << (info.severity == lemons::lint::Severity::Error
-                    ? "     "
-                    : "   ")
-            << info.title << "\n";
+        const char *severity = lemons::lint::severityName(info.severity);
+        out << info.id << "  " << severity;
+        // Pad to the widest severity name ("warning", 7 chars) + 2.
+        for (size_t pad = std::strlen(severity); pad < 9; ++pad)
+            out << ' ';
+        out << info.title << "\n";
     }
 }
 
@@ -57,6 +68,7 @@ main(int argc, char **argv)
 {
     bool werror = false;
     bool quiet = false;
+    bool verify = false;
     std::vector<std::string> files;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -64,6 +76,8 @@ main(int argc, char **argv)
             werror = true;
         } else if (arg == "--quiet") {
             quiet = true;
+        } else if (arg == "--verify") {
+            verify = true;
         } else if (arg == "--codes") {
             printCatalog(std::cout);
             return 0;
@@ -87,7 +101,9 @@ main(int argc, char **argv)
     size_t errors = 0;
     size_t warnings = 0;
     for (const std::string &file : files) {
-        const lemons::lint::Report report = lemons::lint::lintFile(file);
+        lemons::lint::Report report = lemons::lint::lintFile(file);
+        if (verify)
+            report.merge(lemons::verify::verifySpecFile(file));
         errors += report.errorCount();
         warnings += report.warningCount();
         if (!quiet && !report.empty())

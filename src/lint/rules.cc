@@ -226,6 +226,34 @@ checkStructure(const StructureSpec &spec)
                        "secret is destroyed",
                    "the paper's encodings use k/n of 0.1-0.3");
     }
+    // Optional verification criteria reuse the design-criteria codes:
+    // the rule is the same whether the numbers arrive via a
+    // DesignRequest or an annotated structure.
+    const bool minOk = !spec.minReliability ||
+                       (*spec.minReliability > 0.0 &&
+                        *spec.minReliability < 1.0);
+    if (!minOk) {
+        report.add(Code::L005, object, "minReliability",
+                   "minReliability is " + num(*spec.minReliability) +
+                       "; it must lie strictly inside (0, 1)");
+    }
+    const bool residualOk = !spec.maxResidual ||
+                            (*spec.maxResidual > 0.0 &&
+                             *spec.maxResidual < 1.0);
+    if (!residualOk) {
+        report.add(Code::L006, object, "maxResidual",
+                   "maxResidual is " + num(*spec.maxResidual) +
+                       "; it must lie strictly inside (0, 1)");
+    }
+    if (minOk && residualOk && spec.minReliability && spec.maxResidual &&
+        *spec.maxResidual >= *spec.minReliability) {
+        report.add(Code::L007, object, "minReliability/maxResidual",
+                   "maxResidual (" + num(*spec.maxResidual) +
+                       ") does not stay below minReliability (" +
+                       num(*spec.minReliability) + ")",
+                   "keep the residual ceiling well below the "
+                   "reliability floor, e.g. 0.01 vs 0.99");
+    }
     return report;
 }
 
@@ -445,6 +473,102 @@ checkMway(const MwaySpec &spec)
                            " total devices, beyond fabrication "
                            "plausibility");
         }
+    }
+    return report;
+}
+
+Report
+checkWorkload(const WorkloadSpec &spec)
+{
+    Report report;
+    const std::string object = "UsageProfile";
+
+    if (!positiveFinite(spec.meanPerDay)) {
+        report.add(Code::L601, object, "meanPerDay",
+                   "mean accesses per day is " + num(spec.meanPerDay) +
+                       "; the Poisson rate must be positive and finite",
+                   "the paper's smartphone assumption is 50/day");
+    }
+    if (!(spec.burstProbability >= 0.0 && spec.burstProbability <= 1.0)) {
+        report.add(Code::L602, object, "burstProbability",
+                   "burst probability " + num(spec.burstProbability) +
+                       " outside [0, 1]");
+    }
+    if (!(std::isfinite(spec.burstMultiplier) &&
+          spec.burstMultiplier >= 1.0)) {
+        report.add(Code::L603, object, "burstMultiplier",
+                   "burst multiplier " + num(spec.burstMultiplier) +
+                       " must be at least 1 and finite",
+                   "a multiplier of 1 disables bursts");
+    }
+    if (report.hasErrors())
+        return report;
+
+    const double effectiveMean =
+        spec.meanPerDay *
+        (1.0 + spec.burstProbability * (spec.burstMultiplier - 1.0));
+    if (spec.budgetAccesses && spec.horizonDays) {
+        const double demand =
+            effectiveMean * static_cast<double>(*spec.horizonDays);
+        if (static_cast<double>(*spec.budgetAccesses) < demand) {
+            report.add(Code::L604, object, "budgetAccesses",
+                       "the budget of " + num(*spec.budgetAccesses) +
+                           " accesses is below the expected demand of " +
+                           num(demand) + " over " + num(*spec.horizonDays) +
+                           " days; the device exhausts before the "
+                           "horizon more often than not",
+                       "raise the budget (or replicate M-way) or "
+                       "shorten the horizon");
+        }
+    }
+    if (spec.burstProbability > 0.0 && spec.burstMultiplier > 1.0) {
+        const double burstShare =
+            spec.burstProbability * spec.burstMultiplier /
+            (1.0 - spec.burstProbability +
+             spec.burstProbability * spec.burstMultiplier);
+        if (burstShare > 0.5) {
+            report.add(Code::L605, object, "burstMultiplier",
+                       "burst days carry " + num(burstShare * 100.0) +
+                           "% of all accesses; the profile is no longer "
+                           "a perturbed daily rate",
+                       "model the bursty application as its own "
+                       "profile instead");
+        }
+    }
+    return report;
+}
+
+Report
+checkMixture(const MixtureSpec &spec)
+{
+    Report report;
+    const std::string object = "BathtubModel";
+
+    if (!(spec.infantFraction >= 0.0 && spec.infantFraction <= 1.0)) {
+        report.add(Code::L701, object, "infantFraction",
+                   "mixture weight " + num(spec.infantFraction) +
+                       " outside [0, 1]");
+    }
+    checkDeviceInto(report, Code::L702, Code::L702, object, spec.infant);
+    checkDeviceInto(report, Code::L702, Code::L702, object, spec.main);
+    if (report.hasErrors())
+        return report;
+
+    if (spec.infantFraction > 0.0 && spec.infant.beta >= 1.0) {
+        report.add(Code::L703, object, "infant.beta",
+                   "infant shape " + num(spec.infant.beta) +
+                       " >= 1 gives a non-decreasing hazard, which is "
+                       "not an infant-mortality mechanism",
+                   "early-life legs use shape < 1 (e.g. 0.8)");
+    }
+    if (spec.infantFraction > 0.0 &&
+        spec.infant.alpha >= spec.main.alpha) {
+        report.add(Code::L704, object, "infant.alpha",
+                   "infant scale " + num(spec.infant.alpha) +
+                       " is not below the main scale " +
+                       num(spec.main.alpha) + "; the leg is "
+                       "indistinguishable from designed wearout",
+                   "early-life scales sit at ~10% of the main alpha");
     }
     return report;
 }

@@ -53,6 +53,14 @@ struct StructureSpec
     uint64_t n = 1; ///< width (parallel) or chain length (series)
     uint64_t k = 1; ///< reconstruction threshold (parallel only)
     wearout::DeviceSpec device{10.0, 12.0};
+
+    // Optional verification obligations. When present, the static
+    // verifier (lemons::verify) certifies analytic brackets against
+    // them; the plain lint pass only range-checks the values.
+    std::optional<uint64_t> accessBound{}; ///< per-copy bound t to certify
+    std::optional<uint64_t> copies{};      ///< serially consumed copies N
+    std::optional<double> minReliability{}; ///< floor for R(t)
+    std::optional<double> maxResidual{};    ///< ceiling for R(t + 1)
 };
 
 /** A secret-sharing layout: n shares, threshold k, field width. */
@@ -61,6 +69,33 @@ struct ShareSpec
     uint64_t shares = 1;
     uint64_t threshold = 1;
     unsigned fieldBits = 8; ///< 8 = GF(256) Shamir, 16 = GF(65536)
+    /**
+     * Shares stored outside the wearout fabric (no NEMS guard in
+     * front of them). Zero in every sane deployment; the secret-flow
+     * verifier pass (V2xx) flags designs where shares bypass the
+     * wearout gates.
+     */
+    uint64_t unguarded = 0;
+};
+
+/** A stochastic usage-workload profile (sim/workload.h counterpart). */
+struct WorkloadSpec
+{
+    double meanPerDay = 50.0;     ///< Poisson rate on ordinary days
+    double burstProbability = 0.0; ///< P(a day is a burst day)
+    double burstMultiplier = 1.0;  ///< rate multiplier on burst days
+    /** Total access budget the profile draws down, when known. */
+    std::optional<uint64_t> budgetAccesses{};
+    /** Calendar horizon in days, when known. */
+    std::optional<uint64_t> horizonDays{};
+};
+
+/** A bathtub lifetime mixture (wearout/mixture.h counterpart). */
+struct MixtureSpec
+{
+    double infantFraction = 0.0; ///< weight of the early-life leg
+    wearout::DeviceSpec infant{1.0, 0.8}; ///< early-failure component
+    wearout::DeviceSpec main{10.0, 12.0}; ///< designed wearout component
 };
 
 /** An M-way replication layout. */
@@ -91,6 +126,12 @@ Report checkFaultPlan(const fault::FaultPlan &plan);
 
 /** L5xx: M-way replication composition limits. */
 Report checkMway(const MwaySpec &spec);
+
+/** L6xx: usage-workload profile rules. */
+Report checkWorkload(const WorkloadSpec &spec);
+
+/** L7xx: bathtub-mixture model rules. */
+Report checkMixture(const MixtureSpec &spec);
 
 /** Constructor fast paths: throw LintError on error-severity findings. */
 void checkDesignOrThrow(const core::DesignRequest &request);

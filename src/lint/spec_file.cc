@@ -78,7 +78,8 @@ parseSections(std::string_view text, Report &report)
                            lineRef(lineNo) + ": malformed section "
                            "header '" + line + "'",
                            "write [design], [structure], [shares], "
-                           "[otp], [fault], or [mway]");
+                           "[otp], [fault], [mway], [workload], or "
+                           "[mixture]");
                 continue;
             }
             Section section;
@@ -160,52 +161,64 @@ unknownKey(const Entry &entry, const std::string &object, Report &report)
                "see the section/key table in lint/spec_file.h");
 }
 
+/*
+ * Each parse*Section consumes one [section], appending parse
+ * diagnostics and then rule diagnostics to its report. Sections whose
+ * values parsed (no L905/L904-escalated errors) are appended to the
+ * ParsedSpec even when rule checks fail, so the verifier can analyse
+ * rule-questionable but well-formed designs.
+ */
+
 Report
-lintDesignSection(const Section &section)
+parseDesignSection(const Section &section, ParsedSpec &spec)
 {
     Report report;
     const std::string object = "[design]";
-    core::DesignRequest request;
-    DesignLintOptions options;
+    DesignSection design;
     for (const Entry &entry : section.entries) {
         if (entry.key == "alpha") {
-            parseDouble(entry, object, report, request.device.alpha);
+            parseDouble(entry, object, report,
+                        design.request.device.alpha);
         } else if (entry.key == "beta") {
-            parseDouble(entry, object, report, request.device.beta);
+            parseDouble(entry, object, report,
+                        design.request.device.beta);
         } else if (entry.key == "lab") {
             parseUint(entry, object, report,
-                      request.legitimateAccessBound);
+                      design.request.legitimateAccessBound);
         } else if (entry.key == "k_fraction") {
-            parseDouble(entry, object, report, request.kFraction);
+            parseDouble(entry, object, report, design.request.kFraction);
         } else if (entry.key == "min_reliability") {
             parseDouble(entry, object, report,
-                        request.criteria.minReliability);
+                        design.request.criteria.minReliability);
         } else if (entry.key == "max_residual_reliability") {
             parseDouble(entry, object, report,
-                        request.criteria.maxResidualReliability);
+                        design.request.criteria.maxResidualReliability);
         } else if (entry.key == "upper_bound_target") {
             uint64_t target = 0;
             if (parseUint(entry, object, report, target))
-                request.upperBoundTarget = target;
+                design.request.upperBoundTarget = target;
         } else if (entry.key == "guess_space") {
             double space = 0.0;
             if (parseDouble(entry, object, report, space))
-                options.guessSpace = space;
+                design.options.guessSpace = space;
         } else if (entry.key == "max_width") {
-            parseUint(entry, object, report, request.maxWidth);
+            parseUint(entry, object, report, design.request.maxWidth);
         } else if (entry.key == "max_per_copy_bound") {
-            parseUint(entry, object, report, request.maxPerCopyBound);
+            parseUint(entry, object, report,
+                      design.request.maxPerCopyBound);
         } else {
             unknownKey(entry, object, report);
         }
     }
-    if (!report.hasErrors())
-        report.merge(checkDesign(request, options));
+    if (report.hasErrors())
+        return report;
+    report.merge(checkDesign(design.request, design.options));
+    spec.designs.push_back(design);
     return report;
 }
 
 Report
-lintStructureSection(const Section &section)
+parseStructureSection(const Section &section, ParsedSpec &parsed)
 {
     Report report;
     const std::string object = "[structure]";
@@ -230,17 +243,35 @@ lintStructureSection(const Section &section)
             parseDouble(entry, object, report, spec.device.alpha);
         } else if (entry.key == "beta") {
             parseDouble(entry, object, report, spec.device.beta);
+        } else if (entry.key == "access_bound") {
+            uint64_t bound = 0;
+            if (parseUint(entry, object, report, bound))
+                spec.accessBound = bound;
+        } else if (entry.key == "copies") {
+            uint64_t copies = 0;
+            if (parseUint(entry, object, report, copies))
+                spec.copies = copies;
+        } else if (entry.key == "min_reliability") {
+            double floor = 0.0;
+            if (parseDouble(entry, object, report, floor))
+                spec.minReliability = floor;
+        } else if (entry.key == "max_residual") {
+            double ceiling = 0.0;
+            if (parseDouble(entry, object, report, ceiling))
+                spec.maxResidual = ceiling;
         } else {
             unknownKey(entry, object, report);
         }
     }
-    if (!report.hasErrors())
-        report.merge(checkStructure(spec));
+    if (report.hasErrors())
+        return report;
+    report.merge(checkStructure(spec));
+    parsed.structures.push_back(spec);
     return report;
 }
 
 Report
-lintSharesSection(const Section &section)
+parseSharesSection(const Section &section, ParsedSpec &parsed)
 {
     Report report;
     const std::string object = "[shares]";
@@ -255,46 +286,60 @@ lintSharesSection(const Section &section)
             if (parseUint(entry, object, report, bits))
                 spec.fieldBits = static_cast<unsigned>(
                     std::min<uint64_t>(bits, 1u << 16));
+        } else if (entry.key == "unguarded") {
+            parseUint(entry, object, report, spec.unguarded);
         } else {
             unknownKey(entry, object, report);
         }
     }
-    if (!report.hasErrors())
-        report.merge(checkShares(spec));
+    if (report.hasErrors())
+        return report;
+    report.merge(checkShares(spec));
+    parsed.shares.push_back(spec);
     return report;
 }
 
 Report
-lintOtpSection(const Section &section)
+parseOtpSection(const Section &section, ParsedSpec &parsed)
 {
     Report report;
     const std::string object = "[otp]";
-    core::OtpParams params;
+    OtpSection otp;
     for (const Entry &entry : section.entries) {
         if (entry.key == "height") {
             uint64_t height = 0;
             if (parseUint(entry, object, report, height))
-                params.height = static_cast<unsigned>(
+                otp.params.height = static_cast<unsigned>(
                     std::min<uint64_t>(height, 1u << 16));
         } else if (entry.key == "copies") {
-            parseUint(entry, object, report, params.copies);
+            parseUint(entry, object, report, otp.params.copies);
         } else if (entry.key == "threshold") {
-            parseUint(entry, object, report, params.threshold);
+            parseUint(entry, object, report, otp.params.threshold);
         } else if (entry.key == "alpha") {
-            parseDouble(entry, object, report, params.device.alpha);
+            parseDouble(entry, object, report, otp.params.device.alpha);
         } else if (entry.key == "beta") {
-            parseDouble(entry, object, report, params.device.beta);
+            parseDouble(entry, object, report, otp.params.device.beta);
+        } else if (entry.key == "receiver_floor") {
+            double floor = 0.0;
+            if (parseDouble(entry, object, report, floor))
+                otp.receiverFloor = floor;
+        } else if (entry.key == "adversary_ceiling") {
+            double ceiling = 0.0;
+            if (parseDouble(entry, object, report, ceiling))
+                otp.adversaryCeiling = ceiling;
         } else {
             unknownKey(entry, object, report);
         }
     }
-    if (!report.hasErrors())
-        report.merge(checkOtp(params));
+    if (report.hasErrors())
+        return report;
+    report.merge(checkOtp(otp.params));
+    parsed.otps.push_back(otp);
     return report;
 }
 
 Report
-lintFaultSection(const Section &section)
+parseFaultSection(const Section &section, ParsedSpec &parsed)
 {
     Report report;
     const std::string object = "[fault]";
@@ -318,13 +363,15 @@ lintFaultSection(const Section &section)
             unknownKey(entry, object, report);
         }
     }
-    if (!report.hasErrors())
-        report.merge(checkFaultPlan(plan));
+    if (report.hasErrors())
+        return report;
+    report.merge(checkFaultPlan(plan));
+    parsed.faults.push_back(plan);
     return report;
 }
 
 Report
-lintMwaySection(const Section &section)
+parseMwaySection(const Section &section, ParsedSpec &parsed)
 {
     Report report;
     const std::string object = "[mway]";
@@ -340,46 +387,121 @@ lintMwaySection(const Section &section)
             unknownKey(entry, object, report);
         }
     }
-    if (!report.hasErrors())
-        report.merge(checkMway(spec));
+    if (report.hasErrors())
+        return report;
+    report.merge(checkMway(spec));
+    parsed.mways.push_back(spec);
+    return report;
+}
+
+Report
+parseWorkloadSection(const Section &section, ParsedSpec &parsed)
+{
+    Report report;
+    const std::string object = "[workload]";
+    WorkloadSpec spec;
+    for (const Entry &entry : section.entries) {
+        if (entry.key == "mean_per_day") {
+            parseDouble(entry, object, report, spec.meanPerDay);
+        } else if (entry.key == "burst_probability") {
+            parseDouble(entry, object, report, spec.burstProbability);
+        } else if (entry.key == "burst_multiplier") {
+            parseDouble(entry, object, report, spec.burstMultiplier);
+        } else if (entry.key == "budget") {
+            uint64_t budget = 0;
+            if (parseUint(entry, object, report, budget))
+                spec.budgetAccesses = budget;
+        } else if (entry.key == "horizon_days") {
+            uint64_t horizon = 0;
+            if (parseUint(entry, object, report, horizon))
+                spec.horizonDays = horizon;
+        } else {
+            unknownKey(entry, object, report);
+        }
+    }
+    if (report.hasErrors())
+        return report;
+    report.merge(checkWorkload(spec));
+    parsed.workloads.push_back(spec);
+    return report;
+}
+
+Report
+parseMixtureSection(const Section &section, ParsedSpec &parsed)
+{
+    Report report;
+    const std::string object = "[mixture]";
+    MixtureSpec spec;
+    for (const Entry &entry : section.entries) {
+        if (entry.key == "infant_fraction") {
+            parseDouble(entry, object, report, spec.infantFraction);
+        } else if (entry.key == "infant_alpha") {
+            parseDouble(entry, object, report, spec.infant.alpha);
+        } else if (entry.key == "infant_beta") {
+            parseDouble(entry, object, report, spec.infant.beta);
+        } else if (entry.key == "main_alpha") {
+            parseDouble(entry, object, report, spec.main.alpha);
+        } else if (entry.key == "main_beta") {
+            parseDouble(entry, object, report, spec.main.beta);
+        } else {
+            unknownKey(entry, object, report);
+        }
+    }
+    if (report.hasErrors())
+        return report;
+    report.merge(checkMixture(spec));
+    parsed.mixtures.push_back(spec);
     return report;
 }
 
 } // namespace
 
-Report
-lintText(std::string_view text, const std::string &filename)
+ParsedSpec
+parseSpec(std::string_view text, const std::string &filename,
+          Report &report)
 {
-    Report report;
-    const std::vector<Section> sections = parseSections(text, report);
-    if (sections.empty() && report.empty()) {
-        report.add(Code::L906, "spec", "",
-                   "the file declares no sections; nothing was checked",
-                   "add a [design], [structure], [shares], [otp], "
-                   "[fault], or [mway] section");
+    ParsedSpec parsed;
+    Report local;
+    const std::vector<Section> sections = parseSections(text, local);
+    if (sections.empty() && local.empty()) {
+        local.add(Code::L906, "spec", "",
+                  "the file declares no sections; nothing was checked",
+                  "add a [design], [structure], [shares], [otp], "
+                  "[fault], [mway], [workload], or [mixture] section");
     }
-    using Dispatcher = Report (*)(const Section &);
+    using Dispatcher = Report (*)(const Section &, ParsedSpec &);
     static const std::map<std::string, Dispatcher> dispatch = {
-        {"design", &lintDesignSection},
-        {"structure", &lintStructureSection},
-        {"shares", &lintSharesSection},
-        {"otp", &lintOtpSection},
-        {"fault", &lintFaultSection},
-        {"mway", &lintMwaySection},
+        {"design", &parseDesignSection},
+        {"structure", &parseStructureSection},
+        {"shares", &parseSharesSection},
+        {"otp", &parseOtpSection},
+        {"fault", &parseFaultSection},
+        {"mway", &parseMwaySection},
+        {"workload", &parseWorkloadSection},
+        {"mixture", &parseMixtureSection},
     };
     for (const Section &section : sections) {
         const auto found = dispatch.find(section.name);
         if (found == dispatch.end()) {
-            report.add(Code::L903, "spec", "",
-                       lineRef(section.line) + ": unknown section [" +
-                           section.name + "]",
-                       "known sections: design, structure, shares, "
-                       "otp, fault, mway");
+            local.add(Code::L903, "spec", "",
+                      lineRef(section.line) + ": unknown section [" +
+                          section.name + "]",
+                      "known sections: design, structure, shares, "
+                      "otp, fault, mway, workload, mixture");
             continue;
         }
-        report.merge(found->second(section));
+        local.merge(found->second(section, parsed));
     }
-    report.setFile(filename);
+    local.setFile(filename);
+    report.merge(std::move(local));
+    return parsed;
+}
+
+Report
+lintText(std::string_view text, const std::string &filename)
+{
+    Report report;
+    (void)parseSpec(text, filename, report);
     return report;
 }
 
@@ -396,6 +518,22 @@ lintFile(const std::string &path)
     std::ostringstream buffer;
     buffer << in.rdbuf();
     return lintText(buffer.str(), path);
+}
+
+ParsedSpec
+parseSpecFile(const std::string &path, Report &report)
+{
+    std::ifstream in(path);
+    if (!in) {
+        Report local;
+        local.add(Code::L901, "spec", "", "cannot open '" + path + "'");
+        local.setFile(path);
+        report.merge(std::move(local));
+        return {};
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return parseSpec(buffer.str(), path, report);
 }
 
 } // namespace lemons::lint

@@ -1,0 +1,192 @@
+#include "verify/interval.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/math.h"
+
+namespace lemons::verify {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/** The vacuous probability bracket: sound for any true value. */
+constexpr Interval
+vacuous()
+{
+    return Interval{0.0, 1.0};
+}
+
+bool
+validDevice(const wearout::DeviceSpec &device)
+{
+    return std::isfinite(device.alpha) && device.alpha > 0.0 &&
+           std::isfinite(device.beta) && device.beta > 0.0;
+}
+
+/** Scalar R(j) for a pre-validated device. */
+double
+scalarReliability(const wearout::DeviceSpec &device, double access)
+{
+    const double u = std::pow(access / device.alpha, device.beta);
+    const double r = std::exp(-u);
+    return std::isnan(r) ? 0.0 : r;
+}
+
+} // namespace
+
+Interval
+widenProbability(double value, double rel)
+{
+    if (std::isnan(value))
+        return vacuous();
+    const double clamped = std::clamp(value, 0.0, 1.0);
+    const double slack = rel * clamped + 1e-300;
+    return Interval{std::max(0.0, clamped - slack),
+                    std::min(1.0, clamped + slack)};
+}
+
+Interval
+deviceReliability(const wearout::DeviceSpec &device, double access)
+{
+    if (!validDevice(device) || !(access >= 0.0) ||
+        !std::isfinite(access))
+        return vacuous();
+    if (access == 0.0)
+        return Interval{1.0, 1.0};
+    return widenProbability(scalarReliability(device, access), kElemRel);
+}
+
+Interval
+powInterval(Interval base, double exponent)
+{
+    if (!(exponent >= 0.0) || !std::isfinite(exponent))
+        return vacuous();
+    if (exponent == 0.0)
+        return Interval{1.0, 1.0};
+    const double lo = std::pow(std::clamp(base.lo, 0.0, 1.0), exponent);
+    const double hi = std::pow(std::clamp(base.hi, 0.0, 1.0), exponent);
+    return Interval{widenProbability(lo, kElemRel).lo,
+                    widenProbability(hi, kElemRel).hi};
+}
+
+Interval
+parallelReliability(uint64_t n, uint64_t k, Interval p)
+{
+    if (k == 0)
+        return Interval{1.0, 1.0};
+    if (k > n)
+        return Interval{0.0, 0.0};
+    const double lo =
+        binomialTailAtLeast(n, k, std::clamp(p.lo, 0.0, 1.0));
+    const double hi =
+        binomialTailAtLeast(n, k, std::clamp(p.hi, 0.0, 1.0));
+    return Interval{widenProbability(lo, kTailRel).lo,
+                    widenProbability(hi, kTailRel).hi};
+}
+
+Interval
+expectedStructureAccesses(const wearout::DeviceSpec &device, uint64_t n,
+                          uint64_t k, uint64_t seriesCount)
+{
+    if (!validDevice(device))
+        return Interval{0.0, kInf};
+    const bool series = seriesCount > 0;
+    if (!series) {
+        if (k == 0)
+            return Interval{0.0, kInf}; // never fails: unbounded E
+        if (n == 0 || k > n)
+            return Interval{0.0, 0.0};
+    }
+
+    // Partial sum with per-term outward widening, truncated once terms
+    // are negligible relative to the accumulated total.
+    constexpr uint64_t kMaxTerms = 4'000'000;
+    double lo = 0.0;
+    double hi = 0.0;
+    uint64_t lastJ = 0;
+    for (uint64_t j = 1; j <= kMaxTerms; ++j) {
+        const double r = scalarReliability(device,
+                                           static_cast<double>(j));
+        double s = series ? std::pow(r, static_cast<double>(seriesCount))
+                          : binomialTailAtLeast(n, k, r);
+        if (std::isnan(s) || s < 0.0)
+            s = 0.0;
+        lo += s * (1.0 - kTailRel);
+        hi += s * (1.0 + kTailRel);
+        lastJ = j;
+        if (s == 0.0 || (hi > 0.0 && s < hi * 1e-15))
+            break;
+    }
+
+    // Certified truncation tail: S(j) <= factor * r(j), r decreasing,
+    // and  sum_{j>J} r(j) <= integral_J^inf r  = (a/b) Gamma(1/b, U)
+    // with U = (J/a)^b. For 1/b <= 1 the integrand envelope gives
+    // Gamma(1/b, U) <= U^(1/b-1) e^-U; for 1/b > 1 the same times
+    // U / (U - (1/b - 1)), valid once U clears 1/b - 1.
+    const double a = device.alpha;
+    const double b = device.beta;
+    const double J = static_cast<double>(lastJ);
+    const double U = std::pow(J / a, b);
+    const double s1 = 1.0 / b - 1.0;
+    const double factor =
+        series ? 1.0 : static_cast<double>(n);
+    double tail = kInf;
+    if (U > std::max(0.0, s1)) {
+        tail = factor * (a / b) * std::pow(U, s1) * std::exp(-U);
+        if (s1 > 0.0)
+            tail *= U / (U - s1);
+    }
+    if (!std::isfinite(tail))
+        return Interval{lo, kInf};
+    return Interval{lo, hi + tail};
+}
+
+namespace {
+
+/** Scalar Eq. 13-15 at per-copy traversal success @p s. */
+double
+adversaryAt(uint64_t copies, uint64_t threshold, unsigned height,
+            double s)
+{
+    if (threshold == 0)
+        return 1.0;
+    if (threshold > copies)
+        return 0.0;
+    const double pRight =
+        height >= 1 ? std::ldexp(1.0, -(static_cast<int>(height) - 1))
+                    : 1.0;
+    std::vector<double> terms;
+    terms.reserve(static_cast<size_t>(copies - threshold + 1));
+    for (uint64_t x = threshold; x <= copies; ++x) {
+        terms.push_back(logBinomialPmf(copies, x, s) +
+                        logBinomialTailAtLeast(x, threshold, pRight));
+    }
+    const double result = std::exp(logSumExp(terms));
+    return std::isnan(result) ? 1.0 : result;
+}
+
+} // namespace
+
+Interval
+otpAdversarySuccess(uint64_t copies, uint64_t threshold, unsigned height,
+                    Interval pathSuccess)
+{
+    // O(copies) log-space terms per endpoint; bail out to the vacuous
+    // bracket on absurd widths a fuzzer might feed in.
+    if (copies > 200'000)
+        return vacuous();
+    const double lo = adversaryAt(copies, threshold, height,
+                                  std::clamp(pathSuccess.lo, 0.0, 1.0));
+    const double hi = adversaryAt(copies, threshold, height,
+                                  std::clamp(pathSuccess.hi, 0.0, 1.0));
+    // The log-sum accumulates one rounding per term; 1e-7 relative
+    // slack dominates it for any copies under the cap.
+    return Interval{widenProbability(lo, 1e-7).lo,
+                    widenProbability(hi, 1e-7).hi};
+}
+
+} // namespace lemons::verify

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Interval arithmetic over Weibull survival probabilities.
+ *
+ * The verifier's claims are brackets: every composition rule the
+ * paper uses (series = product, k-of-n = binomial tail, expected
+ * totals = survival sums) is evaluated at interval endpoints —
+ * legitimate because each composed quantity is monotone in its
+ * per-element survival probability — and then widened *outward* by a
+ * conservative relative slack that dominates the floating-point
+ * rounding of the underlying log-space evaluators. A returned
+ * [lo, hi] is therefore a certificate: the true analytic value lies
+ * inside, so a criterion strictly outside the bracket is decided,
+ * and a criterion inside it is honestly reported as inconclusive
+ * (V004) instead of being coin-flipped by rounding.
+ *
+ * Degenerate inputs (non-positive alpha/beta, k = 0, NaN) yield the
+ * vacuous bracket [0, 1] (or [0, inf] for expectations) rather than
+ * throwing: the fuzzers drive garbage through here, and a vacuous
+ * answer is still a *sound* answer.
+ */
+
+#ifndef LEMONS_VERIFY_INTERVAL_H_
+#define LEMONS_VERIFY_INTERVAL_H_
+
+#include <cstdint>
+
+#include "wearout/device.h"
+
+namespace lemons::verify {
+
+/** A closed bracket [lo, hi] certified to contain the true value. */
+struct Interval
+{
+    double lo = 0.0;
+    double hi = 0.0;
+
+    bool contains(double value) const { return lo <= value && value <= hi; }
+    double width() const { return hi - lo; }
+};
+
+/** Relative outward slack for elementary evaluations (exp/pow). */
+inline constexpr double kElemRel = 1e-12;
+/** Relative outward slack for binomial-tail / log-sum evaluations. */
+inline constexpr double kTailRel = 1e-9;
+
+/** [v(1-rel), v(1+rel)] clamped to [0, 1]; vacuous on NaN. */
+Interval widenProbability(double value, double rel);
+
+/** R(x) = exp(-(x/alpha)^beta) as a certified bracket. */
+Interval deviceReliability(const wearout::DeviceSpec &device, double access);
+
+/** base^exponent for base a probability bracket, exponent >= 0. */
+Interval powInterval(Interval base, double exponent);
+
+/**
+ * P(X >= k) for X ~ Binomial(n, p) with p a probability bracket
+ * (monotone non-decreasing in p, so endpoint evaluation is exact up
+ * to rounding). k = 0 gives [1, 1]; k > n gives [0, 0].
+ */
+Interval parallelReliability(uint64_t n, uint64_t k, Interval p);
+
+/**
+ * Expected accesses one structure survives: sum_{j>=1} S(j) where
+ * S(j) = P(Bin(n, r(j)) >= k) for a parallel structure, or r(j)^count
+ * for a series chain (pass n = count, k = 0 series sentinel via
+ * @p seriesCount). The truncated tail is covered by the certified
+ * bound  sum_{j>J} S(j) <= n * (alpha/beta) * U^(1/beta - 1) * r(J)
+ * with U = (J/alpha)^beta (incomplete-gamma envelope; valid because
+ * S(j) <= n * r(j) and r is decreasing).
+ */
+Interval expectedStructureAccesses(const wearout::DeviceSpec &device,
+                                   uint64_t n, uint64_t k,
+                                   uint64_t seriesCount);
+
+/**
+ * OTP adversary success (paper Eq. 13-15) as a bracket: per-copy
+ * traversal success s in @p pathSuccess, right-path probability
+ * 2^-(height-1); monotone non-decreasing in s.
+ */
+Interval otpAdversarySuccess(uint64_t copies, uint64_t threshold,
+                             unsigned height, Interval pathSuccess);
+
+} // namespace lemons::verify
+
+#endif // LEMONS_VERIFY_INTERVAL_H_

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The verifier's analysis passes over the architecture IR.
+ *
+ * Three passes, each a pure function Graph -> Report emitting V-range
+ * diagnostics through the lemons::lint engine:
+ *
+ *  - bound propagation (V0xx): composes certified survival brackets
+ *    through the graph (series = product, k-of-n = binomial tail,
+ *    expected totals = survival sums) and decides each obligation as
+ *    PASS (V001 note), FAIL (V002/V003/V005/V006/V007 error, V008
+ *    warning), or honestly inconclusive (V004) when the criterion
+ *    lies inside the bracket;
+ *
+ *  - structural rules (V1xx): source-to-sink reachability (V101 dead
+ *    nodes, V103 fault plans on never-traversed nodes) and
+ *    redundancy-waste detection (V102: parallel width at least twice
+ *    the minimum meeting the node's own reliability obligations);
+ *
+ *  - secret flow (V2xx): taints share material at SecretSource nodes
+ *    and flags branches that reach a sink without traversing a
+ *    wearout Device gate (V201), sources with fewer than
+ *    shareThreshold shares behind gates (V202), and sources that
+ *    cannot reach any sink at all (V203).
+ */
+
+#ifndef LEMONS_VERIFY_PASSES_H_
+#define LEMONS_VERIFY_PASSES_H_
+
+#include "ir/graph.h"
+#include "lint/diagnostics.h"
+
+namespace lemons::verify {
+
+/** V0xx: certify every obligation against propagated brackets. */
+lint::Report runBoundPass(const ir::Graph &graph);
+
+/** V1xx: reachability and redundancy-waste rules. */
+lint::Report runStructuralPass(const ir::Graph &graph);
+
+/** V2xx: secret-share taint from sources to sinks. */
+lint::Report runSecretFlowPass(const ir::Graph &graph);
+
+/** All three passes, merged in the order above. */
+lint::Report verifyGraph(const ir::Graph &graph);
+
+} // namespace lemons::verify
+
+#endif // LEMONS_VERIFY_PASSES_H_

@@ -1,0 +1,41 @@
+#include "verify/verifier.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "ir/lower.h"
+#include "lint/spec_file.h"
+#include "verify/passes.h"
+
+namespace lemons::verify {
+
+lint::Report
+verifySpecText(std::string_view text, const std::string &filename)
+{
+    // The lint pass owns the L-range; parse findings go to a scratch
+    // report so a --verify run never duplicates them.
+    lint::Report parseFindings;
+    const lint::ParsedSpec parsed =
+        lint::parseSpec(text, filename, parseFindings);
+
+    lint::Report report;
+    const std::vector<ir::Graph> graphs = ir::lowerSpec(parsed, report);
+    for (const ir::Graph &graph : graphs)
+        report.merge(verifyGraph(graph));
+    report.setFile(filename);
+    return report;
+}
+
+lint::Report
+verifySpecFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return {};
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return verifySpecText(buffer.str(), path);
+}
+
+} // namespace lemons::verify

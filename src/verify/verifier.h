@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Spec-file drivers for the static verifier.
+ *
+ * These glue the pieces together for the `lemons-lint --verify` CLI
+ * mode and the cross-validation tests: parse a `.lemons` file with
+ * the lint front end, lower every architecture-bearing section into
+ * the IR, and run the three analysis passes over each graph. Only
+ * V-range diagnostics are returned — the plain lint pass reports the
+ * L-range separately, so a CLI run that does both never duplicates a
+ * finding.
+ */
+
+#ifndef LEMONS_VERIFY_VERIFIER_H_
+#define LEMONS_VERIFY_VERIFIER_H_
+
+#include <string>
+#include <string_view>
+
+#include "lint/diagnostics.h"
+
+namespace lemons::verify {
+
+/**
+ * Verify spec text: parse, lower (V901 on sections that cannot lower),
+ * and run all passes on every resulting graph. @p filename stamps the
+ * diagnostics. Parse-level L-range findings are *not* included.
+ */
+lint::Report verifySpecText(std::string_view text,
+                            const std::string &filename);
+
+/**
+ * Verify one spec file. An unreadable file yields an empty report —
+ * the lint pass (which always runs first in the CLI) reports L901.
+ */
+lint::Report verifySpecFile(const std::string &path);
+
+} // namespace lemons::verify
+
+#endif // LEMONS_VERIFY_VERIFIER_H_

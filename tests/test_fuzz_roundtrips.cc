@@ -9,16 +9,23 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <iterator>
 #include <set>
+#include <string>
+#include <vector>
 
 #include "crypto/hmac.h"
 #include "crypto/otp.h"
 #include "crypto/sha256.h"
+#include "ir/graph.h"
+#include "ir/lower.h"
+#include "lint/spec_file.h"
 #include "rs/classic_rs.h"
 #include "rs/reed_solomon.h"
 #include "shamir/shamir.h"
 #include "shamir/shamir16.h"
 #include "util/rng.h"
+#include "verify/passes.h"
 
 namespace lemons {
 namespace {
@@ -180,6 +187,135 @@ TEST(Fuzz, HkdfLengthsAndPrefixes)
             crypto::deriveKey(ikm, salt, "fuzz", shorter);
         ASSERT_TRUE(std::equal(shortKey.begin(), shortKey.end(),
                                longKey.begin()))
+            << "trial " << trial;
+    }
+}
+
+TEST(Fuzz, SpecVerifyPipelineNeverThrows)
+{
+    // Random .lemons text through the whole static pipeline: parse ->
+    // lower -> all verifier passes. Nothing here may throw or crash —
+    // malformed input becomes L-diagnostics, degenerate-but-parseable
+    // input becomes V901 or vacuous brackets. Numeric values come from
+    // a bounded pool so the design solver's exhaustive-in-t search
+    // stays fast even when a random alpha lands in [design].
+    static const char *const sections[] = {
+        "design", "structure", "shares",   "otp",     "fault",
+        "mway",   "workload",  "mixture",  "nonsense"};
+    static const char *const keys[] = {
+        "alpha",          "beta",
+        "lab",            "k_fraction",
+        "n",              "k",
+        "kind",           "copies",
+        "access_bound",   "min_reliability",
+        "max_residual",   "height",
+        "threshold",      "field_bits",
+        "unguarded",      "stuck_closed_rate",
+        "glitch_rate",    "mean_per_day",
+        "burst_probability", "burst_multiplier",
+        "budget",         "horizon_days",
+        "infant_fraction", "infant_alpha",
+        "infant_beta",    "main_alpha",
+        "main_beta",      "m",
+        "frobnicate"};
+    static const char *const values[] = {
+        "0",    "1",   "4",      "8",   "12",  "16",  "40",
+        "105",  "1000", "0.01",  "0.1", "0.5", "0.99", "1.5",
+        "10",   "-3",  "nan",    "banana", "series", "parallel"};
+
+    Rng rng(0xf014);
+    for (int trial = 0; trial < 120; ++trial) {
+        std::string text;
+        const uint64_t sectionCount = rng.nextBelow(4);
+        for (uint64_t s = 0; s < sectionCount; ++s) {
+            text += "[";
+            text += sections[rng.nextBelow(std::size(sections))];
+            text += "]\n";
+            const uint64_t lineCount = rng.nextBelow(8);
+            for (uint64_t line = 0; line < lineCount; ++line) {
+                text += keys[rng.nextBelow(std::size(keys))];
+                text += " = ";
+                text += values[rng.nextBelow(std::size(values))];
+                text += "\n";
+            }
+        }
+        lint::Report parseReport;
+        const lint::ParsedSpec spec =
+            lint::parseSpec(text, "fuzz", parseReport);
+        lint::Report lowerReport;
+        const std::vector<ir::Graph> graphs =
+            ir::lowerSpec(spec, lowerReport);
+        for (const ir::Graph &graph : graphs) {
+            const lint::Report verdict = verify::verifyGraph(graph);
+            ASSERT_LT(verdict.diagnostics().size(), 1000u)
+                << "trial " << trial << "\n"
+                << text;
+        }
+    }
+}
+
+TEST(Fuzz, RandomGraphsVerifyWithoutCrashing)
+{
+    // Hand-built random graphs, including cyclic ones, degenerate
+    // devices, and obligations pointing at arbitrary nodes: every
+    // verifier pass must stay total.
+    static const ir::NodeKind kinds[] = {
+        ir::NodeKind::SecretSource, ir::NodeKind::Device,
+        ir::NodeKind::Series,       ir::NodeKind::Parallel,
+        ir::NodeKind::Replicate,    ir::NodeKind::Store,
+        ir::NodeKind::Sink};
+    static const double alphas[] = {0.0, 1.0, 10.0};
+    static const double betas[] = {0.0, 0.8, 1.0, 12.0};
+    static const double accesses[] = {-1.0, 0.0, 1.0, 5.0, 13.0};
+    static const double levels[] = {0.0, 1e-6, 0.5, 0.99, 1.0, 100.0};
+
+    Rng rng(0xf015);
+    for (int trial = 0; trial < 200; ++trial) {
+        ir::Graph graph("fuzz");
+        const uint64_t nodeCount = 1 + rng.nextBelow(8);
+        for (uint64_t i = 0; i < nodeCount; ++i) {
+            ir::Node node;
+            node.kind = kinds[rng.nextBelow(std::size(kinds))];
+            node.label = "n" + std::to_string(i);
+            node.device = {alphas[rng.nextBelow(std::size(alphas))],
+                           betas[rng.nextBelow(std::size(betas))]};
+            node.n = rng.nextBelow(300);
+            node.k = rng.nextBelow(300);
+            node.count = rng.nextBelow(50);
+            node.shareThreshold = rng.nextBelow(20);
+            graph.add(std::move(node));
+        }
+        for (uint64_t from = 0; from + 1 < nodeCount; ++from)
+            for (uint64_t to = from + 1; to < nodeCount; ++to)
+                if (rng.nextBelow(3) == 0)
+                    graph.connect(static_cast<ir::NodeId>(from),
+                                  static_cast<ir::NodeId>(to));
+        if (nodeCount > 1 && rng.nextBelow(5) == 0) {
+            // Occasional back edge: the passes must reject the cycle
+            // (V901) instead of recursing forever.
+            const auto to = static_cast<ir::NodeId>(rng.nextBelow(
+                nodeCount - 1));
+            const auto from = static_cast<ir::NodeId>(
+                to + 1 + rng.nextBelow(nodeCount - to - 1));
+            graph.connect(from, to);
+        }
+        const uint64_t obligationCount = rng.nextBelow(4);
+        for (uint64_t i = 0; i < obligationCount; ++i) {
+            ir::Obligation obligation;
+            obligation.kind = static_cast<ir::Obligation::Kind>(
+                rng.nextBelow(4));
+            obligation.target =
+                static_cast<ir::NodeId>(rng.nextBelow(nodeCount));
+            obligation.access =
+                accesses[rng.nextBelow(std::size(accesses))];
+            obligation.floor = levels[rng.nextBelow(std::size(levels))];
+            obligation.ceiling = levels[rng.nextBelow(std::size(levels))];
+            obligation.hasFloor = rng.nextBelow(2) == 0;
+            obligation.hasCeiling = rng.nextBelow(2) == 0;
+            graph.addObligation(obligation);
+        }
+        const lint::Report report = verify::verifyGraph(graph);
+        ASSERT_LT(report.diagnostics().size(), 1000u)
             << "trial " << trial;
     }
 }

@@ -256,6 +256,95 @@ const SeededInvalid seededInvalidTable[] = {
          return lint::checkMway(s);
      },
      Code::L503, Severity::Error},
+    {"structure reliability floor at one",
+     [] {
+         lint::StructureSpec s;
+         s.n = 40;
+         s.k = 4;
+         s.minReliability = 1.0;
+         return lint::checkStructure(s);
+     },
+     Code::L005, Severity::Error},
+    {"structure criteria inverted",
+     [] {
+         lint::StructureSpec s;
+         s.n = 40;
+         s.k = 4;
+         s.minReliability = 0.5;
+         s.maxResidual = 0.6;
+         return lint::checkStructure(s);
+     },
+     Code::L007, Severity::Error},
+    {"workload zero mean",
+     [] {
+         lint::WorkloadSpec s;
+         s.meanPerDay = 0.0;
+         return lint::checkWorkload(s);
+     },
+     Code::L601, Severity::Error},
+    {"workload burst probability above one",
+     [] {
+         lint::WorkloadSpec s;
+         s.burstProbability = 1.5;
+         return lint::checkWorkload(s);
+     },
+     Code::L602, Severity::Error},
+    {"workload burst multiplier below one",
+     [] {
+         lint::WorkloadSpec s;
+         s.burstMultiplier = 0.5;
+         return lint::checkWorkload(s);
+     },
+     Code::L603, Severity::Error},
+    {"workload budget below demand",
+     [] {
+         lint::WorkloadSpec s;
+         s.meanPerDay = 50.0;
+         s.budgetAccesses = 100;
+         s.horizonDays = 365; // needs ~18k accesses
+         return lint::checkWorkload(s);
+     },
+     Code::L604, Severity::Warning},
+    {"workload burst dominated",
+     [] {
+         lint::WorkloadSpec s;
+         s.burstProbability = 0.5;
+         s.burstMultiplier = 10.0; // bursts carry ~91 % of demand
+         return lint::checkWorkload(s);
+     },
+     Code::L605, Severity::Warning},
+    {"mixture weight above one",
+     [] {
+         lint::MixtureSpec s;
+         s.infantFraction = 1.5;
+         return lint::checkMixture(s);
+     },
+     Code::L701, Severity::Error},
+    {"mixture invalid infant alpha",
+     [] {
+         lint::MixtureSpec s;
+         s.infantFraction = 0.05;
+         s.infant.alpha = -1.0;
+         return lint::checkMixture(s);
+     },
+     Code::L702, Severity::Error},
+    {"mixture infant shape not infant",
+     [] {
+         lint::MixtureSpec s;
+         s.infantFraction = 0.05;
+         s.infant.beta = 2.0; // beta >= 1 is not an infant-mortality mode
+         return lint::checkMixture(s);
+     },
+     Code::L703, Severity::Warning},
+    {"mixture infant outlives main",
+     [] {
+         lint::MixtureSpec s;
+         s.infantFraction = 0.05;
+         s.infant.alpha = 20.0; // infant scale above the main mode
+         s.main.alpha = 10.0;
+         return lint::checkMixture(s);
+     },
+     Code::L704, Severity::Warning},
 };
 
 TEST(LintRules, SeededInvalidSpecsFireDocumentedCodes)
@@ -417,6 +506,34 @@ TEST(LintSpecFile, UnreadableFileIsL901)
     const Report report =
         lint::lintFile("/nonexistent/path/spec.lemons");
     EXPECT_TRUE(firesError(report, Code::L901));
+}
+
+TEST(LintSpecFile, WorkloadAndMixtureSectionsAreLinted)
+{
+    const Report clean = lint::lintText("[workload]\n"
+                                        "mean_per_day = 50\n"
+                                        "burst_probability = 0.01\n"
+                                        "burst_multiplier = 4\n"
+                                        "budget = 95000\n"
+                                        "horizon_days = 1825\n"
+                                        "[mixture]\n"
+                                        "infant_fraction = 0.02\n"
+                                        "infant_alpha = 1\n"
+                                        "infant_beta = 0.8\n"
+                                        "main_alpha = 10\n"
+                                        "main_beta = 12\n",
+                                        "f");
+    EXPECT_TRUE(clean.empty()) << clean.format();
+
+    const Report report = lint::lintText("[workload]\n"
+                                         "mean_per_day = 50\n"
+                                         "budget = 100\n"
+                                         "horizon_days = 365\n"
+                                         "[mixture]\n"
+                                         "infant_fraction = 2\n",
+                                         "f");
+    EXPECT_TRUE(report.hasCode(Code::L604));
+    EXPECT_TRUE(firesError(report, Code::L701));
 }
 
 TEST(LintSpecFile, RepeatedSectionsLintIndependently)

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Cross-validation of the static verifier against the Monte Carlo
+ * engines (the paper's three use-cases, Section 5/6): the certified
+ * [lo, hi] brackets must contain the simulated estimates within a
+ * CI-stable sampling tolerance. A disagreement here means either the
+ * analytics or the simulators drifted — exactly the regression this
+ * test exists to catch.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/structures_sim.h"
+#include "core/decision_tree.h"
+#include "core/design_solver.h"
+#include "core/usage_bounds.h"
+#include "util/rng.h"
+#include "verify/interval.h"
+#include "wearout/population.h"
+
+namespace lemons {
+namespace {
+
+using verify::Interval;
+
+/** Bracket check with an MC slack on both sides. */
+void
+expectWithinBracket(double estimate, const Interval &bracket, double slack,
+                    const char *what)
+{
+    EXPECT_GE(estimate, bracket.lo - slack) << what;
+    EXPECT_LE(estimate, bracket.hi + slack) << what;
+}
+
+core::Design
+solvedDesign(uint64_t lab)
+{
+    core::DesignRequest request;
+    request.device = {10.0, 12.0};
+    request.legitimateAccessBound = lab;
+    request.kFraction = 0.1;
+    return core::DesignSolver(request).solve();
+}
+
+/**
+ * Use-case 1 (Section 5.2, limited-use connection): the verifier's
+ * expected-total bracket, scaled to N serially consumed copies, must
+ * contain the simulated mean total accesses of the full-size
+ * LAB = 91,250 architecture.
+ */
+TEST(VerifyCross, ConnectionExpectedTotalBracketsMonteCarlo)
+{
+    const core::Design design = solvedDesign(91250);
+    ASSERT_TRUE(design.feasible);
+
+    const Interval per = verify::expectedStructureAccesses(
+        {10.0, 12.0}, design.width, design.threshold, 0);
+    const double copies = static_cast<double>(design.copies);
+    const Interval total{per.lo * copies, per.hi * copies};
+
+    const uint64_t trials = 24;
+    const core::UsageBounds mc = core::estimateUsageBounds(
+        design, {10.0, 12.0}, wearout::ProcessVariation::none(), trials,
+        0xc0551);
+    // The observed min-max spread dominates the standard error of the
+    // mean by a factor sqrt(trials), so it is a CI-stable slack.
+    const double slack =
+        (mc.maxTotalAccesses - mc.minTotalAccesses) + 1.0;
+    expectWithinBracket(mc.meanTotalAccesses, total, slack,
+                        "connection mean total accesses");
+}
+
+/**
+ * Use-case 2 (Section 5.3, limited-use targeting): same containment
+ * at the small LAB = 100 mission scale, where per-copy granularity
+ * effects are proportionally largest.
+ */
+TEST(VerifyCross, TargetingExpectedTotalBracketsMonteCarlo)
+{
+    const core::Design design = solvedDesign(100);
+    ASSERT_TRUE(design.feasible);
+
+    const Interval per = verify::expectedStructureAccesses(
+        {10.0, 12.0}, design.width, design.threshold, 0);
+    const double copies = static_cast<double>(design.copies);
+    const Interval total{per.lo * copies, per.hi * copies};
+
+    const uint64_t trials = 2000;
+    const core::UsageBounds mc = core::estimateUsageBounds(
+        design, {10.0, 12.0}, wearout::ProcessVariation::none(), trials,
+        0xc0552);
+    const double slack = (mc.q999 - mc.q001) * 0.25 + 1.0;
+    expectWithinBracket(mc.meanTotalAccesses, total, slack,
+                        "targeting mean total accesses");
+}
+
+/**
+ * The per-structure survival brackets against the structures
+ * simulator: the empirical survival proportion at the design's
+ * per-copy bound t (and just past it) must fall inside the certified
+ * bracket, give or take binomial noise.
+ */
+TEST(VerifyCross, StructureSurvivalBracketsSimulatedProportion)
+{
+    const uint64_t n = 105, k = 11;
+    const wearout::DeviceSpec device{10.0, 12.0};
+    const wearout::DeviceFactory factory(device,
+                                         wearout::ProcessVariation::none());
+    const uint64_t trials = 400;
+    Rng rng(0xc0553);
+
+    for (const uint64_t access : {uint64_t{10}, uint64_t{11}}) {
+        uint64_t survived = 0;
+        for (uint64_t t = 0; t < trials; ++t) {
+            if (arch::sampleParallelSurvivedAccesses(factory, n, k, rng) >=
+                access)
+                ++survived;
+        }
+        const double proportion =
+            static_cast<double>(survived) / static_cast<double>(trials);
+        const Interval bracket = verify::parallelReliability(
+            n, k, verify::deviceReliability(device,
+                                            static_cast<double>(access)));
+        // 5 sigma of Bernoulli noise at 400 trials, floored generously.
+        expectWithinBracket(proportion, bracket, 0.05,
+                            "structure survival proportion");
+    }
+}
+
+/**
+ * Use-case 3 (Section 6, one-time pads): the receiver-success bracket
+ * must contain the simulated retrieval rate, and the adversary bracket
+ * (~2e-8 at the paper's parameters) must dominate the observed
+ * random-path attack rate.
+ */
+TEST(VerifyCross, OtpBracketsContainSimulatedRates)
+{
+    core::OtpParams params;
+    params.height = 8;
+    params.copies = 128;
+    params.threshold = 8;
+    params.device = {10.0, 1.0};
+
+    const Interval path = verify::powInterval(
+        verify::deviceReliability(params.device, 1.0), params.height);
+    const Interval receiver = verify::parallelReliability(
+        params.copies, params.threshold, path);
+    const Interval adversary = verify::otpAdversarySuccess(
+        params.copies, params.threshold, params.height, path);
+
+    const std::vector<uint8_t> padKey = {0x4c, 0x45, 0x4d, 0x4f, 0x4e,
+                                         0x41, 0x44, 0x45, 0x21, 0x17,
+                                         0x2a, 0x90, 0x0b, 0x5e, 0xed, 0x05};
+    const wearout::DeviceFactory factory(params.device,
+                                         wearout::ProcessVariation::none());
+    Rng rng(0xc0554);
+    Rng attacker(0xc0555);
+    const uint64_t rightPath = 77; // one of the 2^(H-1) = 128 paths
+
+    const uint64_t receiverTrials = 60;
+    uint64_t retrieved = 0;
+    for (uint64_t t = 0; t < receiverTrials; ++t) {
+        core::OneTimePad pad(params, padKey, rightPath, factory, rng);
+        if (pad.retrieve(rightPath).has_value())
+            ++retrieved;
+    }
+    const double retrieveRate = static_cast<double>(retrieved) /
+                                static_cast<double>(receiverTrials);
+    expectWithinBracket(retrieveRate, receiver, 0.05,
+                        "otp receiver success rate");
+
+    const uint64_t attackTrials = 200;
+    uint64_t stolen = 0;
+    for (uint64_t t = 0; t < attackTrials; ++t) {
+        core::OneTimePad pad(params, padKey, rightPath, factory, rng);
+        if (pad.randomPathAttack(attacker).has_value())
+            ++stolen;
+    }
+    const double attackRate =
+        static_cast<double>(stolen) / static_cast<double>(attackTrials);
+    // adversary.hi ~ 2e-8: with 200 trials even a single success would
+    // be a > 5-sigma event against the certified ceiling.
+    EXPECT_LE(attackRate, adversary.hi + 0.02)
+        << "otp adversary success rate";
+}
+
+} // namespace
+} // namespace lemons

@@ -1,0 +1,31 @@
+# Negative-control driver for `lemons-lint --verify`: run the CLI on a
+# seeded-violation config and assert that it (a) exits non-zero and
+# (b) emits every expected stable diagnostic code.
+#
+# Usage:
+#   cmake -DLINT=<lemons-lint> -DCONFIG=<file.lemons>
+#         -DEXPECT_CODES=V201,V202 -P verify_cli_check.cmake
+
+if(NOT LINT OR NOT CONFIG OR NOT EXPECT_CODES)
+    message(FATAL_ERROR "verify_cli_check.cmake needs LINT, CONFIG and "
+                        "EXPECT_CODES")
+endif()
+
+execute_process(COMMAND ${LINT} --verify ${CONFIG}
+                OUTPUT_VARIABLE stdout
+                ERROR_VARIABLE stderr
+                RESULT_VARIABLE status)
+
+if(status EQUAL 0)
+    message(FATAL_ERROR "expected a non-zero exit from ${LINT} --verify "
+                        "${CONFIG}, got success; output:\n${stdout}${stderr}")
+endif()
+
+string(REPLACE "," ";" expected "${EXPECT_CODES}")
+foreach(code IN LISTS expected)
+    string(FIND "${stdout}${stderr}" "[${code}]" at)
+    if(at EQUAL -1)
+        message(FATAL_ERROR "expected [${code}] in the diagnostics for "
+                            "${CONFIG}; output:\n${stdout}${stderr}")
+    endif()
+endforeach()
