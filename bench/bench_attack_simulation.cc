@@ -10,9 +10,8 @@
  * unlimited).
  */
 
-#include <iostream>
-
 #include "arch/structures_sim.h"
+#include "bench/harness.h"
 #include "core/design_solver.h"
 #include "crypto/password_model.h"
 #include "sim/monte_carlo.h"
@@ -34,10 +33,9 @@ struct Scenario
 
 } // namespace
 
-int
-main()
+LEMONS_BENCH(attackSimulation, "attack.brute_force")
 {
-    std::cout << "=== Brute-force attack simulation (alpha = 14, "
+    ctx.out() << "=== Brute-force attack simulation (alpha = 14, "
                  "beta = 8, LAB = 91,250) ===\n\n";
 
     const crypto::PasswordModel passwords;
@@ -48,6 +46,7 @@ main()
         {"UB 200k, reject top 2%", 0.1, 0.01, 200000, 0.02},
     };
 
+    const uint64_t trials = ctx.scaled(40, 5);
     Table table({"scenario", "#NEMS", "hardware bound (mean)",
                  "attack success (MC)", "attack success (analytic)"});
     for (const Scenario &s : scenarios) {
@@ -70,7 +69,7 @@ main()
         // MC: attacker gets as many attempts as this chip instance
         // physically serves; they win if the victim's password rank
         // falls within that.
-        const sim::MonteCarlo engine(20260706, 40);
+        const sim::MonteCarlo engine(20260706, trials);
         const auto ci = engine.estimateProbability([&](Rng &rng) {
             const uint64_t hardwareBound =
                 arch::sampleSerialCopiesTotalAccesses(
@@ -79,6 +78,7 @@ main()
             Rng user = rng.split(1);
             return policy.sampleGuessRank(user) <= hardwareBound;
         });
+        ctx.keep(ci.estimate);
 
         table.addRow({s.label, formatCount(design.totalDevices),
                       formatGeneral(design.expectedSystemTotal, 7),
@@ -88,9 +88,9 @@ main()
                                         design.expectedSystemTotal)),
                                 2)});
     }
-    table.print(std::cout);
+    table.print(ctx.out());
 
-    std::cout << "\nUnprotected baseline (no wearout bound): an attacker "
+    ctx.out() << "\nUnprotected baseline (no wearout bound): an attacker "
                  "with 1e10 attempts cracks with probability "
               << formatGeneral(
                      passwords.attackSuccessProbability(10000000000ULL), 3)
@@ -98,5 +98,5 @@ main()
                  "probability is pinned at the ~1-2% the password "
                  "distribution\nallows within ~91k-200k attempts — "
                  "matching the paper's security argument.\n";
-    return 0;
+    ctx.metric("items", static_cast<double>(4 * trials));
 }

@@ -6,8 +6,7 @@
  * architecture — the fabrication-cost vs area-cost decision table.
  */
 
-#include <iostream>
-
+#include "bench/harness.h"
 #include "core/calibration.h"
 #include "util/rng.h"
 #include "util/table.h"
@@ -16,10 +15,9 @@
 using namespace lemons;
 using namespace lemons::core;
 
-int
-main()
+LEMONS_BENCH(lotCalibration, "calibration.lot_fit")
 {
-    std::cout << "=== Lot calibration: fit -> audit -> redesign "
+    ctx.out() << "=== Lot calibration: fit -> audit -> redesign "
                  "(assumed device: alpha=10, beta=12; LAB=100, "
                  "k=10%) ===\n\n";
 
@@ -43,13 +41,15 @@ main()
         {"short and sloppy", 8.0, 5.0},
     };
 
+    const uint64_t samplesPerLot = ctx.scaled(20000, 1000);
     Table table({"lot", "fitted (alpha, beta)", "nominal R(t)",
                  "nominal R(t+1)", "audit", "redesign cost"});
     for (const Lot &lot : lots) {
         const wearout::Weibull truth(lot.alpha, lot.beta);
         Rng rng(777);
         const auto report = calibrateAndRedesign(
-            truth.sampleMany(rng, 20000), assumed);
+            truth.sampleMany(rng, samplesPerLot), assumed);
+        ctx.keep(report.fitted.alpha + report.fitted.beta);
         table.addRow(
             {lot.label,
              "(" + formatGeneral(report.fitted.alpha, 4) + ", " +
@@ -61,9 +61,9 @@ main()
                  ? formatGeneral(report.redesignCostRatio, 4) + "x"
                  : "infeasible"});
     }
-    table.print(std::cout);
+    table.print(ctx.out());
 
-    std::cout
+    ctx.out()
         << "\nDrift in either direction fails the audit: short-lived "
            "lots break the minimum bound (R(t) < 99%),\nlong-lived lots "
            "break the security bound (R(t+1) > 1%). The redesign-cost "
@@ -71,5 +71,5 @@ main()
            "instead of paying the fab for tighter parameters — the "
            "trade-off question\nDESIGN.md's Section 1 bullet list poses "
            "and Section 7 of the paper leaves open.\n";
-    return 0;
+    ctx.metric("items", static_cast<double>(6 * samplesPerLot));
 }

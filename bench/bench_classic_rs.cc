@@ -5,12 +5,16 @@
  * standard RS(255, 223) point and smaller codes.
  */
 
-#include <benchmark/benchmark.h>
+#include <string>
+#include <vector>
 
+#include "bench/harness.h"
 #include "rs/classic_rs.h"
 #include "util/rng.h"
 
 using namespace lemons;
+using lemons::bench::BenchContext;
+using lemons::bench::registerBench;
 
 namespace {
 
@@ -23,60 +27,67 @@ randomBytes(Rng &rng, size_t size)
     return out;
 }
 
-void
-BM_ClassicEncode(benchmark::State &state)
+std::string
+suffix(size_t n, size_t k)
 {
-    const auto n = static_cast<size_t>(state.range(0));
-    const auto k = static_cast<size_t>(state.range(1));
-    const rs::ClassicRsCodec codec(n, k);
-    Rng rng(1);
-    const auto message = randomBytes(rng, k);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(codec.encode(message));
-    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
-                            static_cast<int64_t>(k));
+    return "n" + std::to_string(n) + ".k" + std::to_string(k);
 }
 
-void
-BM_ClassicDecodeClean(benchmark::State &state)
-{
-    const auto n = static_cast<size_t>(state.range(0));
-    const auto k = static_cast<size_t>(state.range(1));
-    const rs::ClassicRsCodec codec(n, k);
-    Rng rng(2);
-    const auto word = codec.encode(randomBytes(rng, k));
-    for (auto _ : state)
-        benchmark::DoNotOptimize(codec.decode(word));
-    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
-                            static_cast<int64_t>(k));
-}
-
-void
-BM_ClassicDecodeAtCapacity(benchmark::State &state)
-{
-    const auto n = static_cast<size_t>(state.range(0));
-    const auto k = static_cast<size_t>(state.range(1));
-    const rs::ClassicRsCodec codec(n, k);
-    Rng rng(3);
-    auto word = codec.encode(randomBytes(rng, k));
-    for (size_t e = 0; e < codec.errorCapacity(); ++e)
-        word[e * 2] ^= static_cast<uint8_t>(1 + rng.nextBelow(255));
-    for (auto _ : state)
-        benchmark::DoNotOptimize(codec.decode(word));
-    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
-                            static_cast<int64_t>(k));
-}
-
-void
-CodecArgs(benchmark::internal::Benchmark *bench)
-{
-    bench->Args({255, 223})->Args({63, 32})->Args({15, 11});
-}
-
-BENCHMARK(BM_ClassicEncode)->Apply(CodecArgs);
-BENCHMARK(BM_ClassicDecodeClean)->Apply(CodecArgs);
-BENCHMARK(BM_ClassicDecodeAtCapacity)->Apply(CodecArgs);
+constexpr size_t kCodecPoints[][2] = {{255, 223}, {63, 32}, {15, 11}};
 
 } // namespace
 
-BENCHMARK_MAIN();
+LEMONS_BENCH_REGISTRAR(registerClassicRsBenches)
+{
+    for (const auto &point : kCodecPoints) {
+        const size_t n = point[0];
+        const size_t k = point[1];
+
+        registerBench("rs.classic.encode." + suffix(n, k),
+                      [n, k](BenchContext &ctx) {
+                          const rs::ClassicRsCodec codec(n, k);
+                          Rng rng(1);
+                          const auto message = randomBytes(rng, k);
+                          const uint64_t iters = ctx.scaled(5000, 100);
+                          for (uint64_t i = 0; i < iters; ++i)
+                              ctx.keep(static_cast<double>(
+                                  codec.encode(message).back()));
+                          ctx.metric("items", static_cast<double>(iters));
+                      });
+
+        registerBench("rs.classic.decode_clean." + suffix(n, k),
+                      [n, k](BenchContext &ctx) {
+                          const rs::ClassicRsCodec codec(n, k);
+                          Rng rng(2);
+                          const auto word =
+                              codec.encode(randomBytes(rng, k));
+                          const uint64_t iters = ctx.scaled(5000, 100);
+                          for (uint64_t i = 0; i < iters; ++i) {
+                              const auto decoded = codec.decode(word);
+                              ctx.keep(decoded ? static_cast<double>(
+                                                     decoded->correctedErrors)
+                                               : -1.0);
+                          }
+                          ctx.metric("items", static_cast<double>(iters));
+                      });
+
+        registerBench("rs.classic.decode_at_capacity." + suffix(n, k),
+                      [n, k](BenchContext &ctx) {
+                          const rs::ClassicRsCodec codec(n, k);
+                          Rng rng(3);
+                          auto word = codec.encode(randomBytes(rng, k));
+                          for (size_t e = 0; e < codec.errorCapacity();
+                               ++e)
+                              word[e * 2] ^= static_cast<uint8_t>(
+                                  1 + rng.nextBelow(255));
+                          const uint64_t iters = ctx.scaled(1000, 20);
+                          for (uint64_t i = 0; i < iters; ++i) {
+                              const auto decoded = codec.decode(word);
+                              ctx.keep(decoded ? static_cast<double>(
+                                                     decoded->correctedErrors)
+                                               : -1.0);
+                          }
+                          ctx.metric("items", static_cast<double>(iters));
+                      });
+    }
+}

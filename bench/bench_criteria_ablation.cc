@@ -10,8 +10,7 @@
  *    (LAB 100).
  */
 
-#include <iostream>
-
+#include "bench/harness.h"
 #include "core/design_solver.h"
 #include "util/table.h"
 
@@ -33,9 +32,9 @@ solve(uint64_t lab, double minRel, double residual)
 }
 
 void
-sweepMinReliability(uint64_t lab)
+sweepMinReliability(lemons::bench::BenchContext &ctx, uint64_t lab)
 {
-    std::cout << "--- minimum reliability sweep (LAB = "
+    ctx.out() << "--- minimum reliability sweep (LAB = "
               << formatCount(lab) << ", p = 1%) ---\n";
     Table table({"min reliability", "#NEMS", "vs 0.99", "R(t) achieved"});
     const Design base = solve(lab, 0.99, 0.01);
@@ -47,6 +46,7 @@ sweepMinReliability(uint64_t lab)
                           "-"});
             continue;
         }
+        ctx.keep(static_cast<double>(d.totalDevices));
         table.addRow({formatGeneral(minRel, 10),
                       formatCount(d.totalDevices),
                       formatGeneral(static_cast<double>(d.totalDevices) /
@@ -56,15 +56,15 @@ sweepMinReliability(uint64_t lab)
                           "x",
                       formatGeneral(d.reliabilityAtBound, 10)});
     }
-    table.print(std::cout);
-    std::cout << "Paper: 99.99999% achievable with ~3x linear increase "
+    table.print(ctx.out());
+    ctx.out() << "Paper: 99.99999% achievable with ~3x linear increase "
                  "(we see the same small-multiple growth).\n\n";
 }
 
 void
-sweepResidual(uint64_t lab)
+sweepResidual(lemons::bench::BenchContext &ctx, uint64_t lab)
 {
-    std::cout << "--- residual reliability sweep (LAB = "
+    ctx.out() << "--- residual reliability sweep (LAB = "
               << formatCount(lab) << ", minRel = 99%) ---\n";
     Table table({"residual p", "#NEMS", "expected system total"});
     for (double p : {0.001, 0.01, 0.05, 0.10, 0.25}) {
@@ -73,23 +73,23 @@ sweepResidual(uint64_t lab)
             table.addRow({formatGeneral(p, 4), "infeasible", "-"});
             continue;
         }
+        ctx.keep(d.expectedSystemTotal);
         table.addRow({formatGeneral(p, 4), formatCount(d.totalDevices),
                       formatGeneral(d.expectedSystemTotal, 8)});
     }
-    table.print(std::cout);
-    std::cout << "\n";
+    table.print(ctx.out());
+    ctx.out() << "\n";
 }
 
 } // namespace
 
-int
-main()
+LEMONS_BENCH(criteriaAblation, "ablation.degradation_criteria")
 {
-    std::cout << "=== Degradation-criteria ablation (alpha = 14, "
+    ctx.out() << "=== Degradation-criteria ablation (alpha = 14, "
                  "beta = 8, k = 10% n) ===\n\n";
-    sweepMinReliability(91250);
-    sweepResidual(91250);
-    sweepMinReliability(100);
-    sweepResidual(100);
-    return 0;
+    sweepMinReliability(ctx, 91250);
+    sweepResidual(ctx, 91250);
+    sweepMinReliability(ctx, 100);
+    sweepResidual(ctx, 100);
+    ctx.metric("items", 24.0); // 24 solver runs
 }

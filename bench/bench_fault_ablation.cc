@@ -23,16 +23,15 @@
  */
 
 #include <cmath>
-#include <iostream>
 #include <limits>
 #include <string>
 #include <vector>
 
 #include "arch/structures_sim.h"
+#include "bench/harness.h"
 #include "core/design_solver.h"
 #include "fault/fault_plan.h"
 #include "sim/monte_carlo.h"
-#include "util/csv.h"
 #include "util/math.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -42,29 +41,8 @@ using namespace lemons::core;
 
 namespace {
 
-constexpr uint64_t kTrials = 2000;
 constexpr uint64_t kSeed = 20170624; // ISCA '17
 constexpr double kLab = 100.0;
-
-/** When non-empty, the sweep is also written as CSV into this dir. */
-std::string csvDir;
-
-void
-maybeWriteCsv(const std::string &name,
-              const std::vector<std::vector<std::string>> &rows)
-{
-    if (csvDir.empty())
-        return;
-    CsvWriter writer(csvDir + "/" + name);
-    if (!writer.good()) {
-        std::cerr << "warning: cannot write " << csvDir << "/" << name
-                  << "\n";
-        return;
-    }
-    for (const auto &row : rows)
-        writer.writeRow(row);
-    std::cout << "(wrote " << csvDir << "/" << name << ")\n";
-}
 
 struct CellResult
 {
@@ -78,9 +56,10 @@ struct CellResult
 };
 
 CellResult
-runCell(const Design &design, const fault::FaultyDeviceFactory &factory)
+runCell(const Design &design, const fault::FaultyDeviceFactory &factory,
+        uint64_t trials)
 {
-    const sim::MonteCarlo mc(kSeed, kTrials);
+    const sim::MonteCarlo mc(kSeed, trials);
     const sim::TrialReport report = mc.runSamplesReport([&](Rng &rng) {
         const arch::FaultyArchitectureOutcome outcome =
             arch::sampleFaultySerialCopiesOutcome(
@@ -109,10 +88,10 @@ runCell(const Design &design, const fault::FaultyDeviceFactory &factory)
 
     CellResult cell;
     cell.pLabSurvival =
-        static_cast<double>(labSurvivals) / static_cast<double>(kTrials);
+        static_cast<double>(labSurvivals) / static_cast<double>(trials);
     cell.pUnboundedMc =
         static_cast<double>(report.nonFiniteTrials.size()) /
-        static_cast<double>(kTrials);
+        static_cast<double>(trials);
     cell.pUnboundedAnalytic = pAnyCopyStuck;
     if (bounded.empty()) {
         cell.meanBoundedTotal = std::numeric_limits<double>::quiet_NaN();
@@ -128,11 +107,11 @@ runCell(const Design &design, const fault::FaultyDeviceFactory &factory)
 }
 
 uint64_t
-sweepDesign(const std::string &label, const Design &design,
-            const wearout::DeviceFactory &base,
-            std::vector<std::vector<std::string>> &csvRows)
+sweepDesign(lemons::bench::BenchContext &ctx, const std::string &label,
+            const Design &design, const wearout::DeviceFactory &base,
+            uint64_t trials)
 {
-    std::cout << label << ": n = " << design.width << ", k = "
+    ctx.out() << label << ": n = " << design.width << ", k = "
               << design.threshold << ", N = " << design.copies
               << " copies (" << formatCount(design.totalDevices)
               << " switches)\n";
@@ -147,8 +126,9 @@ sweepDesign(const std::string &label, const Design &design,
             plan.stuckClosedRate = eps;
             plan.infantFraction = infant;
             const fault::FaultyDeviceFactory factory(base, plan);
-            const CellResult cell = runCell(design, factory);
+            const CellResult cell = runCell(design, factory, trials);
             failures += cell.failedTrials;
+            ctx.keep(cell.pLabSurvival + cell.pUnboundedMc);
 
             table.addRow({formatGeneral(eps, 3), formatGeneral(infant, 3),
                           formatGeneral(cell.pLabSurvival, 4),
@@ -157,65 +137,44 @@ sweepDesign(const std::string &label, const Design &design,
                           formatGeneral(cell.q999BoundedTotal, 6),
                           formatGeneral(cell.pUnboundedMc, 4),
                           formatGeneral(cell.pUnboundedAnalytic, 4)});
-            csvRows.push_back({label, formatGeneral(eps, 6),
-                               formatGeneral(infant, 6),
-                               formatGeneral(cell.pLabSurvival, 6),
-                               formatGeneral(cell.meanBoundedTotal, 8),
-                               formatGeneral(cell.q001BoundedTotal, 8),
-                               formatGeneral(cell.q999BoundedTotal, 8),
-                               formatGeneral(cell.pUnboundedMc, 6),
-                               formatGeneral(cell.pUnboundedAnalytic, 6),
-                               std::to_string(cell.failedTrials)});
         }
     }
-    table.print(std::cout);
-    std::cout << "\n";
+    table.print(ctx.out());
+    ctx.out() << "\n";
     return failures;
 }
 
 } // namespace
 
-int
-main(int argc, char **argv)
+LEMONS_BENCH(faultAblation, "ablation.fault_injection")
 {
-    if (argc > 1)
-        csvDir = argv[1];
-
-    std::cout << "=== Fault-injection ablation (targeting-scale design, "
+    ctx.out() << "=== Fault-injection ablation (targeting-scale design, "
                  "LAB = 100) ===\n\n";
 
     const wearout::DeviceSpec device{10.0, 12.0};
     const wearout::DeviceFactory base(device,
                                       wearout::ProcessVariation::none());
-    std::cout << kTrials << " trials per cell, seed " << kSeed << "\n\n";
-
-    std::vector<std::vector<std::string>> csvRows;
-    csvRows.push_back({"design", "stuck_eps", "infant_fraction",
-                       "p_lab_survival", "mean_bounded_total",
-                       "q001_bounded_total", "q999_bounded_total",
-                       "p_unbounded_mc", "p_unbounded_analytic",
-                       "failed_trials"});
+    const uint64_t trials = ctx.scaled(2000, 100);
+    ctx.out() << trials << " trials per cell, seed " << kSeed << "\n\n";
 
     DesignRequest encoded;
     encoded.device = device;
     encoded.legitimateAccessBound = 100;
     encoded.kFraction = 0.1;
     uint64_t failures = sweepDesign(
-        "Encoded design (k/n = 10%)", DesignSolver(encoded).solve(), base,
-        csvRows);
+        ctx, "Encoded design (k/n = 10%)", DesignSolver(encoded).solve(),
+        base, trials);
 
     DesignRequest unencoded = encoded;
     unencoded.kFraction = 0.0; // plain 1-of-n structures (Fig 2c)
-    failures += sweepDesign("Unencoded design (1-of-n)",
-                            DesignSolver(unencoded).solve(), base, csvRows);
-
-    maybeWriteCsv("fault_ablation.csv", csvRows);
+    failures += sweepDesign(ctx, "Unencoded design (1-of-n)",
+                            DesignSolver(unencoded).solve(), base, trials);
 
     if (failures > 0)
-        std::cout << "warning: " << failures
+        ctx.out() << "warning: " << failures
                   << " trials threw and were quarantined\n";
 
-    std::cout
+    ctx.out()
         << "The decisive variable is the share threshold k: a copy "
            "serves unbounded accesses only\nwhen >= k of its contacts "
            "are stuck closed. In the unencoded 1-of-n design k = 1, so "
@@ -233,5 +192,5 @@ main(int argc, char **argv)
            "helps the attacker, so burn-in screening is a\nyield "
            "concern, while stuck-closed screening is a security "
            "requirement.\n";
-    return 0;
+    ctx.metric("items", static_cast<double>(24 * trials));
 }

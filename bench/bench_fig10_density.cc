@@ -5,17 +5,15 @@
  * 1000 H-bit random strings in 50 nm^2 register cells).
  */
 
-#include <iostream>
-
 #include "arch/cost_model.h"
+#include "bench/harness.h"
 #include "util/table.h"
 
 using namespace lemons;
 
-int
-main()
+LEMONS_BENCH(fig10Density, "fig10.otp.density")
 {
-    std::cout << "=== Figure 10: one-time-pad density in 1 mm^2 ===\n\n";
+    ctx.out() << "=== Figure 10: one-time-pad density in 1 mm^2 ===\n\n";
     const arch::CostModel model;
     const double paper[] = {5e6, 2e6, 6e5, 2e5, 1e5,
                             4e4, 2e4, 9e3, 4e3, 2e3};
@@ -28,12 +26,13 @@ main()
                       formatCount(model.treesPerMm2(h)),
                       formatSci(paper[h - 2], 0),
                       formatCount(model.padsPerMm2(h, 128))});
+        ctx.keep(static_cast<double>(model.treesPerMm2(h)));
     }
-    table.print(std::cout);
+    table.print(ctx.out());
 
-    std::cout << "\nPaper example: H = 4, n = 128 -> ~4,687 pads per "
+    ctx.out() << "\nPaper example: H = 4, n = 128 -> ~4,687 pads per "
                  "chip; we get "
               << formatCount(arch::CostModel().padsPerMm2(4, 128))
               << ".\n";
-    return 0;
+    ctx.metric("items", 10.0);
 }

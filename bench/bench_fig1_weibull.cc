@@ -9,8 +9,8 @@
  */
 
 #include <cstdint>
-#include <iostream>
 
+#include "bench/harness.h"
 #include "sim/empirical.h"
 #include "util/rng.h"
 #include "util/table.h"
@@ -18,10 +18,9 @@
 
 using namespace lemons;
 
-int
-main()
+LEMONS_BENCH(fig1Weibull, "fig1.weibull")
 {
-    std::cout << "=== Figure 1: Weibull wearout model "
+    ctx.out() << "=== Figure 1: Weibull wearout model "
                  "(alpha = 1e6 cycles) ===\n\n";
 
     const double alpha = 1e6;
@@ -37,26 +36,31 @@ main()
                       formatGeneral(b1.reliability(x), 4),
                       formatGeneral(b6.reliability(x), 4),
                       formatGeneral(b12.reliability(x), 4)});
+        ctx.keep(b12.reliability(x));
     }
-    table.print(std::cout);
+    table.print(ctx.out());
 
-    std::cout << "\nAll shapes cross R(alpha) = 1/e = 0.3679 at "
+    ctx.out() << "\nAll shapes cross R(alpha) = 1/e = 0.3679 at "
                  "x = alpha; larger beta = sharper wearout cliff.\n";
 
     // Monte Carlo validation of the beta = 12 curve.
     Rng rng(1);
-    const sim::SurvivalCurve curve(b12.sampleMany(rng, 200000));
-    Table mc({"cycles", "analytic R", "empirical R (200k devices)"});
+    const uint64_t devices = ctx.scaled(200000, 2000);
+    const sim::SurvivalCurve curve(b12.sampleMany(rng, devices));
+    Table mc({"cycles", "analytic R", "empirical R"});
     for (double x = 6.0e5; x <= 1.4e6; x += 2.0e5) {
         mc.addRow({formatSci(x, 2), formatGeneral(b12.reliability(x), 4),
                    formatGeneral(curve.reliability(x), 4)});
     }
-    std::cout << "\nMonte Carlo cross-check (beta = 12):\n";
-    mc.print(std::cout);
+    ctx.out() << "\nMonte Carlo cross-check (beta = 12, " << devices
+              << " devices):\n";
+    mc.print(ctx.out());
 
     const double ks =
         curve.ksDistance([&](double x) { return b12.cdf(x); });
-    std::cout << "\nKolmogorov-Smirnov distance vs analytic CDF: "
-              << formatSci(ks, 2) << " (200,000 samples)\n";
-    return 0;
+    ctx.out() << "\nKolmogorov-Smirnov distance vs analytic CDF: "
+              << formatSci(ks, 2) << "\n";
+    ctx.keep(ks);
+    ctx.metric("items", static_cast<double>(devices));
+    ctx.metric("ks_distance", ks);
 }

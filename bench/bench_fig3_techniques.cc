@@ -14,10 +14,10 @@
  */
 
 #include <cstdint>
-#include <iostream>
 
 #include "arch/structures.h"
 #include "arch/structures_sim.h"
+#include "bench/harness.h"
 #include "sim/monte_carlo.h"
 #include "util/table.h"
 
@@ -26,30 +26,27 @@ using wearout::DeviceFactory;
 using wearout::ProcessVariation;
 using wearout::Weibull;
 
-namespace {
-
-void
-figure3a()
+LEMONS_BENCH(fig3aScaledAlpha, "fig3.techniques.scaled_alpha")
 {
-    std::cout << "--- Fig 3a: scaled-down alpha (alpha = 1.7, beta = 12) "
+    ctx.out() << "--- Fig 3a: scaled-down alpha (alpha = 1.7, beta = 12) "
                  "---\n";
     const Weibull device(1.7, 12.0);
     Table table({"access", "pdf", "reliability"});
     for (double x = 0.0; x <= 3.0; x += 0.25) {
         table.addRow({formatGeneral(x, 3), formatGeneral(device.pdf(x), 4),
                       formatGeneral(device.reliability(x), 4)});
+        ctx.keep(device.reliability(x));
     }
-    table.print(std::cout);
-    std::cout << "R(1) = " << formatGeneral(device.reliability(1.0), 4)
+    table.print(ctx.out());
+    ctx.out() << "R(1) = " << formatGeneral(device.reliability(1.0), 4)
               << " (close to 1), R(2) = "
               << formatGeneral(device.reliability(2.0), 4)
               << " (close to 0): window within one access.\n\n";
 }
 
-void
-figure3b()
+LEMONS_BENCH(fig3bParallel, "fig3.techniques.parallel")
 {
-    std::cout << "--- Fig 3b: parallel devices (alpha = 9.3, beta = 12) "
+    ctx.out() << "--- Fig 3b: parallel devices (alpha = 9.3, beta = 12) "
                  "---\n";
     const Weibull device(9.3, 12.0);
     Table table({"access", "n=1", "n=20", "n=40", "n=60"});
@@ -61,10 +58,10 @@ figure3b()
         }
         table.addRow(row);
     }
-    table.print(std::cout);
+    table.print(ctx.out());
 
     const arch::ParallelStructure forty(device, 40);
-    std::cout << "n = 40: R(10) = "
+    ctx.out() << "n = 40: R(10) = "
               << formatGeneral(forty.reliabilityAt(10.0), 4)
               << " (paper ~0.98), R(11) = "
               << formatGeneral(forty.reliabilityAt(11.0), 4)
@@ -72,20 +69,23 @@ figure3b()
 
     // Monte Carlo cross-check at the cliff.
     const DeviceFactory factory({9.3, 12.0}, ProcessVariation::none());
-    const sim::MonteCarlo engine(33, 100000);
+    const uint64_t trials = ctx.scaled(100000, 1000);
+    const sim::MonteCarlo engine(33, trials);
     const auto ci10 = engine.estimateProbability([&](Rng &rng) {
         return arch::sampleParallelSurvivedAccesses(factory, 40, 1, rng) >=
                10;
     });
-    std::cout << "MC (100k trials): P(40-wide survives 10 accesses) = "
+    ctx.out() << "MC (" << trials
+              << " trials): P(40-wide survives 10 accesses) = "
               << formatGeneral(ci10.estimate, 4) << " [analytic "
               << formatGeneral(forty.reliabilityAt(10.0), 4) << "]\n\n";
+    ctx.keep(ci10.estimate);
+    ctx.metric("items", static_cast<double>(trials));
 }
 
-void
-figure3c()
+LEMONS_BENCH(fig3cCoded, "fig3.techniques.rs_coded")
 {
-    std::cout << "--- Fig 3c: Reed-Solomon coded structures "
+    ctx.out() << "--- Fig 3c: Reed-Solomon coded structures "
                  "(alpha = 20, beta = 12, n = 60) ---\n";
     const Weibull device(20.0, 12.0);
     Table table({"access", "k=1", "k=10", "k=20", "k=30", "k=60"});
@@ -98,39 +98,31 @@ figure3c()
         }
         table.addRow(row);
     }
-    table.print(std::cout);
+    table.print(ctx.out());
 
     const arch::ParallelStructure k30(device, 60, 30);
-    std::cout << "k = 30 cliff: R(19) = "
+    ctx.out() << "k = 30 cliff: R(19) = "
               << formatGeneral(k30.reliabilityAt(19.0), 4) << ", R(20) = "
               << formatGeneral(k30.reliabilityAt(20.0), 4)
               << " (paper narrates ~0.92 / ~0.02 around the 20th "
                  "access)\n";
-    std::cout << "Window [0.9 -> 0.1]: k=1: "
+    ctx.out() << "Window [0.9 -> 0.1]: k=1: "
               << arch::ParallelStructure(device, 60, 1)
                      .degradationWindow(0.9, 0.1)
               << " accesses, k=30: " << k30.degradationWindow(0.9, 0.1)
               << " accesses (paper: ~2 vs ~1)\n";
 
     const DeviceFactory factory({20.0, 12.0}, ProcessVariation::none());
-    const sim::MonteCarlo engine(34, 100000);
+    const uint64_t trials = ctx.scaled(100000, 1000);
+    const sim::MonteCarlo engine(34, trials);
     const auto ci = engine.estimateProbability([&](Rng &rng) {
         return arch::sampleParallelSurvivedAccesses(factory, 60, 30, rng) >=
                19;
     });
-    std::cout << "MC (100k trials): P(30-of-60 survives 19 accesses) = "
+    ctx.out() << "MC (" << trials
+              << " trials): P(30-of-60 survives 19 accesses) = "
               << formatGeneral(ci.estimate, 4) << " [analytic "
               << formatGeneral(k30.reliabilityAt(19.0), 4) << "]\n";
-}
-
-} // namespace
-
-int
-main()
-{
-    std::cout << "=== Figure 3: controlling the degradation window ===\n\n";
-    figure3a();
-    figure3b();
-    figure3c();
-    return 0;
+    ctx.keep(ci.estimate);
+    ctx.metric("items", static_cast<double>(trials));
 }

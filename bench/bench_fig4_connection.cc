@@ -11,40 +11,19 @@
  *       200,000 (software rejecting the most popular 1% / 2%).
  */
 
-#include <iostream>
 #include <optional>
 #include <vector>
 
+#include "bench/harness.h"
 #include "core/explorer.h"
 #include "core/usage_bounds.h"
 #include "crypto/password_model.h"
-#include "util/csv.h"
 #include "util/table.h"
 
 using namespace lemons;
 using namespace lemons::core;
 
 namespace {
-
-/** When non-empty, figure data is also written as CSV into this dir. */
-std::string csvDir;
-
-void
-maybeWriteCsv(const std::string &name,
-              const std::vector<std::vector<std::string>> &rows)
-{
-    if (csvDir.empty())
-        return;
-    CsvWriter writer(csvDir + "/" + name);
-    if (!writer.good()) {
-        std::cerr << "warning: cannot write " << csvDir << "/" << name
-                  << "\n";
-        return;
-    }
-    for (const auto &row : rows)
-        writer.writeRow(row);
-    std::cout << "(wrote " << csvDir << "/" << name << ")\n";
-}
 
 std::vector<double>
 alphaGrid()
@@ -62,15 +41,14 @@ countCell(const Design &design)
                            : "infeasible";
 }
 
-void
-figure4a()
+} // namespace
+
+LEMONS_BENCH(fig4aPlain, "fig4.connection.plain")
 {
-    std::cout << "--- Fig 4a: total #NEMS without encoding (log-scale in "
+    ctx.out() << "--- Fig 4a: total #NEMS without encoding (log-scale in "
                  "the paper) ---\n";
     Table table({"alpha", "beta=8", "beta=10", "beta=12", "beta=14",
                  "beta=16"});
-    std::vector<std::vector<std::string>> csvRows{
-        {"alpha", "beta", "total_devices"}};
     std::vector<std::vector<ConnectionSweepPoint>> columns;
     for (double beta : {8.0, 10.0, 12.0, 14.0, 16.0})
         columns.push_back(sweepDeviceCount(alphaGrid(), beta, 0.0, 91250));
@@ -78,25 +56,19 @@ figure4a()
         std::vector<std::string> row{formatGeneral(alphaGrid()[i], 3)};
         for (const auto &column : columns) {
             row.push_back(countCell(column[i].design));
-            csvRows.push_back(
-                {formatGeneral(column[i].alpha, 6),
-                 formatGeneral(column[i].beta, 6),
-                 std::to_string(column[i].design.feasible
-                                    ? column[i].design.totalDevices
-                                    : 0)});
+            ctx.keep(static_cast<double>(column[i].design.totalDevices));
         }
         table.addRow(row);
     }
-    table.print(std::cout);
-    maybeWriteCsv("fig4a.csv", csvRows);
-    std::cout << "Paper anchor: alpha=14, beta=8 ~ 4e9 (our strict "
+    table.print(ctx.out());
+    ctx.out() << "Paper anchor: alpha=14, beta=8 ~ 4e9 (our strict "
                  "criteria give more; same exponential shape).\n\n";
+    ctx.metric("items", static_cast<double>(5 * alphaGrid().size()));
 }
 
-void
-figure4b()
+LEMONS_BENCH(fig4bEncoded, "fig4.connection.encoded")
 {
-    std::cout << "--- Fig 4b: with redundant encoding ---\n";
+    ctx.out() << "--- Fig 4b: with redundant encoding ---\n";
     Table table({"alpha", "k=10% b=8", "k=10% b=4", "k=20% b=8",
                  "k=20% b=4", "k=30% b=8", "k=30% b=4"});
     std::vector<std::vector<ConnectionSweepPoint>> columns;
@@ -106,24 +78,27 @@ figure4b()
                 sweepDeviceCount(alphaGrid(), beta, kFraction, 91250));
     for (size_t i = 0; i < alphaGrid().size(); ++i) {
         std::vector<std::string> row{formatGeneral(alphaGrid()[i], 3)};
-        for (const auto &column : columns)
+        for (const auto &column : columns) {
             row.push_back(countCell(column[i].design));
+            ctx.keep(static_cast<double>(column[i].design.totalDevices));
+        }
         table.addRow(row);
     }
-    table.print(std::cout);
-    std::cout << "Paper anchor: alpha=14, beta=8, k=10% ~ 0.8e6 (we get "
+    table.print(ctx.out());
+    ctx.out() << "Paper anchor: alpha=14, beta=8, k=10% ~ 0.8e6 (we get "
                  "the same magnitude) — ~4 orders of magnitude below "
                  "Fig 4a.\n\n";
+    ctx.metric("items", static_cast<double>(6 * alphaGrid().size()));
 }
 
-void
-figure4c()
+LEMONS_BENCH(fig4cCriteria, "fig4.connection.criteria")
 {
-    std::cout << "--- Fig 4c: relaxed degradation criteria "
+    ctx.out() << "--- Fig 4c: relaxed degradation criteria "
                  "(alpha = 14, beta = 8, k = 10% n) ---\n";
     Table table({"p", "#NEMS", "vs p=1%", "analytic E[total]",
                  "MC mean total", "MC q99.9"});
     std::optional<uint64_t> baseline;
+    const uint64_t trials = ctx.scaled(60, 10);
     for (double p : {0.01, 0.02, 0.04, 0.06, 0.08, 0.10}) {
         DegradationCriteria criteria;
         criteria.maxResidualReliability = p;
@@ -138,8 +113,9 @@ figure4c()
         if (!baseline)
             baseline = design.totalDevices;
         const UsageBounds bounds = estimateUsageBounds(
-            design, {14.0, 8.0}, wearout::ProcessVariation::none(), 60,
+            design, {14.0, 8.0}, wearout::ProcessVariation::none(), trials,
             4242);
+        ctx.keep(bounds.meanTotalAccesses);
         table.addRow(
             {formatGeneral(p * 100, 3) + "%",
              formatCount(design.totalDevices),
@@ -152,15 +128,15 @@ figure4c()
              formatGeneral(bounds.meanTotalAccesses, 7),
              formatGeneral(bounds.q999, 7)});
     }
-    table.print(std::cout);
-    std::cout << "Paper: p 1% -> 10% reduces devices ~40% and raises the "
+    table.print(ctx.out());
+    ctx.out() << "Paper: p 1% -> 10% reduces devices ~40% and raises the "
                  "empirical upper bound 91,326 -> 92,028.\n\n";
+    ctx.metric("items", static_cast<double>(6 * trials));
 }
 
-void
-figure4d()
+LEMONS_BENCH(fig4dPasscodes, "fig4.connection.passcodes")
 {
-    std::cout << "--- Fig 4d: stronger passcodes (alpha = 14, "
+    ctx.out() << "--- Fig 4d: stronger passcodes (alpha = 14, "
                  "k = 10% n) ---\n";
     const crypto::PasswordModel passwords;
     Table table({"passcode policy", "UB target", "beta=8", "beta=4",
@@ -190,28 +166,14 @@ figure4d()
         const double success =
             passwords.withPopularRejected(rejected)
                 .attackSuccessProbability(bound);
+        ctx.keep(success);
         table.addRow({row.label,
                       row.target ? formatCount(*row.target) : "LAB+eps",
                       countCell(b8[0].design), countCell(b4[0].design),
                       formatSci(success, 2)});
     }
-    table.print(std::cout);
-    std::cout << "Paper: 675,250 -> 38,325 -> 29,200 switches (beta=8); "
+    table.print(ctx.out());
+    ctx.out() << "Paper: 675,250 -> 38,325 -> 29,200 switches (beta=8); "
                  "same big first-step drop here.\n";
-}
-
-} // namespace
-
-int
-main(int argc, char **argv)
-{
-    if (argc > 1)
-        csvDir = argv[1]; // also emit machine-readable series here
-    std::cout << "=== Figure 4: limited-use connection design space "
-                 "(LAB = 91,250) ===\n\n";
-    figure4a();
-    figure4b();
-    figure4c();
-    figure4d();
-    return 0;
+    ctx.metric("items", 6.0);
 }

@@ -7,9 +7,9 @@
  *  5b — with redundant encoding, k in {10,20,30}% n, beta in {4, 8}.
  */
 
-#include <iostream>
 #include <vector>
 
+#include "bench/harness.h"
 #include "core/explorer.h"
 #include "util/table.h"
 
@@ -36,50 +36,51 @@ countCell(const Design &design)
 
 } // namespace
 
-int
-main()
+LEMONS_BENCH(fig5aPlain, "fig5.targeting.plain")
 {
-    std::cout << "=== Figure 5: limited-use targeting system "
-                 "(LAB = 100) ===\n\n";
+    ctx.out() << "--- Fig 5a: targeting (LAB = 100) without encoding "
+                 "---\n";
+    Table table({"alpha", "beta=8", "beta=10", "beta=12", "beta=14",
+                 "beta=16"});
+    std::vector<std::vector<ConnectionSweepPoint>> columns;
+    for (double beta : {8.0, 10.0, 12.0, 14.0, 16.0})
+        columns.push_back(sweepDeviceCount(alphaGrid(), beta, 0.0, 100));
+    for (size_t i = 0; i < alphaGrid().size(); ++i) {
+        std::vector<std::string> row{formatGeneral(alphaGrid()[i], 3)};
+        for (const auto &column : columns) {
+            row.push_back(countCell(column[i].design));
+            ctx.keep(static_cast<double>(column[i].design.totalDevices));
+        }
+        table.addRow(row);
+    }
+    table.print(ctx.out());
+    ctx.out() << "Paper anchors: best 8,855 at (20, 16); worst "
+                 "842,941 at (14, 8).\n\n";
+    ctx.metric("items", static_cast<double>(5 * alphaGrid().size()));
+}
 
-    std::cout << "--- Fig 5a: without encoding ---\n";
-    {
-        Table table({"alpha", "beta=8", "beta=10", "beta=12", "beta=14",
-                     "beta=16"});
-        std::vector<std::vector<ConnectionSweepPoint>> columns;
-        for (double beta : {8.0, 10.0, 12.0, 14.0, 16.0})
+LEMONS_BENCH(fig5bEncoded, "fig5.targeting.encoded")
+{
+    ctx.out() << "--- Fig 5b: targeting (LAB = 100) with redundant "
+                 "encoding ---\n";
+    Table table({"alpha", "k=10% b=8", "k=10% b=4", "k=20% b=8",
+                 "k=20% b=4", "k=30% b=8", "k=30% b=4"});
+    std::vector<std::vector<ConnectionSweepPoint>> columns;
+    for (double kFraction : {0.1, 0.2, 0.3})
+        for (double beta : {8.0, 4.0})
             columns.push_back(
-                sweepDeviceCount(alphaGrid(), beta, 0.0, 100));
-        for (size_t i = 0; i < alphaGrid().size(); ++i) {
-            std::vector<std::string> row{formatGeneral(alphaGrid()[i], 3)};
-            for (const auto &column : columns)
-                row.push_back(countCell(column[i].design));
-            table.addRow(row);
+                sweepDeviceCount(alphaGrid(), beta, kFraction, 100));
+    for (size_t i = 0; i < alphaGrid().size(); ++i) {
+        std::vector<std::string> row{formatGeneral(alphaGrid()[i], 3)};
+        for (const auto &column : columns) {
+            row.push_back(countCell(column[i].design));
+            ctx.keep(static_cast<double>(column[i].design.totalDevices));
         }
-        table.print(std::cout);
-        std::cout << "Paper anchors: best 8,855 at (20, 16); worst "
-                     "842,941 at (14, 8).\n\n";
+        table.addRow(row);
     }
-
-    std::cout << "--- Fig 5b: with redundant encoding ---\n";
-    {
-        Table table({"alpha", "k=10% b=8", "k=10% b=4", "k=20% b=8",
-                     "k=20% b=4", "k=30% b=8", "k=30% b=4"});
-        std::vector<std::vector<ConnectionSweepPoint>> columns;
-        for (double kFraction : {0.1, 0.2, 0.3})
-            for (double beta : {8.0, 4.0})
-                columns.push_back(
-                    sweepDeviceCount(alphaGrid(), beta, kFraction, 100));
-        for (size_t i = 0; i < alphaGrid().size(); ++i) {
-            std::vector<std::string> row{formatGeneral(alphaGrid()[i], 3)};
-            for (const auto &column : columns)
-                row.push_back(countCell(column[i].design));
-            table.addRow(row);
-        }
-        table.print(std::cout);
-        std::cout << "Paper anchor: ~810 switches at k=10%, alpha=10, "
-                     "beta=8; only 5-10 parallel structures needed, so "
-                     "the curves are jagged (small usage target).\n";
-    }
-    return 0;
+    table.print(ctx.out());
+    ctx.out() << "Paper anchor: ~810 switches at k=10%, alpha=10, "
+                 "beta=8; only 5-10 parallel structures needed, so "
+                 "the curves are jagged (small usage target).\n";
+    ctx.metric("items", static_cast<double>(6 * alphaGrid().size()));
 }

@@ -9,12 +9,11 @@
  * adversary loses, and Monte Carlo spot checks of both.
  */
 
-#include <iostream>
 #include <vector>
 
+#include "bench/harness.h"
 #include "core/explorer.h"
 #include "sim/monte_carlo.h"
-#include "util/csv.h"
 #include "util/table.h"
 #include "wearout/population.h"
 
@@ -25,12 +24,12 @@ namespace {
 
 const std::vector<uint64_t> kGrid = {1, 8, 16, 32, 48, 64, 96, 120, 128};
 const std::vector<unsigned> hGrid = {1, 2, 4, 6, 8, 10, 12};
-std::string csvDir;
 
 void
-printGrid(const char *title, bool receiver)
+printGrid(lemons::bench::BenchContext &ctx, const char *title,
+          bool receiver)
 {
-    std::cout << "--- " << title << " ---\n";
+    ctx.out() << "--- " << title << " ---\n";
     std::vector<std::string> headers{"H \\ k"};
     for (uint64_t k : kGrid)
         headers.push_back(std::to_string(k));
@@ -39,68 +38,51 @@ printGrid(const char *title, bool receiver)
         const auto row =
             sweepOtpThresholdHeight(kGrid, {h}, 128, {10.0, 1.0});
         std::vector<std::string> cells{std::to_string(h)};
-        for (const auto &point : row)
-            cells.push_back(formatGeneral(receiver
-                                              ? point.receiverSuccess
-                                              : point.adversarySuccess,
-                                          3));
+        for (const auto &point : row) {
+            const double success = receiver ? point.receiverSuccess
+                                            : point.adversarySuccess;
+            cells.push_back(formatGeneral(success, 3));
+            ctx.keep(success);
+        }
         table.addRow(cells);
     }
-    table.print(std::cout);
-    if (!csvDir.empty()) {
-        std::vector<std::vector<std::string>> rows{
-            {"height", "k", "success"}};
-        for (unsigned h : hGrid) {
-            const auto row =
-                sweepOtpThresholdHeight(kGrid, {h}, 128, {10.0, 1.0});
-            for (const auto &point : row) {
-                rows.push_back({std::to_string(h),
-                                std::to_string(point.params.threshold),
-                                formatSci(receiver
-                                              ? point.receiverSuccess
-                                              : point.adversarySuccess,
-                                          6)});
-            }
-        }
-        const std::string name =
-            csvDir + (receiver ? "/fig8a.csv" : "/fig8b.csv");
-        if (writeCsvFile(name, rows))
-            std::cout << "(wrote " << name << ")\n";
-    }
-    std::cout << "\n";
+    table.print(ctx.out());
+    ctx.out() << "\n";
 }
 
 } // namespace
 
-int
-main(int argc, char **argv)
+LEMONS_BENCH(fig8OtpGrids, "fig8.otp.analytic_grids")
 {
-    if (argc > 1)
-        csvDir = argv[1];
-    std::cout << "=== Figure 8: OTP success probability vs (k, H), "
+    ctx.out() << "=== Figure 8: OTP success probability vs (k, H), "
                  "alpha=10 beta=1 n=128 ===\n\n";
-    printGrid("Fig 8a: receiver success probability", true);
-    printGrid("Fig 8b: adversary success probability", false);
+    printGrid(ctx, "Fig 8a: receiver success probability", true);
+    printGrid(ctx, "Fig 8b: adversary success probability", false);
 
     // Success space: receiver > 0.99 AND adversary < 0.01.
-    std::cout << "--- success space (R = receiver wins, . = not) ---\n";
+    ctx.out() << "--- success space (R = receiver wins, . = not) ---\n";
     for (unsigned h : hGrid) {
-        std::cout << "H=" << h << (h < 10 ? " " : "") << " ";
+        ctx.out() << "H=" << h << (h < 10 ? " " : "") << " ";
         const auto row =
             sweepOtpThresholdHeight(kGrid, {h}, 128, {10.0, 1.0});
         for (const auto &point : row) {
-            std::cout << (point.receiverSuccess > 0.99 &&
+            ctx.out() << (point.receiverSuccess > 0.99 &&
                                   point.adversarySuccess < 0.01
                               ? 'R'
                               : '.');
         }
-        std::cout << "\n";
+        ctx.out() << "\n";
     }
-    std::cout << "(columns: k = ";
+    ctx.out() << "(columns: k = ";
     for (uint64_t k : kGrid)
-        std::cout << k << " ";
-    std::cout << ")\n\n";
+        ctx.out() << k << " ";
+    ctx.out() << ")\n\n";
+    ctx.metric("items",
+               static_cast<double>(3 * kGrid.size() * hGrid.size()));
+}
 
+LEMONS_BENCH(fig8OtpMonteCarlo, "fig8.otp.monte_carlo")
+{
     // Monte Carlo spot check at the paper's working point H=4, k=8 and
     // at the adversary-relevant point H=2, k=8.
     const wearout::DeviceFactory factory({10.0, 1.0},
@@ -112,15 +94,17 @@ main(int argc, char **argv)
     const std::vector<uint8_t> key(32, 0x42);
 
     params.height = 4;
-    const sim::MonteCarlo engine(77, 300);
+    const uint64_t pads = ctx.scaled(300, 30);
+    const sim::MonteCarlo engine(77, pads);
     const auto recvCi = engine.estimateProbability([&](Rng &rng) {
         OneTimePad pad(params, key, 3, factory, rng);
         return pad.retrieve(3).has_value();
     });
-    std::cout << "MC receiver success (H=4, k=8, 300 pads): "
+    ctx.out() << "MC receiver success (H=4, k=8, " << pads << " pads): "
               << formatGeneral(recvCi.estimate, 4) << " [analytic "
               << formatGeneral(OtpAnalytics(params).receiverSuccess(), 4)
               << "]\n";
+    ctx.keep(recvCi.estimate);
 
     params.height = 2;
     const auto advCi = engine.estimateProbability([&](Rng &rng) {
@@ -128,9 +112,10 @@ main(int argc, char **argv)
         Rng attacker = rng.split(13);
         return pad.randomPathAttack(attacker).has_value();
     });
-    std::cout << "MC adversary success (H=2, k=8, 300 pads): "
+    ctx.out() << "MC adversary success (H=2, k=8, " << pads << " pads): "
               << formatGeneral(advCi.estimate, 4) << " [analytic "
               << formatGeneral(OtpAnalytics(params).adversarySuccess(), 4)
               << "]\n";
-    return 0;
+    ctx.keep(advCi.estimate);
+    ctx.metric("items", static_cast<double>(2 * pads));
 }

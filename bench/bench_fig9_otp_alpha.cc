@@ -5,9 +5,9 @@
  * and device wearout bounds.
  */
 
-#include <iostream>
 #include <vector>
 
+#include "bench/harness.h"
 #include "core/explorer.h"
 #include "util/table.h"
 
@@ -21,9 +21,10 @@ const std::vector<double> alphaGrid = {1.0,  5.0,  10.0, 20.0,
 const std::vector<unsigned> hGrid = {1, 2, 4, 6, 7, 8, 10, 12};
 
 void
-printGrid(const char *title, bool receiver)
+printGrid(lemons::bench::BenchContext &ctx, const char *title,
+          bool receiver)
 {
-    std::cout << "--- " << title << " ---\n";
+    ctx.out() << "--- " << title << " ---\n";
     std::vector<std::string> headers{"H \\ alpha"};
     for (double a : alphaGrid)
         headers.push_back(formatGeneral(a, 3));
@@ -31,31 +32,32 @@ printGrid(const char *title, bool receiver)
     for (unsigned h : hGrid) {
         const auto row = sweepOtpAlphaHeight(alphaGrid, {h}, 128, 8, 1.0);
         std::vector<std::string> cells{std::to_string(h)};
-        for (const auto &point : row)
-            cells.push_back(formatGeneral(receiver
-                                              ? point.receiverSuccess
-                                              : point.adversarySuccess,
-                                          3));
+        for (const auto &point : row) {
+            const double success = receiver ? point.receiverSuccess
+                                            : point.adversarySuccess;
+            cells.push_back(formatGeneral(success, 3));
+            ctx.keep(success);
+        }
         table.addRow(cells);
     }
-    table.print(std::cout);
-    std::cout << "\n";
+    table.print(ctx.out());
+    ctx.out() << "\n";
 }
 
 } // namespace
 
-int
-main()
+LEMONS_BENCH(fig9OtpAlpha, "fig9.otp.alpha_height")
 {
-    std::cout << "=== Figure 9: OTP success probability vs (alpha, H), "
+    ctx.out() << "=== Figure 9: OTP success probability vs (alpha, H), "
                  "beta=1 k=8 n=128 ===\n\n";
-    printGrid("Fig 9a: receiver success probability", true);
-    printGrid("Fig 9b: adversary success probability", false);
+    printGrid(ctx, "Fig 9a: receiver success probability", true);
+    printGrid(ctx, "Fig 9b: adversary success probability", false);
 
-    std::cout
+    ctx.out()
         << "Trade-off (paper Sec 6.4.2): for H <= 7, higher trees "
            "compensate for looser wearout bounds;\nfor H >= 8 the height "
            "alone blocks adversaries across the whole alpha range while "
            "the receiver\nstill succeeds once alpha is large enough.\n";
-    return 0;
+    ctx.metric("items",
+               static_cast<double>(2 * alphaGrid.size() * hGrid.size()));
 }

@@ -10,29 +10,30 @@
  * model's closed form.
  */
 
-#include <iostream>
-
 #include "arch/cost_model.h"
 #include "arch/htree.h"
+#include "bench/harness.h"
 #include "util/table.h"
 
 using namespace lemons;
 using namespace lemons::arch;
 
-int
-main()
+LEMONS_BENCH(htreeLayout, "htree.layout")
 {
-    std::cout << "=== H-tree layout of decision-tree switch networks "
+    ctx.out() << "=== H-tree layout of decision-tree switch networks "
                  "===\n\n";
 
     // Leaf pitch ~ switch contact edge (10 nm) + 1 nm spacing.
     const double pitch = 11.0;
     const CostModel model;
 
+    uint64_t switches = 0;
     Table table({"H", "switches", "box (nm x nm)", "switch area (nm^2)",
                  "wire (nm)", "wire/leaf (nm)", "area/leaf (pitch^2)"});
     for (unsigned h = 2; h <= 11; ++h) {
         const HTreeLayout layout(h, pitch);
+        switches += layout.nodeCount();
+        ctx.keep(layout.areaNm2());
         table.addRow(
             {std::to_string(h), formatCount(layout.nodeCount()),
              formatGeneral(layout.width(), 5) + " x " +
@@ -44,9 +45,9 @@ main()
                            3),
              formatGeneral(layout.areaPerLeafPitchSq(), 4)});
     }
-    table.print(std::cout);
+    table.print(ctx.out());
 
-    std::cout << "\nArea per leaf stays exactly one pitch^2 — Brent & "
+    ctx.out() << "\nArea per leaf stays exactly one pitch^2 — Brent & "
                  "Kung's O(leaves) bound, the premise of the\npaper's "
                  "analytic area model. Cross-check at H = 8: layout "
                  "switch area "
@@ -55,5 +56,5 @@ main()
               << formatSci(128.0 * 100.0 * 1e-12, 2)
               << " mm^2 (registers dominate the full tree area, "
               << formatSci(model.decisionTreeAreaMm2(8), 2) << " mm^2).\n";
-    return 0;
+    ctx.metric("items", static_cast<double>(switches));
 }

@@ -5,84 +5,95 @@
  * — the costs behind every empirical curve in the reproduction.
  */
 
-#include <benchmark/benchmark.h>
+#include <string>
 
 #include "arch/structures_sim.h"
+#include "bench/harness.h"
 #include "sim/monte_carlo.h"
 #include "wearout/population.h"
 #include "wearout/weibull.h"
 
 using namespace lemons;
+using lemons::bench::BenchContext;
+using lemons::bench::registerBench;
 
-namespace {
-
-void
-BM_WeibullSample(benchmark::State &state)
+LEMONS_BENCH(mcWeibullSample, "mc.weibull_sample")
 {
     const wearout::Weibull model(14.0, 8.0);
     Rng rng(1);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(model.sample(rng));
+    const uint64_t iters = ctx.scaled(1000000, 10000);
+    for (uint64_t i = 0; i < iters; ++i)
+        ctx.keep(model.sample(rng));
+    ctx.metric("items", static_cast<double>(iters));
 }
 
-void
-BM_ParallelStructureSample(benchmark::State &state)
+LEMONS_BENCH_REGISTRAR(registerStructureSampleBenches)
 {
-    const auto n = static_cast<size_t>(state.range(0));
-    const auto k = static_cast<size_t>(state.range(1));
-    const wearout::DeviceFactory factory({14.0, 8.0},
-                                         wearout::ProcessVariation::none());
-    Rng rng(2);
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(
-            arch::sampleParallelSurvivedAccesses(factory, n, k, rng));
+    constexpr size_t kPoints[][2] = {
+        {40, 1}, {60, 30}, {175, 18}, {2000, 200}};
+    for (const auto &point : kPoints) {
+        const size_t n = point[0];
+        const size_t k = point[1];
+        registerBench("mc.structure_sample.n" + std::to_string(n) + ".k" +
+                          std::to_string(k),
+                      [n, k](BenchContext &ctx) {
+                          const wearout::DeviceFactory factory(
+                              {14.0, 8.0},
+                              wearout::ProcessVariation::none());
+                          Rng rng(2);
+                          const uint64_t iters =
+                              ctx.scaled(2000000 / n, 100);
+                          for (uint64_t i = 0; i < iters; ++i)
+                              ctx.keep(static_cast<double>(
+                                  arch::sampleParallelSurvivedAccesses(
+                                      factory, n, k, rng)));
+                          ctx.metric("items", static_cast<double>(
+                                                  iters * n));
+                      });
     }
-    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                            state.range(0));
 }
 
-void
-BM_FullArchitectureTrial(benchmark::State &state)
+LEMONS_BENCH(mcFullArchitectureTrial, "mc.full_architecture_trial")
 {
     // One full lifetime of the (alpha=14, beta=8, k=10%) connection:
-    // 6,084 copies x 175 devices.
+    // 6,084 copies x 175 devices, scaled down under --quick.
     const wearout::DeviceFactory factory({14.0, 8.0},
                                          wearout::ProcessVariation::none());
     Rng rng(3);
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(arch::sampleSerialCopiesTotalAccesses(
-            factory, 175, 18, 6084, rng));
-    }
-    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                            175 * 6084);
+    const uint64_t copies = ctx.scaled(6084, 100);
+    ctx.keep(static_cast<double>(arch::sampleSerialCopiesTotalAccesses(
+        factory, 175, 18, copies, rng)));
+    ctx.metric("items", static_cast<double>(175 * copies));
 }
 
-void
-BM_MonteCarloProbability(benchmark::State &state)
+LEMONS_BENCH(mcEstimateProbability, "mc.estimate_probability")
 {
     const wearout::DeviceFactory factory({9.3, 12.0},
                                          wearout::ProcessVariation::none());
-    for (auto _ : state) {
-        const sim::MonteCarlo engine(7, 1000);
-        benchmark::DoNotOptimize(
-            engine.estimateProbability([&](Rng &rng) {
-                return arch::sampleParallelSurvivedAccesses(factory, 40,
-                                                            1, rng) >= 10;
-            }));
-    }
-    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                            1000);
+    const uint64_t trials = ctx.scaled(20000, 500);
+    const sim::MonteCarlo engine(7, trials);
+    const auto ci = engine.estimateProbability([&](Rng &rng) {
+        return arch::sampleParallelSurvivedAccesses(factory, 40, 1, rng) >=
+               10;
+    });
+    ctx.keep(ci.estimate);
+    ctx.metric("items", static_cast<double>(trials));
 }
 
-BENCHMARK(BM_WeibullSample);
-BENCHMARK(BM_ParallelStructureSample)
-    ->Args({40, 1})
-    ->Args({60, 30})
-    ->Args({175, 18})
-    ->Args({2000, 200});
-BENCHMARK(BM_FullArchitectureTrial)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_MonteCarloProbability)->Unit(benchmark::kMillisecond);
-
-} // namespace
-
-BENCHMARK_MAIN();
+LEMONS_BENCH(mcRunStatsParallel, "mc.run_stats_parallel")
+{
+    // Same metric through the threaded entry point; on a single-core
+    // host this mostly measures the partition/merge overhead.
+    const wearout::DeviceFactory factory({9.3, 12.0},
+                                         wearout::ProcessVariation::none());
+    const uint64_t trials = ctx.scaled(20000, 500);
+    const sim::MonteCarlo engine(7, trials);
+    const auto stats = engine.runStatsParallel(
+        [&](Rng &rng) {
+            return static_cast<double>(
+                arch::sampleParallelSurvivedAccesses(factory, 40, 1, rng));
+        },
+        2);
+    ctx.keep(stats.mean());
+    ctx.metric("items", static_cast<double>(trials));
+}

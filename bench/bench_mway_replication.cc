@@ -6,8 +6,7 @@
  * usage across a replicated stack.
  */
 
-#include <iostream>
-
+#include "bench/harness.h"
 #include "core/design_solver.h"
 #include "core/mway.h"
 #include "util/table.h"
@@ -15,10 +14,9 @@
 using namespace lemons;
 using namespace lemons::core;
 
-int
-main()
+LEMONS_BENCH(mwayReplication, "mway.replication")
 {
-    std::cout << "=== Section 4.1.5: M-way replication ===\n\n";
+    ctx.out() << "=== Section 4.1.5: M-way replication ===\n\n";
 
     // The paper's arithmetic: 50/day for 5 years = 91,250 per module.
     Table scaling({"M", "daily bound", "re-encrypt every", "total uses"});
@@ -29,8 +27,8 @@ main()
                         formatGeneral(months, 3) + " months",
                         formatCount(91250 * m)});
     }
-    scaling.print(std::cout);
-    std::cout << "\nPaper example: M = 10 lifts 50/day to 500/day with a "
+    scaling.print(ctx.out());
+    ctx.out() << "\nPaper example: M = 10 lifts 50/day to 500/day with a "
                  "re-encryption every 6 months.\n\n";
 
     // Simulate a scaled-down stack: modules sized for 60 accesses,
@@ -43,6 +41,7 @@ main()
     const wearout::DeviceFactory factory(request.device,
                                          wearout::ProcessVariation::none());
 
+    uint64_t unlocks = 0;
     Table sim({"M", "unlocks served", "migrations", "exhausted"});
     for (uint64_t m : {1u, 2u, 4u}) {
         Rng rng(999 + m);
@@ -53,6 +52,7 @@ main()
             const std::string current =
                 "pass-" + std::to_string(module);
             for (int i = 0; i < 50; ++i) {
+                ++unlocks;
                 if (stack.unlock(current).has_value())
                     ++served;
             }
@@ -62,12 +62,13 @@ main()
                     break;
             }
         }
+        ctx.keep(static_cast<double>(served));
         sim.addRow({std::to_string(m), formatCount(served),
                     formatCount(stack.migrationCount()),
                     stack.exhausted() ? "yes" : "no"});
     }
-    sim.print(std::cout);
-    std::cout << "\nUsage served scales ~linearly with M; each migration "
+    sim.print(ctx.out());
+    ctx.out() << "\nUsage served scales ~linearly with M; each migration "
                  "costs one unlock plus a storage re-wrap.\n";
-    return 0;
+    ctx.metric("items", static_cast<double>(unlocks));
 }

@@ -6,17 +6,15 @@
  * 5.12e-18 J worst-case path energy.
  */
 
-#include <iostream>
-
 #include "arch/cost_model.h"
+#include "bench/harness.h"
 #include "util/table.h"
 
 using namespace lemons;
 
-int
-main()
+LEMONS_BENCH(otpCost, "otp.cost.latency_energy")
 {
-    std::cout << "=== Section 6.5.2: OTP retrieval latency & energy "
+    ctx.out() << "=== Section 6.5.2: OTP retrieval latency & energy "
                  "===\n\n";
     const arch::CostModel model;
 
@@ -27,19 +25,20 @@ main()
                           formatGeneral(model.padRetrievalLatencyMs(h, n),
                                         5),
                           formatSci(model.padRetrievalEnergyJ(h, n), 2)});
+            ctx.keep(model.padRetrievalLatencyMs(h, n));
         }
     }
-    table.print(std::cout);
+    table.print(ctx.out());
 
-    std::cout << "\nPaper anchor (H=4, n=128): latency = "
+    ctx.out() << "\nPaper anchor (H=4, n=128): latency = "
               << formatGeneral(model.padRetrievalLatencyMs(4, 128), 5)
               << " ms (paper 0.08512 ms), energy = "
               << formatSci(model.padRetrievalEnergyJ(4, 128), 3)
               << " J (paper 5.12e-18 J)\n";
-    std::cout << "Connection access (Sec 4.3.2, width 141): energy = "
+    ctx.out() << "Connection access (Sec 4.3.2, width 141): energy = "
               << formatSci(model.accessEnergyJ(141), 3)
               << " J (paper 1.41e-18 J), latency = "
               << formatGeneral(model.accessLatencyNs(), 3)
               << " ns (paper ~10 ns)\n";
-    return 0;
+    ctx.metric("items", 15.0);
 }

@@ -6,13 +6,17 @@
  * one-time pads, k = 30/n = 60 from Fig 3c).
  */
 
-#include <benchmark/benchmark.h>
+#include <string>
+#include <vector>
 
+#include "bench/harness.h"
 #include "rs/reed_solomon.h"
 #include "shamir/shamir.h"
 #include "util/rng.h"
 
 using namespace lemons;
+using lemons::bench::BenchContext;
+using lemons::bench::registerBench;
 
 namespace {
 
@@ -25,76 +29,82 @@ randomBytes(Rng &rng, size_t size)
     return out;
 }
 
-void
-BM_RsEncode(benchmark::State &state)
+std::string
+suffix(size_t k, size_t n)
 {
-    const auto k = static_cast<size_t>(state.range(0));
-    const auto n = static_cast<size_t>(state.range(1));
-    const rs::RsCode code(k, n);
-    Rng rng(1);
-    const auto message = randomBytes(rng, 32);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(code.encode(message));
-    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 32);
+    return "k" + std::to_string(k) + ".n" + std::to_string(n);
 }
 
-void
-BM_RsDecode(benchmark::State &state)
-{
-    const auto k = static_cast<size_t>(state.range(0));
-    const auto n = static_cast<size_t>(state.range(1));
-    const rs::RsCode code(k, n);
-    Rng rng(2);
-    const auto message = randomBytes(rng, 32);
-    auto shares = code.encode(message);
-    // Decode from the parity end (non-systematic path: real work).
-    std::vector<rs::Share> subset(shares.end() -
-                                      static_cast<std::ptrdiff_t>(k),
-                                  shares.end());
-    for (auto _ : state)
-        benchmark::DoNotOptimize(code.decode(subset, message.size()));
-    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 32);
-}
-
-void
-BM_ShamirSplit(benchmark::State &state)
-{
-    const auto k = static_cast<size_t>(state.range(0));
-    const auto n = static_cast<size_t>(state.range(1));
-    const shamir::Scheme scheme(k, n);
-    Rng rng(3);
-    const auto secret = randomBytes(rng, 32);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(scheme.split(secret, rng));
-    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 32);
-}
-
-void
-BM_ShamirCombine(benchmark::State &state)
-{
-    const auto k = static_cast<size_t>(state.range(0));
-    const auto n = static_cast<size_t>(state.range(1));
-    const shamir::Scheme scheme(k, n);
-    Rng rng(4);
-    const auto secret = randomBytes(rng, 32);
-    auto shares = scheme.split(secret, rng);
-    shares.resize(k);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(scheme.combine(shares));
-    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 32);
-}
-
-void
-CodingArgs(benchmark::internal::Benchmark *bench)
-{
-    bench->Args({18, 175})->Args({8, 128})->Args({30, 60})->Args({2, 3});
-}
-
-BENCHMARK(BM_RsEncode)->Apply(CodingArgs);
-BENCHMARK(BM_RsDecode)->Apply(CodingArgs);
-BENCHMARK(BM_ShamirSplit)->Apply(CodingArgs);
-BENCHMARK(BM_ShamirCombine)->Apply(CodingArgs);
+constexpr size_t kCodingPoints[][2] = {
+    {18, 175}, {8, 128}, {30, 60}, {2, 3}};
 
 } // namespace
 
-BENCHMARK_MAIN();
+LEMONS_BENCH_REGISTRAR(registerCodingBenches)
+{
+    for (const auto &point : kCodingPoints) {
+        const size_t k = point[0];
+        const size_t n = point[1];
+
+        registerBench("rs.encode." + suffix(k, n), [k, n](BenchContext &ctx) {
+            const rs::RsCode code(k, n);
+            Rng rng(1);
+            const auto message = randomBytes(rng, 32);
+            const uint64_t iters = ctx.scaled(2000, 50);
+            for (uint64_t i = 0; i < iters; ++i)
+                ctx.keep(static_cast<double>(
+                    code.encode(message).front().payload.front()));
+            ctx.metric("items", static_cast<double>(iters));
+        });
+
+        registerBench("rs.decode." + suffix(k, n), [k, n](BenchContext &ctx) {
+            const rs::RsCode code(k, n);
+            Rng rng(2);
+            const auto message = randomBytes(rng, 32);
+            auto shares = code.encode(message);
+            // Decode from the parity end (non-systematic path: real
+            // work).
+            std::vector<rs::Share> subset(
+                shares.end() - static_cast<std::ptrdiff_t>(k),
+                shares.end());
+            const uint64_t iters = ctx.scaled(500, 20);
+            for (uint64_t i = 0; i < iters; ++i) {
+                const auto decoded = code.decode(subset, message.size());
+                ctx.keep(decoded ? static_cast<double>(decoded->front())
+                                 : -1.0);
+            }
+            ctx.metric("items", static_cast<double>(iters));
+        });
+
+        registerBench("shamir.split." + suffix(k, n),
+                      [k, n](BenchContext &ctx) {
+                          const shamir::Scheme scheme(k, n);
+                          Rng rng(3);
+                          const auto secret = randomBytes(rng, 32);
+                          const uint64_t iters = ctx.scaled(2000, 50);
+                          for (uint64_t i = 0; i < iters; ++i)
+                              ctx.keep(static_cast<double>(
+                                  scheme.split(secret, rng)
+                                      .front()
+                                      .payload.front()));
+                          ctx.metric("items", static_cast<double>(iters));
+                      });
+
+        registerBench("shamir.combine." + suffix(k, n),
+                      [k, n](BenchContext &ctx) {
+                          const shamir::Scheme scheme(k, n);
+                          Rng rng(4);
+                          const auto secret = randomBytes(rng, 32);
+                          auto shares = scheme.split(secret, rng);
+                          shares.resize(k);
+                          const uint64_t iters = ctx.scaled(2000, 50);
+                          for (uint64_t i = 0; i < iters; ++i) {
+                              const auto combined = scheme.combine(shares);
+                              ctx.keep(combined ? static_cast<double>(
+                                                      combined->front())
+                                                : -1.0);
+                          }
+                          ctx.metric("items", static_cast<double>(iters));
+                      });
+    }
+}

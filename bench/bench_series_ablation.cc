@@ -9,22 +9,20 @@
  * parallel + encoding alternative that the paper adopts.
  */
 
-#include <iostream>
-
 #include "arch/structures.h"
+#include "bench/harness.h"
 #include "core/design_solver.h"
 #include "util/table.h"
 
 using namespace lemons;
 using wearout::Weibull;
 
-int
-main()
+LEMONS_BENCH(seriesAblation, "ablation.series_chains")
 {
-    std::cout << "=== Section 4.1.2 ablation: series chains vs parallel "
+    ctx.out() << "=== Section 4.1.2 ablation: series chains vs parallel "
                  "encoding ===\n\n";
 
-    std::cout << "--- Devices needed in series to scale alpha down by y "
+    ctx.out() << "--- Devices needed in series to scale alpha down by y "
                  "---\n";
     Table chain({"y", "beta=4", "beta=8", "beta=12", "beta=16"});
     for (double y : {1.5, 2.0, 3.0, 5.0, 10.0}) {
@@ -35,11 +33,11 @@ main()
         }
         chain.addRow(row);
     }
-    chain.print(std::cout);
-    std::cout << "\nAt beta = 12, halving alpha already costs 4,096 "
+    chain.print(ctx.out());
+    ctx.out() << "\nAt beta = 12, halving alpha already costs 4,096 "
                  "chained devices; the paper discards the option.\n\n";
 
-    std::cout << "--- Sanity: chain reliability equals the equivalent "
+    ctx.out() << "--- Sanity: chain reliability equals the equivalent "
                  "scaled device ---\n";
     const Weibull device(20.0, 12.0);
     const arch::SeriesChain chain32(device, 32);
@@ -52,10 +50,11 @@ main()
         eq.addRow({formatGeneral(x, 3),
                    formatGeneral(chain32.reliabilityAt(x), 4),
                    formatGeneral(equivalent.reliability(x), 4)});
+        ctx.keep(chain32.reliabilityAt(x));
     }
-    eq.print(std::cout);
+    eq.print(ctx.out());
 
-    std::cout << "\n--- The alternative the paper adopts: k-out-of-n "
+    ctx.out() << "\n--- The alternative the paper adopts: k-out-of-n "
                  "parallel encoding ---\n";
     // Compare total devices to build the targeting system (LAB = 100)
     // from alpha = 20 devices via (a) series-scaling each copy's
@@ -64,7 +63,7 @@ main()
     const double y = 20.0 / 1.7;
     const double chainPerCopy =
         arch::SeriesChain::lengthForScaleFactor(y, 12.0);
-    std::cout << "series route: " << formatSci(chainPerCopy * 100.0, 2)
+    ctx.out() << "series route: " << formatSci(chainPerCopy * 100.0, 2)
               << " devices (100 copies x y^beta = "
               << formatSci(chainPerCopy, 2) << ")\n";
 
@@ -73,11 +72,12 @@ main()
     request.legitimateAccessBound = 100;
     request.kFraction = 0.1;
     const core::Design design = core::DesignSolver(request).solve();
-    std::cout << "parallel + encoding route: "
+    ctx.out() << "parallel + encoding route: "
               << (design.feasible ? formatCount(design.totalDevices)
                                   : "infeasible")
               << " devices (t=" << design.perCopyBound
               << ", n=" << design.width << ", N=" << design.copies
               << ")\n";
-    return 0;
+    ctx.keep(static_cast<double>(design.totalDevices));
+    ctx.metric("items", 25.0);
 }

@@ -4,87 +4,94 @@
  * analytics — the cost of one sweep point in Figures 4, 5, 8, 9.
  */
 
-#include <benchmark/benchmark.h>
+#include <string>
 
+#include "bench/harness.h"
 #include "core/decision_tree.h"
 #include "core/design_solver.h"
 #include "util/math.h"
 
 using namespace lemons;
 using namespace lemons::core;
+using lemons::bench::BenchContext;
+using lemons::bench::registerBench;
 
-namespace {
-
-void
-BM_SolveUnencoded(benchmark::State &state)
+LEMONS_BENCH_REGISTRAR(registerSolverBenches)
 {
-    DesignRequest request;
-    request.device = {static_cast<double>(state.range(0)), 8.0};
-    request.legitimateAccessBound = 91250;
-    for (auto _ : state) {
-        const DesignSolver solver(request);
-        benchmark::DoNotOptimize(solver.solve());
+    for (const double alpha : {10.0, 14.0, 20.0}) {
+        const std::string point =
+            "alpha" + std::to_string(static_cast<int>(alpha));
+
+        registerBench("solver.unencoded." + point,
+                      [alpha](BenchContext &ctx) {
+                          DesignRequest request;
+                          request.device = {alpha, 8.0};
+                          request.legitimateAccessBound = 91250;
+                          const uint64_t iters = ctx.scaled(20, 2);
+                          for (uint64_t i = 0; i < iters; ++i) {
+                              const DesignSolver solver(request);
+                              ctx.keep(static_cast<double>(
+                                  solver.solve().totalDevices));
+                          }
+                          ctx.metric("items", static_cast<double>(iters));
+                      });
+
+        registerBench("solver.encoded." + point,
+                      [alpha](BenchContext &ctx) {
+                          DesignRequest request;
+                          request.device = {alpha, 8.0};
+                          request.legitimateAccessBound = 91250;
+                          request.kFraction = 0.1;
+                          const uint64_t iters = ctx.scaled(20, 2);
+                          for (uint64_t i = 0; i < iters; ++i) {
+                              const DesignSolver solver(request);
+                              ctx.keep(static_cast<double>(
+                                  solver.solve().totalDevices));
+                          }
+                          ctx.metric("items", static_cast<double>(iters));
+                      });
+    }
+
+    registerBench("solver.upper_bound", [](BenchContext &ctx) {
+        DesignRequest request;
+        request.device = {14.0, 8.0};
+        request.legitimateAccessBound = 91250;
+        request.kFraction = 0.1;
+        request.upperBoundTarget = 200000;
+        const uint64_t iters = ctx.scaled(20, 2);
+        for (uint64_t i = 0; i < iters; ++i) {
+            const DesignSolver solver(request);
+            ctx.keep(static_cast<double>(solver.solve().totalDevices));
+        }
+        ctx.metric("items", static_cast<double>(iters));
+    });
+
+    for (const unsigned height : {2u, 8u, 12u}) {
+        registerBench("solver.otp_analytics.h" + std::to_string(height),
+                      [height](BenchContext &ctx) {
+                          OtpParams params;
+                          params.height = height;
+                          params.copies = 128;
+                          params.threshold = 8;
+                          params.device = {10.0, 1.0};
+                          const uint64_t iters = ctx.scaled(20000, 200);
+                          for (uint64_t i = 0; i < iters; ++i) {
+                              const OtpAnalytics analytics(params);
+                              ctx.keep(analytics.receiverSuccess() +
+                                       analytics.adversarySuccess());
+                          }
+                          ctx.metric("items", static_cast<double>(iters));
+                      });
+    }
+
+    for (const uint64_t n : {60ull, 141ull, 10000ull, 10000000ull}) {
+        registerBench("solver.binomial_tail.n" + std::to_string(n),
+                      [n](BenchContext &ctx) {
+                          const uint64_t iters = ctx.scaled(20000, 200);
+                          for (uint64_t i = 0; i < iters; ++i)
+                              ctx.keep(logBinomialTailAtLeast(n, n / 10,
+                                                              0.176));
+                          ctx.metric("items", static_cast<double>(iters));
+                      });
     }
 }
-
-void
-BM_SolveEncoded(benchmark::State &state)
-{
-    DesignRequest request;
-    request.device = {static_cast<double>(state.range(0)), 8.0};
-    request.legitimateAccessBound = 91250;
-    request.kFraction = 0.1;
-    for (auto _ : state) {
-        const DesignSolver solver(request);
-        benchmark::DoNotOptimize(solver.solve());
-    }
-}
-
-void
-BM_SolveWithUpperBound(benchmark::State &state)
-{
-    DesignRequest request;
-    request.device = {14.0, 8.0};
-    request.legitimateAccessBound = 91250;
-    request.kFraction = 0.1;
-    request.upperBoundTarget = 200000;
-    for (auto _ : state) {
-        const DesignSolver solver(request);
-        benchmark::DoNotOptimize(solver.solve());
-    }
-}
-
-void
-BM_OtpAnalytics(benchmark::State &state)
-{
-    OtpParams params;
-    params.height = static_cast<unsigned>(state.range(0));
-    params.copies = 128;
-    params.threshold = 8;
-    params.device = {10.0, 1.0};
-    for (auto _ : state) {
-        const OtpAnalytics analytics(params);
-        benchmark::DoNotOptimize(analytics.receiverSuccess());
-        benchmark::DoNotOptimize(analytics.adversarySuccess());
-    }
-}
-
-void
-BM_BinomialTail(benchmark::State &state)
-{
-    const auto n = static_cast<uint64_t>(state.range(0));
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(
-            logBinomialTailAtLeast(n, n / 10, 0.176));
-    }
-}
-
-BENCHMARK(BM_SolveUnencoded)->Arg(10)->Arg(14)->Arg(20);
-BENCHMARK(BM_SolveEncoded)->Arg(10)->Arg(14)->Arg(20);
-BENCHMARK(BM_SolveWithUpperBound);
-BENCHMARK(BM_OtpAnalytics)->Arg(2)->Arg(8)->Arg(12);
-BENCHMARK(BM_BinomialTail)->Arg(60)->Arg(141)->Arg(10000)->Arg(10000000);
-
-} // namespace
-
-BENCHMARK_MAIN();

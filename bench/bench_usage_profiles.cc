@@ -11,8 +11,7 @@
  * heavier and burstier profiles.
  */
 
-#include <iostream>
-
+#include "bench/harness.h"
 #include "core/mway.h"
 #include "sim/workload.h"
 #include "util/table.h"
@@ -20,64 +19,81 @@
 using namespace lemons;
 using namespace lemons::sim;
 
-int
-main()
+namespace {
+
+struct Profile
 {
-    std::cout << "=== Usage profiles vs the 91,250-access budget "
+    const char *label;
+    UsageProfile profile;
+};
+
+constexpr Profile kProfiles[] = {
+    {"nominal 50/day", {50.0, 0.0, 1.0}},
+    {"light 30/day", {30.0, 0.0, 1.0}},
+    {"heavy 60/day", {60.0, 0.0, 1.0}},
+    {"bursty 50/day (5% days x4)", {50.0, 0.05, 4.0}},
+    {"power user 120/day", {120.0, 0.0, 1.0}},
+};
+
+constexpr uint64_t kHorizonDays = 5 * 365;
+
+} // namespace
+
+LEMONS_BENCH(usageSurvival, "usage.survival_probability")
+{
+    ctx.out() << "=== Usage profiles vs the 91,250-access budget "
                  "(5-year horizon) ===\n\n";
-    const uint64_t horizon = 5 * 365;
-    const MonteCarlo engine(20170624, 2000);
+    const uint64_t trials = ctx.scaled(2000, 50);
+    const MonteCarlo engine(20170624, trials);
 
-    struct Profile
-    {
-        const char *label;
-        UsageProfile profile;
-    };
-    const Profile profiles[] = {
-        {"nominal 50/day", {50.0, 0.0, 1.0}},
-        {"light 30/day", {30.0, 0.0, 1.0}},
-        {"heavy 60/day", {60.0, 0.0, 1.0}},
-        {"bursty 50/day (5% days x4)", {50.0, 0.05, 4.0}},
-        {"power user 120/day", {120.0, 0.0, 1.0}},
-    };
-
-    std::cout << "--- survival probability of fixed budgets ---\n";
+    ctx.out() << "--- survival probability of fixed budgets ---\n";
     Table table({"profile", "eff. mean/day", "P(91,250 lasts)",
                  "P(2x lasts)", "budget for 99%"});
-    for (const Profile &p : profiles) {
+    for (const Profile &p : kProfiles) {
         const auto p1 =
-            survivalProbability(p.profile, 91250, horizon, engine);
+            survivalProbability(p.profile, 91250, kHorizonDays, engine);
         const auto p2 =
-            survivalProbability(p.profile, 2 * 91250, horizon, engine);
+            survivalProbability(p.profile, 2 * 91250, kHorizonDays,
+                                engine);
         const uint64_t needed =
-            budgetForSurvival(p.profile, horizon, 0.99, engine);
+            budgetForSurvival(p.profile, kHorizonDays, 0.99, engine);
+        ctx.keep(p1.estimate + p2.estimate +
+                 static_cast<double>(needed));
         table.addRow({p.label,
                       formatGeneral(p.profile.effectiveDailyMean(), 4),
                       formatGeneral(p1.estimate, 3),
                       formatGeneral(p2.estimate, 3),
                       formatCount(needed)});
     }
-    table.print(std::cout);
+    table.print(ctx.out());
+    ctx.metric("items", static_cast<double>(10 * trials));
+}
 
-    std::cout << "\n--- implied M-way replication factors "
+LEMONS_BENCH(usageMway, "usage.mway_factors")
+{
+    const uint64_t trials = ctx.scaled(2000, 50);
+    const MonteCarlo engine(20170624, trials);
+
+    ctx.out() << "--- implied M-way replication factors "
                  "(Section 4.1.5) ---\n";
     Table mway({"profile", "budget for 99.9%", "M needed",
                 "re-encrypt every"});
-    for (const Profile &p : profiles) {
+    for (const Profile &p : kProfiles) {
         const uint64_t needed =
-            budgetForSurvival(p.profile, horizon, 0.999, engine);
+            budgetForSurvival(p.profile, kHorizonDays, 0.999, engine);
         const uint64_t m = (needed + 91249) / 91250;
+        ctx.keep(static_cast<double>(needed));
         mway.addRow({p.label, formatCount(needed), formatCount(m),
                      formatGeneral(60.0 / static_cast<double>(m), 3) +
                          " months"});
     }
-    mway.print(std::cout);
+    mway.print(ctx.out());
 
-    std::cout
+    ctx.out()
         << "\nThe nominal profile needs only ~1% extra budget (Poisson "
            "noise is sqrt(91k) ~ 300 accesses), so a\nsingle module plus "
            "the paper's own minimum-reliability margin suffices; heavy "
            "and bursty users map\ndirectly onto the M-way replication "
            "table above.\n";
-    return 0;
+    ctx.metric("items", static_cast<double>(5 * trials));
 }

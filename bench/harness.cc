@@ -1,0 +1,437 @@
+#include "bench/harness.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <streambuf>
+#include <utility>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace lemons::bench {
+
+namespace {
+
+/** Swallows everything; backs BenchContext::out() without --report. */
+class NullBuffer : public std::streambuf
+{
+  protected:
+    int overflow(int ch) override { return ch; }
+};
+
+NullBuffer nullBuffer;
+std::ostream nullStream(&nullBuffer);
+
+struct Entry
+{
+    std::string name;
+    BenchFn fn;
+};
+
+/** Function-local static so registration order cannot race init order. */
+std::vector<Entry> &
+registry()
+{
+    static std::vector<Entry> entries;
+    return entries;
+}
+
+/** Defeats whole-program elision of the benchmark bodies. */
+volatile double globalSink = 0.0;
+
+struct WallStats
+{
+    double medianNs = 0.0;
+    double madNs = 0.0;
+    double minNs = 0.0;
+};
+
+double
+medianOf(std::vector<double> values)
+{
+    std::sort(values.begin(), values.end());
+    const size_t n = values.size();
+    return n % 2 == 1 ? values[n / 2]
+                      : 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+/** Median / median-absolute-deviation / min of the rep wall times. */
+WallStats
+summarize(const std::vector<double> &wallNs)
+{
+    WallStats stats;
+    stats.medianNs = medianOf(wallNs);
+    stats.minNs = *std::min_element(wallNs.begin(), wallNs.end());
+    std::vector<double> deviations;
+    deviations.reserve(wallNs.size());
+    for (double w : wallNs)
+        deviations.push_back(std::abs(w - stats.medianNs));
+    stats.madNs = medianOf(std::move(deviations));
+    return stats;
+}
+
+struct Options
+{
+    bool list = false;
+    bool quick = false;
+    bool report = false;
+    bool json = false;
+    std::string jsonPath = "BENCH_results.json";
+    std::string filter;
+    double scale = 1.0;
+    unsigned reps = 5;
+    unsigned warmup = 1;
+};
+
+void
+printUsage(std::ostream &out)
+{
+    out << "usage: lemons-bench [options]\n"
+           "  --list            print registered benchmark names and exit\n"
+           "  --filter=SUBSTR   run only benchmarks whose name contains "
+           "SUBSTR\n"
+           "  --quick           CI scale: --scale=0.05, --reps=3, "
+           "--warmup=1\n"
+           "  --scale=F         workload scale factor in (0, 1]\n"
+           "  --reps=N          timed repetitions per benchmark "
+           "(default 5)\n"
+           "  --warmup=N        untimed warmup runs (default 1)\n"
+           "  --json[=PATH]     write BENCH_results.json "
+           "(default path: BENCH_results.json)\n"
+           "  --report          print the full paper tables while "
+           "running\n"
+           "  --help            this text\n";
+}
+
+/** Parse "--name=value" into @p value; true when @p arg matches. */
+bool
+valueFlag(std::string_view arg, std::string_view flag, std::string &value)
+{
+    if (arg.size() <= flag.size() + 1 || !arg.starts_with(flag) ||
+        arg[flag.size()] != '=')
+        return false;
+    value = std::string(arg.substr(flag.size() + 1));
+    return true;
+}
+
+bool
+parseOptions(int argc, char **argv, Options &opts)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        std::string value;
+        if (arg == "--list") {
+            opts.list = true;
+        } else if (arg == "--quick") {
+            opts.quick = true;
+        } else if (arg == "--report") {
+            opts.report = true;
+        } else if (arg == "--json") {
+            opts.json = true;
+        } else if (valueFlag(arg, "--json", value)) {
+            opts.json = true;
+            opts.jsonPath = value;
+        } else if (valueFlag(arg, "--filter", value)) {
+            opts.filter = value;
+        } else if (valueFlag(arg, "--scale", value)) {
+            opts.scale = std::atof(value.c_str());
+            if (!(opts.scale > 0.0) || opts.scale > 1.0) {
+                std::cerr << "lemons-bench: --scale must be in (0, 1]\n";
+                return false;
+            }
+        } else if (valueFlag(arg, "--reps", value)) {
+            const long reps = std::atol(value.c_str());
+            if (reps < 1) {
+                std::cerr << "lemons-bench: --reps must be >= 1\n";
+                return false;
+            }
+            opts.reps = static_cast<unsigned>(reps);
+        } else if (valueFlag(arg, "--warmup", value)) {
+            const long warmup = std::atol(value.c_str());
+            if (warmup < 0) {
+                std::cerr << "lemons-bench: --warmup must be >= 0\n";
+                return false;
+            }
+            opts.warmup = static_cast<unsigned>(warmup);
+        } else if (arg == "--help" || arg == "-h") {
+            printUsage(std::cout);
+            std::exit(0);
+        } else {
+            std::cerr << "lemons-bench: unknown option '" << arg << "'\n";
+            printUsage(std::cerr);
+            return false;
+        }
+    }
+    if (opts.quick) {
+        // One CI-friendly knob: small workloads, fewer reps.
+        opts.scale = std::min(opts.scale, 0.05);
+        opts.reps = std::min(opts.reps, 3u);
+    }
+    return true;
+}
+
+struct Result
+{
+    std::string name;
+    unsigned reps = 0;
+    WallStats wall;
+    std::map<std::string, double, std::less<>> metrics;
+    std::vector<obs::CounterSample> counters;
+    std::vector<obs::TimerSample> timers;
+};
+
+/** Warmup + timed reps of one benchmark; obs deltas from the last rep. */
+Result
+runOne(const Entry &entry, const Options &opts)
+{
+    Result result;
+    result.name = entry.name;
+    result.reps = opts.reps;
+
+    for (unsigned i = 0; i < opts.warmup; ++i) {
+        BenchContext ctx(opts.scale, false, nullStream);
+        entry.fn(ctx);
+        globalSink = globalSink + ctx.kept();
+    }
+
+    std::vector<double> wallNs;
+    wallNs.reserve(opts.reps);
+    for (unsigned rep = 0; rep < opts.reps; ++rep) {
+        // The paper tables only print on the last rep so that table
+        // formatting does not pollute the timing of earlier reps more
+        // than once.
+        const bool reportThisRep = opts.report && rep + 1 == opts.reps;
+        BenchContext ctx(opts.scale, reportThisRep,
+                         reportThisRep ? std::cout : nullStream);
+        const obs::Snapshot before = obs::Registry::global().snapshot();
+        const auto start = std::chrono::steady_clock::now();
+        entry.fn(ctx);
+        const auto elapsed = std::chrono::steady_clock::now() - start;
+        globalSink = globalSink + ctx.kept();
+        wallNs.push_back(static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                .count()));
+        if (rep + 1 == opts.reps) {
+            const obs::Snapshot after = obs::Registry::global().snapshot();
+            result.counters = after.countersSince(before);
+            result.timers = after.timersSince(before);
+            result.metrics = ctx.metrics();
+        }
+    }
+    result.wall = summarize(wallNs);
+
+    // Derived throughput when the body reported its work item count.
+    const auto items = result.metrics.find("items");
+    if (items != result.metrics.end() && result.wall.medianNs > 0.0)
+        result.metrics["items_per_sec"] =
+            items->second * 1e9 / result.wall.medianNs;
+    return result;
+}
+
+std::string
+formatNs(double ns)
+{
+    char buffer[64];
+    if (ns >= 1e9)
+        std::snprintf(buffer, sizeof buffer, "%.3f s", ns / 1e9);
+    else if (ns >= 1e6)
+        std::snprintf(buffer, sizeof buffer, "%.3f ms", ns / 1e6);
+    else if (ns >= 1e3)
+        std::snprintf(buffer, sizeof buffer, "%.3f us", ns / 1e3);
+    else
+        std::snprintf(buffer, sizeof buffer, "%.0f ns", ns);
+    return buffer;
+}
+
+void
+printHuman(const std::vector<Result> &results)
+{
+    size_t width = 0;
+    for (const Result &r : results)
+        width = std::max(width, r.name.size());
+    for (const Result &r : results) {
+        std::ostringstream line;
+        line << r.name << std::string(width - r.name.size() + 2, ' ')
+             << "median " << formatNs(r.wall.medianNs) << "  mad "
+             << formatNs(r.wall.madNs) << "  min "
+             << formatNs(r.wall.minNs);
+        const auto ips = r.metrics.find("items_per_sec");
+        if (ips != r.metrics.end()) {
+            char rate[48];
+            std::snprintf(rate, sizeof rate, "  %.3g items/s",
+                          ips->second);
+            line << rate;
+        }
+        std::cout << line.str() << "\n";
+    }
+}
+
+void
+writeJson(std::ostream &out, const std::vector<Result> &results,
+          const Options &opts)
+{
+    obs::JsonWriter json(out);
+    json.beginObject();
+    json.key("schema");
+    json.value("lemons-bench/1");
+    json.key("quick");
+    json.value(opts.quick);
+    json.key("scale");
+    json.value(opts.scale);
+    json.key("reps");
+    json.value(static_cast<uint64_t>(opts.reps));
+    json.key("warmup");
+    json.value(static_cast<uint64_t>(opts.warmup));
+    json.key("benchmarks");
+    json.beginArray();
+    for (const Result &r : results) {
+        json.beginObject();
+        json.key("name");
+        json.value(r.name);
+        json.key("reps");
+        json.value(static_cast<uint64_t>(r.reps));
+        json.key("wall_ns");
+        json.beginObject();
+        json.key("median");
+        json.value(r.wall.medianNs);
+        json.key("mad");
+        json.value(r.wall.madNs);
+        json.key("min");
+        json.value(r.wall.minNs);
+        json.endObject();
+        json.key("metrics");
+        json.beginObject();
+        for (const auto &[name, value] : r.metrics) {
+            json.key(name);
+            json.value(value);
+        }
+        json.endObject();
+        json.key("counters");
+        json.beginObject();
+        for (const obs::CounterSample &c : r.counters) {
+            json.key(c.name);
+            json.value(c.value);
+        }
+        json.endObject();
+        json.key("timers");
+        json.beginObject();
+        for (const obs::TimerSample &t : r.timers) {
+            json.key(t.name);
+            json.beginObject();
+            json.key("count");
+            json.value(t.count);
+            json.key("total_ns");
+            json.value(t.totalNs);
+            json.endObject();
+        }
+        json.endObject();
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+    out << "\n";
+}
+
+} // namespace
+
+BenchContext::BenchContext(double scaleFactor, bool reportTables,
+                           std::ostream &reportSink)
+    : factor(scaleFactor), report(reportTables), sink(reportSink)
+{
+}
+
+uint64_t
+BenchContext::scaled(uint64_t full, uint64_t floor) const
+{
+    const double scaledValue = static_cast<double>(full) * factor;
+    const auto result = static_cast<uint64_t>(scaledValue);
+    return std::max(result, floor);
+}
+
+void
+BenchContext::metric(std::string_view name, double value)
+{
+    values[std::string(name)] = value;
+}
+
+bool
+registerBench(std::string name, BenchFn fn)
+{
+    for (const Entry &entry : registry()) {
+        if (entry.name == name) {
+            std::fprintf(stderr,
+                         "lemons-bench: duplicate benchmark name '%s'\n",
+                         name.c_str());
+            std::abort();
+        }
+    }
+    registry().push_back(Entry{std::move(name), std::move(fn)});
+    return true;
+}
+
+size_t
+registeredCount()
+{
+    return registry().size();
+}
+
+int
+runMain(int argc, char **argv)
+{
+    Options opts;
+    if (!parseOptions(argc, argv, opts))
+        return 2;
+
+    std::vector<Entry> selected;
+    for (const Entry &entry : registry()) {
+        if (opts.filter.empty() ||
+            entry.name.find(opts.filter) != std::string::npos)
+            selected.push_back(entry);
+    }
+    std::sort(selected.begin(), selected.end(),
+              [](const Entry &a, const Entry &b) { return a.name < b.name; });
+
+    if (opts.list) {
+        for (const Entry &entry : selected)
+            std::cout << entry.name << "\n";
+        return 0;
+    }
+    if (selected.empty()) {
+        std::cerr << "lemons-bench: no benchmark matches filter '"
+                  << opts.filter << "'\n";
+        return 1;
+    }
+
+    std::vector<Result> results;
+    results.reserve(selected.size());
+    for (const Entry &entry : selected) {
+        std::cout << "[" << results.size() + 1 << "/" << selected.size()
+                  << "] " << entry.name << "\n"
+                  << std::flush;
+        results.push_back(runOne(entry, opts));
+    }
+
+    std::cout << "\n";
+    printHuman(results);
+
+    if (opts.json) {
+        std::ofstream file(opts.jsonPath);
+        if (!file) {
+            std::cerr << "lemons-bench: cannot write '" << opts.jsonPath
+                      << "'\n";
+            return 1;
+        }
+        writeJson(file, results, opts);
+        std::cout << "\nwrote " << opts.jsonPath << "\n";
+    }
+    return 0;
+}
+
+} // namespace lemons::bench

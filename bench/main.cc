@@ -1,0 +1,7 @@
+#include "bench/harness.h"
+
+int
+main(int argc, char **argv)
+{
+    return lemons::bench::runMain(argc, argv);
+}

@@ -5,6 +5,7 @@
 #include <limits>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/require.h"
 
 namespace lemons::arch {
@@ -33,6 +34,10 @@ sampleParallelSurvivedAccesses(const LifetimeSampler &sampler, size_t n,
     requireArg(n >= 1, "sampleParallelSurvivedAccesses: n must be >= 1");
     requireArg(k >= 1 && k <= n,
                "sampleParallelSurvivedAccesses: need 1 <= k <= n");
+    // One bump per structure, not per device: the per-device count is
+    // n, and aggregate increments keep the atomic off the inner loop.
+    LEMONS_OBS_INCREMENT("arch.sim.structure_samples");
+    LEMONS_OBS_COUNT("arch.sim.device_samples", n);
     std::vector<double> lifetimes(n);
     for (auto &lifetime : lifetimes)
         lifetime = sampler(rng);
@@ -161,6 +166,8 @@ sampleFaultyParallelSurvivedAccesses(const fault::FaultyDeviceFactory &factory,
                "sampleFaultyParallelSurvivedAccesses: n must be >= 1");
     requireArg(k >= 1 && k <= n,
                "sampleFaultyParallelSurvivedAccesses: need 1 <= k <= n");
+    LEMONS_OBS_INCREMENT("arch.sim.faulty_structure_samples");
+    LEMONS_OBS_COUNT("arch.sim.device_samples", n);
     FaultySurvival survival;
     std::vector<double> lifetimes;
     lifetimes.reserve(n);
@@ -197,6 +204,7 @@ sampleFaultySerialCopiesOutcome(const fault::FaultyDeviceFactory &factory,
         if (survival.unbounded) {
             // Serial consumption halts here: this copy keeps serving
             // accesses forever, so later copies are never reached.
+            LEMONS_OBS_INCREMENT("arch.sim.unbounded_outcomes");
             outcome.unbounded = true;
             return outcome;
         }

@@ -5,6 +5,7 @@
 
 #include "arch/structures.h"
 #include "lint/rules.h"
+#include "obs/metrics.h"
 #include "util/math.h"
 #include "wearout/weibull.h"
 
@@ -192,6 +193,8 @@ DesignSolver::minimalWidth(uint64_t t, uint64_t tDead,
 Design
 DesignSolver::solve() const
 {
+    LEMONS_OBS_SCOPED_TIMER("core.solver.solve");
+    LEMONS_OBS_INCREMENT("core.solver.solves");
     const uint64_t tMax =
         spec.maxPerCopyBound != 0
             ? spec.maxPerCopyBound
@@ -247,6 +250,8 @@ DesignSolver::solve() const
                 (static_cast<double>(t) + expectedOvershoot(*width, k, t));
         }
     }
+    if (!best.feasible)
+        LEMONS_OBS_INCREMENT("core.solver.infeasible");
     return best;
 }
 

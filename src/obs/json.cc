@@ -1,0 +1,175 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "util/require.h"
+
+namespace lemons::obs {
+
+std::string
+jsonEscape(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\b':
+            out += "\\b";
+            break;
+        case '\f':
+            out += "\\f";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buffer[8];
+                std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buffer;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+JsonWriter::JsonWriter(std::ostream &sink) : out(sink) {}
+
+void
+JsonWriter::onValue()
+{
+    requireArg(!wroteRoot || !stack.empty(),
+               "JsonWriter: only one root value allowed");
+    if (stack.empty()) {
+        wroteRoot = true;
+        return;
+    }
+    Level &level = stack.back();
+    if (level.scope == Scope::Object) {
+        requireArg(level.keyPending,
+                   "JsonWriter: object member needs a key first");
+        level.keyPending = false;
+    } else {
+        if (level.hasMembers)
+            out << ',';
+        level.hasMembers = true;
+    }
+}
+
+void
+JsonWriter::beginObject()
+{
+    onValue();
+    out << '{';
+    stack.push_back({Scope::Object});
+}
+
+void
+JsonWriter::endObject()
+{
+    requireArg(!stack.empty() && stack.back().scope == Scope::Object &&
+                   !stack.back().keyPending,
+               "JsonWriter: mismatched endObject");
+    stack.pop_back();
+    out << '}';
+}
+
+void
+JsonWriter::beginArray()
+{
+    onValue();
+    out << '[';
+    stack.push_back({Scope::Array});
+}
+
+void
+JsonWriter::endArray()
+{
+    requireArg(!stack.empty() && stack.back().scope == Scope::Array,
+               "JsonWriter: mismatched endArray");
+    stack.pop_back();
+    out << ']';
+}
+
+void
+JsonWriter::key(std::string_view name)
+{
+    requireArg(!stack.empty() && stack.back().scope == Scope::Object,
+               "JsonWriter: key outside of object");
+    Level &level = stack.back();
+    requireArg(!level.keyPending, "JsonWriter: key already pending");
+    if (level.hasMembers)
+        out << ',';
+    level.hasMembers = true;
+    level.keyPending = true;
+    out << '"' << jsonEscape(name) << "\":";
+}
+
+void
+JsonWriter::value(std::string_view text)
+{
+    onValue();
+    out << '"' << jsonEscape(text) << '"';
+}
+
+void
+JsonWriter::value(double number)
+{
+    if (!std::isfinite(number)) {
+        null();
+        return;
+    }
+    onValue();
+    char buffer[40];
+    std::snprintf(buffer, sizeof buffer, "%.*g",
+                  std::numeric_limits<double>::max_digits10, number);
+    out << buffer;
+}
+
+void
+JsonWriter::value(uint64_t number)
+{
+    onValue();
+    out << number;
+}
+
+void
+JsonWriter::value(int number)
+{
+    onValue();
+    out << number;
+}
+
+void
+JsonWriter::value(bool flag)
+{
+    onValue();
+    out << (flag ? "true" : "false");
+}
+
+void
+JsonWriter::null()
+{
+    onValue();
+    out << "null";
+}
+
+} // namespace lemons::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "gf/gf256.h"
+#include "obs/metrics.h"
 #include "util/require.h"
 
 namespace lemons::rs {
@@ -69,6 +70,7 @@ ClassicRsCodec::ClassicRsCodec(size_t n, size_t k) : length(n), dimension(k)
 std::vector<uint8_t>
 ClassicRsCodec::encode(const std::vector<uint8_t> &message) const
 {
+    LEMONS_OBS_INCREMENT("rs.classic.encode.calls");
     requireArg(message.size() == dimension,
                "ClassicRsCodec::encode: message must be exactly k bytes");
     // Systematic encoding: C(x) = M(x) x^(n-k) + (M(x) x^(n-k) mod g),
@@ -123,6 +125,7 @@ std::optional<ClassicRsCodec::DecodeResult>
 ClassicRsCodec::decode(const std::vector<uint8_t> &received,
                        const std::vector<size_t> &erasurePositions) const
 {
+    LEMONS_OBS_INCREMENT("rs.classic.decode.calls");
     requireArg(received.size() == length,
                "ClassicRsCodec::decode: received word must be n bytes");
     for (size_t pos : erasurePositions)

@@ -5,6 +5,7 @@
 
 #include "gf/gf256.h"
 #include "gf/poly.h"
+#include "obs/metrics.h"
 #include "util/math.h"
 #include "util/require.h"
 
@@ -51,6 +52,8 @@ RsCode::shareSize(size_t messageSize) const
 std::vector<Share>
 RsCode::encode(const std::vector<uint8_t> &data) const
 {
+    LEMONS_OBS_INCREMENT("rs.encode.calls");
+    LEMONS_OBS_COUNT("rs.encode.bytes", data.size());
     const size_t chunk = shareSize(data.size());
     std::vector<Share> shares(total);
     for (size_t i = 0; i < total; ++i) {
@@ -104,6 +107,7 @@ RsCode::sharesUsable(const std::vector<Share> &shares) const
 std::optional<std::vector<uint8_t>>
 RsCode::decode(const std::vector<Share> &shares, size_t messageSize) const
 {
+    LEMONS_OBS_INCREMENT("rs.decode.calls");
     if (messageSize == 0)
         return std::vector<uint8_t>{};
     if (!sharesUsable(shares))

@@ -4,6 +4,7 @@
 
 #include "gf/gf256.h"
 #include "gf/poly.h"
+#include "obs/metrics.h"
 #include "util/require.h"
 
 namespace lemons::shamir {
@@ -18,6 +19,8 @@ Scheme::Scheme(size_t k, size_t n) : threshold(k), total(n)
 std::vector<Share>
 Scheme::split(const std::vector<uint8_t> &secret, Rng &rng) const
 {
+    LEMONS_OBS_INCREMENT("shamir.split.calls");
+    LEMONS_OBS_COUNT("shamir.split.bytes", secret.size());
     std::vector<Share> shares(total);
     for (size_t i = 0; i < total; ++i) {
         shares[i].index = static_cast<uint8_t>(i + 1);
@@ -34,6 +37,7 @@ Scheme::split(const std::vector<uint8_t> &secret, Rng &rng) const
 std::optional<std::vector<uint8_t>>
 Scheme::combine(const std::vector<Share> &shares) const
 {
+    LEMONS_OBS_INCREMENT("shamir.combine.calls");
     if (shares.size() < threshold)
         return std::nullopt;
 

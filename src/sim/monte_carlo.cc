@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/mutex.h"
 #include "util/require.h"
 #include "util/thread_annotations.h"
@@ -105,6 +106,8 @@ MonteCarlo::MonteCarlo(uint64_t seed, uint64_t trials)
 RunningStats
 MonteCarlo::runStats(const std::function<double(Rng &)> &metric) const
 {
+    LEMONS_OBS_SCOPED_TIMER("sim.mc.run_stats");
+    LEMONS_OBS_COUNT("sim.mc.trials", trialCount);
     const Rng parent(masterSeed);
     RunningStats stats;
     for (uint64_t i = 0; i < trialCount; ++i) {
@@ -117,6 +120,8 @@ MonteCarlo::runStats(const std::function<double(Rng &)> &metric) const
 std::vector<double>
 MonteCarlo::runSamples(const std::function<double(Rng &)> &metric) const
 {
+    LEMONS_OBS_SCOPED_TIMER("sim.mc.run_samples");
+    LEMONS_OBS_COUNT("sim.mc.trials", trialCount);
     const Rng parent(masterSeed);
     std::vector<double> samples;
     samples.reserve(trialCount);
@@ -140,6 +145,8 @@ std::vector<double>
 MonteCarlo::runSamplesParallel(const std::function<double(Rng &)> &metric,
                                unsigned threads) const
 {
+    LEMONS_OBS_SCOPED_TIMER("sim.mc.run_samples_parallel");
+    LEMONS_OBS_COUNT("sim.mc.trials", trialCount);
     threads = resolveThreads(threads);
 
     const Rng parent(masterSeed);
@@ -180,6 +187,8 @@ RunningStats
 MonteCarlo::runStatsParallel(const std::function<double(Rng &)> &metric,
                              unsigned threads) const
 {
+    LEMONS_OBS_SCOPED_TIMER("sim.mc.run_stats_parallel");
+    LEMONS_OBS_COUNT("sim.mc.trials", trialCount);
     threads = resolveThreads(threads);
 
     const Rng parent(masterSeed);
@@ -222,6 +231,8 @@ MonteCarlo::runSamplesReport(
     const std::function<double(Rng &, uint64_t)> &metric,
     unsigned threads) const
 {
+    LEMONS_OBS_SCOPED_TIMER("sim.mc.run_report");
+    LEMONS_OBS_COUNT("sim.mc.trials", trialCount);
     threads = resolveThreads(threads);
 
     const Rng parent(masterSeed);
@@ -256,6 +267,9 @@ MonteCarlo::runSamplesReport(
     // Trial-index sorting inside the collector keeps the report
     // (including firstError) deterministic at any thread count.
     collector.drainInto(report);
+    LEMONS_OBS_COUNT("sim.mc.failed_trials", report.failedTrials.size());
+    LEMONS_OBS_COUNT("sim.mc.quarantined_trials",
+                     report.nonFiniteTrials.size());
 
     // RunningStats itself quarantines non-finite input, which also
     // covers the NaN placeholders of failed trials.
@@ -275,6 +289,8 @@ MonteCarlo::runSamplesReport(const std::function<double(Rng &)> &metric,
 ProportionInterval
 MonteCarlo::estimateProbability(const std::function<bool(Rng &)> &event) const
 {
+    LEMONS_OBS_SCOPED_TIMER("sim.mc.estimate_probability");
+    LEMONS_OBS_COUNT("sim.mc.trials", trialCount);
     const Rng parent(masterSeed);
     uint64_t successes = 0;
     for (uint64_t i = 0; i < trialCount; ++i) {

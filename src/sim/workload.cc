@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "util/require.h"
 
 namespace lemons::sim {
@@ -11,10 +12,12 @@ poissonSample(Rng &rng, double mean)
 {
     requireArg(mean >= 0.0 && std::isfinite(mean),
                "poissonSample: mean must be finite and >= 0");
+    LEMONS_OBS_INCREMENT("sim.poisson.samples");
     if (mean == 0.0)
         return 0;
     if (mean < 64.0) {
         // Knuth's product-of-uniforms method.
+        LEMONS_OBS_INCREMENT("sim.poisson.exact");
         const double limit = std::exp(-mean);
         uint64_t count = 0;
         double product = rng.nextDoubleOpenLow();
@@ -26,6 +29,7 @@ poissonSample(Rng &rng, double mean)
     }
     // Normal approximation with continuity correction; relative error
     // is far below the Monte Carlo noise at mean >= 64.
+    LEMONS_OBS_INCREMENT("sim.poisson.approx");
     const double sample =
         mean + std::sqrt(mean) * rng.nextGaussian() + 0.5;
     return sample <= 0.0 ? 0 : static_cast<uint64_t>(sample);

@@ -1,5 +1,6 @@
 #include "wearout/mixture.h"
 
+#include "obs/metrics.h"
 #include "util/require.h"
 
 namespace lemons::wearout {
@@ -36,6 +37,7 @@ BathtubModel::mttf() const
 double
 BathtubModel::sample(Rng &rng) const
 {
+    LEMONS_OBS_INCREMENT("wearout.mixture.samples");
     const bool infantDraw = rng.nextBernoulli(weight);
     return infantDraw ? infantComponent.sample(rng)
                       : mainComponent.sample(rng);

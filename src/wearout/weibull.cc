@@ -5,6 +5,7 @@
 #include <limits>
 #include <numeric>
 
+#include "obs/metrics.h"
 #include "util/require.h"
 
 namespace lemons::wearout {
@@ -92,6 +93,7 @@ Weibull::lifetimeVariance() const
 double
 Weibull::sample(Rng &rng) const
 {
+    LEMONS_OBS_INCREMENT("wearout.weibull.samples");
     return sampleFromUniform(rng.nextDoubleOpenLow());
 }
 
@@ -107,10 +109,13 @@ Weibull::sampleFromUniform(double u) const
 std::vector<double>
 Weibull::sampleMany(Rng &rng, size_t count) const
 {
+    // Bulk path: one counter bump for the whole batch instead of one
+    // per draw (the draws themselves go through the same inverse CDF).
+    LEMONS_OBS_COUNT("wearout.weibull.samples", count);
     std::vector<double> out;
     out.reserve(count);
     for (size_t i = 0; i < count; ++i)
-        out.push_back(sample(rng));
+        out.push_back(sampleFromUniform(rng.nextDoubleOpenLow()));
     return out;
 }
 

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Thread-count invariance of the Monte Carlo engine.
+ *
+ * The engine's contract is that trial i depends only on (seed, i), so
+ * parallel execution must be bit-identical to serial execution at any
+ * worker count — including when trials throw or return non-finite
+ * values. These tests pin that contract across 1, 2, and 8 workers
+ * (more workers than this machine has cores, so oversubscription and
+ * stride remainders are both exercised).
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "arch/structures_sim.h"
+#include "sim/monte_carlo.h"
+#include "util/rng.h"
+#include "wearout/weibull.h"
+
+namespace lemons::sim {
+namespace {
+
+constexpr unsigned kThreadCounts[] = {1, 2, 8};
+
+/** A nontrivial metric: structure lifetime of a 40-of-60 parallel
+ *  structure, consuming 60 Rng draws per trial. */
+double
+structureMetric(Rng &rng)
+{
+    const wearout::Weibull device(10.0, 12.0);
+    const arch::LifetimeSampler sampler = [&](Rng &r) {
+        return device.sample(r);
+    };
+    return static_cast<double>(
+        arch::sampleParallelSurvivedAccesses(sampler, 60, 40, rng));
+}
+
+/** Bitwise vector equality (distinguishes -0.0/0.0, compares NaNs). */
+void
+expectBitIdentical(const std::vector<double> &got,
+                   const std::vector<double> &want)
+{
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i)
+        EXPECT_EQ(std::bit_cast<uint64_t>(got[i]),
+                  std::bit_cast<uint64_t>(want[i]))
+            << "trial " << i;
+}
+
+TEST(Determinism, RunSamplesParallelBitIdenticalToSerial)
+{
+    const MonteCarlo engine(4242, 501); // odd count: stride remainders
+    const std::vector<double> serial = engine.runSamples(structureMetric);
+    for (const unsigned threads : kThreadCounts) {
+        const std::vector<double> parallel =
+            engine.runSamplesParallel(structureMetric, threads);
+        expectBitIdentical(parallel, serial);
+    }
+}
+
+TEST(Determinism, RunStatsParallelMatchesSerial)
+{
+    const MonteCarlo engine(4242, 501);
+    const RunningStats serial = engine.runStats(structureMetric);
+    for (const unsigned threads : kThreadCounts) {
+        const RunningStats parallel =
+            engine.runStatsParallel(structureMetric, threads);
+        // Count and extrema are exact at any worker count; mean and
+        // variance agree up to floating-point reassociation.
+        EXPECT_EQ(parallel.count(), serial.count());
+        EXPECT_EQ(std::bit_cast<uint64_t>(parallel.min()),
+                  std::bit_cast<uint64_t>(serial.min()));
+        EXPECT_EQ(std::bit_cast<uint64_t>(parallel.max()),
+                  std::bit_cast<uint64_t>(serial.max()));
+        EXPECT_NEAR(parallel.mean(), serial.mean(),
+                    1e-9 * std::abs(serial.mean()));
+        EXPECT_NEAR(parallel.variance(), serial.variance(),
+                    1e-6 * serial.variance());
+    }
+}
+
+TEST(Determinism, RunStatsParallelReproducibleAtFixedThreadCount)
+{
+    // For a fixed worker count the fold order is fixed, so even the
+    // reassociation-sensitive moments are bit-identical run to run.
+    const MonteCarlo engine(9001, 300);
+    const RunningStats a = engine.runStatsParallel(structureMetric, 2);
+    const RunningStats b = engine.runStatsParallel(structureMetric, 2);
+    EXPECT_EQ(std::bit_cast<uint64_t>(a.mean()),
+              std::bit_cast<uint64_t>(b.mean()));
+    EXPECT_EQ(std::bit_cast<uint64_t>(a.variance()),
+              std::bit_cast<uint64_t>(b.variance()));
+}
+
+TEST(Determinism, ThrowingTrialsRethrowLowestIndexAtAnyThreadCount)
+{
+    const MonteCarlo engine(7, 200);
+    const auto metric = [](Rng &rng, uint64_t trial) -> double {
+        if (trial == 57 || trial == 133)
+            throw std::runtime_error("trial " + std::to_string(trial));
+        return rng.nextDouble();
+    };
+    // runSamplesReport's index-aware metric also backs the throwing
+    // variant of runSamplesParallel via the same partitioning, so the
+    // TrialReport is the deterministic observable.
+    for (const unsigned threads : kThreadCounts) {
+        const TrialReport report = engine.runSamplesReport(metric, threads);
+        ASSERT_EQ(report.failedTrials.size(), 2u) << threads;
+        EXPECT_EQ(report.failedTrials[0], 57u);
+        EXPECT_EQ(report.failedTrials[1], 133u);
+        EXPECT_EQ(report.firstError, "trial 57");
+        EXPECT_EQ(report.cleanTrials(), 198u);
+    }
+}
+
+TEST(Determinism, RunSamplesParallelThrowIsDeterministic)
+{
+    const MonteCarlo engine(7, 128);
+    const auto throwingMetric = [](Rng &rng) -> double {
+        const double x = rng.nextDouble();
+        if (x > 0.95)
+            throw std::runtime_error("u = " + std::to_string(x));
+        return x;
+    };
+
+    std::string firstMessage;
+    for (const unsigned threads : kThreadCounts) {
+        try {
+            static_cast<void>(
+                engine.runSamplesParallel(throwingMetric, threads));
+            FAIL() << "expected a rethrow at " << threads << " threads";
+        } catch (const std::runtime_error &e) {
+            if (firstMessage.empty())
+                firstMessage = e.what();
+            // The lowest-indexed throwing trial wins regardless of
+            // worker interleaving, so the message is thread-invariant.
+            EXPECT_EQ(std::string(e.what()), firstMessage)
+                << threads << " threads";
+        }
+    }
+}
+
+TEST(Determinism, NonFiniteQuarantineIsThreadInvariant)
+{
+    const MonteCarlo engine(13, 400);
+    const auto metric = [](Rng &rng, uint64_t trial) -> double {
+        if (trial % 97 == 3)
+            return std::numeric_limits<double>::infinity();
+        if (trial % 101 == 7)
+            return std::numeric_limits<double>::quiet_NaN();
+        return rng.nextDouble();
+    };
+
+    const TrialReport serial = engine.runSamplesReport(metric, 1);
+    EXPECT_FALSE(serial.complete());
+    EXPECT_FALSE(serial.nonFiniteTrials.empty());
+    for (const unsigned threads : kThreadCounts) {
+        const TrialReport report = engine.runSamplesReport(metric, threads);
+        EXPECT_EQ(report.trials, serial.trials);
+        EXPECT_EQ(report.failedTrials, serial.failedTrials);
+        EXPECT_EQ(report.nonFiniteTrials, serial.nonFiniteTrials);
+        EXPECT_EQ(report.firstError, serial.firstError);
+        EXPECT_EQ(report.stats.count(), serial.stats.count());
+        EXPECT_EQ(std::bit_cast<uint64_t>(report.stats.min()),
+                  std::bit_cast<uint64_t>(serial.stats.min()));
+        EXPECT_EQ(std::bit_cast<uint64_t>(report.stats.max()),
+                  std::bit_cast<uint64_t>(serial.stats.max()));
+        expectBitIdentical(report.samples, serial.samples);
+    }
+}
+
+} // namespace
+} // namespace lemons::sim

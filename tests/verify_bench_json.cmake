@@ -1,0 +1,87 @@
+# Schema check for the benchmark harness's BENCH_results.json: parse
+# with CMake's JSON support (3.19+) and assert the stable contract
+# consumers rely on — schema tag, run parameters, and per-benchmark
+# name / reps / wall_ns.{median,mad,min} with sane values.
+#
+# Usage:
+#   cmake -DJSON=<BENCH_results.json> -DMIN_BENCHMARKS=20
+#         -P verify_bench_json.cmake
+
+if(NOT JSON OR NOT MIN_BENCHMARKS)
+    message(FATAL_ERROR "verify_bench_json.cmake needs JSON and "
+                        "MIN_BENCHMARKS")
+endif()
+if(CMAKE_VERSION VERSION_LESS 3.19)
+    message(FATAL_ERROR "verify_bench_json.cmake needs CMake >= 3.19 "
+                        "for string(JSON)")
+endif()
+
+file(READ "${JSON}" content)
+
+string(JSON schema ERROR_VARIABLE err GET "${content}" schema)
+if(err OR NOT schema STREQUAL "lemons-bench/1")
+    message(FATAL_ERROR "bad or missing schema tag in ${JSON}: "
+                        "'${schema}' ${err}")
+endif()
+
+foreach(field quick scale reps warmup)
+    string(JSON value ERROR_VARIABLE err GET "${content}" ${field})
+    if(err)
+        message(FATAL_ERROR "missing run parameter '${field}': ${err}")
+    endif()
+endforeach()
+
+string(JSON count ERROR_VARIABLE err LENGTH "${content}" benchmarks)
+if(err)
+    message(FATAL_ERROR "missing benchmarks array: ${err}")
+endif()
+if(count LESS MIN_BENCHMARKS)
+    message(FATAL_ERROR "only ${count} benchmarks in ${JSON}; expected "
+                        "at least ${MIN_BENCHMARKS}")
+endif()
+
+math(EXPR last "${count} - 1")
+set(previous "")
+foreach(i RANGE 0 ${last})
+    string(JSON name ERROR_VARIABLE err
+           GET "${content}" benchmarks ${i} name)
+    if(err)
+        message(FATAL_ERROR "benchmark ${i} has no name: ${err}")
+    endif()
+    if(NOT previous STREQUAL "" AND NOT previous STRLESS name)
+        message(FATAL_ERROR "benchmarks not name-sorted: '${previous}' "
+                            "before '${name}'")
+    endif()
+    set(previous "${name}")
+
+    string(JSON reps ERROR_VARIABLE err
+           GET "${content}" benchmarks ${i} reps)
+    if(err OR reps LESS 1)
+        message(FATAL_ERROR "${name}: bad reps '${reps}' ${err}")
+    endif()
+
+    foreach(stat median mad min)
+        string(JSON value ERROR_VARIABLE err
+               GET "${content}" benchmarks ${i} wall_ns ${stat})
+        if(err)
+            message(FATAL_ERROR "${name}: missing wall_ns.${stat}: "
+                                "${err}")
+        endif()
+        if(NOT stat STREQUAL "mad" AND value LESS_EQUAL 0)
+            message(FATAL_ERROR "${name}: wall_ns.${stat} = ${value} "
+                                "should be positive")
+        endif()
+    endforeach()
+
+    # metrics / counters / timers must exist (possibly empty objects).
+    foreach(section metrics counters timers)
+        string(JSON type ERROR_VARIABLE err
+               TYPE "${content}" benchmarks ${i} ${section})
+        if(err OR NOT type STREQUAL "OBJECT")
+            message(FATAL_ERROR "${name}: section '${section}' missing "
+                                "or not an object: ${err}")
+        endif()
+    endforeach()
+endforeach()
+
+message(STATUS "${JSON}: schema lemons-bench/1, ${count} benchmarks OK")
