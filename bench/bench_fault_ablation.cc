@@ -60,7 +60,7 @@ runCell(const Design &design, const fault::FaultyDeviceFactory &factory,
         uint64_t trials)
 {
     const sim::MonteCarlo mc(kSeed, trials);
-    const sim::TrialReport report = mc.runSamplesReport([&](Rng &rng) {
+    const sim::TrialReport report = mc.run([&](Rng &rng) {
         const arch::FaultyArchitectureOutcome outcome =
             arch::sampleFaultySerialCopiesOutcome(
                 factory, design.width, design.threshold, design.copies, rng);

@@ -1,14 +1,26 @@
 /**
  * @file
  * Throughput microbenchmarks for the Monte Carlo substrate: Weibull
- * sampling, structure-failure sampling, and whole-architecture trials
- * — the costs behind every empirical curve in the reproduction.
+ * sampling, structure-failure sampling, whole-architecture trials, and
+ * the batched lemons::engine execution path — the costs behind every
+ * empirical curve in the reproduction.
+ *
+ * The mc_engine.* group carries its own before/after pair: run_large
+ * exercises engine::runTrials while run_large_legacy_spawn replays the
+ * retired per-call std::thread implementation on the identical metric
+ * and seed, so `lemons-bench --filter mc_engine --report` shows the
+ * engine speedup directly.
  */
 
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "arch/structures_sim.h"
 #include "bench/harness.h"
+#include "engine/batch.h"
+#include "engine/cache.h"
+#include "obs/metrics.h"
 #include "sim/monte_carlo.h"
 #include "wearout/population.h"
 #include "wearout/weibull.h"
@@ -71,8 +83,8 @@ LEMONS_BENCH(mcEstimateProbability, "mc.estimate_probability")
     const wearout::DeviceFactory factory({9.3, 12.0},
                                          wearout::ProcessVariation::none());
     const uint64_t trials = ctx.scaled(20000, 500);
-    const sim::MonteCarlo engine(7, trials);
-    const auto ci = engine.estimateProbability([&](Rng &rng) {
+    const sim::MonteCarlo mc(7, trials);
+    const auto ci = mc.estimateProbability([&](Rng &rng) {
         return arch::sampleParallelSurvivedAccesses(factory, 40, 1, rng) >=
                10;
     });
@@ -87,13 +99,178 @@ LEMONS_BENCH(mcRunStatsParallel, "mc.run_stats_parallel")
     const wearout::DeviceFactory factory({9.3, 12.0},
                                          wearout::ProcessVariation::none());
     const uint64_t trials = ctx.scaled(20000, 500);
-    const sim::MonteCarlo engine(7, trials);
-    const auto stats = engine.runStatsParallel(
+    const sim::MonteCarlo mc(7, trials);
+    const auto report = mc.run(
         [&](Rng &rng) {
             return static_cast<double>(
                 arch::sampleParallelSurvivedAccesses(factory, 40, 1, rng));
         },
-        2);
+        {.threads = 2,
+         .keepSamples = false,
+         .faults = sim::FaultPolicy::Rethrow});
+    ctx.keep(report.stats.mean());
+    ctx.metric("items", static_cast<double>(trials));
+}
+
+namespace {
+
+/** The structure-survival metric shared by the engine/legacy pair. */
+double
+largeTrialMetric(const wearout::DeviceFactory &factory, Rng &rng)
+{
+    return static_cast<double>(
+        arch::sampleParallelSurvivedAccesses(factory, 40, 1, rng));
+}
+
+} // namespace
+
+LEMONS_BENCH(mcEngineRunLarge, "mc_engine.run_large")
+{
+    // Large-trial config through engine::runTrials (pooled chunks).
+    const wearout::DeviceFactory factory({9.3, 12.0},
+                                         wearout::ProcessVariation::none());
+    const uint64_t trials = ctx.scaled(20000, 500);
+    const sim::MonteCarlo mc(7, trials);
+    const auto report = mc.run(
+        [&](Rng &rng) { return largeTrialMetric(factory, rng); },
+        {.threads = 2, .faults = sim::FaultPolicy::Rethrow});
+    ctx.keep(report.stats.mean());
+    ctx.metric("items", static_cast<double>(trials));
+}
+
+LEMONS_BENCH(mcEngineRunLargeLegacySpawn, "mc_engine.run_large_legacy_spawn")
+{
+    // Faithful replay of the retired runSamplesParallel: fresh
+    // std::thread workers per call, strided partition, per-device
+    // sampling through the DeviceFactory std::function hop. Identical
+    // seed and metric to mc_engine.run_large, so the report ratio IS
+    // the engine speedup.
+    const wearout::DeviceFactory factory({9.3, 12.0},
+                                         wearout::ProcessVariation::none());
+    const uint64_t trials = ctx.scaled(20000, 500);
+    const unsigned threads = 2;
+    const Rng parent(7);
+    std::vector<double> samples(trials);
+    const auto sampler = [&factory](Rng &r) {
+        return factory.sampleLifetime(r);
+    };
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (unsigned w = 0; w < threads; ++w) {
+        workers.emplace_back([&, w] {
+            for (uint64_t i = w; i < trials; i += threads) {
+                Rng rng = parent.split(i);
+                samples[i] = static_cast<double>(
+                    arch::sampleParallelSurvivedAccesses(sampler, 40, 1,
+                                                         rng));
+            }
+        });
+    }
+    for (auto &worker : workers)
+        worker.join();
+    RunningStats stats;
+    for (double sample : samples)
+        stats.add(sample);
     ctx.keep(stats.mean());
     ctx.metric("items", static_cast<double>(trials));
+}
+
+LEMONS_BENCH(mcEngineEarlyStop, "mc_engine.early_stop")
+{
+    // CI-width early stopping on a low-variance metric: the run should
+    // finish well short of the requested trial count.
+    const wearout::DeviceFactory factory({9.3, 12.0},
+                                         wearout::ProcessVariation::none());
+    const uint64_t trials = ctx.scaled(200000, 2000);
+    const sim::MonteCarlo mc(7, trials);
+    const auto report = mc.run(
+        [&](Rng &rng) { return largeTrialMetric(factory, rng); },
+        {.chunkSize = 256,
+         .faults = sim::FaultPolicy::Rethrow,
+         .earlyStop = sim::EarlyStop{.relHalfWidth = 0.01,
+                                     .minTrials = 1024,
+                                     .checkEveryChunks = 4}});
+    ctx.keep(report.stats.mean());
+    ctx.metric("items", static_cast<double>(report.trials));
+    ctx.metric("trials_requested", static_cast<double>(trials));
+    ctx.metric("trials_run", static_cast<double>(report.trials));
+}
+
+LEMONS_BENCH(mcEnginePoolReuse, "mc_engine.pool_reuse")
+{
+    // Many small pooled runs back to back. threads_created measures the
+    // pool's thread churn across the whole batch — after the first
+    // warmup it must stay flat (the ISSUE's no-spawn-after-warmup
+    // proof, exported into BENCH_results.json).
+    const wearout::DeviceFactory factory({14.0, 8.0},
+                                         wearout::ProcessVariation::none());
+    const uint64_t runs = ctx.scaled(200, 10);
+    obs::Counter &created =
+        obs::Registry::global().counter("sim.mc.pool.threads_created");
+    const uint64_t createdBefore = created.get();
+    double acc = 0.0;
+    for (uint64_t r = 0; r < runs; ++r) {
+        const sim::MonteCarlo mc(100 + r, 64);
+        acc += mc.run(
+                     [&](Rng &rng) {
+                         return static_cast<double>(
+                             arch::sampleParallelSurvivedAccesses(
+                                 factory, 40, 1, rng));
+                     },
+                     {.threads = 2,
+                      .chunkSize = 16,
+                      .faults = sim::FaultPolicy::Rethrow})
+                   .stats.mean();
+    }
+    ctx.keep(acc);
+    ctx.metric("items", static_cast<double>(runs * 64));
+    ctx.metric("threads_created",
+               static_cast<double>(created.get() - createdBefore));
+}
+
+LEMONS_BENCH(mcEngineCacheHitRate, "mc_engine.cache_hit_rate")
+{
+    // Solver-style probe pattern: repeated (n, k, x) reliability
+    // queries against a fixed device. The memo caches should absorb
+    // nearly everything after the first sweep; the hit rate lands in
+    // BENCH_results.json for the CI bench-smoke artifact.
+    obs::Registry &registry = obs::Registry::global();
+    obs::Counter &hits =
+        registry.counter("sim.mc.cache.weibull_log_survival.hits");
+    obs::Counter &misses =
+        registry.counter("sim.mc.cache.weibull_log_survival.misses");
+    const uint64_t hitsBefore = hits.get();
+    const uint64_t missesBefore = misses.get();
+
+    const uint64_t sweeps = ctx.scaled(200, 5);
+    double acc = 0.0;
+    for (uint64_t s = 0; s < sweeps; ++s)
+        for (uint64_t n = 10; n <= 200; n += 10)
+            for (uint64_t x = 1; x <= 20; ++x)
+                acc += engine::cachedParallelReliability(
+                    14.0, 8.0, n, std::max<uint64_t>(1, n / 10),
+                    static_cast<double>(x));
+    ctx.keep(acc);
+
+    const double hitDelta = static_cast<double>(hits.get() - hitsBefore);
+    const double missDelta =
+        static_cast<double>(misses.get() - missesBefore);
+    ctx.metric("items", hitDelta + missDelta);
+    ctx.metric("cache_hits", hitDelta);
+    ctx.metric("cache_misses", missDelta);
+    ctx.metric("cache_hit_rate",
+               hitDelta / std::max(1.0, hitDelta + missDelta));
+}
+
+LEMONS_BENCH(mcEngineBatchKernel, "mc_engine.batch_kernel")
+{
+    // The raw u-select kernel at the paper's connection geometry
+    // (n=175, k=18): one inverse-CDF transform per structure.
+    const wearout::Weibull model(14.0, 8.0);
+    Rng rng(2);
+    const uint64_t iters = ctx.scaled(2000000 / 175, 100);
+    for (uint64_t i = 0; i < iters; ++i)
+        ctx.keep(static_cast<double>(
+            engine::sampleParallelBankSurvival(model, 175, 18, rng)));
+    ctx.metric("items", static_cast<double>(iters * 175));
 }

@@ -42,17 +42,17 @@ sweep(lemons::bench::BenchContext &ctx, const char *label,
         const arch::LifetimeSampler sampler = [&](Rng &rng) {
             return mix.sample(rng);
         };
-        const auto samples = engine.runSamplesParallel([&](Rng &rng) {
-            return static_cast<double>(
-                arch::sampleSerialCopiesTotalAccesses(
-                    sampler, design.width, design.threshold,
-                    design.copies, rng));
-        });
-        RunningStats stats;
-        for (double s : samples)
-            stats.add(s);
-        const double q001 = quantile(samples, 0.001);
-        const double q999 = quantile(samples, 0.999);
+        const auto report = engine.run(
+            [&](Rng &rng) {
+                return static_cast<double>(
+                    arch::sampleSerialCopiesTotalAccesses(
+                        sampler, design.width, design.threshold,
+                        design.copies, rng));
+            },
+            {.threads = 0, .faults = sim::FaultPolicy::Rethrow});
+        const RunningStats &stats = report.stats;
+        const double q001 = quantile(report.samples, 0.001);
+        const double q999 = quantile(report.samples, 0.999);
         const bool held = q001 >= static_cast<double>(lab);
         ctx.keep(stats.mean());
         table.addRow({formatGeneral(w, 3), formatGeneral(stats.mean(), 6),

@@ -23,10 +23,7 @@
 #include <iostream>
 #include <string>
 
-#include "arch/cost_model.h"
-#include "core/design_solver.h"
-#include "core/usage_bounds.h"
-#include "util/table.h"
+#include "lemons/lemons.h"
 
 using namespace lemons;
 using namespace lemons::core;

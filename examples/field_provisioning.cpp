@@ -21,9 +21,7 @@
 
 #include <iostream>
 
-#include "core/design_solver.h"
-#include "core/programmable_gate.h"
-#include "crypto/otp.h"
+#include "lemons/lemons.h"
 
 using namespace lemons;
 using namespace lemons::core;

@@ -18,8 +18,7 @@
 
 #include <iostream>
 
-#include "core/forward_secrecy.h"
-#include "util/table.h"
+#include "lemons/lemons.h"
 
 using namespace lemons;
 using namespace lemons::core;

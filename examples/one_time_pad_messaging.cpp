@@ -19,10 +19,7 @@
 #include <string>
 #include <vector>
 
-#include "arch/cost_model.h"
-#include "core/decision_tree.h"
-#include "crypto/otp.h"
-#include "util/table.h"
+#include "lemons/lemons.h"
 
 using namespace lemons;
 using namespace lemons::core;

@@ -13,8 +13,7 @@
 
 #include <iostream>
 
-#include "core/design_solver.h"
-#include "core/gate.h"
+#include "lemons/lemons.h"
 
 int
 main()

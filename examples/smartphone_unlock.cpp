@@ -20,11 +20,7 @@
 #include <iostream>
 #include <string>
 
-#include "core/connection.h"
-#include "core/design_solver.h"
-#include "core/mway.h"
-#include "crypto/password_model.h"
-#include "util/table.h"
+#include "lemons/lemons.h"
 
 using namespace lemons;
 using namespace lemons::core;

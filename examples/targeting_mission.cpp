@@ -15,9 +15,7 @@
 #include <iostream>
 #include <string>
 
-#include "core/design_solver.h"
-#include "core/targeting.h"
-#include "util/table.h"
+#include "lemons/lemons.h"
 
 using namespace lemons;
 using namespace lemons::core;

@@ -5,6 +5,7 @@
 #include <limits>
 #include <vector>
 
+#include "engine/batch.h"
 #include "obs/metrics.h"
 #include "util/require.h"
 
@@ -12,17 +13,17 @@ namespace lemons::arch {
 
 namespace {
 
-uint64_t
-floorToAccesses(double lifetime)
+// The lifetime -> whole-accesses clamp lives in the engine layer now
+// (engine::floorToAccesses) so the batched trial kernels and this
+// generic path share one definition.
+using engine::floorToAccesses;
+
+/** True when every fabricated device matches the nominal Weibull. */
+bool
+isNominalLot(const wearout::DeviceFactory &factory)
 {
-    // A device with lifetime L serves floor(L) whole accesses (the
-    // t-th access succeeds iff t <= L).
-    if (lifetime <= 0.0)
-        return 0;
-    const double f = std::floor(lifetime);
-    if (f >= static_cast<double>(std::numeric_limits<int64_t>::max()))
-        return std::numeric_limits<uint64_t>::max() / 2;
-    return static_cast<uint64_t>(f);
+    const wearout::ProcessVariation &variation = factory.variation();
+    return variation.alphaSigma == 0.0 && variation.betaSigma == 0.0;
 }
 
 } // namespace
@@ -53,6 +54,19 @@ uint64_t
 sampleParallelSurvivedAccesses(const wearout::DeviceFactory &factory,
                                size_t n, size_t k, Rng &rng)
 {
+    if (isNominalLot(factory)) {
+        // iid nominal Weibull: the engine's u-select kernel consumes
+        // the identical uniform stream and returns a bit-identical
+        // order statistic with one inverse-CDF transform instead of n.
+        requireArg(n >= 1,
+                   "sampleParallelSurvivedAccesses: n must be >= 1");
+        requireArg(k >= 1 && k <= n,
+                   "sampleParallelSurvivedAccesses: need 1 <= k <= n");
+        LEMONS_OBS_INCREMENT("arch.sim.structure_samples");
+        LEMONS_OBS_COUNT("arch.sim.device_samples", n);
+        return engine::sampleParallelBankSurvival(factory.nominalModel(),
+                                                  n, k, rng);
+    }
     return sampleParallelSurvivedAccesses(
         [&factory](Rng &r) { return factory.sampleLifetime(r); }, n, k,
         rng);
@@ -75,6 +89,9 @@ sampleSeriesSurvivedAccesses(const wearout::DeviceFactory &factory, size_t n,
                              Rng &rng)
 {
     requireArg(n >= 1, "sampleSeriesSurvivedAccesses: n must be >= 1");
+    if (isNominalLot(factory))
+        return engine::sampleSeriesBankSurvival(factory.nominalModel(), n,
+                                                rng);
     double minLifetime = std::numeric_limits<double>::infinity();
     for (size_t i = 0; i < n; ++i)
         minLifetime = std::min(minLifetime, factory.sampleLifetime(rng));

@@ -3,11 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
-#include "arch/structures.h"
+#include "engine/cache.h"
 #include "lint/rules.h"
 #include "obs/metrics.h"
 #include "util/math.h"
-#include "wearout/weibull.h"
 
 namespace lemons::core {
 
@@ -39,16 +38,17 @@ DesignSolver::thresholdFor(uint64_t n) const
 double
 DesignSolver::copyReliability(uint64_t n, uint64_t k, double x) const
 {
-    const wearout::Weibull device(spec.device.alpha, spec.device.beta);
-    const arch::ParallelStructure structure(device, n, k);
-    return structure.reliabilityAt(x);
+    // The memoized engine evaluator computes the exact
+    // arch::ParallelStructure expressions; the solver probes the same
+    // (alpha, beta, x) and binomial-tail keys thousands of times across
+    // its width searches, so the cache turns repeats into lookups.
+    return engine::cachedParallelReliability(spec.device.alpha,
+                                             spec.device.beta, n, k, x);
 }
 
 double
 DesignSolver::expectedOvershoot(uint64_t n, uint64_t k, uint64_t t) const
 {
-    const wearout::Weibull device(spec.device.alpha, spec.device.beta);
-    const arch::ParallelStructure structure(device, n, k);
     // A width-n structure dies once the per-device reliability falls to
     // ~k/n (encoded) or ~1/n (plain parallel); bound the scan there
     // with generous margin.
@@ -60,7 +60,9 @@ DesignSolver::expectedOvershoot(uint64_t n, uint64_t k, uint64_t t) const
 
     double overshoot = 0.0;
     for (uint64_t j = t + 1; j <= cap; ++j) {
-        const double r = structure.reliabilityAt(static_cast<double>(j));
+        const double r = engine::cachedParallelReliability(
+            spec.device.alpha, spec.device.beta, n, k,
+            static_cast<double>(j));
         overshoot += r;
         if (r < 1e-12)
             break;
@@ -72,12 +74,11 @@ bool
 DesignSolver::meetsMinReliability(uint64_t n, uint64_t t) const
 {
     const uint64_t k = thresholdFor(n);
-    const wearout::Weibull device(spec.device.alpha, spec.device.beta);
-    const arch::ParallelStructure structure(device, n, k);
     // Through the failure side so "reliability >= 0.9999999" targets
     // stay representable: P(dead at t) <= 1 - minReliability.
-    const double logFailAtBound =
-        structure.logFailureAt(static_cast<double>(t));
+    const double logFailAtBound = engine::cachedParallelLogFailure(
+        spec.device.alpha, spec.device.beta, n, k,
+        static_cast<double>(t));
     return logFailAtBound <= std::log1p(-spec.criteria.minReliability);
 }
 
@@ -87,19 +88,19 @@ DesignSolver::feasibleWidth(uint64_t n, uint64_t t, uint64_t tDead) const
     if (!meetsMinReliability(n, t))
         return false;
     const uint64_t k = thresholdFor(n);
-    const wearout::Weibull device(spec.device.alpha, spec.device.beta);
-    const arch::ParallelStructure structure(device, n, k);
-    const double logAliveAtDeath =
-        structure.logReliabilityAt(static_cast<double>(tDead));
+    const double logAliveAtDeath = engine::cachedParallelLogReliability(
+        spec.device.alpha, spec.device.beta, n, k,
+        static_cast<double>(tDead));
     return logAliveAtDeath <= std::log(spec.criteria.maxResidualReliability);
 }
 
 std::optional<uint64_t>
 DesignSolver::minimalWidthUnencoded(uint64_t t, uint64_t tDead) const
 {
-    const wearout::Weibull device(spec.device.alpha, spec.device.beta);
-    const double logRt = device.logReliability(static_cast<double>(t));
-    const double logRd = device.logReliability(static_cast<double>(tDead));
+    const double logRt = engine::cachedWeibullLogSurvival(
+        spec.device.alpha, spec.device.beta, static_cast<double>(t));
+    const double logRd = engine::cachedWeibullLogSurvival(
+        spec.device.alpha, spec.device.beta, static_cast<double>(tDead));
     if (logRt == 0.0)
         return std::nullopt; // r_t == 1 exactly: degenerate
     const double logDeadT = log1mExp(logRt);  // ln(1 - r_t)
@@ -126,16 +127,14 @@ std::optional<uint64_t>
 DesignSolver::minimalWidth(uint64_t t, uint64_t tDead,
                            std::optional<double> overshootSlack) const
 {
-    const wearout::Weibull device(spec.device.alpha, spec.device.beta);
-
     if (spec.kFraction == 0.0) {
         if (!overshootSlack)
             return minimalWidthUnencoded(t, tDead);
         // With an upper-bound target, pick the smallest width meeting
         // the minimum-reliability criterion, then verify the overshoot
         // (which only grows with width in plain parallel structures).
-        const double logRt =
-            device.logReliability(static_cast<double>(t));
+        const double logRt = engine::cachedWeibullLogSurvival(
+            spec.device.alpha, spec.device.beta, static_cast<double>(t));
         if (logRt == 0.0)
             return std::nullopt;
         const double nMinReal = std::log1p(-spec.criteria.minReliability) /
@@ -152,11 +151,14 @@ DesignSolver::minimalWidth(uint64_t t, uint64_t tDead,
     // Encoded case: both criteria improve with width once the
     // per-device survival straddles the encoding fraction, so the
     // feasible widths form (approximately) an up-set.
-    const double rT = device.reliability(static_cast<double>(t));
+    const double rT = engine::cachedWeibullSurvival(
+        spec.device.alpha, spec.device.beta, static_cast<double>(t));
     if (rT <= spec.kFraction)
         return std::nullopt;
     if (!overshootSlack) {
-        const double rD = device.reliability(static_cast<double>(tDead));
+        const double rD = engine::cachedWeibullSurvival(
+            spec.device.alpha, spec.device.beta,
+            static_cast<double>(tDead));
         if (rD >= spec.kFraction)
             return std::nullopt;
     }

@@ -14,25 +14,22 @@ estimateUsageBounds(const Design &design, const wearout::DeviceSpec &device,
 {
     requireArg(design.feasible, "estimateUsageBounds: design is infeasible");
     const wearout::DeviceFactory factory(device, variation);
-    const sim::MonteCarlo engine(seed, trials);
+    const sim::MonteCarlo mc(seed, trials);
 
-    const std::vector<double> samples =
-        engine.runSamplesParallel([&](Rng &rng) {
+    const sim::TrialReport report = mc.run(
+        [&](Rng &rng) {
             return static_cast<double>(arch::sampleSerialCopiesTotalAccesses(
                 factory, design.width, design.threshold, design.copies,
                 rng));
-        });
-
-    RunningStats stats;
-    for (double s : samples)
-        stats.add(s);
+        },
+        {.threads = 0, .faults = sim::FaultPolicy::Rethrow});
 
     UsageBounds bounds;
-    bounds.meanTotalAccesses = stats.mean();
-    bounds.minTotalAccesses = stats.min();
-    bounds.maxTotalAccesses = stats.max();
-    bounds.q001 = quantile(samples, 0.001);
-    bounds.q999 = quantile(samples, 0.999);
+    bounds.meanTotalAccesses = report.stats.mean();
+    bounds.minTotalAccesses = report.stats.min();
+    bounds.maxTotalAccesses = report.stats.max();
+    bounds.q001 = quantile(report.samples, 0.001);
+    bounds.q999 = quantile(report.samples, 0.999);
     bounds.trials = trials;
     return bounds;
 }

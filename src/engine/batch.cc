@@ -1,0 +1,82 @@
+#include "engine/batch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/require.h"
+
+namespace lemons::engine {
+
+namespace {
+
+/**
+ * Per-thread uniform scratch: structure widths recur (every trial of a
+ * run uses the same n), so one thread-local buffer removes the
+ * per-structure allocation the legacy path paid.
+ */
+thread_local std::vector<double> uniformScratch;
+
+} // namespace
+
+uint64_t
+floorToAccesses(double lifetime)
+{
+    // A device with lifetime L serves floor(L) whole accesses (the
+    // t-th access succeeds iff t <= L).
+    if (lifetime <= 0.0)
+        return 0;
+    const double f = std::floor(lifetime);
+    if (f >= static_cast<double>(std::numeric_limits<int64_t>::max()))
+        return std::numeric_limits<uint64_t>::max() / 2;
+    return static_cast<uint64_t>(f);
+}
+
+uint64_t
+sampleParallelBankSurvival(const wearout::Weibull &model, size_t n, size_t k,
+                           Rng &rng)
+{
+    requireArg(n >= 1, "sampleParallelBankSurvival: n must be >= 1");
+    requireArg(k >= 1 && k <= n,
+               "sampleParallelBankSurvival: need 1 <= k <= n");
+    // Bulk-bump the same counter n individual Weibull::sample calls
+    // would have incremented, keeping the atomic off the inner loop.
+    LEMONS_OBS_COUNT("wearout.weibull.samples", n);
+    std::vector<double> &u = uniformScratch;
+    u.resize(n);
+    for (size_t i = 0; i < n; ++i)
+        u[i] = rng.nextDoubleOpenLow();
+    // T(u) = alpha * (-ln u)^(1/beta) is monotone non-increasing, so
+    // the k-th LARGEST lifetime is T of the k-th SMALLEST uniform:
+    // select first, transform once.
+    std::nth_element(u.begin(),
+                     u.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                     u.end());
+    return floorToAccesses(model.sampleFromUniform(u[k - 1]));
+}
+
+uint64_t
+sampleSeriesBankSurvival(const wearout::Weibull &model, size_t n, Rng &rng)
+{
+    requireArg(n >= 1, "sampleSeriesBankSurvival: n must be >= 1");
+    LEMONS_OBS_COUNT("wearout.weibull.samples", n);
+    // min over lifetimes == T(max over uniforms), by the same
+    // monotonicity argument as the parallel kernel.
+    double maxU = 0.0;
+    for (size_t i = 0; i < n; ++i)
+        maxU = std::max(maxU, rng.nextDoubleOpenLow());
+    return floorToAccesses(model.sampleFromUniform(maxU));
+}
+
+void
+sampleParallelBankSurvivalMany(const wearout::Weibull &model, size_t n,
+                               size_t k, Rng &rng, uint64_t *out,
+                               size_t trials)
+{
+    for (size_t t = 0; t < trials; ++t)
+        out[t] = sampleParallelBankSurvival(model, n, k, rng);
+}
+
+} // namespace lemons::engine

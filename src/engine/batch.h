@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Structure-of-arrays trial kernels for whole device banks.
+ *
+ * The generic simulation path draws n lifetimes through a per-device
+ * virtual/std::function hop, materializes them in a freshly allocated
+ * vector, and order-selects with one pow/log pair per device. These
+ * kernels exploit the inverse-CDF structure of the iid-Weibull case:
+ * the transform T(u) = alpha * (-ln u)^(1/beta) is monotone
+ * non-increasing in u, so the k-th largest of n lifetimes is T applied
+ * to the k-th smallest of the n uniforms. The kernel therefore
+ * order-selects the raw uniforms first and pays for exactly ONE
+ * pow/log transform per structure instead of n — bit-identical to the
+ * legacy per-device path (monotone maps preserve order statistics, and
+ * the selected uniform goes through the very same sampleFromUniform),
+ * while consuming the identical RNG stream.
+ */
+
+#ifndef LEMONS_ENGINE_BATCH_H_
+#define LEMONS_ENGINE_BATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/rng.h"
+#include "wearout/weibull.h"
+
+namespace lemons::engine {
+
+/**
+ * Whole accesses a lifetime supports: floor(L), with huge lifetimes
+ * clamped representably. Identical semantics to the arch simulation
+ * layer (which now delegates here).
+ */
+uint64_t floorToAccesses(double lifetime);
+
+/**
+ * Survived accesses of one k-out-of-n parallel bank of iid
+ * Weibull(@p model) devices: floor of the k-th largest lifetime.
+ * Consumes exactly n uniforms from @p rng, in the same order as n
+ * individual Weibull::sample calls, and returns a bit-identical
+ * result — but with one transform instead of n.
+ */
+uint64_t sampleParallelBankSurvival(const wearout::Weibull &model, size_t n,
+                                    size_t k, Rng &rng);
+
+/**
+ * Survived accesses of one n-device series bank: floor of the minimum
+ * lifetime, i.e. the transform of the maximum uniform. Same stream
+ * consumption and bit-identity guarantee as the parallel kernel.
+ */
+uint64_t sampleSeriesBankSurvival(const wearout::Weibull &model, size_t n,
+                                  Rng &rng);
+
+/**
+ * Batched form: fill @p out[0..trials) with independent parallel-bank
+ * survivals, drawing all randomness from @p rng in trial order. The
+ * per-trial draws match `trials` sequential sampleParallelBankSurvival
+ * calls exactly.
+ */
+void sampleParallelBankSurvivalMany(const wearout::Weibull &model, size_t n,
+                                    size_t k, Rng &rng, uint64_t *out,
+                                    size_t trials);
+
+} // namespace lemons::engine
+
+#endif // LEMONS_ENGINE_BATCH_H_

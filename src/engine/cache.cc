@@ -1,0 +1,195 @@
+#include "engine/cache.h"
+
+#include <bit>
+#include <cmath>
+#include <unordered_map>
+
+#include "obs/metrics.h"
+#include "util/math.h"
+#include "util/require.h"
+#include "wearout/weibull.h"
+
+namespace lemons::engine {
+
+namespace {
+
+/**
+ * Entry cap per table. The solver working set is a few thousand keys;
+ * the cap only bounds degenerate workloads (e.g. continuously varying
+ * x) so a long-lived thread cannot grow without limit. Clearing is
+ * semantically invisible — a refilled entry recomputes the identical
+ * value.
+ */
+constexpr size_t kMaxEntries = size_t{1} << 17;
+
+/** SplitMix64 finalizer: cheap, well-mixed 64-bit hash step. */
+constexpr uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Keyed by the exact operand bit patterns: no tolerance, no rounding. */
+struct TripleKey
+{
+    uint64_t a, b, x;
+    bool operator==(const TripleKey &) const = default;
+};
+
+struct TripleHash
+{
+    size_t operator()(const TripleKey &key) const
+    {
+        return static_cast<size_t>(
+            mix64(key.a ^ mix64(key.b ^ mix64(key.x))));
+    }
+};
+
+using TripleMap = std::unordered_map<TripleKey, double, TripleHash>;
+
+TripleKey
+tripleKey(double a, double b, double x)
+{
+    return {std::bit_cast<uint64_t>(a), std::bit_cast<uint64_t>(b),
+            std::bit_cast<uint64_t>(x)};
+}
+
+struct TailKey
+{
+    uint64_t n, k, p;
+    bool operator==(const TailKey &) const = default;
+};
+
+struct TailHash
+{
+    size_t operator()(const TailKey &key) const
+    {
+        return static_cast<size_t>(
+            mix64(key.n ^ mix64(key.k ^ mix64(key.p))));
+    }
+};
+
+using TailMap = std::unordered_map<TailKey, double, TailHash>;
+
+thread_local TripleMap logSurvivalCache;
+thread_local TripleMap quantileCache;
+thread_local TailMap tailCache;
+
+} // namespace
+
+double
+cachedWeibullLogSurvival(double alpha, double beta, double x)
+{
+    const TripleKey key = tripleKey(alpha, beta, x);
+    const auto it = logSurvivalCache.find(key);
+    if (it != logSurvivalCache.end()) {
+        LEMONS_OBS_INCREMENT("sim.mc.cache.weibull_log_survival.hits");
+        return it->second;
+    }
+    LEMONS_OBS_INCREMENT("sim.mc.cache.weibull_log_survival.misses");
+    if (logSurvivalCache.size() >= kMaxEntries)
+        logSurvivalCache.clear();
+    // Delegating to the real Weibull keeps this bit-identical forever
+    // (and revalidates alpha/beta once per distinct key).
+    const double value =
+        wearout::Weibull(alpha, beta).logReliability(x);
+    logSurvivalCache.emplace(key, value);
+    return value;
+}
+
+double
+cachedWeibullSurvival(double alpha, double beta, double x)
+{
+    // Same branch structure as Weibull::reliability: the exp of the
+    // cached log term is the identical expression.
+    if (x <= 0.0) {
+        static_cast<void>(
+            wearout::Weibull(alpha, beta)); // preserve validation
+        return 1.0;
+    }
+    return std::exp(cachedWeibullLogSurvival(alpha, beta, x));
+}
+
+double
+cachedWeibullQuantile(double alpha, double beta, double p)
+{
+    const TripleKey key = tripleKey(alpha, beta, p);
+    const auto it = quantileCache.find(key);
+    if (it != quantileCache.end()) {
+        LEMONS_OBS_INCREMENT("sim.mc.cache.weibull_quantile.hits");
+        return it->second;
+    }
+    LEMONS_OBS_INCREMENT("sim.mc.cache.weibull_quantile.misses");
+    if (quantileCache.size() >= kMaxEntries)
+        quantileCache.clear();
+    const double value = wearout::Weibull(alpha, beta).quantile(p);
+    quantileCache.emplace(key, value);
+    return value;
+}
+
+double
+cachedLogBinomialTailAtLeast(uint64_t n, uint64_t k, double p)
+{
+    const TailKey key{n, k, std::bit_cast<uint64_t>(p)};
+    const auto it = tailCache.find(key);
+    if (it != tailCache.end()) {
+        LEMONS_OBS_INCREMENT("sim.mc.cache.binomial_tail.hits");
+        return it->second;
+    }
+    LEMONS_OBS_INCREMENT("sim.mc.cache.binomial_tail.misses");
+    if (tailCache.size() >= kMaxEntries)
+        tailCache.clear();
+    const double value = logBinomialTailAtLeast(n, k, p);
+    tailCache.emplace(key, value);
+    return value;
+}
+
+double
+cachedParallelLogReliability(double alpha, double beta, uint64_t n,
+                             uint64_t k, double x)
+{
+    requireArg(n >= 1 && k >= 1 && k <= n,
+               "cachedParallelLogReliability: need 1 <= k <= n");
+    // Mirrors arch::ParallelStructure::logReliabilityAt exactly.
+    const double logR = cachedWeibullLogSurvival(alpha, beta, x);
+    if (k == 1) {
+        const double logAllDead =
+            static_cast<double>(n) * log1mExp(logR);
+        return log1mExp(std::min(0.0, logAllDead));
+    }
+    return cachedLogBinomialTailAtLeast(n, k, std::exp(logR));
+}
+
+double
+cachedParallelReliability(double alpha, double beta, uint64_t n, uint64_t k,
+                          double x)
+{
+    return std::exp(cachedParallelLogReliability(alpha, beta, n, k, x));
+}
+
+double
+cachedParallelLogFailure(double alpha, double beta, uint64_t n, uint64_t k,
+                         double x)
+{
+    requireArg(n >= 1 && k >= 1 && k <= n,
+               "cachedParallelLogFailure: need 1 <= k <= n");
+    // Mirrors arch::ParallelStructure::logFailureAt exactly.
+    const double logR = cachedWeibullLogSurvival(alpha, beta, x);
+    if (k == 1)
+        return static_cast<double>(n) * log1mExp(logR);
+    const double deadProb = -std::expm1(logR);
+    return cachedLogBinomialTailAtLeast(n, n - k + 1, deadProb);
+}
+
+void
+clearThreadLocalCaches()
+{
+    logSurvivalCache.clear();
+    quantileCache.clear();
+    tailCache.clear();
+}
+
+} // namespace lemons::engine

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Memoization caches for the reliability math on the solver hot path.
+ *
+ * The design solver evaluates Weibull survival and binomial-tail
+ * (regularized incomplete beta, the incomplete-gamma family) terms for
+ * the same (alpha, beta, t) and (n, k, p) tuples thousands of times
+ * while scanning per-copy bounds and binary-searching widths. Each
+ * function here is a drop-in replacement for the direct evaluation:
+ * on a miss it computes the value with exactly the same expressions as
+ * wearout::Weibull / arch::ParallelStructure / util math (so results
+ * are bit-identical, not merely close), stores it in a thread-local
+ * table keyed by the exact operand bits, and serves every repeat from
+ * the table.
+ *
+ * Caches are thread-local: no locks, no false sharing, and perfect
+ * determinism — a cached value can only ever be the value the same
+ * thread would recompute. Hit/miss totals are published through
+ * lemons::obs as `sim.mc.cache.<name>.hits` / `.misses`.
+ */
+
+#ifndef LEMONS_ENGINE_CACHE_H_
+#define LEMONS_ENGINE_CACHE_H_
+
+#include <cstdint>
+
+namespace lemons::engine {
+
+/**
+ * Memoized Weibull log-survival log R(x) = -(x/alpha)^beta (0 for
+ * x <= 0), bit-identical to wearout::Weibull::logReliability.
+ */
+double cachedWeibullLogSurvival(double alpha, double beta, double x);
+
+/**
+ * Memoized Weibull survival R(x), bit-identical to
+ * wearout::Weibull::reliability.
+ */
+double cachedWeibullSurvival(double alpha, double beta, double x);
+
+/**
+ * Memoized Weibull inverse CDF, bit-identical to
+ * wearout::Weibull::quantile. @pre 0 <= p < 1.
+ */
+double cachedWeibullQuantile(double alpha, double beta, double p);
+
+/**
+ * Memoized log P(X >= k), X ~ Binomial(n, p) — the regularized
+ * incomplete beta evaluation behind k-out-of-n reliability.
+ * Bit-identical to lemons::logBinomialTailAtLeast.
+ */
+double cachedLogBinomialTailAtLeast(uint64_t n, uint64_t k, double p);
+
+/**
+ * Memoized k-out-of-n structure log-reliability at access x for iid
+ * Weibull(alpha, beta) devices. Replicates
+ * arch::ParallelStructure::logReliabilityAt expression-for-expression
+ * (including the k == 1 closed form), so solver results are unchanged.
+ */
+double cachedParallelLogReliability(double alpha, double beta, uint64_t n,
+                                    uint64_t k, double x);
+
+/** exp of cachedParallelLogReliability; bit-identical to
+ *  arch::ParallelStructure::reliabilityAt. */
+double cachedParallelReliability(double alpha, double beta, uint64_t n,
+                                 uint64_t k, double x);
+
+/**
+ * Memoized structure log-failure-probability at access x; replicates
+ * arch::ParallelStructure::logFailureAt.
+ */
+double cachedParallelLogFailure(double alpha, double beta, uint64_t n,
+                                uint64_t k, double x);
+
+/**
+ * Drop this thread's memo tables (they are also size-capped, so this
+ * is only needed by tests that count hits and misses exactly).
+ */
+void clearThreadLocalCaches();
+
+} // namespace lemons::engine
+
+#endif // LEMONS_ENGINE_CACHE_H_

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Batched, cache-aware Monte Carlo execution engine.
+ *
+ * One entry point — runTrials — is the execution substrate behind
+ * every simulation in the library (sim::MonteCarlo::run delegates
+ * here). Trials are processed in contiguous chunks whose boundaries
+ * depend only on the chunk size, never on the thread count, and trial
+ * i always uses Rng(seed).split(i): per-trial results are bit-identical
+ * at any parallelism, and the streaming statistics are merged in chunk
+ * order so even the reassociation-sensitive moments are reproducible
+ * at any thread count.
+ *
+ * Execution runs on the persistent ThreadPool (no thread creation
+ * after warmup) and can stop early once the confidence interval of the
+ * running mean is tight enough — early-stop decisions happen at fixed
+ * wave boundaries (multiples of checkEveryChunks chunks), so the
+ * stopped trial count is deterministic too.
+ */
+
+#ifndef LEMONS_ENGINE_ENGINE_H_
+#define LEMONS_ENGINE_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace lemons::engine {
+
+/** Chunk size used when McRunOptions::chunkSize is 0. */
+constexpr uint64_t kDefaultChunkSize = 1024;
+
+/**
+ * Optional CI-width early stopping: once at least minTrials clean
+ * samples are in, the run stops at the next wave boundary where the
+ * 95 % half-width of the mean is within relHalfWidth * |mean|.
+ * Checks happen every checkEveryChunks chunks, so the stopping point
+ * depends only on (seed, chunkSize, checkEveryChunks) — never on the
+ * thread count.
+ */
+struct EarlyStop
+{
+    /** Target relative half-width (1.96 * SE <= this * |mean|). */
+    double relHalfWidth = 0.01;
+    /** Never stop before this many trials. */
+    uint64_t minTrials = 1024;
+    /** Wave length between checks, in chunks (>= 1). */
+    uint64_t checkEveryChunks = 8;
+};
+
+/** What to do with trials whose metric throws. */
+enum class FaultPolicy {
+    /** Record the trial in the report (NaN sample) and keep going. */
+    Capture,
+    /**
+     * Finish in-flight chunks, then rethrow the exception of the
+     * lowest-indexed failing trial on the caller — deterministic at
+     * any thread count.
+     */
+    Rethrow,
+};
+
+/**
+ * One options struct instead of an overload family: every knob of a
+ * Monte Carlo run in a single place, with zero-means-default
+ * semantics so call sites only spell what they change.
+ */
+struct McRunOptions
+{
+    /** Trial count; 0 = the caller's configured default. */
+    uint64_t trials = 0;
+    /** Executor count; 1 = inline on the caller, 0 = all hardware. */
+    unsigned threads = 1;
+    /** Trials per chunk; 0 = kDefaultChunkSize. Chunking changes only
+     *  scheduling granularity and streaming-merge order — per-trial
+     *  samples are bit-identical for any value. */
+    uint64_t chunkSize = 0;
+    /** Keep every sample (O(trials) memory, quantile-ready) or stream
+     *  statistics only (constant memory). */
+    bool keepSamples = true;
+    /** Throwing-trial handling. */
+    FaultPolicy faults = FaultPolicy::Capture;
+    /** Optional CI-width early stopping. */
+    std::optional<EarlyStop> earlyStop;
+};
+
+/**
+ * Outcome of a Monte Carlo run. One bad trial out of a million yields
+ * a degraded-but-complete report instead of a crash: throwing trials
+ * are recorded (index + first error message) and non-finite samples
+ * are quarantined rather than poisoning the aggregate statistics.
+ */
+struct TrialReport
+{
+    /**
+     * One sample per executed trial, in trial order (empty when the
+     * run streamed with keepSamples = false). Failed (throwing) trials
+     * hold NaN; quarantined trials hold the non-finite value the
+     * metric actually returned.
+     */
+    std::vector<double> samples;
+
+    /** Indices of trials whose metric threw, ascending. */
+    std::vector<uint64_t> failedTrials;
+
+    /** Indices of trials whose metric returned NaN/Inf, ascending. */
+    std::vector<uint64_t> nonFiniteTrials;
+
+    /**
+     * what() of the exception from the lowest-indexed failed trial
+     * (deterministic regardless of thread interleaving); empty when no
+     * trial failed.
+     */
+    std::string firstError;
+
+    /** Streaming statistics over clean (finite, non-throwing) samples. */
+    RunningStats stats;
+
+    /** Trials actually executed (== requestedTrials unless stopped). */
+    uint64_t trials = 0;
+
+    /** Trials the run was asked for. */
+    uint64_t requestedTrials = 0;
+
+    /** Whether CI-width early stopping ended the run. */
+    bool stoppedEarly = false;
+
+    /** Whether every executed trial produced a clean sample. */
+    bool complete() const
+    {
+        return failedTrials.empty() && nonFiniteTrials.empty();
+    }
+
+    /** Executed trials that produced a clean sample. */
+    uint64_t cleanTrials() const
+    {
+        return trials - failedTrials.size() - nonFiniteTrials.size();
+    }
+};
+
+/** Per-trial metric: (trial's own Rng, trial index) -> sample. */
+using TrialMetric = std::function<double(Rng &, uint64_t)>;
+
+/**
+ * Run @p metric for trials [0, options.trials) with trial i seeded as
+ * Rng(@p seed).split(i), under the execution policy in @p options.
+ * @pre options.trials > 0 (callers resolve their own defaults).
+ */
+TrialReport runTrials(uint64_t seed, const McRunOptions &options,
+                      const TrialMetric &metric);
+
+} // namespace lemons::engine
+
+#endif // LEMONS_ENGINE_ENGINE_H_

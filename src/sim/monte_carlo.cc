@@ -1,101 +1,13 @@
 #include "sim/monte_carlo.h"
 
 #include <algorithm>
-#include <cmath>
-#include <exception>
-#include <limits>
-#include <stdexcept>
-#include <string>
-#include <thread>
 #include <utility>
-#include <vector>
 
+#include "engine/engine.h"
 #include "obs/metrics.h"
-#include "util/mutex.h"
 #include "util/require.h"
-#include "util/thread_annotations.h"
 
 namespace lemons::sim {
-
-namespace {
-
-/**
- * Lock-protected "lowest-indexed failure wins" cell shared by the
- * runSamplesParallel workers. Keeping only the minimum under the lock
- * makes the rethrown exception deterministic at any thread count.
- */
-class FirstErrorCell
-{
-  public:
-    explicit FirstErrorCell(uint64_t sentinel) : trial(sentinel) {}
-
-    /** Record trial @p i's exception if it is the earliest so far. */
-    void record(uint64_t i, std::exception_ptr e) LEMONS_EXCLUDES(mu)
-    {
-        const MutexLock lock(mu);
-        if (i < trial) {
-            trial = i;
-            error = std::move(e);
-        }
-    }
-
-    /** The winning exception, or null when no trial failed. */
-    std::exception_ptr take() const LEMONS_EXCLUDES(mu)
-    {
-        const MutexLock lock(mu);
-        return error;
-    }
-
-  private:
-    mutable Mutex mu;
-    uint64_t trial LEMONS_GUARDED_BY(mu);
-    std::exception_ptr error LEMONS_GUARDED_BY(mu);
-};
-
-/**
- * Shared failure/quarantine log for runSamplesReport. Workers append
- * under the lock; the driver sorts by trial index after the join so
- * the report is deterministic regardless of interleaving.
- */
-class ReportCollector
-{
-  public:
-    /** Record that trial @p i threw with message @p what. */
-    void recordFailure(uint64_t i, std::string what) LEMONS_EXCLUDES(mu)
-    {
-        const MutexLock lock(mu);
-        failures.emplace_back(i, std::move(what));
-    }
-
-    /** Record that trial @p i returned a non-finite sample. */
-    void recordNonFinite(uint64_t i) LEMONS_EXCLUDES(mu)
-    {
-        const MutexLock lock(mu);
-        nonFinite.push_back(i);
-    }
-
-    /** Move the sorted logs into @p report (call after the join). */
-    void drainInto(TrialReport &report) LEMONS_EXCLUDES(mu)
-    {
-        const MutexLock lock(mu);
-        std::sort(failures.begin(), failures.end());
-        std::sort(nonFinite.begin(), nonFinite.end());
-        report.failedTrials.reserve(failures.size());
-        for (const auto &[trial, message] : failures)
-            report.failedTrials.push_back(trial);
-        if (!failures.empty())
-            report.firstError = failures.front().second;
-        report.nonFiniteTrials = std::move(nonFinite);
-    }
-
-  private:
-    Mutex mu;
-    std::vector<std::pair<uint64_t, std::string>>
-        failures LEMONS_GUARDED_BY(mu);
-    std::vector<uint64_t> nonFinite LEMONS_GUARDED_BY(mu);
-};
-
-} // namespace
 
 MonteCarlo::MonteCarlo(uint64_t seed, uint64_t trials)
     : masterSeed(seed), trialCount(trials)
@@ -103,127 +15,74 @@ MonteCarlo::MonteCarlo(uint64_t seed, uint64_t trials)
     requireArg(trials > 0, "MonteCarlo: need at least one trial");
 }
 
+TrialReport
+MonteCarlo::run(const std::function<double(Rng &, uint64_t)> &metric,
+                McRunOptions options) const
+{
+    if (options.trials == 0)
+        options.trials = trialCount;
+    return engine::runTrials(masterSeed, options, metric);
+}
+
+TrialReport
+MonteCarlo::run(const std::function<double(Rng &)> &metric,
+                McRunOptions options) const
+{
+    return run([&metric](Rng &rng, uint64_t) { return metric(rng); },
+               options);
+}
+
+ProportionInterval
+MonteCarlo::estimateProbability(
+    const std::function<bool(Rng &)> &event) const
+{
+    LEMONS_OBS_SCOPED_TIMER("sim.mc.estimate_probability");
+    TrialReport report = run(
+        [&event](Rng &rng) { return event(rng) ? 1.0 : 0.0; },
+        {.faults = FaultPolicy::Rethrow});
+    const auto successes = static_cast<uint64_t>(std::count(
+        report.samples.begin(), report.samples.end(), 1.0));
+    return wilsonInterval(successes, report.trials);
+}
+
+// ----------------------------------------------------------------------
+// Deprecated wrappers. Serial sample-keeping runs fold their statistics
+// in trial order, so runStats/runSamples results stay bit-identical to
+// the historical serial loops; the parallel wrappers inherit the
+// engine's thread-count-invariant determinism, which is strictly
+// stronger than what the old strided-worker implementations promised.
+// ----------------------------------------------------------------------
+
 RunningStats
 MonteCarlo::runStats(const std::function<double(Rng &)> &metric) const
 {
-    LEMONS_OBS_SCOPED_TIMER("sim.mc.run_stats");
-    LEMONS_OBS_COUNT("sim.mc.trials", trialCount);
-    const Rng parent(masterSeed);
-    RunningStats stats;
-    for (uint64_t i = 0; i < trialCount; ++i) {
-        Rng rng = parent.split(i);
-        stats.add(metric(rng));
-    }
-    return stats;
+    return run(metric, {.faults = FaultPolicy::Rethrow}).stats;
 }
 
 std::vector<double>
 MonteCarlo::runSamples(const std::function<double(Rng &)> &metric) const
 {
-    LEMONS_OBS_SCOPED_TIMER("sim.mc.run_samples");
-    LEMONS_OBS_COUNT("sim.mc.trials", trialCount);
-    const Rng parent(masterSeed);
-    std::vector<double> samples;
-    samples.reserve(trialCount);
-    for (uint64_t i = 0; i < trialCount; ++i) {
-        Rng rng = parent.split(i);
-        samples.push_back(metric(rng));
-    }
-    return samples;
-}
-
-unsigned
-MonteCarlo::resolveThreads(unsigned threads) const
-{
-    if (threads == 0) {
-        threads = std::max(1u, std::thread::hardware_concurrency());
-    }
-    return static_cast<unsigned>(std::min<uint64_t>(threads, trialCount));
-}
-
-std::vector<double>
-MonteCarlo::runSamplesParallel(const std::function<double(Rng &)> &metric,
-                               unsigned threads) const
-{
-    LEMONS_OBS_SCOPED_TIMER("sim.mc.run_samples_parallel");
-    LEMONS_OBS_COUNT("sim.mc.trials", trialCount);
-    threads = resolveThreads(threads);
-
-    const Rng parent(masterSeed);
-    std::vector<double> samples(trialCount);
-    std::vector<std::thread> workers;
-    // A metric exception must not escape the worker (that would call
-    // std::terminate). Workers race their exceptions into a shared
-    // lowest-trial-wins cell and stop; after the join, the winner is
-    // rethrown on this thread so the behaviour is deterministic at any
-    // thread count.
-    FirstErrorCell firstError(trialCount);
-    workers.reserve(threads);
-    for (unsigned w = 0; w < threads; ++w) {
-        workers.emplace_back([&, w] {
-            // Strided partition: trial i is computed by thread
-            // i % threads; every trial's generator depends only on
-            // (seed, i), so the ordering is irrelevant.
-            for (uint64_t i = w; i < trialCount; i += threads) {
-                Rng rng = parent.split(i);
-                try {
-                    samples[i] = metric(rng);
-                } catch (...) {
-                    firstError.record(i, std::current_exception());
-                    return;
-                }
-            }
-        });
-    }
-    for (auto &worker : workers)
-        worker.join();
-
-    if (std::exception_ptr error = firstError.take())
-        std::rethrow_exception(error);
-    return samples;
+    return std::move(run(metric, {.faults = FaultPolicy::Rethrow}).samples);
 }
 
 RunningStats
 MonteCarlo::runStatsParallel(const std::function<double(Rng &)> &metric,
                              unsigned threads) const
 {
-    LEMONS_OBS_SCOPED_TIMER("sim.mc.run_stats_parallel");
-    LEMONS_OBS_COUNT("sim.mc.trials", trialCount);
-    threads = resolveThreads(threads);
+    return run(metric, {.threads = threads,
+                        .keepSamples = false,
+                        .faults = FaultPolicy::Rethrow})
+        .stats;
+}
 
-    const Rng parent(masterSeed);
-    // Workers accumulate privately and publish once through the
-    // lock-guarded aggregate; partials are folded in worker-id order
-    // after the join so the merge sequence (hence the floating-point
-    // rounding) is deterministic for a fixed thread count.
-    std::vector<RunningStats> partials(threads);
-    FirstErrorCell firstError(trialCount);
-    std::vector<std::thread> workers;
-    workers.reserve(threads);
-    for (unsigned w = 0; w < threads; ++w) {
-        workers.emplace_back([&, w] {
-            RunningStats &local = partials[w];
-            for (uint64_t i = w; i < trialCount; i += threads) {
-                Rng rng = parent.split(i);
-                try {
-                    local.add(metric(rng));
-                } catch (...) {
-                    firstError.record(i, std::current_exception());
-                    return;
-                }
-            }
-        });
-    }
-    for (auto &worker : workers)
-        worker.join();
-
-    if (std::exception_ptr error = firstError.take())
-        std::rethrow_exception(error);
-
-    SharedRunningStats merged;
-    for (const RunningStats &partial : partials)
-        merged.mergeFrom(partial);
-    return merged.snapshot();
+std::vector<double>
+MonteCarlo::runSamplesParallel(const std::function<double(Rng &)> &metric,
+                               unsigned threads) const
+{
+    return std::move(
+        run(metric,
+            {.threads = threads, .faults = FaultPolicy::Rethrow})
+            .samples);
 }
 
 TrialReport
@@ -231,74 +90,14 @@ MonteCarlo::runSamplesReport(
     const std::function<double(Rng &, uint64_t)> &metric,
     unsigned threads) const
 {
-    LEMONS_OBS_SCOPED_TIMER("sim.mc.run_report");
-    LEMONS_OBS_COUNT("sim.mc.trials", trialCount);
-    threads = resolveThreads(threads);
-
-    const Rng parent(masterSeed);
-    TrialReport report;
-    report.trials = trialCount;
-    report.samples.assign(trialCount,
-                          std::numeric_limits<double>::quiet_NaN());
-
-    ReportCollector collector;
-    std::vector<std::thread> workers;
-    workers.reserve(threads);
-    for (unsigned w = 0; w < threads; ++w) {
-        workers.emplace_back([&, w] {
-            for (uint64_t i = w; i < trialCount; i += threads) {
-                Rng rng = parent.split(i);
-                try {
-                    const double sample = metric(rng, i);
-                    report.samples[i] = sample;
-                    if (!std::isfinite(sample))
-                        collector.recordNonFinite(i);
-                } catch (const std::exception &e) {
-                    collector.recordFailure(i, e.what());
-                } catch (...) {
-                    collector.recordFailure(i, "unknown exception");
-                }
-            }
-        });
-    }
-    for (auto &worker : workers)
-        worker.join();
-
-    // Trial-index sorting inside the collector keeps the report
-    // (including firstError) deterministic at any thread count.
-    collector.drainInto(report);
-    LEMONS_OBS_COUNT("sim.mc.failed_trials", report.failedTrials.size());
-    LEMONS_OBS_COUNT("sim.mc.quarantined_trials",
-                     report.nonFiniteTrials.size());
-
-    // RunningStats itself quarantines non-finite input, which also
-    // covers the NaN placeholders of failed trials.
-    for (double sample : report.samples)
-        report.stats.add(sample);
-    return report;
+    return run(metric, {.threads = threads});
 }
 
 TrialReport
 MonteCarlo::runSamplesReport(const std::function<double(Rng &)> &metric,
                              unsigned threads) const
 {
-    return runSamplesReport(
-        [&metric](Rng &rng, uint64_t) { return metric(rng); }, threads);
-}
-
-ProportionInterval
-MonteCarlo::estimateProbability(const std::function<bool(Rng &)> &event) const
-{
-    LEMONS_OBS_SCOPED_TIMER("sim.mc.estimate_probability");
-    LEMONS_OBS_COUNT("sim.mc.trials", trialCount);
-    const Rng parent(masterSeed);
-    uint64_t successes = 0;
-    for (uint64_t i = 0; i < trialCount; ++i) {
-        Rng rng = parent.split(i);
-        if (event(rng))
-            ++successes;
-    }
-    return wilsonInterval(successes, trialCount);
+    return run(metric, {.threads = threads});
 }
 
 } // namespace lemons::sim

@@ -1,11 +1,17 @@
 /**
  * @file
- * Reproducible Monte Carlo trial engine.
+ * Reproducible Monte Carlo trial driver.
  *
  * Every trial receives its own Rng derived from (seed, trial index), so
  * results do not depend on evaluation order and any single trial can be
  * replayed in isolation — essential for debugging rare-event failures
  * in the security analyses.
+ *
+ * Execution is delegated to lemons::engine::runTrials, the batched
+ * chunk-parallel engine: one run() entry point with an McRunOptions
+ * struct replaces the old runStats / runSamples / runSamplesParallel /
+ * runStatsParallel / runSamplesReport overload family, which survives
+ * as [[deprecated]] one-line wrappers.
  */
 
 #ifndef LEMONS_SIM_MONTE_CARLO_H_
@@ -13,61 +19,20 @@
 
 #include <cstdint>
 #include <functional>
-#include <string>
 #include <vector>
 
+#include "engine/engine.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
 namespace lemons::sim {
 
-/**
- * Outcome of a fault-tolerant Monte Carlo run. One bad trial out of a
- * million yields a degraded-but-complete report instead of a crash:
- * throwing trials are recorded (index + first error message) and
- * non-finite samples are quarantined rather than poisoning the
- * aggregate statistics.
- */
-struct TrialReport
-{
-    /**
-     * One sample per trial, in trial order. Failed (throwing) trials
-     * hold NaN; quarantined trials hold the non-finite value the
-     * metric actually returned.
-     */
-    std::vector<double> samples;
-
-    /** Indices of trials whose metric threw, ascending. */
-    std::vector<uint64_t> failedTrials;
-
-    /** Indices of trials whose metric returned NaN/Inf, ascending. */
-    std::vector<uint64_t> nonFiniteTrials;
-
-    /**
-     * what() of the exception from the lowest-indexed failed trial
-     * (deterministic regardless of thread interleaving); empty when no
-     * trial failed.
-     */
-    std::string firstError;
-
-    /** Streaming statistics over clean (finite, non-throwing) samples. */
-    RunningStats stats;
-
-    /** Total trials attempted. */
-    uint64_t trials = 0;
-
-    /** Whether every trial produced a clean sample. */
-    bool complete() const
-    {
-        return failedTrials.empty() && nonFiniteTrials.empty();
-    }
-
-    /** Trials that produced a clean sample. */
-    uint64_t cleanTrials() const
-    {
-        return trials - failedTrials.size() - nonFiniteTrials.size();
-    }
-};
+// The execution substrate lives in lemons::engine; sim re-exports the
+// vocabulary types so call sites keep reading naturally.
+using engine::EarlyStop;
+using engine::FaultPolicy;
+using engine::McRunOptions;
+using engine::TrialReport;
 
 /**
  * Monte Carlo driver configured with a master seed and trial count.
@@ -81,39 +46,23 @@ class MonteCarlo
      */
     MonteCarlo(uint64_t seed, uint64_t trials);
 
-    /** Number of trials this engine runs. */
+    /** Number of trials this driver runs by default. */
     uint64_t trials() const { return trialCount; }
     /** The master seed. */
     uint64_t seed() const { return masterSeed; }
 
     /**
-     * Run @p metric once per trial and accumulate streaming statistics.
+     * Run @p metric once per trial under the execution policy in
+     * @p options (options.trials == 0 uses this driver's trial count).
+     * Per-trial samples are bit-identical at any thread count and
+     * chunk size; see engine::runTrials for the full contract.
      */
-    RunningStats
-    runStats(const std::function<double(Rng &)> &metric) const;
+    TrialReport run(const std::function<double(Rng &, uint64_t)> &metric,
+                    McRunOptions options = {}) const;
 
-    /**
-     * Run @p metric once per trial and keep every sample (for
-     * quantiles / histograms). Memory is O(trials).
-     */
-    std::vector<double>
-    runSamples(const std::function<double(Rng &)> &metric) const;
-
-    /**
-     * Multi-threaded runStats: constant memory at any trial count.
-     * Each worker accumulates a private RunningStats over its strided
-     * trials, then folds it into a SharedRunningStats under the lock.
-     * Count, extrema, and the quarantine tally are identical to the
-     * serial runStats; mean and variance agree up to floating-point
-     * reassociation (partials are merged in worker-id order, so the
-     * result is deterministic for a fixed thread count).
-     *
-     * @param metric Per-trial metric.
-     * @param threads Worker count (>= 1; 0 = hardware concurrency).
-     */
-    RunningStats
-    runStatsParallel(const std::function<double(Rng &)> &metric,
-                     unsigned threads = 0) const;
+    /** Convenience overload for index-oblivious metrics. */
+    TrialReport run(const std::function<double(Rng &)> &metric,
+                    McRunOptions options = {}) const;
 
     /**
      * Estimate P(event) with a Wilson 95 % interval.
@@ -121,39 +70,51 @@ class MonteCarlo
     ProportionInterval
     estimateProbability(const std::function<bool(Rng &)> &event) const;
 
+    // ------------------------------------------------------------------
+    // Deprecated overload family. Each is a thin wrapper over run();
+    // see the README migration table for the one-line replacements.
+    // ------------------------------------------------------------------
+
+    /** @deprecated Use run(metric, {.faults = Rethrow}).stats. */
+    [[deprecated("use run(metric, {.faults = FaultPolicy::Rethrow}).stats")]]
+    RunningStats
+    runStats(const std::function<double(Rng &)> &metric) const;
+
+    /** @deprecated Use run(metric, {.faults = Rethrow}).samples. */
+    [[deprecated(
+        "use run(metric, {.faults = FaultPolicy::Rethrow}).samples")]]
+    std::vector<double>
+    runSamples(const std::function<double(Rng &)> &metric) const;
+
     /**
-     * Multi-threaded runSamples. Because trial i's generator depends
-     * only on (seed, i), the result is bit-identical to the serial
-     * runSamples regardless of @p threads; the metric must be safe to
-     * call concurrently from multiple threads (pure functions of the
-     * Rng are).
-     *
-     * An exception thrown by the metric is captured on the worker via
-     * std::exception_ptr and rethrown on the calling thread after all
-     * workers join (the exception of the lowest-indexed throwing trial,
-     * for determinism) — it does not std::terminate the process.
-     *
-     * @param metric Per-trial metric.
-     * @param threads Worker count (>= 1; 0 = hardware concurrency).
+     * @deprecated Use
+     * run(metric, {.threads = N, .keepSamples = false,
+     *              .faults = Rethrow}).stats.
      */
+    [[deprecated("use run(metric, {.threads = N, .keepSamples = false, "
+                 ".faults = FaultPolicy::Rethrow}).stats")]]
+    RunningStats
+    runStatsParallel(const std::function<double(Rng &)> &metric,
+                     unsigned threads = 0) const;
+
+    /**
+     * @deprecated Use
+     * run(metric, {.threads = N, .faults = Rethrow}).samples.
+     */
+    [[deprecated("use run(metric, {.threads = N, "
+                 ".faults = FaultPolicy::Rethrow}).samples")]]
     std::vector<double>
     runSamplesParallel(const std::function<double(Rng &)> &metric,
                        unsigned threads = 0) const;
 
-    /**
-     * Fault-tolerant multi-threaded engine: like runSamplesParallel
-     * but throwing trials and non-finite samples are captured into a
-     * TrialReport instead of aborting the run. The metric receives the
-     * trial index alongside its Rng.
-     *
-     * @param metric Per-trial metric (rng, trial index).
-     * @param threads Worker count (>= 1; 0 = hardware concurrency).
-     */
+    /** @deprecated Use run(metric, {.threads = N}). */
+    [[deprecated("use run(metric, {.threads = N})")]]
     TrialReport
     runSamplesReport(const std::function<double(Rng &, uint64_t)> &metric,
                      unsigned threads = 0) const;
 
-    /** Convenience overload for index-oblivious metrics. */
+    /** @deprecated Use run(metric, {.threads = N}). */
+    [[deprecated("use run(metric, {.threads = N})")]]
     TrialReport
     runSamplesReport(const std::function<double(Rng &)> &metric,
                      unsigned threads = 0) const;
@@ -161,9 +122,6 @@ class MonteCarlo
   private:
     uint64_t masterSeed;
     uint64_t trialCount;
-
-    /** Clamp the requested worker count to [1, trials]. */
-    unsigned resolveThreads(unsigned threads) const;
 };
 
 } // namespace lemons::sim

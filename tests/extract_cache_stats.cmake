@@ -1,0 +1,74 @@
+# Extract the engine memo-cache statistics from BENCH_results.json
+# into a small standalone JSON artifact for the CI bench-smoke job.
+#
+# Scans every benchmark entry for cache metrics (cache_hits,
+# cache_misses, cache_hit_rate — emitted by the mc_engine.* group) plus
+# any sim.mc.cache.* counters, and fails if none are found: the engine
+# caches going silent in the bench run is a regression, not a no-op.
+#
+# Usage:
+#   cmake -DJSON=<BENCH_results.json> -DOUT=<ENGINE_cache_stats.json>
+#         -P extract_cache_stats.cmake
+
+if(NOT JSON OR NOT OUT)
+    message(FATAL_ERROR "extract_cache_stats.cmake needs JSON and OUT")
+endif()
+if(CMAKE_VERSION VERSION_LESS 3.19)
+    message(FATAL_ERROR "extract_cache_stats.cmake needs CMake >= 3.19 "
+                        "for string(JSON)")
+endif()
+
+file(READ "${JSON}" content)
+
+string(JSON count ERROR_VARIABLE err LENGTH "${content}" benchmarks)
+if(err)
+    message(FATAL_ERROR "missing benchmarks array in ${JSON}: ${err}")
+endif()
+
+set(result "{}")
+set(found 0)
+math(EXPR last "${count} - 1")
+foreach(i RANGE 0 ${last})
+    string(JSON name GET "${content}" benchmarks ${i} name)
+
+    # Per-benchmark cache metrics (hit/miss deltas measured in-bench).
+    string(JSON rate ERROR_VARIABLE rateErr
+           GET "${content}" benchmarks ${i} metrics cache_hit_rate)
+    if(NOT rateErr)
+        string(JSON hits GET "${content}" benchmarks ${i} metrics
+               cache_hits)
+        string(JSON misses GET "${content}" benchmarks ${i} metrics
+               cache_misses)
+        string(JSON result SET "${result}" "${name}"
+               "{\"cache_hits\": ${hits}, \"cache_misses\": ${misses}, \
+\"cache_hit_rate\": ${rate}}")
+        math(EXPR found "${found} + 1")
+        message(STATUS "${name}: hit_rate=${rate} "
+                       "(${hits} hits / ${misses} misses)")
+    endif()
+
+    # Run-wide sim.mc.cache.* counters recorded alongside the entry.
+    string(JSON ncounters ERROR_VARIABLE cntErr
+           LENGTH "${content}" benchmarks ${i} counters)
+    if(NOT cntErr AND ncounters GREATER 0)
+        math(EXPR lastCounter "${ncounters} - 1")
+        foreach(c RANGE 0 ${lastCounter})
+            string(JSON key MEMBER "${content}" benchmarks ${i}
+                   counters ${c})
+            if(key MATCHES "^sim\\.mc\\.cache\\.")
+                string(JSON value GET "${content}" benchmarks ${i}
+                       counters "${key}")
+                string(JSON result SET "${result}"
+                       "${name}:${key}" "${value}")
+            endif()
+        endforeach()
+    endif()
+endforeach()
+
+if(found EQUAL 0)
+    message(FATAL_ERROR "no cache_hit_rate metrics found in ${JSON}; "
+                        "the mc_engine cache benchmarks are missing")
+endif()
+
+file(WRITE "${OUT}" "${result}\n")
+message(STATUS "wrote ${found} cache-stat entr(y/ies) to ${OUT}")

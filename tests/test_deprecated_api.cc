@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Compatibility tests for the deprecated MonteCarlo overload family.
+ *
+ * runStats / runSamples / runStatsParallel / runSamplesParallel /
+ * runSamplesReport survive as [[deprecated]] wrappers over run(); this
+ * suite pins each wrapper to the behaviour of its replacement so the
+ * migration path stays safe until the wrappers are removed. This is
+ * the only translation unit allowed to call them, hence the pragma.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/monte_carlo.h"
+#include "util/rng.h"
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+namespace lemons::sim {
+namespace {
+
+double
+noisyMetric(Rng &rng)
+{
+    return std::sqrt(rng.nextDouble()) + 0.25 * rng.nextDouble();
+}
+
+TEST(DeprecatedApi, RunStatsMatchesRun)
+{
+    const MonteCarlo mc(42, 2000);
+    const RunningStats legacy = mc.runStats(noisyMetric);
+    const RunningStats current =
+        mc.run(noisyMetric, {.faults = FaultPolicy::Rethrow}).stats;
+    EXPECT_EQ(legacy.count(), current.count());
+    EXPECT_EQ(std::bit_cast<uint64_t>(legacy.mean()),
+              std::bit_cast<uint64_t>(current.mean()));
+    EXPECT_EQ(std::bit_cast<uint64_t>(legacy.variance()),
+              std::bit_cast<uint64_t>(current.variance()));
+}
+
+TEST(DeprecatedApi, RunSamplesMatchesRun)
+{
+    const MonteCarlo mc(7, 500);
+    const std::vector<double> legacy = mc.runSamples(noisyMetric);
+    const std::vector<double> current =
+        mc.run(noisyMetric, {.faults = FaultPolicy::Rethrow}).samples;
+    ASSERT_EQ(legacy.size(), current.size());
+    for (size_t i = 0; i < legacy.size(); ++i)
+        EXPECT_EQ(std::bit_cast<uint64_t>(legacy[i]),
+                  std::bit_cast<uint64_t>(current[i]));
+}
+
+TEST(DeprecatedApi, RunSamplesParallelBitIdenticalToSerial)
+{
+    const MonteCarlo mc(1337, 1001);
+    const std::vector<double> serial = mc.runSamples(noisyMetric);
+    for (unsigned threads : {1u, 2u, 8u}) {
+        const std::vector<double> parallel =
+            mc.runSamplesParallel(noisyMetric, threads);
+        ASSERT_EQ(parallel.size(), serial.size());
+        for (size_t i = 0; i < serial.size(); ++i)
+            ASSERT_EQ(parallel[i], serial[i])
+                << "threads=" << threads << " trial=" << i;
+    }
+}
+
+TEST(DeprecatedApi, RunStatsParallelMatchesSerialAggregates)
+{
+    const MonteCarlo mc(99, 5000);
+    const RunningStats serial = mc.runStats(noisyMetric);
+    const RunningStats parallel = mc.runStatsParallel(noisyMetric, 4);
+    EXPECT_EQ(parallel.count(), serial.count());
+    EXPECT_EQ(parallel.min(), serial.min());
+    EXPECT_EQ(parallel.max(), serial.max());
+    EXPECT_NEAR(parallel.mean(), serial.mean(), 1e-12);
+    EXPECT_NEAR(parallel.variance(), serial.variance(), 1e-12);
+}
+
+TEST(DeprecatedApi, RunSamplesParallelRethrows)
+{
+    const MonteCarlo mc(5, 64);
+    const auto metric = [](Rng &rng) -> double {
+        if (rng.nextDouble() > 0.9)
+            throw std::runtime_error("boom");
+        return 1.0;
+    };
+    EXPECT_THROW(static_cast<void>(mc.runSamplesParallel(metric, 2)),
+                 std::runtime_error);
+}
+
+TEST(DeprecatedApi, RunSamplesReportCapturesFailures)
+{
+    const MonteCarlo mc(11, 100);
+    const TrialReport report = mc.runSamplesReport(
+        [](Rng &rng, uint64_t trial) -> double {
+            if (trial == 19)
+                throw std::runtime_error("trial 19 down");
+            return rng.nextDouble();
+        },
+        3);
+    ASSERT_EQ(report.failedTrials.size(), 1u);
+    EXPECT_EQ(report.failedTrials[0], 19u);
+    EXPECT_EQ(report.firstError, "trial 19 down");
+    EXPECT_EQ(report.trials, 100u);
+    EXPECT_EQ(report.cleanTrials(), 99u);
+}
+
+TEST(DeprecatedApi, RunSamplesReportIndexObliviousOverload)
+{
+    const MonteCarlo mc(13, 64);
+    const TrialReport report = mc.runSamplesReport(
+        [](Rng &rng) { return rng.nextDouble(); }, 2);
+    EXPECT_TRUE(report.complete());
+    EXPECT_EQ(report.samples.size(), 64u);
+}
+
+} // namespace
+} // namespace lemons::sim
+
+#pragma GCC diagnostic pop

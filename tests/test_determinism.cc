@@ -6,8 +6,9 @@
  * parallel execution must be bit-identical to serial execution at any
  * worker count — including when trials throw or return non-finite
  * values. These tests pin that contract across 1, 2, and 8 workers
- * (more workers than this machine has cores, so oversubscription and
- * stride remainders are both exercised).
+ * (more workers than this machine has cores, so oversubscription is
+ * exercised) with a small explicit chunk size so every run spans many
+ * chunks.
  */
 
 #include <gtest/gtest.h>
@@ -29,6 +30,10 @@ namespace lemons::sim {
 namespace {
 
 constexpr unsigned kThreadCounts[] = {1, 2, 8};
+
+/** Small chunks: 501 trials split into 8 chunks, so multi-chunk
+ *  scheduling (including the odd-sized tail chunk) is exercised. */
+constexpr uint64_t kChunk = 64;
 
 /** A nontrivial metric: structure lifetime of a 40-of-60 parallel
  *  structure, consuming 60 Rng draws per trial. */
@@ -55,52 +60,78 @@ expectBitIdentical(const std::vector<double> &got,
             << "trial " << i;
 }
 
-TEST(Determinism, RunSamplesParallelBitIdenticalToSerial)
+TEST(Determinism, PooledSamplesBitIdenticalToSerial)
 {
-    const MonteCarlo engine(4242, 501); // odd count: stride remainders
-    const std::vector<double> serial = engine.runSamples(structureMetric);
+    const MonteCarlo engine(4242, 501); // odd count: tail-chunk remainder
+    const std::vector<double> serial =
+        engine.run(structureMetric, {.faults = FaultPolicy::Rethrow})
+            .samples;
     for (const unsigned threads : kThreadCounts) {
-        const std::vector<double> parallel =
-            engine.runSamplesParallel(structureMetric, threads);
-        expectBitIdentical(parallel, serial);
+        const std::vector<double> pooled =
+            engine
+                .run(structureMetric, {.threads = threads,
+                                       .chunkSize = kChunk,
+                                       .faults = FaultPolicy::Rethrow})
+                .samples;
+        expectBitIdentical(pooled, serial);
     }
 }
 
-TEST(Determinism, RunStatsParallelMatchesSerial)
+TEST(Determinism, StreamingStatsMatchSerialAtAnyThreadCount)
 {
     const MonteCarlo engine(4242, 501);
-    const RunningStats serial = engine.runStats(structureMetric);
+    const RunningStats serial =
+        engine.run(structureMetric, {.faults = FaultPolicy::Rethrow})
+            .stats;
     for (const unsigned threads : kThreadCounts) {
-        const RunningStats parallel =
-            engine.runStatsParallel(structureMetric, threads);
+        const RunningStats streamed =
+            engine
+                .run(structureMetric, {.threads = threads,
+                                       .chunkSize = kChunk,
+                                       .keepSamples = false,
+                                       .faults = FaultPolicy::Rethrow})
+                .stats;
         // Count and extrema are exact at any worker count; mean and
         // variance agree up to floating-point reassociation.
-        EXPECT_EQ(parallel.count(), serial.count());
-        EXPECT_EQ(std::bit_cast<uint64_t>(parallel.min()),
+        EXPECT_EQ(streamed.count(), serial.count());
+        EXPECT_EQ(std::bit_cast<uint64_t>(streamed.min()),
                   std::bit_cast<uint64_t>(serial.min()));
-        EXPECT_EQ(std::bit_cast<uint64_t>(parallel.max()),
+        EXPECT_EQ(std::bit_cast<uint64_t>(streamed.max()),
                   std::bit_cast<uint64_t>(serial.max()));
-        EXPECT_NEAR(parallel.mean(), serial.mean(),
+        EXPECT_NEAR(streamed.mean(), serial.mean(),
                     1e-9 * std::abs(serial.mean()));
-        EXPECT_NEAR(parallel.variance(), serial.variance(),
+        EXPECT_NEAR(streamed.variance(), serial.variance(),
                     1e-6 * serial.variance());
     }
 }
 
-TEST(Determinism, RunStatsParallelReproducibleAtFixedThreadCount)
+TEST(Determinism, StreamingStatsBitIdenticalAcrossThreadCounts)
 {
-    // For a fixed worker count the fold order is fixed, so even the
-    // reassociation-sensitive moments are bit-identical run to run.
+    // Chunk partials are merged in chunk order, which depends only on
+    // the chunk size — so even the reassociation-sensitive moments are
+    // bit-identical at ANY thread count (the old strided engine only
+    // promised this per fixed thread count).
     const MonteCarlo engine(9001, 300);
-    const RunningStats a = engine.runStatsParallel(structureMetric, 2);
-    const RunningStats b = engine.runStatsParallel(structureMetric, 2);
-    EXPECT_EQ(std::bit_cast<uint64_t>(a.mean()),
-              std::bit_cast<uint64_t>(b.mean()));
-    EXPECT_EQ(std::bit_cast<uint64_t>(a.variance()),
-              std::bit_cast<uint64_t>(b.variance()));
+    const McRunOptions base{.chunkSize = kChunk,
+                            .keepSamples = false,
+                            .faults = FaultPolicy::Rethrow};
+    McRunOptions two = base;
+    two.threads = 2;
+    const RunningStats a = engine.run(structureMetric, two).stats;
+    for (const unsigned threads : kThreadCounts) {
+        McRunOptions options = base;
+        options.threads = threads;
+        const RunningStats b = engine.run(structureMetric, options).stats;
+        EXPECT_EQ(std::bit_cast<uint64_t>(a.mean()),
+                  std::bit_cast<uint64_t>(b.mean()))
+            << threads;
+        EXPECT_EQ(std::bit_cast<uint64_t>(a.variance()),
+                  std::bit_cast<uint64_t>(b.variance()))
+            << threads;
+    }
 }
 
-TEST(Determinism, ThrowingTrialsRethrowLowestIndexAtAnyThreadCount)
+TEST(Determinism, CapturedFailuresAreThreadInvariant)
 {
     const MonteCarlo engine(7, 200);
     const auto metric = [](Rng &rng, uint64_t trial) -> double {
@@ -108,11 +139,9 @@ TEST(Determinism, ThrowingTrialsRethrowLowestIndexAtAnyThreadCount)
             throw std::runtime_error("trial " + std::to_string(trial));
         return rng.nextDouble();
     };
-    // runSamplesReport's index-aware metric also backs the throwing
-    // variant of runSamplesParallel via the same partitioning, so the
-    // TrialReport is the deterministic observable.
     for (const unsigned threads : kThreadCounts) {
-        const TrialReport report = engine.runSamplesReport(metric, threads);
+        const TrialReport report = engine.run(
+            metric, {.threads = threads, .chunkSize = kChunk});
         ASSERT_EQ(report.failedTrials.size(), 2u) << threads;
         EXPECT_EQ(report.failedTrials[0], 57u);
         EXPECT_EQ(report.failedTrials[1], 133u);
@@ -121,7 +150,7 @@ TEST(Determinism, ThrowingTrialsRethrowLowestIndexAtAnyThreadCount)
     }
 }
 
-TEST(Determinism, RunSamplesParallelThrowIsDeterministic)
+TEST(Determinism, RethrowPolicyThrowIsDeterministic)
 {
     const MonteCarlo engine(7, 128);
     const auto throwingMetric = [](Rng &rng) -> double {
@@ -134,8 +163,10 @@ TEST(Determinism, RunSamplesParallelThrowIsDeterministic)
     std::string firstMessage;
     for (const unsigned threads : kThreadCounts) {
         try {
-            static_cast<void>(
-                engine.runSamplesParallel(throwingMetric, threads));
+            static_cast<void>(engine.run(
+                throwingMetric, {.threads = threads,
+                                 .chunkSize = 16,
+                                 .faults = FaultPolicy::Rethrow}));
             FAIL() << "expected a rethrow at " << threads << " threads";
         } catch (const std::runtime_error &e) {
             if (firstMessage.empty())
@@ -159,11 +190,12 @@ TEST(Determinism, NonFiniteQuarantineIsThreadInvariant)
         return rng.nextDouble();
     };
 
-    const TrialReport serial = engine.runSamplesReport(metric, 1);
+    const TrialReport serial = engine.run(metric, {.threads = 1});
     EXPECT_FALSE(serial.complete());
     EXPECT_FALSE(serial.nonFiniteTrials.empty());
     for (const unsigned threads : kThreadCounts) {
-        const TrialReport report = engine.runSamplesReport(metric, threads);
+        const TrialReport report = engine.run(
+            metric, {.threads = threads, .chunkSize = kChunk});
         EXPECT_EQ(report.trials, serial.trials);
         EXPECT_EQ(report.failedTrials, serial.failedTrials);
         EXPECT_EQ(report.nonFiniteTrials, serial.nonFiniteTrials);
@@ -173,6 +205,32 @@ TEST(Determinism, NonFiniteQuarantineIsThreadInvariant)
                   std::bit_cast<uint64_t>(serial.stats.min()));
         EXPECT_EQ(std::bit_cast<uint64_t>(report.stats.max()),
                   std::bit_cast<uint64_t>(serial.stats.max()));
+        expectBitIdentical(report.samples, serial.samples);
+    }
+}
+
+TEST(Determinism, EarlyStopPointIsThreadInvariant)
+{
+    // Early stopping is decided at wave boundaries from chunk-ordered
+    // streaming statistics, so the stopped trial count and the kept
+    // samples are identical at any thread count.
+    const MonteCarlo engine(21, 100000);
+    const McRunOptions base{
+        .chunkSize = 128,
+        .faults = FaultPolicy::Rethrow,
+        .earlyStop = EarlyStop{.relHalfWidth = 0.02,
+                               .minTrials = 512,
+                               .checkEveryChunks = 4}};
+    McRunOptions serialOptions = base;
+    const TrialReport serial = engine.run(structureMetric, serialOptions);
+    EXPECT_TRUE(serial.stoppedEarly);
+    EXPECT_LT(serial.trials, serial.requestedTrials);
+    for (const unsigned threads : kThreadCounts) {
+        McRunOptions options = base;
+        options.threads = threads;
+        const TrialReport report = engine.run(structureMetric, options);
+        EXPECT_EQ(report.trials, serial.trials) << threads;
+        EXPECT_EQ(report.stoppedEarly, serial.stoppedEarly) << threads;
         expectBitIdentical(report.samples, serial.samples);
     }
 }

@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Unit tests for the lemons::engine execution substrate: the
+ * persistent thread pool (no thread creation after warmup), the
+ * memoized survival-function caches (bit-equal to the uncached
+ * evaluators), the batched trial kernels (bit-equal to the per-device
+ * sampling path), and the chunked runTrials driver (chunk-size
+ * invariance, early-stop prefix identity, streaming/keepSamples
+ * agreement).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "arch/structures.h"
+#include "arch/structures_sim.h"
+#include "engine/batch.h"
+#include "engine/cache.h"
+#include "engine/engine.h"
+#include "engine/thread_pool.h"
+#include "obs/metrics.h"
+#include "util/rng.h"
+#include "wearout/weibull.h"
+
+namespace lemons::engine {
+namespace {
+
+double
+uniformMetric(Rng &rng, uint64_t)
+{
+    return rng.nextDouble();
+}
+
+TEST(ThreadPool, NoThreadCreationAfterWarmup)
+{
+    ThreadPool &pool = ThreadPool::global();
+    obs::Counter &created =
+        obs::Registry::global().counter("sim.mc.pool.threads_created");
+
+    // Warmup: force the pool to the worker count the rest of the test
+    // needs.
+    pool.parallelFor(64, 8, [](uint64_t) {});
+    EXPECT_GE(pool.workerCount(), 7u);
+
+    const uint64_t createdAfterWarmup = created.get();
+    for (int round = 0; round < 50; ++round)
+        pool.parallelFor(32, 8, [](uint64_t) {});
+    const McRunOptions options{
+        .trials = 500, .threads = 8, .chunkSize = 16};
+    static_cast<void>(runTrials(1, options, uniformMetric));
+    EXPECT_EQ(created.get(), createdAfterWarmup)
+        << "pooled execution must reuse warm workers";
+}
+
+TEST(ThreadPool, InlineRunsForSingleParallelism)
+{
+    obs::Counter &created =
+        obs::Registry::global().counter("sim.mc.pool.threads_created");
+    obs::Counter &inlineRuns =
+        obs::Registry::global().counter("sim.mc.pool.inline_runs");
+    const uint64_t createdBefore = created.get();
+    const uint64_t inlineBefore = inlineRuns.get();
+    uint64_t sum = 0;
+    ThreadPool::global().parallelFor(100, 1,
+                                     [&sum](uint64_t i) { sum += i; });
+    EXPECT_EQ(sum, 4950u);
+    EXPECT_EQ(created.get(), createdBefore);
+    EXPECT_EQ(inlineRuns.get(), inlineBefore + 1);
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce)
+{
+    std::vector<std::atomic<uint32_t>> touched(1000);
+    ThreadPool::global().parallelFor(
+        touched.size(), 8, [&touched](uint64_t i) {
+            touched[i].fetch_add(1, std::memory_order_relaxed);
+        });
+    for (size_t i = 0; i < touched.size(); ++i)
+        EXPECT_EQ(touched[i].load(), 1u) << "index " << i;
+}
+
+TEST(Cache, WeibullLogSurvivalBitEqualToUncached)
+{
+    const wearout::Weibull model(14.0, 8.0);
+    for (double x : {0.5, 1.0, 7.3, 14.0, 25.0}) {
+        const double want = model.logReliability(x);
+        // First call misses, second hits; both must be bit-equal to
+        // the direct evaluation.
+        const double miss = cachedWeibullLogSurvival(14.0, 8.0, x);
+        const double hit = cachedWeibullLogSurvival(14.0, 8.0, x);
+        EXPECT_EQ(std::bit_cast<uint64_t>(miss),
+                  std::bit_cast<uint64_t>(want));
+        EXPECT_EQ(std::bit_cast<uint64_t>(hit),
+                  std::bit_cast<uint64_t>(want));
+    }
+}
+
+TEST(Cache, QuantileBitEqualToUncached)
+{
+    const wearout::Weibull model(9.3, 12.0);
+    for (double p : {0.001, 0.25, 0.5, 0.99}) {
+        const double want = model.quantile(p);
+        EXPECT_EQ(std::bit_cast<uint64_t>(
+                      cachedWeibullQuantile(9.3, 12.0, p)),
+                  std::bit_cast<uint64_t>(want));
+        EXPECT_EQ(std::bit_cast<uint64_t>(
+                      cachedWeibullQuantile(9.3, 12.0, p)),
+                  std::bit_cast<uint64_t>(want));
+    }
+}
+
+TEST(Cache, ParallelStructureBitEqualToArchLayer)
+{
+    const wearout::Weibull device(14.0, 8.0);
+    const struct
+    {
+        uint64_t n, k;
+    } points[] = {{40, 1}, {60, 30}, {175, 18}};
+    for (const auto &point : points) {
+        const arch::ParallelStructure structure(device, point.n, point.k);
+        for (uint64_t t = 1; t <= 30; ++t) {
+            const auto x = static_cast<double>(t);
+            EXPECT_EQ(std::bit_cast<uint64_t>(cachedParallelLogReliability(
+                          14.0, 8.0, point.n, point.k, x)),
+                      std::bit_cast<uint64_t>(structure.logReliabilityAt(x)))
+                << "n=" << point.n << " k=" << point.k << " t=" << t;
+            EXPECT_EQ(std::bit_cast<uint64_t>(cachedParallelReliability(
+                          14.0, 8.0, point.n, point.k, x)),
+                      std::bit_cast<uint64_t>(structure.reliabilityAt(x)));
+            EXPECT_EQ(std::bit_cast<uint64_t>(cachedParallelLogFailure(
+                          14.0, 8.0, point.n, point.k, x)),
+                      std::bit_cast<uint64_t>(structure.logFailureAt(x)));
+        }
+    }
+}
+
+TEST(Cache, RejectsInvalidThreshold)
+{
+    EXPECT_THROW(cachedParallelLogReliability(14.0, 8.0, 4, 5, 1.0),
+                 std::invalid_argument);
+    EXPECT_THROW(cachedParallelLogFailure(14.0, 8.0, 4, 0, 1.0),
+                 std::invalid_argument);
+}
+
+TEST(BatchKernel, ParallelSurvivalBitEqualToPerDevicePath)
+{
+    // The u-select kernel must consume the same uniform stream and
+    // return the same order statistic as per-device sampling.
+    const wearout::Weibull model(14.0, 8.0);
+    const struct
+    {
+        size_t n, k;
+    } points[] = {{1, 1}, {40, 1}, {60, 30}, {175, 18}, {175, 175}};
+    for (const auto &point : points) {
+        Rng kernelRng(9000);
+        Rng referenceRng(9000);
+        const arch::LifetimeSampler sampler = [&model](Rng &r) {
+            return model.sample(r);
+        };
+        for (int trial = 0; trial < 50; ++trial) {
+            const uint64_t got = sampleParallelBankSurvival(
+                model, point.n, point.k, kernelRng);
+            const uint64_t want = arch::sampleParallelSurvivedAccesses(
+                sampler, point.n, point.k, referenceRng);
+            ASSERT_EQ(got, want) << "n=" << point.n << " k=" << point.k
+                                 << " trial=" << trial;
+        }
+    }
+}
+
+TEST(BatchKernel, SeriesSurvivalBitEqualToMinLoop)
+{
+    const wearout::Weibull model(10.0, 6.0);
+    Rng kernelRng(77);
+    Rng referenceRng(77);
+    for (int trial = 0; trial < 200; ++trial) {
+        const uint64_t got = sampleSeriesBankSurvival(model, 12, kernelRng);
+        double minLifetime = std::numeric_limits<double>::infinity();
+        for (int i = 0; i < 12; ++i)
+            minLifetime = std::min(minLifetime, model.sample(referenceRng));
+        EXPECT_EQ(got, floorToAccesses(minLifetime)) << trial;
+    }
+}
+
+TEST(BatchKernel, ManyFillsInTrialOrder)
+{
+    const wearout::Weibull model(14.0, 8.0);
+    Rng batchRng(5);
+    Rng loopRng(5);
+    uint64_t batch[32];
+    sampleParallelBankSurvivalMany(model, 20, 3, batchRng, batch, 32);
+    for (uint64_t &value : batch) {
+        const uint64_t want =
+            sampleParallelBankSurvival(model, 20, 3, loopRng);
+        EXPECT_EQ(value, want);
+        static_cast<void>(value);
+    }
+}
+
+TEST(RunTrials, ChunkSizeDoesNotChangeSamples)
+{
+    const auto metric = [](Rng &rng, uint64_t) {
+        double acc = 0.0;
+        for (int i = 0; i < 4; ++i)
+            acc += rng.nextDouble();
+        return acc;
+    };
+    const McRunOptions reference{.trials = 333};
+    const std::vector<double> want =
+        runTrials(1234, reference, metric).samples;
+    for (uint64_t chunk : {uint64_t{1}, uint64_t{7}, uint64_t{64},
+                           uint64_t{4096}}) {
+        const McRunOptions options{
+            .trials = 333, .threads = 4, .chunkSize = chunk};
+        const std::vector<double> got =
+            runTrials(1234, options, metric).samples;
+        ASSERT_EQ(got.size(), want.size()) << "chunk=" << chunk;
+        for (size_t i = 0; i < want.size(); ++i)
+            ASSERT_EQ(std::bit_cast<uint64_t>(got[i]),
+                      std::bit_cast<uint64_t>(want[i]))
+                << "chunk=" << chunk << " trial=" << i;
+    }
+}
+
+TEST(RunTrials, EarlyStopReturnsExactPrefixOfFullRun)
+{
+    const McRunOptions fullOptions{.trials = 50000};
+    const std::vector<double> full =
+        runTrials(99, fullOptions, uniformMetric).samples;
+
+    const McRunOptions stopped{
+        .trials = 50000,
+        .chunkSize = 128,
+        .earlyStop = EarlyStop{.relHalfWidth = 0.05,
+                               .minTrials = 256,
+                               .checkEveryChunks = 2}};
+    const TrialReport report = runTrials(99, stopped, uniformMetric);
+    ASSERT_TRUE(report.stoppedEarly);
+    ASSERT_LT(report.trials, report.requestedTrials);
+    // The stop point is a wave boundary.
+    EXPECT_EQ(report.trials % (128 * 2), 0u);
+    ASSERT_EQ(report.samples.size(), report.trials);
+    for (size_t i = 0; i < report.samples.size(); ++i)
+        ASSERT_EQ(std::bit_cast<uint64_t>(report.samples[i]),
+                  std::bit_cast<uint64_t>(full[i]))
+            << "trial " << i;
+}
+
+TEST(RunTrials, EarlyStopDisabledRunsEveryTrial)
+{
+    const McRunOptions options{.trials = 5000, .threads = 4};
+    const TrialReport report = runTrials(7, options, uniformMetric);
+    EXPECT_FALSE(report.stoppedEarly);
+    EXPECT_EQ(report.trials, 5000u);
+    EXPECT_EQ(report.requestedTrials, 5000u);
+    EXPECT_EQ(report.samples.size(), 5000u);
+}
+
+TEST(RunTrials, StreamingAgreesWithKeptSamples)
+{
+    const McRunOptions kept{.trials = 4001, .threads = 4, .chunkSize = 64};
+    McRunOptions streaming = kept;
+    streaming.keepSamples = false;
+    const TrialReport a = runTrials(31, kept, uniformMetric);
+    const TrialReport b = runTrials(31, streaming, uniformMetric);
+    EXPECT_TRUE(b.samples.empty());
+    EXPECT_EQ(a.stats.count(), b.stats.count());
+    EXPECT_EQ(a.stats.min(), b.stats.min());
+    EXPECT_EQ(a.stats.max(), b.stats.max());
+    EXPECT_NEAR(a.stats.mean(), b.stats.mean(),
+                1e-12 * std::abs(a.stats.mean()));
+    EXPECT_NEAR(a.stats.variance(), b.stats.variance(),
+                1e-9 * a.stats.variance());
+}
+
+TEST(RunTrials, RejectsZeroTrials)
+{
+    EXPECT_THROW(
+        static_cast<void>(runTrials(1, McRunOptions{}, uniformMetric)),
+        std::invalid_argument);
+}
+
+TEST(RunTrials, CacheHitCountersAdvance)
+{
+    obs::Registry &registry = obs::Registry::global();
+    obs::Counter &hits =
+        registry.counter("sim.mc.cache.weibull_log_survival.hits");
+    const uint64_t before = hits.get();
+    // Two sweeps over the same keys: the second is all hits.
+    for (int sweep = 0; sweep < 2; ++sweep)
+        for (uint64_t t = 1; t <= 64; ++t)
+            static_cast<void>(cachedWeibullLogSurvival(
+                123.5, 7.5, static_cast<double>(t)));
+    EXPECT_GE(hits.get() - before, 64u);
+}
+
+} // namespace
+} // namespace lemons::engine

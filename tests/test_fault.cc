@@ -397,18 +397,18 @@ TEST(Health, TargetingAndMWayExposeGateHealth)
 }
 
 // Acceptance (c): a metric throwing on one trial of the parallel
-// engine must not std::terminate; runSamplesReport names the trial and
-// completes the run, runSamplesParallel rethrows on the caller.
+// engine must not std::terminate; the capture policy names the trial
+// and completes the run, the rethrow policy rethrows on the caller.
 TEST(TrialReport, NamesThrowingTrialAndCompletesRun)
 {
     const sim::MonteCarlo mc(2024, 100);
-    const auto report = mc.runSamplesReport(
+    const auto report = mc.run(
         [](Rng &rng, uint64_t trial) {
             if (trial == 37)
                 throw std::runtime_error("deliberate failure in trial 37");
             return rng.nextDouble();
         },
-        /*threads=*/4);
+        {.threads = 4, .chunkSize = 16});
 
     ASSERT_EQ(report.failedTrials.size(), 1u);
     EXPECT_EQ(report.failedTrials[0], 37u);
@@ -424,7 +424,7 @@ TEST(TrialReport, NamesThrowingTrialAndCompletesRun)
 TEST(TrialReport, QuarantinesNonFiniteSamples)
 {
     const sim::MonteCarlo mc(7, 50);
-    const auto report = mc.runSamplesReport(
+    const auto report = mc.run(
         [](Rng &, uint64_t trial) {
             if (trial == 5)
                 return std::numeric_limits<double>::infinity();
@@ -432,7 +432,7 @@ TEST(TrialReport, QuarantinesNonFiniteSamples)
                 return std::numeric_limits<double>::quiet_NaN();
             return 1.0;
         },
-        /*threads=*/3);
+        {.threads = 3, .chunkSize = 16});
 
     ASSERT_EQ(report.nonFiniteTrials.size(), 2u);
     EXPECT_EQ(report.nonFiniteTrials[0], 5u);
@@ -444,12 +444,16 @@ TEST(TrialReport, QuarantinesNonFiniteSamples)
     EXPECT_DOUBLE_EQ(report.stats.mean(), 1.0);
 }
 
-TEST(TrialReport, CleanRunMatchesRunSamplesParallel)
+TEST(TrialReport, CleanRunMatchesRethrowPolicySamples)
 {
     const sim::MonteCarlo mc(31337, 64);
     const auto metric = [](Rng &rng) { return rng.nextDouble(); };
-    const auto samples = mc.runSamplesParallel(metric, 2);
-    const auto report = mc.runSamplesReport(metric, 5);
+    const auto samples =
+        mc.run(metric, {.threads = 2,
+                        .chunkSize = 16,
+                        .faults = sim::FaultPolicy::Rethrow})
+            .samples;
+    const auto report = mc.run(metric, {.threads = 5, .chunkSize = 8});
     EXPECT_TRUE(report.complete());
     EXPECT_TRUE(report.firstError.empty());
     ASSERT_EQ(report.samples.size(), samples.size());
@@ -457,7 +461,7 @@ TEST(TrialReport, CleanRunMatchesRunSamplesParallel)
         EXPECT_EQ(report.samples[i], samples[i]); // bit-identical
 }
 
-TEST(RunSamplesParallel, RethrowsOnCallerInsteadOfTerminating)
+TEST(RethrowPolicy, RethrowsOnCallerInsteadOfTerminating)
 {
     const sim::MonteCarlo mc(1, 32);
     uint64_t calls = 0;
@@ -468,7 +472,9 @@ TEST(RunSamplesParallel, RethrowsOnCallerInsteadOfTerminating)
         return rng.nextDouble();
     };
     try {
-        mc.runSamplesParallel(metric, /*threads=*/1);
+        static_cast<void>(mc.run(
+            metric,
+            {.threads = 1, .faults = sim::FaultPolicy::Rethrow}));
         FAIL() << "expected the metric's exception to propagate";
     } catch (const std::runtime_error &e) {
         EXPECT_STREQ(e.what(), "worker-thread failure");

@@ -1,11 +1,11 @@
 /**
  * @file
  * Concurrency stress tests for the parallel Monte Carlo paths. These
- * are the tests the TSan CI job leans on: they hammer
- * runSamplesParallel / runStatsParallel / runSamplesReport and the
- * SharedRunningStats accumulator with more workers than cores so any
- * data race in the reduction or error-capture plumbing has a real
- * chance to interleave.
+ * are the tests the TSan CI job leans on: they hammer the pooled
+ * engine run() path (sample-keeping, streaming, and fault-capturing
+ * configurations) and the SharedRunningStats accumulator with more
+ * workers than cores so any data race in the reduction or
+ * error-capture plumbing has a real chance to interleave.
  */
 
 #include <gtest/gtest.h>
@@ -39,10 +39,14 @@ noisyMetric(Rng &rng)
 TEST(ParallelStress, SamplesMatchSerialBitForBit)
 {
     const sim::MonteCarlo mc(kSeed, 20'000);
-    const std::vector<double> serial = mc.runSamples(noisyMetric);
+    const std::vector<double> serial =
+        mc.run(noisyMetric, {.faults = sim::FaultPolicy::Rethrow})
+            .samples;
     for (int repeat = 0; repeat < 3; ++repeat) {
         const std::vector<double> parallel =
-            mc.runSamplesParallel(noisyMetric, kThreads);
+            mc.run(noisyMetric, {.threads = kThreads,
+                                 .faults = sim::FaultPolicy::Rethrow})
+                .samples;
         ASSERT_EQ(parallel.size(), serial.size());
         for (size_t i = 0; i < serial.size(); ++i)
             ASSERT_EQ(parallel[i], serial[i]) << "trial " << i;
@@ -52,9 +56,13 @@ TEST(ParallelStress, SamplesMatchSerialBitForBit)
 TEST(ParallelStress, StatsMatchSerialAggregates)
 {
     const sim::MonteCarlo mc(kSeed, 50'000);
-    const RunningStats serial = mc.runStats(noisyMetric);
+    const RunningStats serial =
+        mc.run(noisyMetric, {.faults = sim::FaultPolicy::Rethrow}).stats;
     const RunningStats parallel =
-        mc.runStatsParallel(noisyMetric, kThreads);
+        mc.run(noisyMetric, {.threads = kThreads,
+                             .keepSamples = false,
+                             .faults = sim::FaultPolicy::Rethrow})
+            .stats;
     EXPECT_EQ(parallel.count(), serial.count());
     EXPECT_EQ(parallel.nonFiniteCount(), serial.nonFiniteCount());
     EXPECT_EQ(parallel.min(), serial.min());
@@ -66,10 +74,13 @@ TEST(ParallelStress, StatsMatchSerialAggregates)
 TEST(ParallelStress, StatsAreDeterministicPerThreadCount)
 {
     const sim::MonteCarlo mc(kSeed, 10'000);
-    const RunningStats first = mc.runStatsParallel(noisyMetric, kThreads);
+    const sim::McRunOptions streaming{
+        .threads = kThreads,
+        .keepSamples = false,
+        .faults = sim::FaultPolicy::Rethrow};
+    const RunningStats first = mc.run(noisyMetric, streaming).stats;
     for (int repeat = 0; repeat < 5; ++repeat) {
-        const RunningStats again =
-            mc.runStatsParallel(noisyMetric, kThreads);
+        const RunningStats again = mc.run(noisyMetric, streaming).stats;
         EXPECT_EQ(again.count(), first.count());
         EXPECT_EQ(again.mean(), first.mean());
         EXPECT_EQ(again.variance(), first.variance());
@@ -83,8 +94,13 @@ TEST(ParallelStress, StatsQuarantineNonFinite)
         const double u = rng.nextDouble();
         return u < 0.01 ? std::nan("") : u;
     };
-    const RunningStats serial = mc.runStats(metric);
-    const RunningStats parallel = mc.runStatsParallel(metric, kThreads);
+    const RunningStats serial =
+        mc.run(metric, {.faults = sim::FaultPolicy::Rethrow}).stats;
+    const RunningStats parallel =
+        mc.run(metric, {.threads = kThreads,
+                        .keepSamples = false,
+                        .faults = sim::FaultPolicy::Rethrow})
+            .stats;
     EXPECT_GT(serial.nonFiniteCount(), 0u);
     EXPECT_EQ(parallel.nonFiniteCount(), serial.nonFiniteCount());
     EXPECT_EQ(parallel.count(), serial.count());
@@ -101,18 +117,21 @@ TEST(ParallelStress, LowestThrowingTrialWinsDeterministically)
     };
     std::string firstMessage;
     try {
-        mc.runSamplesParallel(metric, kThreads);
+        static_cast<void>(
+            mc.run(metric, {.threads = kThreads,
+                            .faults = sim::FaultPolicy::Rethrow}));
         FAIL() << "expected the poisoned trial to rethrow";
     } catch (const std::runtime_error &e) {
         firstMessage = e.what();
     }
     EXPECT_EQ(firstMessage, "poisoned trial");
-    // The report path must agree on which trial failed first.
-    const sim::TrialReport report = mc.runSamplesReport(
-        [&](Rng &rng) { return metric(rng); }, kThreads);
+    // The capture path must agree on which trial failed first.
+    const sim::TrialReport report =
+        mc.run([&](Rng &rng) { return metric(rng); },
+               {.threads = kThreads});
     ASSERT_FALSE(report.failedTrials.empty());
-    const sim::TrialReport serialReport = mc.runSamplesReport(
-        [&](Rng &rng) { return metric(rng); }, 1);
+    const sim::TrialReport serialReport = mc.run(
+        [&](Rng &rng) { return metric(rng); }, {.threads = 1});
     EXPECT_EQ(report.failedTrials, serialReport.failedTrials);
     EXPECT_EQ(report.firstError, serialReport.firstError);
 }
@@ -130,7 +149,7 @@ TEST(ParallelStress, ReportStressRun)
     };
     for (int repeat = 0; repeat < 3; ++repeat) {
         const sim::TrialReport report =
-            mc.runSamplesReport(metric, kThreads);
+            mc.run(metric, {.threads = kThreads});
         EXPECT_EQ(report.trials, mc.trials());
         EXPECT_FALSE(report.complete());
         EXPECT_EQ(report.firstError, "periodic failure");

@@ -199,10 +199,12 @@ TEST(RegressionFigures, MonteCarloStructureLifetimeGolden)
         return device.sample(rng);
     };
     const sim::MonteCarlo mc(42, 1000);
-    const RunningStats stats = mc.runStats([&](Rng &rng) {
-        return static_cast<double>(
-            arch::sampleParallelSurvivedAccesses(sampler, 175, 18, rng));
-    });
+    const RunningStats stats =
+        mc.run([&](Rng &rng) {
+              return static_cast<double>(
+                  arch::sampleParallelSurvivedAccesses(sampler, 175, 18,
+                                                       rng));
+          }).stats;
     EXPECT_EQ(stats.count(), 1000u);
     EXPECT_NEAR(stats.mean(), 15.003, 1e-9);
     EXPECT_DOUBLE_EQ(stats.min(), 14.0);

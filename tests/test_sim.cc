@@ -23,8 +23,8 @@ TEST(MonteCarlo, DeterministicAcrossRuns)
 {
     const MonteCarlo engine(42, 1000);
     const auto metric = [](Rng &rng) { return rng.nextDouble(); };
-    const auto a = engine.runStats(metric);
-    const auto b = engine.runStats(metric);
+    const auto a = engine.run(metric).stats;
+    const auto b = engine.run(metric).stats;
     EXPECT_EQ(a.mean(), b.mean());
     EXPECT_EQ(a.min(), b.min());
     EXPECT_EQ(a.max(), b.max());
@@ -33,8 +33,8 @@ TEST(MonteCarlo, DeterministicAcrossRuns)
 TEST(MonteCarlo, DifferentSeedsDiffer)
 {
     const auto metric = [](Rng &rng) { return rng.nextDouble(); };
-    const auto a = MonteCarlo(1, 1000).runStats(metric);
-    const auto b = MonteCarlo(2, 1000).runStats(metric);
+    const auto a = MonteCarlo(1, 1000).run(metric).stats;
+    const auto b = MonteCarlo(2, 1000).run(metric).stats;
     EXPECT_NE(a.mean(), b.mean());
 }
 
@@ -42,16 +42,17 @@ TEST(MonteCarlo, TrialsAreIndependentOfEachOther)
 {
     // Trial i's value must not depend on how many trials run.
     const auto metric = [](Rng &rng) { return rng.nextDouble(); };
-    const auto small = MonteCarlo(7, 10).runSamples(metric);
-    const auto large = MonteCarlo(7, 100).runSamples(metric);
+    const auto small = MonteCarlo(7, 10).run(metric).samples;
+    const auto large = MonteCarlo(7, 100).run(metric).samples;
     for (size_t i = 0; i < small.size(); ++i)
         EXPECT_EQ(small[i], large[i]) << "trial " << i;
 }
 
 TEST(MonteCarlo, UniformMeanIsHalf)
 {
-    const auto stats = MonteCarlo(3, 100000).runStats(
-        [](Rng &rng) { return rng.nextDouble(); });
+    const auto stats = MonteCarlo(3, 100000)
+                           .run([](Rng &rng) { return rng.nextDouble(); })
+                           .stats;
     EXPECT_NEAR(stats.mean(), 0.5, 0.01);
     EXPECT_NEAR(stats.variance(), 1.0 / 12.0, 0.005);
 }
@@ -68,7 +69,7 @@ TEST(MonteCarlo, ProbabilityEstimateWithInterval)
 TEST(MonteCarlo, SamplesSizeMatchesTrials)
 {
     const auto samples =
-        MonteCarlo(9, 123).runSamples([](Rng &) { return 1.0; });
+        MonteCarlo(9, 123).run([](Rng &) { return 1.0; }).samples;
     EXPECT_EQ(samples.size(), 123u);
 }
 
@@ -81,9 +82,10 @@ TEST(MonteCarlo, ParallelSamplesAreBitIdenticalToSerial)
             acc += rng.nextDouble();
         return acc;
     };
-    const auto serial = engine.runSamples(metric);
+    const auto serial = engine.run(metric).samples;
     for (unsigned threads : {1u, 2u, 3u, 8u}) {
-        const auto parallel = engine.runSamplesParallel(metric, threads);
+        const auto parallel =
+            engine.run(metric, {.threads = threads}).samples;
         ASSERT_EQ(parallel.size(), serial.size());
         for (size_t i = 0; i < serial.size(); ++i)
             ASSERT_EQ(parallel[i], serial[i])
@@ -94,8 +96,10 @@ TEST(MonteCarlo, ParallelSamplesAreBitIdenticalToSerial)
 TEST(MonteCarlo, ParallelWithMoreThreadsThanTrials)
 {
     const MonteCarlo engine(78, 3);
-    const auto samples = engine.runSamplesParallel(
-        [](Rng &rng) { return rng.nextDouble(); }, 16);
+    const auto samples =
+        engine.run([](Rng &rng) { return rng.nextDouble(); },
+                   {.threads = 16})
+            .samples;
     EXPECT_EQ(samples.size(), 3u);
 }
 

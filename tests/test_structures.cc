@@ -216,14 +216,20 @@ TEST(StructuresSim, SerialCopiesSumPerCopyLifetimes)
 {
     const DeviceFactory factory({10.0, 8.0}, ProcessVariation::none());
     const sim::MonteCarlo engine(31, 5000);
-    const auto stats = engine.runStats([&](Rng &rng) {
-        return static_cast<double>(
-            sampleSerialCopiesTotalAccesses(factory, 10, 1, 8, rng));
-    });
-    const auto perCopy = engine.runStats([&](Rng &rng) {
-        return static_cast<double>(
-            sampleParallelSurvivedAccesses(factory, 10, 1, rng));
-    });
+    const auto stats = engine
+                           .run([&](Rng &rng) {
+                               return static_cast<double>(
+                                   sampleSerialCopiesTotalAccesses(
+                                       factory, 10, 1, 8, rng));
+                           })
+                           .stats;
+    const auto perCopy = engine
+                             .run([&](Rng &rng) {
+                                 return static_cast<double>(
+                                     sampleParallelSurvivedAccesses(
+                                         factory, 10, 1, rng));
+                             })
+                             .stats;
     EXPECT_NEAR(stats.mean(), 8.0 * perCopy.mean(),
                 0.05 * stats.mean());
 }
