@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Fleet-campaign benchmarks: end-to-end cohort simulation throughput
+ * plus the checkpoint codec and atomic-write costs that bound how
+ * cheap a crash-safe checkpoint interval can be. The checkpoint.*
+ * group separates pure encode/decode (CPU) from writeCheckpointAtomic
+ * (fsync-dominated), so BENCH_results.json shows which one a slow
+ * campaign should tune first.
+ */
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include "bench/harness.h"
+#include "fleet/campaign.h"
+#include "fleet/checkpoint.h"
+#include "lint/rules.h"
+#include "util/stats.h"
+
+using namespace lemons;
+using lemons::bench::BenchContext;
+
+namespace {
+
+/** Two-cohort fielded-scale spec sized for a benchmark iteration. */
+lint::FleetSpec
+benchSpec(uint64_t devices)
+{
+    lint::FleetSpec spec;
+    spec.devices = devices;
+    spec.seed = 7;
+    spec.chunkSize = 64;
+    spec.checkpointEveryChunks = 2;
+    spec.horizonDays = 730;
+    spec.prematureDays = 180;
+
+    lint::FleetCohortSpec retail;
+    retail.name = "retail";
+    retail.weight = 0.7;
+    retail.staggerDays = 90.0;
+    retail.accessBound = 91250;
+    retail.usage.meanPerDay = 50.0;
+    retail.usage.burstProbability = 0.05;
+    retail.usage.burstMultiplier = 3.0;
+    retail.lifetime.infantFraction = 0.02;
+    retail.lifetime.infant = {9000.0, 0.8};
+    retail.lifetime.main = {150000.0, 12.0};
+
+    lint::FleetCohortSpec secondhand;
+    secondhand.name = "secondhand";
+    secondhand.weight = 0.3;
+    secondhand.staggerDays = 30.0;
+    secondhand.accessBound = 91250;
+    secondhand.usage.meanPerDay = 40.0;
+    secondhand.lifetime.infantFraction = 0.05;
+    secondhand.lifetime.infant = {9000.0, 0.8};
+    secondhand.lifetime.main = {150000.0, 12.0};
+    secondhand.reprovisionDay = 365.0;
+    secondhand.reprovisionUsageScale = 1.5;
+
+    spec.cohorts = {retail, secondhand};
+    return spec;
+}
+
+/** A checkpoint shaped like a mid-campaign write (cursor + cohorts). */
+fleet::FleetCheckpoint
+sampleCheckpoint()
+{
+    RunningStats stats;
+    Rng rng(11);
+    for (int i = 0; i < 4096; ++i)
+        stats.add(rng.nextDouble() * 1825.0);
+
+    fleet::FleetCheckpoint checkpoint;
+    checkpoint.configFingerprint = 0x1234567890abcdefULL;
+    for (int c = 0; c < 2; ++c) {
+        fleet::CohortRecord record;
+        record.name = c == 0 ? "retail" : "secondhand";
+        record.devices = 3000;
+        record.serviceDays = stats.state();
+        record.replaced = 1200;
+        record.premature = 37;
+        record.reprovisioned = 450;
+        checkpoint.completed.push_back(record);
+    }
+    checkpoint.hasCursor = true;
+    checkpoint.cursor = {.seed = 99,
+                         .requestedTrials = 4200,
+                         .chunkSize = 64,
+                         .executedChunks = 32,
+                         .streaming = stats.state(),
+                         .failures = {},
+                         .nonFiniteTrials = {}};
+    checkpoint.partialReplaced = 800;
+    checkpoint.partialPremature = 21;
+    checkpoint.partialReprovisioned = 300;
+    return checkpoint;
+}
+
+} // namespace
+
+LEMONS_BENCH(fleetCampaignRun, "fleet.campaign_run")
+{
+    // Whole two-cohort campaign through the batched engine, no
+    // checkpointing: the pure simulation cost per fielded device.
+    const lint::FleetSpec spec = benchSpec(ctx.scaled(4000, 200));
+    const fleet::FleetCampaign campaign(spec);
+    fleet::CampaignOptions options;
+    options.threads = 2;
+    const fleet::FleetSummary summary = campaign.run(options);
+    ctx.keep(static_cast<double>(summary.digest()));
+    ctx.metric("items", static_cast<double>(spec.devices));
+    uint64_t replaced = 0;
+    for (const fleet::CohortResult &cohort : summary.cohorts)
+        replaced += cohort.replaced;
+    ctx.metric("replaced", static_cast<double>(replaced));
+}
+
+LEMONS_BENCH(fleetCampaignCheckpointed, "fleet.campaign_checkpointed")
+{
+    // Same campaign with checkpoints every wave: the delta against
+    // fleet.campaign_run is the full crash-safety tax (encode + two
+    // fsyncs + two renames per wave).
+    const lint::FleetSpec spec = benchSpec(ctx.scaled(4000, 200));
+    const fleet::FleetCampaign campaign(spec);
+    const std::string path = "bench-fleet.ckpt";
+    fleet::CampaignOptions options;
+    options.threads = 2;
+    options.checkpointPath = path;
+    const fleet::FleetSummary summary = campaign.run(options);
+    ctx.keep(static_cast<double>(summary.digest()));
+    ctx.metric("items", static_cast<double>(spec.devices));
+    std::error_code ignored;
+    std::filesystem::remove(path, ignored);
+    std::filesystem::remove(path + ".prev", ignored);
+}
+
+LEMONS_BENCH(fleetCheckpointEncode, "fleet.checkpoint_encode")
+{
+    const fleet::FleetCheckpoint checkpoint = sampleCheckpoint();
+    const uint64_t iters = ctx.scaled(200000, 1000);
+    size_t bytes = 0;
+    for (uint64_t i = 0; i < iters; ++i) {
+        const std::vector<uint8_t> encoded =
+            fleet::encodeCheckpoint(checkpoint);
+        bytes = encoded.size();
+        ctx.keep(static_cast<double>(encoded.back()));
+    }
+    ctx.metric("items", static_cast<double>(iters));
+    ctx.metric("checkpoint_bytes", static_cast<double>(bytes));
+}
+
+LEMONS_BENCH(fleetCheckpointDecode, "fleet.checkpoint_decode")
+{
+    // Decode includes the CRC-32C pass, so this is also the per-load
+    // corruption-detection cost.
+    const std::vector<uint8_t> encoded =
+        fleet::encodeCheckpoint(sampleCheckpoint());
+    const uint64_t iters = ctx.scaled(200000, 1000);
+    for (uint64_t i = 0; i < iters; ++i) {
+        const fleet::FleetCheckpoint decoded = fleet::decodeCheckpoint(
+            encoded.data(), encoded.size(), "bench");
+        ctx.keep(static_cast<double>(decoded.partialReplaced));
+    }
+    ctx.metric("items", static_cast<double>(iters));
+}
+
+LEMONS_BENCH(fleetCheckpointWriteAtomic, "fleet.checkpoint_write_atomic")
+{
+    // The durable path: temp write + fsync + rotate + rename + parent
+    // directory fsync. Storage-bound; sets the floor for how often a
+    // campaign can afford to checkpoint.
+    const fleet::FleetCheckpoint checkpoint = sampleCheckpoint();
+    const std::string path = "bench-fleet-write.ckpt";
+    const uint64_t iters = ctx.scaled(400, 10);
+    for (uint64_t i = 0; i < iters; ++i)
+        fleet::writeCheckpointAtomic(path, checkpoint);
+    ctx.keep(static_cast<double>(iters));
+    ctx.metric("items", static_cast<double>(iters));
+    std::error_code ignored;
+    std::filesystem::remove(path, ignored);
+    std::filesystem::remove(path + ".prev", ignored);
+}
+
+LEMONS_BENCH(fleetCheckpointLoad, "fleet.checkpoint_load")
+{
+    const std::string path = "bench-fleet-load.ckpt";
+    fleet::writeCheckpointAtomic(path, sampleCheckpoint());
+    const uint64_t iters = ctx.scaled(20000, 200);
+    for (uint64_t i = 0; i < iters; ++i) {
+        const fleet::FleetCheckpoint loaded = fleet::readCheckpoint(path);
+        ctx.keep(static_cast<double>(loaded.completed.size()));
+    }
+    ctx.metric("items", static_cast<double>(iters));
+    std::error_code ignored;
+    std::filesystem::remove(path, ignored);
+    std::filesystem::remove(path + ".prev", ignored);
+}

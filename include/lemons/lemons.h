@@ -18,6 +18,7 @@
 #define LEMONS_LEMONS_H
 
 // util: RNG, statistics, math helpers, tables, histograms, CSV.
+#include "util/checksum.h"
 #include "util/csv.h"
 #include "util/histogram.h"
 #include "util/math.h"
@@ -67,6 +68,11 @@
 #include "sim/empirical.h"
 #include "sim/monte_carlo.h"
 #include "sim/workload.h"
+
+// fleet: crash-safe fleet lifecycle campaigns and checkpointing.
+#include "fleet/campaign.h"
+#include "fleet/chaos.h"
+#include "fleet/checkpoint.h"
 
 // arch: wearout structures, their samplers, and cost models.
 #include "arch/cost_model.h"

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <exception>
 #include <limits>
+#include <numeric>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -89,6 +91,27 @@ class ReportCollector
         report.nonFiniteTrials = std::move(nonFinite);
     }
 
+    /** Sorted copies of both logs into @p checkpoint (wave boundary:
+     *  no executors are running, but take the lock anyway). */
+    void snapshotInto(EngineCheckpoint &checkpoint) LEMONS_EXCLUDES(mu)
+    {
+        const MutexLock lock(mu);
+        checkpoint.failures = failures;
+        checkpoint.nonFiniteTrials = nonFinite;
+        std::sort(checkpoint.failures.begin(), checkpoint.failures.end());
+        std::sort(checkpoint.nonFiniteTrials.begin(),
+                  checkpoint.nonFiniteTrials.end());
+    }
+
+    /** Seed both logs from a checkpoint before a resumed run. */
+    void restoreFrom(const EngineCheckpoint &checkpoint)
+        LEMONS_EXCLUDES(mu)
+    {
+        const MutexLock lock(mu);
+        failures = checkpoint.failures;
+        nonFinite = checkpoint.nonFiniteTrials;
+    }
+
   private:
     Mutex mu;
     std::vector<std::pair<uint64_t, std::string>>
@@ -134,6 +157,22 @@ runTrials(uint64_t seed, const McRunOptions &options,
     const unsigned threads = resolveThreads(options.threads, chunkCount);
     const bool rethrow = options.faults == FaultPolicy::Rethrow;
     const double nan = std::numeric_limits<double>::quiet_NaN();
+
+    if (options.resumeFrom != nullptr) {
+        const EngineCheckpoint &resume = *options.resumeFrom;
+        requireArg(!options.keepSamples,
+                   "engine::runTrials: resuming requires keepSamples == "
+                   "false (streaming statistics are the resumable "
+                   "representation)");
+        requireArg(resume.seed == seed &&
+                       resume.requestedTrials == trials &&
+                       resume.chunkSize == chunkSize,
+                   "engine::runTrials: checkpoint does not belong to "
+                   "this run (seed/trials/chunkSize mismatch)");
+        requireArg(resume.executedChunks <= chunkCount,
+                   "engine::runTrials: checkpoint cursor beyond the "
+                   "chunk count");
+    }
 
     const Rng parent(seed);
     TrialReport report;
@@ -195,12 +234,72 @@ runTrials(uint64_t seed, const McRunOptions &options,
     RunningStats streaming;
     uint64_t executedChunks = 0;
     bool stoppedEarly = false;
-    const uint64_t wave =
+    InterruptReason interrupt = InterruptReason::None;
+
+    // Wave-boundary periods. Early-stop checks fire at multiples of
+    // the EarlyStop period, checkpoints at multiples of the checkpoint
+    // period; when both are present the wave length is their gcd so
+    // every boundary either feature needs is an actual boundary and
+    // neither shifts the other's deterministic trigger points.
+    const uint64_t earlyStopEvery =
         options.earlyStop
             ? std::max<uint64_t>(1, options.earlyStop->checkEveryChunks)
-            : chunkCount;
+            : 0;
+    const uint64_t checkpointEvery =
+        options.checkpoint ? (options.checkpointEveryChunks != 0
+                                  ? options.checkpointEveryChunks
+                                  : kDefaultCheckpointChunks)
+                           : 0;
+    uint64_t wave = earlyStopEvery;
+    if (checkpointEvery != 0)
+        wave = wave != 0 ? std::gcd(wave, checkpointEvery)
+                         : checkpointEvery;
+    if (wave == 0 &&
+        (options.cancel != nullptr || options.deadline.has_value()))
+        wave = kDefaultCheckpointChunks; // interrupt-poll granularity
+    if (wave == 0)
+        wave = chunkCount; // one uninterrupted wave
+
+    if (options.resumeFrom != nullptr) {
+        executedChunks = options.resumeFrom->executedChunks;
+        streaming = options.resumeFrom->streaming;
+        collector.restoreFrom(*options.resumeFrom);
+        LEMONS_OBS_INCREMENT("sim.mc.resumes");
+    }
+
+    const auto takeCheckpoint = [&] {
+        EngineCheckpoint snapshot;
+        snapshot.seed = seed;
+        snapshot.requestedTrials = trials;
+        snapshot.chunkSize = chunkSize;
+        snapshot.executedChunks = executedChunks;
+        snapshot.streaming = streaming;
+        collector.snapshotInto(snapshot);
+        LEMONS_OBS_INCREMENT("sim.mc.checkpoints");
+        options.checkpoint(snapshot);
+    };
 
     while (executedChunks < chunkCount) {
+        // Interrupt checks happen before dispatching a wave: a run
+        // whose token is already cancelled (or whose deadline already
+        // passed) does no further trial work.
+        if (options.cancel != nullptr && options.cancel->cancelled()) {
+            interrupt = InterruptReason::Cancelled;
+            LEMONS_OBS_INCREMENT("sim.mc.cancelled");
+        } else if (options.deadline.has_value() &&
+                   std::chrono::steady_clock::now() >=
+                       *options.deadline) {
+            interrupt = InterruptReason::DeadlineExceeded;
+            LEMONS_OBS_INCREMENT("sim.mc.deadline_exceeded");
+        }
+        if (interrupt != InterruptReason::None) {
+            // Persist the freshest resumable state so the owner loses
+            // at most the not-yet-run wave, then stop cleanly.
+            if (options.checkpoint)
+                takeCheckpoint();
+            break;
+        }
+
         const uint64_t waveBase = executedChunks;
         const uint64_t waveEnd =
             std::min(chunkCount, waveBase + wave);
@@ -215,7 +314,11 @@ runTrials(uint64_t seed, const McRunOptions &options,
 
         if (rethrow && firstError.take())
             break; // rethrown below, after bookkeeping
+        if (checkpointEvery != 0 &&
+            executedChunks % checkpointEvery == 0)
+            takeCheckpoint();
         if (options.earlyStop && executedChunks < chunkCount &&
+            executedChunks % earlyStopEvery == 0 &&
             streaming.count() >= options.earlyStop->minTrials &&
             streaming.count() >= 2) {
             const double halfWidth = 1.96 * streaming.meanStdError();
@@ -232,6 +335,7 @@ runTrials(uint64_t seed, const McRunOptions &options,
         std::min(trials, executedChunks * chunkSize);
     report.trials = trialsRun;
     report.stoppedEarly = stoppedEarly;
+    report.interrupt = interrupt;
     LEMONS_OBS_COUNT("sim.mc.trials", trialsRun);
 
     if (std::exception_ptr error = firstError.take())

@@ -21,10 +21,13 @@
 #ifndef LEMONS_ENGINE_ENGINE_H_
 #define LEMONS_ENGINE_ENGINE_H_
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/rng.h"
@@ -34,6 +37,11 @@ namespace lemons::engine {
 
 /** Chunk size used when McRunOptions::chunkSize is 0. */
 constexpr uint64_t kDefaultChunkSize = 1024;
+
+/** Checkpoint period used when McRunOptions::checkpointEveryChunks is
+ *  0, and the interrupt-poll granularity when only cancellation or a
+ *  deadline asks for wave boundaries. */
+constexpr uint64_t kDefaultCheckpointChunks = 8;
 
 /**
  * Optional CI-width early stopping: once at least minTrials clean
@@ -52,6 +60,72 @@ struct EarlyStop
     /** Wave length between checks, in chunks (>= 1). */
     uint64_t checkEveryChunks = 8;
 };
+
+/**
+ * Cooperative cancellation flag shared between a run and its owner.
+ * cancel() may be called from any thread (a signal-adjacent watchdog,
+ * a server shutdown path); the engine observes it at wave boundaries,
+ * finishes the in-flight wave, and returns a partial TrialReport
+ * flagged InterruptReason::Cancelled. Cancellation never tears state:
+ * every chunk either fully ran or never started, so a checkpoint taken
+ * at the preceding boundary resumes bit-identically.
+ */
+class CancelToken
+{
+  public:
+    /** Request cancellation (idempotent, thread-safe). */
+    void cancel() { flag.store(true, std::memory_order_release); }
+
+    /** Whether cancellation has been requested. */
+    bool cancelled() const
+    {
+        return flag.load(std::memory_order_acquire);
+    }
+
+  private:
+    std::atomic<bool> flag{false};
+};
+
+/** Why a run returned before executing its requested trials. */
+enum class InterruptReason {
+    None,             ///< ran to completion (or stopped early by CI width)
+    Cancelled,        ///< CancelToken fired
+    DeadlineExceeded, ///< wall-clock deadline passed
+};
+
+/**
+ * Wave-boundary snapshot of a run's resumable state. Everything a
+ * bit-identical continuation needs is here: the RNG "position" is just
+ * (seed, executedChunks) because trial i always draws from
+ * Rng(seed).split(i), and the streaming statistics carry the exact
+ * chunk-ordered merge prefix. Consumed by lemons::fleet checkpoints
+ * (and later by lemonsd request draining).
+ */
+struct EngineCheckpoint
+{
+    /** Seed the run was started with. */
+    uint64_t seed = 0;
+    /** Trials the run was asked for. */
+    uint64_t requestedTrials = 0;
+    /** Resolved chunk size (boundaries depend on it). */
+    uint64_t chunkSize = 0;
+    /** Chunks fully executed and merged, in chunk order. */
+    uint64_t executedChunks = 0;
+    /** Chunk-ordered streaming statistics over executed chunks. */
+    RunningStats streaming;
+    /** Capture-mode failure log so far: (trial, what()), ascending. */
+    std::vector<std::pair<uint64_t, std::string>> failures;
+    /** Trials that returned non-finite samples so far, ascending. */
+    std::vector<uint64_t> nonFiniteTrials;
+};
+
+/**
+ * Called at checkpoint boundaries with the resumable state. The hook
+ * runs on the driving thread between waves (never concurrently with
+ * trial execution), so it may do IO; keep it fast anyway — the run is
+ * stalled while it executes.
+ */
+using CheckpointHook = std::function<void(const EngineCheckpoint &)>;
 
 /** What to do with trials whose metric throws. */
 enum class FaultPolicy {
@@ -87,6 +161,41 @@ struct McRunOptions
     FaultPolicy faults = FaultPolicy::Capture;
     /** Optional CI-width early stopping. */
     std::optional<EarlyStop> earlyStop;
+
+    /**
+     * Cooperative cancellation. Checked at wave boundaries; when it
+     * fires the run returns a partial report (interrupt ==
+     * Cancelled). Not owned; must outlive the run. May be null.
+     */
+    const CancelToken *cancel = nullptr;
+
+    /**
+     * Wall-clock deadline. Checked at wave boundaries; once passed the
+     * run returns a partial report (interrupt == DeadlineExceeded).
+     * Deadlines are a robustness device, not a determinism one — where
+     * the run stops depends on machine speed, which is why resumable
+     * checkpoints exist.
+     */
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+
+    /**
+     * Invoked every checkpointEveryChunks executed chunks (and never
+     * mid-wave) with the resumable state. Null disables checkpointing.
+     */
+    CheckpointHook checkpoint;
+
+    /** Chunks between checkpoint-hook invocations; 0 = every 8. */
+    uint64_t checkpointEveryChunks = 0;
+
+    /**
+     * Resume a previous run from its checkpoint instead of starting at
+     * chunk 0. The checkpoint's seed/trials/chunkSize must match this
+     * call's, and resuming requires keepSamples == false (streaming
+     * statistics are the resumable representation). A resumed run is
+     * bit-identical to the uninterrupted one at any thread count. Not
+     * owned; must outlive the call. May be null.
+     */
+    const EngineCheckpoint *resumeFrom = nullptr;
 };
 
 /**
@@ -129,6 +238,15 @@ struct TrialReport
 
     /** Whether CI-width early stopping ended the run. */
     bool stoppedEarly = false;
+
+    /** Why the run returned before its requested trials, if it did. */
+    InterruptReason interrupt = InterruptReason::None;
+
+    /** Whether cancellation or a deadline cut the run short. */
+    bool interrupted() const
+    {
+        return interrupt != InterruptReason::None;
+    }
 
     /** Whether every executed trial produced a clean sample. */
     bool complete() const

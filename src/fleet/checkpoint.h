@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Crash-safe on-disk checkpoint format for fleet campaigns
+ * ("fleet-ckpt/1").
+ *
+ * A multi-hour campaign must survive SIGKILL, preemption, and torn
+ * writes without losing determinism: a run resumed from its last
+ * checkpoint has to be bit-identical to the uninterrupted run. That
+ * contract shapes every decision here:
+ *
+ *  - **Versioned magic.** Files start with the schema line
+ *    "fleet-ckpt/1\n". A wrong magic or wrong version fails with a
+ *    clear CheckpointError, never undefined behaviour.
+ *  - **Checksummed payload.** The payload length and a CRC-32C
+ *    trailer detect truncated and corrupted files before any field is
+ *    trusted.
+ *  - **Atomic replacement.** Writers serialize to a temp file, fsync
+ *    it, rotate the previous checkpoint to "<path>.prev", rename the
+ *    temp into place, and fsync the directory. A crash at any point
+ *    leaves either the new file, the previous file, or both — never a
+ *    half-written checkpoint at the primary path.
+ *  - **Fallback, loudly.** loadWithFallback() falls back to the
+ *    previous good checkpoint when the primary is corrupt, reporting
+ *    the detection in its outcome (and in the fleet.checkpoint.*
+ *    counters) — detection and recovery are never silent.
+ *  - **Forward compatibility.** Trailing tagged extension records let
+ *    future writers append fields; a version-1 reader skips (and
+ *    preserves) tags it does not know.
+ *
+ * The payload captures everything a bit-identical continuation needs:
+ * the configuration fingerprint, per-cohort result records
+ * (RunningStats serialized exactly, via RunningStats::State), and the
+ * in-progress cohort's engine cursor — seed, chunk position, streaming
+ * statistics, and capture-mode fault logs. RNG stream positions are
+ * implicit: trial i always draws from Rng(seed).split(i), so
+ * (seed, executedChunks) pins the stream exactly.
+ */
+
+#ifndef LEMONS_FLEET_CHECKPOINT_H_
+#define LEMONS_FLEET_CHECKPOINT_H_
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace lemons::fleet {
+
+/** Schema line at the start of every checkpoint file. */
+inline constexpr char kCheckpointMagic[] = "fleet-ckpt/1\n";
+
+/**
+ * Thrown when a checkpoint file cannot be trusted: wrong magic, wrong
+ * version, truncation, checksum mismatch, or a configuration
+ * fingerprint that does not match the campaign trying to resume.
+ * Messages carry a stable C-code prefix (C101 bad magic, C102 bad
+ * version, C103 truncated, C104 checksum, C105 config mismatch, C106
+ * malformed payload, C107 io) in the same spirit as lint's L-codes.
+ */
+class CheckpointError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Serialized result of one cohort (exact RunningStats image). */
+struct CohortRecord
+{
+    std::string name;
+    uint64_t devices = 0;
+    RunningStats::State serviceDays{};
+    uint64_t replaced = 0;
+    uint64_t premature = 0;
+    uint64_t reprovisioned = 0;
+};
+
+/** Serialized engine::EngineCheckpoint for the in-progress cohort. */
+struct EngineCursorRecord
+{
+    uint64_t seed = 0;
+    uint64_t requestedTrials = 0;
+    uint64_t chunkSize = 0;
+    uint64_t executedChunks = 0;
+    RunningStats::State streaming{};
+    std::vector<std::pair<uint64_t, std::string>> failures;
+    std::vector<uint64_t> nonFiniteTrials;
+};
+
+/** One forward-compat extension record (unknown tags are preserved). */
+struct CheckpointExtension
+{
+    uint32_t tag = 0;
+    std::vector<uint8_t> bytes;
+};
+
+/** Everything a "fleet-ckpt/1" file stores. */
+struct FleetCheckpoint
+{
+    /** Fingerprint of the producing campaign's configuration. */
+    uint64_t configFingerprint = 0;
+    /** Fully completed cohorts, in campaign order. */
+    std::vector<CohortRecord> completed;
+    /** Whether an in-progress cohort cursor follows. */
+    bool hasCursor = false;
+    /** Engine-resumable state of the in-progress cohort. */
+    EngineCursorRecord cursor{};
+    /** In-progress cohort's lifecycle counters at the cursor. */
+    uint64_t partialReplaced = 0;
+    uint64_t partialPremature = 0;
+    uint64_t partialReprovisioned = 0;
+    /** Trailing extension records (forward compatibility). */
+    std::vector<CheckpointExtension> extensions;
+};
+
+/** Serialize @p checkpoint to the "fleet-ckpt/1" byte layout. */
+std::vector<uint8_t> encodeCheckpoint(const FleetCheckpoint &checkpoint);
+
+/**
+ * Parse @p size bytes at @p data. @p source names the origin in error
+ * messages. @throws CheckpointError on any integrity problem.
+ */
+FleetCheckpoint decodeCheckpoint(const void *data, size_t size,
+                                 const std::string &source);
+
+/**
+ * Atomically replace the checkpoint at @p path: temp file + fsync +
+ * rotate previous to "<path>.prev" + rename + directory fsync.
+ * @throws CheckpointError (C107) on IO failure.
+ */
+void writeCheckpointAtomic(const std::string &path,
+                           const FleetCheckpoint &checkpoint);
+
+/**
+ * Read and validate one checkpoint file.
+ * @throws CheckpointError if the file is missing or untrustworthy.
+ */
+FleetCheckpoint readCheckpoint(const std::string &path);
+
+/** Outcome of a fallback-aware checkpoint load. */
+struct CheckpointLoadOutcome
+{
+    /** The loaded checkpoint; empty means fresh start (no file). */
+    std::optional<FleetCheckpoint> checkpoint;
+    /** Whether the primary was corrupt and the previous one was used. */
+    bool fellBack = false;
+    /** Human-readable detection/recovery note; empty when clean. */
+    std::string warning;
+};
+
+/**
+ * Load @p path, falling back to "<path>.prev" when the primary is
+ * corrupt (with a warning in the outcome — never silently). A missing
+ * primary with no previous file is a clean fresh start. A corrupt
+ * primary with a missing or corrupt previous file rethrows the
+ * primary's CheckpointError: resuming from guessed state is worse
+ * than failing.
+ */
+CheckpointLoadOutcome loadWithFallback(const std::string &path);
+
+} // namespace lemons::fleet
+
+#endif // LEMONS_FLEET_CHECKPOINT_H_

@@ -1,0 +1,326 @@
+/**
+ * @file
+ * lemons-fleet — fleet lifecycle campaign runner CLI.
+ *
+ * Runs the [fleet]/[cohort] sections of a spec file (lint/spec_file.h
+ * documents the format) as crash-safe Monte Carlo campaigns:
+ *
+ *     lemons-fleet run examples/configs/fleet_smartphone.lemons \
+ *         --threads 8 --checkpoint /var/tmp/fleet.ckpt --resume
+ *
+ * With --checkpoint the campaign persists a fleet-ckpt/1 file at every
+ * wave boundary; --resume picks an interrupted run back up from the
+ * last good checkpoint, bit-identical to the uninterrupted run.
+ * --deadline-ms bounds the wall clock (the run checkpoints and exits
+ * with code 3 when the deadline fires, so a scheduler can re-invoke
+ * with --resume).
+ *
+ * --chaos runs the crash-injection harness instead: fork a campaign,
+ * SIGKILL/SIGABRT it at random points, resume, corrupt a checkpoint
+ * once, and verify the final digest equals an uninterrupted run's.
+ *
+ * Exit codes: 0 success, 1 contract failure (chaos digest mismatch),
+ * 2 usage/spec error, 3 interrupted by deadline (resumable).
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fleet/campaign.h"
+#include "fleet/chaos.h"
+#include "lint/diagnostics.h"
+#include "lint/spec_file.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace {
+
+void
+printUsage(std::ostream &out)
+{
+    out << "usage: lemons-fleet run <spec-file> [options]\n"
+           "       lemons-fleet --chaos [options]\n"
+           "\n"
+           "Runs [fleet]/[cohort] campaigns from a spec file through\n"
+           "the Monte Carlo engine with crash-safe checkpointing.\n"
+           "\n"
+           "options:\n"
+           "  --threads N      worker threads (default 1; 0 = all)\n"
+           "  --checkpoint P   write fleet-ckpt/1 checkpoints to P\n"
+           "  --resume         resume from the last good checkpoint\n"
+           "  --deadline-ms N  stop (checkpointed) after N ms\n"
+           "  --json           machine-readable output\n"
+           "  --metrics        also dump the obs registry as JSON\n"
+           "chaos options:\n"
+           "  --rounds N       kill/resume rounds (default 6)\n"
+           "  --dir P          working directory (default .)\n"
+           "  --seed N         kill-point randomization seed\n"
+           "  --help           this text\n";
+}
+
+struct Args
+{
+    bool chaos = false;
+    std::string specFile;
+    unsigned threads = 1;
+    std::string checkpointPath;
+    bool resume = false;
+    std::optional<uint64_t> deadlineMs;
+    bool json = false;
+    bool metrics = false;
+    int rounds = 6;
+    std::string dir = ".";
+    uint64_t seed = 1;
+};
+
+void
+printCohort(const lemons::fleet::CohortResult &cohort)
+{
+    const lemons::ProportionInterval replacement =
+        cohort.replacementInterval();
+    const lemons::ProportionInterval premature =
+        cohort.prematureInterval();
+    std::cout << "  " << cohort.name << ": " << cohort.devices
+              << " devices, replacement " << replacement.estimate
+              << " [" << replacement.low << ", " << replacement.high
+              << "], premature " << premature.estimate << " ["
+              << premature.low << ", " << premature.high
+              << "], reprovisioned " << cohort.reprovisioned
+              << ", mean service days " << cohort.serviceDays.mean()
+              << "\n";
+}
+
+void
+printCohortJson(lemons::obs::JsonWriter &json,
+                const lemons::fleet::CohortResult &cohort)
+{
+    const lemons::ProportionInterval replacement =
+        cohort.replacementInterval();
+    const lemons::ProportionInterval premature =
+        cohort.prematureInterval();
+    json.beginObject();
+    json.key("name");
+    json.value(cohort.name);
+    json.key("devices");
+    json.value(cohort.devices);
+    json.key("replaced");
+    json.value(cohort.replaced);
+    json.key("replacement_rate");
+    json.value(replacement.estimate);
+    json.key("replacement_low");
+    json.value(replacement.low);
+    json.key("replacement_high");
+    json.value(replacement.high);
+    json.key("premature");
+    json.value(cohort.premature);
+    json.key("premature_rate");
+    json.value(premature.estimate);
+    json.key("premature_low");
+    json.value(premature.low);
+    json.key("premature_high");
+    json.value(premature.high);
+    json.key("reprovisioned");
+    json.value(cohort.reprovisioned);
+    json.key("mean_service_days");
+    json.value(cohort.serviceDays.mean());
+    json.endObject();
+}
+
+int
+runCampaigns(const Args &args)
+{
+    lemons::lint::Report report;
+    const lemons::lint::ParsedSpec spec =
+        lemons::lint::parseSpecFile(args.specFile, report);
+    if (report.hasErrors()) {
+        std::cerr << report.format();
+        return 2;
+    }
+    if (spec.fleets.empty()) {
+        std::cerr << "lemons-fleet: " << args.specFile
+                  << " has no [fleet] section\n";
+        return 2;
+    }
+
+    lemons::fleet::CampaignOptions options;
+    options.threads = args.threads;
+    options.checkpointPath = args.checkpointPath;
+    options.resume = args.resume;
+    if (args.deadlineMs)
+        options.deadline = std::chrono::steady_clock::now() +
+                           std::chrono::milliseconds(*args.deadlineMs);
+
+    bool interrupted = false;
+    for (size_t i = 0; i < spec.fleets.size(); ++i) {
+        const lemons::fleet::FleetCampaign campaign(spec.fleets[i]);
+        const lemons::fleet::FleetSummary summary =
+            campaign.run(options);
+        if (!summary.warning.empty())
+            std::cerr << "lemons-fleet: warning: " << summary.warning
+                      << "\n";
+        if (args.json) {
+            lemons::obs::JsonWriter json(std::cout);
+            json.beginObject();
+            json.key("fleet");
+            json.value(static_cast<uint64_t>(i));
+            json.key("devices");
+            json.value(summary.devices);
+            json.key("complete");
+            json.value(summary.complete());
+            json.key("resumed");
+            json.value(summary.resumed);
+            json.key("fell_back");
+            json.value(summary.fellBack);
+            json.key("digest");
+            json.value(summary.digest());
+            json.key("cohorts");
+            json.beginArray();
+            for (const lemons::fleet::CohortResult &cohort :
+                 summary.cohorts)
+                printCohortJson(json, cohort);
+            json.endArray();
+            json.endObject();
+            std::cout << "\n";
+        } else {
+            std::cout << "fleet " << i << ": " << summary.devices
+                      << " devices"
+                      << (summary.resumed ? " (resumed)" : "")
+                      << (summary.complete() ? ""
+                                             : " [interrupted]")
+                      << "\n";
+            for (const lemons::fleet::CohortResult &cohort :
+                 summary.cohorts)
+                printCohort(cohort);
+        }
+        interrupted |= !summary.complete();
+    }
+    if (args.metrics)
+        std::cerr << lemons::obs::Registry::global().toJson() << "\n";
+    return interrupted ? 3 : 0;
+}
+
+int
+runChaos(const Args &args)
+{
+    lemons::fleet::ChaosOptions options;
+    options.threads = args.threads;
+    options.seed = args.seed;
+    options.maxKillRounds = args.rounds;
+    options.workDir = args.dir;
+    const lemons::fleet::ChaosResult result =
+        lemons::fleet::runChaosCampaign(
+            lemons::fleet::chaosDefaultSpec(), options);
+    if (args.json) {
+        lemons::obs::JsonWriter json(std::cout);
+        json.beginObject();
+        json.key("passed");
+        json.value(result.passed());
+        json.key("reference_digest");
+        json.value(result.referenceDigest);
+        json.key("resumed_digest");
+        json.value(result.resumedDigest);
+        json.key("kills");
+        json.value(static_cast<uint64_t>(result.kills));
+        json.key("resume_observed");
+        json.value(result.resumeObserved);
+        json.key("fallback_exercised");
+        json.value(result.fallbackExercised);
+        json.key("checkpoint_path");
+        json.value(result.checkpointPath);
+        json.endObject();
+        std::cout << "\n";
+    } else {
+        std::cout << result.log;
+    }
+    return result.passed() ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args;
+    std::vector<std::string> positional;
+    for (int i = 1; i < argc; ++i) {
+        // Accept both "--opt value" and "--opt=value" (the latter
+        // matches lemons-bench, so the CLIs compose in scripts).
+        std::string arg = argv[i];
+        std::optional<std::string> inlineValue;
+        if (arg.size() > 2 && arg.compare(0, 2, "--") == 0) {
+            const size_t eq = arg.find('=');
+            if (eq != std::string::npos) {
+                inlineValue = arg.substr(eq + 1);
+                arg.resize(eq);
+            }
+        }
+        const auto valueArg = [&](const char *name) -> std::string {
+            if (inlineValue)
+                return *inlineValue;
+            if (i + 1 >= argc) {
+                std::cerr << "lemons-fleet: " << name
+                          << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--chaos") {
+            args.chaos = true;
+        } else if (arg == "--threads") {
+            args.threads = static_cast<unsigned>(
+                std::stoul(valueArg("--threads")));
+        } else if (arg == "--checkpoint") {
+            args.checkpointPath = valueArg("--checkpoint");
+        } else if (arg == "--resume") {
+            args.resume = true;
+        } else if (arg == "--deadline-ms") {
+            args.deadlineMs = std::stoull(valueArg("--deadline-ms"));
+        } else if (arg == "--json") {
+            args.json = true;
+        } else if (arg == "--metrics") {
+            args.metrics = true;
+        } else if (arg == "--rounds") {
+            args.rounds = static_cast<int>(
+                std::stol(valueArg("--rounds")));
+        } else if (arg == "--dir") {
+            args.dir = valueArg("--dir");
+        } else if (arg == "--seed") {
+            args.seed = std::stoull(valueArg("--seed"));
+        } else if (arg == "--help" || arg == "-h") {
+            printUsage(std::cout);
+            return 0;
+        } else if (!arg.empty() && arg.front() == '-') {
+            std::cerr << "lemons-fleet: unknown option '" << arg
+                      << "'\n";
+            printUsage(std::cerr);
+            return 2;
+        } else {
+            positional.push_back(arg);
+        }
+    }
+
+    try {
+        if (args.chaos) {
+            if (!positional.empty()) {
+                std::cerr << "lemons-fleet: --chaos takes no spec "
+                             "file (it uses a built-in one)\n";
+                return 2;
+            }
+            return runChaos(args);
+        }
+        if (positional.size() != 2 || positional[0] != "run") {
+            printUsage(std::cerr);
+            return 2;
+        }
+        args.specFile = positional[1];
+        return runCampaigns(args);
+    } catch (const std::exception &error) {
+        std::cerr << "lemons-fleet: " << error.what() << "\n";
+        return 2;
+    }
+}

@@ -25,6 +25,7 @@
  *   L5xx  M-way replication composition
  *   L6xx  usage-workload profiles
  *   L7xx  lifetime-mixture (bathtub) models
+ *   L8xx  fleet lifecycle campaigns
  *   L9xx  spec-file parsing (CLI)
  *
  * The V range belongs to the whole-design static verifier
@@ -140,6 +141,21 @@ const char *severityName(Severity severity);
     X(L703, Warning, "infant component shape >= 1: hazard is not "          \
                      "decreasing")                                           \
     X(L704, Warning, "infant component scale not below the main scale")     \
+    X(L801, Error, "fleet device count must be at least 1")                  \
+    X(L802, Error, "fleet horizon must be at least 1 day")                   \
+    X(L803, Error, "checkpoint interval must be at least 1 chunk")           \
+    X(L804, Error, "cohort weight must lie in (0, 1]")                       \
+    X(L805, Error, "cohort weights must sum to 1")                           \
+    X(L806, Error, "provisioning stagger must be non-negative and "         \
+                   "finite")                                                 \
+    X(L807, Error, "cohort access bound must be at least 1")                 \
+    X(L808, Warning, "fleet declares no cohorts")                            \
+    X(L809, Warning, "re-provisioning scheduled at or beyond the "          \
+                     "horizon: the event never fires")                       \
+    X(L810, Warning, "premature-lockout threshold at or beyond the "        \
+                     "horizon: every lockout counts as premature")           \
+    X(L811, Error, "re-provisioning usage scale must be non-negative "      \
+                   "and finite")                                             \
     X(V001, Note, "certified bound bracket")                                 \
     X(V002, Error, "survival bracket falls below the reliability floor "    \
                    "at the access bound")                                    \

@@ -573,6 +573,95 @@ checkMixture(const MixtureSpec &spec)
     return report;
 }
 
+Report
+checkFleet(const FleetSpec &spec)
+{
+    Report report;
+    const std::string object = "FleetSpec";
+
+    if (spec.devices < 1)
+        report.add(Code::L801, object, "devices",
+                   "a fleet needs at least one device");
+    if (spec.horizonDays < 1)
+        report.add(Code::L802, object, "horizonDays",
+                   "a campaign needs at least a one-day horizon");
+    if (spec.checkpointEveryChunks < 1)
+        report.add(Code::L803, object, "checkpointEveryChunks",
+                   "checkpoint interval " +
+                       std::to_string(spec.checkpointEveryChunks) +
+                       " disables crash recovery",
+                   "use a positive chunk count (e.g. 8)");
+    if (spec.cohorts.empty()) {
+        report.add(Code::L808, object, "cohorts",
+                   "the fleet declares no cohorts; the campaign "
+                   "simulates nothing",
+                   "add at least one [cohort] section");
+        return report;
+    }
+
+    double weightSum = 0.0;
+    for (size_t i = 0; i < spec.cohorts.size(); ++i) {
+        const FleetCohortSpec &cohort = spec.cohorts[i];
+        const std::string field =
+            "cohorts[" + std::to_string(i) + "] '" + cohort.name + "'";
+        if (!(cohort.weight > 0.0 && cohort.weight <= 1.0)) {
+            report.add(Code::L804, object, field,
+                       "weight " + num(cohort.weight) +
+                           " outside (0, 1]");
+        } else {
+            weightSum += cohort.weight;
+        }
+        if (!(cohort.staggerDays >= 0.0) ||
+            !std::isfinite(cohort.staggerDays)) {
+            report.add(Code::L806, object, field,
+                       "provisioning stagger " + num(cohort.staggerDays) +
+                           " days is not a non-negative finite window");
+        }
+        if (cohort.accessBound < 1)
+            report.add(Code::L807, object, field,
+                       "access bound 0 locks every device out at "
+                       "provisioning time");
+        if (!(cohort.reprovisionUsageScale >= 0.0) ||
+            !std::isfinite(cohort.reprovisionUsageScale)) {
+            report.add(Code::L811, object, field,
+                       "re-provisioning usage scale " +
+                           num(cohort.reprovisionUsageScale) +
+                           " is not non-negative and finite");
+        }
+        if (cohort.reprovisionDay &&
+            *cohort.reprovisionDay >=
+                static_cast<double>(spec.horizonDays)) {
+            report.add(Code::L809, object, field,
+                       "re-provisioning at day " +
+                           num(*cohort.reprovisionDay) +
+                           " never fires within the " +
+                           std::to_string(spec.horizonDays) +
+                           "-day horizon");
+        }
+        report.merge(checkWorkload(cohort.usage));
+        report.merge(checkMixture(cohort.lifetime));
+    }
+    // Tolerate float accumulation, not misconfiguration: 1e-6 allows
+    // "0.1 x 10" spellings while catching a forgotten cohort.
+    if (std::abs(weightSum - 1.0) > 1e-6) {
+        report.add(Code::L805, object, "cohorts",
+                   "cohort weights sum to " + num(weightSum) +
+                       ", not 1: the partition over- or "
+                       "under-covers the population",
+                   "make the weights a partition of unity");
+    }
+    if (spec.prematureDays >= spec.horizonDays &&
+        spec.horizonDays >= 1) {
+        report.add(Code::L810, object, "prematureDays",
+                   "premature threshold " +
+                       std::to_string(spec.prematureDays) +
+                       " days >= horizon " +
+                       std::to_string(spec.horizonDays) +
+                       ": every lockout counts as premature");
+    }
+    return report;
+}
+
 void
 checkDesignOrThrow(const core::DesignRequest &request)
 {

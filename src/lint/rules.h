@@ -23,6 +23,8 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "core/decision_tree.h"
 #include "core/design_solver.h"
@@ -108,6 +110,56 @@ struct MwaySpec
     std::optional<bool> moduleFeasible{};
 };
 
+/**
+ * One cohort of a fleet lifecycle campaign ([cohort] counterpart):
+ * a homogeneous slice of the population sharing a lot (lifetime
+ * mixture), a usage profile, a provisioning stagger window, and an
+ * optional mid-life re-provisioning event (secondhand reuse).
+ */
+struct FleetCohortSpec
+{
+    std::string name = "cohort";
+    /** Fraction of the fleet in this cohort, in (0, 1]. */
+    double weight = 1.0;
+    /** Provisioning stagger window in days (devices enter service
+     *  uniformly over [0, staggerDays]). */
+    double staggerDays = 0.0;
+    /** Per-device access budget (the design's LAB). */
+    uint64_t accessBound = 91250;
+    /** Daily usage profile. */
+    WorkloadSpec usage{};
+    /** Lot lifetime model (bathtub mixture; infantFraction 0 = pure
+     *  designed wearout). */
+    MixtureSpec lifetime{};
+    /** Day surviving devices are re-provisioned to a second owner. */
+    std::optional<double> reprovisionDay{};
+    /** Usage-rate multiplier after re-provisioning (>= 0). */
+    double reprovisionUsageScale = 1.0;
+};
+
+/**
+ * A fleet lifecycle campaign ([fleet] + [cohort] counterpart):
+ * population size, horizon, checkpoint cadence, and the cohorts the
+ * population is partitioned into.
+ */
+struct FleetSpec
+{
+    /** Total devices across all cohorts. */
+    uint64_t devices = 10000;
+    /** Campaign RNG seed. */
+    uint64_t seed = 0;
+    /** Engine chunk size; 0 = the engine default. */
+    uint64_t chunkSize = 0;
+    /** Chunks between checkpoints (must be positive). */
+    uint64_t checkpointEveryChunks = 8;
+    /** Calendar horizon in days. */
+    uint64_t horizonDays = 1825;
+    /** A lockout earlier than this many absolute days is premature. */
+    uint64_t prematureDays = 365;
+    /** Population partition; weights must sum to 1. */
+    std::vector<FleetCohortSpec> cohorts;
+};
+
 /** L0xx: solver input rules (bounds, criteria, attack feasibility). */
 Report checkDesign(const core::DesignRequest &request,
                    const DesignLintOptions &options = {});
@@ -132,6 +184,10 @@ Report checkWorkload(const WorkloadSpec &spec);
 
 /** L7xx: bathtub-mixture model rules. */
 Report checkMixture(const MixtureSpec &spec);
+
+/** L8xx: fleet campaign composition (weights, stagger, cadence),
+ *  including the L6xx/L7xx passes over every cohort's profile. */
+Report checkFleet(const FleetSpec &spec);
 
 /** Constructor fast paths: throw LintError on error-severity findings. */
 void checkDesignOrThrow(const core::DesignRequest &request);

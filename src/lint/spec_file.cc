@@ -78,8 +78,8 @@ parseSections(std::string_view text, Report &report)
                            lineRef(lineNo) + ": malformed section "
                            "header '" + line + "'",
                            "write [design], [structure], [shares], "
-                           "[otp], [fault], [mway], [workload], or "
-                           "[mixture]");
+                           "[otp], [fault], [mway], [workload], "
+                           "[mixture], [fleet], or [cohort]");
                 continue;
             }
             Section section;
@@ -454,6 +454,99 @@ parseMixtureSection(const Section &section, ParsedSpec &parsed)
     return report;
 }
 
+Report
+parseFleetSection(const Section &section, ParsedSpec &parsed)
+{
+    Report report;
+    const std::string object = "[fleet]";
+    FleetSpec spec;
+    spec.cohorts.clear(); // cohorts come from [cohort] sections
+    for (const Entry &entry : section.entries) {
+        if (entry.key == "devices") {
+            parseUint(entry, object, report, spec.devices);
+        } else if (entry.key == "seed") {
+            parseUint(entry, object, report, spec.seed);
+        } else if (entry.key == "chunk_size") {
+            parseUint(entry, object, report, spec.chunkSize);
+        } else if (entry.key == "checkpoint_interval") {
+            parseUint(entry, object, report,
+                      spec.checkpointEveryChunks);
+        } else if (entry.key == "horizon_days") {
+            parseUint(entry, object, report, spec.horizonDays);
+        } else if (entry.key == "premature_days") {
+            parseUint(entry, object, report, spec.prematureDays);
+        } else {
+            unknownKey(entry, object, report);
+        }
+    }
+    if (report.hasErrors())
+        return report;
+    // Cross-cohort rules (checkFleet) run after the whole file has
+    // been parsed; see parseSpec.
+    parsed.fleets.push_back(std::move(spec));
+    return report;
+}
+
+Report
+parseCohortSection(const Section &section, ParsedSpec &parsed)
+{
+    Report report;
+    const std::string object = "[cohort]";
+    if (parsed.fleets.empty()) {
+        report.add(Code::L902, "spec", "",
+                   lineRef(section.line) + ": [cohort] before any "
+                   "[fleet] section",
+                   "declare the [fleet] the cohort belongs to first");
+        return report;
+    }
+    FleetCohortSpec spec;
+    for (const Entry &entry : section.entries) {
+        if (entry.key == "name") {
+            spec.name = entry.value;
+        } else if (entry.key == "weight") {
+            parseDouble(entry, object, report, spec.weight);
+        } else if (entry.key == "stagger_days") {
+            parseDouble(entry, object, report, spec.staggerDays);
+        } else if (entry.key == "access_bound") {
+            parseUint(entry, object, report, spec.accessBound);
+        } else if (entry.key == "mean_per_day") {
+            parseDouble(entry, object, report, spec.usage.meanPerDay);
+        } else if (entry.key == "burst_probability") {
+            parseDouble(entry, object, report,
+                        spec.usage.burstProbability);
+        } else if (entry.key == "burst_multiplier") {
+            parseDouble(entry, object, report,
+                        spec.usage.burstMultiplier);
+        } else if (entry.key == "infant_fraction") {
+            parseDouble(entry, object, report,
+                        spec.lifetime.infantFraction);
+        } else if (entry.key == "infant_alpha") {
+            parseDouble(entry, object, report,
+                        spec.lifetime.infant.alpha);
+        } else if (entry.key == "infant_beta") {
+            parseDouble(entry, object, report,
+                        spec.lifetime.infant.beta);
+        } else if (entry.key == "main_alpha") {
+            parseDouble(entry, object, report, spec.lifetime.main.alpha);
+        } else if (entry.key == "main_beta") {
+            parseDouble(entry, object, report, spec.lifetime.main.beta);
+        } else if (entry.key == "reprovision_day") {
+            double day = 0.0;
+            if (parseDouble(entry, object, report, day))
+                spec.reprovisionDay = day;
+        } else if (entry.key == "reprovision_scale") {
+            parseDouble(entry, object, report,
+                        spec.reprovisionUsageScale);
+        } else {
+            unknownKey(entry, object, report);
+        }
+    }
+    if (report.hasErrors())
+        return report;
+    parsed.fleets.back().cohorts.push_back(std::move(spec));
+    return report;
+}
+
 } // namespace
 
 ParsedSpec
@@ -467,7 +560,8 @@ parseSpec(std::string_view text, const std::string &filename,
         local.add(Code::L906, "spec", "",
                   "the file declares no sections; nothing was checked",
                   "add a [design], [structure], [shares], [otp], "
-                  "[fault], [mway], [workload], or [mixture] section");
+                  "[fault], [mway], [workload], [mixture], or [fleet] "
+                  "section");
     }
     using Dispatcher = Report (*)(const Section &, ParsedSpec &);
     static const std::map<std::string, Dispatcher> dispatch = {
@@ -479,6 +573,8 @@ parseSpec(std::string_view text, const std::string &filename,
         {"mway", &parseMwaySection},
         {"workload", &parseWorkloadSection},
         {"mixture", &parseMixtureSection},
+        {"fleet", &parseFleetSection},
+        {"cohort", &parseCohortSection},
     };
     for (const Section &section : sections) {
         const auto found = dispatch.find(section.name);
@@ -487,11 +583,16 @@ parseSpec(std::string_view text, const std::string &filename,
                       lineRef(section.line) + ": unknown section [" +
                           section.name + "]",
                       "known sections: design, structure, shares, "
-                      "otp, fault, mway, workload, mixture");
+                      "otp, fault, mway, workload, mixture, fleet, "
+                      "cohort");
             continue;
         }
         local.merge(found->second(section, parsed));
     }
+    // Fleet rules are cross-section (cohort weights must partition the
+    // population), so they run only after every [cohort] has attached.
+    for (const FleetSpec &fleet : parsed.fleets)
+        local.merge(checkFleet(fleet));
     local.setFile(filename);
     report.merge(std::move(local));
     return parsed;

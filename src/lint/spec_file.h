@@ -39,6 +39,16 @@
  *               budget horizon_days
  *   [mixture]   infant_fraction infant_alpha infant_beta
  *               main_alpha main_beta
+ *   [fleet]     devices seed chunk_size checkpoint_interval
+ *               horizon_days premature_days
+ *   [cohort]    name weight stagger_days access_bound mean_per_day
+ *               burst_probability burst_multiplier infant_fraction
+ *               infant_alpha infant_beta main_alpha main_beta
+ *               reprovision_day reprovision_scale
+ *
+ * A [cohort] section attaches to the most recent [fleet] section;
+ * the fleet's cross-cohort rules (L8xx) run once the whole file is
+ * parsed, so weight-sum checks see every cohort.
  *
  * Beyond linting, parseSpec() exposes the parsed sections as typed
  * structs so the static verifier (lemons::verify) can lower the same
@@ -94,12 +104,13 @@ struct ParsedSpec
     std::vector<MwaySpec> mways;
     std::vector<WorkloadSpec> workloads;
     std::vector<MixtureSpec> mixtures;
+    std::vector<FleetSpec> fleets;
 
     bool empty() const
     {
         return designs.empty() && structures.empty() && shares.empty() &&
                otps.empty() && faults.empty() && mways.empty() &&
-               workloads.empty() && mixtures.empty();
+               workloads.empty() && mixtures.empty() && fleets.empty();
     }
 };
 

@@ -1,0 +1,54 @@
+#include "util/checksum.h"
+
+#include <array>
+
+namespace lemons {
+
+namespace {
+
+/** Byte-at-a-time CRC-32C lookup table, built once at first use. */
+const std::array<uint32_t, 256> &
+crcTable()
+{
+    static const std::array<uint32_t, 256> table = [] {
+        std::array<uint32_t, 256> t{};
+        // Reflected Castagnoli polynomial.
+        constexpr uint32_t poly = 0x82F63B78u;
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t crc = i;
+            for (int bit = 0; bit < 8; ++bit)
+                crc = (crc & 1u) != 0 ? (crc >> 1) ^ poly : crc >> 1;
+            t[i] = crc;
+        }
+        return t;
+    }();
+    return table;
+}
+
+} // namespace
+
+uint32_t
+crc32c(const void *data, size_t size, uint32_t seed)
+{
+    const std::array<uint32_t, 256> &table = crcTable();
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    uint32_t crc = ~seed;
+    for (size_t i = 0; i < size; ++i)
+        crc = (crc >> 8) ^ table[(crc ^ bytes[i]) & 0xFFu];
+    return ~crc;
+}
+
+uint64_t
+fnv1a64(const void *data, size_t size, uint64_t seed)
+{
+    constexpr uint64_t prime = 0x100000001b3ULL;
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    uint64_t hash = seed;
+    for (size_t i = 0; i < size; ++i) {
+        hash ^= bytes[i];
+        hash *= prime;
+    }
+    return hash;
+}
+
+} // namespace lemons

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Data-integrity checksums for on-disk artifacts.
+ *
+ * The fleet checkpoint format needs to distinguish "this file is what
+ * the writer wrote" from "this file is torn, truncated, or corrupted"
+ * before trusting any of its contents — a resumed campaign that reads
+ * garbage state silently diverges from the uninterrupted run, which is
+ * exactly the failure mode the crash-safety contract forbids. CRC-32C
+ * (Castagnoli) is the integrity check: cheap, well-studied, and good
+ * at the short-burst corruption patterns torn writes produce. FNV-1a
+ * is the non-cryptographic fingerprint used to tie a checkpoint to the
+ * configuration that produced it. Neither is a security primitive —
+ * tamper resistance is out of scope (crypto/sha256.h covers that).
+ */
+
+#ifndef LEMONS_UTIL_CHECKSUM_H_
+#define LEMONS_UTIL_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lemons {
+
+/**
+ * CRC-32C (Castagnoli polynomial 0x1EDC6F41, reflected) of @p size
+ * bytes at @p data. @p seed chains incremental computation: pass the
+ * previous return value to continue a running checksum.
+ */
+uint32_t crc32c(const void *data, size_t size, uint32_t seed = 0);
+
+/**
+ * FNV-1a 64-bit hash of @p size bytes at @p data, chainable via
+ * @p seed (pass a previous return value to extend the hash).
+ */
+uint64_t fnv1a64(const void *data, size_t size,
+                 uint64_t seed = 0xcbf29ce484222325ULL);
+
+} // namespace lemons
+
+#endif // LEMONS_UTIL_CHECKSUM_H_

@@ -53,6 +53,32 @@ RunningStats::merge(const RunningStats &other)
     n += other.n;
 }
 
+RunningStats::State
+RunningStats::state() const
+{
+    State state;
+    state.count = n;
+    state.nonFiniteCount = nonFinite;
+    state.mean = runningMean;
+    state.m2 = m2;
+    state.min = minValue;
+    state.max = maxValue;
+    return state;
+}
+
+RunningStats
+RunningStats::fromState(const State &state)
+{
+    RunningStats stats;
+    stats.n = state.count;
+    stats.nonFinite = state.nonFiniteCount;
+    stats.runningMean = state.mean;
+    stats.m2 = state.m2;
+    stats.minValue = state.min;
+    stats.maxValue = state.max;
+    return stats;
+}
+
 double
 RunningStats::variance() const
 {

@@ -7,6 +7,7 @@
 #define LEMONS_UTIL_STATS_H_
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "util/mutex.h"
@@ -26,6 +27,22 @@ namespace lemons {
 class RunningStats
 {
   public:
+    /**
+     * Exact serializable image of an accumulator. Round-tripping
+     * through State is bit-preserving (the doubles are copied, never
+     * recomputed), which is what lets the fleet checkpoint format
+     * persist per-shard accumulators and resume a run bit-identically.
+     */
+    struct State
+    {
+        uint64_t count = 0;
+        uint64_t nonFiniteCount = 0;
+        double mean = 0.0;
+        double m2 = 0.0;
+        double min = std::numeric_limits<double>::infinity();
+        double max = -std::numeric_limits<double>::infinity();
+    };
+
     /** Add one observation; non-finite values are quarantined. */
     void add(double x);
 
@@ -56,13 +73,23 @@ class RunningStats
     /** Standard error of the mean; 0 with fewer than two samples. */
     double meanStdError() const;
 
+    /** Exact snapshot of the accumulator for serialization. */
+    State state() const;
+
+    /** Rebuild an accumulator from a snapshot (exact inverse). */
+    static RunningStats fromState(const State &state);
+
   private:
     uint64_t n = 0;
     uint64_t nonFinite = 0;
     double runningMean = 0.0;
     double m2 = 0.0;
-    double minValue;
-    double maxValue;
+    // Identity-element defaults (+inf / -inf) keep min()/max() and the
+    // serialized State well-defined even for an accumulator that only
+    // ever quarantined non-finite samples — reading them must never be
+    // undefined behaviour once shards are checkpointed to disk.
+    double minValue = std::numeric_limits<double>::infinity();
+    double maxValue = -std::numeric_limits<double>::infinity();
 };
 
 /**

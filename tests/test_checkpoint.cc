@@ -1,0 +1,379 @@
+/**
+ * @file
+ * Unit tests for the fleet-ckpt/1 checkpoint format: bit-exact
+ * round-trips, the C1xx fault taxonomy (bad magic, future version,
+ * truncation, checksum mismatch, malformed payload), forward-compat
+ * extension records, atomic-write rotation, and the loud-fallback
+ * loader semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "fleet/checkpoint.h"
+#include "util/checksum.h"
+#include "util/stats.h"
+
+namespace lemons::fleet {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** A throwaway directory per test, removed on destruction. */
+class TempDir
+{
+  public:
+    TempDir()
+    {
+        root = fs::temp_directory_path() /
+               ("lemons-ckpt-test-" +
+                std::to_string(::testing::UnitTest::GetInstance()
+                                   ->random_seed()) +
+                "-" + std::to_string(counter()++));
+        fs::create_directories(root);
+    }
+    ~TempDir()
+    {
+        std::error_code ignored;
+        fs::remove_all(root, ignored);
+    }
+    std::string path(const std::string &name) const
+    {
+        return (root / name).string();
+    }
+
+  private:
+    static int &counter()
+    {
+        static int value = 0;
+        return value;
+    }
+    fs::path root;
+};
+
+FleetCheckpoint
+sampleCheckpoint()
+{
+    FleetCheckpoint checkpoint;
+    checkpoint.configFingerprint = 0xFEEDFACECAFEBEEFULL;
+
+    CohortRecord retail;
+    retail.name = "retail";
+    retail.devices = 7000;
+    retail.serviceDays = {.count = 7000,
+                          .nonFiniteCount = 2,
+                          .mean = 1422.75,
+                          .m2 = 9881.5,
+                          .min = 3.25,
+                          .max = 1825.0};
+    retail.replaced = 812;
+    retail.premature = 31;
+    retail.reprovisioned = 0;
+    checkpoint.completed.push_back(retail);
+
+    checkpoint.hasCursor = true;
+    checkpoint.cursor.seed = 99;
+    checkpoint.cursor.requestedTrials = 3000;
+    checkpoint.cursor.chunkSize = 64;
+    checkpoint.cursor.executedChunks = 17;
+    checkpoint.cursor.streaming = {.count = 1086,
+                                   .nonFiniteCount = 2,
+                                   .mean = 901.5,
+                                   .m2 = 4.5,
+                                   .min = 1.0,
+                                   .max = 1825.0};
+    checkpoint.cursor.failures = {{12, "device model threw"},
+                                  {407, "second failure"}};
+    checkpoint.cursor.nonFiniteTrials = {44, 1011};
+    checkpoint.partialReplaced = 120;
+    checkpoint.partialPremature = 7;
+    checkpoint.partialReprovisioned = 53;
+    return checkpoint;
+}
+
+void
+expectStatsEqual(const RunningStats::State &a,
+                 const RunningStats::State &b)
+{
+    EXPECT_EQ(a.count, b.count);
+    EXPECT_EQ(a.nonFiniteCount, b.nonFiniteCount);
+    EXPECT_EQ(std::bit_cast<uint64_t>(a.mean),
+              std::bit_cast<uint64_t>(b.mean));
+    EXPECT_EQ(std::bit_cast<uint64_t>(a.m2),
+              std::bit_cast<uint64_t>(b.m2));
+    EXPECT_EQ(std::bit_cast<uint64_t>(a.min),
+              std::bit_cast<uint64_t>(b.min));
+    EXPECT_EQ(std::bit_cast<uint64_t>(a.max),
+              std::bit_cast<uint64_t>(b.max));
+}
+
+void
+expectCheckpointsEqual(const FleetCheckpoint &a, const FleetCheckpoint &b)
+{
+    EXPECT_EQ(a.configFingerprint, b.configFingerprint);
+    ASSERT_EQ(a.completed.size(), b.completed.size());
+    for (size_t i = 0; i < a.completed.size(); ++i) {
+        EXPECT_EQ(a.completed[i].name, b.completed[i].name);
+        EXPECT_EQ(a.completed[i].devices, b.completed[i].devices);
+        expectStatsEqual(a.completed[i].serviceDays,
+                         b.completed[i].serviceDays);
+        EXPECT_EQ(a.completed[i].replaced, b.completed[i].replaced);
+        EXPECT_EQ(a.completed[i].premature, b.completed[i].premature);
+        EXPECT_EQ(a.completed[i].reprovisioned,
+                  b.completed[i].reprovisioned);
+    }
+    ASSERT_EQ(a.hasCursor, b.hasCursor);
+    if (a.hasCursor) {
+        EXPECT_EQ(a.cursor.seed, b.cursor.seed);
+        EXPECT_EQ(a.cursor.requestedTrials, b.cursor.requestedTrials);
+        EXPECT_EQ(a.cursor.chunkSize, b.cursor.chunkSize);
+        EXPECT_EQ(a.cursor.executedChunks, b.cursor.executedChunks);
+        expectStatsEqual(a.cursor.streaming, b.cursor.streaming);
+        EXPECT_EQ(a.cursor.failures, b.cursor.failures);
+        EXPECT_EQ(a.cursor.nonFiniteTrials, b.cursor.nonFiniteTrials);
+        EXPECT_EQ(a.partialReplaced, b.partialReplaced);
+        EXPECT_EQ(a.partialPremature, b.partialPremature);
+        EXPECT_EQ(a.partialReprovisioned, b.partialReprovisioned);
+    }
+}
+
+/** Little-endian u64 append, for handcrafting malformed payloads. */
+void
+pushU64(std::vector<uint8_t> &bytes, uint64_t value)
+{
+    for (int shift = 0; shift < 64; shift += 8)
+        bytes.push_back(static_cast<uint8_t>((value >> shift) & 0xFFu));
+}
+
+TEST(CheckpointFormat, RoundTripIsExact)
+{
+    const FleetCheckpoint original = sampleCheckpoint();
+    const std::vector<uint8_t> bytes = encodeCheckpoint(original);
+    const FleetCheckpoint decoded =
+        decodeCheckpoint(bytes.data(), bytes.size(), "mem");
+    expectCheckpointsEqual(original, decoded);
+}
+
+TEST(CheckpointFormat, RoundTripPreservesNonFiniteExtrema)
+{
+    // The identity extrema of an empty shard (+inf / -inf) must
+    // survive serialization bit-for-bit.
+    FleetCheckpoint checkpoint;
+    CohortRecord empty;
+    empty.name = "empty";
+    empty.serviceDays = RunningStats{}.state();
+    checkpoint.completed.push_back(empty);
+    const std::vector<uint8_t> bytes = encodeCheckpoint(checkpoint);
+    const FleetCheckpoint decoded =
+        decodeCheckpoint(bytes.data(), bytes.size(), "mem");
+    ASSERT_EQ(decoded.completed.size(), 1u);
+    EXPECT_EQ(decoded.completed[0].serviceDays.min,
+              std::numeric_limits<double>::infinity());
+    EXPECT_EQ(decoded.completed[0].serviceDays.max,
+              -std::numeric_limits<double>::infinity());
+}
+
+TEST(CheckpointFormat, UnknownTrailingExtensionsLoadCleanly)
+{
+    // A future fleet-ckpt/1 writer appends tagged records this build
+    // has never heard of; they must decode cleanly and be preserved.
+    FleetCheckpoint future = sampleCheckpoint();
+    future.extensions.push_back(
+        {.tag = 0xDEAD0001u, .bytes = {1, 2, 3, 4, 5}});
+    future.extensions.push_back({.tag = 0xDEAD0002u, .bytes = {}});
+    const std::vector<uint8_t> bytes = encodeCheckpoint(future);
+    const FleetCheckpoint decoded =
+        decodeCheckpoint(bytes.data(), bytes.size(), "mem");
+    expectCheckpointsEqual(future, decoded);
+    ASSERT_EQ(decoded.extensions.size(), 2u);
+    EXPECT_EQ(decoded.extensions[0].tag, 0xDEAD0001u);
+    EXPECT_EQ(decoded.extensions[0].bytes,
+              (std::vector<uint8_t>{1, 2, 3, 4, 5}));
+    EXPECT_EQ(decoded.extensions[1].tag, 0xDEAD0002u);
+}
+
+TEST(CheckpointFormat, WrongMagicFailsClearly)
+{
+    const std::string garbage = "definitely not a checkpoint file";
+    try {
+        static_cast<void>(decodeCheckpoint(garbage.data(),
+                                           garbage.size(), "mem"));
+        FAIL() << "bad magic must throw";
+    } catch (const CheckpointError &error) {
+        EXPECT_NE(std::string(error.what()).find("C101"),
+                  std::string::npos)
+            << error.what();
+    }
+}
+
+TEST(CheckpointFormat, FutureVersionFailsWithVersionMessage)
+{
+    const std::string future = "fleet-ckpt/2\nwhatever follows";
+    try {
+        static_cast<void>(
+            decodeCheckpoint(future.data(), future.size(), "mem"));
+        FAIL() << "future version must throw";
+    } catch (const CheckpointError &error) {
+        const std::string what = error.what();
+        EXPECT_NE(what.find("C102"), std::string::npos) << what;
+        EXPECT_NE(what.find("fleet-ckpt/2"), std::string::npos) << what;
+    }
+}
+
+TEST(CheckpointFormat, TruncationFailsClearly)
+{
+    const std::vector<uint8_t> bytes =
+        encodeCheckpoint(sampleCheckpoint());
+    // Every proper prefix must fail loudly, never crash or mis-decode.
+    for (size_t keep : {bytes.size() - 1, bytes.size() / 2, size_t{14}})
+        EXPECT_THROW(static_cast<void>(
+                         decodeCheckpoint(bytes.data(), keep, "mem")),
+                     CheckpointError)
+            << "prefix of " << keep << " bytes decoded";
+}
+
+TEST(CheckpointFormat, EveryFlippedByteIsDetected)
+{
+    const std::vector<uint8_t> bytes =
+        encodeCheckpoint(sampleCheckpoint());
+    // Exhaustive single-byte corruption: no flipped byte anywhere in
+    // the file may decode successfully (C101/C102/C103/C104/C106 are
+    // all acceptable rejections — silence is not).
+    for (size_t i = 0; i < bytes.size(); ++i) {
+        std::vector<uint8_t> torn = bytes;
+        torn[i] ^= 0x5A;
+        EXPECT_THROW(static_cast<void>(decodeCheckpoint(
+                         torn.data(), torn.size(), "mem")),
+                     CheckpointError)
+            << "flip at offset " << i << " went undetected";
+    }
+}
+
+TEST(CheckpointFormat, ChecksummedGarbagePayloadFailsAsMalformed)
+{
+    // A payload whose CRC is valid but whose content lies about its
+    // own sizes (a cohort count far beyond the bytes present) must be
+    // rejected as malformed, not trusted into a huge allocation loop.
+    std::vector<uint8_t> payload;
+    pushU64(payload, 0x1234); // fingerprint
+    pushU64(payload, std::numeric_limits<uint64_t>::max()); // cohorts
+    std::vector<uint8_t> file(kCheckpointMagic,
+                              kCheckpointMagic +
+                                  sizeof(kCheckpointMagic) - 1);
+    pushU64(file, payload.size());
+    file.insert(file.end(), payload.begin(), payload.end());
+    const uint32_t crc = crc32c(payload.data(), payload.size());
+    for (int shift = 0; shift < 32; shift += 8)
+        file.push_back(static_cast<uint8_t>((crc >> shift) & 0xFFu));
+    try {
+        static_cast<void>(
+            decodeCheckpoint(file.data(), file.size(), "mem"));
+        FAIL() << "malformed payload must throw";
+    } catch (const CheckpointError &error) {
+        EXPECT_NE(std::string(error.what()).find("C106"),
+                  std::string::npos)
+            << error.what();
+    }
+}
+
+TEST(CheckpointFiles, AtomicWriteRotatesPrevious)
+{
+    const TempDir dir;
+    const std::string path = dir.path("fleet.ckpt");
+
+    FleetCheckpoint first = sampleCheckpoint();
+    first.partialReplaced = 1;
+    writeCheckpointAtomic(path, first);
+    FleetCheckpoint second = sampleCheckpoint();
+    second.partialReplaced = 2;
+    writeCheckpointAtomic(path, second);
+
+    // Primary holds the newest state, .prev the one before it, and no
+    // temp file is left behind.
+    expectCheckpointsEqual(second, readCheckpoint(path));
+    expectCheckpointsEqual(first, readCheckpoint(path + ".prev"));
+    EXPECT_FALSE(fs::exists(path + ".tmp"));
+}
+
+TEST(CheckpointFiles, LoadWithFallbackFreshStart)
+{
+    const TempDir dir;
+    const CheckpointLoadOutcome outcome =
+        loadWithFallback(dir.path("missing.ckpt"));
+    EXPECT_FALSE(outcome.checkpoint.has_value());
+    EXPECT_FALSE(outcome.fellBack);
+    EXPECT_TRUE(outcome.warning.empty());
+}
+
+TEST(CheckpointFiles, LoadWithFallbackRecoversFromCorruptPrimary)
+{
+    const TempDir dir;
+    const std::string path = dir.path("fleet.ckpt");
+    FleetCheckpoint good = sampleCheckpoint();
+    good.partialReplaced = 10;
+    writeCheckpointAtomic(path, good);
+    FleetCheckpoint newer = sampleCheckpoint();
+    newer.partialReplaced = 20;
+    writeCheckpointAtomic(path, newer);
+
+    // Corrupt the primary in place (torn write at rest).
+    {
+        std::fstream file(path, std::ios::in | std::ios::out |
+                                    std::ios::binary);
+        file.seekp(40);
+        const char zap = 0x7F;
+        file.write(&zap, 1);
+    }
+
+    const CheckpointLoadOutcome outcome = loadWithFallback(path);
+    ASSERT_TRUE(outcome.checkpoint.has_value());
+    EXPECT_TRUE(outcome.fellBack);
+    EXPECT_FALSE(outcome.warning.empty());
+    // The fallback is the previous good checkpoint, not the newer,
+    // corrupted one.
+    expectCheckpointsEqual(good, *outcome.checkpoint);
+}
+
+TEST(CheckpointFiles, LoadWithFallbackUsesPreviousWhenPrimaryMissing)
+{
+    // Crash window between the rotate and the final rename: only
+    // .prev exists.
+    const TempDir dir;
+    const std::string path = dir.path("fleet.ckpt");
+    const FleetCheckpoint good = sampleCheckpoint();
+    writeCheckpointAtomic(path + ".prev", good);
+    fs::remove(path + ".prev.prev");
+
+    const CheckpointLoadOutcome outcome = loadWithFallback(path);
+    ASSERT_TRUE(outcome.checkpoint.has_value());
+    EXPECT_FALSE(outcome.warning.empty());
+    expectCheckpointsEqual(good, *outcome.checkpoint);
+}
+
+TEST(CheckpointFiles, LoadWithFallbackRethrowsWhenBothBad)
+{
+    const TempDir dir;
+    const std::string path = dir.path("fleet.ckpt");
+    writeCheckpointAtomic(path, sampleCheckpoint());
+    writeCheckpointAtomic(path, sampleCheckpoint());
+    // Truncate both copies: nothing trustworthy remains, so the
+    // loader must refuse rather than resume from invented state.
+    for (const std::string &victim : {path, path + ".prev"}) {
+        std::ofstream file(victim,
+                           std::ios::binary | std::ios::trunc);
+        file << "fleet-ckpt/1\ntorn";
+    }
+    EXPECT_THROW(static_cast<void>(loadWithFallback(path)),
+                 CheckpointError);
+}
+
+} // namespace
+} // namespace lemons::fleet

@@ -302,5 +302,167 @@ TEST(RunTrials, CacheHitCountersAdvance)
     EXPECT_GE(hits.get() - before, 64u);
 }
 
+TEST(RunTrials, PreCancelledTokenReturnsEmptyPartialReport)
+{
+    CancelToken token;
+    token.cancel();
+    McRunOptions options;
+    options.trials = 10000;
+    options.keepSamples = false;
+    options.cancel = &token;
+    const TrialReport report = runTrials(7, options, uniformMetric);
+    EXPECT_EQ(report.interrupt, InterruptReason::Cancelled);
+    EXPECT_TRUE(report.interrupted());
+    EXPECT_EQ(report.trials, 0u);
+    EXPECT_EQ(report.requestedTrials, 10000u);
+    EXPECT_FALSE(report.stoppedEarly);
+}
+
+TEST(RunTrials, ExpiredDeadlineReturnsPartialReport)
+{
+    McRunOptions options;
+    options.trials = 10000;
+    options.keepSamples = false;
+    options.deadline = std::chrono::steady_clock::now() -
+                       std::chrono::milliseconds(1);
+    const TrialReport report = runTrials(7, options, uniformMetric);
+    EXPECT_EQ(report.interrupt, InterruptReason::DeadlineExceeded);
+    EXPECT_EQ(report.trials, 0u);
+}
+
+TEST(RunTrials, CancellationWithoutHookLeavesPrefixStats)
+{
+    // A token cancelled from the checkpoint hook fires at the *next*
+    // wave boundary, so the partial report is an exact prefix.
+    CancelToken token;
+    McRunOptions options;
+    options.trials = 4096;
+    options.chunkSize = 64;
+    options.keepSamples = false;
+    options.cancel = &token;
+    options.checkpointEveryChunks = 8;
+    options.checkpoint = [&](const EngineCheckpoint &) {
+        token.cancel();
+    };
+    const TrialReport partial = runTrials(11, options, uniformMetric);
+    EXPECT_EQ(partial.interrupt, InterruptReason::Cancelled);
+    ASSERT_GT(partial.trials, 0u);
+    ASSERT_LT(partial.trials, 4096u);
+
+    // The partial stats must be bit-equal to an uninterrupted run
+    // truncated to the same trial count.
+    McRunOptions prefix;
+    prefix.trials = partial.trials;
+    prefix.chunkSize = 64;
+    prefix.keepSamples = false;
+    const TrialReport reference = runTrials(11, prefix, uniformMetric);
+    EXPECT_EQ(std::bit_cast<uint64_t>(partial.stats.mean()),
+              std::bit_cast<uint64_t>(reference.stats.mean()));
+    EXPECT_EQ(partial.stats.count(), reference.stats.count());
+}
+
+TEST(RunTrials, CheckpointResumeIsBitIdenticalAtAnyThreadCount)
+{
+    constexpr uint64_t kTrials = 8192;
+    McRunOptions full;
+    full.trials = kTrials;
+    full.chunkSize = 64;
+    full.keepSamples = false;
+    const TrialReport reference = runTrials(99, full, uniformMetric);
+
+    // Capture every checkpoint of a single-threaded run.
+    std::vector<EngineCheckpoint> checkpoints;
+    McRunOptions recording = full;
+    recording.checkpointEveryChunks = 16;
+    recording.checkpoint = [&](const EngineCheckpoint &checkpoint) {
+        checkpoints.push_back(checkpoint);
+    };
+    static_cast<void>(runTrials(99, recording, uniformMetric));
+    ASSERT_GE(checkpoints.size(), 3u);
+
+    const EngineCheckpoint &mid = checkpoints[checkpoints.size() / 2];
+    ASSERT_GT(mid.executedChunks, 0u);
+    ASSERT_LT(mid.executedChunks * 64, kTrials);
+    for (unsigned threads : {1u, 2u, 8u}) {
+        McRunOptions resume = full;
+        resume.threads = threads;
+        resume.resumeFrom = &mid;
+        const TrialReport resumed = runTrials(99, resume, uniformMetric);
+        EXPECT_EQ(resumed.trials, reference.trials);
+        EXPECT_EQ(resumed.stats.count(), reference.stats.count());
+        EXPECT_EQ(std::bit_cast<uint64_t>(resumed.stats.mean()),
+                  std::bit_cast<uint64_t>(reference.stats.mean()))
+            << "resume at " << threads << " threads diverged";
+        EXPECT_EQ(std::bit_cast<uint64_t>(resumed.stats.variance()),
+                  std::bit_cast<uint64_t>(reference.stats.variance()));
+        EXPECT_EQ(resumed.stats.min(), reference.stats.min());
+        EXPECT_EQ(resumed.stats.max(), reference.stats.max());
+    }
+}
+
+TEST(RunTrials, ResumeRequiresMatchingRunAndStreaming)
+{
+    EngineCheckpoint checkpoint;
+    checkpoint.seed = 5;
+    checkpoint.requestedTrials = 1000;
+    checkpoint.chunkSize = 64;
+    checkpoint.executedChunks = 2;
+
+    McRunOptions options;
+    options.trials = 1000;
+    options.chunkSize = 64;
+    options.keepSamples = false;
+    options.resumeFrom = &checkpoint;
+    // Wrong seed.
+    EXPECT_THROW(static_cast<void>(runTrials(6, options, uniformMetric)),
+                 std::invalid_argument);
+    // keepSamples requires the full per-trial record, which a
+    // streaming checkpoint cannot supply.
+    options.keepSamples = true;
+    EXPECT_THROW(static_cast<void>(runTrials(5, options, uniformMetric)),
+                 std::invalid_argument);
+}
+
+TEST(RunTrials, EarlyStopCaptureKeepsLowestTrialError)
+{
+    // Satellite regression: when early stopping cuts a Capture-mode
+    // run short, the captured faults must still appear in the report
+    // and firstError must be the lowest-indexed failing trial's —
+    // regardless of thread interleaving.
+    const auto metric = [](Rng &rng, uint64_t trial) {
+        if (trial % 97 == 13)
+            throw std::runtime_error("fault at trial " +
+                                     std::to_string(trial));
+        return 5.0 + 0.01 * rng.nextDouble();
+    };
+
+    for (unsigned threads : {1u, 2u, 8u}) {
+        McRunOptions options;
+        options.trials = 200000;
+        options.threads = threads;
+        options.chunkSize = 64;
+        options.keepSamples = false;
+        options.faults = FaultPolicy::Capture;
+        options.earlyStop =
+            EarlyStop{.relHalfWidth = 0.05, .minTrials = 1024,
+                      .checkEveryChunks = 4};
+        const TrialReport report = runTrials(3, options, metric);
+        ASSERT_TRUE(report.stoppedEarly);
+        ASSERT_LT(report.trials, 200000u);
+        ASSERT_FALSE(report.failedTrials.empty());
+        EXPECT_TRUE(std::is_sorted(report.failedTrials.begin(),
+                                   report.failedTrials.end()));
+        // Every failing trial below the stop point is captured...
+        uint64_t expected = 0;
+        for (uint64_t trial = 0; trial < report.trials; ++trial)
+            if (trial % 97 == 13)
+                ++expected;
+        EXPECT_EQ(report.failedTrials.size(), expected);
+        // ...and the surfaced error is the lowest trial's (13).
+        EXPECT_EQ(report.failedTrials.front(), 13u);
+        EXPECT_EQ(report.firstError, "fault at trial 13");
+    }
+}
+
 } // namespace
 } // namespace lemons::engine

@@ -1,0 +1,373 @@
+/**
+ * @file
+ * Unit tests for lemons::fleet campaigns: device apportionment,
+ * thread-count invariance of every reported number, in-process
+ * interrupt/resume equivalence, checkpoint config fingerprinting, the
+ * [fleet]/[cohort] spec front end, and the L8xx lint rules.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.h"
+#include "fleet/campaign.h"
+#include "fleet/checkpoint.h"
+#include "lint/diagnostics.h"
+#include "lint/rules.h"
+#include "lint/spec_file.h"
+
+namespace lemons::fleet {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** A throwaway directory per test, removed on destruction. */
+class TempDir
+{
+  public:
+    TempDir()
+    {
+        root = fs::temp_directory_path() /
+               ("lemons-fleet-test-" + std::to_string(counter()++));
+        fs::create_directories(root);
+    }
+    ~TempDir()
+    {
+        std::error_code ignored;
+        fs::remove_all(root, ignored);
+    }
+    std::string path(const std::string &name) const
+    {
+        return (root / name).string();
+    }
+
+  private:
+    static int &counter()
+    {
+        static int value = 0;
+        return value;
+    }
+    fs::path root;
+};
+
+/** A small heterogeneous spec that runs in well under a second. */
+lint::FleetSpec
+smallSpec()
+{
+    lint::FleetSpec spec;
+    spec.devices = 1500;
+    spec.seed = 7;
+    spec.chunkSize = 32;
+    spec.checkpointEveryChunks = 2;
+    spec.horizonDays = 400;
+    spec.prematureDays = 200;
+
+    // Lifetime mixtures are at fielded-unit scale (accesses the
+    // composed design survives), not the single-device alpha = 10.
+    lint::FleetCohortSpec heavy;
+    heavy.name = "heavy";
+    heavy.weight = 0.6;
+    heavy.staggerDays = 30.0;
+    heavy.accessBound = 9000;
+    heavy.usage.meanPerDay = 40.0;
+    heavy.usage.burstProbability = 0.1;
+    heavy.usage.burstMultiplier = 4.0;
+    heavy.lifetime.infantFraction = 0.05;
+    heavy.lifetime.infant = {9000.0, 0.8};
+    heavy.lifetime.main = {500000.0, 12.0};
+
+    lint::FleetCohortSpec light;
+    light.name = "light";
+    light.weight = 0.4;
+    light.staggerDays = 0.0;
+    light.accessBound = 91250;
+    light.usage.meanPerDay = 20.0;
+    light.lifetime.infantFraction = 0.0;
+    light.lifetime.infant = {9000.0, 0.8};
+    light.lifetime.main = {200000.0, 12.0};
+    light.reprovisionDay = 100.0;
+    light.reprovisionUsageScale = 2.0;
+
+    spec.cohorts = {heavy, light};
+    return spec;
+}
+
+TEST(FleetCampaign, ApportionmentIsExactAndDeterministic)
+{
+    lint::FleetSpec spec = smallSpec();
+    spec.devices = 10001;
+    spec.cohorts[0].weight = 1.0 / 3.0;
+    spec.cohorts[1].weight = 2.0 / 3.0;
+    const FleetCampaign campaign(spec);
+    const std::vector<uint64_t> &trials = campaign.cohortTrials();
+    ASSERT_EQ(trials.size(), 2u);
+    EXPECT_EQ(std::accumulate(trials.begin(), trials.end(),
+                              uint64_t{0}),
+              10001u);
+    // floor(10001/3) = 3333, largest remainder tops it up to 3334.
+    EXPECT_EQ(trials[0], 3334u);
+    EXPECT_EQ(trials[1], 6667u);
+}
+
+TEST(FleetCampaign, InvalidSpecIsRejectedAtConstruction)
+{
+    lint::FleetSpec bad = smallSpec();
+    bad.cohorts[0].weight = 0.9; // weights now sum to 1.3
+    EXPECT_THROW(FleetCampaign{bad}, std::invalid_argument);
+
+    lint::FleetSpec zeroInterval = smallSpec();
+    zeroInterval.checkpointEveryChunks = 0;
+    EXPECT_THROW(FleetCampaign{zeroInterval}, std::invalid_argument);
+}
+
+TEST(FleetCampaign, DigestIsThreadCountInvariant)
+{
+    const FleetCampaign campaign(smallSpec());
+    CampaignOptions base;
+    base.threads = 1;
+    const FleetSummary reference = campaign.run(base);
+    ASSERT_TRUE(reference.complete());
+    ASSERT_EQ(reference.devices, 1500u);
+    ASSERT_EQ(reference.cohorts.size(), 2u);
+    // The heavy cohort's budget dies well before the horizon; the
+    // light cohort's LAB comfortably outlives 400 days.
+    EXPECT_GT(reference.cohorts[0].replacementRate(), 0.9);
+    EXPECT_LT(reference.cohorts[1].replacementRate(), 0.1);
+    EXPECT_GT(reference.cohorts[1].reprovisioned, 0u);
+
+    for (unsigned threads : {2u, 8u}) {
+        CampaignOptions options;
+        options.threads = threads;
+        const FleetSummary summary = campaign.run(options);
+        EXPECT_EQ(summary.digest(), reference.digest())
+            << "digest diverged at " << threads << " threads";
+        ASSERT_EQ(summary.cohorts.size(), reference.cohorts.size());
+        for (size_t i = 0; i < summary.cohorts.size(); ++i) {
+            EXPECT_EQ(summary.cohorts[i].replaced,
+                      reference.cohorts[i].replaced);
+            EXPECT_EQ(summary.cohorts[i].premature,
+                      reference.cohorts[i].premature);
+            EXPECT_EQ(summary.cohorts[i].reprovisioned,
+                      reference.cohorts[i].reprovisioned);
+        }
+    }
+}
+
+TEST(FleetCampaign, DeadlineInterruptThenResumeMatchesUninterrupted)
+{
+    const TempDir dir;
+    const FleetCampaign campaign(smallSpec());
+    const FleetSummary reference = campaign.run(CampaignOptions{});
+
+    // An already-expired deadline stops the campaign at the first
+    // wave boundary, leaving a zero-progress (but valid) checkpoint.
+    CampaignOptions interrupted;
+    interrupted.checkpointPath = dir.path("fleet.ckpt");
+    interrupted.deadline = std::chrono::steady_clock::now() -
+                           std::chrono::milliseconds(1);
+    const FleetSummary partial = campaign.run(interrupted);
+    EXPECT_FALSE(partial.complete());
+    EXPECT_EQ(partial.interrupt,
+              engine::InterruptReason::DeadlineExceeded);
+    ASSERT_TRUE(fs::exists(dir.path("fleet.ckpt")));
+
+    // Resuming without a deadline completes and matches bit-for-bit.
+    CampaignOptions resume;
+    resume.checkpointPath = dir.path("fleet.ckpt");
+    resume.resume = true;
+    const FleetSummary resumed = campaign.run(resume);
+    EXPECT_TRUE(resumed.resumed);
+    EXPECT_TRUE(resumed.complete());
+    EXPECT_EQ(resumed.digest(), reference.digest());
+}
+
+TEST(FleetCampaign, CancellationMidCampaignResumesBitIdentically)
+{
+    const TempDir dir;
+    const FleetCampaign campaign(smallSpec());
+    const FleetSummary reference = campaign.run(CampaignOptions{});
+
+    // Cancel from inside the run: the token fires after the first
+    // checkpoint lands, so the interrupt point is mid-campaign.
+    engine::CancelToken token;
+    CampaignOptions interrupted;
+    interrupted.checkpointPath = dir.path("fleet.ckpt");
+    interrupted.cancel = &token;
+    std::thread canceller([&token] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        token.cancel();
+    });
+    const FleetSummary partial = campaign.run(interrupted);
+    canceller.join();
+
+    FleetSummary outcome = partial;
+    if (!partial.complete()) {
+        EXPECT_EQ(partial.interrupt,
+                  engine::InterruptReason::Cancelled);
+        CampaignOptions resume;
+        resume.checkpointPath = dir.path("fleet.ckpt");
+        resume.resume = true;
+        outcome = campaign.run(resume);
+        EXPECT_TRUE(outcome.resumed);
+    }
+    EXPECT_TRUE(outcome.complete());
+    EXPECT_EQ(outcome.digest(), reference.digest());
+}
+
+TEST(FleetCampaign, ResumeRejectsForeignCheckpoint)
+{
+    const TempDir dir;
+    const FleetCampaign original(smallSpec());
+    CampaignOptions options;
+    options.checkpointPath = dir.path("fleet.ckpt");
+    static_cast<void>(original.run(options));
+
+    // Same path, different experiment: the config fingerprint must
+    // refuse the mix-up with the C105 taxonomy code.
+    lint::FleetSpec other = smallSpec();
+    other.seed = 8;
+    const FleetCampaign foreign(other);
+    CampaignOptions resume = options;
+    resume.resume = true;
+    try {
+        static_cast<void>(foreign.run(resume));
+        FAIL() << "foreign checkpoint must be rejected";
+    } catch (const CheckpointError &error) {
+        EXPECT_NE(std::string(error.what()).find("C105"),
+                  std::string::npos)
+            << error.what();
+    }
+}
+
+TEST(FleetCampaign, SealedCheckpointResumeSkipsAllWork)
+{
+    const TempDir dir;
+    const FleetCampaign campaign(smallSpec());
+    CampaignOptions options;
+    options.checkpointPath = dir.path("fleet.ckpt");
+    const FleetSummary first = campaign.run(options);
+
+    CampaignOptions resume = options;
+    resume.resume = true;
+    const FleetSummary second = campaign.run(resume);
+    EXPECT_TRUE(second.resumed);
+    EXPECT_TRUE(second.complete());
+    EXPECT_EQ(second.digest(), first.digest());
+}
+
+TEST(FleetSpecFile, FleetAndCohortSectionsParse)
+{
+    const std::string text = "[fleet]\n"
+                             "devices = 5000\n"
+                             "seed = 11\n"
+                             "chunk_size = 128\n"
+                             "checkpoint_interval = 4\n"
+                             "horizon_days = 1825\n"
+                             "premature_days = 365\n"
+                             "[cohort]\n"
+                             "name = retail\n"
+                             "weight = 0.75\n"
+                             "stagger_days = 90\n"
+                             "access_bound = 91250\n"
+                             "mean_per_day = 50\n"
+                             "burst_probability = 0.05\n"
+                             "burst_multiplier = 3\n"
+                             "infant_fraction = 0.02\n"
+                             "[cohort]\n"
+                             "name = secondhand\n"
+                             "weight = 0.25\n"
+                             "mean_per_day = 30\n"
+                             "reprovision_day = 900\n"
+                             "reprovision_scale = 1.5\n";
+    lint::Report report;
+    const lint::ParsedSpec parsed =
+        lint::parseSpec(text, "f", report);
+    EXPECT_FALSE(report.hasErrors()) << report.format();
+    ASSERT_EQ(parsed.fleets.size(), 1u);
+    const lint::FleetSpec &fleet = parsed.fleets[0];
+    EXPECT_EQ(fleet.devices, 5000u);
+    EXPECT_EQ(fleet.seed, 11u);
+    EXPECT_EQ(fleet.chunkSize, 128u);
+    EXPECT_EQ(fleet.checkpointEveryChunks, 4u);
+    ASSERT_EQ(fleet.cohorts.size(), 2u);
+    EXPECT_EQ(fleet.cohorts[0].name, "retail");
+    EXPECT_DOUBLE_EQ(fleet.cohorts[0].weight, 0.75);
+    EXPECT_DOUBLE_EQ(fleet.cohorts[0].staggerDays, 90.0);
+    EXPECT_EQ(fleet.cohorts[1].name, "secondhand");
+    ASSERT_TRUE(fleet.cohorts[1].reprovisionDay.has_value());
+    EXPECT_DOUBLE_EQ(*fleet.cohorts[1].reprovisionDay, 900.0);
+    EXPECT_DOUBLE_EQ(fleet.cohorts[1].reprovisionUsageScale, 1.5);
+
+    // The parsed spec is directly runnable.
+    const FleetCampaign campaign(fleet);
+    EXPECT_EQ(std::accumulate(campaign.cohortTrials().begin(),
+                              campaign.cohortTrials().end(),
+                              uint64_t{0}),
+              5000u);
+}
+
+TEST(FleetSpecFile, CohortBeforeFleetIsASyntaxError)
+{
+    const lint::Report report =
+        lint::lintText("[cohort]\nname = orphan\nweight = 1\n", "f");
+    EXPECT_TRUE(report.hasCode(lint::Code::L902));
+    EXPECT_TRUE(report.hasErrors());
+}
+
+TEST(FleetLintRules, CatchBadFleetParameters)
+{
+    using lint::Code;
+    lint::FleetSpec spec = smallSpec();
+    spec.devices = 0;
+    spec.horizonDays = 0;
+    spec.checkpointEveryChunks = 0;
+    lint::Report report = lint::checkFleet(spec);
+    EXPECT_TRUE(report.hasCode(Code::L801));
+    EXPECT_TRUE(report.hasCode(Code::L802));
+    EXPECT_TRUE(report.hasCode(Code::L803));
+
+    lint::FleetSpec weights = smallSpec();
+    weights.cohorts[0].weight = 1.5;
+    report = lint::checkFleet(weights);
+    EXPECT_TRUE(report.hasCode(Code::L804));
+    EXPECT_TRUE(report.hasCode(Code::L805));
+
+    lint::FleetSpec stagger = smallSpec();
+    stagger.cohorts[0].staggerDays = -3.0;
+    stagger.cohorts[1].accessBound = 0;
+    report = lint::checkFleet(stagger);
+    EXPECT_TRUE(report.hasCode(Code::L806));
+    EXPECT_TRUE(report.hasCode(Code::L807));
+
+    lint::FleetSpec noCohorts = smallSpec();
+    noCohorts.cohorts.clear();
+    EXPECT_TRUE(lint::checkFleet(noCohorts).hasCode(Code::L808));
+
+    lint::FleetSpec lateReprovision = smallSpec();
+    lateReprovision.cohorts[1].reprovisionDay = 1e9;
+    EXPECT_TRUE(
+        lint::checkFleet(lateReprovision).hasCode(Code::L809));
+
+    lint::FleetSpec premature = smallSpec();
+    premature.prematureDays = premature.horizonDays;
+    EXPECT_TRUE(lint::checkFleet(premature).hasCode(Code::L810));
+
+    lint::FleetSpec scale = smallSpec();
+    scale.cohorts[1].reprovisionUsageScale = -1.0;
+    EXPECT_TRUE(lint::checkFleet(scale).hasCode(Code::L811));
+
+    // The clean small spec fires nothing.
+    EXPECT_TRUE(lint::checkFleet(smallSpec()).empty())
+        << lint::checkFleet(smallSpec()).format();
+}
+
+} // namespace
+} // namespace lemons::fleet

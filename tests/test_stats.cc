@@ -5,9 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 
+#include "util/rng.h"
 #include "util/stats.h"
 
 namespace lemons {
@@ -233,6 +236,95 @@ TEST(WilsonInterval, RejectsBadInputs)
 {
     EXPECT_THROW(wilsonInterval(1, 0), std::invalid_argument);
     EXPECT_THROW(wilsonInterval(11, 10), std::invalid_argument);
+}
+
+TEST(RunningStats, EmptyExtremaAreIdentityElements)
+{
+    // Documented contract — and a hard requirement now that shards
+    // are serialized: reading min()/max() of an empty accumulator
+    // must be +inf/-inf, never uninitialized memory.
+    const RunningStats empty;
+    EXPECT_EQ(empty.min(), std::numeric_limits<double>::infinity());
+    EXPECT_EQ(empty.max(), -std::numeric_limits<double>::infinity());
+
+    RunningStats quarantineOnly;
+    quarantineOnly.add(std::numeric_limits<double>::quiet_NaN());
+    EXPECT_EQ(quarantineOnly.min(),
+              std::numeric_limits<double>::infinity());
+    EXPECT_EQ(quarantineOnly.max(),
+              -std::numeric_limits<double>::infinity());
+}
+
+TEST(RunningStats, MergeEmptyShardWithQuarantinedNaNs)
+{
+    // Regression: merging a shard that saw only quarantined non-finite
+    // samples must carry the quarantine count across without
+    // perturbing the receiver's mean/variance/extrema.
+    RunningStats filled;
+    for (double x : {2.0, 4.0, 9.0})
+        filled.add(x);
+    const double meanBefore = filled.mean();
+    const double varianceBefore = filled.variance();
+
+    RunningStats quarantineOnly;
+    quarantineOnly.add(std::numeric_limits<double>::quiet_NaN());
+    quarantineOnly.add(std::numeric_limits<double>::infinity());
+
+    filled.merge(quarantineOnly);
+    EXPECT_EQ(filled.count(), 3u);
+    EXPECT_EQ(filled.nonFiniteCount(), 2u);
+    EXPECT_EQ(filled.mean(), meanBefore);
+    EXPECT_EQ(filled.variance(), varianceBefore);
+    EXPECT_DOUBLE_EQ(filled.min(), 2.0);
+    EXPECT_DOUBLE_EQ(filled.max(), 9.0);
+
+    // And the mirror direction: quarantine-only receiver absorbing a
+    // filled shard adopts its aggregates exactly.
+    RunningStats receiver;
+    receiver.add(std::numeric_limits<double>::quiet_NaN());
+    RunningStats donor;
+    for (double x : {2.0, 4.0, 9.0})
+        donor.add(x);
+    receiver.merge(donor);
+    EXPECT_EQ(receiver.count(), 3u);
+    EXPECT_EQ(receiver.nonFiniteCount(), 1u);
+    EXPECT_EQ(receiver.mean(), donor.mean());
+    EXPECT_EQ(receiver.variance(), donor.variance());
+    EXPECT_DOUBLE_EQ(receiver.min(), 2.0);
+    EXPECT_DOUBLE_EQ(receiver.max(), 9.0);
+}
+
+TEST(RunningStats, StateRoundTripIsBitExact)
+{
+    RunningStats s;
+    Rng rng(42);
+    for (int i = 0; i < 1000; ++i)
+        s.add(rng.nextGaussian() * 1e6);
+    s.add(std::numeric_limits<double>::quiet_NaN());
+
+    const RunningStats::State state = s.state();
+    const RunningStats restored = RunningStats::fromState(state);
+    EXPECT_EQ(restored.count(), s.count());
+    EXPECT_EQ(restored.nonFiniteCount(), s.nonFiniteCount());
+    EXPECT_EQ(std::bit_cast<uint64_t>(restored.mean()),
+              std::bit_cast<uint64_t>(s.mean()));
+    EXPECT_EQ(std::bit_cast<uint64_t>(restored.variance()),
+              std::bit_cast<uint64_t>(s.variance()));
+    EXPECT_EQ(std::bit_cast<uint64_t>(restored.min()),
+              std::bit_cast<uint64_t>(s.min()));
+    EXPECT_EQ(std::bit_cast<uint64_t>(restored.max()),
+              std::bit_cast<uint64_t>(s.max()));
+
+    // The empty accumulator's state round-trips too (the identity
+    // extrema are representable and preserved).
+    const RunningStats::State emptyState = RunningStats{}.state();
+    const RunningStats emptyRestored =
+        RunningStats::fromState(emptyState);
+    EXPECT_EQ(emptyRestored.count(), 0u);
+    EXPECT_EQ(emptyRestored.min(),
+              std::numeric_limits<double>::infinity());
+    EXPECT_EQ(emptyRestored.max(),
+              -std::numeric_limits<double>::infinity());
 }
 
 } // namespace
