@@ -1,0 +1,194 @@
+#include "analysis/report.h"
+
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace lemons::analysis {
+
+namespace {
+
+/** {"lo": x, "hi": y} with unbounded endpoints as null. */
+void
+writeBracket(obs::JsonWriter &json, double lo, double hi)
+{
+    json.beginObject();
+    json.key("lo");
+    json.value(lo);
+    json.key("hi");
+    json.value(hi); // non-finite (the lattice top) emits as null
+    json.endObject();
+}
+
+void
+writeBracket(obs::JsonWriter &json, AccessBracket bracket)
+{
+    writeBracket(json, bracket.lo, bracket.hi);
+}
+
+void
+writeFindings(obs::JsonWriter &json, const lint::Report &findings)
+{
+    json.beginArray();
+    for (const lint::Diagnostic &diagnostic : findings.diagnostics()) {
+        json.beginObject();
+        json.key("code");
+        json.value(diagnostic.id());
+        json.key("severity");
+        json.value(lint::severityName(diagnostic.severity));
+        json.key("object");
+        json.value(diagnostic.object);
+        json.key("field");
+        json.value(diagnostic.field);
+        json.key("message");
+        json.value(diagnostic.message);
+        json.key("hint");
+        json.value(diagnostic.hint);
+        json.endObject();
+    }
+    json.endArray();
+}
+
+void
+writeGraphs(obs::JsonWriter &json, const std::vector<GraphBudget> &graphs)
+{
+    json.beginArray();
+    for (const GraphBudget &graph : graphs) {
+        json.beginObject();
+        json.key("graph");
+        json.value(graph.graph);
+        json.key("vacuous");
+        json.value(graph.vacuous);
+        json.key("system_capacity");
+        writeBracket(json, graph.systemCapacity);
+        json.key("system_demand");
+        writeBracket(json, graph.systemDemand);
+        json.key("nodes");
+        json.beginArray();
+        for (const NodeBudget &node : graph.nodes) {
+            json.beginObject();
+            json.key("kind");
+            json.value(node.kind);
+            json.key("label");
+            json.value(node.label);
+            json.key("capacity");
+            writeBracket(json, node.capacity);
+            json.key("demand");
+            writeBracket(json, node.demand);
+            json.endObject();
+        }
+        json.endArray();
+        json.endObject();
+    }
+    json.endArray();
+}
+
+void
+writeWorkloads(obs::JsonWriter &json,
+               const std::vector<WorkloadAnalysis> &workloads)
+{
+    json.beginArray();
+    for (const WorkloadAnalysis &workload : workloads) {
+        json.beginObject();
+        json.key("demand");
+        writeBracket(json, workload.demand);
+        json.key("budget");
+        if (workload.budget)
+            json.value(*workload.budget);
+        else
+            json.null();
+        json.key("exhaust_upper");
+        json.value(workload.exhaustUpper);
+        json.endObject();
+    }
+    json.endArray();
+}
+
+void
+writeCohorts(obs::JsonWriter &json,
+             const std::vector<CohortAnalysis> &cohorts)
+{
+    json.beginArray();
+    for (const CohortAnalysis &cohort : cohorts) {
+        json.beginObject();
+        json.key("cohort");
+        json.value(cohort.cohort);
+        json.key("premature");
+        writeBracket(json, cohort.premature.lo, cohort.premature.hi);
+        json.key("window_demand");
+        writeBracket(json, cohort.windowDemand);
+        json.key("horizon_demand");
+        writeBracket(json, cohort.horizonDemand);
+        json.endObject();
+    }
+    json.endArray();
+}
+
+void
+writeAdversaries(obs::JsonWriter &json,
+                 const std::vector<AdversaryAnalysis> &adversaries)
+{
+    json.beginArray();
+    for (const AdversaryAnalysis &adversary : adversaries) {
+        json.beginObject();
+        json.key("graph");
+        json.value(adversary.graph);
+        json.key("guess_space");
+        json.value(adversary.guessSpace);
+        json.key("ceiling");
+        if (adversary.ceiling)
+            json.value(*adversary.ceiling);
+        else
+            json.null();
+        json.key("success");
+        writeBracket(json, adversary.success.lo, adversary.success.hi);
+        json.endObject();
+    }
+    json.endArray();
+}
+
+} // namespace
+
+std::string
+renderAnalysisJson(const std::vector<AnalyzedFile> &files)
+{
+    std::ostringstream out;
+    obs::JsonWriter json(out);
+    json.beginObject();
+    json.key("schema");
+    json.value(kAnalyzeSchema);
+
+    size_t errors = 0;
+    size_t warnings = 0;
+    json.key("files");
+    json.beginArray();
+    for (const AnalyzedFile &file : files) {
+        errors += file.findings.errorCount();
+        warnings += file.findings.warningCount();
+        json.beginObject();
+        json.key("file");
+        json.value(file.analysis.file);
+        json.key("findings");
+        writeFindings(json, file.findings);
+        json.key("graphs");
+        writeGraphs(json, file.analysis.graphs);
+        json.key("workloads");
+        writeWorkloads(json, file.analysis.workloads);
+        json.key("cohorts");
+        writeCohorts(json, file.analysis.cohorts);
+        json.key("adversaries");
+        writeAdversaries(json, file.analysis.adversaries);
+        json.endObject();
+    }
+    json.endArray();
+
+    json.key("errors");
+    json.value(static_cast<uint64_t>(errors));
+    json.key("warnings");
+    json.value(static_cast<uint64_t>(warnings));
+    json.endObject();
+    out << '\n';
+    return out.str();
+}
+
+} // namespace lemons::analysis

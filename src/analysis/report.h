@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Machine-readable reporting for the wear-budget analyzer.
+ *
+ * `lemons-lint --json` emits one `lemons-analyze/1` document per run:
+ * every finding the run produced (L/V/A merged, in emission order)
+ * plus the analyzer's certified brackets — per-graph capacity/demand
+ * dataflow results, per-workload demand envelopes, per-cohort
+ * premature-lockout brackets, and the guessing-adversary obligations.
+ * Unbounded bracket endpoints (the lattice top) serialize as JSON
+ * null, matching the obs::JsonWriter convention for non-finite
+ * doubles, so consumers can distinguish "certified huge" from
+ * "unbounded".
+ */
+
+#ifndef LEMONS_ANALYSIS_REPORT_H_
+#define LEMONS_ANALYSIS_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/passes.h"
+#include "lint/diagnostics.h"
+
+namespace lemons::analysis {
+
+/** The JSON schema identifier emitted at the document root. */
+inline constexpr const char *kAnalyzeSchema = "lemons-analyze/1";
+
+/** One spec file's merged findings plus its analyzer results. */
+struct AnalyzedFile
+{
+    /** All findings for the file (L + optional V + A, merged). */
+    lint::Report findings;
+    /** The analyzer's brackets (analysis.file names the file). */
+    FileAnalysis analysis;
+};
+
+/** Render the whole run as a `lemons-analyze/1` JSON document. */
+std::string renderAnalysisJson(const std::vector<AnalyzedFile> &files);
+
+} // namespace lemons::analysis
+
+#endif // LEMONS_ANALYSIS_REPORT_H_

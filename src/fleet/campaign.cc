@@ -7,6 +7,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "lint/diagnostics.h"
 #include "obs/metrics.h"
 #include "sim/workload.h"
 #include "util/checksum.h"
@@ -298,8 +299,9 @@ FleetCampaign::run(const CampaignOptions &options) const
             const FleetCheckpoint &checkpoint = *loaded.checkpoint;
             if (checkpoint.configFingerprint != fingerprint)
                 throw CheckpointError(
-                    options.checkpointPath +
-                    ": C105 config mismatch: checkpoint was written "
+                    options.checkpointPath + ": " +
+                    lint::codeInfo(lint::Code::C105).id +
+                    " config mismatch: checkpoint was written "
                     "by a campaign with a different configuration");
             for (const CohortRecord &record : checkpoint.completed)
                 summary.cohorts.push_back(fromRecord(record));

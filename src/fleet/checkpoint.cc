@@ -12,6 +12,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include "lint/diagnostics.h"
 #include "obs/metrics.h"
 #include "util/checksum.h"
 
@@ -21,6 +22,13 @@ namespace {
 
 constexpr size_t kMagicSize = sizeof(kCheckpointMagic) - 1;
 constexpr std::string_view kMagicFamily = "fleet-ckpt/";
+
+/** "C104" etc., sourced from the shared registry so ids cannot drift. */
+std::string
+codeTag(lint::Code code)
+{
+    return lint::codeInfo(code).id;
+}
 
 /** Little-endian primitive serializer into a growable byte buffer. */
 class ByteWriter
@@ -126,8 +134,9 @@ class ByteReader
     {
         if (size > remaining)
             throw CheckpointError(
-                origin + ": C106 malformed payload (field extends past "
-                         "the end of the checkpoint)");
+                origin + ": " + codeTag(lint::Code::C106) +
+                " malformed payload (field extends past "
+                "the end of the checkpoint)");
     }
 
     void advance(size_t size)
@@ -210,7 +219,8 @@ class Fd
 [[noreturn]] void
 ioError(const std::string &path, const std::string &what)
 {
-    throw CheckpointError(path + ": C107 io error: " + what + " (" +
+    throw CheckpointError(path + ": " + codeTag(lint::Code::C107) +
+                          " io error: " + what + " (" +
                           std::strerror(errno) + ")");
 }
 
@@ -288,21 +298,24 @@ decodeCheckpoint(const void *data, size_t size, const std::string &source)
                                   std::min<size_t>(size, 32));
             const size_t newline = rest.find('\n');
             throw CheckpointError(
-                source + ": C102 unsupported checkpoint version '" +
+                source + ": " + codeTag(lint::Code::C102) +
+                " unsupported checkpoint version '" +
                 std::string(newline == std::string_view::npos
                                 ? rest
                                 : rest.substr(0, newline)) +
                 "' (this build reads fleet-ckpt/1)");
         }
-        throw CheckpointError(source +
-                              ": C101 bad magic: not a fleet-ckpt file");
+        throw CheckpointError(source + ": " +
+                              codeTag(lint::Code::C101) +
+                              " bad magic: not a fleet-ckpt file");
     }
 
     ByteReader header(bytes + kMagicSize, size - kMagicSize, source);
     const uint64_t payloadSize = header.u64();
     if (header.left() < payloadSize + 4)
         throw CheckpointError(
-            source + ": C103 truncated checkpoint (payload of " +
+            source + ": " + codeTag(lint::Code::C103) +
+            " truncated checkpoint (payload of " +
             std::to_string(payloadSize) + " bytes, " +
             std::to_string(header.left()) + " available)");
     const std::vector<uint8_t> body =
@@ -311,7 +324,8 @@ decodeCheckpoint(const void *data, size_t size, const std::string &source)
     const uint32_t computed = crc32c(body.data(), body.size());
     if (stored != computed)
         throw CheckpointError(
-            source + ": C104 checksum mismatch (stored " +
+            source + ": " + codeTag(lint::Code::C104) +
+            " checksum mismatch (stored " +
             std::to_string(stored) + ", computed " +
             std::to_string(computed) + "): torn or corrupted write");
 
@@ -402,7 +416,8 @@ readCheckpoint(const std::string &path)
 {
     std::ifstream in(path, std::ios::binary);
     if (!in)
-        throw CheckpointError(path + ": C107 io error: cannot open");
+        throw CheckpointError(path + ": " + codeTag(lint::Code::C107) +
+                              " io error: cannot open");
     std::vector<uint8_t> bytes(
         (std::istreambuf_iterator<char>(in)),
         std::istreambuf_iterator<char>());

@@ -19,13 +19,55 @@ severityName(Severity severity)
     return "unknown";
 }
 
+namespace {
+
+/*
+ * The registry's uniqueness contract: every row's id string must be
+ * pairwise distinct across the L/V/C/A families. The enumerators
+ * already cannot collide (the compiler rejects duplicate names), but
+ * the id strings are free-form — this is what CI greps, EXPECT_CODES
+ * lists, and suppression files match on, so a typo'd duplicate would
+ * silently alias two rules. Checked at compile time.
+ */
+constexpr const char *kCodeIds[] = {
+#define LEMONS_LINT_ID(code, id, severity, title) id,
+    LEMONS_CODE_TABLE(LEMONS_LINT_ID)
+#undef LEMONS_LINT_ID
+};
+
+constexpr bool
+sameId(const char *a, const char *b)
+{
+    size_t i = 0;
+    while (a[i] != '\0' && a[i] == b[i])
+        ++i;
+    return a[i] == b[i];
+}
+
+constexpr bool
+codeIdsUnique()
+{
+    constexpr size_t n = sizeof(kCodeIds) / sizeof(kCodeIds[0]);
+    for (size_t i = 0; i < n; ++i)
+        for (size_t j = i + 1; j < n; ++j)
+            if (sameId(kCodeIds[i], kCodeIds[j]))
+                return false;
+    return true;
+}
+
+static_assert(codeIdsUnique(),
+              "diagnostic code ids must be unique across the "
+              "L/V/C/A families (see lint/code_registry.h)");
+
+} // namespace
+
 const std::vector<CodeInfo> &
 codeCatalog()
 {
     static const std::vector<CodeInfo> catalog = {
-#define LEMONS_LINT_ROW(id, severity, title)                                 \
-    CodeInfo{Code::id, #id, Severity::severity, title},
-        LEMONS_LINT_CODE_TABLE(LEMONS_LINT_ROW)
+#define LEMONS_LINT_ROW(code, id, severity, title)                           \
+    CodeInfo{Code::code, id, Severity::severity, title},
+        LEMONS_CODE_TABLE(LEMONS_LINT_ROW)
 #undef LEMONS_LINT_ROW
     };
     return catalog;

@@ -34,6 +34,16 @@
  *   V1xx  structural rules (reachability, redundancy waste)
  *   V2xx  secret-flow analysis (taint from share sources to sinks)
  *   V9xx  IR lowering problems
+ *
+ * The C range names the fleet checkpoint failure modes (C101-C107,
+ * raised as fleet::CheckpointError rather than Report findings), and
+ * the A range belongs to the wear-budget analyzer (lemons::analysis):
+ *   A0xx  access-budget dataflow (exhaustion, premature lockout,
+ *         dead wear, certified consumption brackets)
+ *   A1xx  adversary-success obligations (guessing, unbounded wearout)
+ *
+ * All four families share one registry (lint/code_registry.h) whose
+ * id strings are compile-time checked for uniqueness.
  */
 
 #ifndef LEMONS_LINT_DIAGNOSTICS_H_
@@ -43,6 +53,8 @@
 #include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "lint/code_registry.h"
 
 namespace lemons::lint {
 
@@ -56,138 +68,15 @@ enum class Severity {
 /** Lowercase severity name ("note" / "warning" / "error"). */
 const char *severityName(Severity severity);
 
-/**
- * Stable diagnostic codes. X-macro so the enum, the id string, the
- * default severity, and the one-line title can never drift apart.
- * Append new codes at the end of their range; never renumber.
+/*
+ * The code table itself lives in lint/code_registry.h, shared with
+ * the verify, fleet, and analysis families so ids cannot collide.
  */
-#define LEMONS_LINT_CODE_TABLE(X)                                            \
-    X(L001, Error, "device alpha must be positive and finite")               \
-    X(L002, Error, "device beta must be positive and finite")                \
-    X(L003, Error, "legitimate access bound must be at least 1")             \
-    X(L004, Error, "kFraction must lie in [0, 1)")                           \
-    X(L005, Error, "minReliability must lie in (0, 1)")                      \
-    X(L006, Error, "maxResidualReliability must lie in (0, 1)")              \
-    X(L007, Error, "degradation criteria inverted: residual ceiling "        \
-                   "must stay below the reliability floor")                  \
-    X(L008, Error, "upper-bound target must exceed the LAB")                 \
-    X(L009, Error, "maxWidth must be at least 1")                            \
-    X(L010, Warning, "attack budget reaches the passcode guess space: "     \
-                     "wearout alone cannot stop brute force")                \
-    X(L011, Warning, "beta <= 1 gives no wearout knee: the degradation "    \
-                     "window never closes sharply")                          \
-    X(L012, Warning, "alpha outside the plausible NEMS-contact range")       \
-    X(L013, Warning, "minReliability unreachable within maxWidth even at "  \
-                     "one access per copy")                                  \
-    X(L101, Error, "share threshold k must be at least 1")                   \
-    X(L102, Error, "share threshold k must not exceed share count n")        \
-    X(L103, Error, "share count exceeds the field's share capacity")         \
-    X(L104, Warning, "k == n leaves no redundancy: one worn-out share "     \
-                     "destroys the secret")                                  \
-    X(L105, Error, "unsupported share field width (use 8 or 16 bits)")       \
-    X(L201, Error, "structure width n must be at least 1")                   \
-    X(L202, Error, "parallel threshold k must satisfy 1 <= k <= n")          \
-    X(L203, Error, "structure device alpha/beta must be positive")           \
-    X(L204, Warning, "series chain length explosion (the paper discards "   \
-                     "chaining for this reason)")                            \
-    X(L205, Warning, "parallel width beyond die-area plausibility")          \
-    X(L206, Warning, "k above 0.9 n: reconstruction margin nearly nil")      \
-    X(L301, Error, "OTP tree height must lie in [1, 20]")                    \
-    X(L302, Warning, "OTP tree height below 4 leaves the adversary a "      \
-                     "path-guess probability of 1/8 or better")              \
-    X(L303, Error, "OTP copies must be at least 1")                          \
-    X(L304, Error, "OTP threshold must lie in [1, copies]")                  \
-    X(L305, Error, "OTP copies exceed the GF(256) Shamir share limit")       \
-    X(L306, Error, "OTP device alpha/beta must be positive")                 \
-    X(L307, Warning, "OTP switch alpha is not near-one-shot: surviving "    \
-                     "trees open a replay window")                           \
-    X(L401, Error, "stuckClosedRate outside [0, 1]")                         \
-    X(L402, Error, "infantFraction outside [0, 1]")                          \
-    X(L403, Error, "infantScaleFraction must be positive")                   \
-    X(L404, Error, "infantShape must be positive")                           \
-    X(L405, Error, "glitchRate outside [0, 1]")                              \
-    X(L406, Error, "drift sigmas must be non-negative")                      \
-    X(L407, Warning, "stuckClosedRate above 5%: the attack bound "          \
-                     "effectively collapses")                                \
-    X(L408, Warning, "infantScaleFraction >= 1: the infant leg is not "     \
-                     "early-life")                                           \
-    X(L409, Warning, "infantShape >= 1: infant hazard is not decreasing")    \
-    X(L410, Warning, "glitchRate above 0.5: availability collapse")          \
-    X(L411, Warning, "drift sigma above 1: order-of-magnitude "             \
-                     "calibration uncertainty")                              \
-    X(L501, Error, "M-way replication factor must be at least 1")            \
-    X(L502, Warning, "M-way factor above 10000: migration/re-wrap burden "  \
-                     "implausible")                                          \
-    X(L503, Error, "M-way module design is infeasible")                      \
-    X(L504, Warning, "M-way total device count beyond fabrication "         \
-                     "plausibility")                                         \
-    X(L901, Error, "spec file unreadable")                                   \
-    X(L902, Error, "spec syntax error")                                      \
-    X(L903, Error, "unknown spec section")                                   \
-    X(L904, Warning, "unknown spec key")                                     \
-    X(L905, Error, "malformed spec value")                                   \
-    X(L906, Warning, "spec file declares no sections")                       \
-    X(L601, Error, "workload mean accesses per day must be positive "       \
-                   "and finite")                                             \
-    X(L602, Error, "burst probability outside [0, 1]")                       \
-    X(L603, Error, "burst multiplier must be at least 1 and finite")         \
-    X(L604, Warning, "access budget below the expected demand over the "    \
-                     "horizon")                                              \
-    X(L605, Warning, "burst-dominated profile: bursts carry most of the "   \
-                     "demand")                                               \
-    X(L701, Error, "mixture infant fraction outside [0, 1]")                 \
-    X(L702, Error, "mixture component alpha/beta must be positive and "     \
-                   "finite")                                                 \
-    X(L703, Warning, "infant component shape >= 1: hazard is not "          \
-                     "decreasing")                                           \
-    X(L704, Warning, "infant component scale not below the main scale")     \
-    X(L801, Error, "fleet device count must be at least 1")                  \
-    X(L802, Error, "fleet horizon must be at least 1 day")                   \
-    X(L803, Error, "checkpoint interval must be at least 1 chunk")           \
-    X(L804, Error, "cohort weight must lie in (0, 1]")                       \
-    X(L805, Error, "cohort weights must sum to 1")                           \
-    X(L806, Error, "provisioning stagger must be non-negative and "         \
-                   "finite")                                                 \
-    X(L807, Error, "cohort access bound must be at least 1")                 \
-    X(L808, Warning, "fleet declares no cohorts")                            \
-    X(L809, Warning, "re-provisioning scheduled at or beyond the "          \
-                     "horizon: the event never fires")                       \
-    X(L810, Warning, "premature-lockout threshold at or beyond the "        \
-                     "horizon: every lockout counts as premature")           \
-    X(L811, Error, "re-provisioning usage scale must be non-negative "      \
-                   "and finite")                                             \
-    X(V001, Note, "certified bound bracket")                                 \
-    X(V002, Error, "survival bracket falls below the reliability floor "    \
-                   "at the access bound")                                    \
-    X(V003, Error, "residual survival bracket exceeds the degradation "     \
-                   "ceiling")                                                \
-    X(V004, Warning, "bound bracket inconclusive: the criterion lies "      \
-                     "inside the certified interval")                        \
-    X(V005, Error, "expected total accesses cannot reach the legitimate "   \
-                   "access bound")                                           \
-    X(V006, Error, "expected total accesses exceed the upper-bound "        \
-                   "target")                                                 \
-    X(V007, Error, "OTP adversary success bracket is not negligible")        \
-    X(V008, Warning, "OTP receiver success bracket below the delivery "     \
-                     "floor")                                                \
-    X(V101, Warning, "unreachable node: no source-to-sink path "            \
-                     "traverses it")                                         \
-    X(V102, Warning, "redundancy waste: parallel width beyond what the "    \
-                     "reliability target needs")                             \
-    X(V103, Error, "fault plan attached to a node the design never "        \
-                   "traverses")                                              \
-    X(V201, Error, "secret share reaches a sink without traversing a "      \
-                   "wearout gate")                                           \
-    X(V202, Error, "fewer than threshold shares sit behind wearout "        \
-                   "gates")                                                  \
-    X(V203, Warning, "secret source cannot reach any sink: the key is "     \
-                     "unrecoverable")                                        \
-    X(V901, Error, "spec does not lower into the architecture IR")
 
 /** Stable diagnostic identifiers. */
 enum class Code {
-#define LEMONS_LINT_ENUM(id, severity, title) id,
-    LEMONS_LINT_CODE_TABLE(LEMONS_LINT_ENUM)
+#define LEMONS_LINT_ENUM(code, id, severity, title) code,
+    LEMONS_CODE_TABLE(LEMONS_LINT_ENUM)
 #undef LEMONS_LINT_ENUM
 };
 

@@ -11,18 +11,30 @@
  * With --verify the whole-design static verifier also runs: each
  * file's sections are lowered into the architecture IR and the bound-
  * propagation, structural, and secret-flow passes report V-range
- * findings alongside the lint L-range, under the same exit-code and
- * --werror semantics.
+ * findings alongside the lint L-range. With --analyze the wear-budget
+ * abstract interpreter adds A-range findings: certified access-count
+ * brackets, budget-exhaustion and premature-lockout obligations, and
+ * adversary-success ceilings. All modes share one merged report per
+ * file, so the exit-code and --werror semantics are uniform across
+ * the L/V/A families.
+ *
+ * --json emits the whole run as one `lemons-analyze/1` document
+ * (implying --analyze) with the merged findings and every certified
+ * bracket, for dashboards and diff tooling.
  *
  * Exit codes: 0 clean (warnings allowed unless --werror), 1 at least
- * one error-severity finding, 2 usage error.
+ * one error-severity finding (or any warning under --werror), 2
+ * usage error.
  */
 
+#include <algorithm>
 #include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "analysis/passes.h"
+#include "analysis/report.h"
 #include "lint/diagnostics.h"
 #include "lint/spec_file.h"
 #include "verify/verifier.h"
@@ -38,22 +50,78 @@ printUsage(std::ostream &out)
            "the lemons design rules without running any simulation.\n"
            "\n"
            "options:\n"
-           "  --verify  also lower each spec into the architecture IR\n"
-           "            and run the static verifier (V-range findings)\n"
-           "  --werror  treat warnings as errors\n"
-           "  --quiet   print only the per-file summaries\n"
-           "  --codes   print the diagnostic-code catalog and exit\n"
-           "  --help    this text\n";
+           "  --verify   also lower each spec into the architecture IR\n"
+           "             and run the static verifier (V-range findings)\n"
+           "  --analyze  also run the wear-budget abstract interpreter\n"
+           "             (A-range findings: budget exhaustion, premature\n"
+           "             lockout, dead wear, adversary obligations)\n"
+           "  --json     emit one lemons-analyze/1 JSON document for\n"
+           "             the whole run (implies --analyze)\n"
+           "  --werror   treat warnings as errors (uniform across the\n"
+           "             L/V/A families)\n"
+           "  --quiet    print only the per-file summaries\n"
+           "  --codes    print the diagnostic-code catalog and exit\n"
+           "  --help     this text\n";
+}
+
+/** Catalog family header for a code id ("L001" -> the lint range). */
+const char *
+familyTitle(char prefix)
+{
+    switch (prefix) {
+    case 'L':
+        return "L-range: design-rule lint (lemons::lint)";
+    case 'V':
+        return "V-range: static verifier (lemons::verify)";
+    case 'C':
+        return "C-range: fleet checkpoint errors (lemons::fleet)";
+    case 'A':
+        return "A-range: wear-budget analyzer (lemons::analysis)";
+    default:
+        return "other";
+    }
 }
 
 void
 printCatalog(std::ostream &out)
 {
-    out << "code  severity  rule\n";
-    for (const lemons::lint::CodeInfo &info :
-         lemons::lint::codeCatalog()) {
+    // Group by family so the listing reads as four catalogs; the
+    // registry itself is append-only and therefore not sorted.
+    std::vector<lemons::lint::CodeInfo> sorted =
+        lemons::lint::codeCatalog();
+    std::sort(sorted.begin(), sorted.end(),
+              [](const lemons::lint::CodeInfo &a,
+                 const lemons::lint::CodeInfo &b) {
+                  return std::strcmp(a.id, b.id) < 0;
+              });
+    const auto familyRank = [](char prefix) {
+        switch (prefix) {
+        case 'L':
+            return 0;
+        case 'V':
+            return 1;
+        case 'C':
+            return 2;
+        case 'A':
+            return 3;
+        default:
+            return 4;
+        }
+    };
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [&](const lemons::lint::CodeInfo &a,
+                         const lemons::lint::CodeInfo &b) {
+                         return familyRank(a.id[0]) < familyRank(b.id[0]);
+                     });
+    char family = '\0';
+    for (const lemons::lint::CodeInfo &info : sorted) {
+        if (info.id[0] != family) {
+            family = info.id[0];
+            out << (family == 'L' ? "" : "\n") << familyTitle(family)
+                << "\n";
+        }
         const char *severity = lemons::lint::severityName(info.severity);
-        out << info.id << "  " << severity;
+        out << "  " << info.id << "  " << severity;
         // Pad to the widest severity name ("warning", 7 chars) + 2.
         for (size_t pad = std::strlen(severity); pad < 9; ++pad)
             out << ' ';
@@ -69,6 +137,8 @@ main(int argc, char **argv)
     bool werror = false;
     bool quiet = false;
     bool verify = false;
+    bool analyze = false;
+    bool json = false;
     std::vector<std::string> files;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -78,6 +148,11 @@ main(int argc, char **argv)
             quiet = true;
         } else if (arg == "--verify") {
             verify = true;
+        } else if (arg == "--analyze") {
+            analyze = true;
+        } else if (arg == "--json") {
+            json = true;
+            analyze = true;
         } else if (arg == "--codes") {
             printCatalog(std::cout);
             return 0;
@@ -100,17 +175,31 @@ main(int argc, char **argv)
 
     size_t errors = 0;
     size_t warnings = 0;
+    std::vector<lemons::analysis::AnalyzedFile> analyzed;
     for (const std::string &file : files) {
         lemons::lint::Report report = lemons::lint::lintFile(file);
         if (verify)
             report.merge(lemons::verify::verifySpecFile(file));
+        lemons::analysis::FileAnalysis analysis;
+        if (analyze) {
+            analysis = lemons::analysis::analyzeSpecFile(file);
+            lemons::lint::Report findings = analysis.findings;
+            report.merge(std::move(findings));
+        }
         errors += report.errorCount();
         warnings += report.warningCount();
-        if (!quiet && !report.empty())
-            std::cout << report.format();
-        std::cout << file << ": " << report.errorCount() << " error(s), "
-                  << report.warningCount() << " warning(s)\n";
+        if (!json) {
+            if (!quiet && !report.empty())
+                std::cout << report.format();
+            std::cout << file << ": " << report.errorCount()
+                      << " error(s), " << report.warningCount()
+                      << " warning(s)\n";
+        } else {
+            analyzed.push_back({std::move(report), std::move(analysis)});
+        }
     }
+    if (json)
+        std::cout << lemons::analysis::renderAnalysisJson(analyzed);
     if (errors > 0)
         return 1;
     if (werror && warnings > 0)

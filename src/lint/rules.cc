@@ -116,6 +116,15 @@ checkDesign(const core::DesignRequest &request,
                    "maxWidth is 0; the solver needs room for at least "
                    "one device per structure");
     }
+    if (options.guessSuccessCeiling &&
+        !(*options.guessSuccessCeiling > 0.0 &&
+          *options.guessSuccessCeiling < 1.0)) {
+        report.add(Code::L014, object, "guessSuccessCeiling",
+                   "guess-success ceiling " +
+                       num(*options.guessSuccessCeiling) +
+                       " is not a probability in (0, 1)",
+                   "declare a ceiling strictly between 0 and 1");
+    }
     if (report.hasErrors())
         return report;
 
@@ -649,6 +658,15 @@ checkFleet(const FleetSpec &spec)
                        ", not 1: the partition over- or "
                        "under-covers the population",
                    "make the weights a partition of unity");
+    }
+    if (spec.prematureTolerance &&
+        !(*spec.prematureTolerance > 0.0 &&
+          *spec.prematureTolerance <= 1.0)) {
+        report.add(Code::L812, object, "prematureTolerance",
+                   "premature-lockout tolerance " +
+                       num(*spec.prematureTolerance) +
+                       " is not a probability in (0, 1]",
+                   "declare a tolerance in (0, 1] or omit it");
     }
     if (spec.prematureDays >= spec.horizonDays &&
         spec.horizonDays >= 1) {

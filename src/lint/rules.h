@@ -44,6 +44,15 @@ struct DesignLintOptions
      * (the upper-bound target if present, else the LAB).
      */
     std::optional<double> guessSpace{};
+
+    /**
+     * Acceptable probability that a guessing adversary who spends the
+     * whole conceded attack budget recovers the secret. When set (with
+     * guessSpace), the wear-budget analyzer (lemons::analysis) must
+     * discharge the A101 obligation: certified success bracket below
+     * this ceiling. Must lie in (0, 1) — rule L014.
+     */
+    std::optional<double> guessSuccessCeiling{};
 };
 
 /** A series/parallel structure described statically (pre-construction). */
@@ -156,6 +165,14 @@ struct FleetSpec
     uint64_t horizonDays = 1825;
     /** A lockout earlier than this many absolute days is premature. */
     uint64_t prematureDays = 365;
+    /**
+     * Acceptable per-device premature-lockout probability. When set,
+     * the wear-budget analyzer raises A002 if a cohort's certified
+     * premature bracket provably exceeds it. Must lie in (0, 1] —
+     * rule L812. Absent means no declared tolerance (brackets are
+     * still reported as A004 notes).
+     */
+    std::optional<double> prematureTolerance{};
     /** Population partition; weights must sum to 1. */
     std::vector<FleetCohortSpec> cohorts;
 };

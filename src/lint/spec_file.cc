@@ -201,6 +201,10 @@ parseDesignSection(const Section &section, ParsedSpec &spec)
             double space = 0.0;
             if (parseDouble(entry, object, report, space))
                 design.options.guessSpace = space;
+        } else if (entry.key == "guess_success_ceiling") {
+            double ceiling = 0.0;
+            if (parseDouble(entry, object, report, ceiling))
+                design.options.guessSuccessCeiling = ceiling;
         } else if (entry.key == "max_width") {
             parseUint(entry, object, report, design.request.maxWidth);
         } else if (entry.key == "max_per_copy_bound") {
@@ -475,6 +479,10 @@ parseFleetSection(const Section &section, ParsedSpec &parsed)
             parseUint(entry, object, report, spec.horizonDays);
         } else if (entry.key == "premature_days") {
             parseUint(entry, object, report, spec.prematureDays);
+        } else if (entry.key == "premature_tolerance") {
+            double tolerance = 0.0;
+            if (parseDouble(entry, object, report, tolerance))
+                spec.prematureTolerance = tolerance;
         } else {
             unknownKey(entry, object, report);
         }

@@ -25,7 +25,8 @@
  * Sections and keys:
  *   [design]    alpha beta lab k_fraction min_reliability
  *               max_residual_reliability upper_bound_target
- *               guess_space max_width max_per_copy_bound
+ *               guess_space guess_success_ceiling max_width
+ *               max_per_copy_bound
  *   [structure] kind (series|parallel) n k alpha beta
  *               access_bound copies min_reliability max_residual
  *   [shares]    n k field_bits unguarded
@@ -40,7 +41,7 @@
  *   [mixture]   infant_fraction infant_alpha infant_beta
  *               main_alpha main_beta
  *   [fleet]     devices seed chunk_size checkpoint_interval
- *               horizon_days premature_days
+ *               horizon_days premature_days premature_tolerance
  *   [cohort]    name weight stagger_days access_bound mean_per_day
  *               burst_probability burst_multiplier infant_fraction
  *               infant_alpha infant_beta main_alpha main_beta

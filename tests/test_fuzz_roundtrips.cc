@@ -10,10 +10,12 @@
 
 #include <algorithm>
 #include <iterator>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "analysis/passes.h"
 #include "crypto/hmac.h"
 #include "crypto/otp.h"
 #include "crypto/sha256.h"
@@ -317,6 +319,136 @@ TEST(Fuzz, RandomGraphsVerifyWithoutCrashing)
         const lint::Report report = verify::verifyGraph(graph);
         ASSERT_LT(report.diagnostics().size(), 1000u)
             << "trial " << trial;
+    }
+}
+
+TEST(Fuzz, SpecAnalyzePipelineNeverThrows)
+{
+    // Random .lemons text through the wear-budget analyzer: parse ->
+    // lower -> capacity/demand dataflow -> A-code passes. The pool
+    // leans on the analyzer's own sections and keys ([fleet]/[cohort]
+    // tolerances, workload budgets, guessing ceilings) so the demand
+    // and adversary paths actually execute; malformed values must
+    // become top brackets or diagnostics, never exceptions.
+    static const char *const sections[] = {
+        "design", "structure", "shares",  "otp",    "workload",
+        "mixture", "fleet",    "cohort",  "mway",   "nonsense"};
+    static const char *const keys[] = {
+        "alpha",            "beta",
+        "lab",              "k_fraction",
+        "n",                "k",
+        "kind",             "field_bits",
+        "unguarded",        "mean_per_day",
+        "burst_probability", "burst_multiplier",
+        "budget",           "horizon_days",
+        "infant_fraction",  "infant_alpha",
+        "infant_beta",      "main_alpha",
+        "main_beta",        "devices",
+        "seed",             "premature_days",
+        "premature_tolerance", "weight",
+        "stagger_days",     "access_bound",
+        "reprovision_day",  "reprovision_scale",
+        "guess_space",      "guess_success_ceiling",
+        "min_reliability",  "max_residual_reliability",
+        "frobnicate"};
+    static const char *const values[] = {
+        "0",    "1",    "4",     "12",    "100",   "365",  "1825",
+        "91250", "1e5", "0.01",  "0.1",   "0.5",   "0.99", "1.5",
+        "-3",   "nan",  "inf",   "banana", "parallel", "1e300"};
+
+    Rng rng(0xf016);
+    for (int trial = 0; trial < 120; ++trial) {
+        std::string text;
+        const uint64_t sectionCount = rng.nextBelow(5);
+        for (uint64_t s = 0; s < sectionCount; ++s) {
+            text += "[";
+            text += sections[rng.nextBelow(std::size(sections))];
+            text += "]\n";
+            const uint64_t lineCount = rng.nextBelow(8);
+            for (uint64_t line = 0; line < lineCount; ++line) {
+                text += keys[rng.nextBelow(std::size(keys))];
+                text += " = ";
+                text += values[rng.nextBelow(std::size(values))];
+                text += "\n";
+            }
+        }
+        const analysis::FileAnalysis analyzed =
+            analysis::analyzeSpecText(text, "fuzz");
+        // Every finding the analyzer emits is from its own catalog.
+        for (const lint::Diagnostic &d :
+             analyzed.findings.diagnostics())
+            ASSERT_EQ(d.id()[0], 'A') << "trial " << trial << "\n"
+                                      << text;
+    }
+}
+
+TEST(Fuzz, RandomGraphsPropagateSoundBrackets)
+{
+    // Hand-built random graphs, including cyclic ones and degenerate
+    // node parameters, through the budget dataflow: the pass must
+    // stay total and every bracket it emits must be well-formed
+    // (lo <= hi, lo >= 0), with cycles collapsing to the vacuous
+    // all-top result.
+    static const ir::NodeKind kinds[] = {
+        ir::NodeKind::SecretSource, ir::NodeKind::Device,
+        ir::NodeKind::Series,       ir::NodeKind::Parallel,
+        ir::NodeKind::Replicate,    ir::NodeKind::Store,
+        ir::NodeKind::Sink};
+    static const double alphas[] = {0.0, 1.0, 10.0};
+    static const double betas[] = {0.0, 0.8, 1.0, 12.0};
+    static const double demands[] = {0.0, 1.0, 400.0, 1e9};
+
+    Rng rng(0xf017);
+    for (int trial = 0; trial < 200; ++trial) {
+        ir::Graph graph("fuzz");
+        const uint64_t nodeCount = 1 + rng.nextBelow(8);
+        for (uint64_t i = 0; i < nodeCount; ++i) {
+            ir::Node node;
+            node.kind = kinds[rng.nextBelow(std::size(kinds))];
+            node.label = "n" + std::to_string(i);
+            node.device = {alphas[rng.nextBelow(std::size(alphas))],
+                           betas[rng.nextBelow(std::size(betas))]};
+            node.n = rng.nextBelow(300);
+            node.k = rng.nextBelow(300);
+            node.count = rng.nextBelow(50);
+            graph.add(std::move(node));
+        }
+        for (uint64_t from = 0; from + 1 < nodeCount; ++from)
+            for (uint64_t to = from + 1; to < nodeCount; ++to)
+                if (rng.nextBelow(3) == 0)
+                    graph.connect(static_cast<ir::NodeId>(from),
+                                  static_cast<ir::NodeId>(to));
+        if (nodeCount > 1 && rng.nextBelow(5) == 0) {
+            // Occasional back edge; it only closes a cycle when a
+            // forward path already links the endpoints, so the ground
+            // truth comes from topoOrder below.
+            const auto to = static_cast<ir::NodeId>(rng.nextBelow(
+                nodeCount - 1));
+            const auto from = static_cast<ir::NodeId>(
+                to + 1 + rng.nextBelow(nodeCount - to - 1));
+            graph.connect(from, to);
+        }
+        const bool cyclic = graph.topoOrder().empty();
+        std::optional<analysis::AccessBracket> demand;
+        if (rng.nextBelow(2) == 0)
+            demand = analysis::AccessBracket::point(
+                demands[rng.nextBelow(std::size(demands))]);
+
+        const analysis::GraphBudget budget =
+            analysis::propagateBudgets(graph, demand);
+        if (cyclic) {
+            ASSERT_TRUE(budget.vacuous) << "trial " << trial;
+            ASSERT_TRUE(budget.systemCapacity.isTop());
+        }
+        ASSERT_EQ(budget.nodes.size(), graph.size());
+        for (const analysis::NodeBudget &node : budget.nodes) {
+            ASSERT_GE(node.capacity.lo, 0.0) << "trial " << trial;
+            ASSERT_LE(node.capacity.lo, node.capacity.hi)
+                << "trial " << trial;
+            ASSERT_GE(node.demand.lo, 0.0) << "trial " << trial;
+            ASSERT_LE(node.demand.lo, node.demand.hi)
+                << "trial " << trial;
+        }
     }
 }
 

@@ -1,23 +1,31 @@
-# Negative-control driver for `lemons-lint --verify`: run the CLI on a
+# Negative-control driver for the lemons-lint CLI: run it on a
 # seeded-violation config and assert that it (a) exits non-zero and
 # (b) emits every expected stable diagnostic code.
 #
 # Usage:
 #   cmake -DLINT=<lemons-lint> -DCONFIG=<file.lemons>
-#         -DEXPECT_CODES=V201,V202 -P verify_cli_check.cmake
+#         -DEXPECT_CODES=V201,V202 [-DFLAGS=--analyze,--werror]
+#         -P verify_cli_check.cmake
+#
+# FLAGS defaults to --verify; pass a comma-separated list to exercise
+# other modes (e.g. --analyze,--werror for warning-severity A-codes).
 
 if(NOT LINT OR NOT CONFIG OR NOT EXPECT_CODES)
     message(FATAL_ERROR "verify_cli_check.cmake needs LINT, CONFIG and "
                         "EXPECT_CODES")
 endif()
+if(NOT FLAGS)
+    set(FLAGS "--verify")
+endif()
+string(REPLACE "," ";" flag_list "${FLAGS}")
 
-execute_process(COMMAND ${LINT} --verify ${CONFIG}
+execute_process(COMMAND ${LINT} ${flag_list} ${CONFIG}
                 OUTPUT_VARIABLE stdout
                 ERROR_VARIABLE stderr
                 RESULT_VARIABLE status)
 
 if(status EQUAL 0)
-    message(FATAL_ERROR "expected a non-zero exit from ${LINT} --verify "
+    message(FATAL_ERROR "expected a non-zero exit from ${LINT} ${FLAGS} "
                         "${CONFIG}, got success; output:\n${stdout}${stderr}")
 endif()
 
