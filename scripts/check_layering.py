@@ -1,0 +1,221 @@
+#!/usr/bin/env python3
+"""Enforce the module layering contract over the C++ source tree.
+
+Reads the module DAG from a TOML config (default scripts/layering.toml)
+and walks every .h/.cc under the source root, checking that
+
+  1. every quoted #include crossing a module boundary is on the
+     including module's allow list (or covered by a file-scoped
+     [[waiver]] entry),
+  2. the *allowed* module graph itself is acyclic, so the contract
+     cannot be "fixed" by legalizing a cycle,
+  3. the file-level include graph has no cycles,
+  4. every module seen on disk is declared, and every waiver is used
+     (a stale waiver is as misleading as a missing rule).
+
+Exit status: 0 clean, 1 violations, 2 usage/config error, 77 when the
+interpreter lacks tomllib (pre-3.11) so callers can skip, not fail.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+
+try:
+    import tomllib
+except ModuleNotFoundError:  # Python < 3.11
+    print("SKIP: python tomllib unavailable (need python >= 3.11)",
+          file=sys.stderr)
+    sys.exit(77)
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+SOURCE_SUFFIXES = (".h", ".cc")
+
+
+def load_config(path):
+    with open(path, "rb") as fh:
+        config = tomllib.load(fh)
+    allow = {m: set(deps) for m, deps in config.get("allow", {}).items()}
+    files = dict(config.get("files", {}))
+    waivers = []
+    for entry in config.get("waiver", []):
+        for key in ("file", "include", "reason"):
+            if key not in entry:
+                raise ValueError(f"waiver missing '{key}': {entry}")
+        waivers.append((entry["file"], entry["include"]))
+    for module, deps in allow.items():
+        unknown = deps - allow.keys()
+        if unknown:
+            raise ValueError(
+                f"[allow] {module} references undeclared modules: "
+                f"{sorted(unknown)}")
+    for module in files.values():
+        if module not in allow:
+            raise ValueError(f"[files] maps to undeclared module '{module}'")
+    return allow, files, waivers
+
+
+def scan_sources(root):
+    """-> {relpath: [included relpaths]} for quoted project includes."""
+    includes = {}
+    for dirpath, _, filenames in os.walk(root):
+        for name in sorted(filenames):
+            if not name.endswith(SOURCE_SUFFIXES):
+                continue
+            path = os.path.join(dirpath, name)
+            rel = os.path.relpath(path, root).replace(os.sep, "/")
+            targets = []
+            with open(path, encoding="utf-8", errors="replace") as fh:
+                for line in fh:
+                    match = INCLUDE_RE.match(line)
+                    # Single-segment quoted includes ("foo.h") are
+                    # same-directory helpers, never cross-module.
+                    if match and "/" in match.group(1):
+                        targets.append(match.group(1))
+            includes[rel] = targets
+    return includes
+
+
+def module_of(rel, file_map):
+    if rel in file_map:
+        return file_map[rel]
+    return rel.split("/", 1)[0]
+
+
+def allowed_graph_cycles(allow):
+    """-> one cycle (as a list of modules) in the allow graph, or None."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {m: WHITE for m in allow}
+    stack = []
+
+    def visit(module):
+        color[module] = GRAY
+        stack.append(module)
+        for dep in sorted(allow[module]):
+            if color[dep] == GRAY:
+                return stack[stack.index(dep):] + [dep]
+            if color[dep] == WHITE:
+                cycle = visit(dep)
+                if cycle:
+                    return cycle
+        stack.pop()
+        color[module] = BLACK
+        return None
+
+    for module in sorted(allow):
+        if color[module] == WHITE:
+            cycle = visit(module)
+            if cycle:
+                return cycle
+    return None
+
+
+def include_graph_cycles(includes):
+    """-> one cycle in the file-level include graph, or None."""
+    graph = {
+        rel: [t for t in targets if t in includes]
+        for rel, targets in includes.items()
+    }
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {rel: WHITE for rel in graph}
+    stack = []
+
+    def visit(rel):
+        color[rel] = GRAY
+        stack.append(rel)
+        for dep in graph[rel]:
+            if color[dep] == GRAY:
+                return stack[stack.index(dep):] + [dep]
+            if color[dep] == WHITE:
+                cycle = visit(dep)
+                if cycle:
+                    return cycle
+        stack.pop()
+        color[rel] = BLACK
+        return None
+
+    # Iterative depth is fine: the tree is a few hundred files deep at
+    # most, well under the default recursion limit.
+    for rel in sorted(graph):
+        if color[rel] == WHITE:
+            cycle = visit(rel)
+            if cycle:
+                return cycle
+    return None
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="check the module layering contract")
+    parser.add_argument("root", nargs="?", default="src",
+                        help="source root to scan (default: src)")
+    parser.add_argument("--config", default=None,
+                        help="layering TOML (default: <script dir>/"
+                             "layering.toml)")
+    options = parser.parse_args(argv)
+
+    config_path = options.config or os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "layering.toml")
+    try:
+        allow, file_map, waivers = load_config(config_path)
+    except (OSError, ValueError, tomllib.TOMLDecodeError) as error:
+        print(f"config error: {error}", file=sys.stderr)
+        return 2
+    if not os.path.isdir(options.root):
+        print(f"no such source root: {options.root}", file=sys.stderr)
+        return 2
+
+    violations = []
+
+    cycle = allowed_graph_cycles(allow)
+    if cycle:
+        violations.append(
+            "the [allow] graph itself has a cycle: " + " -> ".join(cycle))
+
+    includes = scan_sources(options.root)
+    used_waivers = set()
+    for rel in sorted(includes):
+        src_module = module_of(rel, file_map)
+        if src_module not in allow:
+            violations.append(
+                f"{rel}: module '{src_module}' is not declared in [allow]")
+            continue
+        for target in includes[rel]:
+            dst_module = module_of(target, file_map)
+            if dst_module == src_module:
+                continue
+            if dst_module in allow[src_module]:
+                continue
+            if (rel, target) in waivers:
+                used_waivers.add((rel, target))
+                continue
+            violations.append(
+                f"{rel}: includes {target} "
+                f"({src_module} -> {dst_module} is not in [allow])")
+
+    for waiver in waivers:
+        if waiver not in used_waivers:
+            violations.append(
+                f"stale waiver: {waiver[0]} no longer includes {waiver[1]}")
+
+    cycle = include_graph_cycles(includes)
+    if cycle:
+        violations.append(
+            "include cycle: " + " -> ".join(cycle))
+
+    if violations:
+        for violation in violations:
+            print(f"layering: {violation}")
+        print(f"layering: {len(violations)} violation(s) in "
+              f"{len(includes)} file(s)")
+        return 1
+    print(f"layering: OK ({len(includes)} files, "
+          f"{len(allow)} modules, {len(waivers)} waivers)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

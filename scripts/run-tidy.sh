@@ -1,19 +1,50 @@
 #!/usr/bin/env bash
 # Run clang-tidy over src/ using the repo's .clang-tidy configuration.
 #
-# Usage: scripts/run-tidy.sh [build-dir] [-- extra clang-tidy args]
+# Usage: scripts/run-tidy.sh [options] [build-dir] [-- extra clang-tidy args]
+#
+#   --load-lemons         load liblemons_tidy.so and sweep the lemons-*
+#                         check family instead of the .clang-tidy set
+#                         (plugin path: $LEMONS_TIDY_PLUGIN, or
+#                         <build-dir>/tools/tidy/liblemons_tidy.so)
+#   --baseline FILE       suppress findings recorded in FILE (one
+#                         "path:check" per line); only NEW findings
+#                         fail the sweep
+#   --update-baseline     rewrite the baseline FILE from this sweep's
+#                         findings and exit 0
 #
 # Needs a compile_commands.json; pass the build dir that has one (the
-# script configures a fresh export-only dir when none is given).
-set -euo pipefail
+# script configures a fresh export-only dir when none is given). The
+# exit status is faithful under both run-clang-tidy and the fallback
+# loop: 0 only when the sweep is clean (or fully baselined).
+set -uo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-build_dir="${1:-}"
-shift_count=0
-if [[ -n "$build_dir" && "$build_dir" != "--" ]]; then
-    shift_count=1
-else
-    build_dir="$repo_root/build-tidy"
+
+load_lemons=0
+baseline_file=""
+update_baseline=0
+build_dir=""
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+        --load-lemons) load_lemons=1; shift ;;
+        --baseline) baseline_file="${2:?--baseline needs a file}"; shift 2 ;;
+        --update-baseline) update_baseline=1; shift ;;
+        --) shift; break ;;
+        -*) echo "error: unknown option $1" >&2; exit 2 ;;
+        *)
+            if [[ -n "$build_dir" ]]; then
+                echo "error: more than one build dir ($build_dir, $1)" >&2
+                exit 2
+            fi
+            build_dir="$1"; shift ;;
+    esac
+done
+build_dir="${build_dir:-$repo_root/build-tidy}"
+
+if [[ $update_baseline -eq 1 && -z "$baseline_file" ]]; then
+    echo "error: --update-baseline needs --baseline FILE" >&2
+    exit 2
 fi
 
 tidy_bin="${CLANG_TIDY:-clang-tidy}"
@@ -22,12 +53,24 @@ if ! command -v "$tidy_bin" >/dev/null 2>&1; then
     exit 2
 fi
 
+extra_args=("$@")
+if [[ $load_lemons -eq 1 ]]; then
+    plugin="${LEMONS_TIDY_PLUGIN:-$build_dir/tools/tidy/liblemons_tidy.so}"
+    if [[ ! -f "$plugin" ]]; then
+        echo "error: lemons plugin not found at $plugin" >&2
+        echo "       build with -DLEMONS_BUILD_TIDY_PLUGIN=ON, or set" >&2
+        echo "       LEMONS_TIDY_PLUGIN" >&2
+        exit 2
+    fi
+    extra_args=(-load "$plugin" "-checks=-*,lemons-*" "${extra_args[@]}")
+fi
+
 if [[ ! -f "$build_dir/compile_commands.json" ]]; then
     echo "-- configuring $build_dir for compile_commands.json"
     cmake -S "$repo_root" -B "$build_dir" \
         -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
         -DCMAKE_BUILD_TYPE=Release \
-        -DLEMONS_BUILD_BENCH=OFF >/dev/null
+        -DLEMONS_BUILD_BENCH=OFF >/dev/null || exit 2
 fi
 
 # Everything under src/ except generated files — including the static
@@ -35,20 +78,76 @@ fi
 # tests and benches are exercised by the compiler warning gate instead.
 mapfile -t sources < <(find "$repo_root/src" -name '*.cc' | sort)
 
-shift $shift_count || true
-if [[ "${1:-}" == "--" ]]; then
-    shift
-fi
+log_file="$(mktemp)"
+trap 'rm -f "$log_file"' EXIT
 
 runner="$(command -v run-clang-tidy || true)"
+tidy_status=0
 if [[ -n "$runner" ]]; then
+    # Tee the runner's output so findings can be diffed against the
+    # baseline; its exit status must survive the pipe.
     "$runner" -clang-tidy-binary "$tidy_bin" -p "$build_dir" -quiet \
-        "$@" "${sources[@]}"
+        "${extra_args[@]}" "${sources[@]}" 2>&1 | tee "$log_file"
+    tidy_status=${PIPESTATUS[0]}
 else
-    status=0
-    for src in "${sources[@]}"; do
-        echo "-- tidy $src"
-        "$tidy_bin" -p "$build_dir" --quiet "$@" "$src" || status=1
-    done
-    exit $status
+    # Fallback without run-clang-tidy: one clang-tidy process per
+    # core. xargs propagates child failures as its own non-zero exit.
+    jobs="$(nproc 2>/dev/null || echo 4)"
+    printf '%s\0' "${sources[@]}" |
+        xargs -0 -n 1 -P "$jobs" \
+            "$tidy_bin" -p "$build_dir" --quiet "${extra_args[@]}" \
+            2>&1 | tee "$log_file"
+    tidy_status=${PIPESTATUS[1]}
 fi
+
+# Normalize findings to "relative/path.cc:check-name" so the baseline
+# is stable across checkouts and line-number churn.
+findings_file="$(mktemp)"
+trap 'rm -f "$log_file" "$findings_file"' EXIT
+sed -n 's#^\([^ :]*\):[0-9]*:[0-9]*: \(warning\|error\): .*\[\([a-zA-Z0-9.,_-]*\)\]$#\1:\3#p' \
+        "$log_file" |
+    sed "s#^$repo_root/##" | sort -u >"$findings_file"
+finding_count="$(wc -l <"$findings_file")"
+
+if [[ $update_baseline -eq 1 ]]; then
+    {
+        echo "# clang-tidy suppression baseline (scripts/run-tidy.sh)."
+        echo "# One normalized \"path:check\" finding per line; new"
+        echo "# findings not listed here fail the sweep. Regenerate:"
+        echo "#   scripts/run-tidy.sh --load-lemons \\"
+        echo "#       --baseline $(basename "$baseline_file") --update-baseline"
+        cat "$findings_file"
+    } >"$baseline_file"
+    echo "-- baseline updated: $finding_count finding(s) -> $baseline_file"
+    exit 0
+fi
+
+if [[ -n "$baseline_file" ]]; then
+    if [[ ! -f "$baseline_file" ]]; then
+        echo "error: baseline $baseline_file not found" >&2
+        exit 2
+    fi
+    new_findings="$(grep -v '^#' "$baseline_file" | sort -u |
+        comm -23 "$findings_file" - || true)"
+    stale="$(grep -v '^#' "$baseline_file" | grep -v '^$' | sort -u |
+        comm -13 "$findings_file" - || true)"
+    if [[ -n "$stale" ]]; then
+        echo "-- note: baseline entries no longer seen (consider" \
+             "--update-baseline):"
+        sed 's/^/     /' <<<"$stale"
+    fi
+    if [[ -n "$new_findings" ]]; then
+        echo "error: new clang-tidy findings not in $baseline_file:" >&2
+        sed 's/^/     /' <<<"$new_findings" >&2
+        exit 1
+    fi
+    echo "-- tidy clean: $finding_count finding(s), all baselined"
+    exit 0
+fi
+
+if [[ $tidy_status -ne 0 || $finding_count -gt 0 ]]; then
+    echo "error: clang-tidy reported $finding_count finding(s)" \
+         "(exit $tidy_status)" >&2
+    exit 1
+fi
+echo "-- tidy clean: no findings"

@@ -1,6 +1,6 @@
 #include "core/calibration.h"
 
-#include "arch/structures.h"
+#include "engine/cache.h"
 #include "wearout/weibull.h"
 
 namespace lemons::core {
@@ -17,12 +17,13 @@ calibrateAndRedesign(const std::vector<double> &observedLifetimes,
 
     report.nominalDesign = DesignSolver(assumed).solve();
     if (report.nominalDesign.feasible) {
-        const arch::ParallelStructure actual(
-            fitted, report.nominalDesign.width,
-            report.nominalDesign.threshold);
-        report.nominalReliabilityAtBound = actual.reliabilityAt(
+        report.nominalReliabilityAtBound = engine::cachedParallelReliability(
+            fitted.alpha(), fitted.beta(), report.nominalDesign.width,
+            report.nominalDesign.threshold,
             static_cast<double>(report.nominalDesign.perCopyBound));
-        report.nominalResidualPastBound = actual.reliabilityAt(
+        report.nominalResidualPastBound = engine::cachedParallelReliability(
+            fitted.alpha(), fitted.beta(), report.nominalDesign.width,
+            report.nominalDesign.threshold,
             static_cast<double>(report.nominalDesign.deathCheckAccess));
         report.nominalStillMeetsCriteria =
             report.nominalReliabilityAtBound >=

@@ -4,10 +4,10 @@
 #include <cmath>
 
 #include "crypto/sha256.h"
+#include "engine/cache.h"
 #include "shamir/shamir.h"
 #include "util/math.h"
 #include "util/require.h"
-#include "wearout/weibull.h"
 
 namespace lemons::core {
 
@@ -30,9 +30,10 @@ validateParams(const OtpParams &p)
 OtpAnalytics::OtpAnalytics(const OtpParams &params) : spec(params)
 {
     validateParams(spec);
-    const wearout::Weibull device(spec.device.alpha, spec.device.beta);
     logPathSuccessValue =
-        static_cast<double>(spec.height) * device.logReliability(1.0);
+        static_cast<double>(spec.height) *
+        engine::cachedWeibullLogSurvival(spec.device.alpha,
+                                         spec.device.beta, 1.0);
 }
 
 double
@@ -64,9 +65,12 @@ OtpAnalytics::pathSuccessWithStuckClosed(double epsilon) const
 {
     requireArg(epsilon >= 0.0 && epsilon <= 1.0,
                "OtpAnalytics: stuck-closed rate outside [0, 1]");
-    const wearout::Weibull device(spec.device.alpha, spec.device.beta);
     const double perSwitch =
-        epsilon + (1.0 - epsilon) * device.reliability(1.0);
+        epsilon + (1.0 - epsilon) *
+                      engine::cachedWeibullSurvival(spec.device.alpha,
+                                                    spec.device.beta, 1.0);
+    // LEMONS-TIDY-ALLOW(T003): base varies with caller-chosen epsilon,
+    // so a memo keyed on exact operand bits would rarely hit.
     return std::pow(perSwitch, static_cast<double>(spec.height));
 }
 
@@ -90,7 +94,7 @@ OtpAnalytics::logAdversarySuccessAt(double s) const
     for (uint64_t x = spec.threshold; x <= spec.copies; ++x) {
         const double logProbX = logBinomialPmf(spec.copies, x, s);
         const double logProbRight =
-            logBinomialTailAtLeast(x, spec.threshold, pRight);
+            engine::cachedLogBinomialTailAtLeast(x, spec.threshold, pRight);
         terms.push_back(logProbX + logProbRight);
     }
     return logSumExp(terms);

@@ -55,6 +55,8 @@ DesignSolver::expectedOvershoot(uint64_t n, uint64_t k, uint64_t t) const
     const double logWidth = std::log(static_cast<double>(n) + 2.0);
     const double deathScale =
         spec.device.alpha *
+        // LEMONS-TIDY-ALLOW(T003): one pow per (n, k, t) scan setup,
+        // dwarfed by the cached reliability loop below.
         std::pow(std::max(1.0, logWidth + 5.0), 1.0 / spec.device.beta);
     const auto cap = static_cast<uint64_t>(4.0 * deathScale) + t + 64;
 

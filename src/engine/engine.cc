@@ -287,6 +287,8 @@ runTrials(uint64_t seed, const McRunOptions &options,
             interrupt = InterruptReason::Cancelled;
             LEMONS_OBS_INCREMENT("sim.mc.cancelled");
         } else if (options.deadline.has_value() &&
+                   // LEMONS-TIDY-ALLOW(T002): wall-clock deadline gate;
+                   // never feeds trial state
                    std::chrono::steady_clock::now() >=
                        *options.deadline) {
             interrupt = InterruptReason::DeadlineExceeded;

@@ -152,6 +152,8 @@ runCampaigns(const Args &args)
     options.checkpointPath = args.checkpointPath;
     options.resume = args.resume;
     if (args.deadlineMs)
+        // LEMONS-TIDY-ALLOW(T002): anchors the --deadline-ms wall-clock
+        // budget; campaign results never depend on it
         options.deadline = std::chrono::steady_clock::now() +
                            std::chrono::milliseconds(*args.deadlineMs);
 

@@ -1,12 +1,18 @@
 /**
  * @file
  * The single source of truth for every stable diagnostic code the
- * project emits, across all four families:
+ * project emits, across all five families:
  *
  *   L-range  lemons::lint     design-rule findings (L001...)
  *   V-range  lemons::verify   static-verifier findings (V001...)
  *   C-range  lemons::fleet    checkpoint error codes (C101...)
  *   A-range  lemons::analysis wear-budget analyzer findings (A001...)
+ *   T-range  lemons-tidy      source-level clang-tidy checks (T001...)
+ *
+ * The T-family is emitted by the out-of-tree clang-tidy plugin in
+ * tools/tidy (loaded with `clang-tidy -load liblemons_tidy.so`); the
+ * plugin includes this header so its diagnostics carry the same stable
+ * ids the CLI catalogs and the suppression baseline matches on.
  *
  * Before this registry the L/V catalogs lived in one X-macro while the
  * fleet C-codes were raw string literals inside exception messages —
@@ -186,7 +192,21 @@
     X(A103, "A103", Warning, "guessing-adversary bracket straddles the "     \
                              "declared ceiling")                             \
     X(A104, "A104", Note, "guessing-adversary obligation discharged: "       \
-                          "success bracket below the ceiling")
+                          "success bracket below the ceiling")               \
+    X(T001, "T001", Error, "raw std::thread/std::async outside the engine "  \
+                           "pool (lemons-no-raw-thread)")                    \
+    X(T002, "T002", Error, "nondeterminism source in a simulation TU "       \
+                           "(lemons-deterministic-sim)")                     \
+    X(T003, "T003", Warning, "direct Weibull/binomial math on a hot path "   \
+                             "that should use engine::cache "                \
+                             "(lemons-memoized-math)")                       \
+    X(T004, "T004", Error, "member mutated under MutexLock without a "       \
+                           "GUARDED_BY annotation (lemons-guarded-member)")  \
+    X(T005, "T005", Warning, "misused LEMONS_OBS_SCOPED_TIMER or "           \
+                             "unregistered metric namespace "                \
+                             "(lemons-obs-scoped-timer)")                    \
+    X(T006, "T006", Error, "raw cross-thread accumulation outside "          \
+                           "RunningStats merge (lemons-stats-accumulation)")
 // clang-format on
 
 #endif // LEMONS_LINT_CODE_REGISTRY_H_

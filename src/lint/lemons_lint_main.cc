@@ -77,6 +77,8 @@ familyTitle(char prefix)
         return "C-range: fleet checkpoint errors (lemons::fleet)";
     case 'A':
         return "A-range: wear-budget analyzer (lemons::analysis)";
+    case 'T':
+        return "T-range: source-level tidy checks (tools/tidy plugin)";
     default:
         return "other";
     }
@@ -85,7 +87,7 @@ familyTitle(char prefix)
 void
 printCatalog(std::ostream &out)
 {
-    // Group by family so the listing reads as four catalogs; the
+    // Group by family so the listing reads as five catalogs; the
     // registry itself is append-only and therefore not sorted.
     std::vector<lemons::lint::CodeInfo> sorted =
         lemons::lint::codeCatalog();
@@ -104,8 +106,10 @@ printCatalog(std::ostream &out)
             return 2;
         case 'A':
             return 3;
-        default:
+        case 'T':
             return 4;
+        default:
+            return 5;
         }
     };
     std::stable_sort(sorted.begin(), sorted.end(),

@@ -410,6 +410,20 @@ TEST(LintRules, CatalogIsDenseAndStable)
     EXPECT_STREQ(lint::codeInfo(Code::L906).id, "L906");
 }
 
+TEST(LintRules, CatalogCoversAllFiveFamilies)
+{
+    // One representative per family; the tidy plugin's T-codes draw
+    // from the same registry the CLI catalogs, so a missing family
+    // here means --codes no longer prints from one source of truth.
+    EXPECT_STREQ(lint::codeInfo(Code::V001).id, "V001");
+    EXPECT_STREQ(lint::codeInfo(Code::C101).id, "C101");
+    EXPECT_STREQ(lint::codeInfo(Code::A001).id, "A001");
+    EXPECT_STREQ(lint::codeInfo(Code::T001).id, "T001");
+    EXPECT_STREQ(lint::codeInfo(Code::T006).id, "T006");
+    EXPECT_EQ(lint::codeInfo(Code::T004).severity,
+              lint::Severity::Error);
+}
+
 // --- constructor wiring --------------------------------------------------
 
 TEST(LintWiring, ConstructorsThrowLintErrorAsInvalidArgument)

@@ -1,0 +1,121 @@
+#include "DeterministicSimCheck.h"
+
+#include "LemonsTidyUtils.h"
+
+using namespace clang::ast_matchers;
+
+namespace lemons::tidy {
+
+namespace {
+
+constexpr llvm::StringLiteral kCode("T002");
+
+/** Whether @p type desugars to a std::unordered_* container. */
+bool
+isUnorderedContainer(clang::QualType type)
+{
+    const auto *record =
+        type.getNonReferenceType().getCanonicalType()->getAsCXXRecordDecl();
+    if (record == nullptr)
+        return false;
+    const std::string name = record->getQualifiedNameAsString();
+    return name == "std::unordered_map" || name == "std::unordered_set" ||
+           name == "std::unordered_multimap" ||
+           name == "std::unordered_multiset";
+}
+
+} // namespace
+
+DeterministicSimCheck::DeterministicSimCheck(
+    llvm::StringRef name, clang::tidy::ClangTidyContext *context)
+    : ClangTidyCheck(name, context),
+      simFilePattern(
+          Options.get("SimFilePattern", "(^|/)src/(sim|engine|fleet|arch)/")),
+      simFiles(simFilePattern)
+{
+}
+
+void
+DeterministicSimCheck::storeOptions(
+    clang::tidy::ClangTidyOptions::OptionMap &options)
+{
+    Options.store(options, "SimFilePattern", simFilePattern);
+}
+
+void
+DeterministicSimCheck::registerMatchers(MatchFinder *finder)
+{
+    finder->addMatcher(
+        callExpr(callee(functionDecl(
+                     hasAnyName("::std::rand", "::rand", "::std::srand",
+                                "::srand", "::std::time", "::time",
+                                "::std::clock", "::clock"))))
+            .bind("libc"),
+        this);
+    finder->addMatcher(
+        cxxConstructExpr(hasDeclaration(cxxConstructorDecl(
+                             ofClass(hasName("::std::random_device")))))
+            .bind("entropy"),
+        this);
+    finder->addMatcher(
+        callExpr(callee(cxxMethodDecl(
+                     hasName("now"),
+                     ofClass(hasAnyName(
+                         "::std::chrono::system_clock",
+                         "::std::chrono::steady_clock",
+                         "::std::chrono::high_resolution_clock")))))
+            .bind("clock"),
+        this);
+    finder->addMatcher(cxxForRangeStmt().bind("range"), this);
+}
+
+void
+DeterministicSimCheck::check(const MatchFinder::MatchResult &result)
+{
+    const clang::SourceManager &sm = *result.SourceManager;
+    const CodeRow row = codeRow(kCode);
+
+    const auto emit = [&](clang::SourceLocation begin, const char *what,
+                          const char *fix) {
+        const clang::SourceLocation loc = sm.getExpansionLoc(begin);
+        if (sm.isInSystemHeader(loc) || !inFileMatching(sm, loc, simFiles) ||
+            allowSuppressed(sm, loc, kCode))
+            return;
+        diag(loc, "%0: %1 breaks the bit-exact simulation contract; %2 [%3]")
+            << row.id << what << fix << row.title;
+    };
+
+    if (const auto *libc = result.Nodes.getNodeAs<clang::CallExpr>("libc")) {
+        emit(libc->getBeginLoc(),
+             "libc global-state randomness/time",
+             "draw from the seeded lemons::Rng streams");
+        return;
+    }
+    if (const auto *entropy =
+            result.Nodes.getNodeAs<clang::CXXConstructExpr>("entropy")) {
+        emit(entropy->getBeginLoc(),
+             "std::random_device hardware entropy",
+             "derive per-trial streams from the campaign seed");
+        return;
+    }
+    if (const auto *clock =
+            result.Nodes.getNodeAs<clang::CallExpr>("clock")) {
+        emit(clock->getBeginLoc(),
+             "wall-clock now() feeding simulation code",
+             "keep clocks out of trial state (deadline checks annotate "
+             "LEMONS-TIDY-ALLOW(T002))");
+        return;
+    }
+    if (const auto *range =
+            result.Nodes.getNodeAs<clang::CXXForRangeStmt>("range")) {
+        const clang::Expr *init = range->getRangeInit();
+        if (init == nullptr || !isUnorderedContainer(init->getType()))
+            return;
+        emit(range->getBeginLoc(),
+             "iteration over an unordered container (hash order can leak "
+             "into merges and checkpoint payloads)",
+             "iterate a sorted view or use an ordered container");
+    }
+}
+
+} // namespace lemons::tidy

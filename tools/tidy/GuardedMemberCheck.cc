@@ -1,0 +1,138 @@
+#include "GuardedMemberCheck.h"
+
+#include "LemonsTidyUtils.h"
+#include "clang/AST/Attr.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace lemons::tidy {
+
+namespace {
+
+constexpr llvm::StringLiteral kCode("T004");
+
+/** Whether @p record is the annotated lemons::Mutex wrapper. */
+bool
+isLemonsMutex(const clang::CXXRecordDecl *record)
+{
+    return record != nullptr &&
+           record->getQualifiedNameAsString() == "lemons::Mutex";
+}
+
+/** Whether the class owning @p field also owns a lemons::Mutex. */
+bool
+ownerHasMutex(const clang::FieldDecl *field)
+{
+    const auto *owner =
+        llvm::dyn_cast<clang::CXXRecordDecl>(field->getParent());
+    if (owner == nullptr)
+        return false;
+    for (const clang::FieldDecl *member : owner->fields())
+        if (isLemonsMutex(member->getType()->getAsCXXRecordDecl()))
+            return true;
+    return false;
+}
+
+/** Whether @p type desugars to std::atomic (already race-safe and
+ *  deliberately outside the GUARDED_BY discipline). */
+bool
+isAtomic(clang::QualType type)
+{
+    const auto *record = type.getCanonicalType()->getAsCXXRecordDecl();
+    return record != nullptr &&
+           record->getQualifiedNameAsString() == "std::atomic";
+}
+
+/**
+ * Whether the enclosing function holds the lock: it declares a
+ * lemons::MutexLock guard, or it is annotated with
+ * requires_capability / acquire_capability (LEMONS_REQUIRES /
+ * LEMONS_ACQUIRE), meaning the caller holds the mutex for it.
+ */
+bool
+functionHoldsLock(const clang::FunctionDecl *function,
+                  clang::ASTContext &context)
+{
+    if (function->hasAttr<clang::RequiresCapabilityAttr>() ||
+        function->hasAttr<clang::AcquireCapabilityAttr>())
+        return true;
+    if (!function->hasBody())
+        return false;
+    const auto guards = match(
+        stmt(forEachDescendant(
+            varDecl(hasType(cxxRecordDecl(hasName("::lemons::MutexLock"))))
+                .bind("guard"))),
+        *function->getBody(), context);
+    return !guards.empty();
+}
+
+} // namespace
+
+void
+GuardedMemberCheck::registerMatchers(MatchFinder *finder)
+{
+    const auto thisField =
+        memberExpr(member(fieldDecl().bind("field")),
+                   hasObjectExpression(ignoringParenImpCasts(cxxThisExpr())));
+    const auto inMember =
+        hasAncestor(functionDecl(hasBody(compoundStmt())).bind("function"));
+
+    finder->addMatcher(binaryOperator(isAssignmentOperator(),
+                                      hasLHS(thisField), inMember)
+                           .bind("mutation"),
+                       this);
+    finder->addMatcher(unaryOperator(hasAnyOperatorName("++", "--"),
+                                     hasUnaryOperand(thisField), inMember)
+                           .bind("mutation"),
+                       this);
+    finder->addMatcher(
+        cxxMemberCallExpr(on(ignoringParenImpCasts(thisField)),
+                          callee(cxxMethodDecl(unless(isConst()))), inMember)
+            .bind("mutation"),
+        this);
+    finder->addMatcher(
+        cxxOperatorCallExpr(callee(cxxMethodDecl(unless(isConst()))),
+                            hasArgument(0, ignoringParenImpCasts(thisField)),
+                            inMember)
+            .bind("mutation"),
+        this);
+}
+
+void
+GuardedMemberCheck::check(const MatchFinder::MatchResult &result)
+{
+    const auto *field = result.Nodes.getNodeAs<clang::FieldDecl>("field");
+    const auto *function =
+        result.Nodes.getNodeAs<clang::FunctionDecl>("function");
+    const auto *mutation = result.Nodes.getNodeAs<clang::Stmt>("mutation");
+    if (field == nullptr || function == nullptr || mutation == nullptr)
+        return;
+    if (field->hasAttr<clang::GuardedByAttr>() ||
+        field->hasAttr<clang::PtGuardedByAttr>())
+        return;
+    if (isLemonsMutex(field->getType()->getAsCXXRecordDecl()) ||
+        isAtomic(field->getType()))
+        return;
+    if (!ownerHasMutex(field))
+        return;
+    if (!functionHoldsLock(function, *result.Context))
+        return;
+
+    const clang::SourceManager &sm = *result.SourceManager;
+    const clang::SourceLocation loc =
+        sm.getExpansionLoc(mutation->getBeginLoc());
+    if (sm.isInSystemHeader(loc) || allowSuppressed(sm, loc, kCode))
+        return;
+
+    const CodeRow row = codeRow(kCode);
+    diag(loc, "%0: member %1 is mutated under a MutexLock but carries no "
+              "LEMONS_GUARDED_BY annotation, so -Wthread-safety cannot "
+              "see unlocked accesses to it [%2]")
+        << row.id << field << row.title;
+    diag(field->getLocation(), "annotate the member here with "
+                               "LEMONS_GUARDED_BY(<mutex>)",
+         clang::DiagnosticIDs::Note);
+}
+
+} // namespace lemons::tidy

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * T004 lemons-guarded-member: any data member of a class that owns a
+ * util::Mutex and is mutated inside a lock-holding member function
+ * (one that declares a MutexLock or is annotated LEMONS_REQUIRES)
+ * must carry LEMONS_GUARDED_BY. Clang's -Wthread-safety only reasons
+ * about members that are annotated — an unannotated member silently
+ * opts out of the whole analysis, which is exactly the gap this check
+ * closes. std::atomic members and the mutexes themselves are exempt.
+ */
+
+#ifndef LEMONS_TOOLS_TIDY_GUARDED_MEMBER_CHECK_H_
+#define LEMONS_TOOLS_TIDY_GUARDED_MEMBER_CHECK_H_
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace lemons::tidy {
+
+class GuardedMemberCheck : public clang::tidy::ClangTidyCheck
+{
+  public:
+    using ClangTidyCheck::ClangTidyCheck;
+
+    void registerMatchers(clang::ast_matchers::MatchFinder *finder) override;
+    void check(const clang::ast_matchers::MatchFinder::MatchResult &result)
+        override;
+};
+
+} // namespace lemons::tidy
+
+#endif // LEMONS_TOOLS_TIDY_GUARDED_MEMBER_CHECK_H_

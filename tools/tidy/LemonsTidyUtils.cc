@@ -1,0 +1,103 @@
+#include "LemonsTidyUtils.h"
+
+#include <cstring>
+
+#include "llvm/ADT/SmallVector.h"
+
+// The shared catalog. The X-macro row shape is
+// X(enumerator, "id", DefaultSeverity, "title"); the severity argument
+// is discarded here (clang-tidy has its own warning/error mapping via
+// -warnings-as-errors), so the bare severity identifiers never need to
+// resolve in this translation unit.
+#include "lint/code_registry.h"
+
+namespace lemons::tidy {
+
+namespace {
+
+constexpr CodeRow kCatalog[] = {
+#define LEMONS_TIDY_ROW(enumerator, id, severity, title) {id, title},
+    LEMONS_CODE_TABLE(LEMONS_TIDY_ROW)
+#undef LEMONS_TIDY_ROW
+};
+
+/** Whether one physical line carries LEMONS-TIDY-ALLOW(<codes>) with
+ *  @p code in the comma-separated code list. */
+bool
+lineAllows(llvm::StringRef line, llvm::StringRef code)
+{
+    static constexpr llvm::StringLiteral kMarker("LEMONS-TIDY-ALLOW(");
+    const size_t at = line.find(kMarker);
+    if (at == llvm::StringRef::npos)
+        return false;
+    const size_t open = at + kMarker.size();
+    const size_t close = line.find(')', open);
+    if (close == llvm::StringRef::npos)
+        return false;
+    llvm::SmallVector<llvm::StringRef, 4> codes;
+    line.slice(open, close).split(codes, ',');
+    for (llvm::StringRef candidate : codes)
+        if (candidate.trim() == code)
+            return true;
+    return false;
+}
+
+/** The @p lineNumber-th (1-based) line of @p buffer, without newline. */
+llvm::StringRef
+bufferLine(llvm::StringRef buffer, unsigned lineNumber)
+{
+    unsigned current = 1;
+    size_t start = 0;
+    while (current < lineNumber) {
+        const size_t next = buffer.find('\n', start);
+        if (next == llvm::StringRef::npos)
+            return llvm::StringRef();
+        start = next + 1;
+        ++current;
+    }
+    const size_t end = buffer.find('\n', start);
+    return buffer.slice(start, end == llvm::StringRef::npos ? buffer.size()
+                                                            : end);
+}
+
+} // namespace
+
+CodeRow
+codeRow(llvm::StringRef id)
+{
+    for (const CodeRow &row : kCatalog)
+        if (id == row.id)
+            return row;
+    return {"T???", "unknown code (not in lint/code_registry.h)"};
+}
+
+bool
+allowSuppressed(const clang::SourceManager &sm, clang::SourceLocation loc,
+                llvm::StringRef code)
+{
+    if (loc.isInvalid())
+        return false;
+    const clang::SourceLocation expansion = sm.getExpansionLoc(loc);
+    const clang::FileID file = sm.getFileID(expansion);
+    bool invalid = false;
+    const llvm::StringRef buffer = sm.getBufferData(file, &invalid);
+    if (invalid)
+        return false;
+    const unsigned line = sm.getExpansionLineNumber(expansion);
+    if (lineAllows(bufferLine(buffer, line), code))
+        return true;
+    return line > 1 && lineAllows(bufferLine(buffer, line - 1), code);
+}
+
+bool
+inFileMatching(const clang::SourceManager &sm, clang::SourceLocation loc,
+               const llvm::Regex &pattern)
+{
+    if (loc.isInvalid())
+        return false;
+    const llvm::StringRef path =
+        sm.getFilename(sm.getExpansionLoc(loc));
+    return !path.empty() && pattern.match(path);
+}
+
+} // namespace lemons::tidy

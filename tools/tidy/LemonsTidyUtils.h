@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Shared plumbing for the lemons-* clang-tidy checks.
+ *
+ * Every check diagnoses with a stable T-code drawn from the project's
+ * shared X-macro catalog (src/lint/code_registry.h), the same registry
+ * the lemons-lint CLI prints with --codes, so suppression baselines
+ * and CI greps match on one id space across all five code families.
+ *
+ * Suppression: a finding on a line that carries (or whose previous
+ * line carries) a `// LEMONS-TIDY-ALLOW(T00x): reason` comment is
+ * dropped. The code list inside the parentheses is comma-separated;
+ * the reason after the colon is mandatory by convention (reviewed, not
+ * machine-checked).
+ */
+
+#ifndef LEMONS_TOOLS_TIDY_LEMONS_TIDY_UTILS_H_
+#define LEMONS_TOOLS_TIDY_LEMONS_TIDY_UTILS_H_
+
+#include "clang/Basic/SourceLocation.h"
+#include "clang/Basic/SourceManager.h"
+#include "llvm/ADT/StringRef.h"
+#include "llvm/Support/Regex.h"
+
+namespace lemons::tidy {
+
+/** One row of the shared diagnostic-code catalog. */
+struct CodeRow
+{
+    const char *id;
+    const char *title;
+};
+
+/**
+ * The registry row for a stable code id ("T001"); the id and title
+ * come verbatim from lint/code_registry.h. Unknown ids return a row
+ * with the queried id and an "unknown code" title rather than
+ * crashing, so a half-migrated check still diagnoses usefully.
+ */
+CodeRow codeRow(llvm::StringRef id);
+
+/**
+ * Whether the physical line holding @p loc (or the line above it)
+ * carries a LEMONS-TIDY-ALLOW(...) comment naming @p code.
+ */
+bool allowSuppressed(const clang::SourceManager &sm,
+                     clang::SourceLocation loc, llvm::StringRef code);
+
+/**
+ * Whether @p loc expands in a file whose path matches @p pattern.
+ * Invalid locations and unmatchable paths return false.
+ */
+bool inFileMatching(const clang::SourceManager &sm,
+                    clang::SourceLocation loc, const llvm::Regex &pattern);
+
+} // namespace lemons::tidy
+
+#endif // LEMONS_TOOLS_TIDY_LEMONS_TIDY_UTILS_H_

@@ -1,0 +1,91 @@
+#include "MemoizedMathCheck.h"
+
+#include "LemonsTidyUtils.h"
+
+using namespace clang::ast_matchers;
+
+namespace lemons::tidy {
+
+namespace {
+constexpr llvm::StringLiteral kCode("T003");
+} // namespace
+
+MemoizedMathCheck::MemoizedMathCheck(llvm::StringRef name,
+                                     clang::tidy::ClangTidyContext *context)
+    : ClangTidyCheck(name, context),
+      hotFilePattern(Options.get("HotFilePattern", "(^|/)src/core/")),
+      hotFiles(hotFilePattern)
+{
+}
+
+void
+MemoizedMathCheck::storeOptions(
+    clang::tidy::ClangTidyOptions::OptionMap &options)
+{
+    Options.store(options, "HotFilePattern", hotFilePattern);
+}
+
+void
+MemoizedMathCheck::registerMatchers(MatchFinder *finder)
+{
+    const auto weibullCall = cxxMemberCallExpr(callee(cxxMethodDecl(
+        hasAnyName("reliability", "logReliability", "quantile"),
+        ofClass(hasName("::lemons::wearout::Weibull")))));
+    const auto parallelCall = cxxMemberCallExpr(callee(cxxMethodDecl(
+        hasAnyName("reliabilityAt", "logReliabilityAt", "logFailureAt"),
+        ofClass(hasName("::lemons::arch::ParallelStructure")))));
+    const auto binomialCall = callExpr(callee(
+        functionDecl(hasName("::lemons::logBinomialTailAtLeast"))));
+
+    finder->addMatcher(weibullCall.bind("cacheable"), this);
+    finder->addMatcher(parallelCall.bind("cacheable"), this);
+    finder->addMatcher(binomialCall.bind("cacheable"), this);
+    finder->addMatcher(
+        callExpr(callee(functionDecl(hasAnyName(
+                     "::std::pow", "::pow", "::std::lgamma", "::lgamma"))))
+            .bind("raw"),
+        this);
+    // exp() wrapped directly around a cacheable log term: the fused
+    // cached*Survival / cachedParallelReliability entry points fold
+    // the exponential into the memo too.
+    finder->addMatcher(
+        callExpr(callee(functionDecl(hasAnyName("::std::exp", "::exp"))),
+                 hasArgument(0, ignoringParenImpCasts(anyOf(
+                                    weibullCall, parallelCall,
+                                    binomialCall))))
+            .bind("raw"),
+        this);
+}
+
+void
+MemoizedMathCheck::check(const MatchFinder::MatchResult &result)
+{
+    const clang::SourceManager &sm = *result.SourceManager;
+    const CodeRow row = codeRow(kCode);
+
+    const clang::Expr *use = nullptr;
+    const char *what = nullptr;
+    if (const auto *cacheable =
+            result.Nodes.getNodeAs<clang::CallExpr>("cacheable")) {
+        use = cacheable;
+        what = "reliability math with an exact memoized drop-in";
+    } else if (const auto *raw =
+                   result.Nodes.getNodeAs<clang::CallExpr>("raw")) {
+        use = raw;
+        what = "raw pow/exp/lgamma on the solver hot path";
+    }
+    if (use == nullptr)
+        return;
+
+    const clang::SourceLocation loc = sm.getExpansionLoc(use->getBeginLoc());
+    if (sm.isInSystemHeader(loc) || !inFileMatching(sm, loc, hotFiles) ||
+        allowSuppressed(sm, loc, kCode))
+        return;
+    diag(loc, "%0: %1; route through the bit-identical engine::cache "
+              "memo (engine/cache.h) or annotate "
+              "LEMONS-TIDY-ALLOW(T003) with why memoization cannot "
+              "apply [%2]")
+        << row.id << what << row.title;
+}
+
+} // namespace lemons::tidy

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * T003 lemons-memoized-math: in hot-path TUs (src/core by default),
+ * flag reliability math that has an exact memoized drop-in inside
+ * engine::cache. The caches replicate the original expressions bit
+ * for bit (engine/cache.h documents the contract), so routing through
+ * them changes nothing numerically while the solver's repeated
+ * (alpha, beta, x) / (n, k, p) probes turn into table hits. Flagged:
+ *
+ *   - wearout::Weibull::{reliability,logReliability,quantile}
+ *     -> engine::cachedWeibull{Survival,LogSurvival,Quantile};
+ *   - arch::ParallelStructure::{reliabilityAt,logReliabilityAt,
+ *     logFailureAt} -> engine::cachedParallel*;
+ *   - lemons::logBinomialTailAtLeast
+ *     -> engine::cachedLogBinomialTailAtLeast;
+ *   - raw std::pow / std::lgamma (and std::exp applied directly to
+ *     one of the above) re-deriving Weibull/binomial terms inline.
+ *
+ * One-shot closed forms that cannot profit from memo keying annotate
+ * LEMONS-TIDY-ALLOW(T003) with the reason.
+ *
+ * Options:
+ *   HotFilePattern  regex of hot-path TUs (default "(^|/)src/core/").
+ */
+
+#ifndef LEMONS_TOOLS_TIDY_MEMOIZED_MATH_CHECK_H_
+#define LEMONS_TOOLS_TIDY_MEMOIZED_MATH_CHECK_H_
+
+#include "clang-tidy/ClangTidyCheck.h"
+#include "llvm/Support/Regex.h"
+
+namespace lemons::tidy {
+
+class MemoizedMathCheck : public clang::tidy::ClangTidyCheck
+{
+  public:
+    MemoizedMathCheck(llvm::StringRef name,
+                      clang::tidy::ClangTidyContext *context);
+
+    void registerMatchers(clang::ast_matchers::MatchFinder *finder) override;
+    void check(const clang::ast_matchers::MatchFinder::MatchResult &result)
+        override;
+    void storeOptions(clang::tidy::ClangTidyOptions::OptionMap &options)
+        override;
+
+  private:
+    const std::string hotFilePattern;
+    llvm::Regex hotFiles;
+};
+
+} // namespace lemons::tidy
+
+#endif // LEMONS_TOOLS_TIDY_MEMOIZED_MATH_CHECK_H_

@@ -1,0 +1,88 @@
+#include "NoRawThreadCheck.h"
+
+#include "LemonsTidyUtils.h"
+
+using namespace clang::ast_matchers;
+
+namespace lemons::tidy {
+
+namespace {
+constexpr llvm::StringLiteral kCode("T001");
+} // namespace
+
+NoRawThreadCheck::NoRawThreadCheck(llvm::StringRef name,
+                                   clang::tidy::ClangTidyContext *context)
+    : ClangTidyCheck(name, context),
+      engineFilePattern(Options.get("EngineFilePattern", "(^|/)src/engine/")),
+      engineFiles(engineFilePattern)
+{
+}
+
+void
+NoRawThreadCheck::storeOptions(clang::tidy::ClangTidyOptions::OptionMap &options)
+{
+    Options.store(options, "EngineFilePattern", engineFilePattern);
+}
+
+void
+NoRawThreadCheck::registerMatchers(MatchFinder *finder)
+{
+    const auto threadClass =
+        cxxRecordDecl(hasAnyName("::std::thread", "::std::jthread"));
+    finder->addMatcher(
+        cxxConstructExpr(
+            hasDeclaration(cxxConstructorDecl(ofClass(threadClass))))
+            .bind("construct"),
+        this);
+    finder->addMatcher(
+        callExpr(callee(functionDecl(hasName("::std::async"))))
+            .bind("async"),
+        this);
+    finder->addMatcher(
+        cxxMemberCallExpr(callee(
+                              cxxMethodDecl(hasName("detach"),
+                                            ofClass(threadClass))))
+            .bind("detach"),
+        this);
+}
+
+void
+NoRawThreadCheck::check(const MatchFinder::MatchResult &result)
+{
+    const clang::SourceManager &sm = *result.SourceManager;
+    const CodeRow row = codeRow(kCode);
+
+    if (const auto *detach =
+            result.Nodes.getNodeAs<clang::CXXMemberCallExpr>("detach")) {
+        const clang::SourceLocation loc =
+            sm.getExpansionLoc(detach->getBeginLoc());
+        if (sm.isInSystemHeader(loc) || allowSuppressed(sm, loc, kCode))
+            return;
+        diag(loc, "%0: std::thread::detach orphans the thread past every "
+                  "checkpoint and shutdown path; join it, or submit the "
+                  "work to engine::ThreadPool::global() [%1]")
+            << row.id << row.title;
+        return;
+    }
+
+    const clang::Expr *use = nullptr;
+    if (const auto *construct =
+            result.Nodes.getNodeAs<clang::CXXConstructExpr>("construct"))
+        use = construct;
+    else if (const auto *async =
+                 result.Nodes.getNodeAs<clang::CallExpr>("async"))
+        use = async;
+    if (use == nullptr)
+        return;
+
+    const clang::SourceLocation loc = sm.getExpansionLoc(use->getBeginLoc());
+    if (sm.isInSystemHeader(loc) || inFileMatching(sm, loc, engineFiles) ||
+        allowSuppressed(sm, loc, kCode))
+        return;
+    diag(loc, "%0: raw thread creation outside src/engine; submit the "
+              "work through engine::ThreadPool::global() so thread counts "
+              "stay bounded and merges stay chunk-ordered [%1]")
+        << row.id << row.title;
+}
+
+} // namespace lemons::tidy

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * T001 lemons-no-raw-thread: ban raw std::thread / std::jthread
+ * construction and std::async outside src/engine/. Every concurrent
+ * workload must run on engine::ThreadPool::global(): the pool is what
+ * keeps thread counts bounded under server load, makes chunk-ordered
+ * deterministic merges possible, and gives the sim.mc.pool.* counters
+ * their no-spawn-after-warmup guarantee. std::thread::detach is
+ * banned everywhere — a detached thread outlives every checkpoint
+ * and shutdown path the fleet layer reasons about.
+ *
+ * Options:
+ *   EngineFilePattern  regex of paths where raw threads are the
+ *                      pool's own implementation (default
+ *                      "(^|/)src/engine/").
+ */
+
+#ifndef LEMONS_TOOLS_TIDY_NO_RAW_THREAD_CHECK_H_
+#define LEMONS_TOOLS_TIDY_NO_RAW_THREAD_CHECK_H_
+
+#include "clang-tidy/ClangTidyCheck.h"
+#include "llvm/Support/Regex.h"
+
+namespace lemons::tidy {
+
+class NoRawThreadCheck : public clang::tidy::ClangTidyCheck
+{
+  public:
+    NoRawThreadCheck(llvm::StringRef name,
+                     clang::tidy::ClangTidyContext *context);
+
+    void registerMatchers(clang::ast_matchers::MatchFinder *finder) override;
+    void check(const clang::ast_matchers::MatchFinder::MatchResult &result)
+        override;
+    void storeOptions(clang::tidy::ClangTidyOptions::OptionMap &options)
+        override;
+
+  private:
+    const std::string engineFilePattern;
+    llvm::Regex engineFiles;
+};
+
+} // namespace lemons::tidy
+
+#endif // LEMONS_TOOLS_TIDY_NO_RAW_THREAD_CHECK_H_

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * T005 lemons-obs-scoped-timer: misuse of the lemons::obs
+ * instrumentation. Three patterns:
+ *
+ *   - a ScopedTimer temporary that is destroyed within the same full
+ *     expression (times nothing — the RAII guard must be a named
+ *     local, which is what LEMONS_OBS_SCOPED_TIMER expands to);
+ *   - a ScopedTimer constructed inside a loop body, re-registering
+ *     per iteration where one timer around the loop was intended
+ *     (annotate LEMONS-TIDY-ALLOW(T005) when per-iteration timing is
+ *     deliberate);
+ *   - a metric registered under a namespace outside the documented
+ *     dotted prefixes, which would silently fall out of every
+ *     dashboard query and snapshot diff.
+ *
+ * Options:
+ *   Namespaces  semicolon-separated list of sanctioned metric name
+ *               prefixes (default the in-tree registry:
+ *               "sim.;core.;rs.;shamir.;arch.;fleet.;wearout.").
+ */
+
+#ifndef LEMONS_TOOLS_TIDY_OBS_SCOPED_TIMER_CHECK_H_
+#define LEMONS_TOOLS_TIDY_OBS_SCOPED_TIMER_CHECK_H_
+
+#include <string>
+#include <vector>
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace lemons::tidy {
+
+class ObsScopedTimerCheck : public clang::tidy::ClangTidyCheck
+{
+  public:
+    ObsScopedTimerCheck(llvm::StringRef name,
+                        clang::tidy::ClangTidyContext *context);
+
+    void registerMatchers(clang::ast_matchers::MatchFinder *finder) override;
+    void check(const clang::ast_matchers::MatchFinder::MatchResult &result)
+        override;
+    void storeOptions(clang::tidy::ClangTidyOptions::OptionMap &options)
+        override;
+
+  private:
+    const std::string namespaceOption;
+    std::vector<std::string> namespaces;
+};
+
+} // namespace lemons::tidy
+
+#endif // LEMONS_TOOLS_TIDY_OBS_SCOPED_TIMER_CHECK_H_

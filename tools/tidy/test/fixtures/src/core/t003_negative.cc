@@ -1,0 +1,38 @@
+// T003 lemons-memoized-math, negative: the memoized entry points
+// themselves, exp of a plain value, and an annotated pow are fine.
+
+#include <cmath>
+
+#include "engine/cache.h"
+
+double
+memoizedWeibull(double x)
+{
+    return lemons::engine::cachedWeibullSurvival(2000.0, 1.8, x); // fine
+}
+
+double
+memoizedStructure(double x)
+{
+    return lemons::engine::cachedParallelLogReliability(2000.0, 1.8, 8, 3,
+                                                        x); // fine
+}
+
+double
+memoizedTail()
+{
+    return lemons::engine::cachedLogBinomialTailAtLeast(8, 3, 0.99); // fine
+}
+
+double
+expOfPlainValue(double logTerm)
+{
+    return std::exp(logTerm); // fine: nothing cacheable underneath
+}
+
+double
+annotatedPow(double base)
+{
+    // LEMONS-TIDY-ALLOW(T003): operand varies every call, memo cannot hit
+    return std::pow(base, 2.0);
+}

@@ -1,0 +1,33 @@
+// T003 lemons-memoized-math: direct reliability math in a src/core/
+// TU where engine::cache has a bit-identical memoized drop-in.
+
+#include <cmath>
+
+#include "util/math.h"
+#include "wearout/weibull.h"
+
+double
+directWeibull(double x)
+{
+    const lemons::wearout::Weibull weibull(2000.0, 1.8);
+    return weibull.reliability(x); // expect T003: cachedWeibullSurvival
+}
+
+double
+directBinomialTail()
+{
+    return lemons::logBinomialTailAtLeast(8, 3, 0.99); // expect T003
+}
+
+double
+rawPow(double x, double beta)
+{
+    return std::pow(x, beta); // expect T003: raw pow on the hot path
+}
+
+double
+expOfLogTerm(double x)
+{
+    const lemons::wearout::Weibull weibull(2000.0, 1.8);
+    return std::exp(weibull.logReliability(x)); // expect T003: fused memo
+}

@@ -1,0 +1,26 @@
+// T001 lemons-no-raw-thread, negative: this file sits under a
+// src/engine/ path, where the thread pool itself is allowed to create
+// its worker threads — as long as it joins them.
+
+#include <thread>
+#include <vector>
+
+namespace {
+
+void
+work()
+{
+}
+
+} // namespace
+
+void
+poolStart()
+{
+    std::vector<std::thread> workers;
+    workers.emplace_back(work); // fine: engine-internal spawn
+    std::thread extra(work);    // fine: engine-internal spawn
+    extra.join();
+    for (std::thread &worker : workers)
+        worker.join();
+}

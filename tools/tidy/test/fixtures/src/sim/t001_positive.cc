@@ -1,0 +1,36 @@
+// T001 lemons-no-raw-thread: raw thread creation outside src/engine.
+// This file sits under a src/sim/ path, so every spawn below must be
+// diagnosed (and detach is diagnosed regardless of directory).
+
+#include <future>
+#include <thread>
+
+namespace {
+
+void
+work()
+{
+}
+
+} // namespace
+
+void
+spawnDirect()
+{
+    std::thread worker(work); // expect T001: raw construction
+    worker.join();
+}
+
+void
+spawnAsync()
+{
+    auto handle = std::async(std::launch::async, work); // expect T001
+    handle.get();
+}
+
+void
+spawnAndDetach()
+{
+    std::thread worker(work); // expect T001: raw construction
+    worker.detach();          // expect T001: detach orphans the thread
+}

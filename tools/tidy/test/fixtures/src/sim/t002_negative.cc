@@ -1,0 +1,31 @@
+// T002 lemons-deterministic-sim, negative: seeded generators, ordered
+// containers, and an annotated deadline check are all fine.
+
+#include <chrono>
+#include <map>
+#include <random>
+#include <string>
+
+unsigned
+seededStream()
+{
+    std::mt19937_64 generator(0x5eedULL); // fine: fixed seed
+    return static_cast<unsigned>(generator());
+}
+
+double
+orderedIteration(const std::map<std::string, double> &weights)
+{
+    double total = 0.0;
+    for (const auto &entry : weights) // fine: deterministic order
+        total += entry.second;
+    return total;
+}
+
+long
+deadlineCheck()
+{
+    // LEMONS-TIDY-ALLOW(T002): wall-clock deadline, not trial state
+    const auto now = std::chrono::steady_clock::now();
+    return now.time_since_epoch().count();
+}

@@ -1,0 +1,40 @@
+// T002 lemons-deterministic-sim: nondeterminism sources in a
+// simulation TU. Every construct below must be diagnosed.
+
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+#include <string>
+#include <unordered_map>
+
+int
+libcRandomness()
+{
+    int sink = std::rand();                     // expect T002
+    sink += static_cast<int>(::time(nullptr));  // expect T002
+    return sink;
+}
+
+unsigned
+hardwareEntropy()
+{
+    std::random_device device; // expect T002
+    return device();
+}
+
+long
+wallClock()
+{
+    const auto now = std::chrono::steady_clock::now(); // expect T002
+    return now.time_since_epoch().count();
+}
+
+double
+hashOrderIteration(const std::unordered_map<std::string, double> &weights)
+{
+    double total = 0.0;
+    for (const auto &entry : weights) // expect T002: hash order leaks
+        total += entry.second;
+    return total;
+}

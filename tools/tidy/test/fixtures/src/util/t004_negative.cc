@@ -1,0 +1,51 @@
+// T004 lemons-guarded-member, negative: annotated members, atomics,
+// and classes without a lemons::Mutex are all outside the check.
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Annotated
+{
+  public:
+    void
+    add(double x)
+    {
+        lemons::MutexLock lock(mu);
+        total += x;                               // fine: GUARDED_BY
+        events.fetch_add(1, std::memory_order_relaxed); // fine: atomic
+    }
+
+  private:
+    lemons::Mutex mu;
+    double total LEMONS_GUARDED_BY(mu) = 0.0;
+    std::atomic<uint64_t> events{0};
+};
+
+class Unlocked
+{
+  public:
+    void
+    add(double x)
+    {
+        total += x; // fine: single-threaded class, no mutex at all
+    }
+
+  private:
+    double total = 0.0;
+};
+
+} // namespace
+
+void
+touch(double x)
+{
+    Annotated annotated;
+    annotated.add(x);
+    Unlocked unlocked;
+    unlocked.add(x);
+}

@@ -1,0 +1,34 @@
+// T004 lemons-guarded-member: members mutated under a MutexLock must
+// carry LEMONS_GUARDED_BY so -Wthread-safety can track them.
+
+#include <cstdint>
+
+#include "util/mutex.h"
+
+namespace {
+
+class Accumulator
+{
+  public:
+    void
+    add(double x)
+    {
+        lemons::MutexLock lock(mu);
+        total += x;  // expect T004: no GUARDED_BY on total
+        ++additions; // expect T004: no GUARDED_BY on additions
+    }
+
+  private:
+    lemons::Mutex mu;
+    double total = 0.0;
+    uint64_t additions = 0;
+};
+
+} // namespace
+
+void
+touch(double x)
+{
+    Accumulator accumulator;
+    accumulator.add(x);
+}

@@ -1,0 +1,31 @@
+// T005 lemons-obs-scoped-timer, negative: a named guard over the whole
+// function, metrics in registered namespaces, and an annotated
+// per-iteration timer are all fine.
+
+#include "obs/metrics.h"
+
+double
+timedRegion(unsigned iterations)
+{
+    LEMONS_OBS_SCOPED_TIMER("sim.fixture.region"); // fine: named guard
+    double total = 0.0;
+    for (unsigned i = 0; i < iterations; ++i)
+        total += static_cast<double>(i);
+    return total;
+}
+
+void
+registeredNamespaces()
+{
+    lemons::obs::Registry::global().counter("core.fixture.events").add(1);
+    lemons::obs::Registry::global().counter("fleet.fixture.ticks").add(1);
+}
+
+void
+intendedPerIteration(unsigned iterations)
+{
+    for (unsigned i = 0; i < iterations; ++i) {
+        // LEMONS-TIDY-ALLOW(T005): per-iteration latency is the metric
+        LEMONS_OBS_SCOPED_TIMER("sim.fixture.iteration");
+    }
+}

@@ -1,0 +1,28 @@
+// T005 lemons-obs-scoped-timer: instrumentation misuse — a discarded
+// timer temporary, a guard constructed every loop iteration, and a
+// metric name outside the registered namespaces.
+
+#include "obs/metrics.h"
+
+void
+discardedTemporary()
+{
+    lemons::obs::Timer &timer =
+        lemons::obs::Registry::global().timer("sim.fixture.discarded");
+    lemons::obs::ScopedTimer{timer}; // expect T005: times nothing
+}
+
+void
+timerInLoop(unsigned iterations)
+{
+    for (unsigned i = 0; i < iterations; ++i) {
+        LEMONS_OBS_SCOPED_TIMER("sim.fixture.loop"); // expect T005
+    }
+}
+
+void
+rogueNamespace()
+{
+    lemons::obs::Registry::global().counter("rogue.events").add(1);
+    // ^ expect T005: 'rogue.' is not a registered namespace
+}

@@ -1,0 +1,47 @@
+// T006 lemons-stats-accumulation, negative: worker-local accumulators
+// folded in after the dispatch, integer counters, and lambdas handed
+// to non-parallel entry points are all fine.
+
+namespace {
+
+template <typename F>
+void
+parallelFor(unsigned count, F body)
+{
+    for (unsigned i = 0; i < count; ++i)
+        body(i);
+}
+
+template <typename F>
+double
+applyOnce(F body)
+{
+    return body(1u);
+}
+
+} // namespace
+
+double
+workerLocal(unsigned count, double *results)
+{
+    parallelFor(count, [&](unsigned i) {
+        double local = 0.0;
+        local += static_cast<double>(i); // fine: lambda-local state
+        results[i] = local;
+    });
+    double total = 0.0;
+    for (unsigned i = 0; i < count; ++i)
+        total += results[i]; // fine: sequential fold, no lambda
+    return total;
+}
+
+double
+sequentialHelper(double seed)
+{
+    double total = seed;
+    const double extra = applyOnce([&](unsigned i) {
+        total += static_cast<double>(i); // fine: applyOnce is serial
+        return total;
+    });
+    return extra;
+}

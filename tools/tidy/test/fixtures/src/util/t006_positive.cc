@@ -1,0 +1,40 @@
+// T006 lemons-stats-accumulation: floating-point accumulation into
+// captured state from a parallel worker body commits in thread arrival
+// order. Self-contained stand-in for engine::ThreadPool::parallelFor.
+
+namespace {
+
+template <typename F>
+void
+parallelFor(unsigned count, F body)
+{
+    for (unsigned i = 0; i < count; ++i)
+        body(i);
+}
+
+struct Tally
+{
+    double sum = 0.0;
+
+    void
+    accumulate(unsigned count)
+    {
+        parallelFor(count, [this](unsigned i) {
+            sum += static_cast<double>(i); // expect T006: member state
+        });
+    }
+};
+
+} // namespace
+
+double
+sumTrials(unsigned count)
+{
+    double total = 0.0;
+    parallelFor(count, [&](unsigned i) {
+        total += static_cast<double>(i); // expect T006: by-ref capture
+    });
+    Tally tally;
+    tally.accumulate(count);
+    return total + tally.sum;
+}

@@ -1,0 +1,13 @@
+#ifndef FIXTURE_ARCH_TOPOLOGY_H_
+#define FIXTURE_ARCH_TOPOLOGY_H_
+
+// Seeded violation: half of an include cycle with wiring.h.
+#include "arch/wiring.h"
+
+inline int
+fanout()
+{
+    return 4;
+}
+
+#endif // FIXTURE_ARCH_TOPOLOGY_H_

@@ -1,0 +1,13 @@
+#ifndef FIXTURE_ARCH_WIRING_H_
+#define FIXTURE_ARCH_WIRING_H_
+
+// Seeded violation: the other half of the cycle with topology.h.
+#include "arch/topology.h"
+
+inline int
+lanes()
+{
+    return 8;
+}
+
+#endif // FIXTURE_ARCH_WIRING_H_

@@ -1,0 +1,14 @@
+#ifndef FIXTURE_UTIL_CLOCK_H_
+#define FIXTURE_UTIL_CLOCK_H_
+
+// Seeded violation: util is the bottom layer and must not reach up
+// into arch.
+#include "arch/topology.h"
+
+inline int
+tick()
+{
+    return fanout() + 1;
+}
+
+#endif // FIXTURE_UTIL_CLOCK_H_

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# ctest driver for scripts/check_layering.py: the real tree must be
+# clean, and the seeded-violation fixture must fail with both planted
+# findings (downward include + header cycle) reported. Exit 77 when
+# the interpreter lacks tomllib so ctest records a skip, not a failure.
+#
+#   run_layering_test.sh <repo root>
+
+set -u
+
+repo=${1:?repo root}
+checker=${repo}/scripts/check_layering.py
+fixture=${repo}/tools/tidy/test/layering_fixture
+
+output=$(python3 "${checker}" "${repo}/src" \
+    --config "${repo}/scripts/layering.toml" 2>&1)
+status=$?
+if [[ ${status} -eq 77 ]]; then
+    echo "${output}"
+    exit 77
+fi
+if [[ ${status} -ne 0 ]]; then
+    echo "FAIL: src/ violates the layering contract:" >&2
+    echo "${output}" >&2
+    exit 1
+fi
+echo "src/: ${output}"
+
+output=$(python3 "${checker}" "${fixture}/src" \
+    --config "${fixture}/layering.toml" 2>&1)
+status=$?
+if [[ ${status} -ne 1 ]]; then
+    echo "FAIL: fixture expected exit 1, got ${status}:" >&2
+    echo "${output}" >&2
+    exit 1
+fi
+if ! grep -q 'util -> arch is not in \[allow\]' <<<"${output}"; then
+    echo "FAIL: fixture's downward include was not reported:" >&2
+    echo "${output}" >&2
+    exit 1
+fi
+if ! grep -q 'include cycle: arch/' <<<"${output}"; then
+    echo "FAIL: fixture's header cycle was not reported:" >&2
+    echo "${output}" >&2
+    exit 1
+fi
+echo "fixture: both seeded violations reported"
