@@ -32,7 +32,7 @@ using lemons::bench::registerBench;
 LEMONS_BENCH(mcWeibullSample, "mc.weibull_sample")
 {
     const wearout::Weibull model(14.0, 8.0);
-    Rng rng(1);
+    Rng rng(ctx.seed());
     const uint64_t iters = ctx.scaled(1000000, 10000);
     for (uint64_t i = 0; i < iters; ++i)
         ctx.keep(model.sample(rng));
@@ -52,7 +52,7 @@ LEMONS_BENCH_REGISTRAR(registerStructureSampleBenches)
                           const wearout::DeviceFactory factory(
                               {14.0, 8.0},
                               wearout::ProcessVariation::none());
-                          Rng rng(2);
+                          Rng rng(ctx.seed());
                           const uint64_t iters =
                               ctx.scaled(2000000 / n, 100);
                           for (uint64_t i = 0; i < iters; ++i)
@@ -71,7 +71,7 @@ LEMONS_BENCH(mcFullArchitectureTrial, "mc.full_architecture_trial")
     // 6,084 copies x 175 devices, scaled down under --quick.
     const wearout::DeviceFactory factory({14.0, 8.0},
                                          wearout::ProcessVariation::none());
-    Rng rng(3);
+    Rng rng(ctx.seed());
     const uint64_t copies = ctx.scaled(6084, 100);
     ctx.keep(static_cast<double>(arch::sampleSerialCopiesTotalAccesses(
         factory, 175, 18, copies, rng)));
@@ -83,7 +83,7 @@ LEMONS_BENCH(mcEstimateProbability, "mc.estimate_probability")
     const wearout::DeviceFactory factory({9.3, 12.0},
                                          wearout::ProcessVariation::none());
     const uint64_t trials = ctx.scaled(20000, 500);
-    const sim::MonteCarlo mc(7, trials);
+    const sim::MonteCarlo mc(ctx.seed(), trials);
     const auto ci = mc.estimateProbability([&](Rng &rng) {
         return arch::sampleParallelSurvivedAccesses(factory, 40, 1, rng) >=
                10;
@@ -99,7 +99,7 @@ LEMONS_BENCH(mcRunStatsParallel, "mc.run_stats_parallel")
     const wearout::DeviceFactory factory({9.3, 12.0},
                                          wearout::ProcessVariation::none());
     const uint64_t trials = ctx.scaled(20000, 500);
-    const sim::MonteCarlo mc(7, trials);
+    const sim::MonteCarlo mc(ctx.seed(), trials);
     const auto report = mc.run(
         [&](Rng &rng) {
             return static_cast<double>(
@@ -130,7 +130,7 @@ LEMONS_BENCH(mcEngineRunLarge, "mc_engine.run_large")
     const wearout::DeviceFactory factory({9.3, 12.0},
                                          wearout::ProcessVariation::none());
     const uint64_t trials = ctx.scaled(20000, 500);
-    const sim::MonteCarlo mc(7, trials);
+    const sim::MonteCarlo mc(ctx.seed(), trials);
     const auto report = mc.run(
         [&](Rng &rng) { return largeTrialMetric(factory, rng); },
         {.threads = 2, .faults = sim::FaultPolicy::Rethrow});
@@ -149,7 +149,7 @@ LEMONS_BENCH(mcEngineRunLargeLegacySpawn, "mc_engine.run_large_legacy_spawn")
                                          wearout::ProcessVariation::none());
     const uint64_t trials = ctx.scaled(20000, 500);
     const unsigned threads = 2;
-    const Rng parent(7);
+    const Rng parent(ctx.seed());
     std::vector<double> samples(trials);
     const auto sampler = [&factory](Rng &r) {
         return factory.sampleLifetime(r);
@@ -182,7 +182,7 @@ LEMONS_BENCH(mcEngineEarlyStop, "mc_engine.early_stop")
     const wearout::DeviceFactory factory({9.3, 12.0},
                                          wearout::ProcessVariation::none());
     const uint64_t trials = ctx.scaled(200000, 2000);
-    const sim::MonteCarlo mc(7, trials);
+    const sim::MonteCarlo mc(ctx.seed(), trials);
     const auto report = mc.run(
         [&](Rng &rng) { return largeTrialMetric(factory, rng); },
         {.chunkSize = 256,
@@ -210,7 +210,7 @@ LEMONS_BENCH(mcEnginePoolReuse, "mc_engine.pool_reuse")
     const uint64_t createdBefore = created.get();
     double acc = 0.0;
     for (uint64_t r = 0; r < runs; ++r) {
-        const sim::MonteCarlo mc(100 + r, 64);
+        const sim::MonteCarlo mc(ctx.seed() + r, 64);
         acc += mc.run(
                      [&](Rng &rng) {
                          return static_cast<double>(
@@ -267,7 +267,7 @@ LEMONS_BENCH(mcEngineBatchKernel, "mc_engine.batch_kernel")
     // The raw u-select kernel at the paper's connection geometry
     // (n=175, k=18): one inverse-CDF transform per structure.
     const wearout::Weibull model(14.0, 8.0);
-    Rng rng(2);
+    Rng rng(ctx.seed());
     const uint64_t iters = ctx.scaled(2000000 / 175, 100);
     for (uint64_t i = 0; i < iters; ++i)
         ctx.keep(static_cast<double>(

@@ -14,6 +14,7 @@
 
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "util/philox.h"
 
 namespace lemons::bench {
 
@@ -88,7 +89,23 @@ struct Options
     double scale = 1.0;
     unsigned reps = 5;
     unsigned warmup = 1;
+    uint64_t seed = 7;
 };
+
+/**
+ * Seed for one rep of one benchmark: the canonical SplitMix64 stream
+ * over (base seed, rep index). Each rep samples a fresh stream, so
+ * the median aggregates i.i.d. repetitions instead of replaying one
+ * stream --reps times; the derivation is deterministic, so a
+ * before/after pair at the same --seed still compares identical
+ * per-rep seeds.
+ */
+uint64_t
+repSeed(uint64_t base, uint64_t rep)
+{
+    uint64_t state = base + rep * 0x9E3779B97F4A7C15ULL;
+    return philox::splitMix64(state);
+}
 
 void
 printUsage(std::ostream &out)
@@ -103,6 +120,8 @@ printUsage(std::ostream &out)
            "  --reps=N          timed repetitions per benchmark "
            "(default 5)\n"
            "  --warmup=N        untimed warmup runs (default 1)\n"
+           "  --seed=N          base RNG seed; rep r runs with "
+           "SplitMix64(seed, r) (default 7)\n"
            "  --json[=PATH]     write BENCH_results.json "
            "(default path: BENCH_results.json)\n"
            "  --report          print the full paper tables while "
@@ -160,6 +179,8 @@ parseOptions(int argc, char **argv, Options &opts)
                 return false;
             }
             opts.warmup = static_cast<unsigned>(warmup);
+        } else if (valueFlag(arg, "--seed", value)) {
+            opts.seed = std::strtoull(value.c_str(), nullptr, 0);
         } else if (arg == "--help" || arg == "-h") {
             printUsage(std::cout);
             std::exit(0);
@@ -195,8 +216,11 @@ runOne(const Entry &entry, const Options &opts)
     result.name = entry.name;
     result.reps = opts.reps;
 
+    // Warmup seeds start past the timed range so a warmup run never
+    // shares (and never pre-walks) a timed rep's stream.
     for (unsigned i = 0; i < opts.warmup; ++i) {
-        BenchContext ctx(opts.scale, false, nullStream);
+        BenchContext ctx(opts.scale, false, nullStream,
+                         repSeed(opts.seed, opts.reps + i));
         entry.fn(ctx);
         globalSink = globalSink + ctx.kept();
     }
@@ -209,7 +233,8 @@ runOne(const Entry &entry, const Options &opts)
         // than once.
         const bool reportThisRep = opts.report && rep + 1 == opts.reps;
         BenchContext ctx(opts.scale, reportThisRep,
-                         reportThisRep ? std::cout : nullStream);
+                         reportThisRep ? std::cout : nullStream,
+                         repSeed(opts.seed, rep));
         const obs::Snapshot before = obs::Registry::global().snapshot();
         const auto start = std::chrono::steady_clock::now();
         entry.fn(ctx);
@@ -342,8 +367,9 @@ writeJson(std::ostream &out, const std::vector<Result> &results,
 } // namespace
 
 BenchContext::BenchContext(double scaleFactor, bool reportTables,
-                           std::ostream &reportSink)
-    : factor(scaleFactor), report(reportTables), sink(reportSink)
+                           std::ostream &reportSink, uint64_t streamSeed)
+    : factor(scaleFactor), report(reportTables), repSeed(streamSeed),
+      sink(reportSink)
 {
 }
 

@@ -32,10 +32,22 @@ namespace lemons::bench {
 class BenchContext
 {
   public:
-    BenchContext(double scaleFactor, bool report, std::ostream &reportSink);
+    BenchContext(double scaleFactor, bool report, std::ostream &reportSink,
+                 uint64_t streamSeed = 7);
 
     /** Workload scale factor in (0, 1]; 1 is the full paper scale. */
     double scale() const { return factor; }
+
+    /**
+     * Per-rep RNG seed, derived by the harness from (--seed, rep) via
+     * SplitMix64. Benchmark bodies that sample (MonteCarlo runs, Rng
+     * streams) should seed from this instead of a hardcoded constant:
+     * a fixed seed replays the identical stream every rep, so the
+     * reported median is the median of one sample repeated, not of
+     * i.i.d. reps. Warmup runs get their own seeds past the timed
+     * range, so warmup never pre-walks a timed rep's stream.
+     */
+    uint64_t seed() const { return repSeed; }
 
     /**
      * @p full scaled down by the current factor, but never below
@@ -71,6 +83,7 @@ class BenchContext
   private:
     double factor;
     bool report;
+    uint64_t repSeed;
     std::ostream &sink;
     double checksum = 0.0;
     std::map<std::string, double, std::less<>> values;

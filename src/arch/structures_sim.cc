@@ -58,10 +58,7 @@ sampleParallelSurvivedAccesses(const wearout::DeviceFactory &factory,
         // iid nominal Weibull: the engine's u-select kernel consumes
         // the identical uniform stream and returns a bit-identical
         // order statistic with one inverse-CDF transform instead of n.
-        requireArg(n >= 1,
-                   "sampleParallelSurvivedAccesses: n must be >= 1");
-        requireArg(k >= 1 && k <= n,
-                   "sampleParallelSurvivedAccesses: need 1 <= k <= n");
+        // Argument validation happens once, inside the kernel.
         LEMONS_OBS_INCREMENT("arch.sim.structure_samples");
         LEMONS_OBS_COUNT("arch.sim.device_samples", n);
         return engine::sampleParallelBankSurvival(factory.nominalModel(),

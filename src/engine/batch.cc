@@ -7,17 +7,131 @@
 
 #include "obs/metrics.h"
 #include "util/require.h"
+#include "util/simd.h"
+
+#if defined(__x86_64__) && !defined(LEMONS_NO_SIMD)
+#define LEMONS_BATCH_AVX2 1
+#include <immintrin.h>
+#endif
 
 namespace lemons::engine {
 
 namespace {
 
 /**
- * Per-thread uniform scratch: structure widths recur (every trial of a
- * run uses the same n), so one thread-local buffer removes the
- * per-structure allocation the legacy path paid.
+ * Per-thread uniform scratch for banks wider than the stack buffer:
+ * structure widths recur (every trial of a run uses the same n), so
+ * one thread-local buffer removes the per-structure allocation the
+ * legacy path paid.
  */
 thread_local std::vector<double> uniformScratch;
+
+/** Bank widths up to this stay in a stack buffer (4 KiB): no TLS-init
+ *  guard, no resize bookkeeping on the per-trial hot path. */
+constexpr size_t kStackBankWidth = 512;
+
+/** Trials per transform batch in the Many kernel. */
+constexpr size_t kManyBatch = 256;
+
+double *
+scratchFor(size_t n, double *stackBuf)
+{
+    if (n <= kStackBankWidth)
+        return stackBuf;
+    std::vector<double> &u = uniformScratch;
+    if (u.size() < n)
+        u.resize(n);
+    return u.data();
+}
+
+#if defined(LEMONS_BATCH_AVX2)
+
+/**
+ * Horizontal min/max over positive finite doubles. Comparisons are
+ * exact, the data has no NaNs and no signed zeros, so the reduction
+ * returns the identical VALUE as the scalar loop regardless of the
+ * association order — which is all the bit-identity contract needs
+ * (the selected uniform, not any intermediate, feeds the transform).
+ */
+__attribute__((target("avx2"))) double
+minOfAvx2(const double *values, size_t count)
+{
+    __m256d best = _mm256_loadu_pd(values);
+    size_t i = 4;
+    for (; i + 4 <= count; i += 4)
+        best = _mm256_min_pd(best, _mm256_loadu_pd(values + i));
+    const __m128d folded = _mm_min_pd(_mm256_castpd256_pd128(best),
+                                      _mm256_extractf128_pd(best, 1));
+    double lanes[2];
+    _mm_storeu_pd(lanes, folded);
+    double result = lanes[0] < lanes[1] ? lanes[0] : lanes[1];
+    for (; i < count; ++i)
+        result = values[i] < result ? values[i] : result;
+    return result;
+}
+
+__attribute__((target("avx2"))) double
+maxOfAvx2(const double *values, size_t count)
+{
+    __m256d best = _mm256_loadu_pd(values);
+    size_t i = 4;
+    for (; i + 4 <= count; i += 4)
+        best = _mm256_max_pd(best, _mm256_loadu_pd(values + i));
+    const __m128d folded = _mm_max_pd(_mm256_castpd256_pd128(best),
+                                      _mm256_extractf128_pd(best, 1));
+    double lanes[2];
+    _mm_storeu_pd(lanes, folded);
+    double result = lanes[0] > lanes[1] ? lanes[0] : lanes[1];
+    for (; i < count; ++i)
+        result = values[i] > result ? values[i] : result;
+    return result;
+}
+
+#endif // LEMONS_BATCH_AVX2
+
+double
+minOf(const double *values, size_t count)
+{
+#if defined(LEMONS_BATCH_AVX2)
+    if (count >= 4 && simd::activeLevel() == simd::Level::Avx2)
+        return minOfAvx2(values, count);
+#endif
+    double result = values[0];
+    for (size_t i = 1; i < count; ++i)
+        result = values[i] < result ? values[i] : result;
+    return result;
+}
+
+double
+maxOf(const double *values, size_t count)
+{
+#if defined(LEMONS_BATCH_AVX2)
+    if (count >= 4 && simd::activeLevel() == simd::Level::Avx2)
+        return maxOfAvx2(values, count);
+#endif
+    double result = values[0];
+    for (size_t i = 1; i < count; ++i)
+        result = values[i] > result ? values[i] : result;
+    return result;
+}
+
+/**
+ * k-th smallest of @p u[0..n). The selected value is a member of the
+ * input set, so ANY selection algorithm returns the same double: the
+ * SIMD min/max reductions (the dominant k == 1 / k == n structure
+ * configurations) and the scalar nth_element middle case are all
+ * bit-identical by construction. Reorders @p u.
+ */
+double
+selectKthSmallest(double *u, size_t n, size_t k)
+{
+    if (k == 1)
+        return minOf(u, n);
+    if (k == n)
+        return maxOf(u, n);
+    std::nth_element(u, u + (k - 1), u + n);
+    return u[k - 1];
+}
 
 } // namespace
 
@@ -44,17 +158,18 @@ sampleParallelBankSurvival(const wearout::Weibull &model, size_t n, size_t k,
     // Bulk-bump the same counter n individual Weibull::sample calls
     // would have incremented, keeping the atomic off the inner loop.
     LEMONS_OBS_COUNT("wearout.weibull.samples", n);
-    std::vector<double> &u = uniformScratch;
-    u.resize(n);
-    for (size_t i = 0; i < n; ++i)
-        u[i] = rng.nextDoubleOpenLow();
     // T(u) = alpha * (-ln u)^(1/beta) is monotone non-increasing, so
     // the k-th LARGEST lifetime is T of the k-th SMALLEST uniform:
-    // select first, transform once.
-    std::nth_element(u.begin(),
-                     u.begin() + static_cast<std::ptrdiff_t>(k - 1),
-                     u.end());
-    return floorToAccesses(model.sampleFromUniform(u[k - 1]));
+    // select first, transform once. The dominant k == 1 configuration
+    // reduces fused with generation (no uniform array at all).
+    if (k == 1)
+        return floorToAccesses(
+            model.sampleFromUniform(rng.minUniformOpenLow(n)));
+    double stackBuf[kStackBankWidth];
+    double *u = scratchFor(n, stackBuf);
+    rng.fillUniformOpenLow(u, n);
+    return floorToAccesses(
+        model.sampleFromUniform(selectKthSmallest(u, n, k)));
 }
 
 uint64_t
@@ -63,11 +178,10 @@ sampleSeriesBankSurvival(const wearout::Weibull &model, size_t n, Rng &rng)
     requireArg(n >= 1, "sampleSeriesBankSurvival: n must be >= 1");
     LEMONS_OBS_COUNT("wearout.weibull.samples", n);
     // min over lifetimes == T(max over uniforms), by the same
-    // monotonicity argument as the parallel kernel.
-    double maxU = 0.0;
-    for (size_t i = 0; i < n; ++i)
-        maxU = std::max(maxU, rng.nextDoubleOpenLow());
-    return floorToAccesses(model.sampleFromUniform(maxU));
+    // monotonicity argument as the parallel kernel; the max reduces
+    // fused with generation.
+    return floorToAccesses(
+        model.sampleFromUniform(rng.maxUniformOpenLow(n)));
 }
 
 void
@@ -75,8 +189,34 @@ sampleParallelBankSurvivalMany(const wearout::Weibull &model, size_t n,
                                size_t k, Rng &rng, uint64_t *out,
                                size_t trials)
 {
-    for (size_t t = 0; t < trials; ++t)
-        out[t] = sampleParallelBankSurvival(model, n, k, rng);
+    requireArg(n >= 1, "sampleParallelBankSurvivalMany: n must be >= 1");
+    requireArg(k >= 1 && k <= n,
+               "sampleParallelBankSurvivalMany: need 1 <= k <= n");
+    LEMONS_OBS_COUNT("wearout.weibull.samples", n * trials);
+    double stackBuf[kStackBankWidth];
+    double *u = scratchFor(n, stackBuf);
+    // Select each trial's uniform, then push the order statistics
+    // through the four-lane batched inverse CDF. Identical draws and
+    // identical per-element operation sequence as `trials` sequential
+    // sampleParallelBankSurvival calls, hence bit-identical results.
+    double selected[kManyBatch];
+    double lifetimes[kManyBatch];
+    size_t done = 0;
+    while (done < trials) {
+        const size_t batch = std::min(kManyBatch, trials - done);
+        for (size_t t = 0; t < batch; ++t) {
+            if (k == 1) {
+                selected[t] = rng.minUniformOpenLow(n);
+            } else {
+                rng.fillUniformOpenLow(u, n);
+                selected[t] = selectKthSmallest(u, n, k);
+            }
+        }
+        model.sampleFromUniformBatch(selected, batch, lifetimes);
+        for (size_t t = 0; t < batch; ++t)
+            out[done + t] = floorToAccesses(lifetimes[t]);
+        done += batch;
+    }
 }
 
 } // namespace lemons::engine

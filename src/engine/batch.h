@@ -14,6 +14,12 @@
  * legacy per-device path (monotone maps preserve order statistics, and
  * the selected uniform goes through the very same sampleFromUniform),
  * while consuming the identical RNG stream.
+ *
+ * On counter-based trial streams (Rng::trialStream) the uniforms are
+ * bulk-generated through the dispatched Philox batch and the k == 1 /
+ * k == n selections reduce with AVX2 min/max — both bit-identical to
+ * the scalar path, so SIMD width never changes results (enforced by
+ * the determinism suites).
  */
 
 #ifndef LEMONS_ENGINE_BATCH_H_

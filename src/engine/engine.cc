@@ -174,7 +174,6 @@ runTrials(uint64_t seed, const McRunOptions &options,
                    "chunk count");
     }
 
-    const Rng parent(seed);
     TrialReport report;
     report.requestedTrials = trials;
     if (options.keepSamples)
@@ -201,7 +200,11 @@ runTrials(uint64_t seed, const McRunOptions &options,
         const uint64_t end = std::min(trials, begin + chunkSize);
         RunningStats &local = chunkStats[c];
         for (uint64_t i = begin; i < end; ++i) {
-            Rng rng = parent.split(i);
+            // The definitional trial stream: Philox keyed on
+            // (seed, i, draw), so trial i's randomness is a pure
+            // function of (seed, i) — independent of threads, chunks,
+            // SIMD dispatch and resume cursors.
+            Rng rng = Rng::trialStream(seed, i);
             try {
                 const double sample = metric(rng, i);
                 // Any non-finite RETURN is quarantined; a throwing

@@ -6,10 +6,12 @@
  * every simulation in the library (sim::MonteCarlo::run delegates
  * here). Trials are processed in contiguous chunks whose boundaries
  * depend only on the chunk size, never on the thread count, and trial
- * i always uses Rng(seed).split(i): per-trial results are bit-identical
- * at any parallelism, and the streaming statistics are merged in chunk
- * order so even the reassociation-sensitive moments are reproducible
- * at any thread count.
+ * i always uses the counter-based stream Rng::trialStream(seed, i)
+ * (Philox keyed on (seed, trial, draw)): per-trial results are
+ * bit-identical at any parallelism and SIMD dispatch level, and the
+ * streaming statistics are merged in chunk order so even the
+ * reassociation-sensitive moments are reproducible at any thread
+ * count.
  *
  * Execution runs on the persistent ThreadPool (no thread creation
  * after warmup) and can stop early once the confidence interval of the
@@ -97,7 +99,7 @@ enum class InterruptReason {
  * Wave-boundary snapshot of a run's resumable state. Everything a
  * bit-identical continuation needs is here: the RNG "position" is just
  * (seed, executedChunks) because trial i always draws from
- * Rng(seed).split(i), and the streaming statistics carry the exact
+ * Rng::trialStream(seed, i), and the streaming statistics carry the exact
  * chunk-ordered merge prefix. Consumed by lemons::fleet checkpoints
  * (and later by lemonsd request draining).
  */
@@ -265,8 +267,9 @@ struct TrialReport
 using TrialMetric = std::function<double(Rng &, uint64_t)>;
 
 /**
- * Run @p metric for trials [0, options.trials) with trial i seeded as
- * Rng(@p seed).split(i), under the execution policy in @p options.
+ * Run @p metric for trials [0, options.trials) with trial i on the
+ * counter-based stream Rng::trialStream(@p seed, i), under the
+ * execution policy in @p options.
  * @pre options.trials > 0 (callers resolve their own defaults).
  */
 TrialReport runTrials(uint64_t seed, const McRunOptions &options,

@@ -32,8 +32,9 @@
  * (RunningStats serialized exactly, via RunningStats::State), and the
  * in-progress cohort's engine cursor — seed, chunk position, streaming
  * statistics, and capture-mode fault logs. RNG stream positions are
- * implicit: trial i always draws from Rng(seed).split(i), so
- * (seed, executedChunks) pins the stream exactly.
+ * implicit: trial i always draws from Rng::trialStream(seed, i) — a
+ * counter-based Philox stream that is a pure function of (seed, i) —
+ * so (seed, executedChunks) pins the stream exactly.
  */
 
 #ifndef LEMONS_FLEET_CHECKPOINT_H_

@@ -41,7 +41,7 @@ class MonteCarlo
 {
   public:
     /**
-     * @param seed Master seed; trial i uses Rng(seed).split(i).
+     * @param seed Master seed; trial i uses Rng::trialStream(seed, i).
      * @param trials Number of independent trials (> 0).
      */
     MonteCarlo(uint64_t seed, uint64_t trials);

@@ -21,9 +21,22 @@ namespace lemons {
 /**
  * Throw std::invalid_argument unless @p condition holds.
  *
+ * The const char* overloads are the ones string literals bind to: they
+ * keep the success path free of std::string construction (a heap
+ * allocation for every message longer than the SSO buffer), which
+ * matters because these checks sit on per-trial Monte Carlo paths. The
+ * exception message is materialized only on failure.
+ *
  * @param condition Contract that must hold.
  * @param message Description of the violated contract.
  */
+inline void
+requireArg(bool condition, const char *message)
+{
+    if (!condition)
+        throw std::invalid_argument(message);
+}
+
 inline void
 requireArg(bool condition, const std::string &message)
 {
@@ -35,6 +48,13 @@ requireArg(bool condition, const std::string &message)
  * Throw std::logic_error unless @p condition holds. Used for internal
  * invariants that callers cannot violate through the public API.
  */
+inline void
+requireState(bool condition, const char *message)
+{
+    if (!condition)
+        throw std::logic_error(message);
+}
+
 inline void
 requireState(bool condition, const std::string &message)
 {

@@ -2,27 +2,39 @@
 
 #include <cmath>
 
+#include "util/philox.h"
 #include "util/require.h"
 
 namespace lemons {
 
 namespace {
 
-/** SplitMix64 step: advances @p x and returns a scrambled output. */
-uint64_t
-splitMix64(uint64_t &x)
-{
-    x += 0x9e3779b97f4a7c15ULL;
-    uint64_t z = x;
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-    return z ^ (z >> 31);
-}
-
 uint64_t
 rotl(uint64_t x, int k)
 {
     return (x << k) | (x >> (64 - k));
+}
+
+/** The (u >> 11) + 1 grid point in (0, 1]; shared by every uniform path. */
+inline double
+toDoubleOpenLow(uint64_t word)
+{
+    // (u + 1) / 2^53 lies in (0, 1]; u + 1 cannot overflow 53 bits + 1.
+    return static_cast<double>((word >> 11) + 1) * 0x1.0p-53;
+}
+
+/**
+ * Child-seed/key derivation shared by both modes: mix (parent, index)
+ * through SplitMix64 twice so nearby pairs map to well-separated
+ * children.
+ */
+uint64_t
+deriveChild(uint64_t parent, uint64_t index)
+{
+    uint64_t x = parent ^ (0x9e3779b97f4a7c15ULL + index);
+    uint64_t child = philox::splitMix64(x);
+    child ^= philox::splitMix64(x);
+    return child;
 }
 
 } // namespace
@@ -33,12 +45,39 @@ Rng::Rng(uint64_t seed) : seedValue(seed), cachedGaussian(0.0)
     // well-mixed nonzero state from any seed.
     uint64_t sm = seed;
     for (auto &word : state)
-        word = splitMix64(sm);
+        word = philox::splitMix64(sm);
+}
+
+Rng::Rng(uint64_t key, uint64_t trial, Mode)
+    : state{key, trial, 0, 0}, seedValue(key), cachedGaussian(0.0),
+      mode(Mode::Philox)
+{
+}
+
+Rng
+Rng::trialStream(uint64_t seed, uint64_t trial)
+{
+    return Rng(philox::deriveKey(seed), trial, Mode::Philox);
 }
 
 uint64_t
 Rng::next()
 {
+    if (mode == Mode::Philox) {
+        if (hasBufferedDraw) {
+            hasBufferedDraw = false;
+            return state[kBufferedWord];
+        }
+        const std::array<uint64_t, 2> draws = philox::blockDraws(
+            philox::block(philox::makeCounter(state[kTrialWord],
+                                              state[kBlockWord]),
+                          philox::keyWords(state[kKeyWord])));
+        ++state[kBlockWord];
+        state[kBufferedWord] = draws[1];
+        hasBufferedDraw = true;
+        return draws[0];
+    }
+
     const uint64_t result = rotl(state[1] * 5, 7) * 9;
     const uint64_t t = state[1] << 17;
 
@@ -62,8 +101,111 @@ Rng::nextDouble()
 double
 Rng::nextDoubleOpenLow()
 {
-    // (u + 1) / 2^53 lies in (0, 1]; u + 1 cannot overflow 53 bits + 1.
-    return static_cast<double>((next() >> 11) + 1) * 0x1.0p-53;
+    return toDoubleOpenLow(next());
+}
+
+void
+Rng::fillUniformOpenLow(double *out, size_t count)
+{
+    if (mode != Mode::Philox) {
+        for (size_t i = 0; i < count; ++i)
+            out[i] = nextDoubleOpenLow();
+        return;
+    }
+
+    size_t filled = 0;
+    if (hasBufferedDraw && filled < count) {
+        hasBufferedDraw = false;
+        out[filled++] = toDoubleOpenLow(state[kBufferedWord]);
+    }
+
+    // Bulk-generate whole blocks (two draws each) straight into the
+    // output through the dispatched Philox batch with its fused (and
+    // exact) uniform conversion; the stream position advances exactly
+    // as sequential next() calls would.
+    const philox::Key key = philox::keyWords(state[kKeyWord]);
+    const size_t wholeBlocks = (count - filled) / 2;
+    if (wholeBlocks > 0) {
+        philox::fillUniformOpenLow(key, state[kTrialWord], state[kBlockWord],
+                                   out + filled, wholeBlocks);
+        state[kBlockWord] += wholeBlocks;
+        filled += 2 * wholeBlocks;
+    }
+
+    if (filled < count) {
+        // Odd tail: consume the first draw of one more block and leave
+        // its second draw buffered, like next() does.
+        uint64_t raw[2];
+        philox::fillRaw64(key, state[kTrialWord], state[kBlockWord], raw, 1);
+        ++state[kBlockWord];
+        out[filled] = toDoubleOpenLow(raw[0]);
+        state[kBufferedWord] = raw[1];
+        hasBufferedDraw = true;
+    }
+}
+
+double
+Rng::minUniformOpenLow(size_t count)
+{
+    requireArg(count > 0, "Rng::minUniformOpenLow: count must be > 0");
+    if (mode != Mode::Philox) {
+        double result = 1.0;
+        for (size_t i = 0; i < count; ++i)
+            result = std::min(result, nextDoubleOpenLow());
+        return result;
+    }
+    double result = 1.0;
+    size_t remaining = count;
+    if (hasBufferedDraw) {
+        hasBufferedDraw = false;
+        result = toDoubleOpenLow(state[kBufferedWord]);
+        --remaining;
+    }
+    const philox::Key key = philox::keyWords(state[kKeyWord]);
+    const size_t wholeBlocks = remaining / 2;
+    if (wholeBlocks > 0) {
+        result = std::min(
+            result, philox::minUniformOpenLow(key, state[kTrialWord],
+                                              state[kBlockWord],
+                                              wholeBlocks));
+        state[kBlockWord] += wholeBlocks;
+        remaining -= 2 * wholeBlocks;
+    }
+    if (remaining > 0)
+        result = std::min(result, nextDoubleOpenLow());
+    return result;
+}
+
+double
+Rng::maxUniformOpenLow(size_t count)
+{
+    requireArg(count > 0, "Rng::maxUniformOpenLow: count must be > 0");
+    if (mode != Mode::Philox) {
+        double result = 0.0;
+        for (size_t i = 0; i < count; ++i)
+            result = std::max(result, nextDoubleOpenLow());
+        return result;
+    }
+    double result = 0.0;
+    size_t remaining = count;
+    if (hasBufferedDraw) {
+        hasBufferedDraw = false;
+        result = toDoubleOpenLow(state[kBufferedWord]);
+        --remaining;
+    }
+    const philox::Key key = philox::keyWords(state[kKeyWord]);
+    const size_t wholeBlocks = remaining / 2;
+    if (wholeBlocks > 0) {
+        result = std::max(
+            result, philox::maxUniformOpenLow(key, state[kTrialWord],
+                                              state[kBlockWord],
+                                              wholeBlocks));
+        state[kBlockWord] += wholeBlocks;
+        remaining -= 2 * wholeBlocks;
+    }
+    if (remaining > 0)
+        result = std::max(result, nextDoubleOpenLow());
+    return result;
 }
 
 uint64_t
@@ -111,12 +253,14 @@ Rng::nextGaussian()
 Rng
 Rng::split(uint64_t index) const
 {
-    // Mix the parent seed with the child index through SplitMix64 twice
-    // so that (seed, index) pairs map to well-separated child seeds.
-    uint64_t x = seedValue ^ (0x9e3779b97f4a7c15ULL + index);
-    uint64_t child = splitMix64(x);
-    child ^= splitMix64(x);
-    return Rng(child);
+    if (mode == Mode::Philox) {
+        // A fresh key gives an independent Philox permutation; the
+        // trial word carries over so children of different trials stay
+        // on disjoint streams even if their derived keys collided.
+        return Rng(deriveChild(state[kKeyWord], index), state[kTrialWord],
+                   Mode::Philox);
+    }
+    return Rng(deriveChild(seedValue, index));
 }
 
 } // namespace lemons

@@ -8,18 +8,13 @@ namespace lemons::wearout {
 
 DeviceFactory::DeviceFactory(const DeviceSpec &spec,
                              const ProcessVariation &variation)
-    : nominalSpec(spec), lotVariation(variation)
+    : nominalSpec(spec), lotVariation(variation),
+      nominal(spec.alpha, spec.beta)
 {
     requireArg(spec.alpha > 0.0, "DeviceFactory: alpha must be positive");
     requireArg(spec.beta > 0.0, "DeviceFactory: beta must be positive");
     requireArg(variation.alphaSigma >= 0.0 && variation.betaSigma >= 0.0,
                "DeviceFactory: variation sigmas must be >= 0");
-}
-
-Weibull
-DeviceFactory::nominalModel() const
-{
-    return Weibull(nominalSpec.alpha, nominalSpec.beta);
 }
 
 DeviceSpec

@@ -51,8 +51,9 @@ class DeviceFactory
      */
     DeviceFactory(const DeviceSpec &spec, const ProcessVariation &variation);
 
-    /** Nominal wearout model (no lot variation applied). */
-    Weibull nominalModel() const;
+    /** Nominal wearout model (no lot variation applied). Cached at
+     *  construction so per-trial kernels can grab it by reference. */
+    const Weibull &nominalModel() const { return nominal; }
 
     /**
      * Draw one device's lot-perturbed (alpha, beta). This is the
@@ -83,6 +84,7 @@ class DeviceFactory
   private:
     DeviceSpec nominalSpec;
     ProcessVariation lotVariation;
+    Weibull nominal;
 };
 
 } // namespace lemons::wearout

@@ -74,9 +74,22 @@ class Weibull
      * Inverse-CDF transform of a caller-supplied uniform @p u in
      * (0, 1]: sample(rng) == sampleFromUniform(rng.nextDoubleOpenLow()).
      * Lets fault injection share one uniform across candidate
-     * distributions (common-random-numbers coupling).
+     * distributions (common-random-numbers coupling). Evaluated on the
+     * fixed-operation-sequence lemons::fastmath transforms, so sampled
+     * streams are bit-stable across libm versions and identical between
+     * the scalar and AVX2 kernel paths.
      */
     double sampleFromUniform(double u) const;
+
+    /**
+     * Batched inverse CDF: out[i] = sampleFromUniform(u[i]) for i in
+     * [0, count), bit-identical to the scalar calls at any SIMD
+     * dispatch level (the pow batch mirrors the scalar operation
+     * sequence lane for lane). @p out may alias @p u. This is the
+     * vectorized transform stage of the engine's trial kernels.
+     */
+    void sampleFromUniformBatch(const double *u, size_t count,
+                                double *out) const;
 
     /** Draw @p count iid samples. */
     std::vector<double> sampleMany(Rng &rng, size_t count) const;
@@ -95,6 +108,9 @@ class Weibull
   private:
     double scale;
     double shape;
+    /** 1 / shape, divided once at construction (the inverse-CDF
+     *  exponent; keeps the division off the sampling hot path). */
+    double invShape;
 };
 
 } // namespace lemons::wearout

@@ -127,5 +127,25 @@ TEST(ChaosHarness, AllThreadCountsAgreeOnTheReferenceDigest)
     }
 }
 
+TEST(ChaosHarness, ReferenceDigestMatchesCounterStreamGolden)
+{
+    // The tests above are self-referential (resume vs uninterrupted,
+    // thread A vs thread B). This one anchors the chaos campaign to
+    // the counter-based Philox trial stream: the digest was recorded
+    // once when that stream became definitional, so any change to the
+    // engine, kernels, or fleet simulation that silently alters the
+    // sampled lifetimes fails here even if it stays self-consistent.
+    constexpr uint64_t kGoldenReferenceDigest = 0xed04f04146115897ULL;
+    const std::string dir = artifactDir("stream-golden");
+    ChaosOptions options;
+    options.threads = 1;
+    options.maxKillRounds = 0; // reference run only
+    options.corruptPrimaryOnce = false;
+    options.workDir = dir;
+    const ChaosResult result = runChaosCampaign(quickSpec(), options);
+    ASSERT_TRUE(result.passed()) << result.log;
+    EXPECT_EQ(result.referenceDigest, kGoldenReferenceDigest);
+}
+
 } // namespace
 } // namespace lemons::fleet

@@ -24,6 +24,8 @@
 #include "arch/structures_sim.h"
 #include "sim/monte_carlo.h"
 #include "util/rng.h"
+#include "util/simd.h"
+#include "wearout/population.h"
 #include "wearout/weibull.h"
 
 namespace lemons::sim {
@@ -232,6 +234,155 @@ TEST(Determinism, EarlyStopPointIsThreadInvariant)
         EXPECT_EQ(report.trials, serial.trials) << threads;
         EXPECT_EQ(report.stoppedEarly, serial.stoppedEarly) << threads;
         expectBitIdentical(report.samples, serial.samples);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Counter-based stream goldens.
+//
+// The Philox trial stream is definitional: the digests below were
+// recorded once when the counter-based stream was introduced and must
+// never change. A failure here is a break of the reproducibility
+// contract (samples depend only on (seed, trial)), not a
+// re-baselining opportunity.
+// ---------------------------------------------------------------------------
+
+/** A metric that drives the nominal-lot batched kernels, so the Philox
+ *  fill/extremum paths (SIMD when available) are on the hot path:
+ *  a 1-of-40 parallel bank plus an 8-deep series chain per trial. */
+double
+nominalKernelMetric(Rng &rng)
+{
+    const wearout::DeviceFactory factory(
+        {9.3, 12.0}, wearout::ProcessVariation::none());
+    return static_cast<double>(
+        arch::sampleParallelSurvivedAccesses(factory, 40, 1, rng) +
+        arch::sampleSeriesSurvivedAccesses(factory, 8, rng));
+}
+
+/** FNV-1a over the exact bit patterns of the samples. */
+uint64_t
+bitDigest(const std::vector<double> &samples)
+{
+    uint64_t hash = 0xcbf29ce484222325ULL;
+    for (const double sample : samples) {
+        hash ^= std::bit_cast<uint64_t>(sample);
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+/** FNV-1a over the streaming-statistics state words. */
+uint64_t
+statsDigest(const RunningStats &stats)
+{
+    const uint64_t words[] = {stats.count(),
+                              std::bit_cast<uint64_t>(stats.mean()),
+                              std::bit_cast<uint64_t>(stats.variance()),
+                              std::bit_cast<uint64_t>(stats.min()),
+                              std::bit_cast<uint64_t>(stats.max())};
+    uint64_t hash = 0xcbf29ce484222325ULL;
+    for (const uint64_t word : words) {
+        hash ^= word;
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+constexpr uint64_t kGoldenSeed = 20170624;
+constexpr uint64_t kGoldenTrials = 501;
+/** Digest of the 501 per-trial samples — invariant across threads,
+ *  chunk sizes, SIMD level, early-stop arming, and resume. */
+constexpr uint64_t kGoldenSampleDigest = 0x6ea8701c802e958fULL;
+/** Digest of the streaming statistics at chunkSize 64. The moments
+ *  are merged in chunk order, so this one is pinned per chunk size
+ *  (the per-trial samples above are chunk-size invariant). */
+constexpr uint64_t kGoldenStatsDigestChunk64 = 0xc00f4c1b61165276ULL;
+
+TEST(Determinism, SimdLevelDoesNotChangeSamples)
+{
+    // The vectorized kernels mirror the scalar ones op-for-op, so a
+    // whole run is bit-identical whichever path dispatch picks.
+    if (simd::detectedLevel() == simd::Level::Scalar)
+        GTEST_SKIP() << "host has no AVX2; scalar-vs-scalar is vacuous";
+    const MonteCarlo engine(kGoldenSeed, kGoldenTrials);
+    const McRunOptions options{.chunkSize = kChunk,
+                               .faults = FaultPolicy::Rethrow};
+    simd::setLevelForTesting(simd::Level::Avx2);
+    const std::vector<double> vectorized =
+        engine.run(nominalKernelMetric, options).samples;
+    simd::setLevelForTesting(simd::Level::Scalar);
+    const std::vector<double> scalar =
+        engine.run(nominalKernelMetric, options).samples;
+    simd::clearLevelForTesting();
+    expectBitIdentical(vectorized, scalar);
+}
+
+TEST(Determinism, GoldenDigestAcrossThreadsChunksAndEarlyStopArming)
+{
+    // Every scheduling configuration must reproduce the recorded
+    // sample digest bit-for-bit. The armed early stop uses a target
+    // half-width no run can reach, so arming the machinery (wave
+    // bookkeeping, boundary checks) must not perturb the stream.
+    // (A *firing* early stop legitimately depends on the chunk size,
+    // because stop points are wave boundaries; thread invariance of
+    // the fired case is pinned by EarlyStopPointIsThreadInvariant.)
+    const MonteCarlo engine(kGoldenSeed, kGoldenTrials);
+    const uint64_t chunkSizes[] = {0, 1, 7, 4096};
+    for (const unsigned threads : kThreadCounts) {
+        for (const uint64_t chunk : chunkSizes) {
+            for (const bool armed : {false, true}) {
+                McRunOptions options;
+                options.threads = threads;
+                options.chunkSize = chunk;
+                options.faults = FaultPolicy::Rethrow;
+                if (armed)
+                    options.earlyStop =
+                        EarlyStop{.relHalfWidth = 1e-12,
+                                  .minTrials = kGoldenTrials,
+                                  .checkEveryChunks = 1};
+                const TrialReport report =
+                    engine.run(nominalKernelMetric, options);
+                EXPECT_FALSE(report.stoppedEarly);
+                EXPECT_EQ(bitDigest(report.samples), kGoldenSampleDigest)
+                    << "threads=" << threads << " chunk=" << chunk
+                    << " earlyStopArmed=" << armed;
+            }
+        }
+    }
+}
+
+TEST(Determinism, CheckpointResumeReproducesGoldenDigest)
+{
+    // Resuming from any interior checkpoint lands on the same pinned
+    // streaming digest as the uninterrupted run, at any thread count.
+    const MonteCarlo engine(kGoldenSeed, kGoldenTrials);
+    std::vector<engine::EngineCheckpoint> checkpoints;
+    McRunOptions recording;
+    recording.chunkSize = kChunk;
+    recording.keepSamples = false;
+    recording.faults = FaultPolicy::Rethrow;
+    recording.checkpointEveryChunks = 2;
+    recording.checkpoint = [&](const engine::EngineCheckpoint &checkpoint) {
+        checkpoints.push_back(checkpoint);
+    };
+    const TrialReport full = engine.run(nominalKernelMetric, recording);
+    EXPECT_EQ(statsDigest(full.stats), kGoldenStatsDigestChunk64);
+    ASSERT_GE(checkpoints.size(), 2u);
+    const engine::EngineCheckpoint &mid = checkpoints[checkpoints.size() / 2];
+    ASSERT_GT(mid.executedChunks, 0u);
+    ASSERT_LT(mid.executedChunks * kChunk, kGoldenTrials);
+    for (const unsigned threads : kThreadCounts) {
+        McRunOptions resume;
+        resume.threads = threads;
+        resume.chunkSize = kChunk;
+        resume.keepSamples = false;
+        resume.faults = FaultPolicy::Rethrow;
+        resume.resumeFrom = &mid;
+        const TrialReport resumed =
+            engine.run(nominalKernelMetric, resume);
+        EXPECT_EQ(statsDigest(resumed.stats), kGoldenStatsDigestChunk64)
+            << "resume at " << threads << " threads";
     }
 }
 

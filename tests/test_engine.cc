@@ -28,6 +28,7 @@
 #include "engine/thread_pool.h"
 #include "obs/metrics.h"
 #include "util/rng.h"
+#include "util/simd.h"
 #include "wearout/weibull.h"
 
 namespace lemons::engine {
@@ -202,6 +203,48 @@ TEST(BatchKernel, ManyFillsInTrialOrder)
             sampleParallelBankSurvival(model, 20, 3, loopRng);
         EXPECT_EQ(value, want);
         static_cast<void>(value);
+    }
+}
+
+TEST(BatchKernel, SimdAndScalarKernelsBitIdentical)
+{
+    // The AVX2 fill/extremum paths mirror the scalar code op-for-op,
+    // so forcing either dispatch tier over counter-mode trial streams
+    // must yield identical survival counts and identical post-call
+    // stream positions.
+    if (simd::detectedLevel() == simd::Level::Scalar)
+        GTEST_SKIP() << "host has no AVX2; scalar-vs-scalar is vacuous";
+    const wearout::Weibull model(9.3, 12.0);
+    const struct
+    {
+        size_t n, k;
+    } points[] = {{1, 1}, {40, 1}, {60, 30}, {175, 175}, {512, 7}};
+    for (const auto &point : points) {
+        for (uint64_t trial = 0; trial < 16; ++trial) {
+            Rng vectorRng = Rng::trialStream(20170624, trial);
+            Rng scalarRng = Rng::trialStream(20170624, trial);
+            simd::setLevelForTesting(simd::Level::Avx2);
+            const uint64_t parallelVec = sampleParallelBankSurvival(
+                model, point.n, point.k, vectorRng);
+            const uint64_t seriesVec =
+                sampleSeriesBankSurvival(model, point.n, vectorRng);
+            const uint64_t tailVec = vectorRng.next();
+            simd::setLevelForTesting(simd::Level::Scalar);
+            const uint64_t parallelScalar = sampleParallelBankSurvival(
+                model, point.n, point.k, scalarRng);
+            const uint64_t seriesScalar =
+                sampleSeriesBankSurvival(model, point.n, scalarRng);
+            const uint64_t tailScalar = scalarRng.next();
+            simd::clearLevelForTesting();
+            ASSERT_EQ(parallelVec, parallelScalar)
+                << "n=" << point.n << " k=" << point.k
+                << " trial=" << trial;
+            ASSERT_EQ(seriesVec, seriesScalar)
+                << "n=" << point.n << " trial=" << trial;
+            ASSERT_EQ(tailVec, tailScalar)
+                << "stream position diverged: n=" << point.n
+                << " trial=" << trial;
+        }
     }
 }
 

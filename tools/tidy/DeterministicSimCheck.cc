@@ -88,14 +88,17 @@ DeterministicSimCheck::check(const MatchFinder::MatchResult &result)
     if (const auto *libc = result.Nodes.getNodeAs<clang::CallExpr>("libc")) {
         emit(libc->getBeginLoc(),
              "libc global-state randomness/time",
-             "draw from the seeded lemons::Rng streams");
+             "draw from the sanctioned seeded streams: "
+             "Rng::trialStream(seed, trial) for per-trial code, "
+             "Rng(seed)/split for non-trial sampling");
         return;
     }
     if (const auto *entropy =
             result.Nodes.getNodeAs<clang::CXXConstructExpr>("entropy")) {
         emit(entropy->getBeginLoc(),
              "std::random_device hardware entropy",
-             "derive per-trial streams from the campaign seed");
+             "derive per-trial streams from the campaign seed "
+             "(Rng::trialStream / util/philox.h deriveKey)");
         return;
     }
     if (const auto *clock =

@@ -4,8 +4,13 @@
  * the simulation TUs (src/sim, src/engine, src/fleet, src/arch by
  * default). The engine's bit-exact guarantee — identical trial stats
  * at any thread count, resumable from checkpoints — only holds when
- * every random draw flows from the seeded counter/xoshiro streams and
- * every merge iterates in a deterministic order. Flagged:
+ * every random draw flows from the sanctioned seeded streams and
+ * every merge iterates in a deterministic order. The sanctioned
+ * entry points are the counter-based Philox trial streams
+ * (`Rng::trialStream(seed, trial)`, the definitional path for Monte
+ * Carlo trials; batch kernels may use `util/philox.h` deriveKey /
+ * fillUniform directly) and the splittable xoshiro256** streams
+ * (`Rng(seed)` / `Rng::split`) for non-trial uses. Flagged:
  *
  *   - std::rand / srand / time / clock (global hidden state);
  *   - std::random_device (hardware entropy: unseedable);
