@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <streambuf>
 #include <utility>
@@ -14,6 +15,7 @@
 
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "util/argparse.h"
 #include "util/philox.h"
 
 namespace lemons::bench {
@@ -107,95 +109,66 @@ repSeed(uint64_t base, uint64_t rep)
     return philox::splitMix64(state);
 }
 
-void
-printUsage(std::ostream &out)
-{
-    out << "usage: lemons-bench [options]\n"
-           "  --list            print registered benchmark names and exit\n"
-           "  --filter=SUBSTR   run only benchmarks whose name contains "
-           "SUBSTR\n"
-           "  --quick           CI scale: --scale=0.05, --reps=3, "
-           "--warmup=1\n"
-           "  --scale=F         workload scale factor in (0, 1]\n"
-           "  --reps=N          timed repetitions per benchmark "
-           "(default 5)\n"
-           "  --warmup=N        untimed warmup runs (default 1)\n"
-           "  --seed=N          base RNG seed; rep r runs with "
-           "SplitMix64(seed, r) (default 7)\n"
-           "  --json[=PATH]     write BENCH_results.json "
-           "(default path: BENCH_results.json)\n"
-           "  --report          print the full paper tables while "
-           "running\n"
-           "  --help            this text\n";
-}
-
-/** Parse "--name=value" into @p value; true when @p arg matches. */
-bool
-valueFlag(std::string_view arg, std::string_view flag, std::string &value)
-{
-    if (arg.size() <= flag.size() + 1 || !arg.starts_with(flag) ||
-        arg[flag.size()] != '=')
-        return false;
-    value = std::string(arg.substr(flag.size() + 1));
-    return true;
-}
-
-bool
+/**
+ * Parse argv into @p opts via the shared ArgParser grammar. Returns
+ * the process exit code when parsing terminates the run (--help, or a
+ * usage error), std::nullopt when the benchmarks should proceed.
+ */
+std::optional<int>
 parseOptions(int argc, char **argv, Options &opts)
 {
-    for (int i = 1; i < argc; ++i) {
-        const std::string_view arg = argv[i];
-        std::string value;
-        if (arg == "--list") {
-            opts.list = true;
-        } else if (arg == "--quick") {
-            opts.quick = true;
-        } else if (arg == "--report") {
-            opts.report = true;
-        } else if (arg == "--json") {
-            opts.json = true;
-        } else if (valueFlag(arg, "--json", value)) {
-            opts.json = true;
-            opts.jsonPath = value;
-        } else if (valueFlag(arg, "--filter", value)) {
-            opts.filter = value;
-        } else if (valueFlag(arg, "--scale", value)) {
-            opts.scale = std::atof(value.c_str());
-            if (!(opts.scale > 0.0) || opts.scale > 1.0) {
-                std::cerr << "lemons-bench: --scale must be in (0, 1]\n";
-                return false;
-            }
-        } else if (valueFlag(arg, "--reps", value)) {
-            const long reps = std::atol(value.c_str());
-            if (reps < 1) {
-                std::cerr << "lemons-bench: --reps must be >= 1\n";
-                return false;
-            }
-            opts.reps = static_cast<unsigned>(reps);
-        } else if (valueFlag(arg, "--warmup", value)) {
-            const long warmup = std::atol(value.c_str());
-            if (warmup < 0) {
-                std::cerr << "lemons-bench: --warmup must be >= 0\n";
-                return false;
-            }
-            opts.warmup = static_cast<unsigned>(warmup);
-        } else if (valueFlag(arg, "--seed", value)) {
-            opts.seed = std::strtoull(value.c_str(), nullptr, 0);
-        } else if (arg == "--help" || arg == "-h") {
-            printUsage(std::cout);
-            std::exit(0);
-        } else {
-            std::cerr << "lemons-bench: unknown option '" << arg << "'\n";
-            printUsage(std::cerr);
-            return false;
-        }
+    ArgParser parser(
+        "lemons-bench",
+        "Runs the registered paper-reproduction benchmarks and reports\n"
+        "median/MAD/min wall times plus obs counter deltas.");
+    parser.flag("--list", &opts.list,
+                "print registered benchmark names and exit");
+    parser.value("--filter", &opts.filter, "SUBSTR",
+                 "run only benchmarks whose name contains SUBSTR");
+    parser.flag("--quick", &opts.quick,
+                "CI scale: caps --scale at 0.05 and --reps at 3");
+    parser.value("--scale", &opts.scale, "F",
+                 "workload scale factor in (0, 1]");
+    parser.value("--reps", &opts.reps, "N",
+                 "timed repetitions per benchmark (default 5)");
+    parser.value("--warmup", &opts.warmup, "N",
+                 "untimed warmup runs (default 1)");
+    parser.value("--seed", &opts.seed, "N",
+                 "base RNG seed; rep r runs with SplitMix64(seed, r) "
+                 "(default 7)");
+    parser.optionalValue("--json", &opts.json, &opts.jsonPath, "PATH",
+                         "write BENCH_results.json (default path: "
+                         "BENCH_results.json)");
+    parser.flag("--report", &opts.report,
+                "print the full paper tables while running");
+    parser.epilog("examples:\n"
+                  "  lemons-bench --quick --json\n"
+                  "  lemons-bench --filter solver --reps 9 --report");
+
+    switch (parser.parse(argc, argv)) {
+    case ArgParser::Outcome::Ok:
+        break;
+    case ArgParser::Outcome::Help:
+        return 0;
+    case ArgParser::Outcome::Error:
+        std::cerr << parser.error() << '\n' << parser.helpText();
+        return 2;
+    }
+
+    if (!(opts.scale > 0.0) || opts.scale > 1.0) {
+        std::cerr << "lemons-bench: --scale must be in (0, 1]\n";
+        return 2;
+    }
+    if (opts.reps < 1) {
+        std::cerr << "lemons-bench: --reps must be >= 1\n";
+        return 2;
     }
     if (opts.quick) {
         // One CI-friendly knob: small workloads, fewer reps.
         opts.scale = std::min(opts.scale, 0.05);
         opts.reps = std::min(opts.reps, 3u);
     }
-    return true;
+    return std::nullopt;
 }
 
 struct Result
@@ -412,8 +385,9 @@ int
 runMain(int argc, char **argv)
 {
     Options opts;
-    if (!parseOptions(argc, argv, opts))
-        return 2;
+    if (const std::optional<int> exitCode =
+            parseOptions(argc, argv, opts))
+        return *exitCode;
 
     std::vector<Entry> selected;
     for (const Entry &entry : registry()) {

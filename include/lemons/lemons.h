@@ -101,4 +101,13 @@
 #include "core/targeting.h"
 #include "core/usage_bounds.h"
 
+// api / serve: the JSON service facade and the embeddable HTTP
+// server behind lemonsd (lemons-api/1 envelopes, S-code errors).
+#include "api/codec.h"
+#include "api/json.h"
+#include "api/service.h"
+#include "api/types.h"
+#include "serve/quota.h"
+#include "serve/server.h"
+
 #endif // LEMONS_LEMONS_H

@@ -27,29 +27,6 @@ writeBracket(obs::JsonWriter &json, AccessBracket bracket)
 }
 
 void
-writeFindings(obs::JsonWriter &json, const lint::Report &findings)
-{
-    json.beginArray();
-    for (const lint::Diagnostic &diagnostic : findings.diagnostics()) {
-        json.beginObject();
-        json.key("code");
-        json.value(diagnostic.id());
-        json.key("severity");
-        json.value(lint::severityName(diagnostic.severity));
-        json.key("object");
-        json.value(diagnostic.object);
-        json.key("field");
-        json.value(diagnostic.field);
-        json.key("message");
-        json.value(diagnostic.message);
-        json.key("hint");
-        json.value(diagnostic.hint);
-        json.endObject();
-    }
-    json.endArray();
-}
-
-void
 writeGraphs(obs::JsonWriter &json, const std::vector<GraphBudget> &graphs)
 {
     json.beginArray();
@@ -149,6 +126,48 @@ writeAdversaries(obs::JsonWriter &json,
 
 } // namespace
 
+void
+writeFindingsJson(obs::JsonWriter &json, const lint::Report &findings)
+{
+    json.beginArray();
+    for (const lint::Diagnostic &diagnostic : findings.diagnostics()) {
+        json.beginObject();
+        json.key("code");
+        json.value(diagnostic.id());
+        json.key("severity");
+        json.value(lint::severityName(diagnostic.severity));
+        json.key("object");
+        json.value(diagnostic.object);
+        json.key("field");
+        json.value(diagnostic.field);
+        json.key("message");
+        json.value(diagnostic.message);
+        json.key("hint");
+        json.value(diagnostic.hint);
+        json.endObject();
+    }
+    json.endArray();
+}
+
+void
+writeFileAnalysisJson(obs::JsonWriter &json, const AnalyzedFile &file)
+{
+    json.beginObject();
+    json.key("file");
+    json.value(file.analysis.file);
+    json.key("findings");
+    writeFindingsJson(json, file.findings);
+    json.key("graphs");
+    writeGraphs(json, file.analysis.graphs);
+    json.key("workloads");
+    writeWorkloads(json, file.analysis.workloads);
+    json.key("cohorts");
+    writeCohorts(json, file.analysis.cohorts);
+    json.key("adversaries");
+    writeAdversaries(json, file.analysis.adversaries);
+    json.endObject();
+}
+
 std::string
 renderAnalysisJson(const std::vector<AnalyzedFile> &files)
 {
@@ -165,20 +184,7 @@ renderAnalysisJson(const std::vector<AnalyzedFile> &files)
     for (const AnalyzedFile &file : files) {
         errors += file.findings.errorCount();
         warnings += file.findings.warningCount();
-        json.beginObject();
-        json.key("file");
-        json.value(file.analysis.file);
-        json.key("findings");
-        writeFindings(json, file.findings);
-        json.key("graphs");
-        writeGraphs(json, file.analysis.graphs);
-        json.key("workloads");
-        writeWorkloads(json, file.analysis.workloads);
-        json.key("cohorts");
-        writeCohorts(json, file.analysis.cohorts);
-        json.key("adversaries");
-        writeAdversaries(json, file.analysis.adversaries);
-        json.endObject();
+        writeFileAnalysisJson(json, file);
     }
     json.endArray();
 

@@ -22,6 +22,10 @@
 #include "analysis/passes.h"
 #include "lint/diagnostics.h"
 
+namespace lemons::obs {
+class JsonWriter;
+} // namespace lemons::obs
+
 namespace lemons::analysis {
 
 /** The JSON schema identifier emitted at the document root. */
@@ -35,6 +39,21 @@ struct AnalyzedFile
     /** The analyzer's brackets (analysis.file names the file). */
     FileAnalysis analysis;
 };
+
+/**
+ * Write @p findings as a JSON array of diagnostic objects
+ * ({code, severity, object, field, message, hint}). Exposed so the
+ * lemons::api envelope codec emits byte-identical finding objects.
+ */
+void writeFindingsJson(obs::JsonWriter &json, const lint::Report &findings);
+
+/**
+ * Write one analyzed file as a JSON object ({file, findings, graphs,
+ * workloads, cohorts, adversaries}) — the per-file payload both the
+ * legacy `lemons-analyze/1` document and the `lemons-api/1` analyze
+ * result are built from.
+ */
+void writeFileAnalysisJson(obs::JsonWriter &json, const AnalyzedFile &file);
 
 /** Render the whole run as a `lemons-analyze/1` JSON document. */
 std::string renderAnalysisJson(const std::vector<AnalyzedFile> &files);

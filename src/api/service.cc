@@ -1,0 +1,249 @@
+#include "api/service.h"
+
+#include <utility>
+#include <vector>
+
+#include "analysis/passes.h"
+#include "analysis/report.h"
+#include "api/codec.h"
+#include "arch/structures_sim.h"
+#include "lint/spec_file.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "sim/monte_carlo.h"
+#include "verify/verifier.h"
+#include "wearout/population.h"
+
+namespace lemons::api {
+
+namespace {
+
+/** 400 envelope for a body that failed to decode. */
+ServiceResult
+badRequest(const lint::Report &diagnostics)
+{
+    ServiceResult result;
+    result.status = 400;
+    result.ok = false;
+    result.body = renderEnvelope(diagnostics);
+    return result;
+}
+
+/** 200 envelope whose ok flag mirrors the findings. */
+ServiceResult
+processed(const lint::Report &diagnostics, const ResultWriter &writer = {})
+{
+    ServiceResult result;
+    result.status = 200;
+    result.ok = !diagnostics.hasErrors();
+    result.body = renderEnvelope(diagnostics, writer);
+    return result;
+}
+
+/** result: {errors, warnings} summary for the finding-only endpoints. */
+ResultWriter
+summaryWriter(const lint::Report &report)
+{
+    const uint64_t errors = report.errorCount();
+    const uint64_t warnings = report.warningCount();
+    return [errors, warnings](obs::JsonWriter &json) {
+        json.beginObject();
+        json.key("errors");
+        json.value(errors);
+        json.key("warnings");
+        json.value(warnings);
+        json.endObject();
+    };
+}
+
+} // namespace
+
+ServiceResult
+Service::solve(std::string_view body) const
+{
+    LEMONS_OBS_INCREMENT("api.solve.requests");
+    lint::Report diagnostics;
+    JsonValue root;
+    SolveRequest request;
+    if (!parseBody(body, root, diagnostics) ||
+        !parseSolveRequest(root, request, diagnostics))
+        return badRequest(diagnostics);
+
+    // The solver constructor throws on error-severity L0xx findings;
+    // run the full rule pass up front instead so the envelope carries
+    // every finding (including warnings on feasible requests).
+    diagnostics.merge(lint::checkDesign(request.request));
+    if (diagnostics.hasErrors())
+        return processed(diagnostics);
+
+    const core::Design design =
+        core::DesignSolver(request.request).solve();
+    return processed(diagnostics, [&design](obs::JsonWriter &json) {
+        writeDesignJson(json, design);
+    });
+}
+
+ServiceResult
+Service::lint(std::string_view body) const
+{
+    LEMONS_OBS_INCREMENT("api.lint.requests");
+    lint::Report diagnostics;
+    JsonValue root;
+    SpecRequest request;
+    if (!parseBody(body, root, diagnostics) ||
+        !parseSpecRequest(root, request, diagnostics))
+        return badRequest(diagnostics);
+
+    const lint::Report findings =
+        lint::lintText(request.spec, request.filename);
+    return processed(findings, summaryWriter(findings));
+}
+
+ServiceResult
+Service::verify(std::string_view body) const
+{
+    LEMONS_OBS_INCREMENT("api.verify.requests");
+    lint::Report diagnostics;
+    JsonValue root;
+    SpecRequest request;
+    if (!parseBody(body, root, diagnostics) ||
+        !parseSpecRequest(root, request, diagnostics))
+        return badRequest(diagnostics);
+
+    // Mirror the CLI's --verify mode: the L-range parse/rule findings
+    // and the V-range verifier findings form one merged report.
+    lint::Report findings =
+        lint::lintText(request.spec, request.filename);
+    findings.merge(verify::verifySpecText(request.spec, request.filename));
+    return processed(findings, summaryWriter(findings));
+}
+
+ServiceResult
+Service::analyze(std::string_view body) const
+{
+    LEMONS_OBS_INCREMENT("api.analyze.requests");
+    lint::Report diagnostics;
+    JsonValue root;
+    SpecRequest request;
+    if (!parseBody(body, root, diagnostics) ||
+        !parseSpecRequest(root, request, diagnostics))
+        return badRequest(diagnostics);
+
+    // Full L + V + A merge, the same composition `lemons-lint --json`
+    // performs, so a spec analyzed over HTTP and one analyzed in CI
+    // produce identical envelopes.
+    lint::Report findings =
+        lint::lintText(request.spec, request.filename);
+    findings.merge(verify::verifySpecText(request.spec, request.filename));
+    analysis::FileAnalysis analysis =
+        analysis::analyzeSpecText(request.spec, request.filename);
+    {
+        lint::Report aFindings = analysis.findings;
+        findings.merge(std::move(aFindings));
+    }
+
+    std::vector<analysis::AnalyzedFile> files;
+    files.push_back({findings, std::move(analysis)});
+
+    ServiceResult result;
+    result.status = 200;
+    result.ok = !findings.hasErrors();
+    result.body = renderAnalysisEnvelope(files);
+    return result;
+}
+
+ServiceResult
+Service::mcRun(std::string_view body, const McExecution &exec) const
+{
+    LEMONS_OBS_INCREMENT("api.mc.requests");
+    lint::Report diagnostics;
+    JsonValue root;
+    McRunRequest request;
+    if (!parseBody(body, root, diagnostics) ||
+        !parseMcRunRequest(root, request, diagnostics))
+        return badRequest(diagnostics);
+
+    lint::Report findings;
+    const lint::ParsedSpec parsed =
+        lint::parseSpec(request.spec, request.filename, findings);
+    if (findings.hasErrors())
+        return processed(findings);
+    if (parsed.structures.empty()) {
+        findings.add(lint::Code::S010, "McRunRequest", "spec",
+                     "the spec declares no [structure] section",
+                     "add a [structure] section (kind, n, k, alpha, "
+                     "beta) to simulate");
+        ServiceResult result;
+        result.status = 422;
+        result.ok = false;
+        result.body = renderEnvelope(findings);
+        return result;
+    }
+
+    std::vector<McStructureResult> results;
+    bool anyInterrupted = false;
+    for (size_t index = 0; index < parsed.structures.size(); ++index) {
+        const lint::StructureSpec &spec = parsed.structures[index];
+        const wearout::DeviceFactory factory(
+            spec.device, wearout::ProcessVariation::none());
+
+        sim::McRunOptions options;
+        options.trials = request.trials;
+        options.threads = request.threads;
+        options.keepSamples = false;
+        options.cancel = exec.cancel;
+        options.deadline = exec.deadline;
+
+        const bool parallel =
+            spec.kind == lint::StructureSpec::Kind::Parallel;
+        const size_t n = spec.n;
+        const size_t k = spec.k;
+        const auto metric = [&factory, parallel, n, k](Rng &rng) {
+            const uint64_t survived = parallel
+                ? arch::sampleParallelSurvivedAccesses(factory, n, k, rng)
+                : arch::sampleSeriesSurvivedAccesses(factory, n, rng);
+            return static_cast<double>(survived);
+        };
+
+        // Distinct seeds per section keep the per-section streams
+        // independent while the whole request stays reproducible.
+        const sim::MonteCarlo mc(request.seed + index, request.trials);
+        const sim::TrialReport report = mc.run(metric, options);
+
+        McStructureResult out;
+        out.kind = parallel ? "parallel" : "series";
+        out.n = spec.n;
+        out.k = parallel ? spec.k : 0;
+        out.trials = report.trials;
+        out.interrupted = report.interrupted();
+        out.meanAccesses = report.stats.mean();
+        out.stddevAccesses = report.stats.stddev();
+        out.minAccesses = report.stats.min();
+        out.maxAccesses = report.stats.max();
+        const bool interrupted = out.interrupted;
+        anyInterrupted = anyInterrupted || interrupted;
+        results.push_back(std::move(out));
+
+        if (interrupted && exec.cancel != nullptr &&
+            exec.cancel->cancelled())
+            break; // draining: report what ran, skip the rest
+    }
+
+    return processed(findings, [&](obs::JsonWriter &json) {
+        json.beginObject();
+        json.key("trials_requested");
+        json.value(request.trials);
+        json.key("seed");
+        json.value(request.seed);
+        json.key("interrupted");
+        json.value(anyInterrupted);
+        json.key("structures");
+        json.beginArray();
+        for (const McStructureResult &structure : results)
+            writeMcStructureJson(json, structure);
+        json.endArray();
+        json.endObject();
+    });
+}
+
+} // namespace lemons::api

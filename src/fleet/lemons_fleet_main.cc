@@ -19,49 +19,33 @@
  * SIGKILL/SIGABRT it at random points, resume, corrupt a checkpoint
  * once, and verify the final digest equals an uninterrupted run's.
  *
+ * --json emits one `lemons-api/1` envelope for the whole invocation
+ * ({schema, ok, diagnostics[], result: {fleets: [...]}} for run mode,
+ * result: {chaos: {...}} for --chaos), matching lemonsd and
+ * `lemons-lint --json`. The pre-envelope newline-delimited per-fleet
+ * objects survive behind --json-legacy (deprecated).
+ *
  * Exit codes: 0 success, 1 contract failure (chaos digest mismatch),
  * 2 usage/spec error, 3 interrupted by deadline (resumable).
  */
 
 #include <chrono>
 #include <cstdint>
-#include <cstdlib>
 #include <iostream>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "api/codec.h"
 #include "fleet/campaign.h"
 #include "fleet/chaos.h"
 #include "lint/diagnostics.h"
 #include "lint/spec_file.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "util/argparse.h"
 
 namespace {
-
-void
-printUsage(std::ostream &out)
-{
-    out << "usage: lemons-fleet run <spec-file> [options]\n"
-           "       lemons-fleet --chaos [options]\n"
-           "\n"
-           "Runs [fleet]/[cohort] campaigns from a spec file through\n"
-           "the Monte Carlo engine with crash-safe checkpointing.\n"
-           "\n"
-           "options:\n"
-           "  --threads N      worker threads (default 1; 0 = all)\n"
-           "  --checkpoint P   write fleet-ckpt/1 checkpoints to P\n"
-           "  --resume         resume from the last good checkpoint\n"
-           "  --deadline-ms N  stop (checkpointed) after N ms\n"
-           "  --json           machine-readable output\n"
-           "  --metrics        also dump the obs registry as JSON\n"
-           "chaos options:\n"
-           "  --rounds N       kill/resume rounds (default 6)\n"
-           "  --dir P          working directory (default .)\n"
-           "  --seed N         kill-point randomization seed\n"
-           "  --help           this text\n";
-}
 
 struct Args
 {
@@ -72,8 +56,9 @@ struct Args
     bool resume = false;
     std::optional<uint64_t> deadlineMs;
     bool json = false;
+    bool jsonLegacy = false;
     bool metrics = false;
-    int rounds = 6;
+    uint64_t rounds = 6;
     std::string dir = ".";
     uint64_t seed = 1;
 };
@@ -131,6 +116,31 @@ printCohortJson(lemons::obs::JsonWriter &json,
     json.endObject();
 }
 
+void
+writeSummaryJson(lemons::obs::JsonWriter &json, uint64_t index,
+                 const lemons::fleet::FleetSummary &summary)
+{
+    json.beginObject();
+    json.key("fleet");
+    json.value(index);
+    json.key("devices");
+    json.value(summary.devices);
+    json.key("complete");
+    json.value(summary.complete());
+    json.key("resumed");
+    json.value(summary.resumed);
+    json.key("fell_back");
+    json.value(summary.fellBack);
+    json.key("digest");
+    json.value(summary.digest());
+    json.key("cohorts");
+    json.beginArray();
+    for (const lemons::fleet::CohortResult &cohort : summary.cohorts)
+        printCohortJson(json, cohort);
+    json.endArray();
+    json.endObject();
+}
+
 int
 runCampaigns(const Args &args)
 {
@@ -138,7 +148,10 @@ runCampaigns(const Args &args)
     const lemons::lint::ParsedSpec spec =
         lemons::lint::parseSpecFile(args.specFile, report);
     if (report.hasErrors()) {
-        std::cerr << report.format();
+        if (args.json)
+            std::cout << lemons::api::renderEnvelope(report);
+        else
+            std::cerr << report.format();
         return 2;
     }
     if (spec.fleets.empty()) {
@@ -158,37 +171,18 @@ runCampaigns(const Args &args)
                            std::chrono::milliseconds(*args.deadlineMs);
 
     bool interrupted = false;
+    std::vector<lemons::fleet::FleetSummary> summaries;
     for (size_t i = 0; i < spec.fleets.size(); ++i) {
         const lemons::fleet::FleetCampaign campaign(spec.fleets[i]);
-        const lemons::fleet::FleetSummary summary =
-            campaign.run(options);
+        lemons::fleet::FleetSummary summary = campaign.run(options);
         if (!summary.warning.empty())
             std::cerr << "lemons-fleet: warning: " << summary.warning
                       << "\n";
-        if (args.json) {
+        if (args.jsonLegacy) {
             lemons::obs::JsonWriter json(std::cout);
-            json.beginObject();
-            json.key("fleet");
-            json.value(static_cast<uint64_t>(i));
-            json.key("devices");
-            json.value(summary.devices);
-            json.key("complete");
-            json.value(summary.complete());
-            json.key("resumed");
-            json.value(summary.resumed);
-            json.key("fell_back");
-            json.value(summary.fellBack);
-            json.key("digest");
-            json.value(summary.digest());
-            json.key("cohorts");
-            json.beginArray();
-            for (const lemons::fleet::CohortResult &cohort :
-                 summary.cohorts)
-                printCohortJson(json, cohort);
-            json.endArray();
-            json.endObject();
+            writeSummaryJson(json, static_cast<uint64_t>(i), summary);
             std::cout << "\n";
-        } else {
+        } else if (!args.json) {
             std::cout << "fleet " << i << ": " << summary.devices
                       << " devices"
                       << (summary.resumed ? " (resumed)" : "")
@@ -200,6 +194,23 @@ runCampaigns(const Args &args)
                 printCohort(cohort);
         }
         interrupted |= !summary.complete();
+        if (args.json)
+            summaries.push_back(std::move(summary));
+    }
+    if (args.json) {
+        std::cout << lemons::api::renderEnvelope(
+            report, [&](lemons::obs::JsonWriter &json) {
+                json.beginObject();
+                json.key("interrupted");
+                json.value(interrupted);
+                json.key("fleets");
+                json.beginArray();
+                for (size_t i = 0; i < summaries.size(); ++i)
+                    writeSummaryJson(json, static_cast<uint64_t>(i),
+                                     summaries[i]);
+                json.endArray();
+                json.endObject();
+            });
     }
     if (args.metrics)
         std::cerr << lemons::obs::Registry::global().toJson() << "\n";
@@ -212,13 +223,12 @@ runChaos(const Args &args)
     lemons::fleet::ChaosOptions options;
     options.threads = args.threads;
     options.seed = args.seed;
-    options.maxKillRounds = args.rounds;
+    options.maxKillRounds = static_cast<int>(args.rounds);
     options.workDir = args.dir;
     const lemons::fleet::ChaosResult result =
         lemons::fleet::runChaosCampaign(
             lemons::fleet::chaosDefaultSpec(), options);
-    if (args.json) {
-        lemons::obs::JsonWriter json(std::cout);
+    const auto writeChaos = [&result](lemons::obs::JsonWriter &json) {
         json.beginObject();
         json.key("passed");
         json.value(result.passed());
@@ -235,6 +245,19 @@ runChaos(const Args &args)
         json.key("checkpoint_path");
         json.value(result.checkpointPath);
         json.endObject();
+    };
+    if (args.json) {
+        const lemons::lint::Report empty;
+        std::cout << lemons::api::renderEnvelope(
+            empty, [&](lemons::obs::JsonWriter &json) {
+                json.beginObject();
+                json.key("chaos");
+                writeChaos(json);
+                json.endObject();
+            });
+    } else if (args.jsonLegacy) {
+        lemons::obs::JsonWriter json(std::cout);
+        writeChaos(json);
         std::cout << "\n";
     } else {
         std::cout << result.log;
@@ -249,62 +272,60 @@ main(int argc, char **argv)
 {
     Args args;
     std::vector<std::string> positional;
-    for (int i = 1; i < argc; ++i) {
-        // Accept both "--opt value" and "--opt=value" (the latter
-        // matches lemons-bench, so the CLIs compose in scripts).
-        std::string arg = argv[i];
-        std::optional<std::string> inlineValue;
-        if (arg.size() > 2 && arg.compare(0, 2, "--") == 0) {
-            const size_t eq = arg.find('=');
-            if (eq != std::string::npos) {
-                inlineValue = arg.substr(eq + 1);
-                arg.resize(eq);
-            }
-        }
-        const auto valueArg = [&](const char *name) -> std::string {
-            if (inlineValue)
-                return *inlineValue;
-            if (i + 1 >= argc) {
-                std::cerr << "lemons-fleet: " << name
-                          << " needs a value\n";
-                std::exit(2);
-            }
-            return argv[++i];
-        };
-        if (arg == "--chaos") {
-            args.chaos = true;
-        } else if (arg == "--threads") {
-            args.threads = static_cast<unsigned>(
-                std::stoul(valueArg("--threads")));
-        } else if (arg == "--checkpoint") {
-            args.checkpointPath = valueArg("--checkpoint");
-        } else if (arg == "--resume") {
-            args.resume = true;
-        } else if (arg == "--deadline-ms") {
-            args.deadlineMs = std::stoull(valueArg("--deadline-ms"));
-        } else if (arg == "--json") {
-            args.json = true;
-        } else if (arg == "--metrics") {
-            args.metrics = true;
-        } else if (arg == "--rounds") {
-            args.rounds = static_cast<int>(
-                std::stol(valueArg("--rounds")));
-        } else if (arg == "--dir") {
-            args.dir = valueArg("--dir");
-        } else if (arg == "--seed") {
-            args.seed = std::stoull(valueArg("--seed"));
-        } else if (arg == "--help" || arg == "-h") {
-            printUsage(std::cout);
-            return 0;
-        } else if (!arg.empty() && arg.front() == '-') {
-            std::cerr << "lemons-fleet: unknown option '" << arg
-                      << "'\n";
-            printUsage(std::cerr);
-            return 2;
-        } else {
-            positional.push_back(arg);
-        }
+
+    lemons::ArgParser parser(
+        "lemons-fleet",
+        "Runs [fleet]/[cohort] campaigns from a spec file through the\n"
+        "Monte Carlo engine with crash-safe checkpointing.");
+    parser.flag("--chaos", &args.chaos,
+                "run the crash-injection harness on a built-in spec "
+                "instead of a campaign");
+    parser.value("--threads", &args.threads, "N",
+                 "worker threads (default 1; 0 = all)");
+    parser.value("--checkpoint", &args.checkpointPath, "PATH",
+                 "write fleet-ckpt/1 checkpoints to PATH");
+    parser.flag("--resume", &args.resume,
+                "resume from the last good checkpoint");
+    parser.value("--deadline-ms", &args.deadlineMs, "N",
+                 "stop (checkpointed) after N ms; exit 3");
+    parser.flag("--json", &args.json,
+                "emit one lemons-api/1 envelope for the invocation");
+    parser.flag("--json-legacy", &args.jsonLegacy,
+                "deprecated: emit the pre-envelope newline-delimited "
+                "per-fleet objects instead");
+    parser.flag("--metrics", &args.metrics,
+                "also dump the obs registry as JSON to stderr");
+    parser.value("--rounds", &args.rounds, "N",
+                 "chaos: kill/resume rounds (default 6)");
+    parser.value("--dir", &args.dir, "PATH",
+                 "chaos: working directory (default .)");
+    parser.value("--seed", &args.seed, "N",
+                 "chaos: kill-point randomization seed");
+    parser.positionals("run <spec-file>", &positional,
+                       "campaign subcommand and its spec file");
+    parser.epilog("examples:\n"
+                  "  lemons-fleet run fleet.lemons --threads 8 --json\n"
+                  "  lemons-fleet --chaos --rounds 4 --dir /tmp");
+
+    switch (parser.parse(argc, argv)) {
+    case lemons::ArgParser::Outcome::Ok:
+        break;
+    case lemons::ArgParser::Outcome::Help:
+        return 0;
+    case lemons::ArgParser::Outcome::Error:
+        std::cerr << parser.error() << '\n' << parser.helpText();
+        return 2;
     }
+
+    if (args.json && args.jsonLegacy) {
+        std::cerr << "lemons-fleet: --json and --json-legacy are "
+                     "mutually exclusive\n";
+        return 2;
+    }
+    if (args.jsonLegacy)
+        std::cerr << "lemons-fleet: warning: --json-legacy is "
+                     "deprecated; migrate to the --json lemons-api/1 "
+                     "envelope\n";
 
     try {
         if (args.chaos) {
@@ -316,7 +337,7 @@ main(int argc, char **argv)
             return runChaos(args);
         }
         if (positional.size() != 2 || positional[0] != "run") {
-            printUsage(std::cerr);
+            std::cerr << parser.helpText();
             return 2;
         }
         args.specFile = positional[1];

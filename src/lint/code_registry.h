@@ -8,6 +8,7 @@
  *   C-range  lemons::fleet    checkpoint error codes (C101...)
  *   A-range  lemons::analysis wear-budget analyzer findings (A001...)
  *   T-range  lemons-tidy      source-level clang-tidy checks (T001...)
+ *   S-range  lemons::api      serving/API request errors (S001...)
  *
  * The T-family is emitted by the out-of-tree clang-tidy plugin in
  * tools/tidy (loaded with `clang-tidy -load liblemons_tidy.so`); the
@@ -206,7 +207,22 @@
                              "unregistered metric namespace "                \
                              "(lemons-obs-scoped-timer)")                    \
     X(T006, "T006", Error, "raw cross-thread accumulation outside "          \
-                           "RunningStats merge (lemons-stats-accumulation)")
+                           "RunningStats merge (lemons-stats-accumulation)") \
+    X(S001, "S001", Error, "request body is not valid JSON")                 \
+    X(S002, "S002", Error, "request does not match the lemons-api/1 "        \
+                           "schema")                                         \
+    X(S003, "S003", Error, "unknown endpoint")                               \
+    X(S004, "S004", Error, "method not allowed for this endpoint")           \
+    X(S005, "S005", Error, "request body exceeds the configured size "       \
+                           "limit")                                          \
+    X(S006, "S006", Error, "malformed HTTP request")                         \
+    X(S007, "S007", Error, "per-tenant request quota exhausted")             \
+    X(S008, "S008", Error, "server is draining: new requests refused")       \
+    X(S009, "S009", Error, "admission queue full")                           \
+    X(S010, "S010", Error, "spec contains no section this endpoint can "     \
+                           "run")                                            \
+    X(S011, "S011", Error, "request field value out of range")              \
+    X(S012, "S012", Error, "internal error while handling the request")
 // clang-format on
 
 #endif // LEMONS_LINT_CODE_REGISTRY_H_

@@ -18,9 +18,12 @@
  * file, so the exit-code and --werror semantics are uniform across
  * the L/V/A families.
  *
- * --json emits the whole run as one `lemons-analyze/1` document
- * (implying --analyze) with the merged findings and every certified
- * bracket, for dashboards and diff tooling.
+ * --json emits the whole run as one `lemons-api/1` envelope (implying
+ * --analyze): {schema, ok, diagnostics[], result: {files[], errors,
+ * warnings}} — the same document lemonsd's POST /v1/analyze returns,
+ * so dashboards consume CI runs and server responses with one parser.
+ * The pre-envelope `lemons-analyze/1` document survives behind
+ * --json-legacy (deprecated, removal announced in the README).
  *
  * Exit codes: 0 clean (warnings allowed unless --werror), 1 at least
  * one error-severity finding (or any warning under --werror), 2
@@ -35,34 +38,13 @@
 
 #include "analysis/passes.h"
 #include "analysis/report.h"
+#include "api/codec.h"
 #include "lint/diagnostics.h"
 #include "lint/spec_file.h"
+#include "util/argparse.h"
 #include "verify/verifier.h"
 
 namespace {
-
-void
-printUsage(std::ostream &out)
-{
-    out << "usage: lemons-lint [options] <spec-file>...\n"
-           "\n"
-           "Statically checks limited-use architecture specs against\n"
-           "the lemons design rules without running any simulation.\n"
-           "\n"
-           "options:\n"
-           "  --verify   also lower each spec into the architecture IR\n"
-           "             and run the static verifier (V-range findings)\n"
-           "  --analyze  also run the wear-budget abstract interpreter\n"
-           "             (A-range findings: budget exhaustion, premature\n"
-           "             lockout, dead wear, adversary obligations)\n"
-           "  --json     emit one lemons-analyze/1 JSON document for\n"
-           "             the whole run (implies --analyze)\n"
-           "  --werror   treat warnings as errors (uniform across the\n"
-           "             L/V/A families)\n"
-           "  --quiet    print only the per-file summaries\n"
-           "  --codes    print the diagnostic-code catalog and exit\n"
-           "  --help     this text\n";
-}
 
 /** Catalog family header for a code id ("L001" -> the lint range). */
 const char *
@@ -77,6 +59,8 @@ familyTitle(char prefix)
         return "C-range: fleet checkpoint errors (lemons::fleet)";
     case 'A':
         return "A-range: wear-budget analyzer (lemons::analysis)";
+    case 'S':
+        return "S-range: serving/API request errors (lemons::api)";
     case 'T':
         return "T-range: source-level tidy checks (tools/tidy plugin)";
     default:
@@ -87,7 +71,7 @@ familyTitle(char prefix)
 void
 printCatalog(std::ostream &out)
 {
-    // Group by family so the listing reads as five catalogs; the
+    // Group by family so the listing reads as six catalogs; the
     // registry itself is append-only and therefore not sorted.
     std::vector<lemons::lint::CodeInfo> sorted =
         lemons::lint::codeCatalog();
@@ -106,10 +90,12 @@ printCatalog(std::ostream &out)
             return 2;
         case 'A':
             return 3;
-        case 'T':
+        case 'S':
             return 4;
-        default:
+        case 'T':
             return 5;
+        default:
+            return 6;
         }
     };
     std::stable_sort(sorted.begin(), sorted.end(),
@@ -143,40 +129,67 @@ main(int argc, char **argv)
     bool verify = false;
     bool analyze = false;
     bool json = false;
+    bool jsonLegacy = false;
+    bool codes = false;
     std::vector<std::string> files;
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg == "--werror") {
-            werror = true;
-        } else if (arg == "--quiet") {
-            quiet = true;
-        } else if (arg == "--verify") {
-            verify = true;
-        } else if (arg == "--analyze") {
-            analyze = true;
-        } else if (arg == "--json") {
-            json = true;
-            analyze = true;
-        } else if (arg == "--codes") {
-            printCatalog(std::cout);
-            return 0;
-        } else if (arg == "--help" || arg == "-h") {
-            printUsage(std::cout);
-            return 0;
-        } else if (!arg.empty() && arg.front() == '-') {
-            std::cerr << "lemons-lint: unknown option '" << arg << "'\n";
-            printUsage(std::cerr);
-            return 2;
-        } else {
-            files.push_back(arg);
-        }
-    }
-    if (files.empty()) {
-        std::cerr << "lemons-lint: no spec files given\n";
-        printUsage(std::cerr);
+
+    lemons::ArgParser parser(
+        "lemons-lint",
+        "Statically checks limited-use architecture specs against the\n"
+        "lemons design rules without running any simulation.");
+    parser.flag("--verify", &verify,
+                "also lower each spec into the architecture IR and run "
+                "the static verifier (V-range findings)");
+    parser.flag("--analyze", &analyze,
+                "also run the wear-budget abstract interpreter (A-range "
+                "findings: budget exhaustion, premature lockout, dead "
+                "wear, adversary obligations)");
+    parser.flag("--json", &json,
+                "emit one lemons-api/1 envelope for the whole run "
+                "(implies --analyze)");
+    parser.flag("--json-legacy", &jsonLegacy,
+                "deprecated: emit the pre-envelope lemons-analyze/1 "
+                "document instead (implies --analyze)");
+    parser.flag("--werror", &werror,
+                "treat warnings as errors (uniform across the L/V/A "
+                "families)");
+    parser.flag("--quiet", &quiet, "print only the per-file summaries");
+    parser.flag("--codes", &codes,
+                "print the diagnostic-code catalog and exit");
+    parser.positionals("<spec-file>...", &files, "spec files to check");
+
+    switch (parser.parse(argc, argv)) {
+    case lemons::ArgParser::Outcome::Ok:
+        break;
+    case lemons::ArgParser::Outcome::Help:
+        return 0;
+    case lemons::ArgParser::Outcome::Error:
+        std::cerr << parser.error() << '\n' << parser.helpText();
         return 2;
     }
 
+    if (codes) {
+        printCatalog(std::cout);
+        return 0;
+    }
+    if (json && jsonLegacy) {
+        std::cerr << "lemons-lint: --json and --json-legacy are "
+                     "mutually exclusive\n";
+        return 2;
+    }
+    if (jsonLegacy)
+        std::cerr << "lemons-lint: warning: --json-legacy "
+                     "(lemons-analyze/1) is deprecated; migrate to the "
+                     "--json lemons-api/1 envelope\n";
+    if (json || jsonLegacy)
+        analyze = true;
+    if (files.empty()) {
+        std::cerr << "lemons-lint: no spec files given\n"
+                  << parser.helpText();
+        return 2;
+    }
+
+    const bool machineOutput = json || jsonLegacy;
     size_t errors = 0;
     size_t warnings = 0;
     std::vector<lemons::analysis::AnalyzedFile> analyzed;
@@ -192,7 +205,7 @@ main(int argc, char **argv)
         }
         errors += report.errorCount();
         warnings += report.warningCount();
-        if (!json) {
+        if (!machineOutput) {
             if (!quiet && !report.empty())
                 std::cout << report.format();
             std::cout << file << ": " << report.errorCount()
@@ -203,6 +216,8 @@ main(int argc, char **argv)
         }
     }
     if (json)
+        std::cout << lemons::api::renderAnalysisEnvelope(analyzed);
+    else if (jsonLegacy)
         std::cout << lemons::analysis::renderAnalysisJson(analyzed);
     if (errors > 0)
         return 1;

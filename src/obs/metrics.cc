@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "obs/json.h"
+#include "obs/prometheus.h"
 
 namespace lemons::obs {
 
@@ -234,6 +235,12 @@ Registry::toJson() const
 
     json.endObject();
     return out.str();
+}
+
+std::string
+Registry::toPrometheus() const
+{
+    return obs::toPrometheus(snapshot());
 }
 
 } // namespace lemons::obs

@@ -251,6 +251,13 @@ class Registry
      */
     std::string toJson() const LEMONS_EXCLUDES(mu);
 
+    /**
+     * Serialize the registry in the Prometheus text exposition format
+     * (see obs/prometheus.h for the mapping and sanitization rules).
+     * Backs lemonsd's GET /metrics endpoint.
+     */
+    std::string toPrometheus() const LEMONS_EXCLUDES(mu);
+
   private:
     mutable Mutex mu;
     // std::map: stable addresses are provided by unique_ptr; ordered

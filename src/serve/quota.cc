@@ -1,0 +1,57 @@
+#include "serve/quota.h"
+
+#include <algorithm>
+
+namespace lemons::serve {
+
+TenantQuota::TenantQuota(QuotaOptions options, ClockFn now)
+    : opts(options), clock(std::move(now))
+{
+    if (!clock)
+        clock = [] { return Clock::now(); };
+}
+
+TenantQuota::Decision
+TenantQuota::admit(const std::string &tenant)
+{
+    if (opts.ratePerSecond <= 0.0)
+        return {};
+
+    const Clock::time_point now = clock();
+    const std::lock_guard<std::mutex> lock(mu);
+    auto [it, created] = buckets.try_emplace(tenant);
+    Bucket &bucket = it->second;
+    if (created) {
+        // New tenants start with a full bucket: the first request of
+        // a quiet client is never the one that gets throttled.
+        bucket.tokens = opts.burst;
+        bucket.lastRefill = now;
+    } else {
+        const double elapsed =
+            std::chrono::duration<double>(now - bucket.lastRefill)
+                .count();
+        bucket.tokens = std::min(
+            opts.burst, bucket.tokens + elapsed * opts.ratePerSecond);
+        bucket.lastRefill = now;
+    }
+
+    if (bucket.tokens >= 1.0) {
+        bucket.tokens -= 1.0;
+        return {};
+    }
+
+    Decision denied;
+    denied.admitted = false;
+    denied.retryAfterSeconds =
+        (1.0 - bucket.tokens) / opts.ratePerSecond;
+    return denied;
+}
+
+size_t
+TenantQuota::tenantCount() const
+{
+    const std::lock_guard<std::mutex> lock(mu);
+    return buckets.size();
+}
+
+} // namespace lemons::serve

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Per-tenant admission quotas for lemonsd: a token bucket per tenant
+ * key, refilled continuously at a configured rate up to a burst cap.
+ *
+ * Tenancy is cooperative — the `X-Lemons-Tenant` request header names
+ * the bucket (absent means the shared "" tenant) — so the quota layer
+ * is fairness plumbing for trusted CI fleets sharing one daemon, not
+ * an authentication boundary. A denied admit() reports how long until
+ * one whole token exists again, which the server rounds up into a
+ * Retry-After header.
+ *
+ * The clock is injectable so tests drive refill deterministically
+ * instead of sleeping.
+ */
+
+#ifndef LEMONS_SERVE_QUOTA_H_
+#define LEMONS_SERVE_QUOTA_H_
+
+#include <chrono>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace lemons::serve {
+
+/** Token-bucket parameters shared by every tenant. */
+struct QuotaOptions
+{
+    /** Sustained requests/second per tenant; <= 0 disables quotas. */
+    double ratePerSecond = 10.0;
+    /** Bucket capacity: requests a tenant may burst back-to-back. */
+    double burst = 20.0;
+};
+
+/** Per-tenant token buckets behind one mutex. */
+class TenantQuota
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+    using ClockFn = std::function<Clock::time_point()>;
+
+    /** What admit() decided. */
+    struct Decision
+    {
+        bool admitted = true;
+        /** Seconds until one full token exists; 0 when admitted. */
+        double retryAfterSeconds = 0.0;
+    };
+
+    /** @param now Test override; defaults to the steady clock. */
+    explicit TenantQuota(QuotaOptions options, ClockFn now = {});
+
+    /** Take one token from @p tenant's bucket (creating it full). */
+    Decision admit(const std::string &tenant);
+
+    /** Tenants currently tracked (test/metrics visibility). */
+    size_t tenantCount() const;
+
+  private:
+    struct Bucket
+    {
+        double tokens = 0.0;
+        Clock::time_point lastRefill;
+    };
+
+    QuotaOptions opts;
+    ClockFn clock;
+    mutable std::mutex mu;
+    std::map<std::string, Bucket> buckets;
+};
+
+} // namespace lemons::serve
+
+#endif // LEMONS_SERVE_QUOTA_H_

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * lemonsd — the lemons designs-as-a-service HTTP server.
+ *
+ * One acceptor thread owns the listening socket; every accepted
+ * connection is handed to engine::ThreadPool::global().submit(), so
+ * request handlers run on the same persistent workers that execute
+ * Monte Carlo trials and no per-request thread is ever created (the
+ * `sim.mc.pool.threads_created` counter stays flat under load, and
+ * `sim.mc.pool.submitted` counts exactly the admitted connections).
+ *
+ * Admission control happens in three layers before a handler runs:
+ *
+ *   1. in-flight bound — more than maxInflight admitted connections
+ *      answers 503 + S009 straight from the acceptor,
+ *   2. drain state — once beginDrain() is called new connections get
+ *      503 + S008 while in-flight requests finish,
+ *   3. per-tenant token buckets — the X-Lemons-Tenant header names a
+ *      bucket; an empty one answers 429 + S007 with a Retry-After.
+ *
+ * Graceful drain rides the engine's cancellation machinery: handlers
+ * pass the server's CancelToken and a per-request deadline into
+ * /v1/mc/run executions, so waitDrained() first waits drainGrace for
+ * requests to finish on their own and then fires the token, which
+ * stops in-flight runs at the next wave boundary with a partial,
+ * interrupted-flagged (still well-formed) response.
+ *
+ * Endpoints:
+ *   POST /v1/solve    design-space solver        (lemons-api/1)
+ *   POST /v1/lint     design-rule findings       (lemons-api/1)
+ *   POST /v1/verify   static-verifier findings   (lemons-api/1)
+ *   POST /v1/analyze  wear-budget analysis       (lemons-api/1)
+ *   POST /v1/mc/run   Monte Carlo over [structure] sections
+ *   GET  /v1/healthz  liveness + drain state
+ *   GET  /metrics     Prometheus text exposition of the obs registry
+ */
+
+#ifndef LEMONS_SERVE_SERVER_H_
+#define LEMONS_SERVE_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "api/service.h"
+#include "engine/engine.h"
+#include "serve/http.h"
+#include "serve/quota.h"
+
+namespace lemons::serve {
+
+/** Everything configurable about one lemonsd instance. */
+struct ServerOptions
+{
+    /** Bind address (IPv4 dotted quad). */
+    std::string address = "127.0.0.1";
+    /** Bind port; 0 asks the kernel for an ephemeral one. */
+    uint16_t port = 0;
+    /** Pool workers to provision for concurrent handlers. */
+    unsigned workers = 2;
+    /** Request-size limits enforced while bytes arrive. */
+    HttpLimits http{};
+    /** Admitted-but-unfinished connection bound (S009 above it). */
+    size_t maxInflight = 64;
+    /** Per-tenant token buckets; ratePerSecond <= 0 disables. */
+    QuotaOptions quota{};
+    /** How long waitDrained() lets in-flight requests finish before
+     *  firing the cancel token. */
+    std::chrono::milliseconds drainGrace{2000};
+    /** Socket receive/send timeout per connection. */
+    std::chrono::milliseconds socketTimeout{10000};
+    /** Wall-clock budget for one /v1/mc/run execution. */
+    std::chrono::milliseconds mcDeadline{30000};
+};
+
+class Server
+{
+  public:
+    explicit Server(ServerOptions options);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Bind, listen, and start the acceptor. Returns false (with the
+     * OS error in @p error) when the socket cannot be set up.
+     */
+    bool start(std::string *error = nullptr);
+
+    /** The bound port (resolves ephemeral binds); 0 before start(). */
+    uint16_t boundPort() const { return listenPort; }
+
+    /** Whether beginDrain() has been called. */
+    bool draining() const
+    {
+        return drainRequested.load(std::memory_order_acquire);
+    }
+
+    /** Stop admitting new connections; in-flight requests continue. */
+    void beginDrain();
+
+    /**
+     * Block until every admitted connection has been answered: waits
+     * drainGrace for voluntary completion, then cancels in-flight
+     * Monte Carlo runs and waits for the (now prompt) remainder.
+     */
+    void waitDrained();
+
+    /** beginDrain + waitDrained + close the listening socket. */
+    void stop();
+
+    /** Connections admitted and not yet answered (tests/metrics). */
+    size_t inflight() const;
+
+  private:
+    void acceptLoop();
+    void handleConnection(int fd);
+    /** Route one parsed request to a handler; never throws. */
+    HttpResponse route(const HttpRequest &request);
+    /** Respond-and-close helper used by the rejection paths. */
+    static void writeAll(int fd, const std::string &bytes);
+    void finishRequest();
+
+    ServerOptions opts;
+    api::Service service;
+    TenantQuota quota;
+
+    int listenFd = -1;
+    uint16_t listenPort = 0;
+    std::thread acceptor;
+    std::atomic<bool> drainRequested{false};
+    std::atomic<bool> acceptorDone{false};
+
+    engine::CancelToken drainCancel;
+
+    mutable std::mutex mu;
+    std::condition_variable idle;
+    size_t inflightCount = 0;
+};
+
+} // namespace lemons::serve
+
+#endif // LEMONS_SERVE_SERVER_H_

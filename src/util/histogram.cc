@@ -21,6 +21,7 @@ void
 Histogram::add(double x)
 {
     ++totalCount;
+    sampleSum += x;
     if (x < lowEdge) {
         ++underflowCount;
         return;

@@ -49,6 +49,13 @@ class Histogram
     uint64_t total() const { return totalCount; }
 
     /**
+     * Sum of every recorded sample, including under/overflow. Backs
+     * the Prometheus histogram exposition (`<name>_sum`), where the
+     * sum/count pair lets a dashboard derive the running mean.
+     */
+    double sum() const { return sampleSum; }
+
+    /**
      * Density estimate for bin @p i: count / (total * width), i.e. the
      * empirical PDF, comparable against an analytic density.
      */
@@ -68,6 +75,7 @@ class Histogram
     uint64_t underflowCount = 0;
     uint64_t overflowCount = 0;
     uint64_t totalCount = 0;
+    double sampleSum = 0.0;
 };
 
 } // namespace lemons

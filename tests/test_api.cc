@@ -1,0 +1,349 @@
+/**
+ * @file
+ * Unit tests for the lemons::api facade: the strict JSON reader, the
+ * lemons-api/1 envelope contract, the S-code request-error mapping,
+ * and determinism of the solve/mc endpoints. The envelope checks
+ * parse the rendered documents back through api::parseJson, so the
+ * reader and writer halves are held to the same grammar.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "api/codec.h"
+#include "api/json.h"
+#include "api/service.h"
+#include "api/types.h"
+#include "lint/diagnostics.h"
+
+namespace lemons::api {
+namespace {
+
+// ---------------------------------------------------------------------------
+// JSON reader: strictness
+
+TEST(ApiJson, ParsesScalarsAndStructure)
+{
+    JsonParseResult result = parseJson(
+        R"({"a": [1, 2.5, -3e2], "b": {"c": null, "d": true}, "e": "x"})");
+    ASSERT_TRUE(result.ok) << result.error;
+    const JsonValue &root = result.value;
+    ASSERT_TRUE(root.isObject());
+    const JsonValue *a = root.find("a");
+    ASSERT_NE(a, nullptr);
+    ASSERT_TRUE(a->isArray());
+    ASSERT_EQ(a->items().size(), 3u);
+    EXPECT_DOUBLE_EQ(a->items()[0].asNumber(), 1.0);
+    EXPECT_DOUBLE_EQ(a->items()[1].asNumber(), 2.5);
+    EXPECT_DOUBLE_EQ(a->items()[2].asNumber(), -300.0);
+    const JsonValue *d = root.find("b")->find("d");
+    ASSERT_NE(d, nullptr);
+    EXPECT_TRUE(d->asBool());
+    EXPECT_TRUE(root.find("b")->find("c")->isNull());
+    EXPECT_EQ(root.find("e")->asString(), "x");
+    EXPECT_EQ(root.find("missing"), nullptr);
+}
+
+TEST(ApiJson, DecodesEscapesIncludingSurrogatePairs)
+{
+    // \u00e9 is two UTF-8 bytes; \uD83D\uDE00 is a surrogate pair
+    // for U+1F600, four UTF-8 bytes.
+    JsonParseResult result =
+        parseJson(R"("a\"b\\c\n\u00e9\uD83D\uDE00")");
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.value.asString(),
+              "a\"b\\c\n\xC3\xA9\xF0\x9F\x98\x80");
+    // A lone surrogate half is not a code point.
+    EXPECT_FALSE(parseJson(R"("\uD83D")").ok);
+}
+
+TEST(ApiJson, RejectsDuplicateKeys)
+{
+    // Last-wins duplicate handling is an injection hazard for a
+    // security-facing API, so duplicates are a hard parse error.
+    JsonParseResult result = parseJson(R"({"a": 1, "a": 2})");
+    EXPECT_FALSE(result.ok);
+    EXPECT_NE(result.error.find("duplicate"), std::string::npos);
+}
+
+TEST(ApiJson, RejectsTrailingBytes)
+{
+    EXPECT_FALSE(parseJson("{} {}").ok);
+    EXPECT_FALSE(parseJson("1 2").ok);
+    EXPECT_TRUE(parseJson("{}  \n").ok);
+}
+
+TEST(ApiJson, RejectsLenientExtensions)
+{
+    EXPECT_FALSE(parseJson("{'a': 1}").ok);       // single quotes
+    EXPECT_FALSE(parseJson("{a: 1}").ok);         // unquoted key
+    EXPECT_FALSE(parseJson("[1, 2,]").ok);        // trailing comma
+    EXPECT_FALSE(parseJson("// c\n1").ok);        // comments
+    EXPECT_FALSE(parseJson("NaN").ok);            // non-finite literal
+    EXPECT_FALSE(parseJson("[01]").ok);           // leading zero
+    EXPECT_FALSE(parseJson("[1.]").ok);           // bare trailing dot
+    EXPECT_FALSE(parseJson("\"tab\tinside\"").ok); // raw control char
+    EXPECT_FALSE(parseJson("").ok);
+}
+
+TEST(ApiJson, EnforcesDepthLimit)
+{
+    std::string deep;
+    for (int i = 0; i < 100; ++i)
+        deep += '[';
+    for (int i = 0; i < 100; ++i)
+        deep += ']';
+    EXPECT_FALSE(parseJson(deep).ok);
+    EXPECT_TRUE(parseJson(deep, 128).ok);
+}
+
+TEST(ApiJson, ReportsErrorOffset)
+{
+    const JsonParseResult result = parseJson(R"({"a": tru})");
+    ASSERT_FALSE(result.ok);
+    EXPECT_GE(result.offset, 6u);
+    EXPECT_FALSE(result.error.empty());
+}
+
+TEST(ApiJson, Uint64ExactnessBoundary)
+{
+    uint64_t out = 0;
+    EXPECT_TRUE(parseJson("9007199254740991").value.asUint64(out));
+    EXPECT_EQ(out, (uint64_t{1} << 53) - 1);
+    EXPECT_FALSE(parseJson("-1").value.asUint64(out));
+    EXPECT_FALSE(parseJson("1.5").value.asUint64(out));
+    EXPECT_FALSE(parseJson("1e300").value.asUint64(out));
+    EXPECT_FALSE(parseJson("\"7\"").value.asUint64(out));
+}
+
+// ---------------------------------------------------------------------------
+// Envelope contract
+
+/** Parse an envelope body and assert the lemons-api/1 invariants. */
+JsonValue
+parseEnvelope(const std::string &body)
+{
+    JsonParseResult parsed = parseJson(body);
+    EXPECT_TRUE(parsed.ok) << parsed.error << "\nbody: " << body;
+    const JsonValue &root = parsed.value;
+    EXPECT_TRUE(root.isObject());
+    const JsonValue *schema = root.find("schema");
+    EXPECT_NE(schema, nullptr);
+    if (schema != nullptr) {
+        EXPECT_EQ(schema->asString(), kApiSchema);
+    }
+    EXPECT_NE(root.find("ok"), nullptr);
+    const JsonValue *diagnostics = root.find("diagnostics");
+    EXPECT_NE(diagnostics, nullptr);
+    if (diagnostics != nullptr) {
+        EXPECT_TRUE(diagnostics->isArray());
+    }
+    EXPECT_NE(root.find("result"), nullptr);
+    return std::move(parsed.value);
+}
+
+/** First diagnostic code in an envelope ("" when none). */
+std::string
+firstCode(const JsonValue &envelope)
+{
+    const JsonValue *diagnostics = envelope.find("diagnostics");
+    if (diagnostics == nullptr || diagnostics->items().empty())
+        return "";
+    const JsonValue *code = diagnostics->items()[0].find("code");
+    return code == nullptr ? "" : code->asString();
+}
+
+/** Whether any envelope diagnostic carries @p code. */
+bool
+hasCode(const JsonValue &envelope, std::string_view code)
+{
+    const JsonValue *diagnostics = envelope.find("diagnostics");
+    if (diagnostics == nullptr)
+        return false;
+    for (const JsonValue &finding : diagnostics->items()) {
+        const JsonValue *member = finding.find("code");
+        if (member != nullptr && member->asString() == code)
+            return true;
+    }
+    return false;
+}
+
+TEST(ApiEnvelope, CleanReportRendersOkTrueNullResult)
+{
+    const lint::Report report;
+    const std::string body = renderEnvelope(report);
+    const JsonValue envelope = parseEnvelope(body);
+    EXPECT_TRUE(envelope.find("ok")->asBool());
+    EXPECT_TRUE(envelope.find("result")->isNull());
+    EXPECT_EQ(envelope.find("diagnostics")->items().size(), 0u);
+    EXPECT_EQ(body.back(), '\n');
+}
+
+TEST(ApiEnvelope, DiagnosticsCarryTheFullFindingShape)
+{
+    lint::Report report;
+    report.add(lint::Code::S011, "request", "trials", "out of range",
+               "use fewer trials");
+    const JsonValue envelope = parseEnvelope(renderEnvelope(report));
+    EXPECT_FALSE(envelope.find("ok")->asBool());
+    const JsonValue &finding =
+        envelope.find("diagnostics")->items().at(0);
+    EXPECT_EQ(finding.find("code")->asString(), "S011");
+    EXPECT_EQ(finding.find("severity")->asString(), "error");
+    EXPECT_EQ(finding.find("object")->asString(), "request");
+    EXPECT_EQ(finding.find("field")->asString(), "trials");
+    EXPECT_EQ(finding.find("message")->asString(), "out of range");
+    EXPECT_EQ(finding.find("hint")->asString(), "use fewer trials");
+    ASSERT_NE(finding.find("file"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Service endpoints: S-code mapping
+
+TEST(ApiService, MalformedBodyMapsToS001And400)
+{
+    const Service service;
+    const ServiceResult result = service.solve("{not json");
+    EXPECT_EQ(result.status, 400);
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(firstCode(parseEnvelope(result.body)), "S001");
+}
+
+TEST(ApiService, NonObjectRootMapsToS001Family)
+{
+    const Service service;
+    const ServiceResult result = service.solve("[1,2,3]");
+    EXPECT_EQ(result.status, 400);
+    EXPECT_FALSE(result.ok);
+}
+
+TEST(ApiService, UnknownMemberMapsToS002)
+{
+    const Service service;
+    const ServiceResult result = service.solve(R"({"alfa": 0.5})");
+    EXPECT_EQ(result.status, 400);
+    EXPECT_EQ(firstCode(parseEnvelope(result.body)), "S002");
+}
+
+TEST(ApiService, WrongTypeMapsToS002)
+{
+    const Service service;
+    const ServiceResult result =
+        service.lint(R"({"spec": 12})");
+    EXPECT_EQ(result.status, 400);
+    EXPECT_EQ(firstCode(parseEnvelope(result.body)), "S002");
+}
+
+TEST(ApiService, OutOfRangeValueMapsToS011)
+{
+    const Service service;
+    const ServiceResult result = service.mcRun(
+        R"({"spec": "x", "trials": 99999999})");
+    EXPECT_EQ(result.status, 400);
+    EXPECT_EQ(firstCode(parseEnvelope(result.body)), "S011");
+}
+
+TEST(ApiService, McRunWithoutStructuresMapsToS010And422)
+{
+    const Service service;
+    const ServiceResult result = service.mcRun(R"({"spec": ""})");
+    EXPECT_EQ(result.status, 422);
+    EXPECT_FALSE(result.ok);
+    EXPECT_TRUE(hasCode(parseEnvelope(result.body), "S010"));
+}
+
+TEST(ApiService, BrokenSpecIsProcessedNotRejected)
+{
+    // Analysis findings are the *payload* of a lint request: the
+    // transport status stays 200 and only the envelope's ok drops.
+    // k > n trips the L202 design rule.
+    const Service service;
+    const ServiceResult result = service.lint(
+        R"({"spec": "[structure]\nkind = parallel\nn = 2\nk = 5\n"})");
+    EXPECT_EQ(result.status, 200);
+    EXPECT_FALSE(result.ok);
+    const JsonValue envelope = parseEnvelope(result.body);
+    EXPECT_FALSE(envelope.find("ok")->asBool());
+    EXPECT_TRUE(hasCode(envelope, "L202"));
+}
+
+// ---------------------------------------------------------------------------
+// Service endpoints: results and determinism
+
+// The paper's smartphone-unlock operating point (Fig 4): 10-cycle
+// beta = 12 devices against a 91,250-access LAB.
+constexpr const char *kSolveBody =
+    R"({"alpha": 10, "beta": 12, "lab": 91250, "k_fraction": 0.1,)"
+    R"( "min_reliability": 0.99})";
+
+TEST(ApiService, SolveReturnsDesignResult)
+{
+    const Service service;
+    const ServiceResult result = service.solve(kSolveBody);
+    ASSERT_EQ(result.status, 200) << result.body;
+    EXPECT_TRUE(result.ok);
+    const JsonValue envelope = parseEnvelope(result.body);
+    const JsonValue *design = envelope.find("result");
+    ASSERT_TRUE(design->isObject());
+    for (const char *key :
+         {"feasible", "per_copy_bound", "width", "threshold", "copies",
+          "total_devices", "death_check_access", "reliability_at_bound",
+          "reliability_past_bound", "expected_system_total"})
+        EXPECT_NE(design->find(key), nullptr) << key;
+    EXPECT_TRUE(design->find("feasible")->asBool());
+}
+
+TEST(ApiService, SolveIsDeterministic)
+{
+    const Service service;
+    EXPECT_EQ(service.solve(kSolveBody).body,
+              service.solve(kSolveBody).body);
+}
+
+std::string
+mcBody(uint64_t seed, unsigned threads)
+{
+    return std::string("{\"spec\": \"") +
+           "[structure]\\nkind = parallel\\nn = 8\\nk = 2\\n"
+           "alpha = 100\\nbeta = 2.0\\n" +
+           "\", \"trials\": 512, \"seed\": " + std::to_string(seed) +
+           ", \"threads\": " + std::to_string(threads) + "}";
+}
+
+TEST(ApiService, McRunReturnsStructureStatistics)
+{
+    const Service service;
+    const ServiceResult result = service.mcRun(mcBody(7, 1));
+    ASSERT_EQ(result.status, 200) << result.body;
+    const JsonValue envelope = parseEnvelope(result.body);
+    const JsonValue *mc = envelope.find("result");
+    ASSERT_TRUE(mc->isObject());
+    uint64_t trials = 0;
+    ASSERT_TRUE(mc->find("trials_requested")->asUint64(trials));
+    EXPECT_EQ(trials, 512u);
+    EXPECT_FALSE(mc->find("interrupted")->asBool());
+    const JsonValue *structures = mc->find("structures");
+    ASSERT_TRUE(structures->isArray());
+    ASSERT_EQ(structures->items().size(), 1u);
+    const JsonValue &first = structures->items()[0];
+    EXPECT_EQ(first.find("kind")->asString(), "parallel");
+    EXPECT_GT(first.find("mean_accesses")->asNumber(), 0.0);
+    EXPECT_GE(first.find("max_accesses")->asNumber(),
+              first.find("min_accesses")->asNumber());
+}
+
+TEST(ApiService, McRunSeedAndThreadInvariance)
+{
+    // Same seed -> bit-identical body; the engine's counter-based
+    // streams also make the statistics thread-count invariant.
+    const Service service;
+    const std::string one = service.mcRun(mcBody(7, 1)).body;
+    EXPECT_EQ(one, service.mcRun(mcBody(7, 1)).body);
+    EXPECT_EQ(one, service.mcRun(mcBody(7, 4)).body);
+    EXPECT_NE(one, service.mcRun(mcBody(8, 1)).body);
+}
+
+} // namespace
+} // namespace lemons::api

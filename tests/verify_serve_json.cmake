@@ -1,0 +1,87 @@
+# Schema check for a saved lemons-api/1 envelope (what lemonsd's
+# endpoints and `lemons-lint --json` emit): parse with CMake's JSON
+# support (3.19+) and assert the envelope contract — schema tag,
+# boolean ok, diagnostics array (each entry carrying the full finding
+# shape), and a result member. Optional knobs let the CI smoke test
+# pin endpoint specifics.
+#
+# Usage:
+#   cmake -DJSON=<envelope.json>
+#         [-DEXPECT_OK=true|false]          # pin the ok flag
+#         [-DEXPECT_RESULT_KEYS=a,b,c]      # keys the result must have
+#         -P verify_serve_json.cmake
+
+if(NOT JSON)
+    message(FATAL_ERROR "verify_serve_json.cmake needs JSON")
+endif()
+if(CMAKE_VERSION VERSION_LESS 3.19)
+    message(FATAL_ERROR "verify_serve_json.cmake needs CMake >= 3.19 "
+                        "for string(JSON)")
+endif()
+
+file(READ "${JSON}" content)
+
+string(JSON schema ERROR_VARIABLE err GET "${content}" schema)
+if(err OR NOT schema STREQUAL "lemons-api/1")
+    message(FATAL_ERROR "bad or missing schema tag in ${JSON}: "
+                        "'${schema}' ${err}")
+endif()
+
+string(JSON ok_type ERROR_VARIABLE err TYPE "${content}" ok)
+if(err OR NOT ok_type STREQUAL "BOOLEAN")
+    message(FATAL_ERROR "envelope 'ok' missing or not a boolean: ${err}")
+endif()
+# string(JSON GET) renders booleans as ON/OFF; compare truthiness so
+# callers can pass the natural true/false.
+if(DEFINED EXPECT_OK)
+    string(JSON ok GET "${content}" ok)
+    if((ok AND NOT EXPECT_OK) OR (EXPECT_OK AND NOT ok))
+        message(FATAL_ERROR "${JSON}: ok is '${ok}', expected "
+                            "'${EXPECT_OK}'")
+    endif()
+endif()
+
+string(JSON diag_type ERROR_VARIABLE err TYPE "${content}" diagnostics)
+if(err OR NOT diag_type STREQUAL "ARRAY")
+    message(FATAL_ERROR "envelope 'diagnostics' missing or not an "
+                        "array: ${err}")
+endif()
+
+# Every diagnostic must carry the full stable finding shape.
+string(JSON diag_count LENGTH "${content}" diagnostics)
+if(diag_count GREATER 0)
+    math(EXPR last "${diag_count} - 1")
+    foreach(i RANGE 0 ${last})
+        foreach(member code severity object field message hint file)
+            string(JSON value ERROR_VARIABLE err
+                   GET "${content}" diagnostics ${i} ${member})
+            if(err)
+                message(FATAL_ERROR "diagnostic ${i} lacks "
+                                    "'${member}': ${err}")
+            endif()
+        endforeach()
+    endforeach()
+endif()
+
+string(JSON result_type ERROR_VARIABLE err TYPE "${content}" result)
+if(err)
+    message(FATAL_ERROR "envelope 'result' missing: ${err}")
+endif()
+
+if(DEFINED EXPECT_RESULT_KEYS)
+    if(NOT result_type STREQUAL "OBJECT")
+        message(FATAL_ERROR "${JSON}: result is ${result_type}, "
+                            "expected an object")
+    endif()
+    string(REPLACE "," ";" keys "${EXPECT_RESULT_KEYS}")
+    foreach(key IN LISTS keys)
+        string(JSON value ERROR_VARIABLE err
+               GET "${content}" result ${key})
+        if(err)
+            message(FATAL_ERROR "${JSON}: result lacks '${key}': ${err}")
+        endif()
+    endforeach()
+endif()
+
+message(STATUS "${JSON}: lemons-api/1 envelope OK "
+               "(${diag_count} diagnostic(s), result ${result_type})")
